@@ -1,0 +1,108 @@
+// Experiment E7 — control-plane cost at scale (paper §2.1 + §4).
+//
+// Claim under test: the architecture's control-plane cost (sessions,
+// messages, label state, convergence time) stays manageable as the VPN
+// grows to the paper's "200 service points (a medium-sized VPN)", and
+// route reflection removes the residual quadratic term of full-mesh iBGP.
+// The overlay baseline's provisioning action count is printed alongside
+// for the same growth.
+
+#include <cstdio>
+
+#include "backbone/fixtures.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace mvpn;
+
+struct Result {
+  std::size_t sessions = 0;
+  std::uint64_t bgp_msgs = 0;
+  std::uint64_t ldp_msgs = 0;
+  std::uint64_t igp_msgs = 0;
+  std::uint64_t total_msgs = 0;
+  double converge_ms = 0;
+  std::size_t labels = 0;
+};
+
+Result run_mpls(std::size_t sites, routing::Bgp::Mode mode) {
+  backbone::BackboneConfig cfg;
+  cfg.p_count = 6;
+  cfg.pe_count = std::min<std::size_t>(sites, 20);
+  cfg.bgp_mode = mode;
+  cfg.route_reflector_count =
+      mode == routing::Bgp::Mode::kRouteReflector ? 2 : 0;
+  cfg.seed = 13;
+  backbone::MplsBackbone bb(cfg);
+  const vpn::VpnId v = bb.service.create_vpn("V");
+  for (std::size_t i = 0; i < sites; ++i) {
+    bb.add_site(v, i % cfg.pe_count,
+                ip::Prefix(ip::Ipv4Address(10, std::uint8_t(1 + i / 250),
+                                           std::uint8_t(i % 250), 0),
+                           24));
+  }
+  bb.start_and_converge();
+  Result r;
+  r.sessions = bb.bgp.session_count();
+  r.bgp_msgs = bb.cp.message_count("bgp.update") +
+               bb.cp.message_count("bgp.open");
+  r.ldp_msgs = bb.cp.message_count("ldp.mapping");
+  r.igp_msgs = bb.cp.message_count("igp.lsa");
+  r.total_msgs = bb.cp.total_messages();
+  r.converge_ms = sim::to_seconds(bb.service.last_route_change_at()) * 1e3;
+  r.labels = bb.domain.total_labels();
+  return r;
+}
+
+std::uint64_t run_overlay_actions(std::size_t sites) {
+  backbone::OverlayBackbone bb(6, 13);
+  const vpn::VpnId v = bb.service.create_vpn("V");
+  for (std::size_t i = 0; i < sites; ++i) {
+    auto& ce = bb.add_ce(i % 6, "CE" + std::to_string(i));
+    bb.service.add_site(
+        v, ce,
+        ip::Prefix(ip::Ipv4Address(10, std::uint8_t(1 + i / 250),
+                                   std::uint8_t(i % 250), 0),
+                   24));
+  }
+  bb.service.provision();
+  return bb.service.provisioning_actions();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E7 — control-plane cost growing a VPN to 200 sites\n"
+      "(6 P cores, up to 20 PEs; overlay provisioning actions shown for "
+      "the same growth)\n\n");
+  stats::Table t{"N sites",    "mode", "bgp sessions", "bgp msgs",
+                 "ldp msgs",   "igp msgs", "total msgs", "labels",
+                 "converge ms", "overlay actions"};
+  for (std::size_t n : {10u, 25u, 50u, 100u, 200u}) {
+    const std::uint64_t overlay = run_overlay_actions(n);
+    const Result fm = run_mpls(n, routing::Bgp::Mode::kFullMesh);
+    t.add_row({std::to_string(n), "full-mesh", std::to_string(fm.sessions),
+               std::to_string(fm.bgp_msgs), std::to_string(fm.ldp_msgs),
+               std::to_string(fm.igp_msgs), std::to_string(fm.total_msgs),
+               std::to_string(fm.labels),
+               stats::Table::num(fm.converge_ms, 1),
+               std::to_string(overlay)});
+    const Result rr = run_mpls(n, routing::Bgp::Mode::kRouteReflector);
+    t.add_row({std::to_string(n), "route-refl", std::to_string(rr.sessions),
+               std::to_string(rr.bgp_msgs), std::to_string(rr.ldp_msgs),
+               std::to_string(rr.igp_msgs), std::to_string(rr.total_msgs),
+               std::to_string(rr.labels),
+               stats::Table::num(rr.converge_ms, 1), "-"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Shape check: LDP/IGP message counts depend on the provider topology"
+      "\n(flat in sites once all PEs exist); BGP messages grow linearly in"
+      "\nsites times peers; sessions are quadratic in PEs under full mesh"
+      "\nand linear under route reflectors; overlay provisioning actions"
+      "\ngrow quadratically in sites — the architecture keeps every per-site"
+      "\ncost term linear, which is the §2.1/§4 scalability claim.\n");
+  return 0;
+}

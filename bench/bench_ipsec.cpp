@@ -1,0 +1,257 @@
+// Experiment E5 — paper §2.3 / §3 (IPsec security vs QoS and performance).
+//
+// Claims under test:
+//  (a) "performing security functions such as encryption and key exchange
+//      are processor intensive ... security gear will not slow network
+//      connections and create bottlenecks" — we measure real DES / 3DES +
+//      HMAC-SHA1 software throughput and its end-to-end goodput impact;
+//  (b) "during the development of the second encryption tunnel, all
+//      information including the IP and MAC addresses are encrypted thus
+//      erasing any hope one may have to control QoS" — we measure CBQ
+//      classification accuracy on cleartext vs ESP-encrypted flows, and
+//      show MPLS EXP survives where the 5-tuple does not;
+//  (c) ESP byte overhead per packet size (the tunnel tax).
+
+#include <cstdio>
+#include <memory>
+
+#include "backbone/fixtures.hpp"
+#include "ipsec/esp.hpp"
+#include "qos/classifier.hpp"
+#include "stats/table.hpp"
+#include "traffic/sink.hpp"
+#include "traffic/source.hpp"
+
+namespace {
+
+using namespace mvpn;
+
+void crypto_throughput_table() {
+  std::printf("--- (a) software crypto throughput (real DES/3DES + "
+              "HMAC-SHA1-96, this host) ---\n");
+  stats::Table t{"suite", "ns/byte", "64B pkt us", "512B pkt us",
+                 "1400B pkt us", "throughput Mb/s"};
+  for (const auto suite :
+       {ipsec::CipherSuite::kNull, ipsec::CipherSuite::kDesCbc,
+        ipsec::CipherSuite::kTripleDesCbc}) {
+    const auto m = ipsec::CryptoCostModel::calibrate(suite, 1 << 16);
+    const double mbps = m.ns_per_byte > 0 ? 8.0 / m.ns_per_byte * 1e3 : 0.0;
+    t.add_row({ipsec::to_string(suite), stats::Table::num(m.ns_per_byte, 2),
+               stats::Table::num(m.packet_cost_ns(64) / 1e3, 2),
+               stats::Table::num(m.packet_cost_ns(512) / 1e3, 2),
+               stats::Table::num(m.packet_cost_ns(1400) / 1e3, 2),
+               stats::Table::num(mbps, 1)});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void esp_overhead_table() {
+  std::printf("--- (c) ESP tunnel-mode byte overhead ---\n");
+  ipsec::SaConfig cfg;
+  cfg.spi = 1;
+  cfg.cipher = ipsec::CipherSuite::kTripleDesCbc;
+  cfg.auth_key.assign(20, 1);
+  cfg.local = ip::Ipv4Address::must_parse("1.1.1.1");
+  cfg.peer = ip::Ipv4Address::must_parse("2.2.2.2");
+  ipsec::EspSa sa(cfg);
+
+  stats::Table t{"inner IP bytes", "wire bytes (ESP)", "overhead bytes",
+                 "overhead %"};
+  for (const std::size_t payload : {36u, 172u, 472u, 972u, 1372u}) {
+    net::Packet p;
+    p.payload_bytes = payload;
+    const std::size_t plain = p.wire_size();
+    sa.encapsulate(p);
+    const std::size_t wire = p.wire_size();
+    t.add_row({std::to_string(plain), std::to_string(wire),
+               std::to_string(wire - plain),
+               stats::Table::num(100.0 * (wire - plain) / plain, 1)});
+    p.esp.reset();
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void qos_opacity_table() {
+  std::printf("--- (b) QoS visibility: CBQ classification accuracy ---\n");
+  // A port-based CBQ policy, evaluated against the same flow mix in three
+  // data planes: cleartext IP, ESP tunnel, and MPLS with the EXP bits set
+  // before encryption-free label transport.
+  qos::CbqClassifier classifier;
+  qos::MatchRule voice;
+  voice.dst_port = qos::PortRange{16384, 16484};
+  voice.mark = qos::Phb::kEf;
+  classifier.add_rule(voice);
+  qos::MatchRule video;
+  video.dst_port = qos::PortRange{5004, 5005};
+  video.mark = qos::Phb::kAf21;
+  classifier.add_rule(video);
+
+  sim::Rng rng(9);
+  const qos::DscpExpMap exp_map;
+  int n = 0;
+  int clear_correct = 0;
+  int esp_correct = 0;
+  int mpls_correct = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const int kind = static_cast<int>(rng.uniform_int(0, 2));
+    const qos::Phb truth = kind == 0   ? qos::Phb::kEf
+                           : kind == 1 ? qos::Phb::kAf21
+                                       : qos::Phb::kBe;
+    net::Packet p;
+    p.ip.dst = ip::Ipv4Address(10, 2, 0, 1);
+    p.l4.dst_port = kind == 0   ? std::uint16_t(16384 + rng.uniform_int(0, 100))
+                    : kind == 1 ? std::uint16_t(5004)
+                                : std::uint16_t(rng.uniform_int(1024, 5000));
+    ++n;
+    // Cleartext: the classifier sees everything.
+    clear_correct += classifier.classify(p) == truth ? 1 : 0;
+
+    // The CPE marked DSCP before handing off (both paths below).
+    p.ip.dscp = qos::dscp_of(truth);
+
+    // ESP tunnel (default: ToS not copied): ports and DSCP both vanish.
+    net::Packet encrypted = p;
+    net::EspEncap esp;
+    esp.outer.src = ip::Ipv4Address(1, 1, 1, 1);
+    esp.outer.dst = ip::Ipv4Address(2, 2, 2, 2);
+    esp.outer.protocol = net::kProtocolEsp;
+    encrypted.esp = esp;
+    const qos::Phb esp_class =
+        qos::phb_of_dscp(encrypted.visible_dscp());
+    esp_correct += esp_class == truth ? 1 : 0;
+
+    // MPLS: the edge copied DSCP into EXP; core classifies on EXP.
+    net::Packet labeled = p;
+    labeled.push_label(
+        net::MplsShim{100, exp_map.exp_for_dscp(p.ip.dscp), 64});
+    const qos::Phb mpls_class =
+        qos::phb_of_dscp(exp_map.dscp_for_exp(qos::visible_class_bits(labeled)));
+    // EXP collapses AF drop precedence; class-level match is the criterion.
+    const bool match = qos::af_class(mpls_class) == qos::af_class(truth) &&
+                       (qos::af_class(truth) != 0 || mpls_class == truth);
+    mpls_correct += match ? 1 : 0;
+  }
+
+  stats::Table t{"data plane", "class visible to core", "accuracy %"};
+  t.add_row({"cleartext IP", "full 5-tuple",
+             stats::Table::num(100.0 * clear_correct / n, 1)});
+  t.add_row({"IPsec ESP tunnel", "outer header only",
+             stats::Table::num(100.0 * esp_correct / n, 1)});
+  t.add_row({"MPLS + EXP mapping", "EXP bits",
+             stats::Table::num(100.0 * mpls_correct / n, 1)});
+  std::printf("%s\n", t.render().c_str());
+}
+
+struct E2eResult {
+  double goodput_mbps = 0;
+  double mean_ms = 0;
+  std::uint64_t ike_messages = 0;
+};
+
+E2eResult run_ipsec_e2e(ipsec::CipherSuite suite, bool charge_crypto) {
+  // 45 Mb/s access so the gateways' cipher speed, not the wire, is the
+  // potential bottleneck.
+  backbone::IpsecBackbone bb(3, suite, 11, 45e6);
+  const vpn::VpnId v = bb.service.create_vpn("V");
+  auto& gw1 = bb.add_gateway(0, "GW1");
+  auto& gw2 = bb.add_gateway(1, "GW2");
+  bb.service.add_site(v, gw1, ip::Prefix::must_parse("10.1.0.0/16"));
+  bb.service.add_site(v, gw2, ip::Prefix::must_parse("10.2.0.0/16"));
+  if (charge_crypto) {
+    bb.service.set_crypto_cost(ipsec::CryptoCostModel::calibrate(suite));
+  }
+  bb.start_and_converge();
+
+  qos::SlaProbe probe;
+  traffic::MeasurementSink sink(probe, bb.topo.scheduler());
+  sink.bind(gw2);
+  traffic::FlowSpec f;
+  f.src = ip::Ipv4Address::must_parse("10.1.0.1");
+  f.dst = ip::Ipv4Address::must_parse("10.2.0.1");
+  f.vpn = v;
+  f.payload_bytes = 1372;
+  traffic::CbrSource src(gw1, f, 1, &probe, 20e6);
+  sink.expect_flow(1, qos::Phb::kBe, v);
+  const sim::SimTime t0 = bb.topo.scheduler().now();
+  src.run(t0, t0 + 3 * sim::kSecond);
+  bb.topo.run_until(t0 + 5 * sim::kSecond);
+
+  const auto& r = probe.report(qos::Phb::kBe);
+  return E2eResult{r.goodput_bps(3.0) / 1e6, r.latency_s.mean() * 1e3,
+                   bb.cp.message_count("ike.main") +
+                       bb.cp.message_count("ike.quick")};
+}
+
+E2eResult run_mpls_e2e() {
+  backbone::BackboneConfig cfg;
+  cfg.p_count = 3;
+  cfg.pe_count = 2;
+  cfg.core_bw_bps = 45e6;
+  cfg.edge_bw_bps = 45e6;
+  cfg.seed = 11;
+  backbone::MplsBackbone bb(cfg);
+  const vpn::VpnId v = bb.service.create_vpn("V");
+  auto a = bb.add_site(v, 0, ip::Prefix::must_parse("10.1.0.0/16"));
+  auto b = bb.add_site(v, 1, ip::Prefix::must_parse("10.2.0.0/16"));
+  bb.start_and_converge();
+
+  qos::SlaProbe probe;
+  traffic::MeasurementSink sink(probe, bb.topo.scheduler());
+  sink.bind(*b.ce);
+  traffic::FlowSpec f;
+  f.src = ip::Ipv4Address::must_parse("10.1.0.1");
+  f.dst = ip::Ipv4Address::must_parse("10.2.0.1");
+  f.vpn = v;
+  f.payload_bytes = 1372;
+  traffic::CbrSource src(*a.ce, f, 1, &probe, 20e6);
+  sink.expect_flow(1, qos::Phb::kBe, v);
+  const sim::SimTime t0 = bb.topo.scheduler().now();
+  src.run(t0, t0 + 3 * sim::kSecond);
+  bb.topo.run_until(t0 + 5 * sim::kSecond);
+  const auto& r = probe.report(qos::Phb::kBe);
+  return E2eResult{r.goodput_bps(3.0) / 1e6, r.latency_s.mean() * 1e3, 0};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E5 — IPsec baseline: crypto cost, ESP overhead and QoS opacity\n\n");
+  crypto_throughput_table();
+  esp_overhead_table();
+  qos_opacity_table();
+
+  std::printf("--- (a2) end-to-end goodput, 20 Mb/s CBR over 45 Mb/s access "
+              "---\n");
+  stats::Table t{"VPN data plane", "goodput Mb/s", "mean latency ms",
+                 "IKE messages"};
+  const E2eResult mpls = run_mpls_e2e();
+  t.add_row({"BGP/MPLS VPN", stats::Table::num(mpls.goodput_mbps, 2),
+             stats::Table::num(mpls.mean_ms, 2), "0"});
+  const E2eResult esp_free =
+      run_ipsec_e2e(ipsec::CipherSuite::kTripleDesCbc, false);
+  t.add_row({"IPsec 3DES (no cpu charge)",
+             stats::Table::num(esp_free.goodput_mbps, 2),
+             stats::Table::num(esp_free.mean_ms, 2),
+             std::to_string(esp_free.ike_messages)});
+  const E2eResult des = run_ipsec_e2e(ipsec::CipherSuite::kDesCbc, true);
+  t.add_row({"IPsec DES (measured cpu)",
+             stats::Table::num(des.goodput_mbps, 2),
+             stats::Table::num(des.mean_ms, 2),
+             std::to_string(des.ike_messages)});
+  const E2eResult tdes =
+      run_ipsec_e2e(ipsec::CipherSuite::kTripleDesCbc, true);
+  t.add_row({"IPsec 3DES (measured cpu)",
+             stats::Table::num(tdes.goodput_mbps, 2),
+             stats::Table::num(tdes.mean_ms, 2),
+             std::to_string(tdes.ike_messages)});
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Shape check: 3DES costs ~3x DES per byte; ESP inflates small packets"
+      "\nby >50%% and 1400B packets by ~5%%; classification accuracy drops"
+      "\nfrom 100%% (cleartext, MPLS EXP) to chance level behind ESP; and"
+      "\nper-packet crypto time plus ESP bytes reduce goodput / raise"
+      "\nlatency vs the label-switched VPN — all directions as the paper"
+      "\nargues.\n");
+  return 0;
+}

@@ -1,0 +1,201 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mpls/rsvp_te.hpp"
+#include "vpn/inter_as.hpp"
+#include "vpn/ipsec_vpn.hpp"
+#include "vpn/overlay.hpp"
+#include "vpn/service.hpp"
+
+namespace mvpn::backbone {
+
+/// Parameters of a provider backbone (Fig. 4 of the paper, generalized):
+/// a ring of P routers with PEs dual-homed onto it.
+struct BackboneConfig {
+  std::size_t p_count = 4;
+  std::size_t pe_count = 4;
+  double core_bw_bps = 45e6;  ///< DS3-class trunks (paper era)
+  double edge_bw_bps = 10e6;  ///< PE–CE access circuits
+  sim::SimTime core_delay = 2 * sim::kMillisecond;
+  sim::SimTime edge_delay = 1 * sim::kMillisecond;
+  routing::Bgp::Mode bgp_mode = routing::Bgp::Mode::kFullMesh;
+  std::size_t route_reflector_count = 0;  ///< used in kRouteReflector mode
+  net::QueueDiscFactory core_queue;       ///< default: drop-tail(100)
+  std::uint64_t seed = 1;
+};
+
+/// Owns a complete MPLS VPN provider network: topology, control plane
+/// (IGP/LDP/BGP/RSVP-TE) and the VPN service, plus helpers to hang
+/// enterprise sites off it. This is the shared substrate of the examples,
+/// integration tests and benchmarks.
+class MplsBackbone {
+ public:
+  explicit MplsBackbone(const BackboneConfig& config);
+
+  /// Attach a new CE to the given PE and register its site in `vpn`.
+  struct Site {
+    vpn::Router* ce = nullptr;
+    ip::Prefix prefix;
+    std::size_t pe_index = 0;
+  };
+  Site add_site(vpn::VpnId vpn, std::size_t pe_index,
+                const ip::Prefix& site_prefix);
+
+  /// service.start() + drain the control plane.
+  void start_and_converge();
+
+  /// For hand-wired cores (p_count == pe_count == 0): register the routers
+  /// so pe()/p() accessors work.
+  void expose_custom(std::vector<vpn::Router*> ps,
+                     std::vector<vpn::Router*> pes) {
+    ps_ = std::move(ps);
+    pes_ = std::move(pes);
+  }
+
+  [[nodiscard]] vpn::Router& pe(std::size_t i) { return *pes_.at(i); }
+  [[nodiscard]] vpn::Router& p(std::size_t i) { return *ps_.at(i); }
+  [[nodiscard]] const std::vector<vpn::Router*>& pes() const { return pes_; }
+  [[nodiscard]] const std::vector<vpn::Router*>& ps() const { return ps_; }
+  [[nodiscard]] const std::vector<vpn::Router*>& ces() const { return ces_; }
+
+  net::Topology topo;
+  routing::ControlPlane cp;
+  routing::Igp igp;
+  mpls::MplsDomain domain;
+  mpls::Ldp ldp;
+  routing::Bgp bgp;
+  mpls::RsvpTe rsvp;
+  vpn::MplsVpnService service;
+
+ private:
+  BackboneConfig config_;
+  std::vector<vpn::Router*> ps_;
+  std::vector<vpn::Router*> pes_;
+  std::vector<vpn::Router*> rrs_;
+  std::vector<vpn::Router*> ces_;
+};
+
+/// The small Figure-2 scenario: two VPNs, two sites each, across a
+/// 3-router provider core. Used by the quickstart example and the
+/// figure-level integration tests.
+struct Figure2Scenario {
+  std::unique_ptr<MplsBackbone> backbone;
+  vpn::VpnId vpn1 = 0;
+  vpn::VpnId vpn2 = 0;
+  MplsBackbone::Site v1_site1, v1_site2, v2_site1, v2_site2;
+};
+[[nodiscard]] Figure2Scenario make_figure2_scenario(std::uint64_t seed = 1);
+
+/// Diamond topology for the traffic-engineering experiment (E4):
+///
+///     PE0 ── P0 ──── P1 ── PE1        (short path, cost 2)
+///             \      /
+///              P2───             (long path, cost 4 via P2)
+///
+/// Both PE0→PE1 and PE2... shortest paths share P0–P1; CSPF can place one
+/// LSP on the P0–P2–P1 detour.
+struct DiamondScenario {
+  std::unique_ptr<MplsBackbone> backbone;  // built with custom wiring
+  net::LinkId hot_link = net::kInvalidLink;  ///< P0–P1
+};
+[[nodiscard]] DiamondScenario make_diamond_scenario(
+    double core_bw_bps = 10e6, std::uint64_t seed = 1,
+    net::QueueDiscFactory core_queue = {});
+
+/// Overlay (PVC full-mesh) backbone with the same ring shape, for the E1
+/// baseline: plain routers switching virtual circuits.
+class OverlayBackbone {
+ public:
+  OverlayBackbone(std::size_t core_count, std::uint64_t seed = 1);
+
+  vpn::Router& add_ce(std::size_t core_index, const std::string& name);
+
+  net::Topology topo;
+  routing::ControlPlane cp;
+  vpn::OverlayVpnService service;
+
+  [[nodiscard]] const std::vector<vpn::Router*>& cores() const {
+    return cores_;
+  }
+
+ private:
+  std::vector<vpn::Router*> cores_;
+};
+
+/// Random provider backbone: a ring of P routers (guaranteeing
+/// connectivity) plus random chords with probability `chord_prob`, PEs
+/// attached to one or two random P routers. Used by the property tests to
+/// check that the architecture's invariants (isolation, any-to-any
+/// reachability, state linearity) hold on arbitrary topologies, not just
+/// the hand-built figures.
+[[nodiscard]] std::unique_ptr<MplsBackbone> make_random_backbone(
+    std::size_t p_count, std::size_t pe_count, double chord_prob,
+    std::uint64_t seed);
+
+/// Two cooperating providers (paper §5: "building VPNs using multiple
+/// carriers") joined by an inter-AS option-A peering:
+///
+///   CE ── PE_A ── P_A ── ASBR_A ══ ASBR_B ── P_B ── PE_B ── CE
+///
+/// Each provider runs its own IGP/LDP/MP-BGP; only the peering crosses
+/// the boundary.
+class TwoProviderBackbone {
+ public:
+  explicit TwoProviderBackbone(std::uint64_t seed = 1);
+
+  /// Attach a site in provider A or B (PE index within that provider).
+  MplsBackbone::Site add_site_a(vpn::VpnId vpn, const ip::Prefix& prefix);
+  MplsBackbone::Site add_site_b(vpn::VpnId vpn, const ip::Prefix& prefix);
+
+  void start_and_converge();
+
+  net::Topology topo;
+  routing::ControlPlane cp;
+  // Provider A (ASN 65000).
+  routing::Igp igp_a;
+  mpls::MplsDomain domain_a;
+  mpls::Ldp ldp_a;
+  routing::Bgp bgp_a;
+  vpn::MplsVpnService service_a;
+  // Provider B (ASN 65001).
+  routing::Igp igp_b;
+  mpls::MplsDomain domain_b;
+  mpls::Ldp ldp_b;
+  routing::Bgp bgp_b;
+  vpn::MplsVpnService service_b;
+
+  vpn::Router* pe_a = nullptr;
+  vpn::Router* asbr_a = nullptr;
+  vpn::Router* pe_b = nullptr;
+  vpn::Router* asbr_b = nullptr;
+  std::unique_ptr<vpn::InterAsPeering> peering;
+
+ private:
+  vpn::Router* p_a_ = nullptr;
+  vpn::Router* p_b_ = nullptr;
+  std::vector<vpn::Router*> ces_;
+};
+
+/// Routed-IP backbone with IPsec gateways at the edge (E5 baseline).
+class IpsecBackbone {
+ public:
+  IpsecBackbone(std::size_t core_count, ipsec::CipherSuite suite,
+                std::uint64_t seed = 1, double edge_bw_bps = 10e6);
+
+  vpn::Router& add_gateway(std::size_t core_index, const std::string& name);
+  void start_and_converge();
+
+  net::Topology topo;
+  routing::ControlPlane cp;
+  routing::Igp igp;
+  vpn::IpsecVpnService service;
+
+ private:
+  std::vector<vpn::Router*> cores_;
+  double edge_bw_bps_;
+};
+
+}  // namespace mvpn::backbone

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "backbone/fixtures.hpp"
+#include "traffic/sink.hpp"
+#include "traffic/source.hpp"
+
+namespace mvpn::backbone {
+
+/// Line-oriented scenario description language, so experiments can be run
+/// from a text file instead of C++ ('#' starts a comment):
+///
+///   backbone p=2 pe=2 core_bw=4e6 edge_bw=20e6 seed=7 bgp=mesh
+///            core_queue=wfq:8,3,1          # fifo | prio | wfq:w,... | drr:w,...
+///   vpn corp
+///   extranet corp partner                  # corp imports partner's routes
+///   site corp pe=0 prefix=10.1.0.0/16      # site index = declaration order
+///   site corp pe=1 prefix=10.2.0.0/16 pref=200
+///   classify site=0 dstport=16384-16484 class=EF
+///   police  site=0 class=EF cir=62500 cbs=4000 ebs=4000   # bytes/s, bytes
+///   shape   site=0 class=AF11 rate=125000 burst=3000
+///   flow cbr     vpn=corp from=0 to=1 rate=200e3 class=EF port=16400 size=172
+///   flow poisson vpn=corp from=0 to=1 rate=1e6 size=1472
+///   flow onoff   vpn=corp from=0 to=1 rate=2e6 on=0.3 off=0.2 class=AF21 port=5004
+///   flow tcp     vpn=corp from=0 to=1 class=BE port=80 size=1432   # greedy elastic
+///   run for=5                              # seconds of traffic (+2 s drain)
+///
+/// Flows start together when the control plane has converged; source and
+/// destination hosts are derived from the sites' prefixes.
+struct ScenarioError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Parsed scenario, buildable into a live MplsBackbone.
+class Scenario {
+ public:
+  /// Parse; on failure returns nullopt and fills `error`.
+  static std::optional<Scenario> parse(const std::string& text,
+                                       ScenarioError* error);
+
+  /// Build the network, run the traffic, and print the SLA report (and
+  /// isolation accounting) to `out`. Returns false if any isolation
+  /// violation was observed.
+  bool run(std::ostream& out) const;
+
+  /// --- introspection (mostly for tests) ---------------------------------
+  [[nodiscard]] std::size_t vpn_count() const noexcept {
+    return vpns_.size();
+  }
+  [[nodiscard]] std::size_t site_count() const noexcept {
+    return sites_.size();
+  }
+  [[nodiscard]] std::size_t flow_count() const noexcept {
+    return flows_.size();
+  }
+  [[nodiscard]] double run_seconds() const noexcept { return run_for_s_; }
+
+ private:
+  struct SiteDecl {
+    std::string vpn;
+    std::size_t pe = 0;
+    ip::Prefix prefix;
+    std::uint32_t pref = 100;
+  };
+  struct ClassifyDecl {
+    std::size_t site = 0;
+    std::uint16_t port_lo = 0;
+    std::uint16_t port_hi = 65535;
+    qos::Phb phb = qos::Phb::kBe;
+  };
+  struct PoliceDecl {
+    std::size_t site = 0;
+    qos::Phb phb = qos::Phb::kBe;
+    double cir = 0, cbs = 0, ebs = 0;
+  };
+  struct ShapeDecl {
+    std::size_t site = 0;
+    qos::Phb phb = qos::Phb::kBe;
+    double rate = 0, burst = 0;
+  };
+  struct FlowDecl {
+    std::string kind;  // cbr | poisson | onoff
+    std::string vpn;
+    std::size_t from = 0, to = 0;
+    double rate = 1e6;
+    double on_s = 0.2, off_s = 0.2;
+    qos::Phb phb = qos::Phb::kBe;
+    bool premark = false;
+    std::uint16_t port = 20000;
+    std::size_t size = 472;
+  };
+
+  BackboneConfig backbone_;
+  std::string core_queue_spec_ = "fifo";
+  std::vector<std::string> vpns_;
+  std::vector<std::pair<std::string, std::string>> extranets_;
+  std::vector<SiteDecl> sites_;
+  std::vector<ClassifyDecl> classifies_;
+  std::vector<PoliceDecl> polices_;
+  std::vector<ShapeDecl> shapes_;
+  std::vector<FlowDecl> flows_;
+  double run_for_s_ = 2.0;
+};
+
+/// Convenience: parse + run from a file path. Returns process-style exit
+/// code (0 ok, 1 isolation violation, 2 parse/usage error).
+int run_scenario_file(const std::string& path, std::ostream& out);
+
+}  // namespace mvpn::backbone

@@ -1,0 +1,96 @@
+#include "ip/address.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace mvpn::ip {
+namespace {
+
+/// Parse a decimal octet (0-255) from the front of `text`; advances `text`.
+std::optional<std::uint8_t> parse_octet(std::string_view& text) {
+  unsigned value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > 255) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return static_cast<std::uint8_t>(value);
+}
+
+bool consume(std::string_view& text, char c) {
+  if (text.empty() || text.front() != c) return false;
+  text.remove_prefix(1);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0 && !consume(text, '.')) return std::nullopt;
+    auto octet = parse_octet(text);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+Ipv4Address Ipv4Address::must_parse(std::string_view text) {
+  auto a = parse(text);
+  if (!a) throw std::invalid_argument("bad IPv4 address: " + std::string(text));
+  return *a;
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((value_ >> shift) & 0xFF);
+    if (shift != 0) out += '.';
+  }
+  return out;
+}
+
+Prefix::Prefix(Ipv4Address addr, std::uint8_t length) : len_(length) {
+  if (length > 32) throw std::invalid_argument("prefix length > 32");
+  addr_ = Ipv4Address(addr.value() & mask_for_length(length));
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  auto len_text = text.substr(slash + 1);
+  unsigned len = 0;
+  auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size() || len > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*addr, static_cast<std::uint8_t>(len));
+}
+
+Prefix Prefix::must_parse(std::string_view text) {
+  auto p = parse(text);
+  if (!p) throw std::invalid_argument("bad IPv4 prefix: " + std::string(text));
+  return *p;
+}
+
+std::uint32_t Prefix::mask() const noexcept { return mask_for_length(len_); }
+
+bool Prefix::contains(Ipv4Address a) const noexcept {
+  return (a.value() & mask()) == addr_.value();
+}
+
+bool Prefix::contains(const Prefix& other) const noexcept {
+  return other.len_ >= len_ && contains(other.addr_);
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(len_);
+}
+
+}  // namespace mvpn::ip

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mvpn::ip {
+
+/// IPv4 address stored as a host-order 32-bit integer.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parse dotted-quad "a.b.c.d"; nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+  /// Parse or throw std::invalid_argument — for literals in code.
+  static Ipv4Address must_parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// IPv4 prefix: address + mask length, canonicalized (host bits zeroed).
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  Prefix(Ipv4Address addr, std::uint8_t length);
+
+  /// Parse "a.b.c.d/len"; nullopt on malformed input.
+  static std::optional<Prefix> parse(std::string_view text);
+  static Prefix must_parse(std::string_view text);
+
+  /// Host route (/32) for one address.
+  static Prefix host(Ipv4Address a) { return Prefix(a, 32); }
+
+  [[nodiscard]] Ipv4Address address() const noexcept { return addr_; }
+  [[nodiscard]] std::uint8_t length() const noexcept { return len_; }
+  [[nodiscard]] std::uint32_t mask() const noexcept;
+  [[nodiscard]] bool contains(Ipv4Address a) const noexcept;
+  [[nodiscard]] bool contains(const Prefix& other) const noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  Ipv4Address addr_;
+  std::uint8_t len_ = 0;
+};
+
+[[nodiscard]] constexpr std::uint32_t mask_for_length(std::uint8_t len) noexcept {
+  return len == 0 ? 0u : ~std::uint32_t{0} << (32 - len);
+}
+
+}  // namespace mvpn::ip
+
+template <>
+struct std::hash<mvpn::ip::Ipv4Address> {
+  std::size_t operator()(mvpn::ip::Ipv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<mvpn::ip::Prefix> {
+  std::size_t operator()(const mvpn::ip::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.address().value()} << 8) | p.length());
+  }
+};

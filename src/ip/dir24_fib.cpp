@@ -1,0 +1,80 @@
+#include "ip/dir24_fib.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mvpn::ip {
+
+Dir24Fib::Dir24Fib() : tbl24_(1u << 24, kMiss) {}
+
+void Dir24Fib::build(
+    const std::vector<std::pair<Prefix, std::uint16_t>>& routes) {
+  std::fill(tbl24_.begin(), tbl24_.end(), kMiss);
+  tbl_long_.clear();
+
+  // Paint shortest prefixes first so longer ones override them. Stable so
+  // that duplicate prefixes keep last-inserted-wins semantics.
+  auto sorted = routes;
+  std::stable_sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.length() < b.first.length();
+            });
+
+  for (const auto& [prefix, nh_index] : sorted) {
+    if (nh_index > kMaxNextHopIndex) {
+      throw std::invalid_argument("Dir24Fib: next-hop index too large");
+    }
+    const std::uint16_t payload = static_cast<std::uint16_t>(nh_index + 1);
+    const std::uint32_t base = prefix.address().value();
+
+    if (prefix.length() <= 24) {
+      const std::uint32_t first = base >> 8;
+      const std::uint32_t span = 1u << (24 - prefix.length());
+      for (std::uint32_t i = 0; i < span; ++i) {
+        const std::uint32_t slot = first + i;
+        std::uint16_t& entry = tbl24_[slot];
+        if ((entry & kExtendedFlag) != 0) {
+          // A longer prefix already expanded this /24; repaint only the
+          // still-shorter-covered bytes of its block.
+          const std::size_t block = entry & ~kExtendedFlag;
+          for (std::size_t b = 0; b < 256; ++b) {
+            std::uint16_t& cell = tbl_long_[(block << 8) | b];
+            if (cell == kMiss) cell = payload;
+          }
+        } else {
+          entry = payload;
+        }
+      }
+      continue;
+    }
+
+    // Prefix longer than /24: expand (or reuse) the extension block for its
+    // covering /24 and paint the low-byte range.
+    const std::uint32_t slot = base >> 8;
+    std::uint16_t& entry = tbl24_[slot];
+    std::size_t block;
+    if ((entry & kExtendedFlag) != 0) {
+      block = entry & ~kExtendedFlag;
+    } else {
+      block = tbl_long_.size() / 256;
+      if (block > static_cast<std::size_t>(~kExtendedFlag)) {
+        throw std::length_error("Dir24Fib: extension table overflow");
+      }
+      // Seed the new block with whatever shorter route covered this /24.
+      tbl_long_.insert(tbl_long_.end(), 256, entry);
+      entry = static_cast<std::uint16_t>(kExtendedFlag | block);
+    }
+    const std::uint32_t lo = base & 0xFF;
+    const std::uint32_t span = 1u << (32 - prefix.length());
+    for (std::uint32_t i = 0; i < span; ++i) {
+      tbl_long_[(block << 8) | (lo + i)] = payload;
+    }
+  }
+}
+
+std::size_t Dir24Fib::memory_bytes() const noexcept {
+  return tbl24_.size() * sizeof(std::uint16_t) +
+         tbl_long_.size() * sizeof(std::uint16_t);
+}
+
+}  // namespace mvpn::ip

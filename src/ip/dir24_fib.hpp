@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ip/address.hpp"
+
+namespace mvpn::ip {
+
+/// DIR-24-8 compressed forwarding table (Gupta/Lin/McKeown, Infocom '98) —
+/// the classic "fast IP lookup" structure that hardware-style routers used
+/// at the time of the paper. One memory access for prefixes up to /24, two
+/// for longer ones.
+///
+/// Stores a small integer next-hop index per prefix (the caller keeps the
+/// actual adjacency array). Built once from a route dump; immutable after
+/// build. Used in the forwarding benchmark (experiment E2) as the
+/// optimized-IP-lookup baseline against which the MPLS label index lookup
+/// is compared.
+class Dir24Fib {
+ public:
+  /// Maximum next-hop index representable (15-bit payload minus sentinel).
+  static constexpr std::uint16_t kMaxNextHopIndex = 0x7FFD;
+
+  Dir24Fib();
+
+  /// Build from (prefix, next-hop-index) pairs. Later entries with longer
+  /// prefixes correctly override shorter covers. Throws if an index
+  /// exceeds kMaxNextHopIndex.
+  void build(const std::vector<std::pair<Prefix, std::uint16_t>>& routes);
+
+  /// Longest-prefix match; nullopt when no route covers `addr`.
+  [[nodiscard]] std::optional<std::uint16_t> lookup(Ipv4Address addr) const {
+    const std::uint32_t a = addr.value();
+    std::uint16_t entry = tbl24_[a >> 8];
+    if (entry == kMiss) return std::nullopt;
+    if ((entry & kExtendedFlag) != 0) {
+      const std::size_t block = entry & ~kExtendedFlag;
+      entry = tbl_long_[(block << 8) | (a & 0xFF)];
+      if (entry == kMiss) return std::nullopt;
+    }
+    return static_cast<std::uint16_t>(entry - 1);
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+  [[nodiscard]] std::size_t long_block_count() const noexcept {
+    return tbl_long_.size() / 256;
+  }
+
+ private:
+  static constexpr std::uint16_t kMiss = 0;
+  static constexpr std::uint16_t kExtendedFlag = 0x8000;
+
+  std::vector<std::uint16_t> tbl24_;   // 2^24 entries
+  std::vector<std::uint16_t> tbl_long_;  // 256-entry blocks for >/24 prefixes
+};
+
+}  // namespace mvpn::ip

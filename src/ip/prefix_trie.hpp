@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "ip/address.hpp"
+
+namespace mvpn::ip {
+
+/// Binary (unibit) trie keyed by IPv4 prefix with longest-prefix-match
+/// lookup. Generic over the stored payload so it backs the global FIB,
+/// per-VRF tables and the BGP RIB alike.
+///
+/// Lookup walks at most 32 nodes; insert/erase are O(prefix length).
+template <typename T>
+class PrefixTrie {
+ public:
+  /// Insert or replace the payload at `prefix`. Returns true if inserted
+  /// (false if an existing payload was replaced).
+  bool insert(const Prefix& prefix, T value) {
+    Node* node = descend_or_create(prefix);
+    const bool inserted = !node->value.has_value();
+    node->value = std::move(value);
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  /// Remove the payload at exactly `prefix`. Returns true if removed.
+  bool erase(const Prefix& prefix) {
+    Node* node = descend(prefix);
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Payload stored at exactly `prefix`, or nullptr.
+  [[nodiscard]] const T* exact_match(const Prefix& prefix) const {
+    const Node* node = descend(prefix);
+    return (node != nullptr && node->value) ? &*node->value : nullptr;
+  }
+  [[nodiscard]] T* exact_match(const Prefix& prefix) {
+    Node* node = descend(prefix);
+    return (node != nullptr && node->value) ? &*node->value : nullptr;
+  }
+
+  /// Longest-prefix match for `addr`, or nullptr if no covering prefix.
+  [[nodiscard]] const T* longest_match(Ipv4Address addr) const {
+    const Prefix* ignored = nullptr;
+    return longest_match(addr, ignored);
+  }
+
+  /// Longest-prefix match that also reports the matched prefix.
+  [[nodiscard]] const T* longest_match(Ipv4Address addr,
+                                       const Prefix*& matched) const {
+    const Node* node = root_.get();
+    const T* best = nullptr;
+    matched = nullptr;
+    std::uint32_t bits = addr.value();
+    for (int depth = 0; node != nullptr; ++depth) {
+      if (node->value) {
+        best = &*node->value;
+        matched = &node->prefix;
+      }
+      if (depth == 32) break;
+      const unsigned bit = (bits >> (31 - depth)) & 1u;
+      node = node->child[bit].get();
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+  /// Visit every (prefix, payload) pair in preorder (shortest prefix first
+  /// along each path).
+  void for_each(const std::function<void(const Prefix&, const T&)>& fn) const {
+    visit(root_.get(), fn);
+  }
+  void for_each_mutable(const std::function<void(const Prefix&, T&)>& fn) {
+    visit_mutable(root_.get(), fn);
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    Prefix prefix;  // valid only when value.has_value()
+    std::unique_ptr<Node> child[2];
+  };
+
+  Node* descend(const Prefix& prefix) const {
+    Node* node = root_.get();
+    const std::uint32_t bits = prefix.address().value();
+    for (unsigned depth = 0; depth < prefix.length() && node != nullptr;
+         ++depth) {
+      const unsigned bit = (bits >> (31 - depth)) & 1u;
+      node = node->child[bit].get();
+    }
+    return node;
+  }
+
+  Node* descend_or_create(const Prefix& prefix) {
+    Node* node = root_.get();
+    const std::uint32_t bits = prefix.address().value();
+    for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+      const unsigned bit = (bits >> (31 - depth)) & 1u;
+      if (!node->child[bit]) node->child[bit] = std::make_unique<Node>();
+      node = node->child[bit].get();
+    }
+    node->prefix = prefix;
+    return node;
+  }
+
+  void visit(const Node* node,
+             const std::function<void(const Prefix&, const T&)>& fn) const {
+    if (node == nullptr) return;
+    if (node->value) fn(node->prefix, *node->value);
+    visit(node->child[0].get(), fn);
+    visit(node->child[1].get(), fn);
+  }
+  void visit_mutable(Node* node,
+                     const std::function<void(const Prefix&, T&)>& fn) {
+    if (node == nullptr) return;
+    if (node->value) fn(node->prefix, *node->value);
+    visit_mutable(node->child[0].get(), fn);
+    visit_mutable(node->child[1].get(), fn);
+  }
+
+  std::unique_ptr<Node> root_ = std::make_unique<Node>();
+  std::size_t size_ = 0;
+};
+
+}  // namespace mvpn::ip

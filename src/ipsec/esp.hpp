@@ -1,0 +1,111 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ipsec/des.hpp"
+#include "ipsec/hmac.hpp"
+#include "net/packet.hpp"
+#include "stats/counter.hpp"
+
+namespace mvpn::ipsec {
+
+enum class CipherSuite : std::uint8_t { kNull, kDesCbc, kTripleDesCbc };
+
+[[nodiscard]] const char* to_string(CipherSuite c) noexcept;
+
+/// Anti-replay sliding window (RFC 2401 appendix C): accepts each sequence
+/// number at most once and rejects sequences older than the window.
+class ReplayWindow {
+ public:
+  explicit ReplayWindow(std::uint32_t window_size = 64);
+
+  /// True if `seq` is fresh (and records it); false on replay or too-old.
+  bool check_and_update(std::uint32_t seq);
+
+  [[nodiscard]] std::uint32_t highest_seen() const noexcept { return top_; }
+  [[nodiscard]] const stats::Counter& replays_blocked() const noexcept {
+    return blocked_;
+  }
+
+ private:
+  std::uint32_t size_;
+  std::uint32_t top_ = 0;       // highest sequence seen
+  std::uint64_t bitmap_ = 0;    // bit i = (top_ - i) seen
+  stats::Counter blocked_;
+};
+
+/// ESP tunnel-mode security association configuration.
+struct SaConfig {
+  std::uint32_t spi = 0;
+  CipherSuite cipher = CipherSuite::kTripleDesCbc;
+  std::array<std::uint64_t, 3> cipher_keys{};  ///< DES uses [0] only
+  std::vector<std::uint8_t> auth_key;          ///< HMAC-SHA1 key (20 bytes)
+  ip::Ipv4Address local;                       ///< our tunnel endpoint
+  ip::Ipv4Address peer;                        ///< remote tunnel endpoint
+  /// Copy the inner DSCP to the outer header. Default FALSE — the paper's
+  /// complaint is precisely that deployed gateways hid the ToS, erasing
+  /// QoS visibility in the core (experiment E5 flips this knob).
+  bool copy_dscp_to_outer = false;
+};
+
+/// One-direction ESP tunnel-mode SA: simulation-side encapsulation (byte-
+/// accurate overhead, sequence numbers, replay protection) plus real
+/// cipher/ICV operations over scratch buffers for cost measurement.
+class EspSa {
+ public:
+  explicit EspSa(SaConfig config);
+
+  /// Wrap `p` in tunnel-mode ESP toward the peer. Pad is computed from the
+  /// cipher block size, so wire overhead is exact.
+  void encapsulate(net::Packet& p);
+
+  /// Unwrap; false when the packet is not ours (SPI mismatch) or the
+  /// sequence number fails the replay check — the packet must be dropped.
+  bool decapsulate(net::Packet& p);
+
+  /// Run the real cipher + HMAC over `buf` (in place) as a transmit-side
+  /// protect operation. Size must be a multiple of 8. Used to calibrate
+  /// the crypto cost model and by the crypto microbenchmarks.
+  void protect_buffer(std::span<std::uint8_t> buf, std::uint64_t iv) const;
+
+  [[nodiscard]] const SaConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint32_t next_sequence() const noexcept { return seq_; }
+  [[nodiscard]] const ReplayWindow& replay() const noexcept { return replay_; }
+  [[nodiscard]] const stats::PacketByteCounter& protected_traffic() const
+      noexcept {
+    return protected_;
+  }
+
+ private:
+  SaConfig config_;
+  std::uint32_t seq_ = 0;
+  ReplayWindow replay_;
+  std::optional<CbcMode<Des>> des_;
+  std::optional<CbcMode<TripleDes>> tdes_;
+  HmacSha1 hmac_;
+  stats::PacketByteCounter protected_;
+};
+
+/// Per-packet crypto processing-time model: calibrated by timing the real
+/// DES/3DES+HMAC implementation, then charged as processing delay by IPsec
+/// gateways in the simulator — this closes the loop between the crypto
+/// microbenchmark and the end-to-end goodput experiment (E5).
+struct CryptoCostModel {
+  double ns_per_byte = 0.0;
+  double ns_per_packet = 0.0;  ///< fixed overhead (key schedule amortized out)
+
+  [[nodiscard]] double packet_cost_ns(std::size_t bytes) const noexcept {
+    return ns_per_packet + ns_per_byte * static_cast<double>(bytes);
+  }
+
+  /// Measure the host's actual throughput for `suite` (+HMAC-SHA1) and
+  /// build a model from it.
+  static CryptoCostModel calibrate(CipherSuite suite,
+                                   std::size_t sample_bytes = 1 << 16);
+};
+
+}  // namespace mvpn::ipsec

@@ -1,0 +1,51 @@
+#include "ipsec/hmac.hpp"
+
+#include <cstring>
+
+namespace mvpn::ipsec {
+
+HmacSha1::HmacSha1(std::span<const std::uint8_t> key) {
+  std::array<std::uint8_t, Sha1::kBlockBytes> k{};
+  if (key.size() > Sha1::kBlockBytes) {
+    const Sha1::Digest d = Sha1::hash(key);
+    std::memcpy(k.data(), d.data(), d.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  for (std::size_t i = 0; i < Sha1::kBlockBytes; ++i) {
+    ipad_[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5C);
+  }
+}
+
+Sha1::Digest HmacSha1::compute(std::span<const std::uint8_t> data) const {
+  Sha1 inner;
+  inner.update(std::span<const std::uint8_t>(ipad_.data(), ipad_.size()));
+  inner.update(data);
+  const Sha1::Digest inner_digest = inner.finish();
+
+  Sha1 outer;
+  outer.update(std::span<const std::uint8_t>(opad_.data(), opad_.size()));
+  outer.update(std::span<const std::uint8_t>(inner_digest.data(),
+                                             inner_digest.size()));
+  return outer.finish();
+}
+
+std::array<std::uint8_t, HmacSha1::kIcvBytes> HmacSha1::icv(
+    std::span<const std::uint8_t> data) const {
+  const Sha1::Digest d = compute(data);
+  std::array<std::uint8_t, kIcvBytes> out{};
+  std::memcpy(out.data(), d.data(), kIcvBytes);
+  return out;
+}
+
+bool HmacSha1::verify(std::span<const std::uint8_t> data,
+                      std::span<const std::uint8_t, kIcvBytes> tag) const {
+  const auto expected = icv(data);
+  // Constant-time-ish comparison.
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < kIcvBytes; ++i) diff |= expected[i] ^ tag[i];
+  return diff == 0;
+}
+
+}  // namespace mvpn::ipsec

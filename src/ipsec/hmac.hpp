@@ -1,0 +1,35 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ipsec/sha1.hpp"
+
+namespace mvpn::ipsec {
+
+/// HMAC-SHA-1 (RFC 2104), plus the 96-bit truncation ESP uses for its ICV
+/// (RFC 2404).
+class HmacSha1 {
+ public:
+  static constexpr std::size_t kIcvBytes = 12;  // HMAC-SHA1-96
+
+  explicit HmacSha1(std::span<const std::uint8_t> key);
+
+  [[nodiscard]] Sha1::Digest compute(std::span<const std::uint8_t> data) const;
+
+  /// Truncated 96-bit authenticator (the ESP ICV).
+  [[nodiscard]] std::array<std::uint8_t, kIcvBytes> icv(
+      std::span<const std::uint8_t> data) const;
+
+  [[nodiscard]] bool verify(std::span<const std::uint8_t> data,
+                            std::span<const std::uint8_t, kIcvBytes> tag)
+      const;
+
+ private:
+  std::array<std::uint8_t, Sha1::kBlockBytes> ipad_{};
+  std::array<std::uint8_t, Sha1::kBlockBytes> opad_{};
+};
+
+}  // namespace mvpn::ipsec

@@ -1,0 +1,104 @@
+#include "ipsec/ike.hpp"
+
+#include "ipsec/sha1.hpp"
+
+namespace mvpn::ipsec {
+
+IkeNegotiation::IkeNegotiation(routing::ControlPlane& cp, ip::NodeId initiator,
+                               ip::NodeId responder,
+                               ip::Ipv4Address initiator_addr,
+                               ip::Ipv4Address responder_addr,
+                               CipherSuite suite, std::uint64_t seed)
+    : cp_(cp),
+      initiator_(initiator),
+      responder_(responder),
+      initiator_addr_(initiator_addr),
+      responder_addr_(responder_addr),
+      suite_(suite) {
+  sim::Rng rng(seed);
+  nonce_i_ = rng.next_u64();
+  nonce_r_ = rng.next_u64();
+}
+
+void IkeNegotiation::start(CompleteCallback cb) {
+  callback_ = std::move(cb);
+  state_ = State::kPhase1;
+  exchange(6, 3);
+}
+
+void IkeNegotiation::exchange(std::uint32_t remaining_phase1,
+                              std::uint32_t remaining_phase2) {
+  if (remaining_phase1 == 0 && remaining_phase2 == 0) {
+    complete();
+    return;
+  }
+  const bool in_phase1 = remaining_phase1 > 0;
+  state_ = in_phase1 ? State::kPhase1 : State::kPhase2;
+  // Messages alternate initiator/responder; parity of the remaining count
+  // tells us whose turn it is.
+  const std::uint32_t remaining =
+      in_phase1 ? remaining_phase1 : remaining_phase2;
+  const bool initiator_sends = (remaining % 2) == (in_phase1 ? 0 : 1);
+  const ip::NodeId from = initiator_sends ? initiator_ : responder_;
+  const ip::NodeId to = initiator_sends ? responder_ : initiator_;
+  const char* type = in_phase1 ? "ike.main" : "ike.quick";
+  // Main-mode messages carry proposals/KE payloads (~200B); quick mode is
+  // smaller.
+  const std::size_t bytes = in_phase1 ? 200 : 120;
+
+  ++messages_;
+  const std::uint32_t next_p1 = in_phase1 ? remaining_phase1 - 1 : 0;
+  const std::uint32_t next_p2 = in_phase1 ? remaining_phase2
+                                          : remaining_phase2 - 1;
+  cp_.send_session(from, to, type, bytes,
+                   [this, next_p1, next_p2] { exchange(next_p1, next_p2); });
+}
+
+SaConfig IkeNegotiation::derive_sa(std::uint32_t spi,
+                                   bool initiator_to_responder) const {
+  // KEYMAT = SHA1(nonce_i || nonce_r || direction || index), chunked.
+  auto derive64 = [&](std::uint8_t index) -> std::uint64_t {
+    std::uint8_t material[18];
+    store_be64(material, nonce_i_);
+    store_be64(material + 8, nonce_r_);
+    material[16] = initiator_to_responder ? 1 : 2;
+    material[17] = index;
+    const Sha1::Digest d =
+        Sha1::hash(std::span<const std::uint8_t>(material, sizeof material));
+    return load_be64(d.data());
+  };
+
+  SaConfig sa;
+  sa.spi = spi;
+  sa.cipher = suite_;
+  sa.cipher_keys = {derive64(0), derive64(1), derive64(2)};
+  sa.auth_key.resize(20);
+  const std::uint64_t a = derive64(3);
+  const std::uint64_t b = derive64(4);
+  const std::uint64_t c = derive64(5);
+  store_be64(sa.auth_key.data(), a);
+  store_be64(sa.auth_key.data() + 8, b);
+  for (int i = 0; i < 4; ++i) {
+    sa.auth_key[16 + i] = static_cast<std::uint8_t>(c >> (8 * (3 - i)));
+  }
+  if (initiator_to_responder) {
+    sa.local = initiator_addr_;
+    sa.peer = responder_addr_;
+  } else {
+    sa.local = responder_addr_;
+    sa.peer = initiator_addr_;
+  }
+  return sa;
+}
+
+void IkeNegotiation::complete() {
+  state_ = State::kEstablished;
+  established_at_ = cp_.now();
+  const auto spi_base =
+      static_cast<std::uint32_t>((nonce_i_ ^ nonce_r_) & 0x7FFFFFFF) | 0x100;
+  if (callback_) {
+    callback_(derive_sa(spi_base, true), derive_sa(spi_base + 1, false));
+  }
+}
+
+}  // namespace mvpn::ipsec

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ipsec/esp.hpp"
+#include "routing/control_plane.hpp"
+#include "sim/rng.hpp"
+
+namespace mvpn::ipsec {
+
+/// Simplified IKE negotiation between two gateways ("IKE simplifies the
+/// process of assigning keys to devices", paper §2.3): phase 1 main mode
+/// (6 messages: SA proposal/accept, key exchange, authentication) followed
+/// by phase 2 quick mode (3 messages) that yields a pair of ESP SAs.
+///
+/// Keying material is derived from both parties' nonces through SHA-1, so
+/// the resulting SAs are deterministic for a given seed — and genuinely
+/// shared between both ends.
+class IkeNegotiation {
+ public:
+  enum class State {
+    kIdle,
+    kPhase1,      ///< main mode in progress
+    kPhase2,      ///< quick mode in progress
+    kEstablished,
+    kFailed,
+  };
+
+  /// Called with the two directional SA configs when quick mode completes:
+  /// `out_sa` protects initiator→responder, `in_sa` the reverse.
+  using CompleteCallback =
+      std::function<void(const SaConfig& out_sa, const SaConfig& in_sa)>;
+
+  IkeNegotiation(routing::ControlPlane& cp, ip::NodeId initiator,
+                 ip::NodeId responder, ip::Ipv4Address initiator_addr,
+                 ip::Ipv4Address responder_addr, CipherSuite suite,
+                 std::uint64_t seed);
+
+  /// Kick off phase 1; completion is asynchronous.
+  void start(CompleteCallback cb);
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] std::uint32_t messages_exchanged() const noexcept {
+    return messages_;
+  }
+  [[nodiscard]] sim::SimTime established_at() const noexcept {
+    return established_at_;
+  }
+
+  /// Total IKE messages for a full negotiation (phase 1 + phase 2).
+  static constexpr std::uint32_t kHandshakeMessages = 9;
+
+ private:
+  void exchange(std::uint32_t remaining_phase1,
+                std::uint32_t remaining_phase2);
+  void complete();
+  [[nodiscard]] SaConfig derive_sa(std::uint32_t spi, bool initiator_to_responder)
+      const;
+
+  routing::ControlPlane& cp_;
+  ip::NodeId initiator_;
+  ip::NodeId responder_;
+  ip::Ipv4Address initiator_addr_;
+  ip::Ipv4Address responder_addr_;
+  CipherSuite suite_;
+  std::uint64_t nonce_i_;
+  std::uint64_t nonce_r_;
+  State state_ = State::kIdle;
+  std::uint32_t messages_ = 0;
+  sim::SimTime established_at_ = 0;
+  CompleteCallback callback_;
+};
+
+}  // namespace mvpn::ipsec

@@ -1,0 +1,136 @@
+#include "ipsec/sha1.hpp"
+
+#include <cstring>
+
+namespace mvpn::ipsec {
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, unsigned n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+Sha1::Sha1()
+    : h_{0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u} {}
+
+void Sha1::update(std::string_view text) {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  total_bits_ += static_cast<std::uint64_t>(data.size()) * 8;
+  std::size_t off = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t take =
+        std::min(kBlockBytes - buffer_len_, data.size());
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    off = take;
+    if (buffer_len_ == kBlockBytes) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (off + kBlockBytes <= data.size()) {
+    process_block(data.data() + off);
+    off += kBlockBytes;
+  }
+  if (off < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + off, data.size() - off);
+    buffer_len_ = data.size() - off;
+  }
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (std::uint32_t{block[t * 4]} << 24) |
+           (std::uint32_t{block[t * 4 + 1]} << 16) |
+           (std::uint32_t{block[t * 4 + 2]} << 8) |
+           std::uint32_t{block[t * 4 + 3]};
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+Sha1::Digest Sha1::finish() {
+  // Append 0x80, pad with zeros to 56 mod 64, then the 64-bit bit length.
+  const std::uint64_t bits = total_bits_;
+  const std::uint8_t one = 0x80;
+  update(std::span<const std::uint8_t>(&one, 1));
+  const std::uint8_t zero = 0x00;
+  while (buffer_len_ != 56) {
+    update(std::span<const std::uint8_t>(&zero, 1));
+  }
+  std::uint8_t len_be[8];
+  for (int i = 7; i >= 0; --i) len_be[i] = static_cast<std::uint8_t>(
+      (bits >> (8 * (7 - i))) & 0xFF);
+  update(std::span<const std::uint8_t>(len_be, 8));
+
+  Digest d;
+  for (int i = 0; i < 5; ++i) {
+    d[i * 4] = static_cast<std::uint8_t>(h_[i] >> 24);
+    d[i * 4 + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    d[i * 4 + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    d[i * 4 + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return d;
+}
+
+Sha1::Digest Sha1::hash(std::span<const std::uint8_t> data) {
+  Sha1 s;
+  s.update(data);
+  return s.finish();
+}
+
+Sha1::Digest Sha1::hash(std::string_view text) {
+  Sha1 s;
+  s.update(text);
+  return s.finish();
+}
+
+std::string Sha1::hex(const Digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(kDigestBytes * 2);
+  for (std::uint8_t byte : d) {
+    out += kHex[byte >> 4];
+    out += kHex[byte & 0xF];
+  }
+  return out;
+}
+
+}  // namespace mvpn::ipsec

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace mvpn::ipsec {
+
+/// SHA-1 (RFC 3174), streaming interface. Backs HMAC-SHA1-96, the ESP
+/// integrity algorithm the paper-era IPsec stacks shipped.
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestBytes = 20;
+  static constexpr std::size_t kBlockBytes = 64;
+  using Digest = std::array<std::uint8_t, kDigestBytes>;
+
+  Sha1();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view text);
+
+  /// Finish and return the digest; the object must not be reused after.
+  [[nodiscard]] Digest finish();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data);
+  [[nodiscard]] static Digest hash(std::string_view text);
+
+  /// Hex string of a digest (for tests and logs).
+  [[nodiscard]] static std::string hex(const Digest& d);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_;
+  std::array<std::uint8_t, kBlockBytes> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+}  // namespace mvpn::ipsec

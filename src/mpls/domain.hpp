@@ -1,0 +1,38 @@
+#pragma once
+
+#include <map>
+
+#include "ip/route_table.hpp"
+#include "mpls/lfib.hpp"
+
+namespace mvpn::mpls {
+
+/// MPLS state of one label-switching router: its label space and LFIB.
+struct LsrState {
+  LabelAllocator allocator;
+  Lfib lfib;
+};
+
+/// Registry of per-router MPLS state for one provider domain. Label
+/// distribution protocols (LDP, RSVP-TE) install entries here; the data
+/// plane (vpn::Router) reads its own LsrState for label lookups.
+class MplsDomain {
+ public:
+  /// State for `node`, created on first use.
+  [[nodiscard]] LsrState& state_of(ip::NodeId node) { return states_[node]; }
+
+  [[nodiscard]] const LsrState* find(ip::NodeId node) const {
+    auto it = states_.find(node);
+    return it == states_.end() ? nullptr : &it->second;
+  }
+
+  /// Total labels allocated across the domain (state-size metric for E1).
+  [[nodiscard]] std::size_t total_labels() const;
+  /// Total LFIB entries across the domain.
+  [[nodiscard]] std::size_t total_lfib_entries() const;
+
+ private:
+  std::map<ip::NodeId, LsrState> states_;
+};
+
+}  // namespace mvpn::mpls

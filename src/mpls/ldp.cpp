@@ -1,0 +1,131 @@
+#include "mpls/ldp.hpp"
+
+namespace mvpn::mpls {
+
+Ldp::Ldp(routing::ControlPlane& cp, routing::Igp& igp, MplsDomain& domain)
+    : cp_(cp), igp_(igp), domain_(domain) {
+  igp_.on_spf([this](ip::NodeId router) { on_spf(router); });
+}
+
+void Ldp::enable_router(ip::NodeId router) { enabled_[router] = true; }
+
+std::vector<ip::NodeId> Ldp::ldp_neighbors(ip::NodeId router) const {
+  std::vector<ip::NodeId> out;
+  for (const net::Adjacency& adj : cp_.topology().adjacencies(router)) {
+    auto it = enabled_.find(adj.neighbor);
+    if (it != enabled_.end() && it->second) out.push_back(adj.neighbor);
+  }
+  return out;
+}
+
+void Ldp::announce_egress(ip::NodeId egress, const ip::Prefix& fec) {
+  owners_[fec] = egress;
+  FecState& st = state_[egress][fec];
+  st.owner = egress;
+  // Egress requests PHP: advertise implicit-null.
+  advertise(egress, fec, egress, net::kImplicitNullLabel);
+}
+
+void Ldp::advertise(ip::NodeId router, const ip::Prefix& fec,
+                    ip::NodeId owner, std::uint32_t label) {
+  for (ip::NodeId nb : ldp_neighbors(router)) {
+    cp_.send_adjacent(router, nb, "ldp.mapping", 30,
+                      [this, nb, router, fec, owner, label] {
+                        receive_mapping(nb, router, fec, owner, label);
+                      });
+  }
+}
+
+void Ldp::learn_fec(ip::NodeId router, const ip::Prefix& fec,
+                    ip::NodeId owner) {
+  FecState& st = state_[router][fec];
+  if (st.owner != ip::kInvalidNode) return;  // already known
+  st.owner = owner;
+  if (router == owner) return;
+  // Independent control: allocate and advertise immediately.
+  st.local_label = domain_.state_of(router).allocator.allocate();
+  advertise(router, fec, owner, *st.local_label);
+}
+
+void Ldp::receive_mapping(ip::NodeId at, ip::NodeId from,
+                          const ip::Prefix& fec, ip::NodeId owner,
+                          std::uint32_t label) {
+  auto en = enabled_.find(at);
+  if (en == enabled_.end() || !en->second) return;
+  learn_fec(at, fec, owner);
+  FecState& st = state_[at][fec];
+  st.remote_labels[from] = label;  // liberal retention
+  refresh_lfib(at, fec);
+}
+
+void Ldp::refresh_lfib(ip::NodeId router, const ip::Prefix& fec) {
+  FecState& st = state_[router][fec];
+  if (router == st.owner || !st.local_label) return;
+  Lfib& lfib = domain_.state_of(router).lfib;
+
+  const routing::Igp::NextHopEntry* nh = igp_.next_hop(router, st.owner);
+  if (nh == nullptr) {
+    lfib.remove(*st.local_label);
+    return;
+  }
+  auto remote = st.remote_labels.find(nh->via);
+  if (remote == st.remote_labels.end()) {
+    // Next hop has not given us a label yet; entry stays absent until the
+    // mapping arrives (liberal retention will then satisfy it instantly).
+    lfib.remove(*st.local_label);
+    return;
+  }
+
+  LfibEntry entry;
+  entry.in_label = *st.local_label;
+  entry.next_hop = nh->via;
+  entry.out_iface = nh->iface;
+  entry.fec = fec;
+  if (remote->second == net::kImplicitNullLabel) {
+    entry.op = LabelOp::kPop;  // penultimate hop: pop and forward
+  } else {
+    entry.op = LabelOp::kSwap;
+    entry.out_label = remote->second;
+  }
+  lfib.install(entry);
+}
+
+void Ldp::on_spf(ip::NodeId router) {
+  auto it = state_.find(router);
+  if (it == state_.end()) return;
+  for (auto& [fec, st] : it->second) refresh_lfib(router, fec);
+}
+
+std::optional<Ldp::Ftn> Ldp::ftn(ip::NodeId router,
+                                 const ip::Prefix& fec) const {
+  auto rit = state_.find(router);
+  if (rit == state_.end()) return std::nullopt;
+  auto fit = rit->second.find(fec);
+  if (fit == rit->second.end()) return std::nullopt;
+  const FecState& st = fit->second;
+
+  const routing::Igp::NextHopEntry* nh = igp_.next_hop(router, st.owner);
+  if (nh == nullptr) return std::nullopt;
+  auto remote = st.remote_labels.find(nh->via);
+  if (remote == st.remote_labels.end()) return std::nullopt;
+
+  Ftn f;
+  f.next_hop = nh->via;
+  f.out_iface = nh->iface;
+  if (remote->second == net::kImplicitNullLabel) {
+    f.implicit_null = true;
+  } else {
+    f.out_label = remote->second;
+  }
+  return f;
+}
+
+std::size_t Ldp::bindings_at(ip::NodeId router) const {
+  auto rit = state_.find(router);
+  if (rit == state_.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& [fec, st] : rit->second) n += st.remote_labels.size();
+  return n;
+}
+
+}  // namespace mvpn::mpls

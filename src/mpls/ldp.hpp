@@ -1,0 +1,79 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "mpls/domain.hpp"
+#include "routing/control_plane.hpp"
+#include "routing/igp.hpp"
+
+namespace mvpn::mpls {
+
+/// Label Distribution Protocol (downstream-unsolicited, independent
+/// control, liberal label retention) — distributes labels for the PE
+/// loopback FECs so that every provider router can label-switch toward any
+/// egress PE ("piggybacking labels ... or by using a label distribution
+/// protocol", paper §4).
+///
+/// Mechanics:
+///  * the FEC owner (egress PE) advertises implicit-null to its neighbors
+///    (requesting penultimate-hop popping);
+///  * every other LSR allocates a local label for the FEC on first sight
+///    and advertises it to all LDP neighbors;
+///  * received mappings are retained per neighbor (liberal retention), and
+///    the LFIB entry follows the IGP next hop — when SPF changes the next
+///    hop, the LFIB is re-pointed without new signaling.
+class Ldp {
+ public:
+  Ldp(routing::ControlPlane& cp, routing::Igp& igp, MplsDomain& domain);
+
+  /// Participate `router` in LDP (must be an IGP member).
+  void enable_router(ip::NodeId router);
+
+  /// Declare `egress` as the FEC owner for `fec` (its loopback host route)
+  /// and kick off distribution.
+  void announce_egress(ip::NodeId egress, const ip::Prefix& fec);
+
+  /// FEC-to-NHLFE entry at an ingress LSR: what to push to reach `fec`.
+  struct Ftn {
+    std::uint32_t out_label = 0;
+    ip::NodeId next_hop = ip::kInvalidNode;
+    ip::IfIndex out_iface = ip::kInvalidIf;
+    bool implicit_null = false;  ///< PHP: send without a tunnel label
+  };
+  [[nodiscard]] std::optional<Ftn> ftn(ip::NodeId router,
+                                       const ip::Prefix& fec) const;
+
+  /// Label bindings (LIB size) held at `router` — a state metric for E1.
+  [[nodiscard]] std::size_t bindings_at(ip::NodeId router) const;
+  [[nodiscard]] std::size_t fec_count() const noexcept {
+    return owners_.size();
+  }
+
+ private:
+  struct FecState {
+    ip::NodeId owner = ip::kInvalidNode;
+    std::optional<std::uint32_t> local_label;  // none at the egress (PHP)
+    std::map<ip::NodeId, std::uint32_t> remote_labels;  // LIB, per neighbor
+  };
+
+  void learn_fec(ip::NodeId router, const ip::Prefix& fec, ip::NodeId owner);
+  void advertise(ip::NodeId router, const ip::Prefix& fec, ip::NodeId owner,
+                 std::uint32_t label);
+  void receive_mapping(ip::NodeId at, ip::NodeId from, const ip::Prefix& fec,
+                       ip::NodeId owner, std::uint32_t label);
+  void refresh_lfib(ip::NodeId router, const ip::Prefix& fec);
+  void on_spf(ip::NodeId router);
+
+  [[nodiscard]] std::vector<ip::NodeId> ldp_neighbors(ip::NodeId router) const;
+
+  routing::ControlPlane& cp_;
+  routing::Igp& igp_;
+  MplsDomain& domain_;
+  std::map<ip::NodeId, bool> enabled_;
+  std::map<ip::NodeId, std::map<ip::Prefix, FecState>> state_;
+  std::map<ip::Prefix, ip::NodeId> owners_;
+};
+
+}  // namespace mvpn::mpls

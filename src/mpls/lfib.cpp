@@ -1,0 +1,45 @@
+#include "mpls/lfib.hpp"
+
+#include <stdexcept>
+
+namespace mvpn::mpls {
+
+std::string to_string(LabelOp op) {
+  switch (op) {
+    case LabelOp::kSwap: return "swap";
+    case LabelOp::kPop: return "pop";
+    case LabelOp::kPopDeliver: return "pop-deliver";
+  }
+  return "?";
+}
+
+void Lfib::install(const LfibEntry& entry) {
+  if (entry.in_label < net::kFirstDynamicLabel ||
+      entry.in_label > net::kMaxLabel) {
+    throw std::invalid_argument("Lfib::install: label out of dynamic range");
+  }
+  const std::size_t idx = entry.in_label - net::kFirstDynamicLabel;
+  if (idx >= slots_.size()) slots_.resize(idx + 1);
+  if (!slots_[idx].has_value()) ++size_;
+  slots_[idx] = entry;
+}
+
+bool Lfib::remove(std::uint32_t in_label) {
+  if (in_label < net::kFirstDynamicLabel) return false;
+  const std::size_t idx = in_label - net::kFirstDynamicLabel;
+  if (idx >= slots_.size() || !slots_[idx].has_value()) return false;
+  slots_[idx].reset();
+  --size_;
+  return true;
+}
+
+std::vector<LfibEntry> Lfib::entries() const {
+  std::vector<LfibEntry> out;
+  out.reserve(size_);
+  for (const auto& slot : slots_) {
+    if (slot) out.push_back(*slot);
+  }
+  return out;
+}
+
+}  // namespace mvpn::mpls

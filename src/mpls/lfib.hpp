@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ip/address.hpp"
+#include "ip/route_table.hpp"
+#include "net/packet.hpp"
+
+namespace mvpn::mpls {
+
+/// Per-platform label allocator: hands out labels densely from the first
+/// dynamic value (16), which lets the LFIB be a flat array — the O(1)
+/// "label index" lookup whose speed experiment E2 measures against LPM.
+class LabelAllocator {
+ public:
+  [[nodiscard]] std::uint32_t allocate() { return next_++; }
+  [[nodiscard]] std::uint32_t allocated_count() const noexcept {
+    return next_ - net::kFirstDynamicLabel;
+  }
+
+ private:
+  std::uint32_t next_ = net::kFirstDynamicLabel;
+};
+
+/// What an LSR does with an incoming label.
+enum class LabelOp : std::uint8_t {
+  kSwap,        ///< swap and forward (core LSR)
+  kPop,         ///< penultimate-hop pop, forward unlabeled/inner
+  kPopDeliver,  ///< egress: pop and deliver locally (e.g. VPN label → VRF)
+};
+
+[[nodiscard]] std::string to_string(LabelOp op);
+
+/// One incoming-label binding.
+struct LfibEntry {
+  std::uint32_t in_label = 0;
+  LabelOp op = LabelOp::kSwap;
+  std::uint32_t out_label = 0;                ///< kSwap only
+  ip::NodeId next_hop = ip::kInvalidNode;     ///< kSwap/kPop
+  ip::IfIndex out_iface = ip::kInvalidIf;     ///< kSwap/kPop
+  std::uint32_t vrf_id = 0;                   ///< kPopDeliver only
+  ip::Prefix fec;                             ///< bookkeeping / debugging
+};
+
+/// Label forwarding information base: flat array indexed by label for O(1)
+/// lookup (labels are allocated densely by LabelAllocator).
+class Lfib {
+ public:
+  void install(const LfibEntry& entry);
+  bool remove(std::uint32_t in_label);
+
+  [[nodiscard]] const LfibEntry* lookup(std::uint32_t label) const noexcept {
+    if (label < net::kFirstDynamicLabel) return nullptr;
+    const std::size_t idx = label - net::kFirstDynamicLabel;
+    if (idx >= slots_.size() || !slots_[idx].has_value()) return nullptr;
+    return &*slots_[idx];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::vector<LfibEntry> entries() const;
+
+ private:
+  std::vector<std::optional<LfibEntry>> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mvpn::mpls

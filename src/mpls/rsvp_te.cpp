@@ -1,0 +1,208 @@
+#include "mpls/rsvp_te.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mvpn::mpls {
+
+RsvpTe::RsvpTe(routing::ControlPlane& cp, routing::Igp& igp,
+               MplsDomain& domain)
+    : cp_(cp), igp_(igp), domain_(domain) {}
+
+net::LinkId RsvpTe::link_between(ip::NodeId a, ip::NodeId b) const {
+  const net::Node& node = cp_.topology().node(a);
+  const ip::IfIndex iface = node.interface_to(b);
+  if (iface == ip::kInvalidIf) return net::kInvalidLink;
+  return node.interface(iface).link;
+}
+
+LspId RsvpTe::signal(const TeLspConfig& config) {
+  const LspId id = next_id_++;
+  LspInternal& lsp = lsps_[id];
+  lsp.pub.id = id;
+  lsp.pub.config = config;
+  start_signaling(id);
+  return id;
+}
+
+void RsvpTe::start_signaling(LspId id) {
+  LspInternal& lsp = lsps_.at(id);
+  ++lsp.pub.signal_attempts;
+  lsp.pub.state = LspState::kSignaling;
+
+  if (!lsp.pub.config.explicit_route.empty()) {
+    lsp.pub.path = lsp.pub.config.explicit_route;
+  } else {
+    const routing::ComputedPath cspf =
+        igp_.cspf(lsp.pub.config.head, lsp.pub.config.tail,
+                  lsp.pub.config.bandwidth_bps, lsp.excluded_links);
+    if (!cspf.found()) {
+      fail_lsp(id);
+      return;
+    }
+    lsp.pub.path = cspf.nodes;
+  }
+  if (lsp.pub.path.size() < 2 || lsp.pub.path.front() != lsp.pub.config.head ||
+      lsp.pub.path.back() != lsp.pub.config.tail) {
+    fail_lsp(id);
+    return;
+  }
+  forward_path(id, 0);
+}
+
+void RsvpTe::forward_path(LspId id, std::size_t hop_index) {
+  LspInternal& lsp = lsps_.at(id);
+  const ip::NodeId here = lsp.pub.path[hop_index];
+  const ip::NodeId next = lsp.pub.path[hop_index + 1];
+
+  // Admission control: reserve our egress direction toward `next`.
+  const net::LinkId link = link_between(here, next);
+  if (link == net::kInvalidLink ||
+      !igp_.te_reserve(here, link, lsp.pub.config.bandwidth_bps)) {
+    // PathErr: unwind everything reserved so far and retry (CSPF will see
+    // the updated TE database; the link that refused us now advertises
+    // less reservable bandwidth, or is excluded below).
+    if (link != net::kInvalidLink) lsp.excluded_links.push_back(link);
+    release_all(lsp);
+    cp_.send_session(here, lsp.pub.config.head, "rsvp.patherr", 36,
+                     [this, id] {
+                       LspInternal& l = lsps_.at(id);
+                       if (l.pub.state != LspState::kSignaling) return;
+                       if (l.pub.signal_attempts >= 4) {
+                         fail_lsp(id);
+                       } else {
+                         start_signaling(id);
+                       }
+                     });
+    return;
+  }
+  lsp.reservations.emplace_back(here, link);
+
+  const bool at_tail = hop_index + 2 == lsp.pub.path.size();
+  cp_.send_adjacent(here, next, "rsvp.path", 64,
+                    [this, id, hop_index, at_tail] {
+                      if (at_tail) {
+                        arrive_path(id, hop_index + 1);
+                      } else {
+                        forward_path(id, hop_index + 1);
+                      }
+                    });
+}
+
+void RsvpTe::arrive_path(LspId id, std::size_t tail_index) {
+  // Tail: start the RESV wave with implicit-null (request PHP).
+  send_resv(id, tail_index, net::kImplicitNullLabel);
+}
+
+void RsvpTe::send_resv(LspId id, std::size_t hop_index, std::uint32_t label) {
+  LspInternal& lsp = lsps_.at(id);
+  const ip::NodeId here = lsp.pub.path[hop_index];
+  const ip::NodeId upstream = lsp.pub.path[hop_index - 1];
+  cp_.send_adjacent(here, upstream, "rsvp.resv", 48,
+                    [this, id, hop_index, label] {
+                      arrive_resv(id, hop_index - 1, label);
+                    });
+}
+
+void RsvpTe::arrive_resv(LspId id, std::size_t hop_index,
+                         std::uint32_t downstream_label) {
+  LspInternal& lsp = lsps_.at(id);
+  if (lsp.pub.state != LspState::kSignaling) return;
+  const ip::NodeId here = lsp.pub.path[hop_index];
+  const ip::NodeId next = lsp.pub.path[hop_index + 1];
+
+  if (hop_index == 0) {
+    // Head end: record the binding; the LSP is up.
+    lsp.pub.head_implicit_null =
+        downstream_label == net::kImplicitNullLabel;
+    lsp.pub.head_label = downstream_label;
+    lsp.pub.head_next_hop = next;
+    lsp.pub.head_iface =
+        cp_.topology().node(here).interface_to(next);
+    lsp.pub.state = LspState::kUp;
+    for (const auto& cb : up_callbacks_) cb(id);
+    return;
+  }
+
+  // Transit LSR: allocate our label, splice the LFIB, continue upstream.
+  LsrState& lsr = domain_.state_of(here);
+  const std::uint32_t local = lsr.allocator.allocate();
+  LfibEntry entry;
+  entry.in_label = local;
+  entry.next_hop = next;
+  entry.out_iface = cp_.topology().node(here).interface_to(next);
+  entry.fec = ip::Prefix::host(cp_.topology().node(lsp.pub.config.tail)
+                                   .loopback());
+  if (downstream_label == net::kImplicitNullLabel) {
+    entry.op = LabelOp::kPop;
+  } else {
+    entry.op = LabelOp::kSwap;
+    entry.out_label = downstream_label;
+  }
+  lsr.lfib.install(entry);
+  lsp.installed_labels.emplace_back(here, local);
+  send_resv(id, hop_index, local);
+}
+
+void RsvpTe::release_all(LspInternal& lsp) {
+  for (const auto& [node, link] : lsp.reservations) {
+    igp_.te_release(node, link, lsp.pub.config.bandwidth_bps);
+  }
+  lsp.reservations.clear();
+  for (const auto& [node, label] : lsp.installed_labels) {
+    domain_.state_of(node).lfib.remove(label);
+  }
+  lsp.installed_labels.clear();
+}
+
+void RsvpTe::fail_lsp(LspId id) {
+  LspInternal& lsp = lsps_.at(id);
+  release_all(lsp);
+  lsp.pub.state = LspState::kFailed;
+  for (const auto& cb : failed_callbacks_) cb(id);
+}
+
+void RsvpTe::tear_down(LspId id) {
+  LspInternal& lsp = lsps_.at(id);
+  release_all(lsp);
+  lsp.pub.state = LspState::kTornDown;
+  cp_.send_session(lsp.pub.config.head, lsp.pub.config.tail, "rsvp.teardown",
+                   36, [] {});
+}
+
+void RsvpTe::notify_link_failure(net::LinkId link) {
+  for (auto& [id, lsp] : lsps_) {
+    if (lsp.pub.state != LspState::kUp &&
+        lsp.pub.state != LspState::kSignaling) {
+      continue;
+    }
+    bool affected = false;
+    for (std::size_t i = 0; i + 1 < lsp.pub.path.size(); ++i) {
+      if (link_between(lsp.pub.path[i], lsp.pub.path[i + 1]) == link) {
+        affected = true;
+        break;
+      }
+    }
+    if (!affected) continue;
+
+    release_all(lsp);
+    lsp.excluded_links.push_back(link);
+    ++lsp.pub.reroutes;
+    lsp.pub.signal_attempts = 0;
+    if (lsp.pub.config.explicit_route.empty()) {
+      start_signaling(id);
+    } else {
+      // Explicitly-routed LSPs cannot self-heal.
+      lsp.pub.state = LspState::kFailed;
+      for (const auto& cb : failed_callbacks_) cb(id);
+    }
+  }
+}
+
+const RsvpTe::Lsp& RsvpTe::lsp(LspId id) const {
+  auto it = lsps_.find(id);
+  if (it == lsps_.end()) throw std::out_of_range("RsvpTe: unknown LSP id");
+  return it->second.pub;
+}
+
+}  // namespace mvpn::mpls

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "mpls/domain.hpp"
+#include "routing/control_plane.hpp"
+#include "routing/igp.hpp"
+
+namespace mvpn::mpls {
+
+using LspId = std::uint32_t;
+
+/// Parameters of a traffic-engineered LSP (paper §3.1/§5: explicit paths
+/// with bandwidth guarantees are how MPLS "avoids congested, constrained
+/// or disabled links").
+struct TeLspConfig {
+  ip::NodeId head = ip::kInvalidNode;
+  ip::NodeId tail = ip::kInvalidNode;
+  double bandwidth_bps = 0.0;
+  /// Optional explicit route (node sequence head..tail). Empty: the head
+  /// end runs CSPF over the TE database.
+  std::vector<ip::NodeId> explicit_route;
+};
+
+/// RSVP-TE-style LSP signaling: PATH messages travel head→tail performing
+/// per-hop bandwidth admission against the IGP TE database; RESV messages
+/// travel tail→head distributing labels (implicit-null from the tail for
+/// penultimate-hop popping) and installing LFIB entries. Failed admission
+/// unwinds reservations with a PathErr. Link failures trigger head-end
+/// re-signaling via CSPF excluding the failed link.
+class RsvpTe {
+ public:
+  enum class LspState { kSignaling, kUp, kFailed, kTornDown };
+
+  struct Lsp {
+    LspId id = 0;
+    TeLspConfig config;
+    LspState state = LspState::kSignaling;
+    std::vector<ip::NodeId> path;
+    /// Head-end binding (valid when kUp): label to push and where to send.
+    std::uint32_t head_label = 0;
+    bool head_implicit_null = false;  ///< one-hop LSP: no tunnel label
+    ip::NodeId head_next_hop = ip::kInvalidNode;
+    ip::IfIndex head_iface = ip::kInvalidIf;
+    std::uint32_t signal_attempts = 0;
+    std::uint32_t reroutes = 0;
+  };
+
+  RsvpTe(routing::ControlPlane& cp, routing::Igp& igp, MplsDomain& domain);
+
+  /// Begin signaling; result is asynchronous — poll lsp(id).state or
+  /// subscribe via on_lsp_up / on_lsp_failed.
+  LspId signal(const TeLspConfig& config);
+
+  void tear_down(LspId id);
+
+  /// Reroute every LSP whose path crosses `link` (call on failure).
+  void notify_link_failure(net::LinkId link);
+
+  [[nodiscard]] const Lsp& lsp(LspId id) const;
+  [[nodiscard]] std::size_t lsp_count() const noexcept { return lsps_.size(); }
+
+  void on_lsp_up(std::function<void(LspId)> cb) {
+    up_callbacks_.push_back(std::move(cb));
+  }
+  void on_lsp_failed(std::function<void(LspId)> cb) {
+    failed_callbacks_.push_back(std::move(cb));
+  }
+
+ private:
+  struct LspInternal {
+    Lsp pub;
+    /// Reservations held: (reserving node, link) so teardown releases them.
+    std::vector<std::pair<ip::NodeId, net::LinkId>> reservations;
+    /// Labels installed: (node, in_label) for cleanup.
+    std::vector<std::pair<ip::NodeId, std::uint32_t>> installed_labels;
+    std::vector<net::LinkId> excluded_links;  // grows with each reroute
+  };
+
+  void start_signaling(LspId id);
+  void forward_path(LspId id, std::size_t hop_index);
+  void arrive_path(LspId id, std::size_t hop_index);
+  void send_resv(LspId id, std::size_t hop_index, std::uint32_t label);
+  void arrive_resv(LspId id, std::size_t hop_index,
+                   std::uint32_t downstream_label);
+  void fail_lsp(LspId id);
+  void release_all(LspInternal& lsp);
+  [[nodiscard]] net::LinkId link_between(ip::NodeId a, ip::NodeId b) const;
+
+  routing::ControlPlane& cp_;
+  routing::Igp& igp_;
+  MplsDomain& domain_;
+  std::map<LspId, LspInternal> lsps_;
+  LspId next_id_ = 1;
+  std::vector<std::function<void(LspId)>> up_callbacks_;
+  std::vector<std::function<void(LspId)>> failed_callbacks_;
+};
+
+}  // namespace mvpn::mpls

@@ -1,0 +1,118 @@
+#include "net/link.hpp"
+
+#include <stdexcept>
+
+#include "net/topology.hpp"
+
+namespace mvpn::net {
+
+Link::Link(Topology& topo, LinkId id, Endpoint a, Endpoint b,
+           const LinkConfig& config)
+    : topo_(topo), id_(id), a_(a), b_(b), config_(config) {
+  auto make_queue = [&]() -> std::unique_ptr<QueueDisc> {
+    if (config_.queue_factory) return config_.queue_factory();
+    return std::make_unique<DropTailQueue>(100);
+  };
+  from_a_.to = b_;
+  from_a_.queue = make_queue();
+  from_b_.to = a_;
+  from_b_.queue = make_queue();
+}
+
+Link::Direction& Link::direction_from(ip::NodeId from) {
+  if (from == a_.node) return from_a_;
+  if (from == b_.node) return from_b_;
+  throw std::invalid_argument("Link: node is not an endpoint");
+}
+
+const Link::Direction& Link::direction_from(ip::NodeId from) const {
+  if (from == a_.node) return from_a_;
+  if (from == b_.node) return from_b_;
+  throw std::invalid_argument("Link: node is not an endpoint");
+}
+
+const Link::Endpoint& Link::peer_of(ip::NodeId node) const {
+  if (node == a_.node) return b_;
+  if (node == b_.node) return a_;
+  throw std::invalid_argument("Link: node is not an endpoint");
+}
+
+void Link::transmit(ip::NodeId from, PacketPtr p) {
+  Direction& dir = direction_from(from);
+  if (!up_) {
+    dir.down_drops.record(p->wire_size());
+    return;
+  }
+  if (dir.transmitting) {
+    dir.queue->enqueue(std::move(p));  // QueueDisc counts its own drops
+    return;
+  }
+  start_transmission(dir, std::move(p));
+}
+
+void Link::start_transmission(Direction& dir, PacketPtr p) {
+  dir.transmitting = true;
+  const sim::SimTime tx_time =
+      sim::transmission_time(p->wire_size(), config_.bandwidth_bps);
+  dir.busy_accum += tx_time;
+  dir.tx.record(p->wire_size());
+
+  topo_.scheduler().schedule_in(tx_time, [this, &dir, p]() mutable {
+    // Serialization finished: launch propagation, then service the queue.
+    if (up_) {
+      const Endpoint to = dir.to;
+      topo_.scheduler().schedule_in(config_.prop_delay, [this, to, p] {
+        topo_.deliver(to.node, to.iface, p);
+      });
+    } else {
+      dir.down_drops.record(p->wire_size());
+    }
+    if (PacketPtr next = dir.queue->dequeue()) {
+      start_transmission(dir, std::move(next));
+    } else {
+      dir.transmitting = false;
+    }
+  });
+}
+
+void Link::set_up(bool up) {
+  if (up_ == up) return;
+  up_ = up;
+  if (!up_) {
+    // Failure drops everything queued; in-flight packets are dropped when
+    // their serialization completes (see start_transmission).
+    for (Direction* dir : {&from_a_, &from_b_}) {
+      while (PacketPtr p = dir->queue->dequeue()) {
+        dir->down_drops.record(p->wire_size());
+      }
+    }
+  }
+}
+
+QueueDisc& Link::queue_from(ip::NodeId from) {
+  return *direction_from(from).queue;
+}
+
+const QueueDisc& Link::queue_from(ip::NodeId from) const {
+  return *direction_from(from).queue;
+}
+
+void Link::set_queue_from(ip::NodeId from, std::unique_ptr<QueueDisc> q) {
+  Direction& dir = direction_from(from);
+  if (!dir.queue->empty() || dir.transmitting) {
+    throw std::logic_error("Link::set_queue_from: direction not idle");
+  }
+  dir.queue = std::move(q);
+}
+
+const stats::PacketByteCounter& Link::tx_from(ip::NodeId from) const {
+  return direction_from(from).tx;
+}
+
+double Link::utilization_from(ip::NodeId from, sim::SimTime elapsed) const {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(direction_from(from).busy_accum) /
+         static_cast<double>(elapsed);
+}
+
+}  // namespace mvpn::net

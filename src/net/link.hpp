@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ip/route_table.hpp"
+#include "net/packet.hpp"
+#include "net/queue_disc.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+#include "stats/counter.hpp"
+
+namespace mvpn::net {
+
+class Topology;
+
+using LinkId = std::uint32_t;
+inline constexpr LinkId kInvalidLink = std::numeric_limits<LinkId>::max();
+
+/// Configuration for one point-to-point link (both directions symmetric).
+struct LinkConfig {
+  double bandwidth_bps = 10e6;                     ///< 10 Mb/s default
+  sim::SimTime prop_delay = sim::kMillisecond;     ///< one-way propagation
+  std::uint32_t igp_cost = 1;                      ///< IGP metric
+  QueueDiscFactory queue_factory;                  ///< default: drop-tail(100)
+};
+
+/// Point-to-point duplex link: store-and-forward transmitter per direction
+/// with a pluggable egress queue. Serialization delay is computed from the
+/// packet's full wire size (all encapsulations), which is how header
+/// overhead costs show up in end-to-end results.
+class Link {
+ public:
+  struct Endpoint {
+    ip::NodeId node = ip::kInvalidNode;
+    ip::IfIndex iface = ip::kInvalidIf;
+  };
+
+  Link(Topology& topo, LinkId id, Endpoint a, Endpoint b,
+       const LinkConfig& config);
+
+  /// Hand a packet to the transmitter on `from`'s side. Queues when the
+  /// wire is busy; drops (with accounting) when the link is down or the
+  /// queue refuses it.
+  void transmit(ip::NodeId from, PacketPtr p);
+
+  /// Administrative / failure state. Taking the link down drops queued and
+  /// future packets until it is brought back up (experiment: TE failover).
+  [[nodiscard]] bool up() const noexcept { return up_; }
+  void set_up(bool up);
+
+  [[nodiscard]] LinkId id() const noexcept { return id_; }
+  [[nodiscard]] const Endpoint& end_a() const noexcept { return a_; }
+  [[nodiscard]] const Endpoint& end_b() const noexcept { return b_; }
+  [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+  /// The endpoint opposite to `node`.
+  [[nodiscard]] const Endpoint& peer_of(ip::NodeId node) const;
+
+  /// Egress queue for the direction leaving `from`.
+  [[nodiscard]] QueueDisc& queue_from(ip::NodeId from);
+  [[nodiscard]] const QueueDisc& queue_from(ip::NodeId from) const;
+  /// Replace the egress queue discipline for the direction leaving `from`
+  /// (must be idle; used by scenario builders before traffic starts).
+  void set_queue_from(ip::NodeId from, std::unique_ptr<QueueDisc> q);
+
+  /// Transmitted packets/bytes leaving `from`.
+  [[nodiscard]] const stats::PacketByteCounter& tx_from(ip::NodeId from) const;
+  /// Fraction of elapsed time the `from`-side transmitter was busy.
+  [[nodiscard]] double utilization_from(ip::NodeId from,
+                                        sim::SimTime elapsed) const;
+
+ private:
+  struct Direction {
+    Endpoint to;
+    std::unique_ptr<QueueDisc> queue;
+    bool transmitting = false;
+    stats::PacketByteCounter tx;
+    stats::PacketByteCounter down_drops;
+    sim::SimTime busy_accum = 0;
+  };
+
+  Direction& direction_from(ip::NodeId from);
+  const Direction& direction_from(ip::NodeId from) const;
+  void start_transmission(Direction& dir, PacketPtr p);
+
+  Topology& topo_;
+  LinkId id_;
+  Endpoint a_;
+  Endpoint b_;
+  LinkConfig config_;
+  bool up_ = true;
+  Direction from_a_;
+  Direction from_b_;
+};
+
+}  // namespace mvpn::net

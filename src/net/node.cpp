@@ -1,0 +1,41 @@
+#include "net/node.hpp"
+
+#include "net/topology.hpp"
+
+namespace mvpn::net {
+
+Node::Node(Topology& topo, ip::NodeId id, std::string name)
+    : topo_(topo), id_(id), name_(std::move(name)) {
+  // Default loopback: 10.255.x.y derived from the node id; scenario code
+  // may override. Kept out of site address space (10.0-127.*).
+  loopback_ = ip::Ipv4Address(10, 255, static_cast<std::uint8_t>(id >> 8),
+                              static_cast<std::uint8_t>(id & 0xFF));
+}
+
+void Node::send(PacketPtr p, ip::IfIndex out_if) {
+  Interface& intf = interfaces_.at(out_if);
+  intf.tx.record(p->wire_size());
+  topo_.link(intf.link).transmit(id_, std::move(p));
+}
+
+ip::IfIndex Node::interface_to(ip::NodeId peer) const {
+  for (const Interface& intf : interfaces_) {
+    if (intf.peer == peer) return intf.index;
+  }
+  return ip::kInvalidIf;
+}
+
+ip::IfIndex Node::attach_interface(LinkId link, ip::NodeId peer) {
+  Interface intf;
+  intf.index = static_cast<ip::IfIndex>(interfaces_.size());
+  intf.link = link;
+  intf.peer = peer;
+  interfaces_.push_back(std::move(intf));
+  return interfaces_.back().index;
+}
+
+void Node::count_rx(const Packet& p, ip::IfIndex in_if) {
+  interfaces_.at(in_if).rx.record(p.wire_size());
+}
+
+}  // namespace mvpn::net

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ip/address.hpp"
+#include "ip/route_table.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "stats/counter.hpp"
+
+namespace mvpn::net {
+
+class Topology;
+
+/// One attachment point of a node to a link, with addressing and counters.
+struct Interface {
+  ip::IfIndex index = ip::kInvalidIf;
+  LinkId link = kInvalidLink;
+  ip::NodeId peer = ip::kInvalidNode;  ///< node on the other end
+  ip::Ipv4Address address;             ///< our address on the subnet
+  ip::Prefix subnet;                   ///< connected subnet
+  stats::PacketByteCounter rx;
+  stats::PacketByteCounter tx;
+};
+
+/// Base class for every simulated device (router, host). Owns its
+/// interfaces; subclasses implement receive() — the per-packet data plane.
+class Node {
+ public:
+  Node(Topology& topo, ip::NodeId id, std::string name);
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Called by the topology when a packet arrives on `in_if`.
+  virtual void receive(PacketPtr p, ip::IfIndex in_if) = 0;
+
+  /// Transmit `p` out of `out_if` (counts, then hands to the link).
+  void send(PacketPtr p, ip::IfIndex out_if);
+
+  [[nodiscard]] ip::NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Topology& topology() noexcept { return topo_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+
+  /// Router-id / loopback address (set by control-plane setup; defaults to
+  /// an id-derived address in 192.168.255.0/24-style space).
+  [[nodiscard]] ip::Ipv4Address loopback() const noexcept { return loopback_; }
+  void set_loopback(ip::Ipv4Address a) noexcept { loopback_ = a; }
+
+  [[nodiscard]] const std::vector<Interface>& interfaces() const noexcept {
+    return interfaces_;
+  }
+  [[nodiscard]] Interface& interface(ip::IfIndex i) {
+    return interfaces_.at(i);
+  }
+  [[nodiscard]] const Interface& interface(ip::IfIndex i) const {
+    return interfaces_.at(i);
+  }
+  /// Interface whose link leads to `peer`; kInvalidIf when not adjacent.
+  [[nodiscard]] ip::IfIndex interface_to(ip::NodeId peer) const;
+
+  /// Topology wiring hook: registers a new interface and returns its index.
+  ip::IfIndex attach_interface(LinkId link, ip::NodeId peer);
+
+  /// Count a received packet on `in_if` (called by topology delivery).
+  void count_rx(const Packet& p, ip::IfIndex in_if);
+
+ private:
+  Topology& topo_;
+  ip::NodeId id_;
+  std::string name_;
+  ip::Ipv4Address loopback_;
+  std::vector<Interface> interfaces_;
+};
+
+}  // namespace mvpn::net

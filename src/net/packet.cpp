@@ -1,0 +1,54 @@
+#include "net/packet.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mvpn::net {
+
+std::size_t Packet::wire_size() const noexcept {
+  std::size_t size = kIpv4HeaderBytes + kL4HeaderBytes + payload_bytes;
+  if (esp) size += esp->overhead_bytes();
+  if (pvc) size += kPvcEncapBytes;
+  size += labels.size() * kMplsShimBytes;
+  return size;
+}
+
+MplsShim Packet::pop_label() {
+  if (labels.empty()) {
+    throw std::logic_error("Packet::pop_label on empty label stack");
+  }
+  MplsShim shim = labels.back();
+  labels.pop_back();
+  return shim;
+}
+
+void Packet::swap_label(std::uint32_t new_label) {
+  if (labels.empty()) {
+    throw std::logic_error("Packet::swap_label on empty label stack");
+  }
+  labels.back().label = new_label;
+  if (labels.back().ttl > 0) --labels.back().ttl;
+}
+
+std::string Packet::describe() const {
+  std::ostringstream os;
+  os << "pkt#" << id << " flow=" << flow_id;
+  if (!labels.empty()) {
+    os << " mpls[";
+    for (auto it = labels.rbegin(); it != labels.rend(); ++it) {
+      if (it != labels.rbegin()) os << ",";
+      os << it->label << "(exp=" << int(it->exp) << ")";
+    }
+    os << "]";
+  }
+  if (pvc) os << " pvc=" << pvc->vc_id;
+  if (esp) {
+    os << " esp{spi=" << esp->spi << " outer=" << esp->outer.src.to_string()
+       << "->" << esp->outer.dst.to_string() << "}";
+  }
+  os << " ip=" << ip.src.to_string() << "->" << ip.dst.to_string()
+     << " dscp=" << int(ip.dscp) << " bytes=" << wire_size();
+  return os.str();
+}
+
+}  // namespace mvpn::net

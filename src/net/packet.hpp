@@ -1,0 +1,149 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ip/address.hpp"
+#include "sim/time.hpp"
+
+namespace mvpn::net {
+
+/// UDP-like transport header (8 bytes on the wire). Ports drive the
+/// CPE-side CBQ classifier (paper §5).
+struct L4Header {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  friend bool operator==(const L4Header&, const L4Header&) = default;
+};
+inline constexpr std::size_t kL4HeaderBytes = 8;
+
+/// IPv4 header fields the simulator models (20 bytes on the wire).
+/// `dscp` is the DiffServ codepoint (6 bits) the paper's edge devices mark.
+struct Ipv4Header {
+  ip::Ipv4Address src;
+  ip::Ipv4Address dst;
+  std::uint8_t dscp = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 17;  // UDP-like by default; 50 = ESP
+  friend bool operator==(const Ipv4Header&, const Ipv4Header&) = default;
+};
+inline constexpr std::size_t kIpv4HeaderBytes = 20;
+inline constexpr std::uint8_t kProtocolEsp = 50;
+
+/// One MPLS shim entry (RFC 3032; 4 bytes on the wire). `exp` carries the
+/// class-of-service bits the paper's DSCP→EXP edge mapping writes.
+struct MplsShim {
+  std::uint32_t label = 0;  // 20-bit label value
+  std::uint8_t exp = 0;     // 3-bit class-of-service
+  std::uint8_t ttl = 64;
+  friend bool operator==(const MplsShim&, const MplsShim&) = default;
+};
+inline constexpr std::size_t kMplsShimBytes = 4;
+
+/// Reserved MPLS label values (RFC 3032).
+inline constexpr std::uint32_t kImplicitNullLabel = 3;  // PHP signal
+inline constexpr std::uint32_t kFirstDynamicLabel = 16;
+inline constexpr std::uint32_t kMaxLabel = (1u << 20) - 1;
+
+/// IPsec ESP tunnel-mode encapsulation: outer IPv4 header plus ESP fields.
+/// The inner IPv4/L4 headers are conceptually encrypted — forwarding and
+/// classification code must not look at them while `esp` is present (the
+/// paper's "encryption erases QoS visibility" argument); the QoS opacity
+/// experiment (E5) relies on this.
+struct EspEncap {
+  Ipv4Header outer;
+  std::uint32_t spi = 0;
+  std::uint32_t sequence = 0;
+  std::uint8_t iv_bytes = 8;    // DES/3DES-CBC IV
+  std::uint8_t pad_bytes = 0;   // cipher block padding
+  std::uint8_t icv_bytes = 12;  // HMAC-SHA1-96 truncated ICV
+
+  /// Bytes ESP adds on the wire beyond the inner packet: outer IP header,
+  /// SPI+sequence, IV, padding, pad-length/next-header trailer, ICV.
+  [[nodiscard]] std::size_t overhead_bytes() const noexcept {
+    return kIpv4HeaderBytes + 8 + iv_bytes + pad_bytes + 2 + icv_bytes;
+  }
+};
+
+/// Transport-level metadata for the TCP-like elastic sources: sequence /
+/// cumulative-ack numbers in segment units. (The simulated L4 header's 8
+/// bytes already cover this on the wire.)
+struct SegMeta {
+  std::uint32_t seq = 0;  ///< data: segment sequence; ack: cumulative ack
+  bool is_ack = false;
+};
+
+/// Overlay-VPN virtual-circuit encapsulation (frame-relay/ATM-like PVC
+/// header, 8 bytes). Used only by the overlay baseline of experiment E1.
+struct PvcEncap {
+  std::uint32_t vc_id = 0;
+};
+inline constexpr std::size_t kPvcEncapBytes = 8;
+
+/// A simulated packet: byte-accurate layered headers plus simulation
+/// metadata. Headers nest as  [MPLS stack] [PVC] [ESP outer] inner-IP L4.
+///
+/// `true_vpn_id` is ground truth written by the source and never consulted
+/// by forwarding code; sinks compare it against the VPN context that
+/// delivered the packet to detect isolation violations (experiment E6).
+class Packet {
+ public:
+  std::uint64_t id = 0;
+  std::uint32_t flow_id = 0;
+  sim::SimTime created_at = 0;
+  std::uint32_t true_vpn_id = 0;
+
+  L4Header l4;
+  Ipv4Header ip;
+  std::vector<MplsShim> labels;  // back() is top of stack
+  std::optional<EspEncap> esp;
+  std::optional<PvcEncap> pvc;
+  std::optional<SegMeta> seg;  ///< set by elastic (TCP-like) sources
+  std::size_t payload_bytes = 0;
+
+  std::uint32_t hop_count = 0;  // incremented per router traversal
+
+  /// Total bytes on the wire, including every active encapsulation.
+  [[nodiscard]] std::size_t wire_size() const noexcept;
+
+  /// --- MPLS label-stack operations -------------------------------------
+  [[nodiscard]] bool has_labels() const noexcept { return !labels.empty(); }
+  [[nodiscard]] const MplsShim& top_label() const { return labels.back(); }
+  void push_label(MplsShim shim) { labels.push_back(shim); }
+  MplsShim pop_label();
+  /// Swap top label value, preserving EXP and decrementing TTL.
+  void swap_label(std::uint32_t new_label);
+
+  /// DSCP visible to a core classifier: the outermost IP header's DSCP —
+  /// the inner one is unreadable under ESP.
+  [[nodiscard]] std::uint8_t visible_dscp() const noexcept {
+    return esp ? esp->outer.dscp : ip.dscp;
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Shared ownership so packets can ride inside std::function-based event
+/// handlers (which require copyable captures). Logically each packet has a
+/// single owner at any time: source → queue → wire → node.
+using PacketPtr = std::shared_ptr<Packet>;
+
+/// Factory that stamps a fresh id; source modules use this so packet ids
+/// are unique across the whole simulation.
+class PacketFactory {
+ public:
+  PacketPtr make() {
+    auto p = std::make_shared<Packet>();
+    p->id = ++last_id_;
+    return p;
+  }
+  [[nodiscard]] std::uint64_t issued() const noexcept { return last_id_; }
+
+ private:
+  std::uint64_t last_id_ = 0;
+};
+
+}  // namespace mvpn::net

@@ -1,0 +1,33 @@
+#include "net/queue_disc.hpp"
+
+namespace mvpn::net {
+
+DropTailQueue::DropTailQueue(std::size_t capacity_packets)
+    : capacity_(capacity_packets) {}
+
+bool DropTailQueue::enqueue(PacketPtr p) {
+  if (queue_.size() >= capacity_) {
+    count_drop(*p);
+    return false;
+  }
+  count_enqueue(*p);
+  bytes_ += p->wire_size();
+  queue_.push_back(std::move(p));
+  return true;
+}
+
+PacketPtr DropTailQueue::dequeue() {
+  if (queue_.empty()) return nullptr;
+  PacketPtr p = std::move(queue_.front());
+  queue_.pop_front();
+  bytes_ -= p->wire_size();
+  return p;
+}
+
+QueueDiscFactory DropTailQueue::factory(std::size_t capacity_packets) {
+  return [capacity_packets] {
+    return std::make_unique<DropTailQueue>(capacity_packets);
+  };
+}
+
+}  // namespace mvpn::net

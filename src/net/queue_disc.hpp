@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/packet.hpp"
+#include "stats/counter.hpp"
+
+namespace mvpn::net {
+
+/// Egress queueing discipline attached to a link direction. Implementations
+/// in the qos module (priority, WFQ, WRR, RED/WRED) plug in here; the net
+/// module ships the basic drop-tail FIFO.
+///
+/// The link transmitter calls enqueue() when the wire is busy and dequeue()
+/// whenever it finishes a transmission; dequeue order is where service
+/// differentiation happens.
+class QueueDisc {
+ public:
+  virtual ~QueueDisc() = default;
+
+  /// Accept or drop `p`. Returns false (and counts the drop) when dropped.
+  virtual bool enqueue(PacketPtr p) = 0;
+
+  /// Next packet to transmit; nullptr when empty.
+  virtual PacketPtr dequeue() = 0;
+
+  [[nodiscard]] virtual std::size_t packet_count() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t byte_count() const noexcept = 0;
+  [[nodiscard]] bool empty() const noexcept { return packet_count() == 0; }
+
+  [[nodiscard]] const stats::PacketByteCounter& dropped() const noexcept {
+    return dropped_;
+  }
+  [[nodiscard]] const stats::PacketByteCounter& enqueued() const noexcept {
+    return enqueued_;
+  }
+
+ protected:
+  void count_drop(const Packet& p) noexcept { dropped_.record(p.wire_size()); }
+  void count_enqueue(const Packet& p) noexcept {
+    enqueued_.record(p.wire_size());
+  }
+
+ private:
+  stats::PacketByteCounter dropped_;
+  stats::PacketByteCounter enqueued_;
+};
+
+/// Factory signature used by link configuration: one fresh QueueDisc per
+/// link direction.
+using QueueDiscFactory = std::function<std::unique_ptr<QueueDisc>()>;
+
+/// Drop-tail FIFO with a packet-count cap — the "best-effort IP" baseline
+/// queue of the paper's QoS comparison.
+class DropTailQueue : public QueueDisc {
+ public:
+  explicit DropTailQueue(std::size_t capacity_packets = 100);
+
+  bool enqueue(PacketPtr p) override;
+  PacketPtr dequeue() override;
+  [[nodiscard]] std::size_t packet_count() const noexcept override {
+    return queue_.size();
+  }
+  [[nodiscard]] std::size_t byte_count() const noexcept override {
+    return bytes_;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Factory helper for LinkConfig.
+  static QueueDiscFactory factory(std::size_t capacity_packets = 100);
+
+ private:
+  std::size_t capacity_;
+  std::size_t bytes_ = 0;
+  std::deque<PacketPtr> queue_;
+};
+
+}  // namespace mvpn::net

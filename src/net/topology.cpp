@@ -1,0 +1,51 @@
+#include "net/topology.hpp"
+
+namespace mvpn::net {
+
+Topology::Topology(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+LinkId Topology::connect(ip::NodeId a, ip::NodeId b, LinkConfig config) {
+  if (a == b) throw std::invalid_argument("Topology::connect: self-link");
+  Node& node_a = node(a);
+  Node& node_b = node(b);
+
+  const auto link_id = static_cast<LinkId>(links_.size());
+  const ip::IfIndex if_a = node_a.attach_interface(link_id, b);
+  const ip::IfIndex if_b = node_b.attach_interface(link_id, a);
+
+  // Auto-assign a /30 transfer net from 172.16.0.0/12-style space.
+  const std::uint32_t base =
+      (std::uint32_t{172} << 24) | (std::uint32_t{16} << 16) |
+      (next_transfer_net_ << 2);
+  ++next_transfer_net_;
+  const ip::Prefix subnet(ip::Ipv4Address(base), 30);
+  node_a.interface(if_a).address = ip::Ipv4Address(base + 1);
+  node_a.interface(if_a).subnet = subnet;
+  node_b.interface(if_b).address = ip::Ipv4Address(base + 2);
+  node_b.interface(if_b).subnet = subnet;
+
+  links_.push_back(std::make_unique<Link>(
+      *this, link_id, Link::Endpoint{a, if_a}, Link::Endpoint{b, if_b},
+      config));
+  return link_id;
+}
+
+std::vector<Adjacency> Topology::adjacencies(ip::NodeId node_id) const {
+  std::vector<Adjacency> out;
+  const Node& n = node(node_id);
+  for (const Interface& intf : n.interfaces()) {
+    if (intf.link == kInvalidLink) continue;
+    if (!link(intf.link).up()) continue;
+    out.push_back(Adjacency{intf.peer, intf.index, intf.link});
+  }
+  return out;
+}
+
+void Topology::deliver(ip::NodeId to, ip::IfIndex in_if, PacketPtr p) {
+  Node& n = node(to);
+  if (tap_) tap_(to, *p);
+  n.count_rx(*p, in_if);
+  n.receive(std::move(p), in_if);
+}
+
+}  // namespace mvpn::net

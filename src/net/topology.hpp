@@ -1,0 +1,83 @@
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace mvpn::net {
+
+/// Adjacency record used by control-plane code (flooding, SPF).
+struct Adjacency {
+  ip::NodeId neighbor = ip::kInvalidNode;
+  ip::IfIndex iface = ip::kInvalidIf;
+  LinkId link = kInvalidLink;
+};
+
+/// Owns every node and link of one simulated network plus the event
+/// scheduler driving it. All object lifetimes are anchored here; nodes and
+/// links hold references back to the topology for delivery.
+class Topology {
+ public:
+  explicit Topology(std::uint64_t seed = 1);
+
+  /// Construct a node of type NodeT (must derive from Node); forwards
+  /// extra constructor arguments after (topo, id, name).
+  template <typename NodeT, typename... Args>
+  NodeT& add_node(std::string name, Args&&... args) {
+    const auto id = static_cast<ip::NodeId>(nodes_.size());
+    auto node = std::make_unique<NodeT>(*this, id, std::move(name),
+                                        std::forward<Args>(args)...);
+    NodeT& ref = *node;
+    nodes_.push_back(std::move(node));
+    return ref;
+  }
+
+  /// Create a duplex link between `a` and `b`; allocates an interface on
+  /// each node and auto-assigns a /30 transfer subnet.
+  LinkId connect(ip::NodeId a, ip::NodeId b, LinkConfig config = {});
+
+  [[nodiscard]] Node& node(ip::NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] const Node& node(ip::NodeId id) const { return *nodes_.at(id); }
+  [[nodiscard]] Link& link(LinkId id) { return *links_.at(id); }
+  [[nodiscard]] const Link& link(LinkId id) const { return *links_.at(id); }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+
+  /// Links incident to `node` that are administratively up.
+  [[nodiscard]] std::vector<Adjacency> adjacencies(ip::NodeId node) const;
+
+  /// Deliver `p` to `to`'s receive() — called by links after propagation.
+  void deliver(ip::NodeId to, ip::IfIndex in_if, PacketPtr p);
+
+  /// Observation hook invoked on every delivery (before receive()): lets
+  /// tests and tracing tools watch a packet's header stack hop by hop.
+  using PacketTap = std::function<void(ip::NodeId at, const Packet& p)>;
+  void set_packet_tap(PacketTap tap) { tap_ = std::move(tap); }
+
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] PacketFactory& packet_factory() noexcept { return factory_; }
+
+  /// Run the simulation until `t_end`.
+  void run_until(sim::SimTime t_end) { scheduler_.run_until(t_end); }
+
+ private:
+  std::uint64_t seed_;
+  sim::Scheduler scheduler_;
+  sim::Rng rng_;
+  PacketFactory factory_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  PacketTap tap_;
+  std::uint32_t next_transfer_net_ = 0;  // allocator for /30 link subnets
+};
+
+}  // namespace mvpn::net

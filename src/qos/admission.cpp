@@ -1,0 +1,45 @@
+#include "qos/admission.hpp"
+
+namespace mvpn::qos {
+
+void AdmissionController::set_class_pool(Phb phb, double rate_bps) {
+  pools_[phb] = rate_bps;
+}
+
+bool AdmissionController::admit(std::uint32_t flow_id, Phb phb,
+                                double rate_bps) {
+  if (flows_.count(flow_id) != 0) return false;  // already admitted
+  auto pool_it = pools_.find(phb);
+  if (pool_it == pools_.end()) {
+    rejections_.add();
+    return false;  // class accepts no reservations
+  }
+  double& used = reserved_[phb];
+  if (used + rate_bps > pool_it->second + 1e-9) {
+    rejections_.add();
+    return false;
+  }
+  used += rate_bps;
+  flows_[flow_id] = Flow{phb, rate_bps};
+  return true;
+}
+
+void AdmissionController::release(std::uint32_t flow_id) {
+  auto it = flows_.find(flow_id);
+  if (it == flows_.end()) return;
+  reserved_[it->second.phb] -= it->second.rate_bps;
+  if (reserved_[it->second.phb] < 0.0) reserved_[it->second.phb] = 0.0;
+  flows_.erase(it);
+}
+
+double AdmissionController::reserved(Phb phb) const {
+  auto it = reserved_.find(phb);
+  return it == reserved_.end() ? 0.0 : it->second;
+}
+
+double AdmissionController::pool(Phb phb) const {
+  auto it = pools_.find(phb);
+  return it == pools_.end() ? 0.0 : it->second;
+}
+
+}  // namespace mvpn::qos

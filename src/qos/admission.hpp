@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "qos/dscp.hpp"
+#include "stats/counter.hpp"
+
+namespace mvpn::qos {
+
+/// IntServ-style per-flow admission control at the network edge — one of
+/// the complementary initiatives the paper lists next to DiffServ/MPLS
+/// ("additional initiatives include IntServ (Integrated Services) and
+/// Constraint Based Routing", §5).
+///
+/// Each class owns a bandwidth pool (a share of the access link); flows
+/// request a rate and are admitted only while the pool has room. This is
+/// the control-plane complement to the data-plane policer: admission
+/// keeps the *sum* of contracts feasible, the policer enforces each one.
+class AdmissionController {
+ public:
+  explicit AdmissionController(std::string name = "admission")
+      : name_(std::move(name)) {}
+
+  /// Configure a class pool of `rate_bps`.
+  void set_class_pool(Phb phb, double rate_bps);
+
+  /// Request admission for a flow. Returns true and reserves on success.
+  bool admit(std::uint32_t flow_id, Phb phb, double rate_bps);
+  /// Release a flow's reservation (teardown).
+  void release(std::uint32_t flow_id);
+
+  [[nodiscard]] double reserved(Phb phb) const;
+  [[nodiscard]] double pool(Phb phb) const;
+  [[nodiscard]] double available(Phb phb) const {
+    return pool(phb) - reserved(phb);
+  }
+  [[nodiscard]] std::size_t admitted_flows() const noexcept {
+    return flows_.size();
+  }
+  [[nodiscard]] const stats::Counter& rejections() const noexcept {
+    return rejections_;
+  }
+
+ private:
+  struct Flow {
+    Phb phb = Phb::kBe;
+    double rate_bps = 0.0;
+  };
+
+  std::string name_;
+  std::map<Phb, double> pools_;
+  std::map<Phb, double> reserved_;
+  std::map<std::uint32_t, Flow> flows_;
+  stats::Counter rejections_;
+};
+
+}  // namespace mvpn::qos

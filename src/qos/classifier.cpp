@@ -1,0 +1,66 @@
+#include "qos/classifier.hpp"
+
+namespace mvpn::qos {
+
+VisibleFields visible_fields(const net::Packet& p) noexcept {
+  VisibleFields f;
+  if (p.esp) {
+    f.src = p.esp->outer.src;
+    f.dst = p.esp->outer.dst;
+    f.protocol = p.esp->outer.protocol;
+    f.dscp = p.esp->outer.dscp;
+    // Ports live inside the encrypted payload: invisible.
+  } else {
+    f.src = p.ip.src;
+    f.dst = p.ip.dst;
+    f.protocol = p.ip.protocol;
+    f.dscp = p.ip.dscp;
+    f.src_port = p.l4.src_port;
+    f.dst_port = p.l4.dst_port;
+  }
+  return f;
+}
+
+bool MatchRule::matches(const VisibleFields& f) const noexcept {
+  if (src && !src->contains(f.src)) return false;
+  if (dst && !dst->contains(f.dst)) return false;
+  if (protocol && *protocol != f.protocol) return false;
+  if (!src_port.is_any()) {
+    if (!f.src_port || !src_port.matches(*f.src_port)) return false;
+  }
+  if (!dst_port.is_any()) {
+    if (!f.dst_port || !dst_port.matches(*f.dst_port)) return false;
+  }
+  return true;
+}
+
+std::size_t CbqClassifier::add_rule(MatchRule rule) {
+  rules_.push_back(std::move(rule));
+  hit_counts_.emplace_back();
+  return rules_.size() - 1;
+}
+
+Phb CbqClassifier::classify(const net::Packet& p) const {
+  const VisibleFields f = visible_fields(p);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].matches(f)) {
+      hit_counts_[i].add();
+      return rules_[i].mark;
+    }
+  }
+  unmatched_.add();
+  return default_phb_;
+}
+
+Phb CbqClassifier::mark(net::Packet& p) {
+  const Phb phb = classify(p);
+  const std::uint8_t dscp = dscp_of(phb);
+  if (p.esp) {
+    p.esp->outer.dscp = dscp;
+  } else {
+    p.ip.dscp = dscp;
+  }
+  return phb;
+}
+
+}  // namespace mvpn::qos

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ip/address.hpp"
+#include "net/packet.hpp"
+#include "qos/dscp.hpp"
+#include "stats/counter.hpp"
+
+namespace mvpn::qos {
+
+/// The header fields a classifier can actually see on a packet. When the
+/// packet is ESP-encapsulated the inner IP/L4 headers are encrypted, so
+/// only the outer tunnel header is visible and ports are absent — this is
+/// the mechanical core of the paper's "encryption erases any hope to
+/// control QoS" argument (§3), exercised by experiment E5.
+struct VisibleFields {
+  ip::Ipv4Address src;
+  ip::Ipv4Address dst;
+  std::uint8_t protocol = 0;
+  std::uint8_t dscp = 0;
+  std::optional<std::uint16_t> src_port;  ///< absent when encrypted
+  std::optional<std::uint16_t> dst_port;  ///< absent when encrypted
+};
+
+[[nodiscard]] VisibleFields visible_fields(const net::Packet& p) noexcept;
+
+/// Inclusive port range; defaults match any port.
+struct PortRange {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 65535;
+  [[nodiscard]] bool matches(std::uint16_t port) const noexcept {
+    return port >= lo && port <= hi;
+  }
+  [[nodiscard]] bool is_any() const noexcept { return lo == 0 && hi == 65535; }
+  static PortRange exactly(std::uint16_t p) { return PortRange{p, p}; }
+};
+
+/// One CBQ-style classification rule: all present fields must match.
+/// Rules that require port visibility cannot match encrypted packets.
+struct MatchRule {
+  std::string name;
+  std::optional<ip::Prefix> src;
+  std::optional<ip::Prefix> dst;
+  std::optional<std::uint8_t> protocol;
+  PortRange src_port;
+  PortRange dst_port;
+  Phb mark = Phb::kBe;
+
+  [[nodiscard]] bool matches(const VisibleFields& f) const noexcept;
+};
+
+/// CPE-side class-based classifier (paper §5: "the customer premises device
+/// could use technologies such as CBQ to classify traffic and
+/// DiffServ/ToS to mark it"). First-match semantics; unmatched packets get
+/// the default PHB.
+class CbqClassifier {
+ public:
+  explicit CbqClassifier(Phb default_phb = Phb::kBe)
+      : default_phb_(default_phb) {}
+
+  /// Append a rule (evaluated in insertion order). Returns its index.
+  std::size_t add_rule(MatchRule rule);
+
+  /// PHB for `p` without modifying it.
+  [[nodiscard]] Phb classify(const net::Packet& p) const;
+
+  /// Classify and write the resulting DSCP into the packet's (outermost
+  /// writable) IP header. Returns the PHB applied.
+  Phb mark(net::Packet& p);
+
+  [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
+  [[nodiscard]] const MatchRule& rule(std::size_t i) const {
+    return rules_.at(i);
+  }
+  [[nodiscard]] std::uint64_t hits(std::size_t i) const {
+    return hit_counts_.at(i).value();
+  }
+  [[nodiscard]] const stats::Counter& unmatched() const noexcept {
+    return unmatched_;
+  }
+
+ private:
+  Phb default_phb_;
+  std::vector<MatchRule> rules_;
+  mutable std::vector<stats::Counter> hit_counts_;
+  mutable stats::Counter unmatched_;
+};
+
+}  // namespace mvpn::qos

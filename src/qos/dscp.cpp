@@ -1,0 +1,162 @@
+#include "qos/dscp.hpp"
+
+namespace mvpn::qos {
+
+std::uint8_t dscp_of(Phb phb) noexcept {
+  switch (phb) {
+    case Phb::kBe: return 0;
+    case Phb::kAf11: return 10;
+    case Phb::kAf12: return 12;
+    case Phb::kAf13: return 14;
+    case Phb::kAf21: return 18;
+    case Phb::kAf22: return 20;
+    case Phb::kAf23: return 22;
+    case Phb::kAf31: return 26;
+    case Phb::kAf32: return 28;
+    case Phb::kAf33: return 30;
+    case Phb::kAf41: return 34;
+    case Phb::kAf42: return 36;
+    case Phb::kAf43: return 38;
+    case Phb::kEf: return 46;
+    case Phb::kCs6: return 48;
+    case Phb::kCs7: return 56;
+  }
+  return 0;
+}
+
+Phb phb_of_dscp(std::uint8_t dscp) noexcept {
+  switch (dscp) {
+    case 10: return Phb::kAf11;
+    case 12: return Phb::kAf12;
+    case 14: return Phb::kAf13;
+    case 18: return Phb::kAf21;
+    case 20: return Phb::kAf22;
+    case 22: return Phb::kAf23;
+    case 26: return Phb::kAf31;
+    case 28: return Phb::kAf32;
+    case 30: return Phb::kAf33;
+    case 34: return Phb::kAf41;
+    case 36: return Phb::kAf42;
+    case 38: return Phb::kAf43;
+    case 46: return Phb::kEf;
+    case 48: return Phb::kCs6;
+    case 56: return Phb::kCs7;
+    default: return Phb::kBe;
+  }
+}
+
+std::string to_string(Phb phb) {
+  switch (phb) {
+    case Phb::kBe: return "BE";
+    case Phb::kAf11: return "AF11";
+    case Phb::kAf12: return "AF12";
+    case Phb::kAf13: return "AF13";
+    case Phb::kAf21: return "AF21";
+    case Phb::kAf22: return "AF22";
+    case Phb::kAf23: return "AF23";
+    case Phb::kAf31: return "AF31";
+    case Phb::kAf32: return "AF32";
+    case Phb::kAf33: return "AF33";
+    case Phb::kAf41: return "AF41";
+    case Phb::kAf42: return "AF42";
+    case Phb::kAf43: return "AF43";
+    case Phb::kEf: return "EF";
+    case Phb::kCs6: return "CS6";
+    case Phb::kCs7: return "CS7";
+  }
+  return "?";
+}
+
+unsigned drop_precedence(Phb phb) noexcept {
+  switch (phb) {
+    case Phb::kAf12:
+    case Phb::kAf22:
+    case Phb::kAf32:
+    case Phb::kAf42:
+      return 2;
+    case Phb::kAf13:
+    case Phb::kAf23:
+    case Phb::kAf33:
+    case Phb::kAf43:
+      return 3;
+    default:
+      return 1;
+  }
+}
+
+unsigned af_class(Phb phb) noexcept {
+  switch (phb) {
+    case Phb::kAf11:
+    case Phb::kAf12:
+    case Phb::kAf13:
+      return 1;
+    case Phb::kAf21:
+    case Phb::kAf22:
+    case Phb::kAf23:
+      return 2;
+    case Phb::kAf31:
+    case Phb::kAf32:
+    case Phb::kAf33:
+      return 3;
+    case Phb::kAf41:
+    case Phb::kAf42:
+    case Phb::kAf43:
+      return 4;
+    default:
+      return 0;
+  }
+}
+
+DscpExpMap::DscpExpMap() {
+  auto assign = [this](Phb phb, std::uint8_t exp) {
+    exp_by_phb_[static_cast<std::size_t>(phb)] = exp;
+  };
+  assign(Phb::kBe, 0);
+  assign(Phb::kAf11, 1);
+  assign(Phb::kAf12, 1);
+  assign(Phb::kAf13, 1);
+  assign(Phb::kAf21, 2);
+  assign(Phb::kAf22, 2);
+  assign(Phb::kAf23, 2);
+  assign(Phb::kAf31, 3);
+  assign(Phb::kAf32, 3);
+  assign(Phb::kAf33, 3);
+  assign(Phb::kAf41, 4);
+  assign(Phb::kAf42, 4);
+  assign(Phb::kAf43, 4);
+  assign(Phb::kEf, 5);
+  assign(Phb::kCs6, 6);
+  assign(Phb::kCs7, 7);
+
+  dscp_by_exp_ = {dscp_of(Phb::kBe),   dscp_of(Phb::kAf11),
+                  dscp_of(Phb::kAf21), dscp_of(Phb::kAf31),
+                  dscp_of(Phb::kAf41), dscp_of(Phb::kEf),
+                  dscp_of(Phb::kCs6),  dscp_of(Phb::kCs7)};
+}
+
+std::uint8_t DscpExpMap::exp_for_dscp(std::uint8_t dscp) const noexcept {
+  return exp_for_phb(phb_of_dscp(dscp));
+}
+
+std::uint8_t DscpExpMap::exp_for_phb(Phb phb) const noexcept {
+  return exp_by_phb_[static_cast<std::size_t>(phb)];
+}
+
+std::uint8_t DscpExpMap::dscp_for_exp(std::uint8_t exp) const noexcept {
+  return dscp_by_exp_[exp & 0x7];
+}
+
+void DscpExpMap::set(Phb phb, std::uint8_t exp) noexcept {
+  exp_by_phb_[static_cast<std::size_t>(phb)] = exp & 0x7;
+  dscp_by_exp_[exp & 0x7] = dscp_of(phb);
+}
+
+std::uint8_t visible_class_bits(const net::Packet& p) noexcept {
+  if (p.has_labels()) return p.top_label().exp;
+  // Collapse the visible DSCP to its EXP-style 3-bit class so schedulers
+  // can use one band map for labeled and unlabeled traffic.
+  static const DscpExpMap kDefaultMap;
+  return kDefaultMap.exp_for_dscp(p.visible_dscp());
+}
+
+}  // namespace mvpn::qos

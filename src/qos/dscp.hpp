@@ -1,0 +1,67 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace mvpn::qos {
+
+/// Per-hop behaviours from the DiffServ architecture the paper layers onto
+/// MPLS (§5): EF for low-latency traffic, four AF classes with three drop
+/// precedences each, class selectors for control traffic, and best effort.
+enum class Phb : std::uint8_t {
+  kBe,    // default / best effort (DSCP 0)
+  kAf11, kAf12, kAf13,
+  kAf21, kAf22, kAf23,
+  kAf31, kAf32, kAf33,
+  kAf41, kAf42, kAf43,
+  kEf,    // expedited forwarding (DSCP 46)
+  kCs6,   // network control (DSCP 48)
+  kCs7,   // reserved control (DSCP 56)
+};
+
+inline constexpr std::size_t kPhbCount = 16;
+
+/// The 6-bit DSCP value for a PHB (RFC 2474/2597/3246 codepoints).
+[[nodiscard]] std::uint8_t dscp_of(Phb phb) noexcept;
+
+/// Reverse mapping; unknown codepoints map to kBe per RFC 2474 §4.
+[[nodiscard]] Phb phb_of_dscp(std::uint8_t dscp) noexcept;
+
+[[nodiscard]] std::string to_string(Phb phb);
+
+/// AF drop precedence (1 = low, 3 = high); EF/BE/CS return 1.
+[[nodiscard]] unsigned drop_precedence(Phb phb) noexcept;
+
+/// AF class number (1-4); 0 for non-AF PHBs.
+[[nodiscard]] unsigned af_class(Phb phb) noexcept;
+
+/// DSCP→EXP mapping applied at the MPLS network edge (paper §5: "map the
+/// CPE-specified DiffServ/ToS service level into the QoS field of the MPLS
+/// header"). 3 EXP bits carry the class; AF drop precedence collapses.
+class DscpExpMap {
+ public:
+  /// Default mapping: BE→0, AF1x→1, AF2x→2, AF3x→3, AF4x→4, EF→5, CS6→6,
+  /// CS7→7.
+  DscpExpMap();
+
+  [[nodiscard]] std::uint8_t exp_for_dscp(std::uint8_t dscp) const noexcept;
+  [[nodiscard]] std::uint8_t exp_for_phb(Phb phb) const noexcept;
+  /// Reverse map used at egress when the shim is removed; returns the
+  /// representative DSCP for an EXP class.
+  [[nodiscard]] std::uint8_t dscp_for_exp(std::uint8_t exp) const noexcept;
+
+  void set(Phb phb, std::uint8_t exp) noexcept;
+
+ private:
+  std::array<std::uint8_t, kPhbCount> exp_by_phb_{};
+  std::array<std::uint8_t, 8> dscp_by_exp_{};
+};
+
+/// Class a packet belongs to as seen by a core LSR scheduler: from the EXP
+/// bits when labeled, else from the outermost visible DSCP.
+[[nodiscard]] std::uint8_t visible_class_bits(const net::Packet& p) noexcept;
+
+}  // namespace mvpn::qos

@@ -1,0 +1,32 @@
+#include "qos/meter.hpp"
+
+namespace mvpn::qos {
+
+const char* to_string(Color c) noexcept {
+  switch (c) {
+    case Color::kGreen: return "green";
+    case Color::kYellow: return "yellow";
+    case Color::kRed: return "red";
+  }
+  return "?";
+}
+
+SrTcmMeter::SrTcmMeter(double cir_bytes_per_s, double cbs_bytes,
+                       double ebs_bytes)
+    : committed_(cir_bytes_per_s, cbs_bytes),
+      excess_(cir_bytes_per_s, ebs_bytes) {}
+
+Color SrTcmMeter::meter(sim::SimTime now, std::size_t bytes) {
+  if (committed_.consume(now, bytes)) {
+    green_.add();
+    return Color::kGreen;
+  }
+  if (excess_.consume(now, bytes)) {
+    yellow_.add();
+    return Color::kYellow;
+  }
+  red_.add();
+  return Color::kRed;
+}
+
+}  // namespace mvpn::qos

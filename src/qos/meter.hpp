@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "qos/token_bucket.hpp"
+#include "sim/time.hpp"
+#include "stats/counter.hpp"
+
+namespace mvpn::qos {
+
+/// Metering color (RFC 2697 terminology).
+enum class Color : std::uint8_t { kGreen, kYellow, kRed };
+
+[[nodiscard]] const char* to_string(Color c) noexcept;
+
+/// Single-rate three-color marker (RFC 2697): CIR with committed (CBS) and
+/// excess (EBS) buckets. Green = within CBS, yellow = within EBS, red =
+/// beyond both. Edge devices use it to mark AF drop precedence; policers
+/// use it to drop red traffic.
+class SrTcmMeter {
+ public:
+  SrTcmMeter(double cir_bytes_per_s, double cbs_bytes, double ebs_bytes);
+
+  Color meter(sim::SimTime now, std::size_t bytes);
+
+  [[nodiscard]] const stats::Counter& green() const noexcept { return green_; }
+  [[nodiscard]] const stats::Counter& yellow() const noexcept { return yellow_; }
+  [[nodiscard]] const stats::Counter& red() const noexcept { return red_; }
+
+ private:
+  TokenBucket committed_;
+  TokenBucket excess_;
+  stats::Counter green_;
+  stats::Counter yellow_;
+  stats::Counter red_;
+};
+
+/// Policer: drop-on-red wrapper over the meter, with the option to remark
+/// yellow traffic to a higher drop precedence instead of dropping it.
+class Policer {
+ public:
+  Policer(double cir_bytes_per_s, double cbs_bytes, double ebs_bytes)
+      : meter_(cir_bytes_per_s, cbs_bytes, ebs_bytes) {}
+
+  /// Returns the color; callers drop on kRed and may remark on kYellow.
+  Color check(sim::SimTime now, std::size_t bytes) {
+    return meter_.meter(now, bytes);
+  }
+
+  [[nodiscard]] const SrTcmMeter& meter() const noexcept { return meter_; }
+
+ private:
+  SrTcmMeter meter_;
+};
+
+}  // namespace mvpn::qos

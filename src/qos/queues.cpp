@@ -1,0 +1,375 @@
+#include "qos/queues.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mvpn::qos {
+
+BandSelector class_band_selector(std::array<std::uint8_t, 8> exp_to_band) {
+  return [exp_to_band](const net::Packet& p) -> unsigned {
+    return exp_to_band[visible_class_bits(p) & 0x7];
+  };
+}
+
+BandSelector ef_af_be_selector() {
+  // EXP: 0=BE -> band 2; 1..4=AF -> band 1; 5..7=EF/control -> band 0.
+  return class_band_selector({2, 1, 1, 1, 1, 0, 0, 0});
+}
+
+MultiBandQueue::MultiBandQueue(unsigned bands, std::size_t per_band_capacity,
+                               BandSelector selector)
+    : selector_(std::move(selector)) {
+  if (bands == 0) throw std::invalid_argument("MultiBandQueue: 0 bands");
+  bands_.resize(bands);
+  for (Band& b : bands_) b.capacity = per_band_capacity;
+}
+
+bool MultiBandQueue::enqueue(net::PacketPtr p) {
+  unsigned band = selector_(*p);
+  if (band >= bands_.size()) band = static_cast<unsigned>(bands_.size()) - 1;
+  Band& b = bands_[band];
+  if (b.fifo.size() >= b.capacity) {
+    b.drops.record(p->wire_size());
+    count_drop(*p);
+    return false;
+  }
+  count_enqueue(*p);
+  b.bytes += p->wire_size();
+  b.fifo.push_back(std::move(p));
+  on_enqueued(band, *b.fifo.back());
+  return true;
+}
+
+void MultiBandQueue::on_enqueued(unsigned, const net::Packet&) {}
+
+net::PacketPtr MultiBandQueue::pop_band(unsigned band) {
+  Band& b = bands_.at(band);
+  if (b.fifo.empty()) return nullptr;
+  net::PacketPtr p = std::move(b.fifo.front());
+  b.fifo.pop_front();
+  b.bytes -= p->wire_size();
+  return p;
+}
+
+std::size_t MultiBandQueue::packet_count() const noexcept {
+  std::size_t n = 0;
+  for (const Band& b : bands_) n += b.fifo.size();
+  return n;
+}
+
+std::size_t MultiBandQueue::byte_count() const noexcept {
+  std::size_t n = 0;
+  for (const Band& b : bands_) n += b.bytes;
+  return n;
+}
+
+PriorityQueueDisc::PriorityQueueDisc(unsigned bands,
+                                     std::size_t per_band_capacity,
+                                     BandSelector selector)
+    : MultiBandQueue(bands, per_band_capacity, std::move(selector)) {}
+
+net::PacketPtr PriorityQueueDisc::dequeue() {
+  for (unsigned b = 0; b < band_count(); ++b) {
+    if (net::PacketPtr p = pop_band(b)) return p;
+  }
+  return nullptr;
+}
+
+net::QueueDiscFactory PriorityQueueDisc::factory(unsigned bands,
+                                                 std::size_t per_band_capacity,
+                                                 BandSelector selector) {
+  return [=] {
+    return std::make_unique<PriorityQueueDisc>(bands, per_band_capacity,
+                                               selector);
+  };
+}
+
+DrrQueueDisc::DrrQueueDisc(std::vector<std::uint32_t> weights,
+                           std::size_t per_band_capacity,
+                           BandSelector selector, std::size_t quantum_bytes)
+    : MultiBandQueue(static_cast<unsigned>(weights.size()), per_band_capacity,
+                     std::move(selector)),
+      weights_(std::move(weights)),
+      deficit_(weights_.size(), 0.0),
+      quantum_(quantum_bytes) {}
+
+net::PacketPtr DrrQueueDisc::dequeue() {
+  if (packet_count() == 0) return nullptr;
+  // Classic DRR: each *visit* to a band grants one quantum of credit, the
+  // band is served while its head packet fits, then the pointer advances.
+  // Between dequeue() calls we stay on the current band until its credit
+  // runs out, which is what makes the shares byte-accurate.
+  const unsigned max_rounds = 1024;  // quantum*weight >= 1 byte guards this
+  for (unsigned scanned = 0; scanned < max_rounds * band_count(); ++scanned) {
+    const unsigned b = round_ptr_;
+    Band& band = bands()[b];
+    if (band.fifo.empty()) {
+      deficit_[b] = 0.0;  // empty band forfeits credit (standard DRR)
+      round_ptr_ = (round_ptr_ + 1) % band_count();
+      fresh_visit_ = true;
+      continue;
+    }
+    if (fresh_visit_) {
+      deficit_[b] += static_cast<double>(quantum_ * weights_[b]);
+      fresh_visit_ = false;
+    }
+    const auto head_size = static_cast<double>(band.fifo.front()->wire_size());
+    if (head_size <= deficit_[b]) {
+      deficit_[b] -= head_size;
+      return pop_band(b);
+    }
+    // Head does not fit this round: keep the credit, move on.
+    round_ptr_ = (round_ptr_ + 1) % band_count();
+    fresh_visit_ = true;
+  }
+  // Defensive fallback: serve any non-empty band.
+  for (unsigned b = 0; b < band_count(); ++b) {
+    if (net::PacketPtr p = pop_band(b)) return p;
+  }
+  return nullptr;
+}
+
+net::QueueDiscFactory DrrQueueDisc::factory(std::vector<std::uint32_t> weights,
+                                            std::size_t per_band_capacity,
+                                            BandSelector selector,
+                                            std::size_t quantum_bytes) {
+  return [=] {
+    return std::make_unique<DrrQueueDisc>(weights, per_band_capacity, selector,
+                                          quantum_bytes);
+  };
+}
+
+WfqQueueDisc::WfqQueueDisc(std::vector<double> weights,
+                           std::size_t per_band_capacity,
+                           BandSelector selector)
+    : MultiBandQueue(static_cast<unsigned>(weights.size()), per_band_capacity,
+                     std::move(selector)),
+      weights_(std::move(weights)),
+      tags_(weights_.size()),
+      band_last_finish_(weights_.size(), 0.0) {
+  for (double w : weights_) {
+    if (w <= 0.0) throw std::invalid_argument("WfqQueueDisc: weight <= 0");
+  }
+}
+
+void WfqQueueDisc::on_enqueued(unsigned band, const net::Packet& p) {
+  const double start = std::max(virtual_time_, band_last_finish_[band]);
+  const double finish =
+      start + static_cast<double>(p.wire_size()) / weights_[band];
+  band_last_finish_[band] = finish;
+  tags_[band].push_back(finish);
+}
+
+net::PacketPtr WfqQueueDisc::dequeue() {
+  unsigned best_band = 0;
+  double best_tag = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (unsigned b = 0; b < band_count(); ++b) {
+    if (tags_[b].empty()) continue;
+    if (tags_[b].front() < best_tag) {
+      best_tag = tags_[b].front();
+      best_band = b;
+      found = true;
+    }
+  }
+  if (!found) return nullptr;
+  tags_[best_band].pop_front();
+  virtual_time_ = best_tag;  // SCFQ: system virtual time = tag in service
+  if (packet_count() == 1) {
+    // Queue will go idle after this packet; reset tags so a long idle
+    // period does not starve newly active bands.
+    virtual_time_ = 0.0;
+    std::fill(band_last_finish_.begin(), band_last_finish_.end(), 0.0);
+  }
+  return pop_band(best_band);
+}
+
+net::QueueDiscFactory WfqQueueDisc::factory(std::vector<double> weights,
+                                            std::size_t per_band_capacity,
+                                            BandSelector selector) {
+  return [=] {
+    return std::make_unique<WfqQueueDisc>(weights, per_band_capacity,
+                                          selector);
+  };
+}
+
+LlqQueueDisc::LlqQueueDisc(std::vector<double> weights,
+                           std::size_t per_band_capacity,
+                           BandSelector selector, double ef_rate_bytes_s,
+                           double ef_burst_bytes, const sim::Scheduler& clock)
+    : MultiBandQueue(static_cast<unsigned>(weights.size()), per_band_capacity,
+                     selector),
+      selector_copy_(std::move(selector)),
+      weights_(std::move(weights)),
+      tags_(weights_.size()),
+      band_last_finish_(weights_.size(), 0.0),
+      ef_bucket_(ef_rate_bytes_s, ef_burst_bytes),
+      clock_(clock) {
+  if (weights_.size() < 2) {
+    throw std::invalid_argument("LlqQueueDisc: need >= 2 bands");
+  }
+  for (std::size_t b = 1; b < weights_.size(); ++b) {
+    if (weights_[b] <= 0.0) {
+      throw std::invalid_argument("LlqQueueDisc: weight <= 0");
+    }
+  }
+}
+
+bool LlqQueueDisc::enqueue(net::PacketPtr p) {
+  // Police the priority band before admitting: out-of-contract EF is
+  // dropped so strict priority cannot starve the WFQ bands.
+  unsigned band = selector_copy_(*p);
+  if (band >= band_count()) band = band_count() - 1;
+  if (band == 0 && !ef_bucket_.consume(clock_.now(), p->wire_size())) {
+    ef_policed_.add();
+    count_drop(*p);
+    return false;
+  }
+  return MultiBandQueue::enqueue(std::move(p));
+}
+
+void LlqQueueDisc::on_enqueued(unsigned band, const net::Packet& p) {
+  if (band == 0) return;  // strict band carries no WFQ tag
+  const double start = std::max(virtual_time_, band_last_finish_[band]);
+  const double finish =
+      start + static_cast<double>(p.wire_size()) / weights_[band];
+  band_last_finish_[band] = finish;
+  tags_[band].push_back(finish);
+}
+
+net::PacketPtr LlqQueueDisc::dequeue() {
+  if (net::PacketPtr p = pop_band(0)) return p;  // strict priority first
+  unsigned best_band = 0;
+  double best_tag = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (unsigned b = 1; b < band_count(); ++b) {
+    if (tags_[b].empty()) continue;
+    if (tags_[b].front() < best_tag) {
+      best_tag = tags_[b].front();
+      best_band = b;
+      found = true;
+    }
+  }
+  if (!found) return nullptr;
+  tags_[best_band].pop_front();
+  virtual_time_ = best_tag;
+  if (packet_count() == 1) {
+    virtual_time_ = 0.0;
+    std::fill(band_last_finish_.begin(), band_last_finish_.end(), 0.0);
+  }
+  return pop_band(best_band);
+}
+
+net::QueueDiscFactory LlqQueueDisc::factory(std::vector<double> weights,
+                                            std::size_t per_band_capacity,
+                                            BandSelector selector,
+                                            double ef_rate_bytes_s,
+                                            double ef_burst_bytes,
+                                            const sim::Scheduler& clock) {
+  return [=, &clock] {
+    return std::make_unique<LlqQueueDisc>(weights, per_band_capacity,
+                                          selector, ef_rate_bytes_s,
+                                          ef_burst_bytes, clock);
+  };
+}
+
+RedQueueDisc::RedQueueDisc(const RedParams& params,
+                           const sim::Scheduler& clock, sim::Rng rng)
+    : params_(params), clock_(clock), rng_(rng) {}
+
+const RedParams& RedQueueDisc::profile_for(const net::Packet&) const {
+  return params_;
+}
+
+void RedQueueDisc::update_average() {
+  if (idle_) {
+    // Estimate how many small packets could have been sent while idle and
+    // decay the average accordingly (Floyd/Jacobson idle handling).
+    const double idle_s = sim::to_seconds(clock_.now() - idle_since_);
+    const double pkt_time =
+        params_.mean_pkt_bytes * 8.0 / params_.bandwidth_bps;
+    const double m = pkt_time > 0 ? idle_s / pkt_time : 0.0;
+    avg_ *= std::pow(1.0 - params_.ewma_weight, m);
+    idle_ = false;
+  } else {
+    avg_ = (1.0 - params_.ewma_weight) * avg_ +
+           params_.ewma_weight * static_cast<double>(fifo_.size());
+  }
+}
+
+bool RedQueueDisc::red_admit(const net::Packet& p) {
+  const RedParams& prof = profile_for(p);
+  update_average();
+
+  if (fifo_.size() >= prof.capacity_packets) {
+    forced_drops_.add();
+    return false;
+  }
+  if (avg_ < prof.min_th) {
+    ++count_since_drop_;
+    return true;
+  }
+  double p_drop;
+  if (avg_ < prof.max_th) {
+    p_drop = prof.max_p * (avg_ - prof.min_th) / (prof.max_th - prof.min_th);
+  } else if (avg_ < 2.0 * prof.max_th) {
+    // Gentle RED: ramp from max_p to 1 between max_th and 2*max_th.
+    p_drop = prof.max_p +
+             (1.0 - prof.max_p) * (avg_ - prof.max_th) / prof.max_th;
+  } else {
+    forced_drops_.add();
+    return false;
+  }
+  // Spread drops uniformly between drops (Floyd/Jacobson count correction).
+  const double denom = 1.0 - static_cast<double>(count_since_drop_) * p_drop;
+  const double pa = denom > 0.0 ? std::min(1.0, p_drop / denom) : 1.0;
+  if (rng_.bernoulli(pa)) {
+    early_drops_.add();
+    count_since_drop_ = 0;
+    return false;
+  }
+  ++count_since_drop_;
+  return true;
+}
+
+bool RedQueueDisc::enqueue(net::PacketPtr p) {
+  if (!red_admit(*p)) {
+    count_drop(*p);
+    return false;
+  }
+  count_enqueue(*p);
+  bytes_ += p->wire_size();
+  fifo_.push_back(std::move(p));
+  return true;
+}
+
+net::PacketPtr RedQueueDisc::dequeue() {
+  if (fifo_.empty()) return nullptr;
+  net::PacketPtr p = std::move(fifo_.front());
+  fifo_.pop_front();
+  bytes_ -= p->wire_size();
+  if (fifo_.empty()) {
+    idle_ = true;
+    idle_since_ = clock_.now();
+  }
+  return p;
+}
+
+WredQueueDisc::WredQueueDisc(const RedParams& low_prec,
+                             const RedParams& mid_prec,
+                             const RedParams& high_prec,
+                             const sim::Scheduler& clock, sim::Rng rng)
+    : RedQueueDisc(low_prec, clock, rng), mid_(mid_prec), high_(high_prec) {}
+
+const RedParams& WredQueueDisc::profile_for(const net::Packet& p) const {
+  const Phb phb = phb_of_dscp(p.visible_dscp());
+  switch (drop_precedence(phb)) {
+    case 3: return high_;
+    case 2: return mid_;
+    default: return params_;
+  }
+}
+
+}  // namespace mvpn::qos

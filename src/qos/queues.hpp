@@ -1,0 +1,254 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/queue_disc.hpp"
+#include "qos/dscp.hpp"
+#include "qos/token_bucket.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/counter.hpp"
+
+namespace mvpn::qos {
+
+/// Maps a packet to a scheduling band. Band 0 is the highest priority by
+/// convention of PriorityQueueDisc.
+using BandSelector = std::function<unsigned(const net::Packet&)>;
+
+/// Band selector that reads the packet's visible 3-bit class (MPLS EXP when
+/// labeled, DSCP-derived class otherwise) through `exp_to_band`.
+[[nodiscard]] BandSelector class_band_selector(
+    std::array<std::uint8_t, 8> exp_to_band);
+
+/// Convenience 3-band mapping used throughout the experiments:
+/// band 0 = EF + control (EXP 5-7), band 1 = AF (EXP 1-4), band 2 = BE.
+[[nodiscard]] BandSelector ef_af_be_selector();
+
+/// Common machinery for multi-band queue disciplines: per-band FIFOs with
+/// packet-count caps and per-band drop/enqueue accounting.
+class MultiBandQueue : public net::QueueDisc {
+ public:
+  MultiBandQueue(unsigned bands, std::size_t per_band_capacity,
+                 BandSelector selector);
+
+  bool enqueue(net::PacketPtr p) override;
+
+  [[nodiscard]] std::size_t packet_count() const noexcept final;
+  [[nodiscard]] std::size_t byte_count() const noexcept final;
+  [[nodiscard]] unsigned band_count() const noexcept {
+    return static_cast<unsigned>(bands_.size());
+  }
+  [[nodiscard]] const stats::PacketByteCounter& band_drops(unsigned b) const {
+    return bands_.at(b).drops;
+  }
+  [[nodiscard]] std::size_t band_depth(unsigned b) const {
+    return bands_.at(b).fifo.size();
+  }
+
+ protected:
+  struct Band {
+    std::deque<net::PacketPtr> fifo;
+    std::size_t capacity = 0;
+    std::size_t bytes = 0;
+    stats::PacketByteCounter drops;
+  };
+
+  /// Hook: called after a packet was accepted into `band` (schedulers
+  /// update their tags here).
+  virtual void on_enqueued(unsigned band, const net::Packet& p);
+
+  net::PacketPtr pop_band(unsigned b);
+  [[nodiscard]] std::vector<Band>& bands() noexcept { return bands_; }
+  [[nodiscard]] const std::vector<Band>& bands() const noexcept {
+    return bands_;
+  }
+
+ private:
+  std::vector<Band> bands_;
+  BandSelector selector_;
+};
+
+/// Strict-priority scheduler: always serves the lowest-numbered non-empty
+/// band. Gives EF the hardest latency bound; can starve lower bands (the
+/// ablation in the QoS bench shows exactly that).
+class PriorityQueueDisc final : public MultiBandQueue {
+ public:
+  PriorityQueueDisc(unsigned bands, std::size_t per_band_capacity,
+                    BandSelector selector);
+  net::PacketPtr dequeue() override;
+
+  static net::QueueDiscFactory factory(unsigned bands,
+                                       std::size_t per_band_capacity,
+                                       BandSelector selector);
+};
+
+/// Deficit-round-robin (byte-fair WRR): each band gets `weight x quantum`
+/// bytes of credit per round.
+class DrrQueueDisc final : public MultiBandQueue {
+ public:
+  DrrQueueDisc(std::vector<std::uint32_t> weights,
+               std::size_t per_band_capacity, BandSelector selector,
+               std::size_t quantum_bytes = 1500);
+  net::PacketPtr dequeue() override;
+
+  static net::QueueDiscFactory factory(std::vector<std::uint32_t> weights,
+                                       std::size_t per_band_capacity,
+                                       BandSelector selector,
+                                       std::size_t quantum_bytes = 1500);
+
+ private:
+  std::vector<std::uint32_t> weights_;
+  std::vector<double> deficit_;
+  std::size_t quantum_;
+  unsigned round_ptr_ = 0;
+  bool fresh_visit_ = true;
+};
+
+/// Weighted fair queueing via self-clocked fair queueing (SCFQ): each
+/// arriving packet gets a virtual finish tag max(V, band's last tag) +
+/// bytes/weight; service order is by minimum tag. Approximates GPS closely
+/// enough for per-class bandwidth shares without a fluid reference clock.
+class WfqQueueDisc final : public MultiBandQueue {
+ public:
+  WfqQueueDisc(std::vector<double> weights, std::size_t per_band_capacity,
+               BandSelector selector);
+  net::PacketPtr dequeue() override;
+
+  static net::QueueDiscFactory factory(std::vector<double> weights,
+                                       std::size_t per_band_capacity,
+                                       BandSelector selector);
+
+ protected:
+  void on_enqueued(unsigned band, const net::Packet& p) override;
+
+ private:
+  std::vector<double> weights_;
+  std::vector<std::deque<double>> tags_;       // parallel to band FIFOs
+  std::vector<double> band_last_finish_;
+  double virtual_time_ = 0.0;
+};
+
+/// Low-latency queueing (LLQ): strict priority for band 0 (EF), with the
+/// EF band policed by a token bucket so a misbehaving priority class
+/// cannot starve the rest, and WFQ among the remaining bands. This is the
+/// scheduler that carrier deployments of the paper's architecture
+/// converged on (CBWFQ + priority queue).
+class LlqQueueDisc final : public MultiBandQueue {
+ public:
+  /// `weights[0]` is ignored for scheduling (band 0 is strict) but its
+  /// entry keeps band indexing uniform. `ef_rate_bytes_s`/`ef_burst` bound
+  /// the priority band; EF arrivals beyond the contract are dropped.
+  LlqQueueDisc(std::vector<double> weights, std::size_t per_band_capacity,
+               BandSelector selector, double ef_rate_bytes_s,
+               double ef_burst_bytes, const sim::Scheduler& clock);
+
+  bool enqueue(net::PacketPtr p) override;
+  net::PacketPtr dequeue() override;
+
+  [[nodiscard]] const stats::Counter& ef_policed() const noexcept {
+    return ef_policed_;
+  }
+
+  static net::QueueDiscFactory factory(std::vector<double> weights,
+                                       std::size_t per_band_capacity,
+                                       BandSelector selector,
+                                       double ef_rate_bytes_s,
+                                       double ef_burst_bytes,
+                                       const sim::Scheduler& clock);
+
+ protected:
+  void on_enqueued(unsigned band, const net::Packet& p) override;
+
+ private:
+  BandSelector selector_copy_;
+  std::vector<double> weights_;
+  std::vector<std::deque<double>> tags_;
+  std::vector<double> band_last_finish_;
+  double virtual_time_ = 0.0;
+  TokenBucket ef_bucket_;
+  const sim::Scheduler& clock_;
+  stats::Counter ef_policed_;
+};
+
+/// Random Early Detection (Floyd/Jacobson '93), gentle variant. Single
+/// FIFO; drop probability ramps from 0 at `min_th` to `max_p` at `max_th`
+/// and to 1 at `2*max_th`. Needs a clock for the idle-period adjustment.
+struct RedParams {
+  std::size_t capacity_packets = 200;
+  double min_th = 30;            ///< packets
+  double max_th = 90;            ///< packets
+  double max_p = 0.1;
+  double ewma_weight = 0.002;
+  double mean_pkt_bytes = 500;   ///< for idle-time averaging
+  double bandwidth_bps = 10e6;   ///< for idle-time averaging
+};
+
+class RedQueueDisc : public net::QueueDisc {
+ public:
+  RedQueueDisc(const RedParams& params, const sim::Scheduler& clock,
+               sim::Rng rng);
+
+  bool enqueue(net::PacketPtr p) override;
+  net::PacketPtr dequeue() override;
+  [[nodiscard]] std::size_t packet_count() const noexcept override {
+    return fifo_.size();
+  }
+  [[nodiscard]] std::size_t byte_count() const noexcept override {
+    return bytes_;
+  }
+  [[nodiscard]] double average_queue() const noexcept { return avg_; }
+  [[nodiscard]] const stats::Counter& early_drops() const noexcept {
+    return early_drops_;
+  }
+  [[nodiscard]] const stats::Counter& forced_drops() const noexcept {
+    return forced_drops_;
+  }
+
+ protected:
+  /// Per-packet RED profile; WRED overrides this to pick thresholds by
+  /// drop precedence.
+  [[nodiscard]] virtual const RedParams& profile_for(const net::Packet& p) const;
+
+  bool red_admit(const net::Packet& p);
+
+  RedParams params_;
+
+ private:
+  void update_average();
+
+  const sim::Scheduler& clock_;
+  sim::Rng rng_;
+  std::deque<net::PacketPtr> fifo_;
+  std::size_t bytes_ = 0;
+  double avg_ = 0.0;
+  std::uint64_t count_since_drop_ = 0;
+  sim::SimTime idle_since_ = 0;
+  bool idle_ = true;
+  stats::Counter early_drops_;
+  stats::Counter forced_drops_;
+};
+
+/// Weighted RED: three RED profiles selected by the packet's AF drop
+/// precedence (green/yellow/red marking from the edge meter), sharing one
+/// FIFO and one average — in-profile traffic survives congestion that
+/// kills out-of-profile traffic.
+class WredQueueDisc final : public RedQueueDisc {
+ public:
+  WredQueueDisc(const RedParams& low_prec, const RedParams& mid_prec,
+                const RedParams& high_prec, const sim::Scheduler& clock,
+                sim::Rng rng);
+
+ protected:
+  [[nodiscard]] const RedParams& profile_for(
+      const net::Packet& p) const override;
+
+ private:
+  RedParams mid_;
+  RedParams high_;
+};
+
+}  // namespace mvpn::qos

@@ -1,0 +1,78 @@
+#include "qos/sla.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mvpn::qos {
+
+SlaProbe::SlaProbe(std::string name) : name_(std::move(name)) {}
+
+void SlaProbe::record_sent(Phb cls, std::size_t bytes) {
+  ClassReport& r = by_class_[cls];
+  ++r.sent_packets;
+  r.sent_bytes += bytes;
+}
+
+void SlaProbe::record_delivered(Phb cls, std::uint32_t flow_id,
+                                sim::SimTime latency, std::size_t bytes) {
+  ClassReport& r = by_class_[cls];
+  ++r.delivered_packets;
+  r.delivered_bytes += bytes;
+  r.latency_s.add(sim::to_seconds(latency));
+
+  auto [it, inserted] = last_latency_by_flow_.try_emplace(flow_id, latency);
+  if (!inserted) {
+    const sim::SimTime delta =
+        latency > it->second ? latency - it->second : it->second - latency;
+    r.jitter_s.add(sim::to_seconds(delta));
+    it->second = latency;
+  }
+}
+
+const SlaProbe::ClassReport& SlaProbe::report(Phb cls) const {
+  auto it = by_class_.find(cls);
+  if (it == by_class_.end()) {
+    throw std::out_of_range("SlaProbe: no data for class " + to_string(cls));
+  }
+  return it->second;
+}
+
+bool SlaProbe::has_class(Phb cls) const {
+  return by_class_.find(cls) != by_class_.end();
+}
+
+stats::Table SlaProbe::to_table(double interval_s) const {
+  stats::Table t{"class",      "sent",        "delivered",  "loss %",
+                 "mean ms",    "p50 ms",      "p99 ms",     "jitter ms",
+                 "goodput Mb/s"};
+  for (const auto& [cls, r] : by_class_) {
+    t.add_row({to_string(cls), stats::Table::num(r.sent_packets),
+               stats::Table::num(r.delivered_packets),
+               stats::Table::num(100.0 * r.loss_fraction(), 2),
+               stats::Table::num(r.latency_s.mean() * 1e3, 3),
+               stats::Table::num(r.latency_s.percentile(50) * 1e3, 3),
+               stats::Table::num(r.latency_s.percentile(99) * 1e3, 3),
+               stats::Table::num(r.jitter_s.mean() * 1e3, 3),
+               stats::Table::num(r.goodput_bps(interval_s) / 1e6, 3)});
+  }
+  return t;
+}
+
+std::string SlaProbe::to_csv(double interval_s) const {
+  std::string out =
+      "class,sent,delivered,loss_pct,mean_ms,p50_ms,p99_ms,jitter_ms,"
+      "goodput_mbps\n";
+  for (const auto& [cls, r] : by_class_) {
+    out += to_string(cls) + ',' + std::to_string(r.sent_packets) + ',' +
+           std::to_string(r.delivered_packets) + ',' +
+           stats::Table::num(100.0 * r.loss_fraction(), 4) + ',' +
+           stats::Table::num(r.latency_s.mean() * 1e3, 4) + ',' +
+           stats::Table::num(r.latency_s.percentile(50) * 1e3, 4) + ',' +
+           stats::Table::num(r.latency_s.percentile(99) * 1e3, 4) + ',' +
+           stats::Table::num(r.jitter_s.mean() * 1e3, 4) + ',' +
+           stats::Table::num(r.goodput_bps(interval_s) / 1e6, 4) + '\n';
+  }
+  return out;
+}
+
+}  // namespace mvpn::qos

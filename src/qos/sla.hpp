@@ -1,0 +1,72 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "qos/dscp.hpp"
+#include "sim/time.hpp"
+#include "stats/histogram.hpp"
+#include "stats/running_stats.hpp"
+#include "stats/table.hpp"
+
+namespace mvpn::qos {
+
+/// Per-class service-level measurement: sinks feed it deliveries, sources
+/// feed it departures, and it produces the delay/jitter/loss/goodput rows
+/// the paper's SLA discussion is about (§3.1, §5).
+///
+/// Jitter is RFC 3550-style: mean absolute difference of consecutive
+/// one-way delays within each flow, aggregated per class.
+class SlaProbe {
+ public:
+  explicit SlaProbe(std::string name = "sla");
+
+  void record_sent(Phb cls, std::size_t bytes);
+  void record_delivered(Phb cls, std::uint32_t flow_id, sim::SimTime latency,
+                        std::size_t bytes);
+
+  struct ClassReport {
+    std::uint64_t sent_packets = 0;
+    std::uint64_t sent_bytes = 0;
+    std::uint64_t delivered_packets = 0;
+    std::uint64_t delivered_bytes = 0;
+    stats::SampleSet latency_s;       ///< one-way delay samples (seconds)
+    stats::RunningStats jitter_s;     ///< |delta delay| samples (seconds)
+
+    [[nodiscard]] double loss_fraction() const noexcept {
+      if (sent_packets == 0) return 0.0;
+      const auto lost = sent_packets > delivered_packets
+                            ? sent_packets - delivered_packets
+                            : 0;
+      return static_cast<double>(lost) / static_cast<double>(sent_packets);
+    }
+    /// Goodput in bits/s given the measurement interval.
+    [[nodiscard]] double goodput_bps(double interval_s) const noexcept {
+      if (interval_s <= 0.0) return 0.0;
+      return static_cast<double>(delivered_bytes) * 8.0 / interval_s;
+    }
+  };
+
+  [[nodiscard]] const ClassReport& report(Phb cls) const;
+  [[nodiscard]] bool has_class(Phb cls) const;
+  [[nodiscard]] const std::map<Phb, ClassReport>& all() const noexcept {
+    return by_class_;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Render the standard SLA table (one row per class) for an interval of
+  /// `interval_s` seconds.
+  [[nodiscard]] stats::Table to_table(double interval_s) const;
+
+  /// Same rows as machine-readable CSV (for offline plotting).
+  [[nodiscard]] std::string to_csv(double interval_s) const;
+
+ private:
+  std::string name_;
+  std::map<Phb, ClassReport> by_class_;
+  std::unordered_map<std::uint32_t, sim::SimTime> last_latency_by_flow_;
+};
+
+}  // namespace mvpn::qos

@@ -1,0 +1,62 @@
+#include "qos/token_bucket.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mvpn::qos {
+
+TokenBucket::TokenBucket(double rate_bytes_per_s, double burst_bytes)
+    : rate_(rate_bytes_per_s), burst_(burst_bytes), tokens_(burst_bytes) {
+  if (rate_ <= 0.0 || burst_ <= 0.0) {
+    throw std::invalid_argument("TokenBucket: rate and burst must be > 0");
+  }
+}
+
+void TokenBucket::refill(sim::SimTime now) {
+  if (now <= last_refill_) return;
+  const double elapsed_s = sim::to_seconds(now - last_refill_);
+  tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_);
+  last_refill_ = now;
+}
+
+bool TokenBucket::consume(sim::SimTime now, std::size_t bytes) {
+  refill(now);
+  const auto need = static_cast<double>(bytes);
+  if (tokens_ + 1e-9 < need) return false;
+  tokens_ -= need;
+  return true;
+}
+
+double TokenBucket::available(sim::SimTime now) const {
+  // const-friendly view: compute without mutating.
+  if (now <= last_refill_) return tokens_;
+  const double elapsed_s = sim::to_seconds(now - last_refill_);
+  return std::min(burst_, tokens_ + elapsed_s * rate_);
+}
+
+void TokenBucket::reset(sim::SimTime now) {
+  tokens_ = burst_;
+  last_refill_ = now;
+}
+
+Shaper::Shaper(double rate_bytes_per_s, double burst_bytes)
+    : rate_(rate_bytes_per_s), burst_(burst_bytes) {
+  if (rate_ <= 0.0 || burst_ < 0.0) {
+    throw std::invalid_argument("Shaper: rate must be > 0, burst >= 0");
+  }
+}
+
+sim::SimTime Shaper::reserve(sim::SimTime now, std::size_t bytes) {
+  // Virtual-scheduling (leaky bucket as a meter): the backlog clears at
+  // `bucket_empty_at_`; a packet is conformant while the backlog stays
+  // within the burst allowance.
+  const auto burst_time =
+      static_cast<sim::SimTime>(burst_ / rate_ * 1e9);
+  const auto tx_time =
+      static_cast<sim::SimTime>(static_cast<double>(bytes) / rate_ * 1e9);
+  const sim::SimTime start = std::max(now - burst_time, bucket_empty_at_);
+  bucket_empty_at_ = start + tx_time;
+  return start > now ? start - now : 0;
+}
+
+}  // namespace mvpn::qos

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mvpn::qos {
+
+/// Classic token bucket: `rate` bytes/s sustained, `burst` bytes depth.
+/// Time is supplied by the caller (simulation clock), so the bucket is a
+/// pure function of its inputs — trivially testable.
+class TokenBucket {
+ public:
+  /// rate_bytes_per_s > 0; burst_bytes >= largest packet you expect.
+  TokenBucket(double rate_bytes_per_s, double burst_bytes);
+
+  /// True (and consumes tokens) when `bytes` conform at time `now`.
+  bool consume(sim::SimTime now, std::size_t bytes);
+
+  /// Tokens available at `now` without consuming.
+  [[nodiscard]] double available(sim::SimTime now) const;
+
+  [[nodiscard]] double rate_bytes_per_s() const noexcept { return rate_; }
+  [[nodiscard]] double burst_bytes() const noexcept { return burst_; }
+
+  /// Refill to full (e.g. when (re)starting an interval).
+  void reset(sim::SimTime now);
+
+ private:
+  void refill(sim::SimTime now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  sim::SimTime last_refill_ = 0;
+};
+
+/// Traffic shaper: where the policer *drops* out-of-contract packets, the
+/// shaper *delays* them until they conform (leaky-bucket smoothing at the
+/// CPE). Modeled as a serialized resource: each packet reserves the next
+/// transmission slot at the shaped rate; the returned delay tells the
+/// caller when to release the packet.
+class Shaper {
+ public:
+  /// rate in bytes/s; burst in bytes (how much may pass unshaped).
+  Shaper(double rate_bytes_per_s, double burst_bytes);
+
+  /// Reserve a slot for `bytes` at time `now`; returns how long the
+  /// packet must be held before transmission (0 = conformant now).
+  [[nodiscard]] sim::SimTime reserve(sim::SimTime now, std::size_t bytes);
+
+  [[nodiscard]] double rate_bytes_per_s() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+  double burst_;
+  sim::SimTime bucket_empty_at_ = 0;  ///< virtual time the backlog clears
+};
+
+}  // namespace mvpn::qos

@@ -1,0 +1,238 @@
+#include "routing/bgp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mvpn::routing {
+
+Bgp::Bgp(ControlPlane& cp, Mode mode) : cp_(cp), mode_(mode) {}
+
+void Bgp::add_speaker(ip::NodeId pe) {
+  if (started_) throw std::logic_error("Bgp: add_speaker after start");
+  if (state_.count(pe) != 0) return;
+  state_[pe] = SpeakerState{};
+  speakers_.push_back(pe);
+}
+
+void Bgp::add_route_reflector(ip::NodeId rr) {
+  if (started_) throw std::logic_error("Bgp: add_route_reflector after start");
+  if (mode_ != Mode::kRouteReflector) {
+    throw std::logic_error("Bgp: reflectors require kRouteReflector mode");
+  }
+  auto& st = state_[rr];
+  if (st.reflector) return;
+  st.reflector = true;
+  reflectors_.push_back(rr);
+}
+
+bool Bgp::is_reflector(ip::NodeId node) const {
+  auto it = state_.find(node);
+  return it != state_.end() && it->second.reflector;
+}
+
+void Bgp::add_session(ip::NodeId a, ip::NodeId b) {
+  state_.at(a).peers.push_back(b);
+  state_.at(b).peers.push_back(a);
+  sessions_.emplace_back(a, b);
+  // OPEN exchange, one message each way.
+  cp_.send_session(a, b, "bgp.open", 29, [] {});
+  cp_.send_session(b, a, "bgp.open", 29, [] {});
+}
+
+void Bgp::start() {
+  if (started_) return;
+  started_ = true;
+  if (mode_ == Mode::kFullMesh) {
+    for (std::size_t i = 0; i < speakers_.size(); ++i) {
+      for (std::size_t j = i + 1; j < speakers_.size(); ++j) {
+        add_session(speakers_[i], speakers_[j]);
+      }
+    }
+    return;
+  }
+  if (reflectors_.empty()) {
+    throw std::logic_error("Bgp: kRouteReflector mode with no reflectors");
+  }
+  // Clients session to every RR; RRs full-mesh among themselves.
+  for (ip::NodeId pe : speakers_) {
+    for (ip::NodeId rr : reflectors_) add_session(pe, rr);
+  }
+  for (std::size_t i = 0; i < reflectors_.size(); ++i) {
+    for (std::size_t j = i + 1; j < reflectors_.size(); ++j) {
+      add_session(reflectors_[i], reflectors_[j]);
+    }
+  }
+}
+
+bool Bgp::better(const VpnRoute& a, const VpnRoute& b) noexcept {
+  if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
+  if (a.originator != b.originator) return a.originator < b.originator;
+  return a.next_hop.value() < b.next_hop.value();
+}
+
+std::vector<ip::NodeId> Bgp::advertise_targets(ip::NodeId node,
+                                               ip::NodeId sender) const {
+  const SpeakerState& st = state_.at(node);
+  std::vector<ip::NodeId> out;
+  if (sender == ip::kInvalidNode) {
+    // Locally originated: advertise to every peer.
+    out = st.peers;
+    return out;
+  }
+  if (!st.reflector) return out;  // plain iBGP: never re-advertise
+  const bool from_client = !is_reflector(sender);
+  for (ip::NodeId peer : st.peers) {
+    if (peer == sender) continue;
+    const bool peer_is_client = !is_reflector(peer);
+    // RR rules: client routes reflect everywhere else; non-client routes
+    // reflect to clients only.
+    if (from_client || peer_is_client) out.push_back(peer);
+  }
+  return out;
+}
+
+void Bgp::send_update(ip::NodeId from, ip::NodeId to, const VpnRoute& route) {
+  VpnRoute copy = route;
+  cp_.send_session(from, to, "bgp.update", route.wire_bytes(),
+                   [this, to, from, copy = std::move(copy)] {
+                     receive_update(to, from, copy);
+                   });
+}
+
+void Bgp::send_withdraw(ip::NodeId from, ip::NodeId to,
+                        const VpnRouteKey& key) {
+  cp_.send_session(from, to, "bgp.withdraw", 27,
+                   [this, to, from, key] { receive_withdraw(to, from, key); });
+}
+
+void Bgp::originate(ip::NodeId pe, VpnRoute route) {
+  route.originator = pe;
+  SpeakerState& st = state_.at(pe);
+  const VpnRouteKey key{route.rd, route.prefix};
+  st.adj_rib_in[key][ip::kInvalidNode] = std::move(route);
+  decide(pe, key);
+}
+
+void Bgp::withdraw(ip::NodeId pe, const RouteDistinguisher& rd,
+                   const ip::Prefix& prefix) {
+  SpeakerState& st = state_.at(pe);
+  const VpnRouteKey key{rd, prefix};
+  auto it = st.adj_rib_in.find(key);
+  if (it == st.adj_rib_in.end()) return;
+  if (it->second.erase(ip::kInvalidNode) == 0) return;
+  decide(pe, key);
+}
+
+void Bgp::receive_update(ip::NodeId at, ip::NodeId from, VpnRoute route) {
+  SpeakerState& st = state_.at(at);
+  if (route.originator == at) return;  // originator loop guard
+  const VpnRouteKey key{route.rd, route.prefix};
+  st.adj_rib_in[key][from] = std::move(route);
+  decide(at, key);
+}
+
+void Bgp::receive_withdraw(ip::NodeId at, ip::NodeId from, VpnRouteKey key) {
+  SpeakerState& st = state_.at(at);
+  auto it = st.adj_rib_in.find(key);
+  if (it == st.adj_rib_in.end()) return;
+  if (it->second.erase(from) == 0) return;
+  decide(at, key);
+}
+
+void Bgp::decide(ip::NodeId node, const VpnRouteKey& key) {
+  SpeakerState& st = state_.at(node);
+  const VpnRoute* new_best = nullptr;
+  ip::NodeId new_sender = ip::kInvalidNode;
+  auto rib_it = st.adj_rib_in.find(key);
+  if (rib_it != st.adj_rib_in.end()) {
+    for (const auto& [sender, route] : rib_it->second) {
+      if (new_best == nullptr || better(route, *new_best)) {
+        new_best = &route;
+        new_sender = sender;
+      }
+    }
+  }
+
+  auto loc_it = st.loc_rib.find(key);
+  if (new_best == nullptr) {
+    if (loc_it == st.loc_rib.end()) return;  // nothing changed
+    // Best path lost: withdraw downstream, notify observers.
+    const ip::NodeId old_sender = st.best_sender[key];
+    st.loc_rib.erase(loc_it);
+    st.best_sender.erase(key);
+    VpnRoute gone;
+    gone.rd = key.first;
+    gone.prefix = key.second;
+    for (const auto& cb : observers_) cb(node, gone, true);
+    for (ip::NodeId peer : advertise_targets(node, old_sender)) {
+      send_withdraw(node, peer, key);
+    }
+    return;
+  }
+
+  const bool changed =
+      loc_it == st.loc_rib.end() ||
+      loc_it->second.next_hop != new_best->next_hop ||
+      loc_it->second.vpn_label != new_best->vpn_label ||
+      loc_it->second.originator != new_best->originator ||
+      loc_it->second.route_targets != new_best->route_targets;
+  if (!changed) return;
+
+  st.loc_rib[key] = *new_best;
+  st.best_sender[key] = new_sender;
+  for (const auto& cb : observers_) cb(node, *new_best, false);
+  for (ip::NodeId peer : advertise_targets(node, new_sender)) {
+    send_update(node, peer, *new_best);
+  }
+}
+
+void Bgp::fail_speaker(ip::NodeId pe) {
+  // Drop sessions touching `pe`.
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->first == pe || it->second == pe) {
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [node, st] : state_) {
+    if (node == pe) continue;
+    auto& peers = st.peers;
+    peers.erase(std::remove(peers.begin(), peers.end(), pe), peers.end());
+    // Flush Adj-RIB-In entries learned from the dead peer and re-decide
+    // the affected keys.
+    std::vector<VpnRouteKey> affected;
+    for (auto& [key, senders] : st.adj_rib_in) {
+      if (senders.erase(pe) > 0) affected.push_back(key);
+    }
+    for (const VpnRouteKey& key : affected) decide(node, key);
+  }
+}
+
+std::size_t Bgp::loc_rib_size(ip::NodeId node) const {
+  return state_.at(node).loc_rib.size();
+}
+
+std::size_t Bgp::adj_rib_in_size(ip::NodeId node) const {
+  std::size_t n = 0;
+  for (const auto& [key, senders] : state_.at(node).adj_rib_in) {
+    n += senders.size();
+  }
+  return n;
+}
+
+const VpnRoute* Bgp::best(ip::NodeId node, const VpnRouteKey& key) const {
+  const SpeakerState& st = state_.at(node);
+  auto it = st.loc_rib.find(key);
+  return it == st.loc_rib.end() ? nullptr : &it->second;
+}
+
+std::vector<VpnRoute> Bgp::loc_rib(ip::NodeId node) const {
+  std::vector<VpnRoute> out;
+  const SpeakerState& st = state_.at(node);
+  out.reserve(st.loc_rib.size());
+  for (const auto& [key, route] : st.loc_rib) out.push_back(route);
+  return out;
+}
+
+}  // namespace mvpn::routing

@@ -1,0 +1,160 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ip/address.hpp"
+#include "ip/route_table.hpp"
+#include "routing/control_plane.hpp"
+
+namespace mvpn::routing {
+
+/// Type-0 route distinguisher "asn:assigned" (RFC 2547 §4.1): prepended to
+/// customer prefixes so overlapping VPN address spaces stay distinct inside
+/// one BGP routing system — the paper's "identifiers allow a single routing
+/// system to support multiple VPNs whose internal address spaces overlap".
+struct RouteDistinguisher {
+  std::uint32_t asn = 0;
+  std::uint32_t assigned = 0;
+
+  friend constexpr auto operator<=>(const RouteDistinguisher&,
+                                    const RouteDistinguisher&) = default;
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(asn) + ":" + std::to_string(assigned);
+  }
+};
+
+/// Route-target extended community controlling VRF import/export policy.
+struct RouteTarget {
+  std::uint32_t asn = 0;
+  std::uint32_t assigned = 0;
+
+  friend constexpr auto operator<=>(const RouteTarget&,
+                                    const RouteTarget&) = default;
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(asn) + ":" + std::to_string(assigned);
+  }
+};
+
+/// A VPN-IPv4 NLRI with its attributes: the unit MP-BGP distributes among
+/// PEs ("piggybacking labels in the routing protocol updates", paper §4).
+struct VpnRoute {
+  RouteDistinguisher rd;
+  ip::Prefix prefix;
+  ip::Ipv4Address next_hop;          ///< egress PE loopback
+  ip::NodeId next_hop_node = ip::kInvalidNode;
+  std::uint32_t vpn_label = ip::kNoLabel;
+  std::vector<RouteTarget> route_targets;
+  std::uint32_t local_pref = 100;
+  ip::NodeId originator = ip::kInvalidNode;
+
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    return 48 + 8 * route_targets.size();
+  }
+  [[nodiscard]] bool has_target(const RouteTarget& rt) const noexcept {
+    for (const auto& t : route_targets) {
+      if (t == rt) return true;
+    }
+    return false;
+  }
+};
+
+/// Loc-RIB / Adj-RIB key.
+using VpnRouteKey = std::pair<RouteDistinguisher, ip::Prefix>;
+
+/// MP-BGP mesh distributing VPN-IPv4 routes among PE routers, in either
+/// full-mesh iBGP or route-reflector topology — the control-plane half of
+/// the scalability story (experiments E1/E7 count its sessions, messages
+/// and per-node state).
+class Bgp {
+ public:
+  enum class Mode { kFullMesh, kRouteReflector };
+
+  explicit Bgp(ControlPlane& cp, Mode mode = Mode::kFullMesh);
+
+  /// Enroll a PE speaker (a route-reflector client in RR mode).
+  void add_speaker(ip::NodeId pe);
+  /// Enroll a route reflector (RR mode only; RRs full-mesh among
+  /// themselves and serve every speaker as a client).
+  void add_route_reflector(ip::NodeId rr);
+
+  /// Establish all sessions per the mode (counts OPEN exchanges).
+  void start();
+
+  /// Inject a locally-originated route at `pe` (e.g. learned from an
+  /// attached CE) and propagate.
+  void originate(ip::NodeId pe, VpnRoute route);
+  /// Withdraw a locally-originated route.
+  void withdraw(ip::NodeId pe, const RouteDistinguisher& rd,
+                const ip::Prefix& prefix);
+
+  /// Simulate a speaker crash: every peer tears down its session with
+  /// `pe`, flushes the routes learned from it and re-runs best-path
+  /// selection — the mechanism behind PE-failure failover for multihomed
+  /// sites. (`pe` itself goes silent; its local state is untouched so a
+  /// later restart could be modeled on top.)
+  void fail_speaker(ip::NodeId pe);
+
+  /// Fired whenever a speaker's Loc-RIB best path for some key changes.
+  /// `withdrawn` means the key now has no route at that speaker.
+  using RouteObserver =
+      std::function<void(ip::NodeId at, const VpnRoute& route, bool withdrawn)>;
+  void on_route(RouteObserver cb) { observers_.push_back(std::move(cb)); }
+
+  /// --- introspection -----------------------------------------------------
+  [[nodiscard]] std::size_t session_count() const noexcept {
+    return sessions_.size();
+  }
+  [[nodiscard]] std::size_t loc_rib_size(ip::NodeId node) const;
+  [[nodiscard]] std::size_t adj_rib_in_size(ip::NodeId node) const;
+  [[nodiscard]] const VpnRoute* best(ip::NodeId node, const VpnRouteKey& key)
+      const;
+  [[nodiscard]] std::vector<VpnRoute> loc_rib(ip::NodeId node) const;
+  [[nodiscard]] bool is_reflector(ip::NodeId node) const;
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] const std::vector<ip::NodeId>& speakers() const noexcept {
+    return speakers_;
+  }
+
+ private:
+  struct SpeakerState {
+    bool reflector = false;
+    std::vector<ip::NodeId> peers;
+    /// Adj-RIB-In: per key, the route each sender currently offers.
+    /// Sender kInvalidNode marks locally-originated routes.
+    std::map<VpnRouteKey, std::map<ip::NodeId, VpnRoute>> adj_rib_in;
+    std::map<VpnRouteKey, VpnRoute> loc_rib;
+    /// Which peer (or local) supplied the current best, for reflection.
+    std::map<VpnRouteKey, ip::NodeId> best_sender;
+  };
+
+  void add_session(ip::NodeId a, ip::NodeId b);
+  void receive_update(ip::NodeId at, ip::NodeId from, VpnRoute route);
+  void receive_withdraw(ip::NodeId at, ip::NodeId from, VpnRouteKey key);
+  /// Re-run best-path selection for `key` at `node`; propagate on change.
+  void decide(ip::NodeId node, const VpnRouteKey& key);
+  /// Peers `node` must advertise to when its best for a key came from
+  /// `sender` (kInvalidNode = locally originated).
+  [[nodiscard]] std::vector<ip::NodeId> advertise_targets(
+      ip::NodeId node, ip::NodeId sender) const;
+  void send_update(ip::NodeId from, ip::NodeId to, const VpnRoute& route);
+  void send_withdraw(ip::NodeId from, ip::NodeId to, const VpnRouteKey& key);
+
+  static bool better(const VpnRoute& a, const VpnRoute& b) noexcept;
+
+  ControlPlane& cp_;
+  Mode mode_;
+  std::vector<ip::NodeId> speakers_;
+  std::vector<ip::NodeId> reflectors_;
+  std::map<ip::NodeId, SpeakerState> state_;
+  std::vector<std::pair<ip::NodeId, ip::NodeId>> sessions_;
+  std::vector<RouteObserver> observers_;
+  bool started_ = false;
+};
+
+}  // namespace mvpn::routing

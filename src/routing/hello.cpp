@@ -1,0 +1,55 @@
+#include "routing/hello.hpp"
+
+namespace mvpn::routing {
+
+HelloProtocol::HelloProtocol(ControlPlane& cp) : cp_(cp) {}
+
+void HelloProtocol::enroll_link(net::LinkId link) {
+  const net::Link& l = cp_.topology().link(link);
+  Watch w;
+  w.link = link;
+  w.a = l.end_a().node;
+  w.b = l.end_b().node;
+  watches_.push_back(w);
+}
+
+void HelloProtocol::start(sim::SimTime interval,
+                          std::uint32_t miss_threshold) {
+  interval_ = interval;
+  threshold_ = miss_threshold;
+  running_ = true;
+  tick();
+}
+
+void HelloProtocol::declare_down(net::LinkId link) {
+  auto [it, fresh] = down_links_.emplace(link, true);
+  if (!fresh) return;  // already declared
+  for (const auto& cb : callbacks_) cb(link);
+}
+
+void HelloProtocol::tick() {
+  if (!running_) return;
+  for (std::size_t i = 0; i < watches_.size(); ++i) {
+    Watch& w = watches_[i];
+    if (down_links_.count(w.link) != 0) continue;
+    // Each side sends a hello; send_adjacent fails (returns false) when
+    // the link is down — that IS the missed hello. (Index capture: the
+    // watch vector may grow between tick and delivery.)
+    ++hellos_sent_;
+    if (!cp_.send_adjacent(w.a, w.b, "hello", 16,
+                           [this, i] { watches_[i].misses_at_b = 0; })) {
+      ++w.misses_at_b;
+    }
+    ++hellos_sent_;
+    if (!cp_.send_adjacent(w.b, w.a, "hello", 16,
+                           [this, i] { watches_[i].misses_at_a = 0; })) {
+      ++w.misses_at_a;
+    }
+    if (w.misses_at_a >= threshold_ || w.misses_at_b >= threshold_) {
+      declare_down(w.link);
+    }
+  }
+  cp_.topology().scheduler().schedule_in(interval_, [this] { tick(); });
+}
+
+}  // namespace mvpn::routing

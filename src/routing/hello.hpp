@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "routing/control_plane.hpp"
+
+namespace mvpn::routing {
+
+/// Adjacency liveness via periodic hellos (the OSPF hello / BFD role):
+/// each router sends a hello over every enrolled link per interval; a
+/// side that misses `threshold` consecutive hellos declares the link down
+/// and fires the callback — which scenarios wire to
+/// Igp::notify_link_change / RsvpTe::notify_link_failure, replacing the
+/// manual failure notifications.
+///
+/// Detection time is therefore interval x threshold, the classic
+/// trade-off between failure detection speed and false positives.
+class HelloProtocol {
+ public:
+  explicit HelloProtocol(ControlPlane& cp);
+
+  /// Watch `link` (both directions).
+  void enroll_link(net::LinkId link);
+  /// Start the periodic hellos.
+  void start(sim::SimTime interval, std::uint32_t miss_threshold);
+
+  /// Fired once per link when it is declared dead (from either side).
+  using DownCallback = std::function<void(net::LinkId)>;
+  void on_link_down(DownCallback cb) { callbacks_.push_back(std::move(cb)); }
+
+  [[nodiscard]] std::uint64_t hellos_sent() const noexcept {
+    return hellos_sent_;
+  }
+  [[nodiscard]] std::size_t links_declared_down() const noexcept {
+    return down_links_.size();
+  }
+  [[nodiscard]] bool is_down(net::LinkId link) const {
+    return down_links_.count(link) != 0;
+  }
+
+ private:
+  struct Watch {
+    net::LinkId link = net::kInvalidLink;
+    ip::NodeId a = ip::kInvalidNode;
+    ip::NodeId b = ip::kInvalidNode;
+    std::uint32_t misses_at_a = 0;  ///< hellos from b that a missed
+    std::uint32_t misses_at_b = 0;
+  };
+
+  void tick();
+  void declare_down(net::LinkId link);
+
+  ControlPlane& cp_;
+  std::vector<Watch> watches_;
+  std::map<net::LinkId, bool> down_links_;
+  std::vector<DownCallback> callbacks_;
+  sim::SimTime interval_ = 0;
+  std::uint32_t threshold_ = 3;
+  bool running_ = false;
+  std::uint64_t hellos_sent_ = 0;
+};
+
+}  // namespace mvpn::routing

@@ -1,0 +1,256 @@
+#include "routing/igp.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace mvpn::routing {
+
+Igp::Igp(ControlPlane& cp) : cp_(cp) {}
+
+void Igp::add_router(ip::NodeId router) {
+  if (routers_[router].active) return;
+  routers_[router].active = true;
+  members_.push_back(router);
+}
+
+bool Igp::is_member(ip::NodeId router) const {
+  auto it = routers_.find(router);
+  return it != routers_.end() && it->second.active;
+}
+
+Igp::RouterState& Igp::state(ip::NodeId router) {
+  auto it = routers_.find(router);
+  if (it == routers_.end() || !it->second.active) {
+    throw std::invalid_argument("Igp: node is not a member router");
+  }
+  return it->second;
+}
+
+const Igp::RouterState& Igp::state(ip::NodeId router) const {
+  auto it = routers_.find(router);
+  if (it == routers_.end() || !it->second.active) {
+    throw std::invalid_argument("Igp: node is not a member router");
+  }
+  return it->second;
+}
+
+void Igp::start() {
+  for (ip::NodeId r : members_) originate_and_flood(r);
+}
+
+Lsa Igp::build_lsa(ip::NodeId router) {
+  RouterState& st = state(router);
+  Lsa lsa;
+  lsa.origin = router;
+  lsa.sequence = ++st.lsa_seq;
+  for (const net::Adjacency& adj : cp_.topology().adjacencies(router)) {
+    if (!is_member(adj.neighbor)) continue;  // IGP covers provider core only
+    const net::Link& link = cp_.topology().link(adj.link);
+    LsaLink l;
+    l.neighbor = adj.neighbor;
+    l.link = adj.link;
+    l.cost = link.config().igp_cost;
+    l.capacity_bps = link.config().bandwidth_bps;
+    l.reservable_bps = te_reservable(router, adj.link);
+    lsa.links.push_back(l);
+  }
+  return lsa;
+}
+
+void Igp::originate_and_flood(ip::NodeId router) {
+  const Lsa lsa = build_lsa(router);
+  RouterState& st = state(router);
+  st.lsdb.install(lsa);
+  schedule_spf(router);
+  flood(router, lsa, ip::kInvalidNode);
+}
+
+void Igp::flood(ip::NodeId at, const Lsa& lsa, ip::NodeId except) {
+  for (const net::Adjacency& adj : cp_.topology().adjacencies(at)) {
+    if (adj.neighbor == except || !is_member(adj.neighbor)) continue;
+    const ip::NodeId to = adj.neighbor;
+    Lsa copy = lsa;
+    cp_.send_adjacent(at, to, "igp.lsa", lsa.wire_bytes(),
+                      [this, to, copy = std::move(copy), at] {
+                        receive_lsa(to, copy, at);
+                      });
+  }
+}
+
+void Igp::receive_lsa(ip::NodeId at, Lsa lsa, ip::NodeId from) {
+  RouterState& st = state(at);
+  if (!st.lsdb.install(lsa)) return;  // not newer: stop the flood
+  schedule_spf(at);
+  flood(at, lsa, from);
+}
+
+void Igp::schedule_spf(ip::NodeId router) {
+  RouterState& st = state(router);
+  if (st.spf_scheduled) return;
+  st.spf_scheduled = true;
+  cp_.topology().scheduler().schedule_in(spf_delay_,
+                                         [this, router] { run_spf(router); });
+}
+
+void Igp::run_spf(ip::NodeId router) {
+  RouterState& st = state(router);
+  st.spf_scheduled = false;
+  st.next_hops.clear();
+
+  // Single-source Dijkstra over the router's LSDB with multi-parent
+  // bookkeeping: every equal-cost predecessor is retained so the ECMP
+  // first-hop set can be derived afterwards.
+  struct Candidate {
+    std::uint32_t cost;
+    ip::NodeId node;
+    bool operator>(const Candidate& o) const noexcept {
+      if (cost != o.cost) return cost > o.cost;
+      return node > o.node;
+    }
+  };
+  std::map<ip::NodeId, std::uint32_t> best;
+  std::map<ip::NodeId, std::set<ip::NodeId>> parents;
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> pq;
+  pq.push(Candidate{0, router});
+  best[router] = 0;
+
+  while (!pq.empty()) {
+    const Candidate c = pq.top();
+    pq.pop();
+    const auto cur = best.find(c.node);
+    if (cur == best.end() || c.cost > cur->second) continue;  // stale
+    const Lsa* lsa = st.lsdb.find(c.node);
+    if (lsa == nullptr) continue;
+    for (const LsaLink& l : lsa->links) {
+      const Lsa* back = st.lsdb.find(l.neighbor);
+      if (back == nullptr) continue;
+      const bool two_way =
+          std::any_of(back->links.begin(), back->links.end(),
+                      [&](const LsaLink& bl) { return bl.link == l.link; });
+      if (!two_way) continue;
+      const std::uint32_t ncost = c.cost + l.cost;
+      auto it = best.find(l.neighbor);
+      if (it == best.end() || ncost < it->second) {
+        best[l.neighbor] = ncost;
+        parents[l.neighbor] = {c.node};
+        pq.push(Candidate{ncost, l.neighbor});
+      } else if (ncost == it->second) {
+        parents[l.neighbor].insert(c.node);  // equal-cost alternate
+      }
+    }
+  }
+
+  // Memoized first-hop-set computation over the parent DAG.
+  std::map<ip::NodeId, std::set<ip::NodeId>> first_hops;
+  std::function<const std::set<ip::NodeId>&(ip::NodeId)> fh =
+      [&](ip::NodeId dest) -> const std::set<ip::NodeId>& {
+    auto memo = first_hops.find(dest);
+    if (memo != first_hops.end()) return memo->second;
+    std::set<ip::NodeId> hops;
+    for (ip::NodeId p : parents[dest]) {
+      if (p == router) {
+        hops.insert(dest);
+      } else {
+        const auto& up = fh(p);
+        hops.insert(up.begin(), up.end());
+      }
+    }
+    return first_hops.emplace(dest, std::move(hops)).first->second;
+  };
+
+  for (const auto& [dest, cost] : best) {
+    if (dest == router) continue;
+    std::vector<NextHopEntry> entries;
+    for (ip::NodeId hop : fh(dest)) {  // std::set: sorted by id
+      NextHopEntry entry;
+      entry.via = hop;
+      entry.iface = cp_.topology().node(router).interface_to(hop);
+      entry.cost = cost;
+      entries.push_back(entry);
+    }
+    if (!entries.empty()) st.next_hops[dest] = std::move(entries);
+  }
+
+  last_spf_at_ = cp_.now();
+  ++spf_runs_;
+  for (const auto& cb : spf_callbacks_) cb(router);
+}
+
+void Igp::notify_link_change(net::LinkId link) {
+  const net::Link& l = cp_.topology().link(link);
+  for (ip::NodeId end : {l.end_a().node, l.end_b().node}) {
+    if (is_member(end)) originate_and_flood(end);
+  }
+}
+
+bool Igp::te_reserve(ip::NodeId from, net::LinkId link, double bps) {
+  if (te_reservable(from, link) + 1e-6 < bps) return false;
+  te_reserved_[{link, from}] += bps;
+  originate_and_flood(from);
+  return true;
+}
+
+void Igp::te_release(ip::NodeId from, net::LinkId link, double bps) {
+  auto it = te_reserved_.find({link, from});
+  if (it == te_reserved_.end()) return;
+  it->second = std::max(0.0, it->second - bps);
+  originate_and_flood(from);
+}
+
+double Igp::te_reserved(ip::NodeId from, net::LinkId link) const {
+  auto it = te_reserved_.find({link, from});
+  return it == te_reserved_.end() ? 0.0 : it->second;
+}
+
+double Igp::te_reservable(ip::NodeId from, net::LinkId link) const {
+  const net::Link& l = cp_.topology().link(link);
+  return l.config().bandwidth_bps * te_factor_ - te_reserved(from, link);
+}
+
+const Igp::NextHopEntry* Igp::next_hop(ip::NodeId router,
+                                       ip::NodeId dest) const {
+  const RouterState& st = state(router);
+  auto it = st.next_hops.find(dest);
+  if (it == st.next_hops.end() || it->second.empty()) return nullptr;
+  return &it->second.front();
+}
+
+std::vector<Igp::NextHopEntry> Igp::next_hops_ecmp(ip::NodeId router,
+                                                   ip::NodeId dest) const {
+  const RouterState& st = state(router);
+  auto it = st.next_hops.find(dest);
+  return it == st.next_hops.end() ? std::vector<NextHopEntry>{}
+                                  : it->second;
+}
+
+ComputedPath Igp::path(ip::NodeId router, ip::NodeId dest) const {
+  return shortest_path(state(router).lsdb, router, dest);
+}
+
+ComputedPath Igp::cspf(ip::NodeId router, ip::NodeId dest,
+                       double bandwidth_bps,
+                       const std::vector<net::LinkId>& excluded) const {
+  return shortest_path(state(router).lsdb, router, dest, bandwidth_bps,
+                       excluded);
+}
+
+const LinkStateDb& Igp::lsdb(ip::NodeId router) const {
+  return state(router).lsdb;
+}
+
+bool Igp::synchronized() const {
+  for (ip::NodeId a : members_) {
+    const RouterState& st = routers_.at(a);
+    for (ip::NodeId b : members_) {
+      const RouterState& origin = routers_.at(b);
+      const Lsa* have = st.lsdb.find(b);
+      if (have == nullptr || have->sequence != origin.lsa_seq) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mvpn::routing

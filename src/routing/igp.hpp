@@ -1,0 +1,120 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/control_plane.hpp"
+#include "routing/link_state.hpp"
+
+namespace mvpn::routing {
+
+/// Link-state interior gateway protocol (OSPF-like) with traffic-
+/// engineering extensions, running across the provider routers (PEs + Ps).
+///
+/// Mechanics modeled:
+///  * each participating router originates a router LSA describing its
+///    adjacencies (cost, capacity, reservable bandwidth) and floods it;
+///  * receivers install strictly-newer LSAs, re-flood to other neighbors,
+///    and schedule an SPF run after a hold-down delay;
+///  * SPF builds each router's next-hop table toward every other router;
+///  * the TE database tracks per-link-direction bandwidth reservations
+///    (fed by RSVP-TE) and re-advertises reservable bandwidth, which CSPF
+///    constrains on (the paper's §3.1/§5 traffic-engineering machinery).
+class Igp {
+ public:
+  struct NextHopEntry {
+    ip::NodeId via = ip::kInvalidNode;
+    ip::IfIndex iface = ip::kInvalidIf;
+    std::uint32_t cost = 0;
+  };
+
+  explicit Igp(ControlPlane& cp);
+
+  /// Enroll a router; call before start().
+  void add_router(ip::NodeId router);
+  [[nodiscard]] bool is_member(ip::NodeId router) const;
+  [[nodiscard]] const std::vector<ip::NodeId>& members() const noexcept {
+    return members_;
+  }
+
+  /// Originate and flood the initial LSAs; SPFs follow automatically.
+  void start();
+
+  /// Notify that `link`'s state changed (failure/restore/TE update): both
+  /// endpoints re-originate and flood.
+  void notify_link_change(net::LinkId link);
+
+  /// --- TE reservation database -----------------------------------------
+  /// Reserve `bps` on the direction of `link` leaving `from`. Fails when
+  /// reservable bandwidth is insufficient. On success, re-advertises.
+  bool te_reserve(ip::NodeId from, net::LinkId link, double bps);
+  void te_release(ip::NodeId from, net::LinkId link, double bps);
+  [[nodiscard]] double te_reserved(ip::NodeId from, net::LinkId link) const;
+  [[nodiscard]] double te_reservable(ip::NodeId from, net::LinkId link) const;
+  /// Fraction of link capacity open to reservations (default 1.0).
+  void set_te_subscription_factor(double f) noexcept { te_factor_ = f; }
+
+  /// --- per-router queries (answered from that router's own LSDB) -------
+  /// Primary next hop (lowest neighbor id among equal-cost candidates).
+  [[nodiscard]] const NextHopEntry* next_hop(ip::NodeId router,
+                                             ip::NodeId dest) const;
+  /// All equal-cost next hops (ECMP set), sorted by neighbor id.
+  [[nodiscard]] std::vector<NextHopEntry> next_hops_ecmp(
+      ip::NodeId router, ip::NodeId dest) const;
+  [[nodiscard]] ComputedPath path(ip::NodeId router, ip::NodeId dest) const;
+  /// Constrained SPF for TE LSP placement.
+  [[nodiscard]] ComputedPath cspf(ip::NodeId router, ip::NodeId dest,
+                                  double bandwidth_bps,
+                                  const std::vector<net::LinkId>& excluded =
+                                      {}) const;
+  [[nodiscard]] const LinkStateDb& lsdb(ip::NodeId router) const;
+
+  /// True when every member's LSDB holds every member's newest LSA.
+  [[nodiscard]] bool synchronized() const;
+  /// Time of the last SPF run anywhere (convergence instant measurement).
+  [[nodiscard]] sim::SimTime last_spf_at() const noexcept {
+    return last_spf_at_;
+  }
+  [[nodiscard]] std::uint64_t spf_runs() const noexcept { return spf_runs_; }
+
+  /// Subscribe to SPF completion at a router (LDP and the routers' FIB
+  /// sync hook in from here).
+  void on_spf(std::function<void(ip::NodeId router)> cb) {
+    spf_callbacks_.push_back(std::move(cb));
+  }
+
+  void set_spf_delay(sim::SimTime d) noexcept { spf_delay_ = d; }
+
+ private:
+  struct RouterState {
+    bool active = false;
+    LinkStateDb lsdb;
+    /// Per destination: the ECMP next-hop set (element 0 is primary).
+    std::unordered_map<ip::NodeId, std::vector<NextHopEntry>> next_hops;
+    bool spf_scheduled = false;
+    std::uint32_t lsa_seq = 0;
+  };
+
+  RouterState& state(ip::NodeId router);
+  const RouterState& state(ip::NodeId router) const;
+  Lsa build_lsa(ip::NodeId router);
+  void originate_and_flood(ip::NodeId router);
+  void flood(ip::NodeId at, const Lsa& lsa, ip::NodeId except);
+  void receive_lsa(ip::NodeId at, Lsa lsa, ip::NodeId from);
+  void schedule_spf(ip::NodeId router);
+  void run_spf(ip::NodeId router);
+
+  ControlPlane& cp_;
+  std::vector<ip::NodeId> members_;
+  std::map<ip::NodeId, RouterState> routers_;
+  std::map<std::pair<net::LinkId, ip::NodeId>, double> te_reserved_;
+  double te_factor_ = 1.0;
+  sim::SimTime spf_delay_ = 30 * sim::kMillisecond;
+  sim::SimTime last_spf_at_ = 0;
+  std::uint64_t spf_runs_ = 0;
+  std::vector<std::function<void(ip::NodeId)>> spf_callbacks_;
+};
+
+}  // namespace mvpn::routing

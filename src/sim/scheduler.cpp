@@ -1,0 +1,69 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mvpn::sim {
+
+EventId Scheduler::schedule_at(SimTime t, Handler fn) {
+  if (t < now_) {
+    throw std::invalid_argument("Scheduler::schedule_at: time is in the past");
+  }
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{t, seq, std::move(fn)});
+  return EventId{seq};
+}
+
+EventId Scheduler::schedule_in(SimTime delay, Handler fn) {
+  if (delay < 0) {
+    throw std::invalid_argument("Scheduler::schedule_in: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Scheduler::cancel(EventId id) {
+  if (id.valid()) cancelled_.insert(id.seq);
+}
+
+bool Scheduler::pop_and_execute() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run() {
+  stopped_ = false;
+  while (!stopped_ && pop_and_execute()) {
+  }
+}
+
+void Scheduler::run_until(SimTime t_end) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    // Skip cancelled heads so we do not advance time for dead events.
+    if (cancelled_.count(queue_.top().seq) != 0) {
+      cancelled_.erase(queue_.top().seq);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().time > t_end) break;
+    pop_and_execute();
+  }
+  if (!stopped_ && now_ < t_end) now_ = t_end;
+}
+
+std::size_t Scheduler::pending() const noexcept {
+  return queue_.size() - cancelled_.size();
+}
+
+}  // namespace mvpn::sim

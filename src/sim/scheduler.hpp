@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mvpn::sim {
+
+/// Opaque handle for a scheduled event; usable with Scheduler::cancel.
+struct EventId {
+  std::uint64_t seq = 0;
+  [[nodiscard]] bool valid() const noexcept { return seq != 0; }
+};
+
+/// Deterministic discrete-event scheduler.
+///
+/// Events fire in (time, insertion-sequence) order, so simultaneous events
+/// execute in the order they were scheduled — runs are bit-reproducible for
+/// a given seed. Handlers may schedule further events and may cancel
+/// not-yet-fired events.
+class Scheduler {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(SimTime t, Handler fn);
+  /// Schedule `fn` at now() + delay (delay >= 0).
+  EventId schedule_in(SimTime delay, Handler fn);
+  /// Cancel a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Run until the queue drains or stop() is called.
+  void run();
+  /// Run events with time <= t_end, then set now() = t_end.
+  void run_until(SimTime t_end);
+  /// Request that run()/run_until() return after the current handler.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept;
+  [[nodiscard]] std::uint64_t executed_count() const noexcept {
+    return executed_;
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_execute();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace mvpn::sim

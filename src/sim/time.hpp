@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mvpn::sim {
+
+/// Simulation timestamp in integer nanoseconds.
+///
+/// Integer time makes runs bit-reproducible: there is no accumulation of
+/// floating-point error across event scheduling, and event ordering is a
+/// total order (time, insertion sequence).
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+/// Convert a SimTime to floating seconds (for reporting only).
+[[nodiscard]] constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / 1e9;
+}
+
+/// Convert floating seconds to SimTime (rounds toward zero).
+[[nodiscard]] constexpr SimTime from_seconds(double s) noexcept {
+  return static_cast<SimTime>(s * 1e9);
+}
+
+/// Time to serialize `bytes` onto a link of `bits_per_second` capacity.
+[[nodiscard]] constexpr SimTime transmission_time(std::uint64_t bytes,
+                                                  double bits_per_second) noexcept {
+  return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 /
+                              bits_per_second * 1e9);
+}
+
+}  // namespace mvpn::sim

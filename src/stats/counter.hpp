@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mvpn::stats {
+
+/// Monotonic event counter. Used throughout the simulator for packet,
+/// byte, drop and protocol-message accounting.
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  void reset() noexcept { value_ = 0; }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::uint64_t value_ = 0;
+};
+
+/// Pair of packet/byte counters — the ubiquitous unit of data-plane
+/// accounting (per queue, per interface, per VRF, ...).
+struct PacketByteCounter {
+  Counter packets;
+  Counter bytes;
+
+  void record(std::size_t byte_count) noexcept {
+    packets.add(1);
+    bytes.add(byte_count);
+  }
+  void reset() noexcept {
+    packets.reset();
+    bytes.reset();
+  }
+};
+
+}  // namespace mvpn::stats

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/running_stats.hpp"
+
+namespace mvpn::stats {
+
+/// Exact-percentile sample store.
+///
+/// Keeps every sample; percentile queries sort lazily. Appropriate at
+/// simulation scale (millions of samples) where exactness beats the memory
+/// cost of a sketch. `percentile(p)` uses nearest-rank on the sorted data.
+class SampleSet {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double mean() const noexcept { return stats_.mean(); }
+  [[nodiscard]] double stddev() const noexcept { return stats_.stddev(); }
+  [[nodiscard]] double min() const noexcept { return stats_.min(); }
+  [[nodiscard]] double max() const noexcept { return stats_.max(); }
+
+  /// Nearest-rank percentile, p in [0, 100]. Returns 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] const RunningStats& summary() const noexcept { return stats_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  RunningStats stats_;
+};
+
+/// Fixed-width binned histogram over [lo, hi); out-of-range samples land in
+/// underflow/overflow bins. Used for latency distributions in reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Percentile estimated by linear interpolation within the owning bin.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mvpn::stats

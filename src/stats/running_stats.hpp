@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mvpn::stats {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long runs; O(1) memory. Used for latency and
+/// jitter accounting where we do not need exact percentiles.
+class RunningStats {
+ public:
+  /// Fold one sample into the accumulator.
+  void add(double x) noexcept;
+
+  /// Merge another accumulator into this one (parallel-reduction friendly).
+  void merge(const RunningStats& other) noexcept;
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mvpn::stats

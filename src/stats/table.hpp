@@ -1,0 +1,41 @@
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mvpn::stats {
+
+/// ASCII table renderer used by every benchmark harness so paper-claim vs
+/// measured rows come out aligned and diffable.
+///
+///   Table t{"N sites", "overlay VCs", "MPLS LSPs"};
+///   t.add_row({"10", "45", "20"});
+///   std::cout << t.render();
+class Table {
+ public:
+  Table(std::initializer_list<std::string> headers);
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+  /// Append a horizontal separator row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::string render() const;
+
+  /// Convenience numeric formatting helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mvpn::stats

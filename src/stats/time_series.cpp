@@ -1,0 +1,54 @@
+#include "stats/time_series.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mvpn::stats {
+
+void TimeSeries::add(double time_s, double value) {
+  points_.push_back(Point{time_s, value});
+}
+
+double TimeSeries::max_value() const {
+  double m = 0.0;
+  for (const auto& p : points_) m = std::max(m, p.v);
+  return m;
+}
+
+double TimeSeries::mean_value() const {
+  if (points_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& p : points_) s += p.v;
+  return s / static_cast<double>(points_.size());
+}
+
+std::string TimeSeries::to_csv() const {
+  std::ostringstream os;
+  os << "time," << (name_.empty() ? "value" : name_) << "\n";
+  for (const auto& p : points_) os << p.t << "," << p.v << "\n";
+  return os.str();
+}
+
+RateMeter::RateMeter(double window_s, std::string name)
+    : window_s_(window_s), series_(std::move(name)) {}
+
+void RateMeter::record(double t, double amount) {
+  if (!started_) {
+    started_ = true;
+    window_start_ = 0.0;
+  }
+  while (t >= window_start_ + window_s_) {
+    series_.add(window_start_ + window_s_, accum_ / window_s_);
+    window_start_ += window_s_;
+    accum_ = 0.0;
+  }
+  accum_ += amount;
+}
+
+void RateMeter::flush() {
+  if (!started_) return;
+  series_.add(window_start_ + window_s_, accum_ / window_s_);
+  accum_ = 0.0;
+}
+
+}  // namespace mvpn::stats

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mvpn::stats {
+
+/// A (time, value) series with CSV export; `time` is in seconds.
+/// Used by benches for utilization/throughput-over-time traces.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void add(double time_s, double value);
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] double time_at(std::size_t i) const { return points_.at(i).t; }
+  [[nodiscard]] double value_at(std::size_t i) const { return points_.at(i).v; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] double max_value() const;
+  [[nodiscard]] double mean_value() const;
+
+  /// Render "time,value" lines (with a header) for offline plotting.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  struct Point {
+    double t;
+    double v;
+  };
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+/// Windowed rate meter: feed event sizes (e.g. bytes) with timestamps and
+/// it emits a per-window rate series (e.g. bits/s per 100 ms window).
+class RateMeter {
+ public:
+  RateMeter(double window_s, std::string name);
+
+  /// Record `amount` units at time `t` (seconds, nondecreasing).
+  void record(double t, double amount);
+  /// Close the current window (call once at end of run).
+  void flush();
+
+  [[nodiscard]] const TimeSeries& series() const noexcept { return series_; }
+  [[nodiscard]] double window_seconds() const noexcept { return window_s_; }
+
+ private:
+  double window_s_;
+  double window_start_ = 0.0;
+  double accum_ = 0.0;
+  bool started_ = false;
+  TimeSeries series_;
+};
+
+}  // namespace mvpn::stats

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "vpn/router.hpp"
+
+namespace mvpn::traffic {
+
+/// Demultiplexes a router's local deliveries to per-flow handlers, so
+/// several endpoints (e.g. TCP-like flows and a measurement sink) can
+/// share one CE. Install with attach(); unregistered flows go to the
+/// default handler if set.
+class FlowDispatcher {
+ public:
+  using Handler = std::function<void(const net::Packet&, vpn::VpnId)>;
+
+  /// Become `router`'s local sink.
+  void attach(vpn::Router& router) {
+    router.set_local_sink([this](const net::Packet& p, vpn::VpnId vpn) {
+      dispatch(p, vpn);
+    });
+  }
+
+  void register_flow(std::uint32_t flow_id, Handler h) {
+    handlers_[flow_id] = std::move(h);
+  }
+  void unregister_flow(std::uint32_t flow_id) { handlers_.erase(flow_id); }
+  void set_default(Handler h) { default_ = std::move(h); }
+
+ private:
+  void dispatch(const net::Packet& p, vpn::VpnId vpn) {
+    auto it = handlers_.find(p.flow_id);
+    if (it != handlers_.end()) {
+      it->second(p, vpn);
+    } else if (default_) {
+      default_(p, vpn);
+    }
+  }
+
+  std::unordered_map<std::uint32_t, Handler> handlers_;
+  Handler default_;
+};
+
+}  // namespace mvpn::traffic

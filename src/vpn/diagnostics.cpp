@@ -1,0 +1,134 @@
+#include "vpn/diagnostics.hpp"
+
+#include <sstream>
+
+#include "mpls/lfib.hpp"
+
+namespace mvpn::vpn {
+
+std::string TraceResult::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (i > 0) os << " -> ";
+    const TraceHop& h = hops[i];
+    os << h.node_name;
+    if (!h.labels.empty() || h.encrypted) {
+      os << "[";
+      for (auto it = h.labels.rbegin(); it != h.labels.rend(); ++it) {
+        if (it != h.labels.rbegin()) os << "/";
+        os << it->label;
+      }
+      if (h.encrypted) os << (h.labels.empty() ? "esp" : "+esp");
+      os << "]";
+    }
+  }
+  if (delivered) {
+    os << " => delivered (vpn " << delivered_vpn << ", "
+       << sim::to_seconds(latency) * 1e3 << " ms)";
+  } else {
+    os << " => LOST";
+  }
+  return os.str();
+}
+
+TraceResult trace_route(net::Topology& topo, Router& ingress,
+                        ip::Ipv4Address src, ip::Ipv4Address dst,
+                        std::uint16_t dst_port, sim::SimTime timeout) {
+  TraceResult result;
+
+  net::PacketPtr probe = topo.packet_factory().make();
+  const std::uint64_t probe_id = probe->id;
+  probe->ip.src = src;
+  probe->ip.dst = dst;
+  probe->l4.dst_port = dst_port;
+  probe->payload_bytes = 36;
+  probe->created_at = topo.scheduler().now();
+  const sim::SimTime sent_at = probe->created_at;
+
+  // Record the ingress itself, then every subsequent delivery.
+  TraceHop first;
+  first.node = ingress.id();
+  first.node_name = ingress.name();
+  first.wire_bytes = probe->wire_size();
+  result.hops.push_back(first);
+
+  std::vector<Router*> hooked;  // sinks we must clear before returning
+  topo.set_packet_tap([&](ip::NodeId at, const net::Packet& p) {
+    if (p.id != probe_id) return;
+    TraceHop hop;
+    hop.node = at;
+    hop.node_name = topo.node(at).name();
+    hop.labels = p.labels;
+    hop.encrypted = p.esp.has_value();
+    hop.visible_dscp = p.visible_dscp();
+    hop.wire_bytes = p.wire_size();
+    result.hops.push_back(hop);
+
+    // If this node terminates the probe locally, capture the delivery.
+    auto* router = dynamic_cast<Router*>(&topo.node(at));
+    if (router != nullptr) {
+      hooked.push_back(router);
+      router->set_local_sink([&](const net::Packet& dp, VpnId vpn) {
+        if (dp.id != probe_id) return;
+        result.delivered = true;
+        result.delivered_vpn = vpn;
+        result.latency = topo.scheduler().now() - sent_at;
+      });
+    }
+  });
+  // The ingress might deliver locally without any wire hop.
+  ingress.set_local_sink([&](const net::Packet& dp, VpnId vpn) {
+    if (dp.id != probe_id) return;
+    result.delivered = true;
+    result.delivered_vpn = vpn;
+    result.latency = topo.scheduler().now() - sent_at;
+  });
+
+  ingress.inject(std::move(probe));
+  topo.scheduler().run_until(topo.scheduler().now() + timeout);
+
+  topo.set_packet_tap(nullptr);
+  ingress.set_local_sink(nullptr);
+  for (Router* r : hooked) r->set_local_sink(nullptr);
+  return result;
+}
+
+std::string describe_tables(Router& router) {
+  std::ostringstream os;
+  os << to_string(router.role()) << " " << router.name() << " (loopback "
+     << router.loopback().to_string() << ")\n";
+
+  os << "  global table (" << router.fib().size() << " routes):\n";
+  for (const auto& e : router.fib().entries()) {
+    os << "    " << e.prefix.to_string() << " [" << ip::to_string(e.source)
+       << "]";
+    if (e.next_hop.local) os << " local";
+    os << "\n";
+  }
+  for (Vrf* vrf : router.vrfs()) {
+    os << "  vrf \"" << vrf->config().name << "\" rd "
+       << vrf->config().rd.to_string() << " label " << vrf->vpn_label()
+       << " (" << vrf->table().size() << " routes):\n";
+    for (const auto& e : vrf->table().entries()) {
+      os << "    " << e.prefix.to_string() << " ["
+         << ip::to_string(e.source) << "]";
+      if (e.vpn_label != ip::kNoLabel) {
+        os << " label " << e.vpn_label << " via "
+           << router.topology().node(e.egress_pe).name();
+      }
+      os << "\n";
+    }
+  }
+  if (mpls::LsrState* lsr = router.lsr_state()) {
+    os << "  lfib (" << lsr->lfib.size() << " entries):\n";
+    for (const auto& e : lsr->lfib.entries()) {
+      os << "    " << e.in_label << " -> " << mpls::to_string(e.op);
+      if (e.op == mpls::LabelOp::kSwap) os << " " << e.out_label;
+      if (e.op == mpls::LabelOp::kPopDeliver) os << " vrf " << e.vrf_id;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mvpn::vpn

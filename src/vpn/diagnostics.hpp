@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "vpn/router.hpp"
+
+namespace mvpn::vpn {
+
+/// One observation point along a traced packet's journey.
+struct TraceHop {
+  ip::NodeId node = ip::kInvalidNode;
+  std::string node_name;
+  std::vector<net::MplsShim> labels;  ///< label stack on arrival
+  bool encrypted = false;             ///< ESP encapsulated on arrival
+  std::uint8_t visible_dscp = 0;
+  std::size_t wire_bytes = 0;
+};
+
+/// Result of tracing a probe packet from an ingress CE toward `dst`.
+struct TraceResult {
+  std::vector<TraceHop> hops;
+  bool delivered = false;
+  VpnId delivered_vpn = kGlobalVpn;
+  sim::SimTime latency = 0;
+
+  /// "CE0 -> PE0[mpls 17/16] -> P0[mpls 16] -> ..." rendering.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Inject a single probe at `ingress` and record every delivery point it
+/// crosses — the simulator's equivalent of an LSP-aware traceroute.
+///
+/// Drives the real data plane (classification, imposition, PHP, VRF
+/// delivery), so the result shows exactly what the architecture does to a
+/// packet. Temporarily replaces the topology packet tap and any local
+/// sink on the terminating routers it touches; intended for use while no
+/// other traffic is running.
+[[nodiscard]] TraceResult trace_route(net::Topology& topo, Router& ingress,
+                                      ip::Ipv4Address src,
+                                      ip::Ipv4Address dst,
+                                      std::uint16_t dst_port = 0,
+                                      sim::SimTime timeout =
+                                          sim::kSecond);
+
+/// Operational dump of one router's tables (FIB, VRFs, LFIB) — what an
+/// operator's "show" commands would print.
+[[nodiscard]] std::string describe_tables(Router& router);
+
+}  // namespace mvpn::vpn

@@ -1,0 +1,63 @@
+#include "vpn/directory.hpp"
+
+namespace mvpn::vpn {
+
+MembershipDirectory::MembershipDirectory(routing::ControlPlane& cp,
+                                         ip::NodeId server)
+    : cp_(cp), server_(server) {}
+
+void MembershipDirectory::register_site(VpnId vpn, ip::NodeId pe,
+                                        const ip::Prefix& prefix) {
+  ++registrations_;
+  const Attachment who{pe, prefix};
+  cp_.send_session(pe, server_, "dir.register", 48,
+                   [this, vpn, who] { server_handle(vpn, who, true); });
+}
+
+void MembershipDirectory::deregister_site(VpnId vpn, ip::NodeId pe,
+                                          const ip::Prefix& prefix) {
+  ++registrations_;
+  const Attachment who{pe, prefix};
+  cp_.send_session(pe, server_, "dir.deregister", 48,
+                   [this, vpn, who] { server_handle(vpn, who, false); });
+}
+
+void MembershipDirectory::server_handle(VpnId vpn, Attachment who,
+                                        bool joined) {
+  auto& members = members_[vpn];
+  if (joined) {
+    // Notify existing members about the newcomer, and replay existing
+    // membership to the newcomer — scoped strictly to this VPN (§4.1's
+    // separation requirement).
+    for (const Attachment& existing : members) {
+      if (existing.pe != who.pe) {
+        notify(existing.pe, vpn, who, true);
+        notify(who.pe, vpn, existing, true);
+      }
+    }
+    members.insert(who);
+  } else {
+    members.erase(who);
+    for (const Attachment& existing : members) {
+      if (existing.pe != who.pe) notify(existing.pe, vpn, who, false);
+    }
+  }
+}
+
+void MembershipDirectory::notify(ip::NodeId member, VpnId vpn,
+                                 const Attachment& who, bool joined) {
+  ++notifications_;
+  cp_.send_session(server_, member, "dir.notify", 56,
+                   [this, member, vpn, who, joined] {
+                     for (const auto& cb : callbacks_) {
+                       cb(member, vpn, who, joined);
+                     }
+                   });
+}
+
+std::size_t MembershipDirectory::member_count(VpnId vpn) const {
+  auto it = members_.find(vpn);
+  return it == members_.end() ? 0 : it->second.size();
+}
+
+}  // namespace mvpn::vpn

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ip/address.hpp"
+#include "routing/control_plane.hpp"
+#include "vpn/vrf.hpp"
+
+namespace mvpn::vpn {
+
+/// The "client-server approach" to VPN membership discovery that paper
+/// §4.1 lists next to manual configuration and BGP-based notification:
+/// a directory server that PEs register their VPN attachments with, and
+/// which notifies exactly the *current members* of that VPN about joins
+/// and leaves.
+///
+/// Contrast (measured in bench_membership): the RFC-2547 mechanism
+/// piggybacks membership on BGP, which floods every update to every
+/// session peer whether or not that PE serves the VPN; the directory
+/// sends only |members| notifications, at the price of a central server
+/// and an extra round trip. The discovery-separation requirement ("the
+/// discovery of membership in one VPN must not allow members of other
+/// VPNs to be discovered") maps to notifications being scoped per VPN.
+class MembershipDirectory {
+ public:
+  MembershipDirectory(routing::ControlPlane& cp, ip::NodeId server);
+
+  struct Attachment {
+    ip::NodeId pe = ip::kInvalidNode;
+    ip::Prefix prefix;
+    friend auto operator<=>(const Attachment&, const Attachment&) = default;
+  };
+
+  /// Fired at a member PE when another attachment joins/leaves its VPN.
+  using Notification = std::function<void(
+      ip::NodeId at_pe, VpnId vpn, const Attachment& who, bool joined)>;
+  void on_notify(Notification cb) { callbacks_.push_back(std::move(cb)); }
+
+  /// A PE registers one of its VPN attachments (client → server message;
+  /// the server then notifies current members, and replays the existing
+  /// membership back to the newcomer).
+  void register_site(VpnId vpn, ip::NodeId pe, const ip::Prefix& prefix);
+  void deregister_site(VpnId vpn, ip::NodeId pe, const ip::Prefix& prefix);
+
+  [[nodiscard]] std::size_t member_count(VpnId vpn) const;
+  [[nodiscard]] std::uint64_t registrations() const noexcept {
+    return registrations_;
+  }
+  [[nodiscard]] std::uint64_t notifications_sent() const noexcept {
+    return notifications_;
+  }
+
+ private:
+  void server_handle(VpnId vpn, Attachment who, bool joined);
+  void notify(ip::NodeId member, VpnId vpn, const Attachment& who,
+              bool joined);
+
+  routing::ControlPlane& cp_;
+  ip::NodeId server_;
+  std::map<VpnId, std::set<Attachment>> members_;
+  std::vector<Notification> callbacks_;
+  std::uint64_t registrations_ = 0;
+  std::uint64_t notifications_ = 0;
+};
+
+}  // namespace mvpn::vpn

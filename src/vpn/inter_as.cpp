@@ -1,0 +1,109 @@
+#include "vpn/inter_as.hpp"
+
+namespace mvpn::vpn {
+
+InterAsPeering::InterAsPeering(routing::ControlPlane& cp,
+                               MplsVpnService& service_a, Router& asbr_a,
+                               MplsVpnService& service_b, Router& asbr_b)
+    : cp_(cp) {
+  sides_[0] = Side{&service_a, &asbr_a};
+  sides_[1] = Side{&service_b, &asbr_b};
+  if (asbr_a.interface_to(asbr_b.id()) == ip::kInvalidIf) {
+    throw std::invalid_argument("InterAsPeering: ASBRs are not adjacent");
+  }
+  service_a.bgp().on_route(
+      [this](ip::NodeId at, const routing::VpnRoute& route, bool withdrawn) {
+        if (at == sides_[0].asbr->id()) on_local_route(0, route, withdrawn);
+      });
+  service_b.bgp().on_route(
+      [this](ip::NodeId at, const routing::VpnRoute& route, bool withdrawn) {
+        if (at == sides_[1].asbr->id()) on_local_route(1, route, withdrawn);
+      });
+}
+
+void InterAsPeering::stitch(VpnId vpn_a, VpnId vpn_b) {
+  // Back-to-back VRFs: bind the inter-AS interface into the VPN's VRF on
+  // both ASBRs.
+  sides_[0].service->bind_vrf_interface(vpn_a, *sides_[0].asbr,
+                                        sides_[1].asbr->id());
+  sides_[1].service->bind_vrf_interface(vpn_b, *sides_[1].asbr,
+                                        sides_[0].asbr->id());
+  Stitch s;
+  s.vpn[0] = vpn_a;
+  s.vpn[1] = vpn_b;
+  stitches_.push_back(s);
+
+  // Replay reachability that already converged before the peering came up
+  // (stitching after start() is legal).
+  for (int side = 0; side < 2; ++side) {
+    for (const routing::VpnRoute& route :
+         sides_[side].service->bgp().loc_rib(sides_[side].asbr->id())) {
+      on_local_route(side, route, false);
+    }
+  }
+}
+
+void InterAsPeering::on_local_route(int side, const routing::VpnRoute& route,
+                                    bool withdrawn) {
+  const Side& from = sides_[side];
+  // Never re-export what the ASBR itself originated (including our own
+  // stitched re-originations) — that is the option-A loop guard.
+  if (!withdrawn && route.originator == from.asbr->id()) return;
+
+  for (const Stitch& s : stitches_) {
+    const VpnId from_vpn = s.vpn[side];
+    const VpnId to_vpn = s.vpn[1 - side];
+    // Withdraw events carry no route targets; match on the RD instead.
+    const bool matches =
+        withdrawn ? route.rd == from.service->rd_of(from_vpn)
+                  : route.has_target(from.service->rt_of(from_vpn));
+    if (!matches) continue;
+    if (peer_installed_[side].count({from_vpn, route.prefix}) != 0) {
+      continue;  // came from the peer in the first place
+    }
+
+    ++updates_sent_;
+    const int to_side = 1 - side;
+    const ip::Prefix prefix = route.prefix;
+    cp_.send_session(from.asbr->id(), sides_[to_side].asbr->id(),
+                     "interas.update", 40 + (withdrawn ? 0 : 12),
+                     [this, to_side, to_vpn, prefix, withdrawn] {
+                       receive_update(to_side, to_vpn, prefix, withdrawn);
+                     });
+  }
+}
+
+void InterAsPeering::receive_update(int to_side, VpnId to_vpn,
+                                    ip::Prefix prefix, bool withdrawn) {
+  const Side& to = sides_[to_side];
+  const Side& from = sides_[1 - to_side];
+  Vrf* vrf = to.asbr->vrf_by_vpn(to_vpn);
+  if (vrf == nullptr) return;
+
+  if (withdrawn) {
+    const ip::RouteEntry* cur = vrf->table().find(prefix);
+    if (cur != nullptr && cur->source == ip::RouteSource::kBgp) {
+      vrf->table().remove(prefix);
+    }
+    peer_installed_[to_side].erase({to_vpn, prefix});
+    to.service->withdraw_external(to_vpn, *to.asbr, prefix);
+    return;
+  }
+
+  // Data plane: plain IP next hop across the attachment circuit toward
+  // the peer ASBR (like a CE route), eBGP-grade admin distance.
+  ip::RouteEntry entry;
+  entry.prefix = prefix;
+  entry.next_hop.node = from.asbr->id();
+  entry.next_hop.iface = to.asbr->interface_to(from.asbr->id());
+  entry.source = ip::RouteSource::kBgp;
+  entry.admin_distance = 20;
+  vrf->table().install(entry);
+  peer_installed_[to_side].insert({to_vpn, prefix});
+
+  // Control plane: re-originate into this provider's MP-BGP so its PEs
+  // import the prefix with this ASBR as the egress.
+  to.service->originate_external(to_vpn, *to.asbr, prefix);
+}
+
+}  // namespace mvpn::vpn

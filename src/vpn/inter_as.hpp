@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "vpn/service.hpp"
+
+namespace mvpn::vpn {
+
+/// Inter-provider VPN peering — the paper's §5 goal of extending SLAs
+/// "across cooperative service provider boundaries", which "allows the
+/// building of VPNs using multiple carriers".
+///
+/// Implements the back-to-back-VRF arrangement (what RFC 4364 later
+/// standardized as inter-AS "option A"): each provider's ASBR holds a VRF
+/// for the shared VPN and treats the peer ASBR as if it were a CE on a
+/// VRF-attached interface. Reachability learned inside one provider is
+/// re-advertised to the peer over a per-VRF exterior session and
+/// re-originated into the peer's MP-BGP with the peer's own RD/RT/label.
+/// Data packets cross the boundary as plain IP on the attachment circuit:
+/// pop-and-deliver at one ASBR, re-imposition at the other.
+class InterAsPeering {
+ public:
+  /// The ASBRs must be registered PEs of their services and be adjacent
+  /// in the topology.
+  InterAsPeering(routing::ControlPlane& cp, MplsVpnService& service_a,
+                 Router& asbr_a, MplsVpnService& service_b, Router& asbr_b);
+
+  /// Stitch one VPN across the boundary. `vpn_a`/`vpn_b` are the VPN's
+  /// ids within each provider (RDs and RTs stay provider-local).
+  void stitch(VpnId vpn_a, VpnId vpn_b);
+
+  [[nodiscard]] std::uint64_t updates_sent() const noexcept {
+    return updates_sent_;
+  }
+  [[nodiscard]] std::size_t stitched_count() const noexcept {
+    return stitches_.size();
+  }
+
+ private:
+  struct Side {
+    MplsVpnService* service = nullptr;
+    Router* asbr = nullptr;
+  };
+  struct Stitch {
+    VpnId vpn[2] = {0, 0};  // indexed by side
+  };
+
+  /// side = 0 (A) or 1 (B); handles a loc-rib change in that provider.
+  void on_local_route(int side, const routing::VpnRoute& route,
+                      bool withdrawn);
+  /// Install + re-originate at the receiving side.
+  void receive_update(int to_side, VpnId to_vpn, ip::Prefix prefix,
+                      bool withdrawn);
+
+  routing::ControlPlane& cp_;
+  Side sides_[2];
+  std::vector<Stitch> stitches_;
+  /// Prefixes installed from the peer, per side — never echoed back.
+  std::set<std::pair<VpnId, ip::Prefix>> peer_installed_[2];
+  std::uint64_t updates_sent_ = 0;
+};
+
+}  // namespace mvpn::vpn

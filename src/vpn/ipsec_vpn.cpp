@@ -1,0 +1,122 @@
+#include "vpn/ipsec_vpn.hpp"
+
+#include <stdexcept>
+
+namespace mvpn::vpn {
+
+IpsecVpnService::IpsecVpnService(net::Topology& topo,
+                                 routing::ControlPlane& cp,
+                                 routing::Igp& igp, ipsec::CipherSuite suite)
+    : topo_(topo), cp_(cp), igp_(igp), suite_(suite) {
+  igp_.on_spf([this](ip::NodeId router) { sync_fib(router); });
+}
+
+void IpsecVpnService::enroll_router(Router& r) {
+  members_[r.id()] = &r;
+  igp_.add_router(r.id());
+}
+
+VpnId IpsecVpnService::create_vpn(const std::string& name) {
+  const VpnId id = next_vpn_++;
+  names_[id] = name;
+  sites_[id] = {};
+  return id;
+}
+
+void IpsecVpnService::add_site(VpnId vpn, Router& gateway,
+                               const ip::Prefix& site_prefix) {
+  auto it = sites_.find(vpn);
+  if (it == sites_.end()) throw std::invalid_argument("ipsec: unknown VPN");
+  if (members_.find(gateway.id()) == members_.end()) {
+    throw std::invalid_argument("ipsec: gateway must be enrolled first");
+  }
+  gateway.add_local_prefix(site_prefix, vpn);
+  const Site site{&gateway, site_prefix};
+  if (started_) {
+    for (const Site& other : it->second) negotiate(vpn, site, other);
+  }
+  it->second.push_back(site);
+}
+
+void IpsecVpnService::sync_fib(ip::NodeId router) {
+  auto rit = members_.find(router);
+  if (rit == members_.end()) return;
+  Router& r = *rit->second;
+  for (const auto& [other_id, other] : members_) {
+    if (other_id == router) continue;
+    const auto hops = igp_.next_hops_ecmp(router, other_id);
+    if (hops.empty()) continue;
+    ip::RouteEntry e;
+    e.prefix = ip::Prefix::host(other->loopback());
+    e.next_hop.node = hops.front().via;
+    e.next_hop.iface = hops.front().iface;
+    for (const auto& h : hops) {
+      ip::NextHop alt;
+      alt.node = h.via;
+      alt.iface = h.iface;
+      e.ecmp.push_back(alt);
+    }
+    e.source = ip::RouteSource::kIgp;
+    e.admin_distance = ip::default_admin_distance(ip::RouteSource::kIgp);
+    e.metric = hops.front().cost;
+    r.fib().replace(e);
+  }
+}
+
+void IpsecVpnService::negotiate(VpnId vpn, const Site& a, const Site& b) {
+  (void)vpn;
+  Router* gw_a = a.gateway;
+  Router* gw_b = b.gateway;
+  const ip::Prefix prefix_a = a.prefix;
+  const ip::Prefix prefix_b = b.prefix;
+
+  const std::uint64_t seed =
+      topo_.seed() ^ (std::uint64_t{gw_a->id()} << 32) ^ gw_b->id();
+  auto neg = std::make_unique<ipsec::IkeNegotiation>(
+      cp_, gw_a->id(), gw_b->id(), gw_a->loopback(), gw_b->loopback(), suite_,
+      seed);
+  auto* neg_raw = neg.get();
+  negotiations_.push_back(std::move(neg));
+
+  neg_raw->start([this, gw_a, gw_b, prefix_a, prefix_b](
+                     const ipsec::SaConfig& out_sa,
+                     const ipsec::SaConfig& in_sa) {
+    // a→b direction.
+    gw_a->add_outbound_sa(prefix_b, std::make_shared<ipsec::EspSa>(out_sa));
+    gw_b->add_inbound_sa(std::make_shared<ipsec::EspSa>(out_sa));
+    // b→a direction.
+    gw_b->add_outbound_sa(prefix_a, std::make_shared<ipsec::EspSa>(in_sa));
+    gw_a->add_inbound_sa(std::make_shared<ipsec::EspSa>(in_sa));
+    if (established_count() == negotiations_.size()) {
+      all_established_at_ = topo_.scheduler().now();
+    }
+  });
+}
+
+void IpsecVpnService::establish() {
+  if (!started_) {
+    started_ = true;
+    igp_.start();
+  }
+  for (const auto& [vpn, members] : sites_) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        negotiate(vpn, members[i], members[j]);
+      }
+    }
+  }
+}
+
+std::size_t IpsecVpnService::established_count() const {
+  std::size_t n = 0;
+  for (const auto& neg : negotiations_) {
+    if (neg->state() == ipsec::IkeNegotiation::State::kEstablished) ++n;
+  }
+  return n;
+}
+
+void IpsecVpnService::set_crypto_cost(ipsec::CryptoCostModel model) {
+  for (auto& [id, r] : members_) r->set_crypto_cost(model);
+}
+
+}  // namespace mvpn::vpn

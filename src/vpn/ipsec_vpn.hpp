@@ -1,0 +1,77 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ipsec/esp.hpp"
+#include "ipsec/ike.hpp"
+#include "routing/control_plane.hpp"
+#include "routing/igp.hpp"
+#include "vpn/router.hpp"
+
+namespace mvpn::vpn {
+
+/// The paper's §2.3 security baseline: CPE-to-CPE IPsec tunnels over a
+/// plain routed IP backbone. Gateways negotiate SA pairs through IKE, then
+/// ESP-tunnel site traffic; the provider core routes only the outer
+/// headers (and therefore — the paper's point — cannot see the inner
+/// 5-tuple for QoS, and pays crypto cost at every gateway).
+class IpsecVpnService {
+ public:
+  IpsecVpnService(net::Topology& topo, routing::ControlPlane& cp,
+                  routing::Igp& igp,
+                  ipsec::CipherSuite suite = ipsec::CipherSuite::kTripleDesCbc);
+
+  /// Register any router participating in the routed backbone (core
+  /// routers and gateways). Joins the IGP; host routes to every member
+  /// loopback are installed into its FIB after SPF.
+  void enroll_router(Router& r);
+
+  VpnId create_vpn(const std::string& name);
+
+  /// Attach a security gateway (CE) and its site prefix to a VPN.
+  void add_site(VpnId vpn, Router& gateway, const ip::Prefix& site_prefix);
+
+  /// Start the IGP and run IKE for the full site mesh of every VPN.
+  void establish();
+
+  /// --- metrics -------------------------------------------------------------
+  [[nodiscard]] std::size_t tunnel_count() const noexcept {
+    return negotiations_.size();
+  }
+  [[nodiscard]] std::size_t established_count() const;
+  [[nodiscard]] sim::SimTime all_established_at() const noexcept {
+    return all_established_at_;
+  }
+  [[nodiscard]] std::size_t site_count(VpnId vpn) const {
+    return sites_.at(vpn).size();
+  }
+
+  /// Crypto processing-time model charged at the gateways.
+  void set_crypto_cost(ipsec::CryptoCostModel model);
+
+ private:
+  struct Site {
+    Router* gateway = nullptr;
+    ip::Prefix prefix;
+  };
+
+  void sync_fib(ip::NodeId router);
+  void negotiate(VpnId vpn, const Site& a, const Site& b);
+
+  net::Topology& topo_;
+  routing::ControlPlane& cp_;
+  routing::Igp& igp_;
+  ipsec::CipherSuite suite_;
+  std::map<ip::NodeId, Router*> members_;
+  std::map<VpnId, std::vector<Site>> sites_;
+  std::map<VpnId, std::string> names_;
+  VpnId next_vpn_ = 1;
+  std::vector<std::unique_ptr<ipsec::IkeNegotiation>> negotiations_;
+  sim::SimTime all_established_at_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace mvpn::vpn

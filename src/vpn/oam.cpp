@@ -1,0 +1,127 @@
+#include "vpn/oam.hpp"
+
+namespace mvpn::vpn {
+
+LspOam::LspOam(net::Topology& topo, routing::ControlPlane& cp,
+               const mpls::RsvpTe& rsvp)
+    : topo_(topo), cp_(cp), rsvp_(rsvp) {}
+
+void LspOam::ensure_tail_hooked(Router& tail) {
+  if (hooked_tails_[tail.id()]) return;
+  hooked_tails_[tail.id()] = true;
+  // OAM probes target 127/8 (RFC 4379 convention): deliver locally at the
+  // LSP tail and hand them to us.
+  tail.add_local_prefix(ip::Prefix::must_parse("127.0.0.0/8"));
+  const ip::NodeId tail_id = tail.id();
+  tail.set_oam_sink([this, tail_id](const net::Packet& p) {
+    on_probe_arrival(p, tail_id);
+  });
+}
+
+void LspOam::ping(mpls::LspId lsp_id, PingCallback cb, sim::SimTime timeout) {
+  const mpls::RsvpTe::Lsp& lsp = rsvp_.lsp(lsp_id);
+  auto& head = dynamic_cast<Router&>(topo_.node(lsp.config.head));
+  auto& tail = dynamic_cast<Router&>(topo_.node(lsp.config.tail));
+  ensure_tail_hooked(tail);
+
+  const std::uint32_t probe_id = next_probe_++;
+  Pending pending;
+  pending.lsp = lsp_id;
+  pending.cb = std::move(cb);
+  pending.sent_at = topo_.scheduler().now();
+  pending.timeout =
+      topo_.scheduler().schedule_in(timeout, [this, probe_id] {
+        auto it = pending_.find(probe_id);
+        if (it == pending_.end()) return;
+        PingCallback cb = std::move(it->second.cb);
+        pending_.erase(it);
+        ++failures_;
+        cb(false, 0);
+      });
+  pending_[probe_id] = std::move(pending);
+
+  if (lsp.state != mpls::RsvpTe::LspState::kUp) {
+    // Not signaled: the probe cannot even be imposed — let it time out,
+    // which is exactly what an operator would observe.
+    return;
+  }
+
+  net::PacketPtr probe = topo_.packet_factory().make();
+  probe->flow_id = probe_id;
+  probe->created_at = topo_.scheduler().now();
+  probe->ip.src = head.loopback();
+  probe->ip.dst = ip::Ipv4Address(127, 0, 0, 1);
+  probe->l4.dst_port = 3503;  // LSP ping port
+  probe->payload_bytes = 32;
+  if (!lsp.head_implicit_null) {
+    probe->push_label(net::MplsShim{lsp.head_label, 6, 64});
+  }
+  ++probes_sent_;
+  head.send(std::move(probe), lsp.head_iface);
+}
+
+void LspOam::on_probe_arrival(const net::Packet& p, ip::NodeId tail) {
+  const std::uint32_t probe_id = p.flow_id;
+  auto it = pending_.find(probe_id);
+  if (it == pending_.end()) return;  // late duplicate / unknown
+  const ip::NodeId head = rsvp_.lsp(it->second.lsp).config.head;
+  // The echo reply returns over the control plane (as RFC 4379 replies
+  // return over plain IP).
+  cp_.send_session(tail, head, "oam.reply", 32,
+                   [this, probe_id] { on_reply(probe_id); });
+}
+
+void LspOam::on_reply(std::uint32_t probe_id) {
+  auto it = pending_.find(probe_id);
+  if (it == pending_.end()) return;  // already timed out
+  topo_.scheduler().cancel(it->second.timeout);
+  PingCallback cb = std::move(it->second.cb);
+  const sim::SimTime rtt = topo_.scheduler().now() - it->second.sent_at;
+  pending_.erase(it);
+  ++replies_;
+  cb(true, rtt);
+}
+
+void LspOam::monitor(mpls::LspId lsp, sim::SimTime interval,
+                     std::uint32_t miss_threshold, DownCallback on_down) {
+  Monitor mon;
+  mon.interval = interval;
+  mon.threshold = miss_threshold;
+  mon.on_down = std::move(on_down);
+  mon.active = true;
+  monitors_[lsp] = std::move(mon);
+  monitor_tick(lsp);
+}
+
+void LspOam::stop_monitoring(mpls::LspId lsp) {
+  auto it = monitors_.find(lsp);
+  if (it != monitors_.end()) it->second.active = false;
+}
+
+void LspOam::monitor_tick(mpls::LspId lsp) {
+  auto it = monitors_.find(lsp);
+  if (it == monitors_.end() || !it->second.active) return;
+  // Timeout slightly under the interval so misses are counted before the
+  // next probe goes out.
+  const sim::SimTime timeout = it->second.interval * 9 / 10;
+  ping(
+      lsp,
+      [this, lsp](bool ok, sim::SimTime) {
+        auto mit = monitors_.find(lsp);
+        if (mit == monitors_.end() || !mit->second.active) return;
+        Monitor& mon = mit->second;
+        if (ok) {
+          mon.misses = 0;
+          return;
+        }
+        if (++mon.misses >= mon.threshold) {
+          mon.active = false;
+          if (mon.on_down) mon.on_down(lsp);
+        }
+      },
+      timeout);
+  topo_.scheduler().schedule_in(it->second.interval,
+                                [this, lsp] { monitor_tick(lsp); });
+}
+
+}  // namespace mvpn::vpn

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "mpls/rsvp_te.hpp"
+#include "routing/control_plane.hpp"
+#include "vpn/router.hpp"
+
+namespace mvpn::vpn {
+
+/// MPLS OAM: LSP ping and continuity monitoring (what RFC 4379 / BFD later
+/// standardized). A probe packet rides the *data plane* of the LSP — same
+/// labels, same queues — to the tail, which answers over the control
+/// plane; so a ping failure means the forwarding path itself is broken,
+/// not just that routing thinks it is. The continuity monitor pings
+/// periodically and declares the LSP down after consecutive misses, which
+/// is how a head end detects failures RSVP signaling alone would miss.
+class LspOam {
+ public:
+  LspOam(net::Topology& topo, routing::ControlPlane& cp,
+         const mpls::RsvpTe& rsvp);
+
+  /// One-shot ping. `cb(ok, rtt)`: ok=false on timeout (rtt undefined).
+  using PingCallback = std::function<void(bool ok, sim::SimTime rtt)>;
+  void ping(mpls::LspId lsp, PingCallback cb,
+            sim::SimTime timeout = 100 * sim::kMillisecond);
+
+  /// Periodic continuity check; `on_down` fires once when
+  /// `miss_threshold` consecutive pings time out.
+  using DownCallback = std::function<void(mpls::LspId)>;
+  void monitor(mpls::LspId lsp, sim::SimTime interval,
+               std::uint32_t miss_threshold, DownCallback on_down);
+  void stop_monitoring(mpls::LspId lsp);
+
+  [[nodiscard]] std::uint64_t probes_sent() const noexcept {
+    return probes_sent_;
+  }
+  [[nodiscard]] std::uint64_t replies_received() const noexcept {
+    return replies_;
+  }
+  [[nodiscard]] std::uint64_t failures_detected() const noexcept {
+    return failures_;
+  }
+
+ private:
+  struct Pending {
+    mpls::LspId lsp = 0;
+    PingCallback cb;
+    sim::SimTime sent_at = 0;
+    sim::EventId timeout{};
+  };
+  struct Monitor {
+    sim::SimTime interval = 0;
+    std::uint32_t threshold = 0;
+    std::uint32_t misses = 0;
+    DownCallback on_down;
+    bool active = false;
+  };
+
+  void ensure_tail_hooked(Router& tail);
+  void on_probe_arrival(const net::Packet& p, ip::NodeId tail);
+  void on_reply(std::uint32_t probe_id);
+  void monitor_tick(mpls::LspId lsp);
+
+  net::Topology& topo_;
+  routing::ControlPlane& cp_;
+  const mpls::RsvpTe& rsvp_;
+  std::map<std::uint32_t, Pending> pending_;
+  std::map<mpls::LspId, Monitor> monitors_;
+  std::map<ip::NodeId, bool> hooked_tails_;
+  std::uint32_t next_probe_ = 0x0A000000;  // distinct flow-id space
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t replies_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace mvpn::vpn

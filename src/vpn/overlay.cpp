@@ -1,0 +1,127 @@
+#include "vpn/overlay.hpp"
+
+#include <stdexcept>
+
+namespace mvpn::vpn {
+
+OverlayVpnService::OverlayVpnService(net::Topology& topo,
+                                     routing::ControlPlane& cp)
+    : topo_(topo), cp_(cp) {}
+
+VpnId OverlayVpnService::create_vpn(const std::string& name) {
+  const VpnId id = next_vpn_++;
+  names_[id] = name;
+  sites_[id] = {};
+  return id;
+}
+
+void OverlayVpnService::rebuild_graph() {
+  graph_ = routing::LinkStateDb{};
+  for (ip::NodeId n = 0; n < topo_.node_count(); ++n) {
+    routing::Lsa lsa;
+    lsa.origin = n;
+    lsa.sequence = 1;
+    for (const net::Adjacency& adj : topo_.adjacencies(n)) {
+      routing::LsaLink l;
+      l.neighbor = adj.neighbor;
+      l.link = adj.link;
+      l.cost = topo_.link(adj.link).config().igp_cost;
+      l.reservable_bps = topo_.link(adj.link).config().bandwidth_bps;
+      lsa.links.push_back(l);
+    }
+    graph_.install(lsa);
+  }
+}
+
+std::vector<ip::NodeId> OverlayVpnService::route_between(ip::NodeId a,
+                                                         ip::NodeId b) const {
+  return routing::shortest_path(graph_, a, b).nodes;
+}
+
+void OverlayVpnService::add_site(VpnId vpn, Router& ce,
+                                 const ip::Prefix& site_prefix) {
+  auto it = sites_.find(vpn);
+  if (it == sites_.end()) throw std::invalid_argument("overlay: unknown VPN");
+  ce.add_local_prefix(site_prefix, vpn);
+  const Site site{&ce, site_prefix};
+  if (provisioned_) {
+    rebuild_graph();
+    for (const Site& other : it->second) build_circuit(vpn, site, other);
+  }
+  it->second.push_back(site);
+}
+
+void OverlayVpnService::provision() {
+  rebuild_graph();
+  for (const auto& [vpn, members] : sites_) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        build_circuit(vpn, members[i], members[j]);
+      }
+    }
+  }
+  provisioned_ = true;
+}
+
+void OverlayVpnService::build_circuit(VpnId vpn, const Site& a,
+                                      const Site& b) {
+  (void)vpn;
+  install_direction(a, b);
+  install_direction(b, a);
+  ++pvc_pairs_;
+}
+
+void OverlayVpnService::install_direction(const Site& from, const Site& to) {
+  const std::vector<ip::NodeId> path =
+      route_between(from.ce->id(), to.ce->id());
+  if (path.size() < 2) {
+    throw std::runtime_error("overlay: no path between sites");
+  }
+  const std::uint32_t vc = next_vc_++;
+
+  // Ingress mapping: destination prefix → circuit.
+  from.ce->add_pvc_route(to.prefix, vc);
+
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    auto* node = dynamic_cast<Router*>(&topo_.node(path[i]));
+    if (node == nullptr) {
+      throw std::runtime_error("overlay: non-router on circuit path");
+    }
+    Router::PvcSwitchEntry entry;
+    if (i + 1 == path.size()) {
+      entry.terminate = true;
+    } else {
+      entry.out_iface = node->interface_to(path[i + 1]);
+    }
+    node->install_pvc(vc, entry);
+    touched_.push_back(node);
+    // One NMS provisioning action per hop per direction.
+    ++provisioning_actions_;
+    cp_.send_session(path.front(), path[i], "pvc.provision", 64, [] {});
+  }
+}
+
+std::size_t OverlayVpnService::total_switching_entries() const {
+  std::size_t n = 0;
+  std::vector<const Router*> seen;
+  for (const Router* r : touched_) {
+    bool dup = false;
+    for (const Router* s : seen) {
+      if (s == r) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      seen.push_back(r);
+      n += r->pvc_switch_entries();
+    }
+  }
+  return n;
+}
+
+std::size_t OverlayVpnService::site_count(VpnId vpn) const {
+  return sites_.at(vpn).size();
+}
+
+}  // namespace mvpn::vpn

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "routing/control_plane.hpp"
+#include "routing/link_state.hpp"
+#include "vpn/router.hpp"
+
+namespace mvpn::vpn {
+
+/// The pre-MPLS baseline of the paper's §2.1: an overlay VPN built from a
+/// full mesh of provisioned virtual circuits (frame-relay/ATM-style PVCs).
+/// Each site pair needs its own circuit — N sites per VPN cost N(N−1)/2
+/// bidirectional PVCs, each of which consumes switching state on every hop
+/// it crosses and a provisioning action per hop. Experiment E1 counts all
+/// of that against the MPLS/BGP VPN's state.
+class OverlayVpnService {
+ public:
+  OverlayVpnService(net::Topology& topo, routing::ControlPlane& cp);
+
+  VpnId create_vpn(const std::string& name);
+
+  /// Attach a CE gateway with its site prefix. If the service is already
+  /// provisioned, circuits to all existing sites of the VPN are built
+  /// immediately (incremental join, experiment E7).
+  void add_site(VpnId vpn, Router& ce, const ip::Prefix& site_prefix);
+
+  /// Build every missing circuit (call once after initial sites).
+  void provision();
+
+  /// --- state metrics ------------------------------------------------------
+  /// Bidirectional PVC count (the paper's N(N−1)/2 quantity).
+  [[nodiscard]] std::size_t pvc_count() const noexcept { return pvc_pairs_; }
+  /// Sum of VC switching-table entries across all nodes.
+  [[nodiscard]] std::size_t total_switching_entries() const;
+  /// Provisioning actions performed (one per hop per direction).
+  [[nodiscard]] std::uint64_t provisioning_actions() const noexcept {
+    return provisioning_actions_;
+  }
+  [[nodiscard]] std::size_t site_count(VpnId vpn) const;
+
+ private:
+  struct Site {
+    Router* ce = nullptr;
+    ip::Prefix prefix;
+  };
+
+  /// Build the bidirectional circuit between two sites of a VPN.
+  void build_circuit(VpnId vpn, const Site& a, const Site& b);
+  void install_direction(const Site& from, const Site& to);
+  [[nodiscard]] std::vector<ip::NodeId> route_between(ip::NodeId a,
+                                                      ip::NodeId b) const;
+  void rebuild_graph();
+
+  net::Topology& topo_;
+  routing::ControlPlane& cp_;
+  std::map<VpnId, std::vector<Site>> sites_;
+  std::map<VpnId, std::string> names_;
+  VpnId next_vpn_ = 1;
+  std::uint32_t next_vc_ = 1;
+  std::size_t pvc_pairs_ = 0;
+  std::uint64_t provisioning_actions_ = 0;
+  bool provisioned_ = false;
+  routing::LinkStateDb graph_;  ///< provisioning-time view of the topology
+  std::vector<Router*> touched_;
+};
+
+}  // namespace mvpn::vpn

@@ -1,0 +1,389 @@
+#include "vpn/router.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+namespace mvpn::vpn {
+
+const char* to_string(Role r) noexcept {
+  switch (r) {
+    case Role::kCe: return "CE";
+    case Role::kPe: return "PE";
+    case Role::kP: return "P";
+  }
+  return "?";
+}
+
+Router::Router(net::Topology& topo, ip::NodeId id, std::string name, Role role)
+    : net::Node(topo, id, std::move(name)), role_(role) {}
+
+Vrf& Router::add_vrf(VrfConfig config) {
+  if (role_ != Role::kPe) {
+    throw std::logic_error("Router::add_vrf: VRFs exist on PE routers only");
+  }
+  vrfs_.push_back(std::make_unique<Vrf>(std::move(config)));
+  return *vrfs_.back();
+}
+
+Vrf* Router::vrf_by_vpn(VpnId id) {
+  for (auto& v : vrfs_) {
+    if (v->vpn_id() == id) return v.get();
+  }
+  return nullptr;
+}
+
+const Vrf* Router::vrf_by_vpn(VpnId id) const {
+  for (const auto& v : vrfs_) {
+    if (v->vpn_id() == id) return v.get();
+  }
+  return nullptr;
+}
+
+Vrf* Router::vrf_of_interface(ip::IfIndex iface) {
+  auto it = iface_vrf_.find(iface);
+  if (it == iface_vrf_.end()) return nullptr;
+  return vrf_by_vpn(it->second);
+}
+
+void Router::bind_interface_to_vrf(ip::IfIndex iface, VpnId id) {
+  Vrf* vrf = vrf_by_vpn(id);
+  if (vrf == nullptr) {
+    throw std::invalid_argument("Router: no VRF for that VPN id");
+  }
+  iface_vrf_[iface] = id;
+  vrf->attach_interface(iface);
+}
+
+std::vector<Vrf*> Router::vrfs() {
+  std::vector<Vrf*> out;
+  out.reserve(vrfs_.size());
+  for (auto& v : vrfs_) out.push_back(v.get());
+  return out;
+}
+
+void Router::add_policer(qos::Phb phb, double cir_bytes_s, double cbs,
+                         double ebs) {
+  policers_[phb] = std::make_unique<qos::Policer>(cir_bytes_s, cbs, ebs);
+}
+
+void Router::add_shaper(qos::Phb phb, double rate_bytes_s,
+                        double burst_bytes) {
+  shapers_[phb] = std::make_unique<qos::Shaper>(rate_bytes_s, burst_bytes);
+}
+
+void Router::add_outbound_sa(const ip::Prefix& dst_prefix,
+                             std::shared_ptr<ipsec::EspSa> sa) {
+  outbound_sas_.emplace_back(dst_prefix, std::move(sa));
+}
+
+void Router::add_inbound_sa(std::shared_ptr<ipsec::EspSa> sa) {
+  inbound_sas_[sa->config().spi] = std::move(sa);
+}
+
+void Router::add_local_prefix(const ip::Prefix& prefix, VpnId vpn) {
+  local_vpn_.insert(prefix, vpn);
+  ip::RouteEntry entry;
+  entry.prefix = prefix;
+  entry.next_hop.local = true;
+  entry.source = ip::RouteSource::kConnected;
+  entry.admin_distance = 0;
+  fib_.install(entry);
+}
+
+void Router::after_crypto(std::size_t bytes, std::function<void()> then) {
+  if (!crypto_cost_) {
+    then();
+    return;
+  }
+  // The crypto engine is a serial resource: packets queue for it, so a
+  // gateway's throughput is genuinely bounded by cipher speed (the paper's
+  // "security gear ... create bottlenecks" concern), not merely delayed.
+  const auto cost =
+      static_cast<sim::SimTime>(crypto_cost_->packet_cost_ns(bytes));
+  sim::Scheduler& sched = topology().scheduler();
+  const sim::SimTime start = std::max(sched.now(), crypto_busy_until_);
+  crypto_busy_until_ = start + cost;
+  sched.schedule_at(crypto_busy_until_, std::move(then));
+}
+
+bool Router::maybe_esp_encap(net::Packet& p) {
+  if (p.esp) return false;
+  for (auto& [prefix, sa] : outbound_sas_) {
+    if (prefix.contains(p.ip.dst)) {
+      sa->encapsulate(p);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Router::inject(net::PacketPtr p) {
+  qos::Phb phb = qos::phb_of_dscp(p->visible_dscp());
+  if (classifier_) {
+    phb = classifier_->mark(*p);
+    auto pol = policers_.find(phb);
+    if (pol != policers_.end()) {
+      const qos::Color color = pol->second->check(
+          topology().scheduler().now(), p->wire_size());
+      if (color == qos::Color::kRed) {
+        counters_.policed.add();
+        return;  // drop out-of-contract traffic at the edge
+      }
+      if (color == qos::Color::kYellow) {
+        // Remark to the next drop precedence within the AF class.
+        const unsigned cls = qos::af_class(phb);
+        if (cls >= 1 && cls <= 4 && qos::drop_precedence(phb) == 1) {
+          static constexpr qos::Phb kAf2[] = {qos::Phb::kAf12, qos::Phb::kAf22,
+                                              qos::Phb::kAf32,
+                                              qos::Phb::kAf42};
+          p->ip.dscp = qos::dscp_of(kAf2[cls - 1]);
+        }
+      }
+    }
+  }
+  // Edge shaping: hold out-of-contract packets until they conform.
+  auto shaper = shapers_.find(phb);
+  if (shaper != shapers_.end()) {
+    const sim::SimTime delay = shaper->second->reserve(
+        topology().scheduler().now(), p->wire_size());
+    if (delay > 0) {
+      auto self = this;
+      auto pkt = std::move(p);
+      topology().scheduler().schedule_in(delay, [self, pkt]() mutable {
+        self->forward_ip(std::move(pkt), nullptr);
+      });
+      return;
+    }
+  }
+  forward_ip(std::move(p), nullptr);
+}
+
+void Router::install_pvc(std::uint32_t vc_id, PvcSwitchEntry entry) {
+  pvc_table_[vc_id] = entry;
+}
+
+void Router::add_pvc_route(const ip::Prefix& prefix, std::uint32_t vc_id) {
+  pvc_routes_.insert(prefix, vc_id);
+}
+
+void Router::forward_pvc(net::PacketPtr p) {
+  auto it = pvc_table_.find(p->pvc->vc_id);
+  if (it == pvc_table_.end()) {
+    counters_.label_miss.add();
+    return;
+  }
+  if (it->second.terminate) {
+    p->pvc.reset();
+    forward_ip(std::move(p), nullptr);
+    return;
+  }
+  counters_.forwarded.add();
+  send(std::move(p), it->second.out_iface);
+}
+
+void Router::receive(net::PacketPtr p, ip::IfIndex in_if) {
+  ++p->hop_count;
+  if (p->has_labels()) {
+    forward_labeled(std::move(p));
+    return;
+  }
+  if (p->pvc) {
+    forward_pvc(std::move(p));
+    return;
+  }
+  // ESP tunnel termination: the outer destination is one of our addresses
+  // (the loopback, or an address inside a locally attached site — the
+  // latter lets IPsec tunnels terminate on gateways reached *through* an
+  // MPLS VPN, the combined security+QoS deployment).
+  const bool esp_terminates_here =
+      p->esp &&
+      (p->esp->outer.dst == loopback() ||
+       (inbound_sas_.count(p->esp->spi) != 0 &&
+        local_vpn_.longest_match(p->esp->outer.dst) != nullptr));
+  if (esp_terminates_here) {
+    auto it = inbound_sas_.find(p->esp->spi);
+    if (it == inbound_sas_.end() || !it->second->decapsulate(*p)) {
+      counters_.esp_rejected.add();
+      return;
+    }
+    const std::size_t bytes = p->wire_size();
+    auto self = this;
+    auto pkt = std::move(p);
+    after_crypto(bytes, [self, pkt]() mutable {
+      self->forward_ip(std::move(pkt), nullptr);
+    });
+    return;
+  }
+  forward_ip(std::move(p), vrf_of_interface(in_if));
+}
+
+void Router::forward_ip(net::PacketPtr p, Vrf* vrf) {
+  // Outbound IPsec policy (CPE security gateway): encrypt, charge crypto
+  // time, then route on the outer header.
+  if (!p->esp && vrf == nullptr && !outbound_sas_.empty()) {
+    // Local destinations are never tunneled.
+    const ip::RouteEntry* direct = fib_.lookup(p->ip.dst);
+    const bool local_dst = direct != nullptr && direct->next_hop.local;
+    if (!local_dst && maybe_esp_encap(*p)) {
+      const std::size_t bytes = p->wire_size();
+      auto self = this;
+      auto pkt = std::move(p);
+      after_crypto(bytes, [self, pkt]() mutable {
+        self->forward_ip(std::move(pkt), nullptr);
+      });
+      return;
+    }
+  }
+
+  // Overlay-VPN ingress: destinations mapped to a PVC are encapsulated and
+  // circuit-switched instead of routed.
+  if (!p->pvc && vrf == nullptr) {
+    if (const std::uint32_t* vc = pvc_routes_.longest_match(p->ip.dst)) {
+      p->pvc = net::PvcEncap{*vc};
+      forward_pvc(std::move(p));
+      return;
+    }
+  }
+
+  // Core routers see only the outer header of encrypted traffic.
+  const ip::Ipv4Address dst = p->esp ? p->esp->outer.dst : p->ip.dst;
+  const ip::RouteTable& table = vrf != nullptr ? vrf->table() : fib_;
+  const ip::RouteEntry* route = table.lookup(dst);
+  if (route == nullptr) {
+    counters_.no_route.add();
+    return;
+  }
+
+  if (route->next_hop.local) {
+    VpnId vpn = vrf != nullptr ? vrf->vpn_id() : kGlobalVpn;
+    if (const VpnId* reg = local_vpn_.longest_match(dst)) vpn = *reg;
+    deliver_local(std::move(p), vpn);
+    return;
+  }
+
+  // TTL handling on the visible header.
+  std::uint8_t& ttl = p->esp ? p->esp->outer.ttl : p->ip.ttl;
+  if (ttl <= 1) {
+    counters_.ttl_expired.add();
+    return;
+  }
+  --ttl;
+
+  if (route->vpn_label != ip::kNoLabel &&
+      route->egress_pe != ip::kInvalidNode) {
+    impose_and_tunnel(std::move(p), *route,
+                      vrf != nullptr ? vrf->vpn_id() : kGlobalVpn);
+    return;
+  }
+
+  counters_.forwarded.add();
+  // ECMP: choose among equal-cost next hops by flow hash (5-tuple of the
+  // visible headers) so one flow never straddles two paths.
+  const qos::VisibleFields vf = qos::visible_fields(*p);
+  const std::size_t flow_hash =
+      std::hash<std::uint64_t>{}((std::uint64_t{vf.src.value()} << 32) ^
+                                 vf.dst.value()) ^
+      std::hash<std::uint32_t>{}((std::uint32_t{vf.src_port.value_or(0)}
+                                  << 16) |
+                                 vf.dst_port.value_or(0));
+  send(std::move(p), route->next_hop_for(flow_hash).iface);
+}
+
+void Router::impose_and_tunnel(net::PacketPtr p, const ip::RouteEntry& route,
+                               VpnId vpn) {
+  const std::uint8_t exp = exp_map_.exp_for_dscp(p->visible_dscp());
+  const TunnelBinding tb = tunnel_to(route.egress_pe, vpn);
+  if (!tb.found) {
+    counters_.no_tunnel.add();
+    return;
+  }
+  p->push_label(net::MplsShim{route.vpn_label, exp, 64});
+  if (tb.push_label) {
+    p->push_label(net::MplsShim{tb.label, exp, 64});
+  }
+  counters_.forwarded.add();
+  send(std::move(p), tb.out_iface);
+}
+
+Router::TunnelBinding Router::tunnel_to(ip::NodeId egress_pe,
+                                        VpnId vpn) const {
+  TunnelBinding tb;
+  // Prefer a bound traffic-engineered LSP: VPN-scoped first, then global.
+  if (rsvp_ != nullptr) {
+    for (const VpnId scope : {vpn, kGlobalVpn}) {
+      auto it = te_bindings_.find({egress_pe, scope});
+      if (it == te_bindings_.end()) continue;
+      const mpls::RsvpTe::Lsp& lsp = rsvp_->lsp(it->second);
+      if (lsp.state == mpls::RsvpTe::LspState::kUp) {
+        tb.found = true;
+        tb.push_label = !lsp.head_implicit_null;
+        tb.label = lsp.head_label;
+        tb.out_iface = lsp.head_iface;
+        return tb;
+      }
+    }
+  }
+  // Fall back to the LDP LSP toward the egress PE loopback.
+  if (ldp_ != nullptr) {
+    const ip::Prefix fec =
+        ip::Prefix::host(topology().node(egress_pe).loopback());
+    if (auto ftn = ldp_->ftn(id(), fec)) {
+      tb.found = true;
+      tb.push_label = !ftn->implicit_null;
+      tb.label = ftn->out_label;
+      tb.out_iface = ftn->out_iface;
+      return tb;
+    }
+  }
+  return tb;
+}
+
+void Router::forward_labeled(net::PacketPtr p) {
+  if (lsr_ == nullptr) {
+    counters_.label_miss.add();
+    return;
+  }
+  const mpls::LfibEntry* entry = lsr_->lfib.lookup(p->top_label().label);
+  if (entry == nullptr) {
+    counters_.label_miss.add();
+    return;
+  }
+  switch (entry->op) {
+    case mpls::LabelOp::kSwap:
+      p->swap_label(entry->out_label);
+      if (p->top_label().ttl == 0) {
+        counters_.ttl_expired.add();
+        return;
+      }
+      counters_.forwarded.add();
+      send(std::move(p), entry->out_iface);
+      return;
+    case mpls::LabelOp::kPop:
+      p->pop_label();
+      counters_.forwarded.add();
+      send(std::move(p), entry->out_iface);
+      return;
+    case mpls::LabelOp::kPopDeliver: {
+      p->pop_label();
+      Vrf* vrf = vrf_by_vpn(entry->vrf_id);
+      if (vrf == nullptr) {
+        counters_.label_miss.add();
+        return;
+      }
+      forward_ip(std::move(p), vrf);
+      return;
+    }
+  }
+}
+
+void Router::deliver_local(net::PacketPtr p, VpnId vpn) {
+  counters_.delivered.add();
+  // OAM probes (127/8 destinations) go to the OAM hook, not the sink.
+  if (oam_sink_ && (p->ip.dst.value() >> 24) == 127) {
+    oam_sink_(*p);
+    return;
+  }
+  if (sink_) sink_(*p, vpn);
+}
+
+}  // namespace mvpn::vpn

@@ -1,0 +1,209 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ip/prefix_trie.hpp"
+#include "ipsec/esp.hpp"
+#include "mpls/domain.hpp"
+#include "mpls/ldp.hpp"
+#include "mpls/rsvp_te.hpp"
+#include "net/node.hpp"
+#include "net/topology.hpp"
+#include "qos/classifier.hpp"
+#include "qos/dscp.hpp"
+#include "qos/meter.hpp"
+#include "vpn/vrf.hpp"
+
+namespace mvpn::vpn {
+
+/// Device role in the paper's deployment picture (Fig. 4): customer edge,
+/// provider edge, provider core.
+enum class Role : std::uint8_t { kCe, kPe, kP };
+
+[[nodiscard]] const char* to_string(Role r) noexcept;
+
+/// The integrated data plane: one router class whose behaviour depends on
+/// configured state, exactly like a real LSR.
+///
+///  * labeled packets hit the LFIB: swap (core), pop (penultimate hop) or
+///    pop-deliver into a VRF (egress PE VPN label);
+///  * unlabeled packets from a VRF-attached interface are looked up in the
+///    VRF; routes imported from MP-BGP carry a VPN label and egress PE, so
+///    the ingress PE pushes [tunnel-label, vpn-label] and forwards into
+///    the LSP (paper §4.3, Fig. 4);
+///  * other IP packets use the global table;
+///  * the CE edge applies CBQ classification, DiffServ marking and
+///    policing; the PE edge maps DSCP to MPLS EXP (paper §5);
+///  * ESP tunnel endpoints encapsulate/decapsulate with real replay
+///    protection and charge crypto processing time.
+class Router : public net::Node {
+ public:
+  Router(net::Topology& topo, ip::NodeId id, std::string name, Role role);
+
+  [[nodiscard]] Role role() const noexcept { return role_; }
+
+  /// --- tables -----------------------------------------------------------
+  [[nodiscard]] ip::RouteTable& fib() noexcept { return fib_; }
+  [[nodiscard]] const ip::RouteTable& fib() const noexcept { return fib_; }
+
+  /// Attach the router's MPLS state (PE/P only; owned by the MplsDomain).
+  void set_lsr_state(mpls::LsrState* lsr) noexcept { lsr_ = lsr; }
+  [[nodiscard]] mpls::LsrState* lsr_state() noexcept { return lsr_; }
+
+  /// Wire the label-distribution views used for tunnel imposition.
+  void set_ldp(const mpls::Ldp* ldp) noexcept { ldp_ = ldp; }
+  void set_rsvp(const mpls::RsvpTe* rsvp) noexcept { rsvp_ = rsvp; }
+  /// Prefer this TE LSP for traffic tunneled toward `egress_pe`. With
+  /// `scope` = kGlobalVpn the binding applies to every VRF; otherwise only
+  /// that VPN's traffic rides the LSP (per-VRF TE pinning).
+  void bind_lsp(ip::NodeId egress_pe, mpls::LspId lsp,
+                VpnId scope = kGlobalVpn) {
+    te_bindings_[{egress_pe, scope}] = lsp;
+  }
+  void unbind_lsp(ip::NodeId egress_pe, VpnId scope = kGlobalVpn) {
+    te_bindings_.erase({egress_pe, scope});
+  }
+
+  /// --- VRFs (PE only) -----------------------------------------------------
+  Vrf& add_vrf(VrfConfig config);
+  [[nodiscard]] Vrf* vrf_by_vpn(VpnId id);
+  [[nodiscard]] const Vrf* vrf_by_vpn(VpnId id) const;
+  [[nodiscard]] Vrf* vrf_of_interface(ip::IfIndex iface);
+  void bind_interface_to_vrf(ip::IfIndex iface, VpnId id);
+  [[nodiscard]] std::size_t vrf_count() const noexcept { return vrfs_.size(); }
+  [[nodiscard]] std::vector<Vrf*> vrfs();
+
+  /// --- edge QoS (CE/CPE role, paper §5) ----------------------------------
+  void set_classifier(std::unique_ptr<qos::CbqClassifier> c) {
+    classifier_ = std::move(c);
+  }
+  [[nodiscard]] qos::CbqClassifier* classifier() noexcept {
+    return classifier_.get();
+  }
+  /// Police a PHB with CIR/CBS/EBS; yellow remarks to higher drop
+  /// precedence, red drops.
+  void add_policer(qos::Phb phb, double cir_bytes_s, double cbs, double ebs);
+  /// Shape a PHB to `rate_bytes_s`: out-of-contract packets are *held*
+  /// at the edge until they conform instead of being dropped.
+  void add_shaper(qos::Phb phb, double rate_bytes_s, double burst_bytes);
+  void set_dscp_exp_map(qos::DscpExpMap map) { exp_map_ = map; }
+  [[nodiscard]] const qos::DscpExpMap& dscp_exp_map() const noexcept {
+    return exp_map_;
+  }
+
+  /// --- IPsec endpoints -----------------------------------------------------
+  /// Outbound SA for traffic destined into `dst_prefix` (encrypt-before-
+  /// route at a CPE security gateway).
+  void add_outbound_sa(const ip::Prefix& dst_prefix,
+                       std::shared_ptr<ipsec::EspSa> sa);
+  /// Inbound SA by SPI (decapsulation at the tunnel endpoint).
+  void add_inbound_sa(std::shared_ptr<ipsec::EspSa> sa);
+  void set_crypto_cost(ipsec::CryptoCostModel model) noexcept {
+    crypto_cost_ = model;
+  }
+
+  /// --- overlay PVC switching (the baseline of experiment E1) --------------
+  /// Virtual-circuit switching entry: packets carrying `vc_id` leave via
+  /// `out_iface`; terminating entries strip the encapsulation instead.
+  struct PvcSwitchEntry {
+    ip::IfIndex out_iface = ip::kInvalidIf;
+    bool terminate = false;
+  };
+  void install_pvc(std::uint32_t vc_id, PvcSwitchEntry entry);
+  /// Map a destination prefix to a PVC at the ingress CE.
+  void add_pvc_route(const ip::Prefix& prefix, std::uint32_t vc_id);
+  [[nodiscard]] std::size_t pvc_switch_entries() const noexcept {
+    return pvc_table_.size();
+  }
+
+  /// --- local delivery ------------------------------------------------------
+  /// Sink for packets that terminate here. `vpn` is the VRF context the
+  /// packet was delivered through (kGlobalVpn when none).
+  using LocalSink =
+      std::function<void(const net::Packet& p, VpnId vpn)>;
+  void set_local_sink(LocalSink sink) { sink_ = std::move(sink); }
+
+  /// Separate delivery hook for OAM probes (destinations in 127.0.0.0/8,
+  /// as MPLS LSP ping uses): keeps operational traffic out of the
+  /// measurement sinks. The OAM module installs this.
+  using OamSink = std::function<void(const net::Packet& p)>;
+  void set_oam_sink(OamSink sink) { oam_sink_ = std::move(sink); }
+
+  /// Declare a locally attached site prefix (delivered to the sink).
+  void add_local_prefix(const ip::Prefix& prefix, VpnId vpn = kGlobalVpn);
+
+  /// Entry point for attached traffic sources: applies the CE edge policy
+  /// (classify/mark/police) and forwards.
+  void inject(net::PacketPtr p);
+
+  /// net::Node data plane.
+  void receive(net::PacketPtr p, ip::IfIndex in_if) override;
+
+  /// --- counters ------------------------------------------------------------
+  struct Counters {
+    stats::Counter forwarded{"forwarded"};
+    stats::Counter delivered{"delivered"};
+    stats::Counter no_route{"no_route"};
+    stats::Counter ttl_expired{"ttl_expired"};
+    stats::Counter label_miss{"label_miss"};
+    stats::Counter no_tunnel{"no_tunnel"};
+    stats::Counter policed{"policed"};
+    stats::Counter esp_rejected{"esp_rejected"};
+  };
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  void forward_ip(net::PacketPtr p, Vrf* vrf);
+  void forward_labeled(net::PacketPtr p);
+  void forward_pvc(net::PacketPtr p);
+  void impose_and_tunnel(net::PacketPtr p, const ip::RouteEntry& route,
+                         VpnId vpn);
+  /// Resolve the tunnel toward an egress PE: scoped TE binding first, then
+  /// the global TE binding, then LDP.
+  struct TunnelBinding {
+    bool found = false;
+    bool push_label = false;
+    std::uint32_t label = 0;
+    ip::IfIndex out_iface = ip::kInvalidIf;
+  };
+  [[nodiscard]] TunnelBinding tunnel_to(ip::NodeId egress_pe, VpnId vpn) const;
+  void deliver_local(net::PacketPtr p, VpnId vpn);
+  bool maybe_esp_encap(net::Packet& p);
+  /// Charge crypto time then run `then`.
+  void after_crypto(std::size_t bytes, std::function<void()> then);
+
+  Role role_;
+  ip::RouteTable fib_;
+  mpls::LsrState* lsr_ = nullptr;
+  const mpls::Ldp* ldp_ = nullptr;
+  const mpls::RsvpTe* rsvp_ = nullptr;
+  std::map<std::pair<ip::NodeId, VpnId>, mpls::LspId> te_bindings_;
+
+  std::vector<std::unique_ptr<Vrf>> vrfs_;
+  std::map<ip::IfIndex, VpnId> iface_vrf_;
+
+  std::unique_ptr<qos::CbqClassifier> classifier_;
+  std::map<qos::Phb, std::unique_ptr<qos::Policer>> policers_;
+  std::map<qos::Phb, std::unique_ptr<qos::Shaper>> shapers_;
+  qos::DscpExpMap exp_map_;
+
+  std::vector<std::pair<ip::Prefix, std::shared_ptr<ipsec::EspSa>>>
+      outbound_sas_;
+  std::map<std::uint32_t, std::shared_ptr<ipsec::EspSa>> inbound_sas_;
+  std::optional<ipsec::CryptoCostModel> crypto_cost_;
+  sim::SimTime crypto_busy_until_ = 0;
+
+  LocalSink sink_;
+  OamSink oam_sink_;
+  ip::PrefixTrie<VpnId> local_vpn_;
+  std::map<std::uint32_t, PvcSwitchEntry> pvc_table_;
+  ip::PrefixTrie<std::uint32_t> pvc_routes_;
+  Counters counters_;
+};
+
+}  // namespace mvpn::vpn

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ip/route_table.hpp"
+#include "routing/bgp.hpp"
+
+namespace mvpn::vpn {
+
+/// Identifier of a VPN within the provider (the paper's "VPN-id" used by
+/// the discovery mechanism, §4). Also used as ground truth for isolation
+/// checks. 0 means "global / no VPN".
+using VpnId = std::uint32_t;
+inline constexpr VpnId kGlobalVpn = 0;
+
+/// Configuration of one VPN routing/forwarding instance on a PE.
+struct VrfConfig {
+  VpnId vpn_id = 0;
+  std::string name;
+  routing::RouteDistinguisher rd;
+  std::vector<routing::RouteTarget> import_targets;
+  std::vector<routing::RouteTarget> export_targets;
+};
+
+/// VRF: the per-VPN routing table a PE keeps for each attached VPN, the
+/// structure that lets "a single routing system support multiple VPNs
+/// whose internal address spaces overlap" (paper §4). Data packets from an
+/// attached site are looked up here, never in the global table.
+class Vrf {
+ public:
+  explicit Vrf(VrfConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] const VrfConfig& config() const noexcept { return config_; }
+  [[nodiscard]] VpnId vpn_id() const noexcept { return config_.vpn_id; }
+
+  [[nodiscard]] ip::RouteTable& table() noexcept { return table_; }
+  [[nodiscard]] const ip::RouteTable& table() const noexcept { return table_; }
+
+  /// The per-VRF aggregate MPLS label: remote PEs push it; we pop it and
+  /// look the packet up in this VRF (kPopDeliver).
+  void set_vpn_label(std::uint32_t label) noexcept { vpn_label_ = label; }
+  [[nodiscard]] std::uint32_t vpn_label() const noexcept { return vpn_label_; }
+
+  /// Interfaces on the owning PE bound to this VRF (CE attachment ports).
+  void attach_interface(ip::IfIndex iface) { attachments_.push_back(iface); }
+  [[nodiscard]] const std::vector<ip::IfIndex>& attachments() const noexcept {
+    return attachments_;
+  }
+
+  [[nodiscard]] bool imports(const routing::VpnRoute& route) const noexcept {
+    for (const auto& rt : config_.import_targets) {
+      if (route.has_target(rt)) return true;
+    }
+    return false;
+  }
+
+ private:
+  VrfConfig config_;
+  ip::RouteTable table_;
+  std::uint32_t vpn_label_ = ip::kNoLabel;
+  std::vector<ip::IfIndex> attachments_;
+};
+
+}  // namespace mvpn::vpn

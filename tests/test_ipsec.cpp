@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ipsec/des.hpp"
+#include "ipsec/esp.hpp"
+#include "ipsec/hmac.hpp"
+#include "ipsec/ike.hpp"
+#include "ipsec/sha1.hpp"
+#include "net/topology.hpp"
+#include "vpn/router.hpp"
+
+namespace mvpn::ipsec {
+namespace {
+
+TEST(Des, Fips46TestVector) {
+  // The classic worked example from FIPS 46 / Stallings.
+  const Des des(0x133457799BBCDFF1ULL);
+  EXPECT_EQ(des.encrypt_block(0x0123456789ABCDEFULL), 0x85E813540F0AB405ULL);
+  EXPECT_EQ(des.decrypt_block(0x85E813540F0AB405ULL), 0x0123456789ABCDEFULL);
+}
+
+TEST(Des, AdditionalKnownVector) {
+  // NBS/SP 500-20 style vector: all-zero plaintext under a known key.
+  const Des des(0x0101010101010101ULL);
+  const std::uint64_t ct = des.encrypt_block(0x0000000000000000ULL);
+  EXPECT_EQ(des.decrypt_block(ct), 0x0000000000000000ULL);
+}
+
+TEST(Des, RoundTripRandomBlocks) {
+  const Des des(0xA1B2C3D4E5F60718ULL);
+  std::uint64_t x = 0x1122334455667788ULL;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t ct = des.encrypt_block(x);
+    EXPECT_EQ(des.decrypt_block(ct), x);
+    EXPECT_NE(ct, x);
+    x = ct ^ (x << 1);
+  }
+}
+
+TEST(Des, KeyFromBytes) {
+  const std::array<std::uint8_t, 8> key = {0x13, 0x34, 0x57, 0x79,
+                                           0x9B, 0xBC, 0xDF, 0xF1};
+  const Des des{std::span<const std::uint8_t, 8>(key)};
+  EXPECT_EQ(des.encrypt_block(0x0123456789ABCDEFULL), 0x85E813540F0AB405ULL);
+}
+
+TEST(TripleDes, DegeneratesToSingleDesWithEqualKeys) {
+  const std::uint64_t k = 0x133457799BBCDFF1ULL;
+  const TripleDes tdes(k, k, k);
+  const Des des(k);
+  const std::uint64_t pt = 0x0123456789ABCDEFULL;
+  EXPECT_EQ(tdes.encrypt_block(pt), des.encrypt_block(pt));
+  EXPECT_EQ(tdes.decrypt_block(des.encrypt_block(pt)), pt);
+}
+
+TEST(TripleDes, ThreeKeyRoundTrip) {
+  const TripleDes tdes(0x0123456789ABCDEFULL, 0x23456789ABCDEF01ULL,
+                       0x456789ABCDEF0123ULL);
+  const std::uint64_t pt = 0x5468652071756663ULL;
+  const std::uint64_t ct = tdes.encrypt_block(pt);
+  EXPECT_NE(ct, pt);
+  EXPECT_EQ(tdes.decrypt_block(ct), pt);
+}
+
+TEST(CbcMode, RoundTripAndChaining) {
+  CbcMode<Des> cbc{Des(0x133457799BBCDFF1ULL)};
+  std::vector<std::uint8_t> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  const std::vector<std::uint8_t> original = data;
+  cbc.encrypt(std::span<std::uint8_t>(data), 0xAABBCCDDEEFF0011ULL);
+  EXPECT_NE(data, original);
+  // Identical plaintext blocks must encrypt differently under CBC.
+  std::vector<std::uint8_t> twin(16, 0x42);
+  cbc.encrypt(std::span<std::uint8_t>(twin), 1);
+  EXPECT_NE(std::vector<std::uint8_t>(twin.begin(), twin.begin() + 8),
+            std::vector<std::uint8_t>(twin.begin() + 8, twin.end()));
+  cbc.decrypt(std::span<std::uint8_t>(data), 0xAABBCCDDEEFF0011ULL);
+  EXPECT_EQ(data, original);
+}
+
+TEST(Sha1, Rfc3174Vectors) {
+  EXPECT_EQ(Sha1::hex(Sha1::hash("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(Sha1::hex(Sha1::hash("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(Sha1::hex(Sha1::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 s;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) s.update(chunk);
+  EXPECT_EQ(Sha1::hex(s.finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, StreamingEqualsOneShot) {
+  Sha1 s;
+  s.update("hello ");
+  s.update("world");
+  EXPECT_EQ(Sha1::hex(s.finish()), Sha1::hex(Sha1::hash("hello world")));
+}
+
+TEST(HmacSha1, Rfc2202Vectors) {
+  {
+    std::vector<std::uint8_t> key(20, 0x0b);
+    HmacSha1 h({key.data(), key.size()});
+    const auto d = h.compute(
+        {reinterpret_cast<const std::uint8_t*>("Hi There"), 8});
+    EXPECT_EQ(Sha1::hex(d), "b617318655057264e28bc0b6fb378c8ef146be00");
+  }
+  {
+    const char* key = "Jefe";
+    HmacSha1 h({reinterpret_cast<const std::uint8_t*>(key), 4});
+    const char* msg = "what do ya want for nothing?";
+    const auto d = h.compute(
+        {reinterpret_cast<const std::uint8_t*>(msg), 28});
+    EXPECT_EQ(Sha1::hex(d), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+  }
+  {
+    // Key longer than the block size (forces the pre-hash path).
+    std::vector<std::uint8_t> key(80, 0xaa);
+    HmacSha1 h({key.data(), key.size()});
+    const char* msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+    const auto d = h.compute(
+        {reinterpret_cast<const std::uint8_t*>(msg), 54});
+    EXPECT_EQ(Sha1::hex(d), "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+  }
+}
+
+TEST(HmacSha1, IcvAndVerify) {
+  std::vector<std::uint8_t> key(20, 0x0b);
+  HmacSha1 h({key.data(), key.size()});
+  std::vector<std::uint8_t> data = {1, 2, 3, 4};
+  const auto tag = h.icv({data.data(), data.size()});
+  EXPECT_TRUE(h.verify({data.data(), data.size()},
+                       std::span<const std::uint8_t, 12>(tag)));
+  auto bad = tag;
+  bad[0] ^= 1;
+  EXPECT_FALSE(h.verify({data.data(), data.size()},
+                        std::span<const std::uint8_t, 12>(bad)));
+}
+
+TEST(ReplayWindow, AcceptsFreshRejectsReplayAndAncient) {
+  ReplayWindow w(64);
+  EXPECT_TRUE(w.check_and_update(1));
+  EXPECT_TRUE(w.check_and_update(2));
+  EXPECT_FALSE(w.check_and_update(2));  // replay
+  EXPECT_TRUE(w.check_and_update(100));
+  EXPECT_TRUE(w.check_and_update(99));   // late but inside window
+  EXPECT_FALSE(w.check_and_update(99));  // replay of late packet
+  EXPECT_FALSE(w.check_and_update(36));  // 100-36=64 ≥ window → too old
+  EXPECT_TRUE(w.check_and_update(37));   // just inside
+  EXPECT_FALSE(w.check_and_update(0));   // seq 0 invalid
+  EXPECT_EQ(w.highest_seen(), 100u);
+  EXPECT_EQ(w.replays_blocked().value(), 4u);
+}
+
+TEST(ReplayWindow, LargeJumpClearsBitmap) {
+  ReplayWindow w(64);
+  EXPECT_TRUE(w.check_and_update(1));
+  EXPECT_TRUE(w.check_and_update(1000));
+  EXPECT_TRUE(w.check_and_update(999));
+  EXPECT_FALSE(w.check_and_update(1));  // far below window
+}
+
+TEST(ReplayWindow, RejectsBadSize) {
+  EXPECT_THROW(ReplayWindow(0), std::invalid_argument);
+  EXPECT_THROW(ReplayWindow(65), std::invalid_argument);
+}
+
+SaConfig test_sa(CipherSuite suite = CipherSuite::kTripleDesCbc) {
+  SaConfig sa;
+  sa.spi = 0xBEEF;
+  sa.cipher = suite;
+  sa.cipher_keys = {0x0123456789ABCDEFULL, 0x23456789ABCDEF01ULL,
+                    0x456789ABCDEF0123ULL};
+  sa.auth_key.assign(20, 0x0B);
+  sa.local = ip::Ipv4Address::must_parse("1.1.1.1");
+  sa.peer = ip::Ipv4Address::must_parse("2.2.2.2");
+  return sa;
+}
+
+TEST(EspSa, EncapsulateSetsByteAccurateOverhead) {
+  EspSa sa(test_sa());
+  net::Packet p;
+  p.ip.dscp = 46;
+  p.payload_bytes = 100;  // inner 128 B; +2 trailer = 130 → pad to 136
+  const std::size_t plain = p.wire_size();
+  sa.encapsulate(p);
+  ASSERT_TRUE(p.esp.has_value());
+  EXPECT_EQ(p.esp->sequence, 1u);
+  EXPECT_EQ(p.esp->spi, 0xBEEFu);
+  EXPECT_EQ(p.esp->pad_bytes, 6);
+  EXPECT_EQ(p.esp->outer.protocol, net::kProtocolEsp);
+  EXPECT_EQ(p.esp->outer.dscp, 0);  // default: ToS hidden (paper §3)
+  // overhead = 20 + 8 + 8 + 6 + 2 + 12 = 56.
+  EXPECT_EQ(p.wire_size(), plain + 56);
+  EXPECT_THROW(sa.encapsulate(p), std::logic_error);
+}
+
+TEST(EspSa, CopyDscpKnob) {
+  SaConfig cfg = test_sa();
+  cfg.copy_dscp_to_outer = true;
+  EspSa sa(cfg);
+  net::Packet p;
+  p.ip.dscp = 46;
+  p.payload_bytes = 64;
+  sa.encapsulate(p);
+  EXPECT_EQ(p.esp->outer.dscp, 46);
+}
+
+TEST(EspSa, DecapsulateChecksSpiAndReplay) {
+  EspSa out(test_sa());
+  EspSa in(test_sa());
+  net::Packet p;
+  p.payload_bytes = 64;
+  out.encapsulate(p);
+  net::Packet replayed = p;  // attacker copies the datagram
+  EXPECT_TRUE(in.decapsulate(p));
+  EXPECT_FALSE(p.esp.has_value());
+  EXPECT_FALSE(in.decapsulate(replayed));  // replay blocked
+  EXPECT_EQ(in.replay().replays_blocked().value(), 1u);
+
+  net::Packet wrong_spi;
+  wrong_spi.payload_bytes = 64;
+  out.encapsulate(wrong_spi);
+  wrong_spi.esp->spi = 0x9999;
+  EXPECT_FALSE(in.decapsulate(wrong_spi));
+}
+
+TEST(EspSa, SequenceIncrementsPerPacket) {
+  EspSa sa(test_sa());
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    net::Packet p;
+    p.payload_bytes = 64;
+    sa.encapsulate(p);
+    EXPECT_EQ(p.esp->sequence, i);
+  }
+  EXPECT_EQ(sa.protected_traffic().packets.value(), 5u);
+}
+
+TEST(EspSa, ProtectBufferRunsRealCrypto) {
+  EspSa sa(test_sa(CipherSuite::kDesCbc));
+  std::vector<std::uint8_t> buf(64, 0x7E);
+  const auto original = buf;
+  sa.protect_buffer(std::span<std::uint8_t>(buf), 0x1234);
+  EXPECT_NE(buf, original);
+  EXPECT_THROW(sa.protect_buffer(std::span<std::uint8_t>(buf.data(), 63), 0),
+               std::invalid_argument);
+}
+
+TEST(CryptoCostModel, CalibratesPositiveCosts) {
+  // Wall-clock measurement is noisy under load; take the best of several
+  // calibrations per suite (min filters out descheduling spikes).
+  auto best_of = [](CipherSuite suite) {
+    double best = 1e18;
+    for (int i = 0; i < 3; ++i) {
+      best = std::min(
+          best, CryptoCostModel::calibrate(suite, 1 << 12).ns_per_byte);
+    }
+    return best;
+  };
+  const double des = best_of(CipherSuite::kDesCbc);
+  EXPECT_GT(des, 0.0);
+  const CryptoCostModel m{des, des * 64};
+  EXPECT_GT(m.packet_cost_ns(500), m.packet_cost_ns(64));
+  // 3DES costs roughly 3x DES; at least it must cost more.
+  EXPECT_GT(best_of(CipherSuite::kTripleDesCbc), des);
+}
+
+TEST(EspSa, NullCipherSkipsIvAndPadStillAligns) {
+  EspSa sa(test_sa(CipherSuite::kNull));
+  net::Packet p;
+  p.payload_bytes = 100;
+  const std::size_t plain = p.wire_size();
+  sa.encapsulate(p);
+  EXPECT_EQ(p.esp->iv_bytes, 0);
+  // overhead = 20 + 8 + 0 + pad(6) + 2 + 12 = 48.
+  EXPECT_EQ(p.wire_size(), plain + 48);
+}
+
+TEST(EspSa, AlignedInnerNeedsNoPad) {
+  EspSa sa(test_sa());
+  net::Packet p;
+  p.payload_bytes = 102;  // inner 130, +2 = 132 → pad 4? 132%8=4 → pad 4
+  sa.encapsulate(p);
+  EXPECT_EQ(p.esp->pad_bytes, 4);
+  net::Packet q;
+  q.payload_bytes = 106;  // inner 134, +2 = 136 → multiple of 8 → pad 0
+  sa.encapsulate(q);
+  EXPECT_EQ(q.esp->pad_bytes, 0);
+}
+
+TEST(ReplayWindow, SmallerWindowIsStricter) {
+  ReplayWindow w(32);
+  EXPECT_TRUE(w.check_and_update(100));
+  EXPECT_TRUE(w.check_and_update(69));   // 100-69=31 < 32
+  EXPECT_FALSE(w.check_and_update(68));  // 100-68=32 ≥ 32
+}
+
+TEST(CbcMode, WrongIvCorruptsFirstBlockOnly) {
+  CbcMode<Des> cbc{Des(0x133457799BBCDFF1ULL)};
+  std::vector<std::uint8_t> data(24, 0x11);
+  const auto original = data;
+  cbc.encrypt(std::span<std::uint8_t>(data), 42);
+  cbc.decrypt(std::span<std::uint8_t>(data), 43);  // wrong IV
+  // First block garbled, later blocks chain from ciphertext → intact.
+  EXPECT_NE(std::vector<std::uint8_t>(data.begin(), data.begin() + 8),
+            std::vector<std::uint8_t>(original.begin(), original.begin() + 8));
+  EXPECT_EQ(std::vector<std::uint8_t>(data.begin() + 8, data.end()),
+            std::vector<std::uint8_t>(original.begin() + 8, original.end()));
+}
+
+TEST(Sha1, DigestHexLength) {
+  EXPECT_EQ(Sha1::hex(Sha1::hash("x")).size(), 40u);
+}
+
+TEST(Ike, HandshakeCompletesWithSharedKeys) {
+  net::Topology topo;
+  auto& a = topo.add_node<vpn::Router>("gwA", vpn::Role::kCe);
+  auto& b = topo.add_node<vpn::Router>("gwB", vpn::Role::kCe);
+  topo.connect(a.id(), b.id());
+  routing::ControlPlane cp(topo);
+
+  IkeNegotiation ike(cp, a.id(), b.id(), a.loopback(), b.loopback(),
+                     CipherSuite::kTripleDesCbc, 77);
+  SaConfig out_sa;
+  SaConfig in_sa;
+  bool done = false;
+  ike.start([&](const SaConfig& o, const SaConfig& i) {
+    out_sa = o;
+    in_sa = i;
+    done = true;
+  });
+  EXPECT_EQ(ike.state(), IkeNegotiation::State::kPhase1);
+  topo.scheduler().run();
+
+  ASSERT_TRUE(done);
+  EXPECT_EQ(ike.state(), IkeNegotiation::State::kEstablished);
+  EXPECT_EQ(ike.messages_exchanged(), IkeNegotiation::kHandshakeMessages);
+  EXPECT_GT(ike.established_at(), 0);
+  // Directional SAs: distinct SPIs, opposite endpoints, same suite.
+  EXPECT_NE(out_sa.spi, in_sa.spi);
+  EXPECT_EQ(out_sa.local, a.loopback());
+  EXPECT_EQ(out_sa.peer, b.loopback());
+  EXPECT_EQ(in_sa.local, b.loopback());
+  EXPECT_NE(out_sa.cipher_keys[0], 0u);
+  EXPECT_EQ(out_sa.auth_key.size(), 20u);
+
+  // The derived SA must actually work end to end.
+  EspSa sender(out_sa);
+  EspSa receiver(out_sa);
+  net::Packet p;
+  p.payload_bytes = 64;
+  sender.encapsulate(p);
+  EXPECT_TRUE(receiver.decapsulate(p));
+}
+
+TEST(Ike, DeterministicForSeed) {
+  net::Topology topo;
+  auto& a = topo.add_node<vpn::Router>("gwA", vpn::Role::kCe);
+  auto& b = topo.add_node<vpn::Router>("gwB", vpn::Role::kCe);
+  topo.connect(a.id(), b.id());
+  routing::ControlPlane cp(topo);
+
+  std::uint64_t key1 = 0;
+  std::uint64_t key2 = 0;
+  IkeNegotiation ike1(cp, a.id(), b.id(), a.loopback(), b.loopback(),
+                      CipherSuite::kDesCbc, 123);
+  ike1.start([&](const SaConfig& o, const SaConfig&) {
+    key1 = o.cipher_keys[0];
+  });
+  IkeNegotiation ike2(cp, a.id(), b.id(), a.loopback(), b.loopback(),
+                      CipherSuite::kDesCbc, 123);
+  ike2.start([&](const SaConfig& o, const SaConfig&) {
+    key2 = o.cipher_keys[0];
+  });
+  topo.scheduler().run();
+  EXPECT_EQ(key1, key2);
+  EXPECT_NE(key1, 0u);
+}
+
+}  // namespace
+}  // namespace mvpn::ipsec

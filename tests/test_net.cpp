@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/queue_disc.hpp"
+#include "net/topology.hpp"
+
+namespace mvpn::net {
+namespace {
+
+/// Minimal node that records everything it receives.
+class SinkNode : public Node {
+ public:
+  using Node::Node;
+  void receive(PacketPtr p, ip::IfIndex in_if) override {
+    last_in_if = in_if;
+    received.push_back(std::move(p));
+  }
+  std::vector<PacketPtr> received;
+  ip::IfIndex last_in_if = ip::kInvalidIf;
+};
+
+PacketPtr make_packet(Topology& topo, std::size_t payload = 472) {
+  PacketPtr p = topo.packet_factory().make();
+  p->ip.src = ip::Ipv4Address::must_parse("10.0.0.1");
+  p->ip.dst = ip::Ipv4Address::must_parse("10.0.0.2");
+  p->payload_bytes = payload;
+  return p;
+}
+
+TEST(Packet, WireSizePlainIp) {
+  Packet p;
+  p.payload_bytes = 472;
+  EXPECT_EQ(p.wire_size(), 20u + 8u + 472u);  // 500 bytes
+}
+
+TEST(Packet, WireSizeWithMplsStack) {
+  Packet p;
+  p.payload_bytes = 100;
+  p.push_label(MplsShim{100, 5, 64});
+  p.push_label(MplsShim{200, 5, 64});
+  EXPECT_EQ(p.wire_size(), 128u + 2 * kMplsShimBytes);
+}
+
+TEST(Packet, WireSizeWithEsp) {
+  Packet p;
+  p.payload_bytes = 100;  // inner = 128, +2 trailer = 130 → pad 6 → 136
+  EspEncap esp;
+  esp.pad_bytes = 6;
+  p.esp = esp;
+  // overhead = outer 20 + 8 spi/seq + 8 IV + 6 pad + 2 trailer + 12 ICV = 56
+  EXPECT_EQ(p.wire_size(), 128u + 56u);
+}
+
+TEST(Packet, WireSizeWithPvc) {
+  Packet p;
+  p.payload_bytes = 100;
+  p.pvc = PvcEncap{9};
+  EXPECT_EQ(p.wire_size(), 128u + kPvcEncapBytes);
+}
+
+TEST(Packet, LabelStackOps) {
+  Packet p;
+  p.push_label(MplsShim{100, 3, 64});
+  p.push_label(MplsShim{200, 5, 64});
+  EXPECT_EQ(p.top_label().label, 200u);
+  p.swap_label(300);
+  EXPECT_EQ(p.top_label().label, 300u);
+  EXPECT_EQ(p.top_label().exp, 5);   // EXP preserved on swap
+  EXPECT_EQ(p.top_label().ttl, 63);  // TTL decremented on swap
+  const MplsShim popped = p.pop_label();
+  EXPECT_EQ(popped.label, 300u);
+  EXPECT_EQ(p.top_label().label, 100u);
+  p.pop_label();
+  EXPECT_FALSE(p.has_labels());
+  EXPECT_THROW(p.pop_label(), std::logic_error);
+  EXPECT_THROW(p.swap_label(1), std::logic_error);
+}
+
+TEST(Packet, VisibleDscpPrefersOuter) {
+  Packet p;
+  p.ip.dscp = 46;
+  EXPECT_EQ(p.visible_dscp(), 46);
+  EspEncap esp;
+  esp.outer.dscp = 0;
+  p.esp = esp;
+  EXPECT_EQ(p.visible_dscp(), 0);  // encryption hid the inner marking
+}
+
+TEST(PacketFactory, UniqueIds) {
+  Topology topo;
+  auto a = topo.packet_factory().make();
+  auto b = topo.packet_factory().make();
+  EXPECT_NE(a->id, b->id);
+  EXPECT_EQ(topo.packet_factory().issued(), 2u);
+}
+
+TEST(DropTailQueue, CapacityAndAccounting) {
+  DropTailQueue q(2);
+  Topology topo;
+  EXPECT_TRUE(q.enqueue(make_packet(topo)));
+  EXPECT_TRUE(q.enqueue(make_packet(topo)));
+  EXPECT_FALSE(q.enqueue(make_packet(topo)));  // full
+  EXPECT_EQ(q.packet_count(), 2u);
+  EXPECT_EQ(q.byte_count(), 1000u);
+  EXPECT_EQ(q.dropped().packets.value(), 1u);
+  EXPECT_EQ(q.enqueued().packets.value(), 2u);
+  auto p = q.dequeue();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(q.packet_count(), 1u);
+  q.dequeue();
+  EXPECT_EQ(q.dequeue(), nullptr);
+}
+
+TEST(Topology, ConnectAssignsInterfacesAndSubnets) {
+  Topology topo;
+  auto& a = topo.add_node<SinkNode>("a");
+  auto& b = topo.add_node<SinkNode>("b");
+  const LinkId l = topo.connect(a.id(), b.id());
+  EXPECT_EQ(topo.link_count(), 1u);
+  EXPECT_EQ(a.interfaces().size(), 1u);
+  EXPECT_EQ(b.interfaces().size(), 1u);
+  EXPECT_EQ(a.interface(0).peer, b.id());
+  EXPECT_EQ(a.interface(0).link, l);
+  EXPECT_EQ(a.interface(0).subnet, b.interface(0).subnet);
+  EXPECT_NE(a.interface(0).address, b.interface(0).address);
+  EXPECT_EQ(a.interface_to(b.id()), 0u);
+  EXPECT_EQ(a.interface_to(999), ip::kInvalidIf);
+  EXPECT_THROW(topo.connect(a.id(), a.id()), std::invalid_argument);
+}
+
+TEST(Topology, AdjacenciesSkipDownLinks) {
+  Topology topo;
+  auto& a = topo.add_node<SinkNode>("a");
+  auto& b = topo.add_node<SinkNode>("b");
+  auto& c = topo.add_node<SinkNode>("c");
+  topo.connect(a.id(), b.id());
+  const LinkId l2 = topo.connect(a.id(), c.id());
+  EXPECT_EQ(topo.adjacencies(a.id()).size(), 2u);
+  topo.link(l2).set_up(false);
+  EXPECT_EQ(topo.adjacencies(a.id()).size(), 1u);
+  EXPECT_EQ(topo.adjacencies(a.id())[0].neighbor, b.id());
+}
+
+TEST(Link, DeliveryTimingMatchesSerializationPlusPropagation) {
+  Topology topo;
+  auto& a = topo.add_node<SinkNode>("a");
+  auto& b = topo.add_node<SinkNode>("b");
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1e6;                  // 1 Mb/s
+  cfg.prop_delay = 5 * sim::kMillisecond;   // 5 ms
+  topo.connect(a.id(), b.id(), cfg);
+
+  auto p = make_packet(topo, 472);  // 500 B → 4 ms serialization at 1 Mb/s
+  a.send(std::move(p), 0);
+  topo.scheduler().run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(topo.scheduler().now(), 9 * sim::kMillisecond);
+  EXPECT_EQ(b.last_in_if, 0u);
+}
+
+TEST(Link, BackToBackPacketsQueue) {
+  Topology topo;
+  auto& a = topo.add_node<SinkNode>("a");
+  auto& b = topo.add_node<SinkNode>("b");
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1e6;
+  cfg.prop_delay = 0;
+  topo.connect(a.id(), b.id(), cfg);
+
+  a.send(make_packet(topo), 0);  // 4 ms each
+  a.send(make_packet(topo), 0);
+  a.send(make_packet(topo), 0);
+  topo.scheduler().run();
+  EXPECT_EQ(b.received.size(), 3u);
+  EXPECT_EQ(topo.scheduler().now(), 12 * sim::kMillisecond);
+  EXPECT_EQ(topo.link(0).tx_from(a.id()).packets.value(), 3u);
+}
+
+TEST(Link, UtilizationAccounting) {
+  Topology topo;
+  auto& a = topo.add_node<SinkNode>("a");
+  auto& b = topo.add_node<SinkNode>("b");
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1e6;
+  cfg.prop_delay = 0;
+  topo.connect(a.id(), b.id(), cfg);
+  a.send(make_packet(topo), 0);  // 4 ms busy
+  topo.run_until(8 * sim::kMillisecond);
+  EXPECT_NEAR(topo.link(0).utilization_from(a.id(), topo.scheduler().now()),
+              0.5, 1e-9);
+  EXPECT_EQ(topo.link(0).utilization_from(b.id(), topo.scheduler().now()),
+            0.0);
+}
+
+TEST(Link, DownLinkDropsTrafficAndQueue) {
+  Topology topo;
+  auto& a = topo.add_node<SinkNode>("a");
+  auto& b = topo.add_node<SinkNode>("b");
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1e5;  // slow: 40 ms per packet
+  topo.connect(a.id(), b.id(), cfg);
+
+  a.send(make_packet(topo), 0);
+  a.send(make_packet(topo), 0);  // queued behind the first
+  topo.run_until(1 * sim::kMillisecond);
+  topo.link(0).set_up(false);  // mid-transmission failure
+  topo.scheduler().run();
+  EXPECT_EQ(b.received.size(), 0u);
+
+  topo.link(0).set_up(true);
+  a.send(make_packet(topo), 0);
+  topo.scheduler().run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(Link, QueueDiscSwapRequiresIdle) {
+  Topology topo;
+  auto& a = topo.add_node<SinkNode>("a");
+  auto& b = topo.add_node<SinkNode>("b");
+  topo.connect(a.id(), b.id());
+  topo.link(0).set_queue_from(a.id(), std::make_unique<DropTailQueue>(5));
+  a.send(make_packet(topo), 0);
+  EXPECT_THROW(
+      topo.link(0).set_queue_from(a.id(), std::make_unique<DropTailQueue>(5)),
+      std::logic_error);
+}
+
+TEST(Link, PeerOfAndEndpoints) {
+  Topology topo;
+  auto& a = topo.add_node<SinkNode>("a");
+  auto& b = topo.add_node<SinkNode>("b");
+  topo.connect(a.id(), b.id());
+  const Link& l = topo.link(0);
+  EXPECT_EQ(l.peer_of(a.id()).node, b.id());
+  EXPECT_EQ(l.peer_of(b.id()).node, a.id());
+  EXPECT_THROW(l.peer_of(42), std::invalid_argument);
+}
+
+TEST(Topology, PacketTapSeesDeliveries) {
+  Topology topo;
+  auto& a = topo.add_node<SinkNode>("a");
+  auto& b = topo.add_node<SinkNode>("b");
+  topo.connect(a.id(), b.id());
+  int taps = 0;
+  topo.set_packet_tap([&](ip::NodeId at, const Packet&) {
+    EXPECT_EQ(at, b.id());
+    ++taps;
+  });
+  a.send(make_packet(topo), 0);
+  topo.scheduler().run();
+  EXPECT_EQ(taps, 1);
+}
+
+TEST(Node, InterfaceCountersTrackTraffic) {
+  Topology topo;
+  auto& a = topo.add_node<SinkNode>("a");
+  auto& b = topo.add_node<SinkNode>("b");
+  topo.connect(a.id(), b.id());
+  a.send(make_packet(topo, 472), 0);
+  topo.scheduler().run();
+  EXPECT_EQ(a.interface(0).tx.packets.value(), 1u);
+  EXPECT_EQ(a.interface(0).tx.bytes.value(), 500u);
+  EXPECT_EQ(b.interface(0).rx.packets.value(), 1u);
+  EXPECT_EQ(b.interface(0).rx.bytes.value(), 500u);
+  EXPECT_EQ(a.interface(0).rx.packets.value(), 0u);
+}
+
+TEST(Packet, SegMetaDoesNotChangeWireSize) {
+  Packet p;
+  p.payload_bytes = 100;
+  const std::size_t before = p.wire_size();
+  p.seg = SegMeta{42, true};
+  EXPECT_EQ(p.wire_size(), before);
+}
+
+TEST(Packet, CombinedEncapsulationsStack) {
+  Packet p;
+  p.payload_bytes = 100;  // inner 128
+  EspEncap esp;
+  esp.pad_bytes = 6;
+  p.esp = esp;  // +56
+  p.push_label(MplsShim{100, 5, 64});  // +4
+  p.push_label(MplsShim{200, 5, 64});  // +4
+  EXPECT_EQ(p.wire_size(), 128u + 56u + 8u);
+}
+
+TEST(Packet, DescribeMentionsLayers) {
+  Packet p;
+  p.id = 7;
+  p.ip.src = ip::Ipv4Address::must_parse("10.0.0.1");
+  p.ip.dst = ip::Ipv4Address::must_parse("10.0.0.2");
+  p.push_label(MplsShim{77, 2, 64});
+  const std::string d = p.describe();
+  EXPECT_NE(d.find("pkt#7"), std::string::npos);
+  EXPECT_NE(d.find("mpls[77"), std::string::npos);
+  EXPECT_NE(d.find("10.0.0.2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mvpn::net

@@ -1,0 +1,438 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "backbone/fixtures.hpp"
+#include "ip/dir24_fib.hpp"
+#include "ip/prefix_trie.hpp"
+#include "ipsec/esp.hpp"
+#include "qos/queues.hpp"
+#include "qos/token_bucket.hpp"
+#include "traffic/sink.hpp"
+#include "traffic/source.hpp"
+
+namespace mvpn {
+namespace {
+
+// --- E1 invariant: the paper's N(N-1)/2 formula ----------------------------
+
+class OverlayScaling : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OverlayScaling, VcCountMatchesClosedForm) {
+  const std::size_t n = GetParam();
+  backbone::OverlayBackbone bb(4, 7);
+  const vpn::VpnId v = bb.service.create_vpn("V");
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& ce = bb.add_ce(i % 4, "CE" + std::to_string(i));
+    const auto prefix = ip::Prefix(
+        ip::Ipv4Address(10, std::uint8_t(1 + i / 250), std::uint8_t(i % 250),
+                        0),
+        24);
+    bb.service.add_site(v, ce, prefix);
+  }
+  bb.service.provision();
+  EXPECT_EQ(bb.service.pvc_count(), n * (n - 1) / 2);
+  // Every circuit consumes switching state at both endpoints at least.
+  EXPECT_GE(bb.service.total_switching_entries(), n * (n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(SiteCounts, OverlayScaling,
+                         ::testing::Values(2, 4, 10, 20));
+
+class MplsScaling : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MplsScaling, StateGrowsLinearlyInSites) {
+  const std::size_t n = GetParam();
+  backbone::BackboneConfig cfg;
+  cfg.p_count = 3;
+  cfg.pe_count = std::min<std::size_t>(n, 6);
+  cfg.seed = 7;
+  backbone::MplsBackbone bb(cfg);
+  const vpn::VpnId v = bb.service.create_vpn("V");
+  for (std::size_t i = 0; i < n; ++i) {
+    bb.add_site(v, i % cfg.pe_count,
+                ip::Prefix(ip::Ipv4Address(10, std::uint8_t(1 + i / 250),
+                                           std::uint8_t(i % 250), 0),
+                           24));
+  }
+  bb.start_and_converge();
+  // Linear state: every PE holds one route per site in its VRF (its own
+  // sites connected, the rest imported), NOT one per site pair.
+  EXPECT_EQ(bb.service.total_vrf_routes(), n * cfg.pe_count);
+  // BGP carries exactly one NLRI per site to every PE.
+  EXPECT_EQ(bb.service.total_bgp_loc_rib(), n * cfg.pe_count);
+  // VRF count: one per (PE with attached sites) per VPN.
+  EXPECT_LE(bb.service.total_vrf_count(), cfg.pe_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(SiteCounts, MplsScaling,
+                         ::testing::Values(6, 12, 24));
+
+// --- LPM equivalence over random tables -------------------------------------
+
+class FibEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FibEquivalence, TrieAndDir24AgreeEverywhere) {
+  sim::Rng rng(GetParam());
+  ip::PrefixTrie<std::uint16_t> trie;
+  std::vector<std::pair<ip::Prefix, std::uint16_t>> routes;
+  for (std::uint16_t i = 0; i < 300; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform_int(4, 32));
+    const ip::Prefix p(ip::Ipv4Address(static_cast<std::uint32_t>(
+                           rng.next_u64())),
+                       len);
+    routes.emplace_back(p, i);
+    trie.insert(p, i);
+  }
+  ip::Dir24Fib fib;
+  fib.build(routes);
+  for (int i = 0; i < 5000; ++i) {
+    const ip::Ipv4Address a(static_cast<std::uint32_t>(rng.next_u64()));
+    const std::uint16_t* expect = trie.longest_match(a);
+    const auto got = fib.lookup(a);
+    ASSERT_EQ(got.has_value(), expect != nullptr) << a.to_string();
+    if (expect != nullptr) ASSERT_EQ(*got, *expect) << a.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FibEquivalence,
+                         ::testing::Values(1, 17, 99, 2024));
+
+// --- WFQ share property ------------------------------------------------------
+
+class WfqShares
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(WfqShares, ServiceMatchesWeights) {
+  const auto [w0, w1] = GetParam();
+  qos::WfqQueueDisc q({w0, w1}, 4000,
+                      qos::class_band_selector({1, 0, 0, 0, 0, 0, 0, 0}));
+  auto mk = [&](std::uint8_t dscp) {
+    auto p = std::make_shared<net::Packet>();
+    p->ip.dscp = dscp;
+    p->payload_bytes = 472;
+    return p;
+  };
+  for (int i = 0; i < 1000; ++i) {
+    q.enqueue(mk(10));  // AF → band 0
+    q.enqueue(mk(0));   // BE → band 1
+  }
+  int band0 = 0;
+  const int draws = 500;
+  for (int i = 0; i < draws; ++i) {
+    auto p = q.dequeue();
+    ASSERT_NE(p, nullptr);
+    if (p->ip.dscp == 10) ++band0;
+  }
+  const double expected = w0 / (w0 + w1);
+  EXPECT_NEAR(static_cast<double>(band0) / draws, expected, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, WfqShares,
+                         ::testing::Values(std::make_pair(1.0, 1.0),
+                                           std::make_pair(2.0, 1.0),
+                                           std::make_pair(3.0, 1.0),
+                                           std::make_pair(9.0, 1.0)));
+
+// --- Isolation fuzz ----------------------------------------------------------
+
+class IsolationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IsolationFuzz, RandomVpnMeshNeverLeaks) {
+  const std::uint64_t seed = GetParam();
+  backbone::BackboneConfig cfg;
+  cfg.p_count = 2;
+  cfg.pe_count = 3;
+  cfg.seed = seed;
+  backbone::MplsBackbone bb(cfg);
+  sim::Rng rng(seed * 31 + 1);
+
+  constexpr std::size_t kVpns = 3;
+  constexpr std::size_t kSitesPerVpn = 4;
+  std::vector<vpn::VpnId> vpns;
+  std::vector<std::vector<backbone::MplsBackbone::Site>> sites(kVpns);
+  for (std::size_t v = 0; v < kVpns; ++v) {
+    vpns.push_back(bb.service.create_vpn("V" + std::to_string(v)));
+    for (std::size_t i = 0; i < kSitesPerVpn; ++i) {
+      // Deliberately identical address plans in every VPN.
+      const auto prefix =
+          ip::Prefix(ip::Ipv4Address(10, std::uint8_t(i + 1), 0, 0), 16);
+      const auto pe = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(cfg.pe_count) - 1));
+      sites[v].push_back(bb.add_site(vpns[v], pe, prefix));
+    }
+  }
+  bb.start_and_converge();
+
+  qos::SlaProbe probe;
+  traffic::MeasurementSink sink(probe, bb.topo.scheduler());
+  for (auto& vs : sites) {
+    for (auto& s : vs) sink.bind(*s.ce);
+  }
+
+  std::vector<std::unique_ptr<traffic::Source>> sources;
+  std::uint32_t flow = 1;
+  for (std::size_t v = 0; v < kVpns; ++v) {
+    for (int k = 0; k < 8; ++k) {
+      const auto i = static_cast<std::size_t>(rng.uniform_int(0, 3));
+      auto j = static_cast<std::size_t>(rng.uniform_int(0, 3));
+      if (j == i) j = (j + 1) % kSitesPerVpn;
+      traffic::FlowSpec f;
+      f.src = ip::Ipv4Address(10, std::uint8_t(i + 1), 0, 1);
+      f.dst = ip::Ipv4Address(10, std::uint8_t(j + 1), 0,
+                              std::uint8_t(rng.uniform_int(1, 200)));
+      f.vpn = vpns[v];
+      sources.push_back(std::make_unique<traffic::PoissonSource>(
+          *sites[v][i].ce, f, flow, &probe, 50e3));
+      sink.expect_flow(flow, qos::Phb::kBe, vpns[v]);
+      ++flow;
+    }
+  }
+  for (auto& s : sources) s->run(0, sim::kSecond);
+  bb.topo.run_until(3 * sim::kSecond);
+
+  EXPECT_GT(sink.delivered(), 0u);
+  EXPECT_EQ(sink.leaks(), 0u);
+  EXPECT_EQ(sink.unknown_flows(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsolationFuzz,
+                         ::testing::Values(3, 5, 8, 13, 21));
+
+// --- Invariants on random topologies ----------------------------------------
+
+class RandomTopology : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTopology, AnyToAnyReachabilityAndIsolationHold) {
+  const std::uint64_t seed = GetParam();
+  sim::Rng shape_rng(seed * 7 + 3);
+  const auto p_count =
+      static_cast<std::size_t>(shape_rng.uniform_int(2, 6));
+  const auto pe_count =
+      static_cast<std::size_t>(shape_rng.uniform_int(2, 5));
+  auto bb = backbone::make_random_backbone(p_count, pe_count, 0.3, seed);
+
+  constexpr std::size_t kVpns = 2;
+  std::vector<vpn::VpnId> vpns;
+  std::vector<std::vector<backbone::MplsBackbone::Site>> sites(kVpns);
+  for (std::size_t v = 0; v < kVpns; ++v) {
+    vpns.push_back(bb->service.create_vpn("V" + std::to_string(v)));
+    for (std::size_t i = 0; i < 3; ++i) {
+      sites[v].push_back(bb->add_site(
+          vpns[v],
+          static_cast<std::size_t>(shape_rng.uniform_int(
+              0, static_cast<std::int64_t>(pe_count) - 1)),
+          ip::Prefix(ip::Ipv4Address(10, std::uint8_t(i + 1), 0, 0), 16)));
+    }
+  }
+  bb->start_and_converge();
+  EXPECT_TRUE(bb->igp.synchronized());
+
+  qos::SlaProbe probe;
+  traffic::MeasurementSink sink(probe, bb->topo.scheduler());
+  for (auto& vs : sites) {
+    for (auto& s : vs) sink.bind(*s.ce);
+  }
+  std::vector<std::unique_ptr<traffic::Source>> sources;
+  std::uint32_t flow = 1;
+  for (std::size_t v = 0; v < kVpns; ++v) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        if (i == j) continue;
+        traffic::FlowSpec f;
+        f.src = ip::Ipv4Address(10, std::uint8_t(i + 1), 0, 1);
+        f.dst = ip::Ipv4Address(10, std::uint8_t(j + 1), 0, 1);
+        f.vpn = vpns[v];
+        sources.push_back(std::make_unique<traffic::CbrSource>(
+            *sites[v][i].ce, f, flow, &probe, 50e3));
+        sink.expect_flow(flow, qos::Phb::kBe, vpns[v]);
+        ++flow;
+      }
+    }
+  }
+  for (auto& s : sources) s->run(0, sim::kSecond);
+  bb->topo.run_until(3 * sim::kSecond);
+
+  std::uint64_t sent = 0;
+  for (auto& s : sources) {
+    sent += static_cast<traffic::CbrSource*>(s.get())->packets_sent();
+  }
+  EXPECT_EQ(sink.delivered(), sent) << "p=" << p_count << " pe=" << pe_count;
+  EXPECT_EQ(sink.leaks(), 0u);
+  EXPECT_EQ(sink.unknown_flows(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopology,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// --- BGP mode equivalence: route reflection must not change outcomes --------
+
+class BgpModeEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BgpModeEquivalence, LocRibsIdenticalUnderFullMeshAndRr) {
+  const std::size_t sites = GetParam();
+  auto build = [&](routing::Bgp::Mode mode) {
+    backbone::BackboneConfig cfg;
+    cfg.p_count = 2;
+    cfg.pe_count = 4;
+    cfg.bgp_mode = mode;
+    cfg.route_reflector_count =
+        mode == routing::Bgp::Mode::kRouteReflector ? 1 : 0;
+    cfg.seed = 5;
+    auto bb = std::make_unique<backbone::MplsBackbone>(cfg);
+    const vpn::VpnId v = bb->service.create_vpn("V");
+    for (std::size_t i = 0; i < sites; ++i) {
+      bb->add_site(v, i % 4,
+                   ip::Prefix(ip::Ipv4Address(10, std::uint8_t(i + 1), 0, 0),
+                              16));
+    }
+    bb->start_and_converge();
+    return bb;
+  };
+  auto fm = build(routing::Bgp::Mode::kFullMesh);
+  auto rr = build(routing::Bgp::Mode::kRouteReflector);
+
+  // Same sites → every PE must hold identical best paths either way.
+  for (std::size_t pe = 0; pe < 4; ++pe) {
+    const auto fm_rib = fm->bgp.loc_rib(fm->pes()[pe]->id());
+    const auto rr_rib = rr->bgp.loc_rib(rr->pes()[pe]->id());
+    ASSERT_EQ(fm_rib.size(), rr_rib.size());
+    for (std::size_t i = 0; i < fm_rib.size(); ++i) {
+      EXPECT_EQ(fm_rib[i].prefix, rr_rib[i].prefix);
+      EXPECT_EQ(fm_rib[i].vpn_label, rr_rib[i].vpn_label);
+      EXPECT_EQ(fm_rib[i].originator, rr_rib[i].originator);
+    }
+  }
+  // And the data-plane state must agree too.
+  EXPECT_EQ(fm->service.total_vrf_routes(), rr->service.total_vrf_routes());
+}
+
+INSTANTIATE_TEST_SUITE_P(SiteCounts, BgpModeEquivalence,
+                         ::testing::Values(4, 8, 16));
+
+// --- Control-plane message growth is linear in sites -------------------------
+
+TEST(ScalingShape, BgpMessagesLinearInSites) {
+  auto messages_for = [](std::size_t sites) {
+    backbone::BackboneConfig cfg;
+    cfg.p_count = 2;
+    cfg.pe_count = 4;
+    cfg.seed = 5;
+    backbone::MplsBackbone bb(cfg);
+    const vpn::VpnId v = bb.service.create_vpn("V");
+    for (std::size_t i = 0; i < sites; ++i) {
+      bb.add_site(v, i % 4,
+                  ip::Prefix(ip::Ipv4Address(10, std::uint8_t(1 + i / 200),
+                                             std::uint8_t(i % 200), 0),
+                             24));
+    }
+    bb.start_and_converge();
+    return bb.cp.message_count("bgp.update");
+  };
+  const auto m8 = messages_for(8);
+  const auto m16 = messages_for(16);
+  const auto m32 = messages_for(32);
+  // Doubling sites doubles updates (within rounding): linear, not
+  // quadratic.
+  EXPECT_NEAR(static_cast<double>(m16) / static_cast<double>(m8), 2.0, 0.2);
+  EXPECT_NEAR(static_cast<double>(m32) / static_cast<double>(m16), 2.0, 0.2);
+}
+
+// --- Determinism --------------------------------------------------------------
+
+struct RunOutcome {
+  std::uint64_t delivered = 0;
+  std::uint64_t messages = 0;
+  sim::SimTime end_time = 0;
+  bool operator==(const RunOutcome&) const = default;
+};
+
+RunOutcome run_once(std::uint64_t seed) {
+  backbone::Figure2Scenario s = backbone::make_figure2_scenario(seed);
+  s.backbone->start_and_converge();
+  qos::SlaProbe probe;
+  traffic::MeasurementSink sink(probe, s.backbone->topo.scheduler());
+  sink.bind(*s.v1_site2.ce);
+  traffic::FlowSpec f;
+  f.src = ip::Ipv4Address::must_parse("10.1.0.1");
+  f.dst = ip::Ipv4Address::must_parse("10.2.0.1");
+  f.vpn = s.vpn1;
+  traffic::PoissonSource src(*s.v1_site1.ce, f, 1, &probe, 300e3);
+  sink.expect_flow(1, qos::Phb::kBe, s.vpn1);
+  src.run(0, sim::kSecond);
+  s.backbone->topo.run_until(2 * sim::kSecond);
+  return RunOutcome{sink.delivered(), s.backbone->cp.total_messages(),
+                    s.backbone->topo.scheduler().now()};
+}
+
+TEST(Determinism, SameSeedSameOutcome) {
+  const RunOutcome a = run_once(77);
+  const RunOutcome b = run_once(77);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, DifferentSeedDifferentArrivals) {
+  const RunOutcome a = run_once(77);
+  const RunOutcome c = run_once(78);
+  // Control-plane message counts are topology-determined and equal; the
+  // Poisson arrival count should differ with overwhelming probability.
+  EXPECT_EQ(a.messages, c.messages);
+  EXPECT_NE(a.delivered, c.delivered);
+}
+
+// --- Replay window property ----------------------------------------------------
+
+class ReplayFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReplayFuzz, AcceptsExactlyFreshInWindowSequences) {
+  sim::Rng rng(GetParam());
+  ipsec::ReplayWindow window(64);
+  std::set<std::uint32_t> accepted;
+  std::uint32_t top = 0;
+  for (int i = 0; i < 5000; ++i) {
+    // Random walk biased forward, with frequent duplicates.
+    const auto seq = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(top) +
+                                      rng.uniform_int(-70, 8)));
+    const bool fresh = accepted.insert(seq).second;
+    const bool in_window = seq + 64 > top;
+    const bool got = window.check_and_update(seq);
+    if (got) {
+      EXPECT_TRUE(fresh) << "accepted replay of " << seq;
+      EXPECT_TRUE(in_window) << "accepted ancient " << seq;
+    } else if (fresh && in_window && seq > top) {
+      ADD_FAILURE() << "rejected fresh forward seq " << seq;
+    }
+    top = std::max(top, seq);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayFuzz, ::testing::Values(1, 2, 3));
+
+// --- Token bucket long-run rate -------------------------------------------------
+
+class BucketRates : public ::testing::TestWithParam<double> {};
+
+TEST_P(BucketRates, LongRunThroughputBoundedByCir) {
+  const double cir = GetParam();  // bytes/s
+  qos::TokenBucket tb(cir, 3000.0);
+  sim::Rng rng(5);
+  double accepted_bytes = 0;
+  sim::SimTime now = 0;
+  for (int i = 0; i < 20000; ++i) {
+    now += sim::from_seconds(rng.exponential(0.0005));
+    const std::size_t bytes = 200 + static_cast<std::size_t>(
+                                        rng.uniform_int(0, 1300));
+    if (tb.consume(now, bytes)) accepted_bytes += static_cast<double>(bytes);
+  }
+  const double duration = sim::to_seconds(now);
+  const double rate = accepted_bytes / duration;
+  EXPECT_LE(rate, cir * 1.05 + 3000.0 / duration);  // CIR + burst amortized
+  EXPECT_GT(rate, cir * 0.5);  // and the bucket is not spuriously starving
+}
+
+INSTANTIATE_TEST_SUITE_P(Cirs, BucketRates,
+                         ::testing::Values(50e3, 200e3, 1e6));
+
+}  // namespace
+}  // namespace mvpn

@@ -1,0 +1,658 @@
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "routing/bgp.hpp"
+#include "routing/control_plane.hpp"
+#include "routing/hello.hpp"
+#include "routing/igp.hpp"
+#include "routing/link_state.hpp"
+#include "vpn/router.hpp"
+
+namespace mvpn::routing {
+namespace {
+
+using vpn::Role;
+using vpn::Router;
+
+struct IgpFixture {
+  net::Topology topo;
+  ControlPlane cp{topo};
+  Igp igp{cp};
+  std::vector<Router*> routers;
+
+  Router& add(const std::string& name) {
+    auto& r = topo.add_node<Router>(name, Role::kP);
+    routers.push_back(&r);
+    igp.add_router(r.id());
+    return r;
+  }
+  net::LinkId link(Router& a, Router& b, std::uint32_t cost = 1,
+                   double bw = 10e6) {
+    net::LinkConfig cfg;
+    cfg.igp_cost = cost;
+    cfg.bandwidth_bps = bw;
+    return topo.connect(a.id(), b.id(), cfg);
+  }
+  void converge() {
+    igp.start();
+    topo.scheduler().run();
+  }
+};
+
+TEST(ControlPlane, CountsMessagesByType) {
+  net::Topology topo;
+  auto& a = topo.add_node<Router>("a", Role::kP);
+  auto& b = topo.add_node<Router>("b", Role::kP);
+  topo.connect(a.id(), b.id());
+  ControlPlane cp(topo);
+  int delivered = 0;
+  EXPECT_TRUE(cp.send_adjacent(a.id(), b.id(), "x.hello", 40,
+                               [&] { ++delivered; }));
+  cp.send_session(a.id(), b.id(), "y.update", 60, [&] { ++delivered; });
+  topo.scheduler().run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(cp.message_count("x.hello"), 1u);
+  EXPECT_EQ(cp.byte_count("y.update"), 60u);
+  EXPECT_EQ(cp.total_messages(), 2u);
+  EXPECT_EQ(cp.total_bytes(), 100u);
+  cp.reset_counters();
+  EXPECT_EQ(cp.total_messages(), 0u);
+}
+
+TEST(ControlPlane, AdjacentFailsWithoutLinkOrWhenDown) {
+  net::Topology topo;
+  auto& a = topo.add_node<Router>("a", Role::kP);
+  auto& b = topo.add_node<Router>("b", Role::kP);
+  auto& c = topo.add_node<Router>("c", Role::kP);
+  const net::LinkId l = topo.connect(a.id(), b.id());
+  ControlPlane cp(topo);
+  EXPECT_FALSE(cp.send_adjacent(a.id(), c.id(), "t", 1, [] {}));
+  topo.link(l).set_up(false);
+  EXPECT_FALSE(cp.send_adjacent(a.id(), b.id(), "t", 1, [] {}));
+}
+
+TEST(LinkStateDb, InstallsOnlyNewer) {
+  LinkStateDb db;
+  Lsa lsa;
+  lsa.origin = 1;
+  lsa.sequence = 2;
+  EXPECT_TRUE(db.install(lsa));
+  EXPECT_FALSE(db.install(lsa));  // same sequence
+  lsa.sequence = 1;
+  EXPECT_FALSE(db.install(lsa));  // older
+  lsa.sequence = 3;
+  EXPECT_TRUE(db.install(lsa));
+  EXPECT_EQ(db.find(1)->sequence, 3u);
+  EXPECT_EQ(db.find(9), nullptr);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(ShortestPath, PrefersLowCostThenFewHops) {
+  // 0 -1- 1 -1- 2   and   0 -3- 2 direct: cost path wins via 1.
+  LinkStateDb db;
+  auto mk = [&](ip::NodeId origin, std::vector<LsaLink> links) {
+    Lsa lsa;
+    lsa.origin = origin;
+    lsa.sequence = 1;
+    lsa.links = std::move(links);
+    db.install(lsa);
+  };
+  mk(0, {{1, 0, 1, 1e6, 1e6}, {2, 1, 3, 1e6, 1e6}});
+  mk(1, {{0, 0, 1, 1e6, 1e6}, {2, 2, 1, 1e6, 1e6}});
+  mk(2, {{0, 1, 3, 1e6, 1e6}, {1, 2, 1, 1e6, 1e6}});
+
+  const ComputedPath p = shortest_path(db, 0, 2);
+  ASSERT_TRUE(p.found());
+  EXPECT_EQ(p.cost, 2u);
+  EXPECT_EQ(p.nodes, (std::vector<ip::NodeId>{0, 1, 2}));
+  EXPECT_EQ(p.hop_count(), 2u);
+}
+
+TEST(ShortestPath, RespectsBandwidthConstraintAndExclusion) {
+  LinkStateDb db;
+  auto mk = [&](ip::NodeId origin, std::vector<LsaLink> links) {
+    Lsa lsa;
+    lsa.origin = origin;
+    lsa.sequence = 1;
+    lsa.links = std::move(links);
+    db.install(lsa);
+  };
+  // Two parallel 0→1 paths: link 0 (skinny 1 Mb/s), links 1+2 via node 2.
+  mk(0, {{1, 0, 1, 1e6, 1e6}, {2, 1, 1, 10e6, 10e6}});
+  mk(1, {{0, 0, 1, 1e6, 1e6}, {2, 2, 1, 10e6, 10e6}});
+  mk(2, {{0, 1, 1, 10e6, 10e6}, {1, 2, 1, 10e6, 10e6}});
+
+  EXPECT_EQ(shortest_path(db, 0, 1).hop_count(), 1u);
+  // Demand 5 Mb/s: the direct skinny link is ineligible.
+  const ComputedPath constrained = shortest_path(db, 0, 1, 5e6);
+  EXPECT_EQ(constrained.hop_count(), 2u);
+  // Exclude the detour's first link: nothing qualifies.
+  const ComputedPath dead = shortest_path(db, 0, 1, 5e6, {1});
+  EXPECT_FALSE(dead.found());
+}
+
+TEST(ShortestPath, RequiresTwoWayAdjacency) {
+  LinkStateDb db;
+  Lsa a;
+  a.origin = 0;
+  a.sequence = 1;
+  a.links = {{1, 0, 1, 1e6, 1e6}};
+  db.install(a);
+  Lsa b;
+  b.origin = 1;
+  b.sequence = 1;  // no back-link to 0
+  db.install(b);
+  EXPECT_FALSE(shortest_path(db, 0, 1).found());
+}
+
+TEST(ShortestPath, SourceEqualsDestination) {
+  LinkStateDb db;
+  Lsa a;
+  a.origin = 5;
+  a.sequence = 1;
+  db.install(a);
+  const ComputedPath p = shortest_path(db, 5, 5);
+  ASSERT_TRUE(p.found());
+  EXPECT_EQ(p.hop_count(), 0u);
+}
+
+TEST(Igp, FloodingSynchronizesAllRouters) {
+  IgpFixture f;
+  auto& a = f.add("a");
+  auto& b = f.add("b");
+  auto& c = f.add("c");
+  auto& d = f.add("d");
+  f.link(a, b);
+  f.link(b, c);
+  f.link(c, d);
+  f.converge();
+  EXPECT_TRUE(f.igp.synchronized());
+  EXPECT_GT(f.cp.message_count("igp.lsa"), 0u);
+  EXPECT_GT(f.igp.spf_runs(), 0u);
+}
+
+TEST(Igp, NextHopsFollowShortestPath) {
+  IgpFixture f;
+  auto& a = f.add("a");
+  auto& b = f.add("b");
+  auto& c = f.add("c");
+  f.link(a, b, 1);
+  f.link(b, c, 1);
+  f.link(a, c, 5);  // expensive direct
+  f.converge();
+  const auto* nh = f.igp.next_hop(a.id(), c.id());
+  ASSERT_NE(nh, nullptr);
+  EXPECT_EQ(nh->via, b.id());
+  EXPECT_EQ(nh->cost, 2u);
+  const auto path = f.igp.path(a.id(), c.id());
+  EXPECT_EQ(path.nodes, (std::vector<ip::NodeId>{a.id(), b.id(), c.id()}));
+}
+
+TEST(Igp, ReconvergesAfterLinkFailure) {
+  IgpFixture f;
+  auto& a = f.add("a");
+  auto& b = f.add("b");
+  auto& c = f.add("c");
+  const net::LinkId ab = f.link(a, b, 1);
+  f.link(b, c, 1);
+  f.link(a, c, 5);
+  f.converge();
+  ASSERT_EQ(f.igp.next_hop(a.id(), c.id())->via, b.id());
+
+  f.topo.link(ab).set_up(false);
+  f.igp.notify_link_change(ab);
+  f.topo.scheduler().run();
+  const auto* nh = f.igp.next_hop(a.id(), c.id());
+  ASSERT_NE(nh, nullptr);
+  EXPECT_EQ(nh->via, c.id());  // fell back to the expensive direct link
+}
+
+TEST(Igp, TeReservationsShrinkReservable) {
+  IgpFixture f;
+  auto& a = f.add("a");
+  auto& b = f.add("b");
+  const net::LinkId l = f.link(a, b, 1, 10e6);
+  f.converge();
+  EXPECT_DOUBLE_EQ(f.igp.te_reservable(a.id(), l), 10e6);
+  EXPECT_TRUE(f.igp.te_reserve(a.id(), l, 6e6));
+  EXPECT_DOUBLE_EQ(f.igp.te_reservable(a.id(), l), 4e6);
+  EXPECT_FALSE(f.igp.te_reserve(a.id(), l, 5e6));  // admission fails
+  EXPECT_TRUE(f.igp.te_reserve(a.id(), l, 4e6));
+  f.igp.te_release(a.id(), l, 10e6);
+  EXPECT_DOUBLE_EQ(f.igp.te_reservable(a.id(), l), 10e6);
+  // Direction independence: b's side is untouched throughout.
+  EXPECT_DOUBLE_EQ(f.igp.te_reservable(b.id(), l), 10e6);
+}
+
+TEST(Igp, CspfAvoidsReservedLinks) {
+  IgpFixture f;
+  auto& a = f.add("a");
+  auto& b = f.add("b");
+  auto& c = f.add("c");
+  const net::LinkId direct = f.link(a, b, 1, 10e6);
+  f.link(a, c, 1, 10e6);
+  f.link(c, b, 1, 10e6);
+  f.converge();
+  EXPECT_EQ(f.igp.cspf(a.id(), b.id(), 8e6).hop_count(), 1u);
+  ASSERT_TRUE(f.igp.te_reserve(a.id(), direct, 5e6));
+  f.topo.scheduler().run();  // re-flood updated TE attributes
+  const ComputedPath detour = f.igp.cspf(a.id(), b.id(), 8e6);
+  ASSERT_TRUE(detour.found());
+  EXPECT_EQ(detour.hop_count(), 2u);
+}
+
+TEST(Igp, MembershipQueriesThrowForStrangers) {
+  IgpFixture f;
+  f.add("a");
+  EXPECT_FALSE(f.igp.is_member(99));
+  EXPECT_THROW(f.igp.lsdb(99), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+
+struct BgpFixture {
+  net::Topology topo;
+  ControlPlane cp{topo};
+
+  VpnRoute route(std::uint32_t rd_low, const char* prefix,
+                 ip::NodeId origin, std::uint32_t label = 100) {
+    VpnRoute r;
+    r.rd = RouteDistinguisher{65000, rd_low};
+    r.prefix = ip::Prefix::must_parse(prefix);
+    r.next_hop = ip::Ipv4Address(10, 255, 0, std::uint8_t(origin));
+    r.next_hop_node = origin;
+    r.vpn_label = label;
+    r.route_targets.push_back(RouteTarget{65000, rd_low});
+    return r;
+  }
+};
+
+TEST(Bgp, FullMeshPropagatesToAllSpeakers) {
+  BgpFixture f;
+  Bgp bgp(f.cp, Bgp::Mode::kFullMesh);
+  for (ip::NodeId n = 0; n < 4; ++n) {
+    f.topo.add_node<Router>("pe" + std::to_string(n), Role::kPe);
+    bgp.add_speaker(n);
+  }
+  bgp.start();
+  EXPECT_EQ(bgp.session_count(), 6u);  // 4*3/2
+
+  bgp.originate(0, f.route(1, "10.1.0.0/16", 0));
+  f.topo.scheduler().run();
+  const VpnRouteKey key{RouteDistinguisher{65000, 1},
+                        ip::Prefix::must_parse("10.1.0.0/16")};
+  for (ip::NodeId n = 0; n < 4; ++n) {
+    const VpnRoute* best = bgp.best(n, key);
+    ASSERT_NE(best, nullptr) << "speaker " << n;
+    EXPECT_EQ(best->next_hop_node, 0u);
+    EXPECT_EQ(best->vpn_label, 100u);
+  }
+  EXPECT_EQ(f.cp.message_count("bgp.update"), 3u);  // one per peer
+}
+
+TEST(Bgp, RouteReflectorReachesEveryClientWithFewerSessions) {
+  BgpFixture f;
+  Bgp bgp(f.cp, Bgp::Mode::kRouteReflector);
+  for (ip::NodeId n = 0; n < 6; ++n) {
+    f.topo.add_node<Router>("n" + std::to_string(n), Role::kPe);
+  }
+  for (ip::NodeId n = 0; n < 5; ++n) bgp.add_speaker(n);
+  bgp.add_route_reflector(5);
+  bgp.start();
+  EXPECT_EQ(bgp.session_count(), 5u);  // clients to one RR
+  EXPECT_TRUE(bgp.is_reflector(5));
+
+  bgp.originate(0, f.route(1, "10.1.0.0/16", 0));
+  f.topo.scheduler().run();
+  const VpnRouteKey key{RouteDistinguisher{65000, 1},
+                        ip::Prefix::must_parse("10.1.0.0/16")};
+  for (ip::NodeId n = 1; n < 5; ++n) {
+    ASSERT_NE(bgp.best(n, key), nullptr) << "client " << n;
+  }
+}
+
+TEST(Bgp, WithdrawRemovesEverywhere) {
+  BgpFixture f;
+  Bgp bgp(f.cp, Bgp::Mode::kFullMesh);
+  for (ip::NodeId n = 0; n < 3; ++n) {
+    f.topo.add_node<Router>("pe" + std::to_string(n), Role::kPe);
+    bgp.add_speaker(n);
+  }
+  bgp.start();
+  bgp.originate(0, f.route(1, "10.1.0.0/16", 0));
+  f.topo.scheduler().run();
+  const VpnRouteKey key{RouteDistinguisher{65000, 1},
+                        ip::Prefix::must_parse("10.1.0.0/16")};
+  ASSERT_NE(bgp.best(2, key), nullptr);
+
+  bgp.withdraw(0, RouteDistinguisher{65000, 1},
+               ip::Prefix::must_parse("10.1.0.0/16"));
+  f.topo.scheduler().run();
+  EXPECT_EQ(bgp.best(0, key), nullptr);
+  EXPECT_EQ(bgp.best(1, key), nullptr);
+  EXPECT_EQ(bgp.best(2, key), nullptr);
+  EXPECT_GT(f.cp.message_count("bgp.withdraw"), 0u);
+}
+
+TEST(Bgp, BestPathPrefersLocalPrefThenLowerOriginator) {
+  BgpFixture f;
+  Bgp bgp(f.cp, Bgp::Mode::kFullMesh);
+  for (ip::NodeId n = 0; n < 3; ++n) {
+    f.topo.add_node<Router>("pe" + std::to_string(n), Role::kPe);
+    bgp.add_speaker(n);
+  }
+  bgp.start();
+  // Same key from two origins (multihomed site).
+  VpnRoute from1 = f.route(1, "10.1.0.0/16", 1, 111);
+  VpnRoute from2 = f.route(1, "10.1.0.0/16", 2, 222);
+  from2.local_pref = 200;
+  bgp.originate(1, from1);
+  bgp.originate(2, from2);
+  f.topo.scheduler().run();
+  const VpnRouteKey key{RouteDistinguisher{65000, 1},
+                        ip::Prefix::must_parse("10.1.0.0/16")};
+  EXPECT_EQ(bgp.best(0, key)->next_hop_node, 2u);  // higher local-pref
+
+  // Tie on local_pref → lower originator id wins.
+  VpnRoute tie = f.route(2, "10.9.0.0/16", 1, 11);
+  VpnRoute tie2 = f.route(2, "10.9.0.0/16", 2, 22);
+  bgp.originate(1, tie);
+  bgp.originate(2, tie2);
+  f.topo.scheduler().run();
+  const VpnRouteKey key2{RouteDistinguisher{65000, 2},
+                         ip::Prefix::must_parse("10.9.0.0/16")};
+  EXPECT_EQ(bgp.best(0, key2)->next_hop_node, 1u);
+}
+
+TEST(Bgp, OverlappingPrefixesDistinctByRd) {
+  BgpFixture f;
+  Bgp bgp(f.cp, Bgp::Mode::kFullMesh);
+  for (ip::NodeId n = 0; n < 2; ++n) {
+    f.topo.add_node<Router>("pe" + std::to_string(n), Role::kPe);
+    bgp.add_speaker(n);
+  }
+  bgp.start();
+  bgp.originate(0, f.route(1, "10.1.0.0/16", 0, 100));
+  bgp.originate(0, f.route(2, "10.1.0.0/16", 0, 200));  // same prefix, RD 2
+  f.topo.scheduler().run();
+  EXPECT_EQ(bgp.loc_rib_size(1), 2u);
+  const VpnRouteKey k1{RouteDistinguisher{65000, 1},
+                       ip::Prefix::must_parse("10.1.0.0/16")};
+  const VpnRouteKey k2{RouteDistinguisher{65000, 2},
+                       ip::Prefix::must_parse("10.1.0.0/16")};
+  EXPECT_EQ(bgp.best(1, k1)->vpn_label, 100u);
+  EXPECT_EQ(bgp.best(1, k2)->vpn_label, 200u);
+}
+
+TEST(Bgp, ObserverFiresOnChangeOnly) {
+  BgpFixture f;
+  Bgp bgp(f.cp, Bgp::Mode::kFullMesh);
+  for (ip::NodeId n = 0; n < 2; ++n) {
+    f.topo.add_node<Router>("pe" + std::to_string(n), Role::kPe);
+    bgp.add_speaker(n);
+  }
+  int events = 0;
+  bgp.on_route([&](ip::NodeId, const VpnRoute&, bool) { ++events; });
+  bgp.start();
+  bgp.originate(0, f.route(1, "10.1.0.0/16", 0));
+  f.topo.scheduler().run();
+  const int after_first = events;
+  EXPECT_EQ(after_first, 2);  // once at origin, once at peer
+  // Re-originating the identical route changes nothing.
+  bgp.originate(0, f.route(1, "10.1.0.0/16", 0));
+  f.topo.scheduler().run();
+  EXPECT_EQ(events, after_first);
+}
+
+TEST(Bgp, FailSpeakerFlushesItsRoutesEverywhere) {
+  BgpFixture f;
+  Bgp bgp(f.cp, Bgp::Mode::kFullMesh);
+  for (ip::NodeId n = 0; n < 3; ++n) {
+    f.topo.add_node<Router>("pe" + std::to_string(n), Role::kPe);
+    bgp.add_speaker(n);
+  }
+  bgp.start();
+  EXPECT_EQ(bgp.session_count(), 3u);
+  // Speaker 0 and 1 both offer the same prefix; 0 wins on originator id.
+  bgp.originate(0, f.route(1, "10.1.0.0/16", 0, 100));
+  bgp.originate(1, f.route(1, "10.1.0.0/16", 1, 111));
+  f.topo.scheduler().run();
+  const VpnRouteKey key{RouteDistinguisher{65000, 1},
+                        ip::Prefix::must_parse("10.1.0.0/16")};
+  ASSERT_EQ(bgp.best(2, key)->next_hop_node, 0u);
+
+  bgp.fail_speaker(0);
+  f.topo.scheduler().run();
+  EXPECT_EQ(bgp.session_count(), 1u);  // only 1-2 remains
+  // Speaker 2 fails over to the surviving origin synchronously.
+  ASSERT_NE(bgp.best(2, key), nullptr);
+  EXPECT_EQ(bgp.best(2, key)->next_hop_node, 1u);
+}
+
+TEST(Bgp, ConfigErrors) {
+  BgpFixture f;
+  Bgp mesh(f.cp, Bgp::Mode::kFullMesh);
+  EXPECT_THROW(mesh.add_route_reflector(0), std::logic_error);
+  Bgp rr(f.cp, Bgp::Mode::kRouteReflector);
+  EXPECT_THROW(rr.start(), std::logic_error);  // no reflectors configured
+}
+
+TEST(Igp, EcmpFindsAllEqualCostFirstHops) {
+  // Square: a-b-d and a-c-d, all cost 1 → two first hops toward d.
+  IgpFixture f;
+  auto& a = f.add("a");
+  auto& b = f.add("b");
+  auto& c = f.add("c");
+  auto& d = f.add("d");
+  f.link(a, b, 1);
+  f.link(a, c, 1);
+  f.link(b, d, 1);
+  f.link(c, d, 1);
+  f.converge();
+  const auto hops = f.igp.next_hops_ecmp(a.id(), d.id());
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_EQ(hops[0].via, b.id());  // sorted by neighbor id
+  EXPECT_EQ(hops[1].via, c.id());
+  EXPECT_EQ(hops[0].cost, 2u);
+  // Unequal costs collapse to a single hop.
+  const auto to_b = f.igp.next_hops_ecmp(a.id(), b.id());
+  EXPECT_EQ(to_b.size(), 1u);
+}
+
+TEST(Igp, EcmpThroughSharedUpstream) {
+  // a-b, then b-c / b-d / c-e / d-e: two equal paths a→e, both via b.
+  IgpFixture f;
+  auto& a = f.add("a");
+  auto& b = f.add("b");
+  auto& c = f.add("c");
+  auto& d = f.add("d");
+  auto& e = f.add("e");
+  f.link(a, b, 1);
+  f.link(b, c, 1);
+  f.link(b, d, 1);
+  f.link(c, e, 1);
+  f.link(d, e, 1);
+  f.converge();
+  // The split happens beyond b; a's first-hop set toward e is just {b}.
+  const auto at_a = f.igp.next_hops_ecmp(a.id(), e.id());
+  ASSERT_EQ(at_a.size(), 1u);
+  EXPECT_EQ(at_a[0].via, b.id());
+  // b itself balances over c and d.
+  const auto at_b = f.igp.next_hops_ecmp(b.id(), e.id());
+  EXPECT_EQ(at_b.size(), 2u);
+}
+
+TEST(Igp, PartitionedGraphHasNoRoute) {
+  IgpFixture f;
+  auto& a = f.add("a");
+  auto& b = f.add("b");
+  auto& c = f.add("c");
+  auto& d = f.add("d");
+  f.link(a, b);
+  f.link(c, d);  // island
+  f.converge();
+  EXPECT_NE(f.igp.next_hop(a.id(), b.id()), nullptr);
+  EXPECT_EQ(f.igp.next_hop(a.id(), c.id()), nullptr);
+  EXPECT_FALSE(f.igp.path(a.id(), d.id()).found());
+}
+
+TEST(Igp, SubscriptionFactorScalesReservable) {
+  IgpFixture f;
+  auto& a = f.add("a");
+  auto& b = f.add("b");
+  const net::LinkId l = f.link(a, b, 1, 10e6);
+  f.igp.set_te_subscription_factor(0.5);
+  f.converge();
+  EXPECT_DOUBLE_EQ(f.igp.te_reservable(a.id(), l), 5e6);
+  EXPECT_FALSE(f.igp.te_reserve(a.id(), l, 6e6));
+  EXPECT_TRUE(f.igp.te_reserve(a.id(), l, 5e6));
+}
+
+TEST(Igp, SpfCallbacksFire) {
+  IgpFixture f;
+  auto& a = f.add("a");
+  auto& b = f.add("b");
+  f.link(a, b);
+  int fired = 0;
+  f.igp.on_spf([&](ip::NodeId) { ++fired; });
+  f.converge();
+  EXPECT_GE(fired, 2);  // at least one SPF per router
+}
+
+TEST(Bgp, TwoReflectorsGiveRedundantPropagation) {
+  BgpFixture f;
+  Bgp bgp(f.cp, Bgp::Mode::kRouteReflector);
+  for (ip::NodeId n = 0; n < 6; ++n) {
+    f.topo.add_node<Router>("n" + std::to_string(n), Role::kPe);
+  }
+  for (ip::NodeId n = 0; n < 4; ++n) bgp.add_speaker(n);
+  bgp.add_route_reflector(4);
+  bgp.add_route_reflector(5);
+  bgp.start();
+  // 4 clients x 2 RRs + RR-RR = 9 sessions.
+  EXPECT_EQ(bgp.session_count(), 9u);
+  bgp.originate(0, f.route(1, "10.1.0.0/16", 0));
+  f.topo.scheduler().run();
+  const VpnRouteKey key{RouteDistinguisher{65000, 1},
+                        ip::Prefix::must_parse("10.1.0.0/16")};
+  for (ip::NodeId n = 1; n < 4; ++n) {
+    ASSERT_NE(bgp.best(n, key), nullptr);
+    // Each client holds the route from both reflectors in its Adj-RIB-In.
+    EXPECT_EQ(bgp.adj_rib_in_size(n), 2u);
+  }
+}
+
+TEST(Bgp, LocRibSnapshot) {
+  BgpFixture f;
+  Bgp bgp(f.cp, Bgp::Mode::kFullMesh);
+  for (ip::NodeId n = 0; n < 2; ++n) {
+    f.topo.add_node<Router>("pe" + std::to_string(n), Role::kPe);
+    bgp.add_speaker(n);
+  }
+  bgp.start();
+  bgp.originate(0, f.route(1, "10.1.0.0/16", 0));
+  bgp.originate(0, f.route(1, "10.2.0.0/16", 0));
+  f.topo.scheduler().run();
+  EXPECT_EQ(bgp.loc_rib(1).size(), 2u);
+  EXPECT_EQ(bgp.speakers().size(), 2u);
+}
+
+TEST(ControlPlane, SessionDelayConfigurable) {
+  net::Topology topo;
+  topo.add_node<Router>("a", Role::kP);
+  topo.add_node<Router>("b", Role::kP);
+  ControlPlane cp(topo);
+  cp.set_session_delay(50 * sim::kMillisecond);
+  cp.set_processing_delay(0);
+  sim::SimTime delivered_at = 0;
+  cp.send_session(0, 1, "t", 1,
+                  [&] { delivered_at = topo.scheduler().now(); });
+  topo.scheduler().run();
+  EXPECT_EQ(delivered_at, 50 * sim::kMillisecond);
+}
+
+TEST(Lsa, WireBytesScaleWithLinks) {
+  Lsa lsa;
+  EXPECT_EQ(lsa.wire_bytes(), 24u);
+  lsa.links.resize(3);
+  EXPECT_EQ(lsa.wire_bytes(), 24u + 48u);
+}
+
+TEST(ControlPlane, ProcessingDelayAddsToAdjacentDelivery) {
+  net::Topology topo;
+  auto& a = topo.add_node<Router>("a", Role::kP);
+  auto& b = topo.add_node<Router>("b", Role::kP);
+  net::LinkConfig cfg;
+  cfg.prop_delay = 5 * sim::kMillisecond;
+  topo.connect(a.id(), b.id(), cfg);
+  ControlPlane cp(topo);
+  cp.set_processing_delay(2 * sim::kMillisecond);
+  sim::SimTime at = 0;
+  cp.send_adjacent(a.id(), b.id(), "t", 1,
+                   [&] { at = topo.scheduler().now(); });
+  topo.scheduler().run();
+  EXPECT_EQ(at, 7 * sim::kMillisecond);
+}
+
+TEST(Hello, DetectsLinkFailureWithinIntervalTimesThreshold) {
+  IgpFixture f;
+  auto& a = f.add("a");
+  auto& b = f.add("b");
+  auto& c = f.add("c");
+  const net::LinkId ab = f.link(a, b, 1);
+  f.link(b, c, 1);
+  f.link(a, c, 5);
+  f.converge();
+
+  HelloProtocol hello(f.cp);
+  hello.enroll_link(ab);
+  std::vector<net::LinkId> downs;
+  hello.on_link_down([&](net::LinkId l) {
+    downs.push_back(l);
+    f.igp.notify_link_change(l);  // the usual wiring
+  });
+  hello.start(20 * sim::kMillisecond, 3);
+
+  f.topo.run_until(f.topo.scheduler().now() + 200 * sim::kMillisecond);
+  EXPECT_TRUE(downs.empty());
+  EXPECT_GT(hello.hellos_sent(), 10u);
+
+  const sim::SimTime break_at = f.topo.scheduler().now();
+  f.topo.link(ab).set_up(false);
+  f.topo.run_until(break_at + 500 * sim::kMillisecond);
+  ASSERT_EQ(downs.size(), 1u);  // declared exactly once
+  EXPECT_EQ(downs[0], ab);
+  EXPECT_TRUE(hello.is_down(ab));
+  // Detection took ~interval x threshold, and the IGP rerouted.
+  const auto* nh = f.igp.next_hop(a.id(), c.id());
+  ASSERT_NE(nh, nullptr);
+  EXPECT_EQ(nh->via, c.id());
+}
+
+TEST(Hello, QuietOnHealthyLinks) {
+  IgpFixture f;
+  auto& a = f.add("a");
+  auto& b = f.add("b");
+  const net::LinkId ab = f.link(a, b);
+  f.converge();
+  HelloProtocol hello(f.cp);
+  hello.enroll_link(ab);
+  int downs = 0;
+  hello.on_link_down([&](net::LinkId) { ++downs; });
+  hello.start(10 * sim::kMillisecond, 2);
+  f.topo.run_until(f.topo.scheduler().now() + sim::kSecond);
+  EXPECT_EQ(downs, 0);
+  EXPECT_EQ(hello.links_declared_down(), 0u);
+}
+
+TEST(RdRt, Formatting) {
+  EXPECT_EQ((RouteDistinguisher{65000, 7}).to_string(), "65000:7");
+  EXPECT_EQ((RouteTarget{65000, 9}).to_string(), "65000:9");
+  VpnRoute r;
+  r.route_targets = {RouteTarget{1, 2}, RouteTarget{3, 4}};
+  EXPECT_TRUE(r.has_target(RouteTarget{3, 4}));
+  EXPECT_FALSE(r.has_target(RouteTarget{3, 5}));
+}
+
+}  // namespace
+}  // namespace mvpn::routing

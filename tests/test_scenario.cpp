@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "backbone/scenario_config.hpp"
+
+namespace mvpn::backbone {
+namespace {
+
+const char* kMinimal = R"(
+backbone p=1 pe=2 seed=3
+vpn corp
+site corp pe=0 prefix=10.1.0.0/16
+site corp pe=1 prefix=10.2.0.0/16
+flow cbr vpn=corp from=0 to=1 rate=200e3
+run for=1
+)";
+
+TEST(ScenarioParse, MinimalScenario) {
+  ScenarioError err;
+  auto sc = Scenario::parse(kMinimal, &err);
+  ASSERT_TRUE(sc.has_value()) << err.message;
+  EXPECT_EQ(sc->vpn_count(), 1u);
+  EXPECT_EQ(sc->site_count(), 2u);
+  EXPECT_EQ(sc->flow_count(), 1u);
+  EXPECT_DOUBLE_EQ(sc->run_seconds(), 1.0);
+}
+
+TEST(ScenarioParse, CommentsAndBlankLinesIgnored) {
+  const std::string text = std::string("# leading comment\n\n") + kMinimal +
+                           "# trailing comment\n";
+  ScenarioError err;
+  EXPECT_TRUE(Scenario::parse(text, &err).has_value()) << err.message;
+}
+
+TEST(ScenarioParse, AllDirectivesAccepted) {
+  const char* text = R"(
+backbone p=2 pe=2 core_bw=4e6 edge_bw=20e6 seed=7 bgp=rr rr=2 core_queue=drr:4,2,1
+vpn corp
+vpn partner
+extranet corp partner
+site corp pe=0 prefix=10.1.0.0/16
+site corp pe=1 prefix=10.2.0.0/16 pref=200
+site partner pe=1 prefix=192.168.0.0/16
+classify site=0 dstport=16384-16484 class=EF
+classify site=0 dstport=5004 class=AF21
+police site=0 class=EF cir=62500 cbs=4000 ebs=4000
+shape site=0 class=AF11 rate=125000 burst=3000
+flow cbr vpn=corp from=0 to=1 rate=200e3 class=EF port=16400 size=172
+flow poisson vpn=corp from=0 to=1 rate=1e6 size=1472
+flow onoff vpn=corp from=0 to=1 rate=2e6 on=0.3 off=0.2 class=AF21
+run for=2
+)";
+  ScenarioError err;
+  auto sc = Scenario::parse(text, &err);
+  ASSERT_TRUE(sc.has_value()) << "line " << err.line << ": " << err.message;
+  EXPECT_EQ(sc->vpn_count(), 2u);
+  EXPECT_EQ(sc->site_count(), 3u);
+  EXPECT_EQ(sc->flow_count(), 3u);
+}
+
+struct BadCase {
+  const char* name;
+  const char* text;
+  const char* expect_substr;
+};
+
+class ScenarioParseErrors : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(ScenarioParseErrors, ReportsUsefulError) {
+  const BadCase& c = GetParam();
+  ScenarioError err;
+  auto sc = Scenario::parse(c.text, &err);
+  EXPECT_FALSE(sc.has_value()) << c.name;
+  EXPECT_NE(err.message.find(c.expect_substr), std::string::npos)
+      << c.name << ": got '" << err.message << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ScenarioParseErrors,
+    ::testing::Values(
+        BadCase{"no_backbone", "vpn corp\nsite corp pe=0 prefix=10.0.0.0/8\n",
+                "needs a backbone"},
+        BadCase{"no_sites", "backbone p=1 pe=1\nvpn corp\n",
+                "at least one site"},
+        BadCase{"bad_prefix",
+                "backbone p=1 pe=1\nvpn corp\nsite corp pe=0 prefix=10.0.0/8\n",
+                "bad prefix"},
+        BadCase{"unknown_vpn",
+                "backbone p=1 pe=1\nvpn corp\nsite other pe=0 "
+                "prefix=10.0.0.0/8\n",
+                "unknown vpn"},
+        BadCase{"pe_range",
+                "backbone p=1 pe=1\nvpn corp\nsite corp pe=5 "
+                "prefix=10.0.0.0/8\n",
+                "out of range"},
+        BadCase{"bad_class",
+                "backbone p=1 pe=1\nvpn corp\nsite corp pe=0 "
+                "prefix=10.0.0.0/8\nclassify site=0 class=PLATINUM\n",
+                "unknown class"},
+        BadCase{"unknown_directive",
+                "backbone p=1 pe=1\nfrobnicate all the things\nvpn v\nsite v "
+                "pe=0 prefix=10.0.0.0/8\n",
+                "unknown directive"},
+        BadCase{"bad_flow_kind",
+                "backbone p=1 pe=1\nvpn v\nsite v pe=0 "
+                "prefix=10.0.0.0/8\nflow warp vpn=v from=0 to=0\n",
+                "unknown flow kind"},
+        BadCase{"flow_site_range",
+                "backbone p=1 pe=1\nvpn v\nsite v pe=0 "
+                "prefix=10.0.0.0/8\nflow cbr vpn=v from=0 to=9\n",
+                "out of range"},
+        BadCase{"bad_bgp",
+                "backbone p=1 pe=1 bgp=mush\nvpn v\nsite v pe=0 "
+                "prefix=10.0.0.0/8\n",
+                "mesh or rr"},
+        BadCase{"police_missing_rates",
+                "backbone p=1 pe=1\nvpn v\nsite v pe=0 "
+                "prefix=10.0.0.0/8\npolice site=0 class=EF\n",
+                "cir="}));
+
+TEST(ScenarioParse, ErrorCarriesLineNumber) {
+  ScenarioError err;
+  const char* text =
+      "backbone p=1 pe=1\n"
+      "vpn corp\n"
+      "site corp pe=0 prefix=BOGUS\n";
+  EXPECT_FALSE(Scenario::parse(text, &err).has_value());
+  EXPECT_EQ(err.line, 3u);
+}
+
+TEST(ScenarioRun, EndToEndDeliversWithoutLeaks) {
+  ScenarioError err;
+  auto sc = Scenario::parse(kMinimal, &err);
+  ASSERT_TRUE(sc.has_value());
+  std::ostringstream out;
+  EXPECT_TRUE(sc->run(out));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("leaks=0"), std::string::npos);
+  EXPECT_NE(text.find("BE"), std::string::npos);
+  EXPECT_NE(text.find("converged in"), std::string::npos);
+}
+
+TEST(ScenarioRun, QosChainFromConfigProtectsEf) {
+  const char* text = R"(
+backbone p=1 pe=2 core_bw=2e6 edge_bw=20e6 seed=9 core_queue=prio
+vpn corp
+site corp pe=0 prefix=10.1.0.0/16
+site corp pe=1 prefix=10.2.0.0/16
+classify site=0 dstport=16400 class=EF
+flow cbr vpn=corp from=0 to=1 rate=200e3 class=EF port=16400 size=172
+flow poisson vpn=corp from=0 to=1 rate=2.5e6 class=BE port=80 size=1472
+run for=3
+)";
+  ScenarioError err;
+  auto sc = Scenario::parse(text, &err);
+  ASSERT_TRUE(sc.has_value()) << err.message;
+  std::ostringstream out;
+  EXPECT_TRUE(sc->run(out));
+  // EF row shows zero loss while BE shows substantial loss.
+  const std::string report = out.str();
+  const auto ef_pos = report.find("| EF");
+  ASSERT_NE(ef_pos, std::string::npos);
+  EXPECT_NE(report.substr(ef_pos).find("| 0.00"), std::string::npos);
+}
+
+TEST(ScenarioRun, TcpFlowFromConfigMovesData) {
+  const char* text = R"(
+backbone p=1 pe=2 core_bw=4e6 edge_bw=20e6 seed=13 core_queue=prio
+vpn corp
+site corp pe=0 prefix=10.1.0.0/16
+site corp pe=1 prefix=10.2.0.0/16
+classify site=0 dstport=16400 class=EF
+flow cbr vpn=corp from=0 to=1 rate=200e3 class=EF port=16400 size=172
+flow tcp vpn=corp from=0 to=1 class=BE port=80
+run for=3
+)";
+  ScenarioError err;
+  auto sc = Scenario::parse(text, &err);
+  ASSERT_TRUE(sc.has_value()) << err.message;
+  std::ostringstream out;
+  EXPECT_TRUE(sc->run(out));
+  const std::string report = out.str();
+  // The elastic flow shows up with nonzero goodput.
+  const auto pos = report.find("tcp flow 2: goodput ");
+  ASSERT_NE(pos, std::string::npos) << report;
+  EXPECT_EQ(report.find("goodput 0.00", pos), std::string::npos) << report;
+}
+
+TEST(ScenarioFile, MissingFileIsUsageError) {
+  std::ostringstream out;
+  EXPECT_EQ(run_scenario_file("/nonexistent/path.scn", out), 2);
+  EXPECT_NE(out.str().find("cannot open"), std::string::npos);
+}
+
+TEST(ScenarioFile, ShippedDemoSceneParsesAndRuns) {
+  std::ostringstream out;
+  const int rc = run_scenario_file(
+      std::string(MVPN_SOURCE_DIR) + "/examples/scenarios/branch_office.scn",
+      out);
+  EXPECT_EQ(rc, 0) << out.str();
+}
+
+}  // namespace
+}  // namespace mvpn::backbone

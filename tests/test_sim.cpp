@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace mvpn::sim {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(from_seconds(1.5), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(2 * kSecond), 2.0);
+  EXPECT_EQ(kSecond, 1'000'000'000);
+  EXPECT_EQ(kMillisecond * 1000, kSecond);
+}
+
+TEST(Time, TransmissionTime) {
+  // 1500 bytes at 12 kb/s = 1 s.
+  EXPECT_EQ(transmission_time(1500, 12'000.0), kSecond);
+  // 125 bytes at 1 Mb/s = 1 ms.
+  EXPECT_EQ(transmission_time(125, 1e6), kMillisecond);
+}
+
+TEST(Scheduler, RunsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(30, [&] { order.push_back(3); });
+  sched.schedule_at(10, [&] { order.push_back(1); });
+  sched.schedule_at(20, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 30);
+  EXPECT_EQ(sched.executed_count(), 3u);
+}
+
+TEST(Scheduler, SimultaneousEventsFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, HandlersCanScheduleMore) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(1, [&] {
+    ++fired;
+    sched.schedule_in(1, [&] { ++fired; });
+  });
+  sched.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sched.now(), 2);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  int fired = 0;
+  const EventId id = sched.schedule_at(5, [&] { ++fired; });
+  sched.schedule_at(3, [&] { ++fired; });
+  sched.cancel(id);
+  sched.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(10, [&] { ++fired; });
+  sched.schedule_at(20, [&] { ++fired; });
+  sched.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), 15);
+  sched.run_until(25);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, StopAbortsRun) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(1, [&] {
+    ++fired;
+    sched.stop();
+  });
+  sched.schedule_at(2, [&] { ++fired; });
+  sched.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.pending(), 1u);
+}
+
+TEST(Scheduler, RejectsPastAndNegative) {
+  Scheduler sched;
+  sched.schedule_at(10, [] {});
+  sched.run();
+  EXPECT_THROW(sched.schedule_at(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sched.schedule_in(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, PendingExcludesCancelled) {
+  Scheduler sched;
+  const EventId a = sched.schedule_at(1, [] {});
+  sched.schedule_at(2, [] {});
+  sched.cancel(a);
+  EXPECT_EQ(sched.pending(), 1u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, StreamsAreIndependentButReproducible) {
+  Rng s1 = Rng::stream(7, 1);
+  Rng s1_again = Rng::stream(7, 1);
+  Rng s2 = Rng::stream(7, 2);
+  EXPECT_EQ(s1.next_u64(), s1_again.next_u64());
+  EXPECT_NE(s1.next_u64(), s2.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(31);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, ParetoLowerBound) {
+  Rng r(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(r.pareto(1.5, 2.0), 1.5);
+  }
+}
+
+}  // namespace
+}  // namespace mvpn::sim

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include "backbone/fixtures.hpp"
+#include "qos/queues.hpp"
+#include "traffic/dispatcher.hpp"
+#include "traffic/sink.hpp"
+#include "traffic/source.hpp"
+#include "traffic/tcp_lite.hpp"
+
+namespace mvpn::traffic {
+namespace {
+
+using backbone::Figure2Scenario;
+using backbone::make_figure2_scenario;
+
+TEST(CbrSource, RateIsExact) {
+  Figure2Scenario s = make_figure2_scenario(101);
+  s.backbone->start_and_converge();
+  qos::SlaProbe probe;
+  MeasurementSink sink(probe, s.backbone->topo.scheduler());
+  sink.bind(*s.v1_site2.ce);
+  FlowSpec f;
+  f.src = ip::Ipv4Address::must_parse("10.1.0.1");
+  f.dst = ip::Ipv4Address::must_parse("10.2.0.1");
+  f.vpn = s.vpn1;
+  f.payload_bytes = 472;  // 500 B at IP level
+  CbrSource src(*s.v1_site1.ce, f, 1, &probe, 1e6);
+  sink.expect_flow(1, qos::Phb::kBe, s.vpn1);
+  const sim::SimTime t0 = s.backbone->topo.scheduler().now();
+  src.run(t0, t0 + 2 * sim::kSecond);
+  s.backbone->topo.run_until(t0 + 4 * sim::kSecond);
+  // 1 Mb/s at 4000 bits per packet = 250 pps for 2 s.
+  EXPECT_NEAR(static_cast<double>(src.packets_sent()), 500.0, 2.0);
+  EXPECT_EQ(sink.delivered(), src.packets_sent());
+}
+
+TEST(PoissonSource, MeanRateApproximates) {
+  Figure2Scenario s = make_figure2_scenario(102);
+  s.backbone->start_and_converge();
+  qos::SlaProbe probe;
+  MeasurementSink sink(probe, s.backbone->topo.scheduler());
+  sink.bind(*s.v1_site2.ce);
+  FlowSpec f;
+  f.src = ip::Ipv4Address::must_parse("10.1.0.1");
+  f.dst = ip::Ipv4Address::must_parse("10.2.0.1");
+  f.vpn = s.vpn1;
+  PoissonSource src(*s.v1_site1.ce, f, 1, &probe, 1e6);
+  sink.expect_flow(1, qos::Phb::kBe, s.vpn1);
+  src.run(0, 4 * sim::kSecond);
+  s.backbone->topo.run_until(6 * sim::kSecond);
+  EXPECT_NEAR(static_cast<double>(src.packets_sent()), 1000.0, 100.0);
+}
+
+TEST(OnOffSource, DutyCycleScalesThroughput) {
+  Figure2Scenario s = make_figure2_scenario(103);
+  s.backbone->start_and_converge();
+  qos::SlaProbe probe;
+  MeasurementSink sink(probe, s.backbone->topo.scheduler());
+  sink.bind(*s.v1_site2.ce);
+  FlowSpec f;
+  f.src = ip::Ipv4Address::must_parse("10.1.0.1");
+  f.dst = ip::Ipv4Address::must_parse("10.2.0.1");
+  f.vpn = s.vpn1;
+  // 2 Mb/s peak, 50% duty → ~1 Mb/s mean.
+  OnOffSource src(*s.v1_site1.ce, f, 1, &probe, 2e6, 0.1, 0.1);
+  sink.expect_flow(1, qos::Phb::kBe, s.vpn1);
+  src.run(0, 4 * sim::kSecond);
+  s.backbone->topo.run_until(6 * sim::kSecond);
+  const double mean_bps =
+      static_cast<double>(src.packets_sent()) * 500 * 8 / 4.0;
+  EXPECT_GT(mean_bps, 0.6e6);
+  EXPECT_LT(mean_bps, 1.4e6);
+}
+
+TEST(FlowDispatcher, RoutesByFlowIdWithDefault) {
+  net::Topology topo;
+  auto& r = topo.add_node<vpn::Router>("r", vpn::Role::kCe);
+  r.add_local_prefix(ip::Prefix::must_parse("10.0.0.0/8"));
+  FlowDispatcher dispatch;
+  dispatch.attach(r);
+  int flow_7 = 0;
+  int fallback = 0;
+  dispatch.register_flow(7, [&](const net::Packet&, vpn::VpnId) { ++flow_7; });
+  dispatch.set_default([&](const net::Packet&, vpn::VpnId) { ++fallback; });
+  for (std::uint32_t id : {7u, 8u, 7u}) {
+    auto p = topo.packet_factory().make();
+    p->flow_id = id;
+    p->ip.dst = ip::Ipv4Address::must_parse("10.0.0.1");
+    r.inject(std::move(p));
+  }
+  EXPECT_EQ(flow_7, 2);
+  EXPECT_EQ(fallback, 1);
+  dispatch.unregister_flow(7);
+  auto p = topo.packet_factory().make();
+  p->flow_id = 7;
+  p->ip.dst = ip::Ipv4Address::must_parse("10.0.0.1");
+  r.inject(std::move(p));
+  EXPECT_EQ(fallback, 2);
+}
+
+struct TcpFixture {
+  Figure2Scenario s;
+  FlowDispatcher at_site1;
+  FlowDispatcher at_site2;
+
+  explicit TcpFixture(std::uint64_t seed) : s(make_figure2_scenario(seed)) {
+    s.backbone->start_and_converge();
+    at_site1.attach(*s.v1_site1.ce);
+    at_site2.attach(*s.v1_site2.ce);
+  }
+
+  TcpLiteFlow::Config config() const {
+    TcpLiteFlow::Config c;
+    c.src = ip::Ipv4Address::must_parse("10.1.0.1");
+    c.dst = ip::Ipv4Address::must_parse("10.2.0.1");
+    c.vpn = s.vpn1;
+    return c;
+  }
+};
+
+TEST(TcpLite, CompletesCleanTransferWithoutRetransmits) {
+  TcpFixture f(104);
+  TcpLiteFlow::Config cfg = f.config();
+  cfg.total_segments = 200;
+  TcpLiteFlow flow(*f.s.v1_site1.ce, f.at_site1, *f.s.v1_site2.ce,
+                   f.at_site2, 1, cfg);
+  flow.start(0);
+  f.s.backbone->topo.run_until(20 * sim::kSecond);
+  EXPECT_TRUE(flow.complete());
+  EXPECT_EQ(flow.bytes_acked(), 200u * cfg.mss_payload);
+  EXPECT_EQ(flow.retransmits(), 0u);
+  EXPECT_EQ(flow.timeouts(), 0u);
+  EXPECT_GT(flow.completed_at(), 0);
+}
+
+TEST(TcpLite, SlowStartGrowsWindow) {
+  TcpFixture f(105);
+  TcpLiteFlow::Config cfg = f.config();
+  cfg.total_segments = 100;
+  cfg.initial_cwnd = 2.0;
+  TcpLiteFlow flow(*f.s.v1_site1.ce, f.at_site1, *f.s.v1_site2.ce,
+                   f.at_site2, 1, cfg);
+  flow.start(0);
+  f.s.backbone->topo.run_until(20 * sim::kSecond);
+  EXPECT_TRUE(flow.complete());
+  EXPECT_GT(flow.cwnd(), 10.0);  // grew far beyond the initial window
+}
+
+TEST(TcpLite, AdaptsToBottleneckAndRecovers) {
+  // Congest a 2 Mb/s core with two competing elastic flows.
+  backbone::BackboneConfig cfg;
+  cfg.p_count = 1;
+  cfg.pe_count = 2;
+  cfg.core_bw_bps = 2e6;
+  cfg.edge_bw_bps = 20e6;
+  cfg.seed = 106;
+  backbone::MplsBackbone bb(cfg);
+  // RED on the core links: drop-tail would phase-lock the two identical
+  // flows into lockout (the very pathology RED was designed to break).
+  for (std::size_t l = 0; l < bb.topo.link_count(); ++l) {
+    net::Link& link = bb.topo.link(l);
+    qos::RedParams red;
+    red.capacity_packets = 100;
+    red.min_th = 15;
+    red.max_th = 60;
+    red.bandwidth_bps = cfg.core_bw_bps;
+    link.set_queue_from(link.end_a().node,
+                        std::make_unique<qos::RedQueueDisc>(
+                            red, bb.topo.scheduler(), sim::Rng(l + 1)));
+    link.set_queue_from(link.end_b().node,
+                        std::make_unique<qos::RedQueueDisc>(
+                            red, bb.topo.scheduler(), sim::Rng(l + 100)));
+  }
+  const vpn::VpnId v = bb.service.create_vpn("V");
+  auto a = bb.add_site(v, 0, ip::Prefix::must_parse("10.1.0.0/16"));
+  auto b = bb.add_site(v, 1, ip::Prefix::must_parse("10.2.0.0/16"));
+  bb.start_and_converge();
+  FlowDispatcher at_a;
+  FlowDispatcher at_b;
+  at_a.attach(*a.ce);
+  at_b.attach(*b.ce);
+
+  TcpLiteFlow::Config c1;
+  c1.src = ip::Ipv4Address::must_parse("10.1.0.1");
+  c1.dst = ip::Ipv4Address::must_parse("10.2.0.1");
+  c1.vpn = v;
+  TcpLiteFlow::Config c2 = c1;
+  c2.src = ip::Ipv4Address::must_parse("10.1.0.2");
+  c2.dst = ip::Ipv4Address::must_parse("10.2.0.2");
+  c2.src_port = 30001;
+
+  TcpLiteFlow f1(*a.ce, at_a, *b.ce, at_b, 1, c1);
+  TcpLiteFlow f2(*a.ce, at_a, *b.ce, at_b, 2, c2);
+  const sim::SimTime t0 = bb.topo.scheduler().now();
+  f1.start(t0);
+  f2.start(t0 + 37 * sim::kMillisecond);  // decorrelate the slow starts
+  const double duration = 10.0;
+  bb.topo.scheduler().schedule_at(t0 + sim::from_seconds(duration), [&] {
+    f1.stop();
+    f2.stop();
+  });
+  bb.topo.run_until(t0 + sim::from_seconds(duration + 2.0));
+
+  const double g1 = f1.goodput_bps(duration);
+  const double g2 = f2.goodput_bps(duration);
+  // Combined goodput ≈ bottleneck (headers cost a few %); congestion was
+  // real (losses → retransmits), and the split is roughly fair.
+  EXPECT_GT(g1 + g2, 1.4e6);
+  EXPECT_LT(g1 + g2, 2.05e6);
+  EXPECT_GT(f1.retransmits() + f2.retransmits(), 0u);
+  // Short-run Reno fairness is noisy; require same order of magnitude.
+  EXPECT_LT(std::max(g1, g2) / std::min(g1, g2), 6.0);
+}
+
+TEST(TcpLite, ElasticYieldsToPriorityVoice) {
+  // EF voice + greedy TCP on a priority-queued core: voice is untouched,
+  // TCP soaks up the rest.
+  backbone::BackboneConfig cfg;
+  cfg.p_count = 1;
+  cfg.pe_count = 2;
+  cfg.core_bw_bps = 2e6;
+  cfg.edge_bw_bps = 20e6;
+  cfg.seed = 107;
+  cfg.core_queue = [] {
+    return std::make_unique<qos::PriorityQueueDisc>(
+        3, 100, qos::ef_af_be_selector());
+  };
+  backbone::MplsBackbone bb(cfg);
+  const vpn::VpnId v = bb.service.create_vpn("V");
+  auto a = bb.add_site(v, 0, ip::Prefix::must_parse("10.1.0.0/16"));
+  auto b = bb.add_site(v, 1, ip::Prefix::must_parse("10.2.0.0/16"));
+  bb.start_and_converge();
+
+  auto classifier = std::make_unique<qos::CbqClassifier>();
+  qos::MatchRule voice_rule;
+  voice_rule.dst_port = qos::PortRange::exactly(16400);
+  voice_rule.mark = qos::Phb::kEf;
+  classifier->add_rule(voice_rule);
+  a.ce->set_classifier(std::move(classifier));
+
+  FlowDispatcher at_a;
+  FlowDispatcher at_b;
+  at_a.attach(*a.ce);
+  at_b.attach(*b.ce);
+
+  qos::SlaProbe voice_probe;
+  traffic::FlowSpec voice;
+  voice.src = ip::Ipv4Address::must_parse("10.1.0.1");
+  voice.dst = ip::Ipv4Address::must_parse("10.2.0.1");
+  voice.dst_port = 16400;
+  voice.payload_bytes = 172;
+  voice.vpn = v;
+  voice.phb = qos::Phb::kEf;
+  CbrSource voice_src(*a.ce, voice, 9, &voice_probe, 200e3);
+  at_b.register_flow(9, [&](const net::Packet& p, vpn::VpnId) {
+    voice_probe.record_delivered(qos::Phb::kEf, 9,
+                                 bb.topo.scheduler().now() - p.created_at,
+                                 p.payload_bytes + 28);
+  });
+
+  TcpLiteFlow::Config c;
+  c.src = ip::Ipv4Address::must_parse("10.1.0.2");
+  c.dst = ip::Ipv4Address::must_parse("10.2.0.2");
+  c.vpn = v;
+  TcpLiteFlow bulk(*a.ce, at_a, *b.ce, at_b, 1, c);
+
+  const sim::SimTime t0 = bb.topo.scheduler().now();
+  voice_src.run(t0, t0 + 5 * sim::kSecond);
+  bulk.start(t0);
+  bb.topo.scheduler().schedule_at(t0 + 5 * sim::kSecond,
+                                  [&] { bulk.stop(); });
+  bb.topo.run_until(t0 + 7 * sim::kSecond);
+
+  const auto& ef = voice_probe.report(qos::Phb::kEf);
+  EXPECT_LT(ef.loss_fraction(), 0.01);
+  EXPECT_LT(ef.latency_s.percentile(99), 0.030);
+  // The elastic flow still moved real data through the leftover capacity.
+  EXPECT_GT(bulk.goodput_bps(5.0), 1e6);
+}
+
+}  // namespace
+}  // namespace mvpn::traffic

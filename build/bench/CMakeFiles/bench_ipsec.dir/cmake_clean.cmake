@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ipsec.dir/bench_ipsec.cpp.o"
+  "CMakeFiles/bench_ipsec.dir/bench_ipsec.cpp.o.d"
+  "bench_ipsec"
+  "bench_ipsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ipsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_extranet.dir/enterprise_extranet.cpp.o"
+  "CMakeFiles/enterprise_extranet.dir/enterprise_extranet.cpp.o.d"
+  "enterprise_extranet"
+  "enterprise_extranet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_extranet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medium_vpn_200.dir/medium_vpn_200.cpp.o"
+  "CMakeFiles/medium_vpn_200.dir/medium_vpn_200.cpp.o.d"
+  "medium_vpn_200"
+  "medium_vpn_200.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medium_vpn_200.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for medium_vpn_200.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for medium_vpn_200.
+# This may be replaced when dependencies are built.

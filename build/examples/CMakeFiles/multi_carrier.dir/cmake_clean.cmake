@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_carrier.dir/multi_carrier.cpp.o"
+  "CMakeFiles/multi_carrier.dir/multi_carrier.cpp.o.d"
+  "multi_carrier"
+  "multi_carrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_carrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/qos_backbone.cpp" "examples/CMakeFiles/qos_backbone.dir/qos_backbone.cpp.o" "gcc" "examples/CMakeFiles/qos_backbone.dir/qos_backbone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backbone/CMakeFiles/mvpn_backbone.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/mvpn_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/vpn/CMakeFiles/mvpn_vpn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpls/CMakeFiles/mvpn_mpls.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipsec/CMakeFiles/mvpn_ipsec.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/mvpn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/mvpn_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mvpn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/mvpn_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mvpn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mvpn_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

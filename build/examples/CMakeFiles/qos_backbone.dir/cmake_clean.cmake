@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_backbone.dir/qos_backbone.cpp.o"
+  "CMakeFiles/qos_backbone.dir/qos_backbone.cpp.o.d"
+  "qos_backbone"
+  "qos_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_failover.dir/te_failover.cpp.o"
+  "CMakeFiles/te_failover.dir/te_failover.cpp.o.d"
+  "te_failover"
+  "te_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("sim")
+subdirs("ip")
+subdirs("net")
+subdirs("qos")
+subdirs("routing")
+subdirs("mpls")
+subdirs("ipsec")
+subdirs("vpn")
+subdirs("traffic")
+subdirs("backbone")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvpn_backbone.dir/fixtures.cpp.o"
+  "CMakeFiles/mvpn_backbone.dir/fixtures.cpp.o.d"
+  "CMakeFiles/mvpn_backbone.dir/scenario_config.cpp.o"
+  "CMakeFiles/mvpn_backbone.dir/scenario_config.cpp.o.d"
+  "libmvpn_backbone.a"
+  "libmvpn_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvpn_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

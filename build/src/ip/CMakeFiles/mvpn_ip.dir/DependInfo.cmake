@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ip/address.cpp" "src/ip/CMakeFiles/mvpn_ip.dir/address.cpp.o" "gcc" "src/ip/CMakeFiles/mvpn_ip.dir/address.cpp.o.d"
+  "/root/repo/src/ip/dir24_fib.cpp" "src/ip/CMakeFiles/mvpn_ip.dir/dir24_fib.cpp.o" "gcc" "src/ip/CMakeFiles/mvpn_ip.dir/dir24_fib.cpp.o.d"
+  "/root/repo/src/ip/route_table.cpp" "src/ip/CMakeFiles/mvpn_ip.dir/route_table.cpp.o" "gcc" "src/ip/CMakeFiles/mvpn_ip.dir/route_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvpn_ip.dir/address.cpp.o"
+  "CMakeFiles/mvpn_ip.dir/address.cpp.o.d"
+  "CMakeFiles/mvpn_ip.dir/dir24_fib.cpp.o"
+  "CMakeFiles/mvpn_ip.dir/dir24_fib.cpp.o.d"
+  "CMakeFiles/mvpn_ip.dir/route_table.cpp.o"
+  "CMakeFiles/mvpn_ip.dir/route_table.cpp.o.d"
+  "libmvpn_ip.a"
+  "libmvpn_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvpn_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipsec/des.cpp" "src/ipsec/CMakeFiles/mvpn_ipsec.dir/des.cpp.o" "gcc" "src/ipsec/CMakeFiles/mvpn_ipsec.dir/des.cpp.o.d"
+  "/root/repo/src/ipsec/esp.cpp" "src/ipsec/CMakeFiles/mvpn_ipsec.dir/esp.cpp.o" "gcc" "src/ipsec/CMakeFiles/mvpn_ipsec.dir/esp.cpp.o.d"
+  "/root/repo/src/ipsec/hmac.cpp" "src/ipsec/CMakeFiles/mvpn_ipsec.dir/hmac.cpp.o" "gcc" "src/ipsec/CMakeFiles/mvpn_ipsec.dir/hmac.cpp.o.d"
+  "/root/repo/src/ipsec/ike.cpp" "src/ipsec/CMakeFiles/mvpn_ipsec.dir/ike.cpp.o" "gcc" "src/ipsec/CMakeFiles/mvpn_ipsec.dir/ike.cpp.o.d"
+  "/root/repo/src/ipsec/sha1.cpp" "src/ipsec/CMakeFiles/mvpn_ipsec.dir/sha1.cpp.o" "gcc" "src/ipsec/CMakeFiles/mvpn_ipsec.dir/sha1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/mvpn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mvpn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mvpn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mvpn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/mvpn_ip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvpn_ipsec.dir/des.cpp.o"
+  "CMakeFiles/mvpn_ipsec.dir/des.cpp.o.d"
+  "CMakeFiles/mvpn_ipsec.dir/esp.cpp.o"
+  "CMakeFiles/mvpn_ipsec.dir/esp.cpp.o.d"
+  "CMakeFiles/mvpn_ipsec.dir/hmac.cpp.o"
+  "CMakeFiles/mvpn_ipsec.dir/hmac.cpp.o.d"
+  "CMakeFiles/mvpn_ipsec.dir/ike.cpp.o"
+  "CMakeFiles/mvpn_ipsec.dir/ike.cpp.o.d"
+  "CMakeFiles/mvpn_ipsec.dir/sha1.cpp.o"
+  "CMakeFiles/mvpn_ipsec.dir/sha1.cpp.o.d"
+  "libmvpn_ipsec.a"
+  "libmvpn_ipsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvpn_ipsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

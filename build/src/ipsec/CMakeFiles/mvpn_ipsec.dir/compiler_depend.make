@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mvpn_ipsec.
+# This may be replaced when dependencies are built.

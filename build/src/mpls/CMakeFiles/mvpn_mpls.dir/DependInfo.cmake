@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpls/domain.cpp" "src/mpls/CMakeFiles/mvpn_mpls.dir/domain.cpp.o" "gcc" "src/mpls/CMakeFiles/mvpn_mpls.dir/domain.cpp.o.d"
+  "/root/repo/src/mpls/ldp.cpp" "src/mpls/CMakeFiles/mvpn_mpls.dir/ldp.cpp.o" "gcc" "src/mpls/CMakeFiles/mvpn_mpls.dir/ldp.cpp.o.d"
+  "/root/repo/src/mpls/lfib.cpp" "src/mpls/CMakeFiles/mvpn_mpls.dir/lfib.cpp.o" "gcc" "src/mpls/CMakeFiles/mvpn_mpls.dir/lfib.cpp.o.d"
+  "/root/repo/src/mpls/rsvp_te.cpp" "src/mpls/CMakeFiles/mvpn_mpls.dir/rsvp_te.cpp.o" "gcc" "src/mpls/CMakeFiles/mvpn_mpls.dir/rsvp_te.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/mvpn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mvpn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mvpn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mvpn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/mvpn_ip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

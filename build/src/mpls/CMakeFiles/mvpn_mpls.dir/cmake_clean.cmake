@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvpn_mpls.dir/domain.cpp.o"
+  "CMakeFiles/mvpn_mpls.dir/domain.cpp.o.d"
+  "CMakeFiles/mvpn_mpls.dir/ldp.cpp.o"
+  "CMakeFiles/mvpn_mpls.dir/ldp.cpp.o.d"
+  "CMakeFiles/mvpn_mpls.dir/lfib.cpp.o"
+  "CMakeFiles/mvpn_mpls.dir/lfib.cpp.o.d"
+  "CMakeFiles/mvpn_mpls.dir/rsvp_te.cpp.o"
+  "CMakeFiles/mvpn_mpls.dir/rsvp_te.cpp.o.d"
+  "libmvpn_mpls.a"
+  "libmvpn_mpls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvpn_mpls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/mvpn_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/mvpn_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/net/CMakeFiles/mvpn_net.dir/node.cpp.o" "gcc" "src/net/CMakeFiles/mvpn_net.dir/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/mvpn_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/mvpn_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/queue_disc.cpp" "src/net/CMakeFiles/mvpn_net.dir/queue_disc.cpp.o" "gcc" "src/net/CMakeFiles/mvpn_net.dir/queue_disc.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/mvpn_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/mvpn_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mvpn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/mvpn_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mvpn_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

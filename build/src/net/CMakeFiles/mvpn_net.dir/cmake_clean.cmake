@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvpn_net.dir/link.cpp.o"
+  "CMakeFiles/mvpn_net.dir/link.cpp.o.d"
+  "CMakeFiles/mvpn_net.dir/node.cpp.o"
+  "CMakeFiles/mvpn_net.dir/node.cpp.o.d"
+  "CMakeFiles/mvpn_net.dir/packet.cpp.o"
+  "CMakeFiles/mvpn_net.dir/packet.cpp.o.d"
+  "CMakeFiles/mvpn_net.dir/queue_disc.cpp.o"
+  "CMakeFiles/mvpn_net.dir/queue_disc.cpp.o.d"
+  "CMakeFiles/mvpn_net.dir/topology.cpp.o"
+  "CMakeFiles/mvpn_net.dir/topology.cpp.o.d"
+  "libmvpn_net.a"
+  "libmvpn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvpn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

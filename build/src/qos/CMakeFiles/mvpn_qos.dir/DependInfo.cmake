@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qos/admission.cpp" "src/qos/CMakeFiles/mvpn_qos.dir/admission.cpp.o" "gcc" "src/qos/CMakeFiles/mvpn_qos.dir/admission.cpp.o.d"
+  "/root/repo/src/qos/classifier.cpp" "src/qos/CMakeFiles/mvpn_qos.dir/classifier.cpp.o" "gcc" "src/qos/CMakeFiles/mvpn_qos.dir/classifier.cpp.o.d"
+  "/root/repo/src/qos/dscp.cpp" "src/qos/CMakeFiles/mvpn_qos.dir/dscp.cpp.o" "gcc" "src/qos/CMakeFiles/mvpn_qos.dir/dscp.cpp.o.d"
+  "/root/repo/src/qos/meter.cpp" "src/qos/CMakeFiles/mvpn_qos.dir/meter.cpp.o" "gcc" "src/qos/CMakeFiles/mvpn_qos.dir/meter.cpp.o.d"
+  "/root/repo/src/qos/queues.cpp" "src/qos/CMakeFiles/mvpn_qos.dir/queues.cpp.o" "gcc" "src/qos/CMakeFiles/mvpn_qos.dir/queues.cpp.o.d"
+  "/root/repo/src/qos/sla.cpp" "src/qos/CMakeFiles/mvpn_qos.dir/sla.cpp.o" "gcc" "src/qos/CMakeFiles/mvpn_qos.dir/sla.cpp.o.d"
+  "/root/repo/src/qos/token_bucket.cpp" "src/qos/CMakeFiles/mvpn_qos.dir/token_bucket.cpp.o" "gcc" "src/qos/CMakeFiles/mvpn_qos.dir/token_bucket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mvpn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mvpn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mvpn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/mvpn_ip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

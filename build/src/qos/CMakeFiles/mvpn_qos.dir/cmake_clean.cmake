@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvpn_qos.dir/admission.cpp.o"
+  "CMakeFiles/mvpn_qos.dir/admission.cpp.o.d"
+  "CMakeFiles/mvpn_qos.dir/classifier.cpp.o"
+  "CMakeFiles/mvpn_qos.dir/classifier.cpp.o.d"
+  "CMakeFiles/mvpn_qos.dir/dscp.cpp.o"
+  "CMakeFiles/mvpn_qos.dir/dscp.cpp.o.d"
+  "CMakeFiles/mvpn_qos.dir/meter.cpp.o"
+  "CMakeFiles/mvpn_qos.dir/meter.cpp.o.d"
+  "CMakeFiles/mvpn_qos.dir/queues.cpp.o"
+  "CMakeFiles/mvpn_qos.dir/queues.cpp.o.d"
+  "CMakeFiles/mvpn_qos.dir/sla.cpp.o"
+  "CMakeFiles/mvpn_qos.dir/sla.cpp.o.d"
+  "CMakeFiles/mvpn_qos.dir/token_bucket.cpp.o"
+  "CMakeFiles/mvpn_qos.dir/token_bucket.cpp.o.d"
+  "libmvpn_qos.a"
+  "libmvpn_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvpn_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

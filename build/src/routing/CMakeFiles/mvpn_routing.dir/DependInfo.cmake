@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/bgp.cpp" "src/routing/CMakeFiles/mvpn_routing.dir/bgp.cpp.o" "gcc" "src/routing/CMakeFiles/mvpn_routing.dir/bgp.cpp.o.d"
+  "/root/repo/src/routing/control_plane.cpp" "src/routing/CMakeFiles/mvpn_routing.dir/control_plane.cpp.o" "gcc" "src/routing/CMakeFiles/mvpn_routing.dir/control_plane.cpp.o.d"
+  "/root/repo/src/routing/hello.cpp" "src/routing/CMakeFiles/mvpn_routing.dir/hello.cpp.o" "gcc" "src/routing/CMakeFiles/mvpn_routing.dir/hello.cpp.o.d"
+  "/root/repo/src/routing/igp.cpp" "src/routing/CMakeFiles/mvpn_routing.dir/igp.cpp.o" "gcc" "src/routing/CMakeFiles/mvpn_routing.dir/igp.cpp.o.d"
+  "/root/repo/src/routing/link_state.cpp" "src/routing/CMakeFiles/mvpn_routing.dir/link_state.cpp.o" "gcc" "src/routing/CMakeFiles/mvpn_routing.dir/link_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mvpn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mvpn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mvpn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/mvpn_ip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

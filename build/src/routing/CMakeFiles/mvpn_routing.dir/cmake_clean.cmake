@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvpn_routing.dir/bgp.cpp.o"
+  "CMakeFiles/mvpn_routing.dir/bgp.cpp.o.d"
+  "CMakeFiles/mvpn_routing.dir/control_plane.cpp.o"
+  "CMakeFiles/mvpn_routing.dir/control_plane.cpp.o.d"
+  "CMakeFiles/mvpn_routing.dir/hello.cpp.o"
+  "CMakeFiles/mvpn_routing.dir/hello.cpp.o.d"
+  "CMakeFiles/mvpn_routing.dir/igp.cpp.o"
+  "CMakeFiles/mvpn_routing.dir/igp.cpp.o.d"
+  "CMakeFiles/mvpn_routing.dir/link_state.cpp.o"
+  "CMakeFiles/mvpn_routing.dir/link_state.cpp.o.d"
+  "libmvpn_routing.a"
+  "libmvpn_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvpn_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvpn_sim.dir/rng.cpp.o"
+  "CMakeFiles/mvpn_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/mvpn_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/mvpn_sim.dir/scheduler.cpp.o.d"
+  "libmvpn_sim.a"
+  "libmvpn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvpn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvpn_stats.dir/histogram.cpp.o"
+  "CMakeFiles/mvpn_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/mvpn_stats.dir/running_stats.cpp.o"
+  "CMakeFiles/mvpn_stats.dir/running_stats.cpp.o.d"
+  "CMakeFiles/mvpn_stats.dir/table.cpp.o"
+  "CMakeFiles/mvpn_stats.dir/table.cpp.o.d"
+  "CMakeFiles/mvpn_stats.dir/time_series.cpp.o"
+  "CMakeFiles/mvpn_stats.dir/time_series.cpp.o.d"
+  "libmvpn_stats.a"
+  "libmvpn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvpn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmvpn_stats.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvpn_traffic.dir/sink.cpp.o"
+  "CMakeFiles/mvpn_traffic.dir/sink.cpp.o.d"
+  "CMakeFiles/mvpn_traffic.dir/source.cpp.o"
+  "CMakeFiles/mvpn_traffic.dir/source.cpp.o.d"
+  "CMakeFiles/mvpn_traffic.dir/tcp_lite.cpp.o"
+  "CMakeFiles/mvpn_traffic.dir/tcp_lite.cpp.o.d"
+  "libmvpn_traffic.a"
+  "libmvpn_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvpn_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

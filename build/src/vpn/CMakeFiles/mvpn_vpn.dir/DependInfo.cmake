@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vpn/diagnostics.cpp" "src/vpn/CMakeFiles/mvpn_vpn.dir/diagnostics.cpp.o" "gcc" "src/vpn/CMakeFiles/mvpn_vpn.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/vpn/directory.cpp" "src/vpn/CMakeFiles/mvpn_vpn.dir/directory.cpp.o" "gcc" "src/vpn/CMakeFiles/mvpn_vpn.dir/directory.cpp.o.d"
+  "/root/repo/src/vpn/inter_as.cpp" "src/vpn/CMakeFiles/mvpn_vpn.dir/inter_as.cpp.o" "gcc" "src/vpn/CMakeFiles/mvpn_vpn.dir/inter_as.cpp.o.d"
+  "/root/repo/src/vpn/ipsec_vpn.cpp" "src/vpn/CMakeFiles/mvpn_vpn.dir/ipsec_vpn.cpp.o" "gcc" "src/vpn/CMakeFiles/mvpn_vpn.dir/ipsec_vpn.cpp.o.d"
+  "/root/repo/src/vpn/oam.cpp" "src/vpn/CMakeFiles/mvpn_vpn.dir/oam.cpp.o" "gcc" "src/vpn/CMakeFiles/mvpn_vpn.dir/oam.cpp.o.d"
+  "/root/repo/src/vpn/overlay.cpp" "src/vpn/CMakeFiles/mvpn_vpn.dir/overlay.cpp.o" "gcc" "src/vpn/CMakeFiles/mvpn_vpn.dir/overlay.cpp.o.d"
+  "/root/repo/src/vpn/router.cpp" "src/vpn/CMakeFiles/mvpn_vpn.dir/router.cpp.o" "gcc" "src/vpn/CMakeFiles/mvpn_vpn.dir/router.cpp.o.d"
+  "/root/repo/src/vpn/service.cpp" "src/vpn/CMakeFiles/mvpn_vpn.dir/service.cpp.o" "gcc" "src/vpn/CMakeFiles/mvpn_vpn.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpls/CMakeFiles/mvpn_mpls.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/mvpn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipsec/CMakeFiles/mvpn_ipsec.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/mvpn_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mvpn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mvpn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mvpn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/mvpn_ip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvpn_vpn.dir/diagnostics.cpp.o"
+  "CMakeFiles/mvpn_vpn.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/mvpn_vpn.dir/directory.cpp.o"
+  "CMakeFiles/mvpn_vpn.dir/directory.cpp.o.d"
+  "CMakeFiles/mvpn_vpn.dir/inter_as.cpp.o"
+  "CMakeFiles/mvpn_vpn.dir/inter_as.cpp.o.d"
+  "CMakeFiles/mvpn_vpn.dir/ipsec_vpn.cpp.o"
+  "CMakeFiles/mvpn_vpn.dir/ipsec_vpn.cpp.o.d"
+  "CMakeFiles/mvpn_vpn.dir/oam.cpp.o"
+  "CMakeFiles/mvpn_vpn.dir/oam.cpp.o.d"
+  "CMakeFiles/mvpn_vpn.dir/overlay.cpp.o"
+  "CMakeFiles/mvpn_vpn.dir/overlay.cpp.o.d"
+  "CMakeFiles/mvpn_vpn.dir/router.cpp.o"
+  "CMakeFiles/mvpn_vpn.dir/router.cpp.o.d"
+  "CMakeFiles/mvpn_vpn.dir/service.cpp.o"
+  "CMakeFiles/mvpn_vpn.dir/service.cpp.o.d"
+  "libmvpn_vpn.a"
+  "libmvpn_vpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvpn_vpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

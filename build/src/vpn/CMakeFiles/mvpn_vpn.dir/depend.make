@@ -1,0 +1,2 @@
+# Empty dependencies file for mvpn_vpn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_sites.dir/test_integration_sites.cpp.o"
+  "CMakeFiles/test_integration_sites.dir/test_integration_sites.cpp.o.d"
+  "test_integration_sites"
+  "test_integration_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

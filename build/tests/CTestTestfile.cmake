@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_stats "/root/repo/build/tests/test_stats")
+set_tests_properties(test_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;mvpn_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;13;mvpn_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ip "/root/repo/build/tests/test_ip")
+set_tests_properties(test_ip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;14;mvpn_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_net "/root/repo/build/tests/test_net")
+set_tests_properties(test_net PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;15;mvpn_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_qos "/root/repo/build/tests/test_qos")
+set_tests_properties(test_qos PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;16;mvpn_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_routing "/root/repo/build/tests/test_routing")
+set_tests_properties(test_routing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;17;mvpn_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mpls "/root/repo/build/tests/test_mpls")
+set_tests_properties(test_mpls PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;mvpn_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ipsec "/root/repo/build/tests/test_ipsec")
+set_tests_properties(test_ipsec PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;mvpn_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_vpn "/root/repo/build/tests/test_vpn")
+set_tests_properties(test_vpn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;mvpn_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_traffic "/root/repo/build/tests/test_traffic")
+set_tests_properties(test_traffic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;mvpn_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_scenario "/root/repo/build/tests/test_scenario")
+set_tests_properties(test_scenario PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;mvpn_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration_sites "/root/repo/build/tests/test_integration_sites")
+set_tests_properties(test_integration_sites PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;25;mvpn_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;26;mvpn_test;/root/repo/tests/CMakeLists.txt;0;")

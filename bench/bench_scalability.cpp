@@ -11,11 +11,18 @@
 // the BGP/MPLS VPN (counting VRF routes, BGP Loc-RIB entries, LFIB
 // entries and LDP bindings), then print both against the closed form.
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "backbone/fixtures.hpp"
+#include "qos/sla.hpp"
 #include "stats/table.hpp"
+#include "traffic/sink.hpp"
+#include "traffic/source.hpp"
 
 namespace {
 
@@ -74,9 +81,157 @@ MplsResult run_mpls(std::size_t sites, routing::Bgp::Mode mode) {
                     bb.bgp.session_count(), bb.cp.total_messages()};
 }
 
+// --- Hot-path throughput -------------------------------------------------
+//
+// End-to-end forwarding rate of the simulator itself (not a paper claim):
+// a fixed 6P/8PE backbone carries `flows` CBR flows between VPN sites for
+// `sim_seconds` of simulated time, and we report how fast the wall clock
+// chews through it. The scenario is fully deterministic (fixed seed, CBR
+// arrivals), so the delivered-packet and executed-event counts are
+// byte-for-byte comparable across builds; only the wall time moves.
+
+struct ThroughputResult {
+  std::size_t flows = 0;
+  double sim_seconds = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t events = 0;
+  double wall_s = 0;
+
+  [[nodiscard]] double packets_per_sec() const {
+    return wall_s > 0 ? static_cast<double>(delivered) / wall_s : 0.0;
+  }
+  [[nodiscard]] double events_per_sec() const {
+    return wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+};
+
+ThroughputResult run_throughput(std::size_t flows, double sim_seconds) {
+  backbone::BackboneConfig cfg;
+  cfg.p_count = 6;
+  cfg.pe_count = 8;
+  cfg.seed = 7;
+  backbone::MplsBackbone bb(cfg);
+
+  const vpn::VpnId v = bb.service.create_vpn("T");
+  std::vector<backbone::MplsBackbone::Site> sites;
+  for (std::size_t i = 0; i < cfg.pe_count; ++i) {
+    sites.push_back(bb.add_site(
+        v, i,
+        ip::Prefix(ip::Ipv4Address(10, std::uint8_t(1 + i), 0, 0), 16)));
+  }
+  bb.start_and_converge();
+
+  qos::SlaProbe probe("throughput");
+  traffic::MeasurementSink sink(probe, bb.topo.scheduler());
+  for (auto& site : sites) sink.bind(*site.ce);
+
+  std::vector<std::unique_ptr<traffic::CbrSource>> sources;
+  for (std::size_t i = 0; i < flows; ++i) {
+    const std::size_t a = i % sites.size();
+    const std::size_t b = (i + 1) % sites.size();
+    traffic::FlowSpec f;
+    f.src = ip::Ipv4Address(10, std::uint8_t(1 + a), std::uint8_t(i / 200),
+                            std::uint8_t(1 + i % 200));
+    f.dst = ip::Ipv4Address(10, std::uint8_t(1 + b), std::uint8_t(i / 200),
+                            std::uint8_t(1 + i % 200));
+    f.dst_port = static_cast<std::uint16_t>(20000 + i);
+    f.vpn = v;
+    const auto id = static_cast<std::uint32_t>(1000 + i);
+    sink.expect_flow(id, qos::Phb::kBe, v);
+    sources.push_back(
+        std::make_unique<traffic::CbrSource>(*sites[a].ce, f, id, &probe,
+                                             1e6));
+  }
+
+  const sim::SimTime t0 = bb.topo.scheduler().now();
+  const std::uint64_t ev0 = bb.topo.scheduler().executed_count();
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (auto& s : sources) s->run(t0, t0 + sim::from_seconds(sim_seconds));
+  bb.topo.run_until(t0 + sim::from_seconds(sim_seconds + 0.5));
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  ThroughputResult r;
+  r.flows = flows;
+  r.sim_seconds = sim_seconds;
+  r.delivered = sink.delivered();
+  r.events = bb.topo.scheduler().executed_count() - ev0;
+  r.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  return r;
+}
+
+/// Best-of-`reps` wall time (the deterministic counters are identical
+/// across repetitions, so keep the least-noisy timing).
+ThroughputResult best_throughput(std::size_t flows, double sim_seconds,
+                                 int reps) {
+  ThroughputResult best;
+  for (int i = 0; i < reps; ++i) {
+    ThroughputResult r = run_throughput(flows, sim_seconds);
+    if (best.wall_s == 0 || r.wall_s < best.wall_s) best = r;
+  }
+  return best;
+}
+
+void print_throughput(const ThroughputResult& r) {
+  std::printf(
+      "Hot-path throughput: %zu CBR flows, %.1f sim-s on a 6P/8PE core\n"
+      "  delivered packets : %llu\n"
+      "  scheduler events  : %llu\n"
+      "  wall time         : %.3f s\n"
+      "  packets/sec       : %.0f\n"
+      "  events/sec        : %.0f\n",
+      r.flows, r.sim_seconds, static_cast<unsigned long long>(r.delivered),
+      static_cast<unsigned long long>(r.events), r.wall_s,
+      r.packets_per_sec(), r.events_per_sec());
+}
+
+void write_throughput_json(const char* path, const ThroughputResult& r) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"bench_scalability_throughput\",\n"
+               "  \"flows\": %zu,\n"
+               "  \"sim_seconds\": %.1f,\n"
+               "  \"delivered_packets\": %llu,\n"
+               "  \"scheduler_events\": %llu,\n"
+               "  \"wall_seconds\": %.6f,\n"
+               "  \"packets_per_sec\": %.1f,\n"
+               "  \"events_per_sec\": %.1f\n"
+               "}\n",
+               r.flows, r.sim_seconds,
+               static_cast<unsigned long long>(r.delivered),
+               static_cast<unsigned long long>(r.events), r.wall_s,
+               r.packets_per_sec(), r.events_per_sec());
+  std::fclose(f);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool throughput_only = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--throughput-only") == 0) {
+      throughput_only = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--throughput-only] [--json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  if (throughput_only) {
+    const ThroughputResult r = best_throughput(64, 5.0, 3);
+    print_throughput(r);
+    if (json_path != nullptr) write_throughput_json(json_path, r);
+    return 0;
+  }
+
   std::printf(
       "E1 — VPN state scaling: overlay full-mesh circuits vs BGP/MPLS VPN\n"
       "Paper claim (ICPP'00 §2.1): overlay needs N(N-1)/2 VCs — 10 sites → "
@@ -107,6 +262,10 @@ int main() {
       "quadratically (45 @ 10 sites, 19900 @ 200); every MPLS-VPN state\n"
       "column grows linearly in N, and route reflection removes the\n"
       "remaining quadratic (session) term — who wins and why matches the\n"
-      "paper's argument.\n");
+      "paper's argument.\n\n");
+
+  const ThroughputResult r = best_throughput(64, 5.0, 3);
+  print_throughput(r);
+  if (json_path != nullptr) write_throughput_json(json_path, r);
   return 0;
 }

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Runs the hot-path performance suites and collects one JSON report at the
+# repo root (BENCH_PR1.json). Usage:
+#
+#   bench/run_benchmarks.sh [--build DIR] [--seed-bin PATH] [--out FILE]
+#
+#   --build DIR      build tree holding the bench binaries (default: build)
+#   --seed-bin PATH  a bench_scalability binary compiled from the baseline
+#                    tree; when given, the report includes the baseline
+#                    throughput and the speedup ratio
+#   --out FILE       output report (default: <repo>/BENCH_PR1.json)
+#
+# The google-benchmark suites are captured with --benchmark_out (their
+# stdout also carries human-readable tables); the end-to-end throughput
+# phase of bench_scalability writes its own small JSON.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build"
+SEED_BIN=""
+OUT="$ROOT/BENCH_PR1.json"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build) BUILD="$2"; shift 2 ;;
+    --seed-bin) SEED_BIN="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== scheduler / packet-pool microbenchmarks =="
+"$BUILD/bench/bench_scheduler" --benchmark_min_time=0.2 \
+  --benchmark_out="$TMP/scheduler.json" --benchmark_out_format=json
+
+echo
+echo "== forwarding-path lookup microbenchmarks (E2) =="
+"$BUILD/bench/bench_forwarding" --benchmark_min_time=0.1 \
+  --benchmark_out="$TMP/forwarding.json" --benchmark_out_format=json \
+  > /dev/null
+
+echo
+echo "== end-to-end throughput (bench_scalability) =="
+"$BUILD/bench/bench_scalability" --throughput-only --json "$TMP/throughput.json"
+
+if [[ -n "$SEED_BIN" ]]; then
+  echo
+  echo "== end-to-end throughput, baseline tree =="
+  "$SEED_BIN" --throughput-only --json "$TMP/throughput_seed.json"
+else
+  echo '{}' > "$TMP/throughput_seed.json"
+fi
+
+jq -n \
+  --slurpfile thr "$TMP/throughput.json" \
+  --slurpfile seed "$TMP/throughput_seed.json" \
+  --slurpfile sched "$TMP/scheduler.json" \
+  --slurpfile fwd "$TMP/forwarding.json" \
+  '{
+    throughput: $thr[0],
+    seed_baseline: (if ($seed[0] | length) > 0 then $seed[0] else null end),
+    speedup_packets_per_sec:
+      (if ($seed[0].packets_per_sec? // 0) > 0
+       then ($thr[0].packets_per_sec / $seed[0].packets_per_sec)
+       else null end),
+    scheduler_microbench: $sched[0],
+    forwarding_microbench: $fwd[0]
+  }' > "$OUT"
+
+echo
+echo "report written to $OUT"
+if [[ -n "$SEED_BIN" ]]; then
+  jq -r '"packets/sec: \(.throughput.packets_per_sec) vs seed \(.seed_baseline.packets_per_sec)  (speedup \(.speedup_packets_per_sec))"' "$OUT"
+fi

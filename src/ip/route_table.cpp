@@ -20,9 +20,11 @@ bool RouteTable::install(const RouteEntry& entry) {
     const auto new_rank = std::make_pair(entry.admin_distance, entry.metric);
     if (new_rank > existing_rank) return false;
     *existing = entry;
+    invalidate_cache();
     return true;
   }
   trie_.insert(entry.prefix, entry);
+  invalidate_cache();
   return true;
 }
 
@@ -32,12 +34,13 @@ void RouteTable::replace(const RouteEntry& entry) {
   } else {
     trie_.insert(entry.prefix, entry);
   }
+  invalidate_cache();
 }
 
-bool RouteTable::remove(const Prefix& prefix) { return trie_.erase(prefix); }
-
-const RouteEntry* RouteTable::lookup(Ipv4Address addr) const {
-  return trie_.longest_match(addr);
+bool RouteTable::remove(const Prefix& prefix) {
+  if (!trie_.erase(prefix)) return false;
+  invalidate_cache();
+  return true;
 }
 
 const RouteEntry* RouteTable::find(const Prefix& prefix) const {

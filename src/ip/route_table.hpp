@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -86,6 +87,12 @@ struct RouteEntry {
 
 /// Longest-prefix-match routing table with admin-distance/metric
 /// preference on insert.
+///
+/// Lookups are served through a direct-mapped result cache in front of the
+/// trie: data-plane traffic concentrates on a handful of destination
+/// addresses per table, so the 32-level pointer chase is paid once per
+/// (address, table-version) instead of once per packet. Any mutation bumps
+/// the table generation, which invalidates every cached slot at once.
 class RouteTable {
  public:
   /// Install `entry`; if a route for the same prefix exists, keep the one
@@ -100,19 +107,53 @@ class RouteTable {
   bool remove(const Prefix& prefix);
 
   /// Longest-prefix match; nullptr if no route covers `addr`.
-  [[nodiscard]] const RouteEntry* lookup(Ipv4Address addr) const;
+  [[nodiscard]] const RouteEntry* lookup(Ipv4Address addr) const {
+    CacheSlot& slot = cache_[cache_index(addr)];
+    if (slot.generation == generation_ && slot.addr == addr.value()) {
+      return slot.entry;
+    }
+    const RouteEntry* entry = trie_.longest_match(addr);
+    slot = CacheSlot{addr.value(), generation_, entry};
+    return entry;
+  }
 
   /// Exact-prefix fetch; nullptr if absent.
   [[nodiscard]] const RouteEntry* find(const Prefix& prefix) const;
 
   [[nodiscard]] std::size_t size() const noexcept { return trie_.size(); }
-  void clear() { trie_.clear(); }
+  void clear() {
+    trie_.clear();
+    invalidate_cache();
+  }
 
   /// Snapshot of all entries (for tests, dumps, and FIB compilation).
   [[nodiscard]] std::vector<RouteEntry> entries() const;
 
+  /// Table version; bumped on every mutation. Exposed for tests asserting
+  /// cache-invalidation behavior.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+
  private:
+  static constexpr std::size_t kCacheSlots = 256;  // power of two
+
+  struct CacheSlot {
+    std::uint32_t addr = 0;
+    std::uint64_t generation = 0;  // 0 never matches: generation_ starts at 1
+    const RouteEntry* entry = nullptr;
+  };
+
+  static std::size_t cache_index(Ipv4Address addr) noexcept {
+    // Fibonacci hash: site addresses differ mostly in the middle octets.
+    return (addr.value() * 0x9E3779B1u) >> 24 & (kCacheSlots - 1);
+  }
+
+  void invalidate_cache() noexcept { ++generation_; }
+
   PrefixTrie<RouteEntry> trie_;
+  mutable std::array<CacheSlot, kCacheSlots> cache_{};
+  std::uint64_t generation_ = 1;
 };
 
 }  // namespace mvpn::ip

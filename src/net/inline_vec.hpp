@@ -1,0 +1,200 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace mvpn::net {
+
+/// Small vector with N elements of inline storage and heap spill beyond.
+///
+/// The MPLS label stack is the poster child: real stacks are at most three
+/// deep (IGP transport + VPN label + optional TE), so `std::vector` means
+/// one guaranteed heap allocation per packet for what is almost always
+/// ≤ 12 bytes of data. InlineVec keeps those elements inside the Packet
+/// object; only pathological stacks (loops in a misconfigured scenario)
+/// ever touch the allocator, and a spilled buffer is retained across
+/// clear() so pooled packets stay allocation-free on reuse.
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(N > 0, "InlineVec needs at least one inline slot");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlineVec() noexcept = default;
+
+  InlineVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  InlineVec(const InlineVec& other) { assign_from(other); }
+
+  InlineVec(InlineVec&& other) noexcept { move_from(std::move(other)); }
+
+  InlineVec& operator=(const InlineVec& other) {
+    if (this != &other) {
+      clear();
+      assign_from(other);
+    }
+    return *this;
+  }
+
+  InlineVec& operator=(InlineVec&& other) noexcept {
+    if (this != &other) {
+      destroy_all_and_free();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~InlineVec() { destroy_all_and_free(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// True while elements live in the inline buffer (no heap involved).
+  [[nodiscard]] bool inline_storage() const noexcept {
+    return data() == inline_data();
+  }
+
+  [[nodiscard]] T* data() noexcept {
+    return heap_ != nullptr ? heap_ : inline_data();
+  }
+  [[nodiscard]] const T* data() const noexcept {
+    return heap_ != nullptr ? heap_ : inline_data();
+  }
+
+  [[nodiscard]] iterator begin() noexcept { return data(); }
+  [[nodiscard]] iterator end() noexcept { return data() + size_; }
+  [[nodiscard]] const_iterator begin() const noexcept { return data(); }
+  [[nodiscard]] const_iterator end() const noexcept { return data() + size_; }
+  [[nodiscard]] std::reverse_iterator<iterator> rbegin() noexcept {
+    return std::reverse_iterator<iterator>(end());
+  }
+  [[nodiscard]] std::reverse_iterator<iterator> rend() noexcept {
+    return std::reverse_iterator<iterator>(begin());
+  }
+  [[nodiscard]] std::reverse_iterator<const_iterator> rbegin() const noexcept {
+    return std::reverse_iterator<const_iterator>(end());
+  }
+  [[nodiscard]] std::reverse_iterator<const_iterator> rend() const noexcept {
+    return std::reverse_iterator<const_iterator>(begin());
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data()[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data()[i];
+  }
+  [[nodiscard]] T& front() noexcept { return data()[0]; }
+  [[nodiscard]] const T& front() const noexcept { return data()[0]; }
+  [[nodiscard]] T& back() noexcept { return data()[size_ - 1]; }
+  [[nodiscard]] const T& back() const noexcept { return data()[size_ - 1]; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    T* p = ::new (static_cast<void*>(data() + size_))
+        T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  void pop_back() noexcept {
+    --size_;
+    data()[size_].~T();
+  }
+
+  /// Destroys elements but keeps any spilled heap buffer for reuse.
+  void clear() noexcept {
+    T* d = data();
+    for (std::size_t i = 0; i < size_; ++i) d[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow(n);
+  }
+
+  friend bool operator==(const InlineVec& a, const InlineVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const InlineVec& a, const InlineVec& b) {
+    return !(a == b);
+  }
+
+ private:
+  [[nodiscard]] T* inline_data() noexcept {
+    return std::launder(reinterpret_cast<T*>(inline_buf_));
+  }
+  [[nodiscard]] const T* inline_data() const noexcept {
+    return std::launder(reinterpret_cast<const T*>(inline_buf_));
+  }
+
+  void grow(std::size_t new_cap) {
+    new_cap = std::max(new_cap, std::size_t{N} * 2);
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    T* old = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(old[i]));
+      old[i].~T();
+    }
+    if (heap_ != nullptr) ::operator delete(heap_);
+    heap_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  void assign_from(const InlineVec& other) {
+    reserve(other.size_);
+    T* d = data();
+    for (std::size_t i = 0; i < other.size_; ++i) {
+      ::new (static_cast<void*>(d + i)) T(other.data()[i]);
+    }
+    size_ = other.size_;
+  }
+
+  void move_from(InlineVec&& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      heap_ = nullptr;
+      capacity_ = N;
+      size_ = other.size_;
+      T* d = inline_data();
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(d + i)) T(std::move(other.data()[i]));
+        other.data()[i].~T();
+      }
+      other.size_ = 0;
+    }
+  }
+
+  void destroy_all_and_free() noexcept {
+    clear();
+    if (heap_ != nullptr) {
+      ::operator delete(heap_);
+      heap_ = nullptr;
+      capacity_ = N;
+    }
+  }
+
+  alignas(T) unsigned char inline_buf_[N * sizeof(T)];
+  T* heap_ = nullptr;  ///< non-null once spilled past N elements
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace mvpn::net

@@ -1,6 +1,7 @@
 #include "net/link.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "net/topology.hpp"
 
@@ -43,44 +44,75 @@ void Link::transmit(ip::NodeId from, PacketPtr p) {
     dir.down_drops.record(p->wire_size());
     return;
   }
-  if (dir.transmitting) {
+  // The wire is taken while `now < busy_until`; at exactly `busy_until`
+  // any queued packets still go first (the service event at that instant
+  // may not have run yet).
+  if (topo_.scheduler().now() < dir.busy_until || !dir.queue->empty()) {
     dir.queue->enqueue(std::move(p));  // QueueDisc counts its own drops
+    ensure_service(dir);
     return;
   }
   start_transmission(dir, std::move(p));
 }
 
 void Link::start_transmission(Direction& dir, PacketPtr p) {
-  dir.transmitting = true;
   const sim::SimTime tx_time =
       sim::transmission_time(p->wire_size(), config_.bandwidth_bps);
   dir.busy_accum += tx_time;
   dir.tx.record(p->wire_size());
+  const sim::SimTime serialize_end = topo_.scheduler().now() + tx_time;
+  dir.busy_until = serialize_end;
 
-  topo_.scheduler().schedule_in(tx_time, [this, &dir, p]() mutable {
-    // Serialization finished: launch propagation, then service the queue.
-    if (up_) {
-      const Endpoint to = dir.to;
-      topo_.scheduler().schedule_in(config_.prop_delay, [this, to, p] {
-        topo_.deliver(to.node, to.iface, p);
+  // Single event per packet: delivery at serialization end + propagation.
+  topo_.scheduler().schedule_in(
+      tx_time + config_.prop_delay,
+      [this, &dir, serialize_end, p = std::move(p)]() mutable {
+        if (was_up_at(serialize_end)) {
+          topo_.deliver(dir.to.node, dir.to.iface, std::move(p));
+        } else {
+          // Store-and-forward failure rule: serialization completed while
+          // the link was down, so the packet never made it onto the wire.
+          dir.down_drops.record(p->wire_size());
+        }
       });
-    } else {
-      dir.down_drops.record(p->wire_size());
-    }
+}
+
+void Link::ensure_service(Direction& dir) {
+  if (dir.service_scheduled) return;
+  dir.service_scheduled = true;
+  topo_.scheduler().schedule_at(dir.busy_until, [this, &dir] {
+    dir.service_scheduled = false;
     if (PacketPtr next = dir.queue->dequeue()) {
       start_transmission(dir, std::move(next));
-    } else {
-      dir.transmitting = false;
+      if (!dir.queue->empty()) ensure_service(dir);
     }
   });
+}
+
+bool Link::was_up_at(sim::SimTime t) const noexcept {
+  for (auto it = transitions_.rbegin(); it != transitions_.rend(); ++it) {
+    if (it->at <= t) return it->up;
+  }
+  return true;  // links start up, and pre-history means "never flipped"
 }
 
 void Link::set_up(bool up) {
   if (up_ == up) return;
   up_ = up;
+
+  const sim::SimTime now = topo_.scheduler().now();
+  // Keep just enough history to answer was_up_at() for deliveries still in
+  // flight: their serialization ended no earlier than now - prop_delay.
+  while (transitions_.size() > 1 &&
+         transitions_[1].at + config_.prop_delay <= now) {
+    transitions_.erase(transitions_.begin());
+  }
+  transitions_.push_back(Transition{now, up});
+
   if (!up_) {
-    // Failure drops everything queued; in-flight packets are dropped when
-    // their serialization completes (see start_transmission).
+    // Failure drops everything queued; packets mid-serialization are lost
+    // when their delivery event fires (see start_transmission). The wire
+    // slot stays reserved until `busy_until`, like a real transmitter.
     for (Direction* dir : {&from_a_, &from_b_}) {
       while (PacketPtr p = dir->queue->dequeue()) {
         dir->down_drops.record(p->wire_size());
@@ -99,7 +131,7 @@ const QueueDisc& Link::queue_from(ip::NodeId from) const {
 
 void Link::set_queue_from(ip::NodeId from, std::unique_ptr<QueueDisc> q) {
   Direction& dir = direction_from(from);
-  if (!dir.queue->empty() || dir.transmitting) {
+  if (!dir.queue->empty() || topo_.scheduler().now() < dir.busy_until) {
     throw std::logic_error("Link::set_queue_from: direction not idle");
   }
   dir.queue = std::move(q);

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "ip/route_table.hpp"
 #include "net/packet.hpp"
@@ -70,18 +71,38 @@ class Link {
                                         sim::SimTime elapsed) const;
 
  private:
+  // Each forwarded packet costs ONE scheduler event: serialization end and
+  // propagation delay are both known when transmission starts, so delivery
+  // is scheduled directly at start + tx + prop. A separate queue-service
+  // event exists only while packets are actually waiting (congestion), so
+  // the uncontended fast path never pays for it. The delivery handler
+  // re-checks `was_up_at(serialize_end)` to preserve the store-and-forward
+  // failure rule: a packet whose serialization finished while the link was
+  // down is lost, even though its delivery event still fires.
   struct Direction {
     Endpoint to;
     std::unique_ptr<QueueDisc> queue;
-    bool transmitting = false;
+    /// Serialization frontier: the wire is busy until this instant.
+    sim::SimTime busy_until = 0;
+    /// True while a queue-service event is pending at `busy_until`.
+    bool service_scheduled = false;
     stats::PacketByteCounter tx;
     stats::PacketByteCounter down_drops;
     sim::SimTime busy_accum = 0;
   };
 
+  /// One up/down flip, kept long enough to answer `was_up_at()` for every
+  /// in-flight delivery (pruned past the propagation horizon).
+  struct Transition {
+    sim::SimTime at = 0;
+    bool up = true;
+  };
+
   Direction& direction_from(ip::NodeId from);
   const Direction& direction_from(ip::NodeId from) const;
   void start_transmission(Direction& dir, PacketPtr p);
+  void ensure_service(Direction& dir);
+  [[nodiscard]] bool was_up_at(sim::SimTime t) const noexcept;
 
   Topology& topo_;
   LinkId id_;
@@ -89,6 +110,7 @@ class Link {
   Endpoint b_;
   LinkConfig config_;
   bool up_ = true;
+  std::vector<Transition> transitions_;
   Direction from_a_;
   Direction from_b_;
 };

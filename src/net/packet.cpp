@@ -30,6 +30,21 @@ void Packet::swap_label(std::uint32_t new_label) {
   if (labels.back().ttl > 0) --labels.back().ttl;
 }
 
+void Packet::reset_for_reuse() noexcept {
+  id = 0;
+  flow_id = 0;
+  created_at = 0;
+  true_vpn_id = 0;
+  l4 = L4Header{};
+  ip = Ipv4Header{};
+  labels.clear();
+  esp.reset();
+  pvc.reset();
+  seg.reset();
+  payload_bytes = 0;
+  hop_count = 0;
+}
+
 std::string Packet::describe() const {
   std::ostringstream os;
   os << "pkt#" << id << " flow=" << flow_id;

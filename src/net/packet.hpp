@@ -7,9 +7,13 @@
 #include <vector>
 
 #include "ip/address.hpp"
+#include "net/inline_vec.hpp"
 #include "sim/time.hpp"
 
 namespace mvpn::net {
+
+class PacketPool;
+class PacketPtr;
 
 /// UDP-like transport header (8 bytes on the wire). Ports drive the
 /// CPE-side CBQ classifier (paper §5).
@@ -42,6 +46,13 @@ struct MplsShim {
   friend bool operator==(const MplsShim&, const MplsShim&) = default;
 };
 inline constexpr std::size_t kMplsShimBytes = 4;
+
+/// Inline capacity of a packet's label stack. Deployed stacks here are at
+/// most three shims deep — IGP transport + VPN label + optional TE tunnel
+/// label — so four inline slots cover everything without a per-packet heap
+/// allocation; deeper stacks spill transparently.
+inline constexpr std::size_t kInlineLabelDepth = 4;
+using LabelStack = InlineVec<MplsShim, kInlineLabelDepth>;
 
 /// Reserved MPLS label values (RFC 3032).
 inline constexpr std::uint32_t kImplicitNullLabel = 3;  // PHP signal
@@ -89,6 +100,11 @@ inline constexpr std::size_t kPvcEncapBytes = 8;
 /// `true_vpn_id` is ground truth written by the source and never consulted
 /// by forwarding code; sinks compare it against the VPN context that
 /// delivered the packet to detect isolation violations (experiment E6).
+///
+/// Packets are reference-counted intrusively (see PacketPtr) and normally
+/// recycled through a PacketPool, so the forwarding hot path never touches
+/// the allocator. Stack- or member-constructed packets still work for
+/// table-driven unit tests; they are simply never handed to a PacketPtr.
 class Packet {
  public:
   std::uint64_t id = 0;
@@ -98,7 +114,7 @@ class Packet {
 
   L4Header l4;
   Ipv4Header ip;
-  std::vector<MplsShim> labels;  // back() is top of stack
+  LabelStack labels;  // back() is top of stack
   std::optional<EspEncap> esp;
   std::optional<PvcEncap> pvc;
   std::optional<SegMeta> seg;  ///< set by elastic (TCP-like) sources
@@ -124,26 +140,180 @@ class Packet {
   }
 
   [[nodiscard]] std::string describe() const;
+
+  /// Return every field to its freshly-constructed state. Called when a
+  /// pooled packet is recycled, so no header, label or metadata from a
+  /// previous flow can leak into the next one. Retains the label stack's
+  /// spilled capacity (if any) and the pool linkage.
+  void reset_for_reuse() noexcept;
+
+ private:
+  friend class PacketPtr;
+  friend class PacketPool;
+
+  /// Intrusive refcount + owning pool. The simulator is single-threaded by
+  /// construction (one event loop), so a plain integer suffices — no
+  /// atomics, no control block, no allocation to share ownership.
+  std::uint32_t ref_count_ = 0;
+  PacketPool* pool_ = nullptr;  ///< nullptr → heap-owned, deleted at ref 0
 };
 
-/// Shared ownership so packets can ride inside std::function-based event
-/// handlers (which require copyable captures). Logically each packet has a
-/// single owner at any time: source → queue → wire → node.
-using PacketPtr = std::shared_ptr<Packet>;
+/// Shared ownership so packets can ride inside scheduler closures and
+/// egress queues. Logically each packet has a single owner at any time:
+/// source → queue → wire → node. Intrusive (the count lives in the Packet)
+/// so copying never allocates and releasing into a pool is O(1).
+class PacketPtr {
+ public:
+  constexpr PacketPtr() noexcept = default;
+  constexpr PacketPtr(std::nullptr_t) noexcept {}  // NOLINT
+
+  PacketPtr(const PacketPtr& other) noexcept : p_(other.p_) {
+    if (p_ != nullptr) ++p_->ref_count_;
+  }
+  PacketPtr(PacketPtr&& other) noexcept : p_(other.p_) { other.p_ = nullptr; }
+
+  PacketPtr& operator=(const PacketPtr& other) noexcept {
+    PacketPtr tmp(other);
+    swap(tmp);
+    return *this;
+  }
+  PacketPtr& operator=(PacketPtr&& other) noexcept {
+    PacketPtr tmp(std::move(other));
+    swap(tmp);
+    return *this;
+  }
+  PacketPtr& operator=(std::nullptr_t) noexcept {
+    release();
+    p_ = nullptr;
+    return *this;
+  }
+
+  ~PacketPtr() { release(); }
+
+  /// Wrap a raw packet with refcount 0 (fresh from a pool or `new`).
+  [[nodiscard]] static PacketPtr adopt(Packet* p) noexcept {
+    PacketPtr out;
+    out.p_ = p;
+    if (p != nullptr) p->ref_count_ = 1;
+    return out;
+  }
+
+  void swap(PacketPtr& other) noexcept { std::swap(p_, other.p_); }
+  void reset() noexcept {
+    release();
+    p_ = nullptr;
+  }
+
+  [[nodiscard]] Packet* get() const noexcept { return p_; }
+  [[nodiscard]] Packet& operator*() const noexcept { return *p_; }
+  [[nodiscard]] Packet* operator->() const noexcept { return p_; }
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return p_ != nullptr;
+  }
+  [[nodiscard]] std::uint32_t use_count() const noexcept {
+    return p_ != nullptr ? p_->ref_count_ : 0;
+  }
+
+  friend bool operator==(const PacketPtr& a, const PacketPtr& b) noexcept {
+    return a.p_ == b.p_;
+  }
+  friend bool operator==(const PacketPtr& a, std::nullptr_t) noexcept {
+    return a.p_ == nullptr;
+  }
+
+ private:
+  void release() noexcept;
+
+  Packet* p_ = nullptr;
+};
+
+/// Recycling freelist of Packet objects. acquire() reuses a released
+/// packet when one is available (reset first — see reset_for_reuse) and
+/// only touches the allocator while the working set is still growing, so a
+/// steady-state simulation makes zero allocations per packet.
+///
+/// Ownership rule: the pool must outlive every packet it issued. Inside a
+/// Topology that holds by construction (the factory is destroyed after the
+/// scheduler, queues and nodes that can hold PacketPtrs).
+class PacketPool {
+ public:
+  PacketPool() = default;
+  ~PacketPool() = default;
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  [[nodiscard]] PacketPtr acquire() {
+    Packet* p;
+    if (!free_.empty()) {
+      p = free_.back();
+      free_.pop_back();
+      ++reused_;
+    } else {
+      owned_.push_back(std::make_unique<Packet>());
+      p = owned_.back().get();
+      p->pool_ = this;
+      ++allocated_;
+    }
+    return PacketPtr::adopt(p);
+  }
+
+  /// Packets ever materialized (== heap allocations performed). Constant
+  /// while the pool is in steady state — the zero-allocation assertion.
+  [[nodiscard]] std::uint64_t allocated() const noexcept { return allocated_; }
+  /// acquire() calls served from the freelist.
+  [[nodiscard]] std::uint64_t reused() const noexcept { return reused_; }
+  [[nodiscard]] std::size_t free_count() const noexcept {
+    return free_.size();
+  }
+  /// Packets currently live outside the pool.
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return owned_.size() - free_.size();
+  }
+
+ private:
+  friend class PacketPtr;
+
+  void recycle(Packet* p) noexcept {
+    p->reset_for_reuse();
+    free_.push_back(p);
+  }
+
+  std::vector<std::unique_ptr<Packet>> owned_;
+  std::vector<Packet*> free_;
+  std::uint64_t allocated_ = 0;
+  std::uint64_t reused_ = 0;
+};
+
+inline void PacketPtr::release() noexcept {
+  if (p_ == nullptr || --p_->ref_count_ != 0) return;
+  if (p_->pool_ != nullptr) {
+    p_->pool_->recycle(p_);
+  } else {
+    delete p_;
+  }
+}
+
+/// Heap-owned packet outside any pool (unit tests, one-off probes).
+[[nodiscard]] inline PacketPtr make_standalone_packet() {
+  return PacketPtr::adopt(new Packet());
+}
 
 /// Factory that stamps a fresh id; source modules use this so packet ids
-/// are unique across the whole simulation.
+/// are unique across the whole simulation. Backed by a recycling pool:
+/// the hot path costs one freelist pop + field reset, not an allocation.
 class PacketFactory {
  public:
-  PacketPtr make() {
-    auto p = std::make_shared<Packet>();
+  [[nodiscard]] PacketPtr make() {
+    PacketPtr p = pool_.acquire();
     p->id = ++last_id_;
     return p;
   }
   [[nodiscard]] std::uint64_t issued() const noexcept { return last_id_; }
+  [[nodiscard]] const PacketPool& pool() const noexcept { return pool_; }
 
  private:
   std::uint64_t last_id_ = 0;
+  PacketPool pool_;
 };
 
 }  // namespace mvpn::net

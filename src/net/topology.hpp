@@ -71,9 +71,13 @@ class Topology {
 
  private:
   std::uint64_t seed_;
+  // Declaration order is a lifetime contract: the packet factory's pool
+  // must outlive everything that can still hold a PacketPtr at teardown —
+  // pending scheduler events, link queues, node buffers — so it is
+  // declared first (destroyed last).
+  PacketFactory factory_;
   sim::Scheduler scheduler_;
   sim::Rng rng_;
-  PacketFactory factory_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   PacketTap tap_;

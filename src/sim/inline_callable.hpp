@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mvpn::sim {
+
+/// Move-only type-erased `void()` callable with small-buffer storage.
+///
+/// The scheduler's hot path schedules millions of lambdas that capture a
+/// couple of pointers (a node, a PacketPtr, an endpoint). `std::function`
+/// would heap-allocate most of them (libstdc++'s inline buffer is one
+/// pointer wide) and forces copyability, which in turn forces refcount
+/// churn on captured smart pointers. This wrapper stores any callable of
+/// up to kInlineBytes inline in the event node and merely *moves* it when
+/// the event fires; larger callables (rare — tracing hooks, test
+/// scaffolding) fall back to a single heap allocation.
+class InlineCallable {
+ public:
+  /// Sized so an event node (callable + time/seq bookkeeping) stays within
+  /// one cache line, yet fits every data-plane capture set in the tree
+  /// (worst case today: `this` + reference + PacketPtr + endpoint = 32 B,
+  /// and a moved-in `std::function` at 32 B).
+  static constexpr std::size_t kInlineBytes = 48;
+
+  /// True when F is stored in the inline buffer (no heap allocation).
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(std::decay_t<F>) <= kInlineBytes &&
+      alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+  InlineCallable() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallable> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallable(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<F>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = inline_ops<Fn>();
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = heap_ops<Fn>();
+    }
+  }
+
+  InlineCallable(InlineCallable&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallable& operator=(InlineCallable&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallable(const InlineCallable&) = delete;
+  InlineCallable& operator=(const InlineCallable&) = delete;
+
+  ~InlineCallable() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-construct into `dst` from `src`, then destroy `src`'s value.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename Fn>
+  static Fn* as(void* p) noexcept {
+    return std::launder(reinterpret_cast<Fn*>(p));
+  }
+
+  template <typename Fn>
+  static const Ops* inline_ops() noexcept {
+    static constexpr Ops ops{
+        [](void* self) { (*as<Fn>(self))(); },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) Fn(std::move(*as<Fn>(src)));
+          as<Fn>(src)->~Fn();
+        },
+        [](void* self) noexcept { as<Fn>(self)->~Fn(); },
+    };
+    return &ops;
+  }
+
+  template <typename Fn>
+  static const Ops* heap_ops() noexcept {
+    // The stored Fn* is trivially destructible; only the pointee needs
+    // explicit lifetime management.
+    static constexpr Ops ops{
+        [](void* self) { (**as<Fn*>(self))(); },
+        [](void* dst, void* src) noexcept { ::new (dst) Fn*(*as<Fn*>(src)); },
+        [](void* self) noexcept { delete *as<Fn*>(self); },
+    };
+    return &ops;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace mvpn::sim

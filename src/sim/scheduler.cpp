@@ -1,17 +1,85 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace mvpn::sim {
+
+namespace {
+/// 4-ary layout: children of i are 4i+1 .. 4i+4. A wider fanout halves the
+/// tree depth vs a binary heap, and the four children share cache lines —
+/// the classic d-ary trade that favors push/pop-heavy event queues.
+constexpr std::size_t kArity = 4;
+}  // namespace
+
+void Scheduler::heap_push(HeapEntry e) {
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Scheduler::HeapEntry Scheduler::heap_pop_min() {
+  const HeapEntry min = heap_.front();
+  HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Sift `last` down from the root, moving holes instead of swapping.
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first_child = i * kArity + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t last_child = std::min(first_child + kArity, n);
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!earlier(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return min;
+}
+
+std::uint32_t Scheduler::acquire_node() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = nodes_[slot].next_free;
+    nodes_[slot].next_free = kNoSlot;
+    return slot;
+  }
+  nodes_.emplace_back();
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void Scheduler::release_node(std::uint32_t slot) {
+  Node& n = nodes_[slot];
+  n.fn.reset();
+  n.seq = 0;
+  n.cancelled = false;
+  n.next_free = free_head_;
+  free_head_ = slot;
+}
 
 EventId Scheduler::schedule_at(SimTime t, Handler fn) {
   if (t < now_) {
     throw std::invalid_argument("Scheduler::schedule_at: time is in the past");
   }
   const std::uint64_t seq = next_seq_++;
-  queue_.push(Event{t, seq, std::move(fn)});
-  return EventId{seq};
+  const std::uint32_t slot = acquire_node();
+  Node& n = nodes_[slot];
+  n.fn = std::move(fn);
+  n.seq = seq;
+  heap_push(HeapEntry{t, seq, slot});
+  return EventId{seq, slot};
 }
 
 EventId Scheduler::schedule_in(SimTime delay, Handler fn) {
@@ -22,23 +90,39 @@ EventId Scheduler::schedule_in(SimTime delay, Handler fn) {
 }
 
 void Scheduler::cancel(EventId id) {
-  if (id.valid()) cancelled_.insert(id.seq);
+  if (!id.valid() || id.slot >= nodes_.size()) return;
+  Node& n = nodes_[id.slot];
+  // The node's live sequence number authenticates the handle: after the
+  // event fires (or the slot is recycled for a newer event) the numbers no
+  // longer match and the cancel is a no-op — a stale handle can neither
+  // kill an unrelated event nor skew pending().
+  if (n.seq != id.seq || n.cancelled) return;
+  n.cancelled = true;
+  ++cancelled_live_;
+}
+
+bool Scheduler::drop_cancelled_head() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (!nodes_[top.slot].cancelled) return true;
+    const HeapEntry e = heap_pop_min();
+    --cancelled_live_;
+    release_node(e.slot);
+  }
+  return false;
 }
 
 bool Scheduler::pop_and_execute() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (auto it = cancelled_.find(ev.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    now_ = ev.time;
-    ++executed_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  if (!drop_cancelled_head()) return false;
+  const HeapEntry e = heap_pop_min();
+  // Move the handler out before running it: the handler may schedule new
+  // events, which can grow nodes_ and invalidate references into it.
+  Handler fn = std::move(nodes_[e.slot].fn);
+  release_node(e.slot);
+  now_ = e.time;
+  ++executed_;
+  fn();
+  return true;
 }
 
 void Scheduler::run() {
@@ -49,21 +133,12 @@ void Scheduler::run() {
 
 void Scheduler::run_until(SimTime t_end) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    // Skip cancelled heads so we do not advance time for dead events.
-    if (cancelled_.count(queue_.top().seq) != 0) {
-      cancelled_.erase(queue_.top().seq);
-      queue_.pop();
-      continue;
-    }
-    if (queue_.top().time > t_end) break;
+  // Skip cancelled heads first so we do not advance time for dead events.
+  while (!stopped_ && drop_cancelled_head()) {
+    if (heap_.front().time > t_end) break;
     pop_and_execute();
   }
   if (!stopped_ && now_ < t_end) now_ = t_end;
-}
-
-std::size_t Scheduler::pending() const noexcept {
-  return queue_.size() - cancelled_.size();
 }
 
 }  // namespace mvpn::sim

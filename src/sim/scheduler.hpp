@@ -1,18 +1,21 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_callable.hpp"
 #include "sim/time.hpp"
 
 namespace mvpn::sim {
 
 /// Opaque handle for a scheduled event; usable with Scheduler::cancel.
+/// `seq` is the event's globally unique sequence number; `slot` names the
+/// pooled node it occupies. A handle stays safely cancellable after the
+/// event fires: the node's sequence number no longer matches, so the
+/// cancel is an exact no-op even if the slot was recycled.
 struct EventId {
   std::uint64_t seq = 0;
+  std::uint32_t slot = 0;
   [[nodiscard]] bool valid() const noexcept { return seq != 0; }
 };
 
@@ -22,15 +25,21 @@ struct EventId {
 /// execute in the order they were scheduled — runs are bit-reproducible for
 /// a given seed. Handlers may schedule further events and may cancel
 /// not-yet-fired events.
+///
+/// Steady-state operation is allocation-free: handlers live in pooled,
+/// recycled event nodes (with small-buffer storage — see InlineCallable),
+/// and the priority queue is an in-house 4-ary heap of 24-byte entries
+/// that moves values out on pop instead of copying the whole event the way
+/// `std::priority_queue::top()` forces.
 class Scheduler {
  public:
-  using Handler = std::function<void()>;
+  using Handler = InlineCallable;
 
   /// Schedule `fn` at absolute time `t` (must be >= now()).
   EventId schedule_at(SimTime t, Handler fn);
   /// Schedule `fn` at now() + delay (delay >= 0).
   EventId schedule_in(SimTime delay, Handler fn);
-  /// Cancel a pending event; no-op if already fired or cancelled.
+  /// Cancel a pending event; exact no-op if already fired or cancelled.
   void cancel(EventId id);
 
   /// Run until the queue drains or stop() is called.
@@ -41,28 +50,60 @@ class Scheduler {
   void stop() noexcept { stopped_ = true; }
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
-  [[nodiscard]] std::size_t pending() const noexcept;
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return heap_.size() - cancelled_live_;
+  }
   [[nodiscard]] std::uint64_t executed_count() const noexcept {
     return executed_;
   }
 
+  /// Pool introspection (zero-allocation assertions and sizing stats).
+  [[nodiscard]] std::size_t node_pool_size() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t heap_capacity() const noexcept {
+    return heap_.capacity();
+  }
+
  private:
-  struct Event {
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  /// Pooled event body. The heap orders slim HeapEntry records; the
+  /// callable itself stays put in its node until the event fires, so heap
+  /// sifts move 24-byte PODs instead of type-erased closures.
+  struct Node {
+    Handler fn;
+    std::uint64_t seq = 0;  ///< matches the handed-out EventId; 0 when free
+    std::uint32_t next_free = kNoSlot;
+    bool cancelled = false;
+  };
+
+  struct HeapEntry {
     SimTime time;
     std::uint64_t seq;
-    Handler fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot;
   };
 
+  [[nodiscard]] static bool earlier(const HeapEntry& a,
+                                    const HeapEntry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void heap_push(HeapEntry e);
+  HeapEntry heap_pop_min();
+
+  std::uint32_t acquire_node();
+  void release_node(std::uint32_t slot);
+
+  /// Pop cancelled entries off the heap head; returns false when empty.
+  bool drop_cancelled_head();
   bool pop_and_execute();
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<HeapEntry> heap_;  ///< implicit 4-ary min-heap
+  std::vector<Node> nodes_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t cancelled_live_ = 0;  ///< cancelled entries still in heap_
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;

@@ -58,7 +58,7 @@ TraceResult trace_route(net::Topology& topo, Router& ingress,
     TraceHop hop;
     hop.node = at;
     hop.node_name = topo.node(at).name();
-    hop.labels = p.labels;
+    hop.labels.assign(p.labels.begin(), p.labels.end());
     hop.encrypted = p.esp.has_value();
     hop.visible_dscp = p.visible_dscp();
     hop.wire_bytes = p.wire_size();

@@ -90,7 +90,7 @@ void Router::add_local_prefix(const ip::Prefix& prefix, VpnId vpn) {
   fib_.install(entry);
 }
 
-void Router::after_crypto(std::size_t bytes, std::function<void()> then) {
+void Router::after_crypto(std::size_t bytes, sim::Scheduler::Handler then) {
   if (!crypto_cost_) {
     then();
     return;
@@ -147,11 +147,10 @@ void Router::inject(net::PacketPtr p) {
     const sim::SimTime delay = shaper->second->reserve(
         topology().scheduler().now(), p->wire_size());
     if (delay > 0) {
-      auto self = this;
-      auto pkt = std::move(p);
-      topology().scheduler().schedule_in(delay, [self, pkt]() mutable {
-        self->forward_ip(std::move(pkt), nullptr);
-      });
+      topology().scheduler().schedule_in(
+          delay, [self = this, pkt = std::move(p)]() mutable {
+            self->forward_ip(std::move(pkt), nullptr);
+          });
       return;
     }
   }
@@ -207,9 +206,7 @@ void Router::receive(net::PacketPtr p, ip::IfIndex in_if) {
       return;
     }
     const std::size_t bytes = p->wire_size();
-    auto self = this;
-    auto pkt = std::move(p);
-    after_crypto(bytes, [self, pkt]() mutable {
+    after_crypto(bytes, [self = this, pkt = std::move(p)]() mutable {
       self->forward_ip(std::move(pkt), nullptr);
     });
     return;
@@ -226,9 +223,7 @@ void Router::forward_ip(net::PacketPtr p, Vrf* vrf) {
     const bool local_dst = direct != nullptr && direct->next_hop.local;
     if (!local_dst && maybe_esp_encap(*p)) {
       const std::size_t bytes = p->wire_size();
-      auto self = this;
-      auto pkt = std::move(p);
-      after_crypto(bytes, [self, pkt]() mutable {
+      after_crypto(bytes, [self = this, pkt = std::move(p)]() mutable {
         self->forward_ip(std::move(pkt), nullptr);
       });
       return;

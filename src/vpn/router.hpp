@@ -175,7 +175,7 @@ class Router : public net::Node {
   void deliver_local(net::PacketPtr p, VpnId vpn);
   bool maybe_esp_encap(net::Packet& p);
   /// Charge crypto time then run `then`.
-  void after_crypto(std::size_t bytes, std::function<void()> then);
+  void after_crypto(std::size_t bytes, sim::Scheduler::Handler then);
 
   Role role_;
   ip::RouteTable fib_;

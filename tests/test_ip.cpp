@@ -187,6 +187,38 @@ TEST(RouteTable, ReplaceAndRemove) {
   EXPECT_EQ(table.lookup(Ipv4Address::must_parse("10.1.1.1")), nullptr);
 }
 
+// The lookup cache must never serve a stale result: installing a more
+// specific route after a lookup has been cached must change the answer.
+TEST(RouteTable, LookupCacheInvalidatedByMutation) {
+  RouteTable table;
+  RouteEntry cover;
+  cover.prefix = Prefix::must_parse("10.0.0.0/8");
+  cover.next_hop.node = 1;
+  cover.next_hop.iface = 0;
+  table.install(cover);
+
+  const Ipv4Address addr = Ipv4Address::must_parse("10.1.2.3");
+  EXPECT_EQ(table.lookup(addr)->next_hop.node, 1u);  // now cached
+  EXPECT_EQ(table.lookup(addr)->next_hop.node, 1u);  // cache hit
+
+  RouteEntry specific;
+  specific.prefix = Prefix::must_parse("10.1.0.0/16");
+  specific.next_hop.node = 2;
+  specific.next_hop.iface = 0;
+  const std::uint64_t gen_before = table.generation();
+  table.install(specific);
+  EXPECT_GT(table.generation(), gen_before);
+  EXPECT_EQ(table.lookup(addr)->next_hop.node, 2u);  // longer match wins
+
+  table.remove(specific.prefix);
+  EXPECT_EQ(table.lookup(addr)->next_hop.node, 1u);  // back to the cover
+
+  table.clear();
+  EXPECT_EQ(table.lookup(addr), nullptr);  // negative result, re-resolved
+  table.install(cover);
+  EXPECT_EQ(table.lookup(addr)->next_hop.node, 1u);
+}
+
 TEST(RouteTable, EntriesSnapshot) {
   RouteTable table;
   for (int i = 0; i < 5; ++i) {

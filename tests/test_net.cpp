@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "net/queue_disc.hpp"
@@ -283,6 +285,164 @@ TEST(Packet, CombinedEncapsulationsStack) {
   p.push_label(MplsShim{100, 5, 64});  // +4
   p.push_label(MplsShim{200, 5, 64});  // +4
   EXPECT_EQ(p.wire_size(), 128u + 56u + 8u);
+}
+
+TEST(PacketPool, ReuseReturnsFullyResetPackets) {
+  Topology topo;
+  Packet* recycled = nullptr;
+  std::uint64_t first_id = 0;
+  {
+    PacketPtr p = topo.packet_factory().make();
+    recycled = p.get();
+    first_id = p->id;
+    p->flow_id = 9;
+    p->true_vpn_id = 3;
+    p->created_at = 12345;
+    p->hop_count = 4;
+    p->payload_bytes = 999;
+    p->ip.dscp = 46;
+    p->l4.dst_port = 8080;
+    p->push_label(MplsShim{100, 5, 64});
+    p->push_label(MplsShim{200, 5, 64});
+    p->esp = EspEncap{};
+    p->pvc = PvcEncap{3};
+    p->seg = SegMeta{42, true};
+  }  // refcount hits zero: back to the pool
+
+  PacketPtr q = topo.packet_factory().make();
+  ASSERT_EQ(q.get(), recycled);  // same storage, recycled
+  EXPECT_NE(q->id, first_id);    // but a fresh identity
+  EXPECT_EQ(q->flow_id, 0u);
+  EXPECT_EQ(q->true_vpn_id, 0u);
+  EXPECT_EQ(q->created_at, 0);
+  EXPECT_EQ(q->hop_count, 0u);
+  EXPECT_EQ(q->payload_bytes, 0u);
+  EXPECT_EQ(q->ip.dscp, 0);
+  EXPECT_EQ(q->l4.dst_port, 0);
+  EXPECT_TRUE(q->labels.empty());
+  EXPECT_FALSE(q->esp.has_value());
+  EXPECT_FALSE(q->pvc.has_value());
+  EXPECT_FALSE(q->seg.has_value());
+}
+
+TEST(PacketPool, SteadyStateMakesNoNewAllocations) {
+  PacketPool pool;
+  for (int i = 0; i < 1000; ++i) {
+    PacketPtr p = pool.acquire();
+    p->payload_bytes = 100;
+  }
+  EXPECT_EQ(pool.allocated(), 1u);  // one packet, recycled 999 times
+  EXPECT_EQ(pool.reused(), 999u);
+  EXPECT_EQ(pool.free_count(), 1u);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(PacketPool, OutstandingTracksLiveness) {
+  PacketPool pool;
+  PacketPtr a = pool.acquire();
+  PacketPtr b = pool.acquire();
+  EXPECT_EQ(pool.outstanding(), 2u);
+  a.reset();
+  EXPECT_EQ(pool.outstanding(), 1u);
+  PacketPtr c = b;  // sharing does not change liveness
+  EXPECT_EQ(pool.outstanding(), 1u);
+  b.reset();
+  c.reset();
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(PacketPtr, RefcountSemantics) {
+  PacketPtr p = make_standalone_packet();
+  EXPECT_EQ(p.use_count(), 1u);
+  PacketPtr q = p;
+  EXPECT_EQ(p.use_count(), 2u);
+  EXPECT_EQ(p, q);
+  PacketPtr moved = std::move(q);
+  EXPECT_EQ(q, nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(p.use_count(), 2u);
+  moved.reset();
+  EXPECT_EQ(p.use_count(), 1u);
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(InlineVec, StaysInlineUpToCapacityThenSpills) {
+  InlineVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.inline_storage());
+  EXPECT_EQ(v.size(), 4u);
+  v.push_back(4);  // fifth element spills to the heap
+  EXPECT_FALSE(v.inline_storage());
+  ASSERT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(InlineVec, ClearRetainsSpilledCapacity) {
+  InlineVec<int, 4> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  EXPECT_FALSE(v.inline_storage());
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);  // pooled reuse keeps the buffer
+  v.push_back(7);
+  EXPECT_EQ(v.back(), 7);
+}
+
+TEST(InlineVec, CopyAndMoveAndEquality) {
+  InlineVec<int, 4> a;
+  for (int i = 0; i < 6; ++i) a.push_back(i);
+  InlineVec<int, 4> b = a;
+  EXPECT_EQ(a, b);
+  b.push_back(99);
+  EXPECT_NE(a, b);
+  InlineVec<int, 4> c = std::move(b);
+  ASSERT_EQ(c.size(), 7u);
+  EXPECT_EQ(c.back(), 99);
+  b = c;  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b, c);
+}
+
+TEST(Packet, LabelStackInlineCapacityCoversDeployedStacks) {
+  // Deepest stack in the deployment model: [TE tunnel, LDP tunnel, VPN]
+  // plus one spare — all inline, no allocation on push.
+  Packet p;
+  p.push_label(MplsShim{100, 0, 64});
+  p.push_label(MplsShim{200, 0, 64});
+  p.push_label(MplsShim{300, 0, 64});
+  p.push_label(MplsShim{400, 0, 64});
+  EXPECT_TRUE(p.labels.inline_storage());
+}
+
+// Store-and-forward failure rule with single-event delivery: a packet whose
+// serialization completes while the link is down is lost, even though the
+// link later comes back up before the delivery event fires.
+TEST(Link, MidSerializationFailureDropsPacket) {
+  Topology topo;
+  auto& a = topo.add_node<SinkNode>("a");
+  auto& b = topo.add_node<SinkNode>("b");
+  // 1000-byte packet at 1 Mb/s = 8 ms serialization; 1 ms propagation.
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1e6;
+  cfg.prop_delay = sim::kMillisecond;
+  Link& link = topo.link(topo.connect(a.id(), b.id(), cfg));
+
+  PacketPtr p = topo.packet_factory().make();
+  p->payload_bytes = 1000 - kIpv4HeaderBytes - kL4HeaderBytes;
+  topo.scheduler().schedule_at(0, [&] { link.transmit(a.id(), std::move(p)); });
+  // Down during serialization, up again before the delivery event fires.
+  topo.scheduler().schedule_at(4 * sim::kMillisecond,
+                               [&] { link.set_up(false); });
+  topo.scheduler().schedule_at(8 * sim::kMillisecond + 1,
+                               [&] { link.set_up(true); });
+  topo.run_until(20 * sim::kMillisecond);
+  EXPECT_TRUE(b.received.empty());
+
+  // The next packet goes through normally.
+  PacketPtr q = topo.packet_factory().make();
+  q->payload_bytes = 100;
+  link.transmit(a.id(), std::move(q));
+  topo.run_until(40 * sim::kMillisecond);
+  EXPECT_EQ(b.received.size(), 1u);
 }
 
 TEST(Packet, DescribeMentionsLayers) {

@@ -108,7 +108,7 @@ TEST_P(WfqShares, ServiceMatchesWeights) {
   qos::WfqQueueDisc q({w0, w1}, 4000,
                       qos::class_band_selector({1, 0, 0, 0, 0, 0, 0, 0}));
   auto mk = [&](std::uint8_t dscp) {
-    auto p = std::make_shared<net::Packet>();
+    auto p = net::make_standalone_packet();
     p->ip.dscp = dscp;
     p->payload_bytes = 472;
     return p;
@@ -344,6 +344,7 @@ struct RunOutcome {
   std::uint64_t delivered = 0;
   std::uint64_t messages = 0;
   sim::SimTime end_time = 0;
+  std::uint64_t executed_events = 0;
   bool operator==(const RunOutcome&) const = default;
 };
 
@@ -362,7 +363,8 @@ RunOutcome run_once(std::uint64_t seed) {
   src.run(0, sim::kSecond);
   s.backbone->topo.run_until(2 * sim::kSecond);
   return RunOutcome{sink.delivered(), s.backbone->cp.total_messages(),
-                    s.backbone->topo.scheduler().now()};
+                    s.backbone->topo.scheduler().now(),
+                    s.backbone->topo.scheduler().executed_count()};
 }
 
 TEST(Determinism, SameSeedSameOutcome) {
@@ -378,6 +380,41 @@ TEST(Determinism, DifferentSeedDifferentArrivals) {
   // Poisson arrival count should differ with overwhelming probability.
   EXPECT_EQ(a.messages, c.messages);
   EXPECT_NE(a.delivered, c.delivered);
+}
+
+// --- Zero-allocation steady state ---------------------------------------------
+
+// Once the pools are warm, forwarding traffic must not grow the packet pool
+// or the scheduler's event-node pool: every per-packet allocation has been
+// replaced by recycling.
+TEST(HotPath, SteadyStateZeroAllocation) {
+  backbone::Figure2Scenario s = backbone::make_figure2_scenario(11);
+  s.backbone->start_and_converge();
+  qos::SlaProbe probe;
+  traffic::MeasurementSink sink(probe, s.backbone->topo.scheduler());
+  sink.bind(*s.v1_site2.ce);
+  traffic::FlowSpec f;
+  f.src = ip::Ipv4Address::must_parse("10.1.0.1");
+  f.dst = ip::Ipv4Address::must_parse("10.2.0.1");
+  f.vpn = s.vpn1;
+  traffic::CbrSource src(*s.v1_site1.ce, f, 1, &probe, 500e3);
+  sink.expect_flow(1, qos::Phb::kBe, s.vpn1);
+  src.run(0, 3 * sim::kSecond);
+
+  // Warm-up: first packets grow the pools to working-set size.
+  s.backbone->topo.run_until(sim::kSecond / 2);
+  const net::PacketPool& pool = s.backbone->topo.packet_factory().pool();
+  const std::uint64_t allocated_warm = pool.allocated();
+  const std::uint64_t reused_warm = pool.reused();
+  const std::size_t nodes_warm =
+      s.backbone->topo.scheduler().node_pool_size();
+  const std::uint64_t delivered_warm = sink.delivered();
+
+  s.backbone->topo.run_until(3 * sim::kSecond);
+  EXPECT_GT(sink.delivered(), delivered_warm);  // traffic kept flowing
+  EXPECT_GT(pool.reused(), reused_warm);        // served from the freelist
+  EXPECT_EQ(pool.allocated(), allocated_warm);  // ...with zero new packets
+  EXPECT_EQ(s.backbone->topo.scheduler().node_pool_size(), nodes_warm);
 }
 
 // --- Replay window property ----------------------------------------------------

@@ -13,7 +13,7 @@ namespace mvpn::qos {
 namespace {
 
 net::PacketPtr make_packet(std::uint8_t dscp = 0, std::size_t payload = 472) {
-  auto p = std::make_shared<net::Packet>();
+  auto p = net::make_standalone_packet();
   p->ip.src = ip::Ipv4Address::must_parse("10.1.0.1");
   p->ip.dst = ip::Ipv4Address::must_parse("10.2.0.1");
   p->ip.dscp = dscp;

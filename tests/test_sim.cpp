@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -107,6 +108,146 @@ TEST(Scheduler, PendingExcludesCancelled) {
   sched.schedule_at(2, [] {});
   sched.cancel(a);
   EXPECT_EQ(sched.pending(), 1u);
+}
+
+// Regression: cancelling an EventId whose event already fired used to leave
+// a stale entry in the cancelled set, making pending() wrap below zero.
+TEST(Scheduler, CancelAfterFireIsExactNoop) {
+  Scheduler sched;
+  int fired = 0;
+  const EventId id = sched.schedule_at(1, [&] { ++fired; });
+  sched.run();
+  EXPECT_EQ(sched.pending(), 0u);
+  sched.cancel(id);  // stale handle: the event is long gone
+  EXPECT_EQ(sched.pending(), 0u);
+  sched.schedule_at(2, [&] { ++fired; });
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(Scheduler, DoubleCancelCountsOnce) {
+  Scheduler sched;
+  const EventId a = sched.schedule_at(1, [] {});
+  sched.schedule_at(2, [] {});
+  sched.cancel(a);
+  sched.cancel(a);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run();
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+// A stale handle must not be able to kill a newer event that happens to
+// recycle the same node slot.
+TEST(Scheduler, StaleCancelCannotKillRecycledSlot) {
+  Scheduler sched;
+  int fired = 0;
+  const EventId a = sched.schedule_at(1, [&] { ++fired; });
+  sched.run();
+  const EventId b = sched.schedule_at(2, [&] { ++fired; });
+  EXPECT_EQ(b.slot, a.slot);  // the pool reuses the freed slot
+  EXPECT_NE(b.seq, a.seq);
+  sched.cancel(a);  // stale — must not touch b
+  sched.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(Scheduler, RunUntilSkipsCancelledHeadWithoutAdvancingTime) {
+  Scheduler sched;
+  int fired = 0;
+  const EventId dead = sched.schedule_at(5, [&] { ++fired; });
+  sched.schedule_at(30, [&] { ++fired; });
+  sched.cancel(dead);
+  sched.run_until(20);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sched.now(), 20);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run_until(40);
+  EXPECT_EQ(fired, 1);
+}
+
+// The node pool must not grow under the timer churn pattern (schedule,
+// cancel, re-arm) — cancelled entries are reclaimed lazily but fully.
+TEST(Scheduler, CancelRearmChurnKeepsPoolBounded) {
+  Scheduler sched;
+  int expired = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const EventId timer = sched.schedule_in(1000, [&] { ++expired; });
+    sched.cancel(timer);
+    sched.schedule_in(1, [] {});
+    sched.run_until(sched.now() + 2);
+  }
+  EXPECT_EQ(expired, 0);
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_LE(sched.node_pool_size(), 4u);
+}
+
+TEST(Scheduler, ManySimultaneousEventsKeepInsertionOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 1000; ++i) {
+    sched.schedule_at(7, [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  ASSERT_EQ(order.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, RandomTimesFireInNondecreasingOrder) {
+  Scheduler sched;
+  Rng rng(42);
+  std::vector<SimTime> fire_times;
+  for (int i = 0; i < 5000; ++i) {
+    const auto t = static_cast<SimTime>(rng.uniform_int(0, 1'000'000));
+    sched.schedule_at(t, [&sched, &fire_times] {
+      fire_times.push_back(sched.now());
+    });
+  }
+  sched.run();
+  ASSERT_EQ(fire_times.size(), 5000u);
+  for (std::size_t i = 1; i < fire_times.size(); ++i) {
+    EXPECT_LE(fire_times[i - 1], fire_times[i]);
+  }
+  EXPECT_EQ(sched.executed_count(), 5000u);
+}
+
+TEST(InlineCallable, SmallCaptureStaysInline) {
+  struct Small {
+    int* counter;
+    void operator()() { ++*counter; }
+  };
+  static_assert(sim::InlineCallable::fits_inline<Small>);
+  int n = 0;
+  InlineCallable fn = Small{&n};
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  EXPECT_EQ(n, 1);
+}
+
+TEST(InlineCallable, MoveOnlyCaptureWorks) {
+  auto owned = std::make_unique<int>(41);
+  InlineCallable fn = [p = std::move(owned)] { ++*p; };
+  InlineCallable moved = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+  moved();
+}
+
+TEST(InlineCallable, LargeCaptureFallsBackToHeap) {
+  struct Big {
+    char padding[128] = {};
+    int* counter = nullptr;
+    void operator()() { ++*counter; }
+  };
+  static_assert(!sim::InlineCallable::fits_inline<Big>);
+  int n = 0;
+  Big big;
+  big.counter = &n;
+  InlineCallable fn = big;
+  InlineCallable moved = std::move(fn);
+  moved();
+  EXPECT_EQ(n, 1);
 }
 
 TEST(Rng, Deterministic) {

@@ -13,12 +13,16 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "backbone/fixtures.hpp"
+#include "obs/trace.hpp"
 #include "qos/sla.hpp"
 #include "stats/table.hpp"
 #include "traffic/sink.hpp"
@@ -105,12 +109,18 @@ struct ThroughputResult {
   }
 };
 
-ThroughputResult run_throughput(std::size_t flows, double sim_seconds) {
+ThroughputResult run_throughput(std::size_t flows, double sim_seconds,
+                                bool tracing) {
   backbone::BackboneConfig cfg;
   cfg.p_count = 6;
   cfg.pe_count = 8;
   cfg.seed = 7;
   backbone::MplsBackbone bb(cfg);
+  // Tracing-on phase: flight recorder armed for every category, so each
+  // enqueue/dequeue/label-op/delivery pays the full record() cost. The
+  // tracing-off phase leaves the recorder disabled — the hot path sees
+  // only the predictable mask check.
+  if (tracing) bb.topo.recorder().enable(obs::kAllCategories);
 
   const vpn::VpnId v = bb.service.create_vpn("T");
   std::vector<backbone::MplsBackbone::Site> sites;
@@ -162,34 +172,58 @@ ThroughputResult run_throughput(std::size_t flows, double sim_seconds) {
 /// Best-of-`reps` wall time (the deterministic counters are identical
 /// across repetitions, so keep the least-noisy timing).
 ThroughputResult best_throughput(std::size_t flows, double sim_seconds,
-                                 int reps) {
+                                 int reps, bool tracing) {
   ThroughputResult best;
   for (int i = 0; i < reps; ++i) {
-    ThroughputResult r = run_throughput(flows, sim_seconds);
+    ThroughputResult r = run_throughput(flows, sim_seconds, tracing);
     if (best.wall_s == 0 || r.wall_s < best.wall_s) best = r;
   }
   return best;
 }
 
-void print_throughput(const ThroughputResult& r) {
+void print_throughput(const ThroughputResult& r, const char* variant) {
   std::printf(
-      "Hot-path throughput: %zu CBR flows, %.1f sim-s on a 6P/8PE core\n"
+      "Hot-path throughput (%s): %zu CBR flows, %.1f sim-s on a 6P/8PE "
+      "core\n"
       "  delivered packets : %llu\n"
       "  scheduler events  : %llu\n"
       "  wall time         : %.3f s\n"
       "  packets/sec       : %.0f\n"
       "  events/sec        : %.0f\n",
-      r.flows, r.sim_seconds, static_cast<unsigned long long>(r.delivered),
+      variant, r.flows, r.sim_seconds,
+      static_cast<unsigned long long>(r.delivered),
       static_cast<unsigned long long>(r.events), r.wall_s,
       r.packets_per_sec(), r.events_per_sec());
 }
 
-void write_throughput_json(const char* path, const ThroughputResult& r) {
+/// Pull `"packets_per_sec": <num>` out of a previous report (the first
+/// occurrence is the headline tracing-off figure). No JSON library needed
+/// for a flat numeric field.
+double baseline_packets_per_sec(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path);
+    return 0.0;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const auto key = text.find("\"packets_per_sec\"");
+  if (key == std::string::npos) return 0.0;
+  const auto colon = text.find(':', key);
+  if (colon == std::string::npos) return 0.0;
+  return std::atof(text.c_str() + colon + 1);
+}
+
+void write_throughput_json(const char* path, const ThroughputResult& off,
+                           const ThroughputResult& on, double baseline_pps) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
     return;
   }
+  // Headline fields stay the tracing-off run so reports remain comparable
+  // with earlier benchmarks; the tracing phases ride alongside.
   std::fprintf(f,
                "{\n"
                "  \"benchmark\": \"bench_scalability_throughput\",\n"
@@ -199,13 +233,64 @@ void write_throughput_json(const char* path, const ThroughputResult& r) {
                "  \"scheduler_events\": %llu,\n"
                "  \"wall_seconds\": %.6f,\n"
                "  \"packets_per_sec\": %.1f,\n"
-               "  \"events_per_sec\": %.1f\n"
-               "}\n",
-               r.flows, r.sim_seconds,
-               static_cast<unsigned long long>(r.delivered),
-               static_cast<unsigned long long>(r.events), r.wall_s,
-               r.packets_per_sec(), r.events_per_sec());
+               "  \"events_per_sec\": %.1f,\n"
+               "  \"tracing_off_packets_per_sec\": %.1f,\n"
+               "  \"tracing_on_packets_per_sec\": %.1f,\n"
+               "  \"tracing_overhead_ratio\": %.4f",
+               off.flows, off.sim_seconds,
+               static_cast<unsigned long long>(off.delivered),
+               static_cast<unsigned long long>(off.events), off.wall_s,
+               off.packets_per_sec(), off.events_per_sec(),
+               off.packets_per_sec(), on.packets_per_sec(),
+               off.packets_per_sec() > 0
+                   ? on.packets_per_sec() / off.packets_per_sec()
+                   : 0.0);
+  if (baseline_pps > 0) {
+    std::fprintf(f,
+                 ",\n  \"baseline_packets_per_sec\": %.1f,\n"
+                 "  \"vs_baseline_ratio\": %.4f",
+                 baseline_pps, off.packets_per_sec() / baseline_pps);
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
+}
+
+/// Run the off/on phases, print them, optionally enforce the baseline
+/// guard. Returns the process exit code.
+int run_throughput_phases(const char* json_path, const char* baseline_path) {
+  const ThroughputResult off = best_throughput(64, 5.0, 3, false);
+  print_throughput(off, "tracing off");
+  std::printf("\n");
+  const ThroughputResult on = best_throughput(64, 5.0, 3, true);
+  print_throughput(on, "tracing on");
+  if (off.packets_per_sec() > 0) {
+    std::printf("  tracing overhead  : %.1f%%\n",
+                (1.0 - on.packets_per_sec() / off.packets_per_sec()) * 100);
+  }
+
+  double baseline_pps = 0.0;
+  if (baseline_path != nullptr) {
+    baseline_pps = baseline_packets_per_sec(baseline_path);
+    if (baseline_pps > 0) {
+      const double ratio = off.packets_per_sec() / baseline_pps;
+      std::printf("  vs baseline       : %.0f pkts/s (ratio %.3f)\n",
+                  baseline_pps, ratio);
+      if (ratio < 0.90) {
+        std::fprintf(stderr,
+                     "OVERHEAD GUARD FAILED: tracing-off throughput %.0f is "
+                     "below 90%% of baseline %.0f\n",
+                     off.packets_per_sec(), baseline_pps);
+        if (json_path != nullptr) {
+          write_throughput_json(json_path, off, on, baseline_pps);
+        }
+        return 1;
+      }
+    }
+  }
+  if (json_path != nullptr) {
+    write_throughput_json(json_path, off, on, baseline_pps);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -213,23 +298,25 @@ void write_throughput_json(const char* path, const ThroughputResult& r) {
 int main(int argc, char** argv) {
   bool throughput_only = false;
   const char* json_path = nullptr;
+  const char* baseline_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--throughput-only") == 0) {
       throughput_only = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--throughput-only] [--json FILE]\n", argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--throughput-only] [--json FILE] [--baseline FILE]\n",
+          argv[0]);
       return 2;
     }
   }
 
   if (throughput_only) {
-    const ThroughputResult r = best_throughput(64, 5.0, 3);
-    print_throughput(r);
-    if (json_path != nullptr) write_throughput_json(json_path, r);
-    return 0;
+    return run_throughput_phases(json_path, baseline_path);
   }
 
   std::printf(
@@ -264,8 +351,5 @@ int main(int argc, char** argv) {
       "remaining quadratic (session) term — who wins and why matches the\n"
       "paper's argument.\n\n");
 
-  const ThroughputResult r = best_throughput(64, 5.0, 3);
-  print_throughput(r);
-  if (json_path != nullptr) write_throughput_json(json_path, r);
-  return 0;
+  return run_throughput_phases(json_path, baseline_path);
 }

@@ -1,33 +1,44 @@
 #!/usr/bin/env bash
 # Runs the hot-path performance suites and collects one JSON report at the
-# repo root (BENCH_PR1.json). Usage:
+# repo root (BENCH_PR2.json). Usage:
 #
 #   bench/run_benchmarks.sh [--build DIR] [--seed-bin PATH] [--out FILE]
+#                           [--baseline FILE]
 #
 #   --build DIR      build tree holding the bench binaries (default: build)
 #   --seed-bin PATH  a bench_scalability binary compiled from the baseline
 #                    tree; when given, the report includes the baseline
 #                    throughput and the speedup ratio
-#   --out FILE       output report (default: <repo>/BENCH_PR1.json)
+#   --out FILE       output report (default: <repo>/BENCH_PR2.json)
+#   --baseline FILE  earlier report (default: <repo>/BENCH_PR1.json when it
+#                    exists); enforces the tracing-off overhead guard
 #
 # The google-benchmark suites are captured with --benchmark_out (their
 # stdout also carries human-readable tables); the end-to-end throughput
-# phase of bench_scalability writes its own small JSON.
+# phase of bench_scalability writes its own small JSON with tracing-off
+# and tracing-on figures. A scenario run with metrics enabled contributes
+# the per-DSCP-class latency/drop breakdown.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build"
 SEED_BIN=""
-OUT="$ROOT/BENCH_PR1.json"
+OUT="$ROOT/BENCH_PR2.json"
+BASELINE=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --build) BUILD="$2"; shift 2 ;;
     --seed-bin) SEED_BIN="$2"; shift 2 ;;
     --out) OUT="$2"; shift 2 ;;
+    --baseline) BASELINE="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+if [[ -z "$BASELINE" && -f "$ROOT/BENCH_PR1.json" ]]; then
+  BASELINE="$ROOT/BENCH_PR1.json"
+fi
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -43,8 +54,13 @@ echo "== forwarding-path lookup microbenchmarks (E2) =="
   > /dev/null
 
 echo
-echo "== end-to-end throughput (bench_scalability) =="
-"$BUILD/bench/bench_scalability" --throughput-only --json "$TMP/throughput.json"
+echo "== end-to-end throughput, tracing off vs on (bench_scalability) =="
+BASELINE_ARGS=()
+if [[ -n "$BASELINE" ]]; then
+  BASELINE_ARGS=(--baseline "$BASELINE")
+fi
+"$BUILD/bench/bench_scalability" --throughput-only \
+  --json "$TMP/throughput.json" "${BASELINE_ARGS[@]}"
 
 if [[ -n "$SEED_BIN" ]]; then
   echo
@@ -54,11 +70,25 @@ else
   echo '{}' > "$TMP/throughput_seed.json"
 fi
 
+echo
+echo "== scenario observability pass (per-class SLA breakdown) =="
+"$BUILD/examples/run_scenario" --metrics "$TMP/scenario_metrics.json" \
+  --trace "$TMP/scenario_trace.json" \
+  "$ROOT/examples/scenarios/branch_office.scn" > /dev/null
+# Keep the last snapshot's sla/* and queue drop gauges: the steady-state
+# per-DSCP-class latency / loss picture of the congested demo core.
+jq '[ .[-1].metrics | to_entries[]
+      | select((.key | startswith("sla/"))
+               or (.key | test("queue/(band[0-9]+/)?drops$")))
+    ] | from_entries' \
+  "$TMP/scenario_metrics.json" > "$TMP/scenario_classes.json"
+
 jq -n \
   --slurpfile thr "$TMP/throughput.json" \
   --slurpfile seed "$TMP/throughput_seed.json" \
   --slurpfile sched "$TMP/scheduler.json" \
   --slurpfile fwd "$TMP/forwarding.json" \
+  --slurpfile classes "$TMP/scenario_classes.json" \
   '{
     throughput: $thr[0],
     seed_baseline: (if ($seed[0] | length) > 0 then $seed[0] else null end),
@@ -66,12 +96,14 @@ jq -n \
       (if ($seed[0].packets_per_sec? // 0) > 0
        then ($thr[0].packets_per_sec / $seed[0].packets_per_sec)
        else null end),
+    scenario_class_breakdown: $classes[0],
     scheduler_microbench: $sched[0],
     forwarding_microbench: $fwd[0]
   }' > "$OUT"
 
 echo
 echo "report written to $OUT"
-if [[ -n "$SEED_BIN" ]]; then
-  jq -r '"packets/sec: \(.throughput.packets_per_sec) vs seed \(.seed_baseline.packets_per_sec)  (speedup \(.speedup_packets_per_sec))"' "$OUT"
+jq -r '"packets/sec: \(.throughput.packets_per_sec)  tracing-on: \(.throughput.tracing_on_packets_per_sec)  (overhead ratio \(.throughput.tracing_overhead_ratio))"' "$OUT"
+if [[ -n "$BASELINE" ]]; then
+  jq -r '"vs baseline: ratio \(.throughput.vs_baseline_ratio // "n/a")"' "$OUT"
 fi

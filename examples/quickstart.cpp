@@ -56,7 +56,7 @@ int main() {
   // 5. Send 1 s of traffic from the HQ site to the branch site and watch
   //    the label stack hop by hop.
   bool traced = false;
-  bb.topo.set_packet_tap([&](ip::NodeId at, const net::Packet& p) {
+  bb.topo.add_packet_tap([&](ip::NodeId at, const net::Packet& p) {
     if (p.flow_id == 1 && !traced) {
       std::printf("   at %-4s %s\n", bb.topo.node(at).name().c_str(),
                   p.describe().c_str());

@@ -1,11 +1,23 @@
 // Scenario runner: execute a text scenario file (see
 // src/backbone/scenario_config.hpp for the format) and print the SLA
-// report. With no argument, runs the built-in branch-office demo below.
+// report. With no scenario argument, runs the built-in branch-office demo
+// below.
 //
-//   ./build/examples/run_scenario examples/scenarios/branch_office.scn
+//   ./build/examples/run_scenario [options] [examples/scenarios/branch_office.scn]
+//
+// Observability options (any of them arms the flight recorder):
+//   --trace FILE        Chrome trace_event JSON (load in about://tracing)
+//   --events FILE       raw trace events, one JSON object per line
+//   --metrics FILE      periodic metrics-snapshot series (JSON array)
+//   --snapshot-period S metrics capture period in seconds (default 0.5)
+//   --obs DIR           shorthand: DIR/trace.json + DIR/events.jsonl +
+//                       DIR/metrics.json (DIR is created if missing)
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <iostream>
+#include <string>
 
 #include "backbone/scenario_config.hpp"
 
@@ -26,11 +38,60 @@ flow poisson vpn=corp from=0 to=1 rate=4e6   class=BE   port=80    size=1472
 run for=5
 )";
 
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--trace FILE] [--events FILE] [--metrics FILE]\n"
+               "          [--snapshot-period S] [--obs DIR] [scenario.scn]\n",
+               prog);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1) {
-    return mvpn::backbone::run_scenario_file(argv[1], std::cout);
+  mvpn::backbone::ObsOptions obs;
+  std::string scenario_path;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      obs.chrome_trace_path = v;
+    } else if (std::strcmp(argv[i], "--events") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      obs.events_jsonl_path = v;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      obs.metrics_json_path = v;
+    } else if (std::strcmp(argv[i], "--snapshot-period") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      obs.snapshot_period_s = std::atof(v);
+      if (obs.snapshot_period_s <= 0) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--obs") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      std::error_code ec;
+      std::filesystem::create_directories(v, ec);
+      const std::string dir = v;
+      obs.chrome_trace_path = dir + "/trace.json";
+      obs.events_jsonl_path = dir + "/events.jsonl";
+      obs.metrics_json_path = dir + "/metrics.json";
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else if (scenario_path.empty()) {
+      scenario_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (!scenario_path.empty()) {
+    return mvpn::backbone::run_scenario_file(scenario_path, std::cout, obs);
   }
   std::printf("no scenario file given; running the built-in demo\n\n");
   mvpn::backbone::ScenarioError error;
@@ -40,5 +101,6 @@ int main(int argc, char** argv) {
                 error.message.c_str());
     return 2;
   }
+  scenario->set_obs(obs);
   return scenario->run(std::cout) ? 0 : 1;
 }

@@ -4,10 +4,15 @@
 #include <charconv>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
+#include "obs/topology_metrics.hpp"
 #include "qos/queues.hpp"
+#include "qos/sla.hpp"
 #include "traffic/dispatcher.hpp"
 #include "traffic/tcp_lite.hpp"
 
@@ -119,6 +124,42 @@ net::QueueDiscFactory queue_factory_for(const std::string& spec) {
     };
   }
   return {};
+}
+
+/// Expose the SLA probe's per-class figures as gauges under
+/// "sla/<class>/...". Classes appear in the probe lazily (first packet of
+/// that class), so each gauge re-checks membership at snapshot time.
+void register_sla_metrics(obs::MetricsRegistry& registry,
+                          const qos::SlaProbe& probe) {
+  using Report = qos::SlaProbe::ClassReport;
+  for (int c = 0; c < static_cast<int>(qos::kPhbCount); ++c) {
+    const auto phb = static_cast<qos::Phb>(c);
+    const std::string base = std::string("sla/") + qos::to_string(phb);
+    auto add = [&](const char* leaf,
+                   std::function<double(const Report&)> fn) {
+      registry.add_gauge(
+          base + "/" + leaf, [&probe, phb, fn = std::move(fn)] {
+            return probe.has_class(phb) ? fn(probe.report(phb)) : 0.0;
+          });
+    };
+    add("sent_packets",
+        [](const Report& r) { return static_cast<double>(r.sent_packets); });
+    add("delivered_packets", [](const Report& r) {
+      return static_cast<double>(r.delivered_packets);
+    });
+    add("delivered_bytes", [](const Report& r) {
+      return static_cast<double>(r.delivered_bytes);
+    });
+    add("loss_fraction", [](const Report& r) { return r.loss_fraction(); });
+    add("latency_ms_mean",
+        [](const Report& r) { return r.latency_s.mean() * 1e3; });
+    add("latency_ms_p50",
+        [](const Report& r) { return r.latency_s.percentile(50.0) * 1e3; });
+    add("latency_ms_p99",
+        [](const Report& r) { return r.latency_s.percentile(99.0) * 1e3; });
+    add("jitter_ms_mean",
+        [](const Report& r) { return r.jitter_s.mean() * 1e3; });
+  }
 }
 
 }  // namespace
@@ -354,6 +395,16 @@ bool Scenario::run(std::ostream& out) const {
   cfg.core_queue = queue_factory_for(core_queue_spec_);
   MplsBackbone bb(cfg);
 
+  // Arm the flight recorder before convergence so control-plane events
+  // (LDP mappings, LSP signaling) land in the trace alongside the data
+  // plane.
+  if (obs_.enabled()) {
+    if (obs_.ring_capacity != 0) {
+      bb.topo.recorder().set_capacity(obs_.ring_capacity);
+    }
+    bb.topo.recorder().enable(obs_.trace_mask);
+  }
+
   std::map<std::string, vpn::VpnId> vpn_ids;
   for (const auto& name : vpns_) {
     vpn_ids[name] = bb.service.create_vpn(name);
@@ -391,6 +442,15 @@ bool Scenario::run(std::ostream& out) const {
 
   qos::SlaProbe probe("scenario");
   traffic::MeasurementSink sink(probe, bb.topo.scheduler());
+
+  obs::MetricsRegistry registry;
+  std::optional<obs::PeriodicSnapshots> snapshots;
+  if (obs_.enabled() && !obs_.metrics_json_path.empty()) {
+    obs::register_topology_metrics(bb.topo, registry);
+    register_sla_metrics(registry, probe);
+    snapshots.emplace(registry, bb.topo.scheduler());
+    snapshots->start(sim::from_seconds(obs_.snapshot_period_s));
+  }
 
   // TCP flows need a dispatcher on each endpoint; the measurement sink
   // handles everything the dispatchers do not claim.
@@ -495,6 +555,33 @@ bool Scenario::run(std::ostream& out) const {
         << stats::Table::num(tcp_flows[i]->goodput_bps(run_for_s_) / 1e6, 2)
         << " Mb/s, retransmits " << tcp_flows[i]->retransmits() << "\n";
   }
+  if (obs_.enabled()) {
+    const obs::FlightRecorder& rec = bb.topo.recorder();
+    const obs::NodeNamer namer = obs::topology_node_namer(bb.topo);
+    if (snapshots) {
+      snapshots->stop();
+      snapshots->capture();  // final state after the drain
+      std::ofstream mf(obs_.metrics_json_path);
+      snapshots->write_json(mf);
+    }
+    if (!obs_.events_jsonl_path.empty()) {
+      std::ofstream ef(obs_.events_jsonl_path);
+      obs::write_jsonl(rec, ef, namer);
+    }
+    if (!obs_.chrome_trace_path.empty()) {
+      std::ofstream cf(obs_.chrome_trace_path);
+      obs::write_chrome_trace(rec, cf, namer);
+    }
+    out << "\nobs: " << rec.size() << " trace events held ("
+        << rec.recorded() << " recorded, " << rec.overwritten()
+        << " overwritten)";
+    if (snapshots) {
+      out << "; " << snapshots->count() << " metrics snapshots ("
+          << registry.metric_count() << " metrics)";
+    }
+    out << "\n";
+  }
+
   if (!any_tcp) {
     out << "\ndelivered=" << sink.delivered() << " leaks=" << sink.leaks()
         << " unknown=" << sink.unknown_flows() << "\n";
@@ -504,6 +591,11 @@ bool Scenario::run(std::ostream& out) const {
 }
 
 int run_scenario_file(const std::string& path, std::ostream& out) {
+  return run_scenario_file(path, out, ObsOptions{});
+}
+
+int run_scenario_file(const std::string& path, std::ostream& out,
+                      const ObsOptions& obs) {
   std::ifstream in(path);
   if (!in) {
     out << "cannot open " << path << "\n";
@@ -517,6 +609,7 @@ int run_scenario_file(const std::string& path, std::ostream& out) {
     out << path << ":" << error.line << ": " << error.message << "\n";
     return 2;
   }
+  scenario->set_obs(obs);
   return scenario->run(out) ? 0 : 1;
 }
 

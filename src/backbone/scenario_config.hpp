@@ -7,10 +7,29 @@
 #include <vector>
 
 #include "backbone/fixtures.hpp"
+#include "obs/trace.hpp"
 #include "traffic/sink.hpp"
 #include "traffic/source.hpp"
 
 namespace mvpn::backbone {
+
+/// Observability hooks for a scenario run: which trace categories to
+/// record and where to write the artefacts. Empty paths skip that output;
+/// all-empty (the default) leaves the flight recorder disabled so the run
+/// costs nothing extra.
+struct ObsOptions {
+  std::uint32_t trace_mask = obs::kAllCategories;
+  std::size_t ring_capacity = 0;      ///< 0: recorder default
+  std::string chrome_trace_path;      ///< Chrome trace_event JSON
+  std::string events_jsonl_path;      ///< one JSON object per trace event
+  std::string metrics_json_path;      ///< periodic metrics snapshot series
+  double snapshot_period_s = 0.5;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return !chrome_trace_path.empty() || !events_jsonl_path.empty() ||
+           !metrics_json_path.empty();
+  }
+};
 
 /// Line-oriented scenario description language, so experiments can be run
 /// from a text file instead of C++ ('#' starts a comment):
@@ -48,6 +67,11 @@ class Scenario {
   /// isolation accounting) to `out`. Returns false if any isolation
   /// violation was observed.
   bool run(std::ostream& out) const;
+
+  /// Attach observability outputs to the next run() (flight-recorder
+  /// traces, metrics snapshots).
+  void set_obs(ObsOptions obs) { obs_ = std::move(obs); }
+  [[nodiscard]] const ObsOptions& obs() const noexcept { return obs_; }
 
   /// --- introspection (mostly for tests) ---------------------------------
   [[nodiscard]] std::size_t vpn_count() const noexcept {
@@ -106,10 +130,13 @@ class Scenario {
   std::vector<ShapeDecl> shapes_;
   std::vector<FlowDecl> flows_;
   double run_for_s_ = 2.0;
+  ObsOptions obs_;
 };
 
 /// Convenience: parse + run from a file path. Returns process-style exit
 /// code (0 ok, 1 isolation violation, 2 parse/usage error).
 int run_scenario_file(const std::string& path, std::ostream& out);
+int run_scenario_file(const std::string& path, std::ostream& out,
+                      const ObsOptions& obs);
 
 }  // namespace mvpn::backbone

@@ -55,6 +55,14 @@ void Ldp::receive_mapping(ip::NodeId at, ip::NodeId from,
   learn_fec(at, fec, owner);
   FecState& st = state_[at][fec];
   st.remote_labels[from] = label;  // liberal retention
+  obs::FlightRecorder& rec = cp_.topology().recorder();
+  if (rec.enabled(obs::Category::kSignaling)) {
+    rec.record({.node = at,
+                .a = label,
+                .b = owner,
+                .type = obs::EventType::kLdpMapping,
+                .aux = static_cast<std::uint8_t>(from & 0xFF)});
+  }
   refresh_lfib(at, fec);
 }
 

@@ -120,6 +120,7 @@ void RsvpTe::arrive_resv(LspId id, std::size_t hop_index,
     lsp.pub.head_iface =
         cp_.topology().node(here).interface_to(next);
     lsp.pub.state = LspState::kUp;
+    signal_event(obs::EventType::kLspUp, id, here, 0);
     for (const auto& cb : up_callbacks_) cb(id);
     return;
   }
@@ -159,6 +160,7 @@ void RsvpTe::fail_lsp(LspId id) {
   LspInternal& lsp = lsps_.at(id);
   release_all(lsp);
   lsp.pub.state = LspState::kFailed;
+  signal_event(obs::EventType::kLspDown, id, lsp.pub.config.head, 0);
   for (const auto& cb : failed_callbacks_) cb(id);
 }
 
@@ -166,8 +168,16 @@ void RsvpTe::tear_down(LspId id) {
   LspInternal& lsp = lsps_.at(id);
   release_all(lsp);
   lsp.pub.state = LspState::kTornDown;
+  signal_event(obs::EventType::kLspDown, id, lsp.pub.config.head, 0);
   cp_.send_session(lsp.pub.config.head, lsp.pub.config.tail, "rsvp.teardown",
                    36, [] {});
+}
+
+void RsvpTe::signal_event(obs::EventType type, LspId id, ip::NodeId at,
+                          std::uint32_t detail) {
+  obs::FlightRecorder& rec = cp_.topology().recorder();
+  if (!rec.enabled(obs::Category::kSignaling)) return;
+  rec.record({.node = at, .a = id, .b = detail, .type = type});
 }
 
 void RsvpTe::notify_link_failure(net::LinkId link) {
@@ -189,6 +199,7 @@ void RsvpTe::notify_link_failure(net::LinkId link) {
     lsp.excluded_links.push_back(link);
     ++lsp.pub.reroutes;
     lsp.pub.signal_attempts = 0;
+    signal_event(obs::EventType::kLspReroute, id, lsp.pub.config.head, link);
     if (lsp.pub.config.explicit_route.empty()) {
       start_signaling(id);
     } else {

@@ -88,6 +88,9 @@ class RsvpTe {
   void arrive_resv(LspId id, std::size_t hop_index,
                    std::uint32_t downstream_label);
   void fail_lsp(LspId id);
+  /// Emit an LSP lifecycle trace event (kLspUp / kLspDown / kLspReroute).
+  void signal_event(obs::EventType type, LspId id, ip::NodeId at,
+                    std::uint32_t detail);
   void release_all(LspInternal& lsp);
   [[nodiscard]] net::LinkId link_between(ip::NodeId a, ip::NodeId b) const;
 

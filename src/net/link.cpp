@@ -16,8 +16,23 @@ Link::Link(Topology& topo, LinkId id, Endpoint a, Endpoint b,
   };
   from_a_.to = b_;
   from_a_.queue = make_queue();
+  from_a_.queue->set_trace_context(&topo_.recorder(), a_.node, id_);
   from_b_.to = a_;
   from_b_.queue = make_queue();
+  from_b_.queue->set_trace_context(&topo_.recorder(), b_.node, id_);
+}
+
+void Link::record_drop(const Direction& dir, const Packet& p,
+                       obs::DropReason reason) {
+  obs::FlightRecorder& rec = topo_.recorder();
+  if (!rec.enabled(obs::Category::kLink)) return;
+  rec.record({.packet_id = p.id,
+              .node = peer_of(dir.to.node).node,
+              .a = id_,
+              .bytes = static_cast<std::uint32_t>(p.wire_size()),
+              .type = obs::EventType::kDrop,
+              .reason = reason,
+              .cls = p.trace_class()});
 }
 
 Link::Direction& Link::direction_from(ip::NodeId from) {
@@ -42,6 +57,7 @@ void Link::transmit(ip::NodeId from, PacketPtr p) {
   Direction& dir = direction_from(from);
   if (!up_) {
     dir.down_drops.record(p->wire_size());
+    record_drop(dir, *p, obs::DropReason::kLinkDown);
     return;
   }
   // The wire is taken while `now < busy_until`; at exactly `busy_until`
@@ -63,6 +79,17 @@ void Link::start_transmission(Direction& dir, PacketPtr p) {
   const sim::SimTime serialize_end = topo_.scheduler().now() + tx_time;
   dir.busy_until = serialize_end;
 
+  obs::FlightRecorder& rec = topo_.recorder();
+  if (rec.enabled(obs::Category::kLink)) {
+    rec.record({.packet_id = p->id,
+                .node = peer_of(dir.to.node).node,
+                .a = id_,
+                .b = dir.to.node,
+                .bytes = static_cast<std::uint32_t>(p->wire_size()),
+                .type = obs::EventType::kLinkTx,
+                .cls = p->trace_class()});
+  }
+
   // Single event per packet: delivery at serialization end + propagation.
   topo_.scheduler().schedule_in(
       tx_time + config_.prop_delay,
@@ -73,6 +100,7 @@ void Link::start_transmission(Direction& dir, PacketPtr p) {
           // Store-and-forward failure rule: serialization completed while
           // the link was down, so the packet never made it onto the wire.
           dir.down_drops.record(p->wire_size());
+          record_drop(dir, *p, obs::DropReason::kLinkDown);
         }
       });
 }
@@ -83,6 +111,15 @@ void Link::ensure_service(Direction& dir) {
   topo_.scheduler().schedule_at(dir.busy_until, [this, &dir] {
     dir.service_scheduled = false;
     if (PacketPtr next = dir.queue->dequeue()) {
+      obs::FlightRecorder& rec = topo_.recorder();
+      if (rec.enabled(obs::Category::kQueue)) {
+        rec.record({.packet_id = next->id,
+                    .node = peer_of(dir.to.node).node,
+                    .a = id_,
+                    .bytes = static_cast<std::uint32_t>(next->wire_size()),
+                    .type = obs::EventType::kDequeue,
+                    .cls = next->trace_class()});
+      }
       start_transmission(dir, std::move(next));
       if (!dir.queue->empty()) ensure_service(dir);
     }
@@ -116,6 +153,7 @@ void Link::set_up(bool up) {
     for (Direction* dir : {&from_a_, &from_b_}) {
       while (PacketPtr p = dir->queue->dequeue()) {
         dir->down_drops.record(p->wire_size());
+        record_drop(*dir, *p, obs::DropReason::kLinkDown);
       }
     }
   }
@@ -135,10 +173,15 @@ void Link::set_queue_from(ip::NodeId from, std::unique_ptr<QueueDisc> q) {
     throw std::logic_error("Link::set_queue_from: direction not idle");
   }
   dir.queue = std::move(q);
+  dir.queue->set_trace_context(&topo_.recorder(), from, id_);
 }
 
 const stats::PacketByteCounter& Link::tx_from(ip::NodeId from) const {
   return direction_from(from).tx;
+}
+
+const stats::PacketByteCounter& Link::down_drops_from(ip::NodeId from) const {
+  return direction_from(from).down_drops;
 }
 
 double Link::utilization_from(ip::NodeId from, sim::SimTime elapsed) const {

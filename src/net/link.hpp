@@ -66,6 +66,9 @@ class Link {
 
   /// Transmitted packets/bytes leaving `from`.
   [[nodiscard]] const stats::PacketByteCounter& tx_from(ip::NodeId from) const;
+  /// Packets/bytes lost leaving `from` because the link was down.
+  [[nodiscard]] const stats::PacketByteCounter& down_drops_from(
+      ip::NodeId from) const;
   /// Fraction of elapsed time the `from`-side transmitter was busy.
   [[nodiscard]] double utilization_from(ip::NodeId from,
                                         sim::SimTime elapsed) const;
@@ -100,6 +103,10 @@ class Link {
 
   Direction& direction_from(ip::NodeId from);
   const Direction& direction_from(ip::NodeId from) const;
+  /// Trace a link-layer loss on `dir` (sender side derived from the
+  /// direction's destination endpoint).
+  void record_drop(const Direction& dir, const Packet& p,
+                   obs::DropReason reason);
   void start_transmission(Direction& dir, PacketPtr p);
   void ensure_service(Direction& dir);
   [[nodiscard]] bool was_up_at(sim::SimTime t) const noexcept;

@@ -141,6 +141,15 @@ class Packet {
 
   [[nodiscard]] std::string describe() const;
 
+  /// 3-bit class recorded in trace events: top-label EXP when labeled,
+  /// otherwise the outermost DSCP's class-selector bits. (Schedulers use
+  /// qos::visible_class_bits, which maps DSCP through the full PHB table;
+  /// this is the layering-safe approximation for the net-level tracer.)
+  [[nodiscard]] std::uint8_t trace_class() const noexcept {
+    return has_labels() ? labels.back().exp
+                        : static_cast<std::uint8_t>(visible_dscp() >> 3);
+  }
+
   /// Return every field to its freshly-constructed state. Called when a
   /// pooled packet is recycled, so no header, label or metadata from a
   /// previous flow can leak into the next one. Retains the label stack's

@@ -2,6 +2,18 @@
 
 namespace mvpn::net {
 
+void QueueDisc::trace_event(obs::EventType type, const Packet& p,
+                            obs::DropReason r, std::uint8_t band) noexcept {
+  recorder_->record({.packet_id = p.id,
+                     .node = trace_node_,
+                     .a = trace_link_,
+                     .bytes = static_cast<std::uint32_t>(p.wire_size()),
+                     .type = type,
+                     .reason = r,
+                     .cls = p.trace_class(),
+                     .aux = band});
+}
+
 DropTailQueue::DropTailQueue(std::size_t capacity_packets)
     : capacity_(capacity_packets) {}
 

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "obs/trace.hpp"
 #include "stats/counter.hpp"
 
 namespace mvpn::net {
@@ -39,15 +40,43 @@ class QueueDisc {
     return enqueued_;
   }
 
+  /// Attach the flight recorder plus "where am I" identity (owning node /
+  /// link), so enqueue/drop events carry their location. The owning Link
+  /// wires this automatically; standalone queues keep the permanently
+  /// disabled default, making count_* cost one predictable branch extra.
+  void set_trace_context(obs::FlightRecorder* rec, std::uint32_t node,
+                         std::uint32_t link) noexcept {
+    recorder_ = rec != nullptr ? rec : &obs::disabled_recorder();
+    trace_node_ = node;
+    trace_link_ = link;
+  }
+
  protected:
-  void count_drop(const Packet& p) noexcept { dropped_.record(p.wire_size()); }
-  void count_enqueue(const Packet& p) noexcept {
+  void count_drop(const Packet& p,
+                  obs::DropReason reason = obs::DropReason::kTailDrop,
+                  std::uint8_t band = 0) noexcept {
+    dropped_.record(p.wire_size());
+    if (recorder_->enabled(obs::Category::kQueue)) {
+      trace_event(obs::EventType::kDrop, p, reason, band);
+    }
+  }
+  void count_enqueue(const Packet& p, std::uint8_t band = 0) noexcept {
     enqueued_.record(p.wire_size());
+    if (recorder_->enabled(obs::Category::kQueue)) {
+      trace_event(obs::EventType::kEnqueue, p, obs::DropReason::kNone, band);
+    }
   }
 
  private:
+  /// Cold path: only reached when the kQueue category is live.
+  void trace_event(obs::EventType type, const Packet& p, obs::DropReason r,
+                   std::uint8_t band) noexcept;
+
   stats::PacketByteCounter dropped_;
   stats::PacketByteCounter enqueued_;
+  obs::FlightRecorder* recorder_ = &obs::disabled_recorder();
+  std::uint32_t trace_node_ = 0;
+  std::uint32_t trace_link_ = 0;
 };
 
 /// Factory signature used by link configuration: one fresh QueueDisc per

@@ -43,7 +43,15 @@ std::vector<Adjacency> Topology::adjacencies(ip::NodeId node_id) const {
 
 void Topology::deliver(ip::NodeId to, ip::IfIndex in_if, PacketPtr p) {
   Node& n = node(to);
-  if (tap_) tap_(to, *p);
+  if (!taps_.empty()) taps_.invoke(to, *p);
+  if (recorder_.enabled(obs::Category::kLink)) {
+    recorder_.record({.packet_id = p->id,
+                      .node = to,
+                      .a = in_if,
+                      .bytes = static_cast<std::uint32_t>(p->wire_size()),
+                      .type = obs::EventType::kDeliver,
+                      .cls = p->trace_class()});
+  }
   n.count_rx(*p, in_if);
   n.receive(std::move(p), in_if);
 }

@@ -8,6 +8,8 @@
 
 #include "net/link.hpp"
 #include "net/node.hpp"
+#include "obs/hooks.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 
@@ -56,10 +58,24 @@ class Topology {
   /// Deliver `p` to `to`'s receive() — called by links after propagation.
   void deliver(ip::NodeId to, ip::IfIndex in_if, PacketPtr p);
 
-  /// Observation hook invoked on every delivery (before receive()): lets
+  /// Observation hooks invoked on every delivery (before receive()): let
   /// tests and tracing tools watch a packet's header stack hop by hop.
+  /// Multiple observers coexist — each add returns a handle that removes
+  /// only that observer, so trace_route, OAM and user taps never clobber
+  /// one another.
   using PacketTap = std::function<void(ip::NodeId at, const Packet& p)>;
-  void set_packet_tap(PacketTap tap) { tap_ = std::move(tap); }
+  using TapId = obs::HookList<ip::NodeId, const Packet&>::Id;
+  TapId add_packet_tap(PacketTap tap) { return taps_.add(std::move(tap)); }
+  bool remove_packet_tap(TapId id) { return taps_.remove(id); }
+  [[nodiscard]] std::size_t packet_tap_count() const noexcept {
+    return taps_.size();
+  }
+
+  /// Simulator-wide flight recorder (disabled until enable()d).
+  [[nodiscard]] obs::FlightRecorder& recorder() noexcept { return recorder_; }
+  [[nodiscard]] const obs::FlightRecorder& recorder() const noexcept {
+    return recorder_;
+  }
 
   [[nodiscard]] sim::Scheduler& scheduler() noexcept { return scheduler_; }
   [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
@@ -77,10 +93,11 @@ class Topology {
   // declared first (destroyed last).
   PacketFactory factory_;
   sim::Scheduler scheduler_;
+  obs::FlightRecorder recorder_{&scheduler_};
   sim::Rng rng_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
-  PacketTap tap_;
+  obs::HookList<ip::NodeId, const Packet&> taps_;
   std::uint32_t next_transfer_net_ = 0;  // allocator for /30 link subnets
 };
 

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace mvpn::obs {
+
+/// Ordered list of observation callbacks with stable removal handles.
+///
+/// Replaces the single-slot hook pattern (set_x(fn) / set_x(nullptr))
+/// that let one observer silently clobber another: every observer gets
+/// its own id and removes only itself. invoke() tolerates hooks being
+/// added during a callback (they run from the next invoke) and hooks
+/// being removed during a callback (a removed hook simply stops firing).
+template <typename... Args>
+class HookList {
+ public:
+  using Fn = std::function<void(Args...)>;
+  using Id = std::uint32_t;
+
+  Id add(Fn fn) {
+    entries_.push_back(Entry{++last_id_, std::move(fn)});
+    return last_id_;
+  }
+
+  /// Remove by handle; no-op (returns false) if already removed.
+  bool remove(Id id) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].id == id) {
+        entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  void invoke(Args... args) const {
+    // Index-based so hooks may append during iteration; snapshot the count
+    // so newly-added hooks first fire on the *next* event.
+    const std::size_t n = entries_.size();
+    for (std::size_t i = 0; i < n && i < entries_.size(); ++i) {
+      entries_[i].fn(args...);
+    }
+  }
+
+ private:
+  struct Entry {
+    Id id;
+    Fn fn;
+  };
+  std::vector<Entry> entries_;
+  Id last_id_ = 0;
+};
+
+}  // namespace mvpn::obs

@@ -1,0 +1,121 @@
+#include "obs/sinks.hpp"
+
+#include <ostream>
+#include <set>
+
+#include "sim/time.hpp"
+
+namespace mvpn::obs {
+
+namespace {
+
+std::string node_name(const NodeNamer& namer, std::uint32_t id) {
+  if (namer) {
+    std::string n = namer(id);
+    if (!n.empty()) return n;
+  }
+  return "node" + std::to_string(id);
+}
+
+/// The category a given event type belongs to (for export labeling).
+Category category_of(EventType t) noexcept {
+  switch (t) {
+    case EventType::kEnqueue:
+    case EventType::kDequeue:
+    case EventType::kDrop:
+      return Category::kQueue;
+    case EventType::kLinkTx:
+    case EventType::kDeliver:
+      return Category::kLink;
+    case EventType::kLabelPush:
+    case EventType::kLabelSwap:
+    case EventType::kLabelPop:
+      return Category::kMpls;
+    case EventType::kVrfDeliver:
+    case EventType::kLocalDeliver:
+      return Category::kVpn;
+    case EventType::kLspUp:
+    case EventType::kLspDown:
+    case EventType::kLspReroute:
+    case EventType::kLdpMapping:
+      return Category::kSignaling;
+    case EventType::kOamProbe:
+    case EventType::kOamReply:
+    case EventType::kOamTimeout:
+      return Category::kOam;
+  }
+  return Category::kQueue;
+}
+
+void write_common_fields(std::ostream& out, const TraceEvent& ev) {
+  if (ev.packet_id != 0) out << ",\"packet\":" << ev.packet_id;
+  if (ev.bytes != 0) out << ",\"bytes\":" << ev.bytes;
+  if (ev.a != 0) out << ",\"a\":" << ev.a;
+  if (ev.b != 0) out << ",\"b\":" << ev.b;
+  out << ",\"cls\":" << static_cast<unsigned>(ev.cls);
+  if (ev.aux != 0) out << ",\"band\":" << static_cast<unsigned>(ev.aux);
+}
+
+}  // namespace
+
+void write_jsonl(const FlightRecorder& rec, std::ostream& out,
+                 const NodeNamer& namer) {
+  for (const TraceEvent& ev : rec.snapshot()) {
+    out << "{\"t_s\":" << sim::to_seconds(ev.at) << ",\"type\":\""
+        << to_string(ev.type) << "\",\"node\":\""
+        << node_name(namer, ev.node) << '"';
+    if (ev.type == EventType::kDrop) {
+      out << ",\"reason\":\"" << to_string(ev.reason) << '"';
+    }
+    write_common_fields(out, ev);
+    out << "}\n";
+  }
+}
+
+void write_chrome_trace(const FlightRecorder& rec, std::ostream& out,
+                        const NodeNamer& namer) {
+  const auto events = rec.snapshot();
+  out << "{\"traceEvents\":[\n";
+
+  // Thread-name metadata so the timeline shows router names, not raw tids.
+  std::set<std::uint32_t> nodes;
+  for (const TraceEvent& ev : events) nodes.insert(ev.node);
+  bool first = true;
+  for (std::uint32_t id : nodes) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << id
+        << ",\"args\":{\"name\":\"" << node_name(namer, id) << "\"}}";
+  }
+
+  for (const TraceEvent& ev : events) {
+    if (!first) out << ",\n";
+    first = false;
+    // Instant event, thread scope; ts is microseconds in trace_event.
+    out << "{\"name\":\"" << to_string(ev.type) << "\",\"ph\":\"i\",\"s\":\"t\""
+        << ",\"pid\":1,\"tid\":" << ev.node
+        << ",\"ts\":" << static_cast<double>(ev.at) / 1e3 << ",\"cat\":\""
+        << to_string(category_of(ev.type)) << "\",\"args\":{";
+    bool first_arg = true;
+    auto arg = [&](const char* k, auto v) {
+      if (!first_arg) out << ',';
+      first_arg = false;
+      out << '"' << k << "\":" << v;
+    };
+    if (ev.type == EventType::kDrop) {
+      if (!first_arg) out << ',';
+      first_arg = false;
+      out << "\"reason\":\"" << to_string(ev.reason) << '"';
+    }
+    if (ev.packet_id != 0) arg("packet", ev.packet_id);
+    if (ev.bytes != 0) arg("bytes", ev.bytes);
+    if (ev.a != 0) arg("a", ev.a);
+    if (ev.b != 0) arg("b", ev.b);
+    arg("cls", static_cast<unsigned>(ev.cls));
+    if (ev.aux != 0) arg("band", static_cast<unsigned>(ev.aux));
+    out << "}}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace mvpn::obs

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace mvpn::obs {
+
+/// Maps a node id to a display name for export; defaults to "node<N>".
+using NodeNamer = std::function<std::string(std::uint32_t)>;
+
+/// Export the recorder's retained events as JSON Lines: one self-contained
+/// object per line ({"t_s":..., "type":"drop", "reason":"red_early", ...}),
+/// oldest first. Greppable and streamable — the developer-facing format.
+void write_jsonl(const FlightRecorder& rec, std::ostream& out,
+                 const NodeNamer& namer = {});
+
+/// Export as Chrome trace_event JSON ({"traceEvents":[...]}) loadable in
+/// about://tracing or https://ui.perfetto.dev. Each simulator node becomes
+/// a "thread" (tid = node id, named via metadata events); every trace
+/// record becomes an instant event with the structured fields under args.
+/// Timestamps are sim-time microseconds.
+void write_chrome_trace(const FlightRecorder& rec, std::ostream& out,
+                        const NodeNamer& namer = {});
+
+}  // namespace mvpn::obs

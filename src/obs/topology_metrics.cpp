@@ -1,0 +1,109 @@
+#include "obs/topology_metrics.hpp"
+
+#include <string>
+
+#include "qos/queues.hpp"
+#include "vpn/router.hpp"
+
+namespace mvpn::obs {
+
+namespace {
+
+void register_router(const vpn::Router& r, const std::string& prefix,
+                     MetricsRegistry& reg) {
+  const auto& c = r.counters();
+  for (const stats::Counter* counter :
+       {&c.forwarded, &c.delivered, &c.no_route, &c.ttl_expired,
+        &c.label_miss, &c.no_tunnel, &c.policed, &c.esp_rejected}) {
+    reg.add_counter(prefix + "/router/" + counter->name(), counter);
+  }
+  for (const vpn::Vrf* vrf : const_cast<vpn::Router&>(r).vrfs()) {
+    reg.add_gauge(prefix + "/vrf/" + vrf->config().name + "/routes",
+                  [vrf] { return static_cast<double>(vrf->table().size()); });
+  }
+}
+
+void register_queue(const net::Link& link, ip::NodeId from,
+                    const std::string& prefix, MetricsRegistry& reg) {
+  const net::Link* l = &link;
+  // Gauges re-resolve queue_from() per snapshot: scenario builders may
+  // still swap the discipline (set_queue_from) after registration.
+  auto q = [l, from]() -> const net::QueueDisc& { return l->queue_from(from); };
+  reg.add_gauge(prefix + "/drops/packets",
+                [q] { return static_cast<double>(q().dropped().packets.value()); });
+  reg.add_gauge(prefix + "/drops/bytes",
+                [q] { return static_cast<double>(q().dropped().bytes.value()); });
+  reg.add_gauge(prefix + "/enqueued/packets",
+                [q] { return static_cast<double>(q().enqueued().packets.value()); });
+  reg.add_gauge(prefix + "/depth/packets",
+                [q] { return static_cast<double>(q().packet_count()); });
+  reg.add_gauge(prefix + "/depth/bytes",
+                [q] { return static_cast<double>(q().byte_count()); });
+
+  if (const auto* mb = dynamic_cast<const qos::MultiBandQueue*>(&q())) {
+    for (unsigned b = 0; b < mb->band_count(); ++b) {
+      reg.add_gauge(prefix + "/band" + std::to_string(b) + "/drops",
+                    [q, b]() -> double {
+                      const auto* m =
+                          dynamic_cast<const qos::MultiBandQueue*>(&q());
+                      if (m == nullptr || b >= m->band_count()) return 0.0;
+                      return static_cast<double>(m->band_drops(b).packets.value());
+                    });
+    }
+  }
+  if (dynamic_cast<const qos::RedQueueDisc*>(&q()) != nullptr) {
+    auto red_gauge = [q](bool early) -> double {
+      const auto* r = dynamic_cast<const qos::RedQueueDisc*>(&q());
+      if (r == nullptr) return 0.0;
+      return static_cast<double>(early ? r->early_drops().value()
+                                       : r->forced_drops().value());
+    };
+    reg.add_gauge(prefix + "/red/early_drops",
+                  [red_gauge] { return red_gauge(true); });
+    reg.add_gauge(prefix + "/red/forced_drops",
+                  [red_gauge] { return red_gauge(false); });
+  }
+}
+
+}  // namespace
+
+void register_topology_metrics(net::Topology& topo, MetricsRegistry& reg) {
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    const net::Node& node = topo.node(static_cast<ip::NodeId>(i));
+    const std::string prefix = "node/" + node.name();
+    for (const net::Interface& ifc : node.interfaces()) {
+      const std::string if_prefix =
+          prefix + "/if" + std::to_string(ifc.index);
+      reg.add_packet_byte(if_prefix + "/rx", &ifc.rx);
+      reg.add_packet_byte(if_prefix + "/tx", &ifc.tx);
+    }
+    if (const auto* r = dynamic_cast<const vpn::Router*>(&node)) {
+      register_router(*r, prefix, reg);
+    }
+  }
+
+  for (std::size_t i = 0; i < topo.link_count(); ++i) {
+    const net::Link& link = topo.link(static_cast<net::LinkId>(i));
+    for (const auto* ep : {&link.end_a(), &link.end_b()}) {
+      const ip::NodeId from = ep->node;
+      const std::string dir_prefix =
+          "link/" + std::to_string(link.id()) + '/' +
+          topo.node(from).name() + "->" +
+          topo.node(link.peer_of(from).node).name();
+      reg.add_packet_byte(dir_prefix + "/tx", &link.tx_from(from));
+      reg.add_packet_byte(dir_prefix + "/down_drops",
+                          &link.down_drops_from(from));
+      register_queue(link, from, dir_prefix + "/queue", reg);
+    }
+  }
+}
+
+NodeNamer topology_node_namer(const net::Topology& topo) {
+  const net::Topology* t = &topo;
+  return [t](std::uint32_t id) -> std::string {
+    if (id < t->node_count()) return t->node(static_cast<ip::NodeId>(id)).name();
+    return "node" + std::to_string(id);
+  };
+}
+
+}  // namespace mvpn::obs

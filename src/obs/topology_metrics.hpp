@@ -1,0 +1,30 @@
+#pragma once
+
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
+
+namespace mvpn::obs {
+
+/// Walk a built topology and register every interesting stats source with
+/// the registry under hierarchical names:
+///
+///   node/<name>/router/<counter>          Router data-plane counters
+///   node/<name>/if<idx>/{rx,tx}/...       per-interface packet/byte pairs
+///   node/<name>/vrf/<vrf>/routes          per-VRF route-table size
+///   link/<id>/<from>-><to>/tx/...         per-direction wire transmissions
+///   link/<id>/<from>-><to>/down_drops/... drops while the link was down
+///   link/<id>/<from>-><to>/queue/...      egress-queue drops/enqueues/depth
+///                                         (+ band<b>/drops for multi-band
+///                                          queues, red early/forced drops)
+///
+/// Queue metrics are registered as gauges that re-resolve the queue object
+/// every snapshot, so set_queue_from() after registration stays safe.
+/// Call once the topology shape is final; node/link lifetimes must cover
+/// every later snapshot.
+void register_topology_metrics(net::Topology& topo, MetricsRegistry& registry);
+
+/// NodeNamer (for the trace sinks) backed by the topology's node names.
+[[nodiscard]] NodeNamer topology_node_namer(const net::Topology& topo);
+
+}  // namespace mvpn::obs

@@ -32,10 +32,11 @@ bool MultiBandQueue::enqueue(net::PacketPtr p) {
   Band& b = bands_[band];
   if (b.fifo.size() >= b.capacity) {
     b.drops.record(p->wire_size());
-    count_drop(*p);
+    count_drop(*p, obs::DropReason::kTailDrop,
+               static_cast<std::uint8_t>(band));
     return false;
   }
-  count_enqueue(*p);
+  count_enqueue(*p, static_cast<std::uint8_t>(band));
   b.bytes += p->wire_size();
   b.fifo.push_back(std::move(p));
   on_enqueued(band, *b.fifo.back());
@@ -224,7 +225,7 @@ bool LlqQueueDisc::enqueue(net::PacketPtr p) {
   if (band >= band_count()) band = band_count() - 1;
   if (band == 0 && !ef_bucket_.consume(clock_.now(), p->wire_size())) {
     ef_policed_.add();
-    count_drop(*p);
+    count_drop(*p, obs::DropReason::kEfPoliced, 0);
     return false;
   }
   return MultiBandQueue::enqueue(std::move(p));
@@ -299,17 +300,17 @@ void RedQueueDisc::update_average() {
   }
 }
 
-bool RedQueueDisc::red_admit(const net::Packet& p) {
+obs::DropReason RedQueueDisc::red_admit(const net::Packet& p) {
   const RedParams& prof = profile_for(p);
   update_average();
 
   if (fifo_.size() >= prof.capacity_packets) {
     forced_drops_.add();
-    return false;
+    return obs::DropReason::kRedForced;
   }
   if (avg_ < prof.min_th) {
     ++count_since_drop_;
-    return true;
+    return obs::DropReason::kNone;
   }
   double p_drop;
   if (avg_ < prof.max_th) {
@@ -320,7 +321,7 @@ bool RedQueueDisc::red_admit(const net::Packet& p) {
              (1.0 - prof.max_p) * (avg_ - prof.max_th) / prof.max_th;
   } else {
     forced_drops_.add();
-    return false;
+    return obs::DropReason::kRedForced;
   }
   // Spread drops uniformly between drops (Floyd/Jacobson count correction).
   const double denom = 1.0 - static_cast<double>(count_since_drop_) * p_drop;
@@ -328,15 +329,16 @@ bool RedQueueDisc::red_admit(const net::Packet& p) {
   if (rng_.bernoulli(pa)) {
     early_drops_.add();
     count_since_drop_ = 0;
-    return false;
+    return obs::DropReason::kRedEarly;
   }
   ++count_since_drop_;
-  return true;
+  return obs::DropReason::kNone;
 }
 
 bool RedQueueDisc::enqueue(net::PacketPtr p) {
-  if (!red_admit(*p)) {
-    count_drop(*p);
+  if (const obs::DropReason verdict = red_admit(*p);
+      verdict != obs::DropReason::kNone) {
+    count_drop(*p, verdict);
     return false;
   }
   count_enqueue(*p);

@@ -213,7 +213,9 @@ class RedQueueDisc : public net::QueueDisc {
   /// drop precedence.
   [[nodiscard]] virtual const RedParams& profile_for(const net::Packet& p) const;
 
-  bool red_admit(const net::Packet& p);
+  /// RED admission verdict: kNone admits; kRedEarly / kRedForced name the
+  /// drop (and feed the trace event's reason field).
+  obs::DropReason red_admit(const net::Packet& p);
 
   RedParams params_;
 

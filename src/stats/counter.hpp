@@ -5,12 +5,73 @@
 
 namespace mvpn::stats {
 
+class Counter;
+
+/// Registration interface for named counters. The observability layer
+/// (obs::MetricsRegistry) implements it; stats stays dependency-free.
+/// Installing a hook is strictly opt-in — with none installed (the
+/// default), counter construction does nothing extra and the increment
+/// path is identical either way.
+class CounterHook {
+ public:
+  virtual void counter_created(Counter& c) = 0;
+  virtual void counter_destroyed(Counter& c) = 0;
+
+ protected:
+  ~CounterHook() = default;
+};
+
+namespace detail {
+inline CounterHook*& counter_hook_slot() noexcept {
+  static CounterHook* hook = nullptr;
+  return hook;
+}
+}  // namespace detail
+
+/// Install (or clear, with nullptr) the process-wide counter hook. Named
+/// counters constructed while a hook is installed register with it and
+/// unregister on destruction.
+inline void set_counter_hook(CounterHook* hook) noexcept {
+  detail::counter_hook_slot() = hook;
+}
+[[nodiscard]] inline CounterHook* counter_hook() noexcept {
+  return detail::counter_hook_slot();
+}
+
 /// Monotonic event counter. Used throughout the simulator for packet,
 /// byte, drop and protocol-message accounting.
+///
+/// Counters constructed *with a name* self-register with the installed
+/// CounterHook (if any) so the metrics registry can enumerate them; the
+/// hot path (add) never touches the hook. Copies and moves never carry a
+/// registration — the original stays registered until it is destroyed,
+/// so hook bookkeeping is strictly per-object.
 class Counter {
  public:
   Counter() = default;
-  explicit Counter(std::string name) : name_(std::move(name)) {}
+  explicit Counter(std::string name) : name_(std::move(name)) {
+    if (!name_.empty()) {
+      hook_ = counter_hook();
+      if (hook_ != nullptr) hook_->counter_created(*this);
+    }
+  }
+  ~Counter() {
+    if (hook_ != nullptr) hook_->counter_destroyed(*this);
+  }
+
+  Counter(const Counter& other) : name_(other.name_), value_(other.value_) {}
+  Counter& operator=(const Counter& other) {
+    name_ = other.name_;
+    value_ = other.value_;
+    return *this;  // registration (hook_) stays per-object
+  }
+  Counter(Counter&& other) noexcept
+      : name_(std::move(other.name_)), value_(other.value_) {}
+  Counter& operator=(Counter&& other) noexcept {
+    name_ = std::move(other.name_);
+    value_ = other.value_;
+    return *this;
+  }
 
   void add(std::uint64_t n = 1) noexcept { value_ += n; }
   void reset() noexcept { value_ = 0; }
@@ -21,6 +82,7 @@ class Counter {
  private:
   std::string name_;
   std::uint64_t value_ = 0;
+  CounterHook* hook_ = nullptr;  ///< set only when registered at creation
 };
 
 /// Pair of packet/byte counters — the ubiquitous unit of data-plane

@@ -52,44 +52,41 @@ TraceResult trace_route(net::Topology& topo, Router& ingress,
   first.wire_bytes = probe->wire_size();
   result.hops.push_back(first);
 
-  std::vector<Router*> hooked;  // sinks we must clear before returning
-  topo.set_packet_tap([&](ip::NodeId at, const net::Packet& p) {
-    if (p.id != probe_id) return;
-    TraceHop hop;
-    hop.node = at;
-    hop.node_name = topo.node(at).name();
-    hop.labels.assign(p.labels.begin(), p.labels.end());
-    hop.encrypted = p.esp.has_value();
-    hop.visible_dscp = p.visible_dscp();
-    hop.wire_bytes = p.wire_size();
-    result.hops.push_back(hop);
-
-    // If this node terminates the probe locally, capture the delivery.
-    auto* router = dynamic_cast<Router*>(&topo.node(at));
-    if (router != nullptr) {
-      hooked.push_back(router);
-      router->set_local_sink([&](const net::Packet& dp, VpnId vpn) {
-        if (dp.id != probe_id) return;
-        result.delivered = true;
-        result.delivered_vpn = vpn;
-        result.latency = topo.scheduler().now() - sent_at;
-      });
-    }
-  });
-  // The ingress might deliver locally without any wire hop.
-  ingress.set_local_sink([&](const net::Packet& dp, VpnId vpn) {
+  // Everything registers through removable hooks, so a trace can run while
+  // measurement sinks, OAM monitors or other taps stay installed.
+  std::vector<std::pair<Router*, Router::DeliveryTapId>> hooked;
+  auto on_delivery = [&](const net::Packet& dp, VpnId vpn) {
     if (dp.id != probe_id) return;
     result.delivered = true;
     result.delivered_vpn = vpn;
     result.latency = topo.scheduler().now() - sent_at;
-  });
+  };
+  const net::Topology::TapId tap_id =
+      topo.add_packet_tap([&](ip::NodeId at, const net::Packet& p) {
+        if (p.id != probe_id) return;
+        TraceHop hop;
+        hop.node = at;
+        hop.node_name = topo.node(at).name();
+        hop.labels.assign(p.labels.begin(), p.labels.end());
+        hop.encrypted = p.esp.has_value();
+        hop.visible_dscp = p.visible_dscp();
+        hop.wire_bytes = p.wire_size();
+        result.hops.push_back(hop);
+
+        // If this node terminates the probe locally, capture the delivery.
+        auto* router = dynamic_cast<Router*>(&topo.node(at));
+        if (router != nullptr) {
+          hooked.emplace_back(router, router->add_delivery_tap(on_delivery));
+        }
+      });
+  // The ingress might deliver locally without any wire hop.
+  hooked.emplace_back(&ingress, ingress.add_delivery_tap(on_delivery));
 
   ingress.inject(std::move(probe));
   topo.scheduler().run_until(topo.scheduler().now() + timeout);
 
-  topo.set_packet_tap(nullptr);
-  ingress.set_local_sink(nullptr);
-  for (Router* r : hooked) r->set_local_sink(nullptr);
+  topo.remove_packet_tap(tap_id);
+  for (auto& [r, id] : hooked) r->remove_delivery_tap(id);
   return result;
 }
 

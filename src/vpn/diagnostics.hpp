@@ -34,9 +34,9 @@ struct TraceResult {
 ///
 /// Drives the real data plane (classification, imposition, PHP, VRF
 /// delivery), so the result shows exactly what the architecture does to a
-/// packet. Temporarily replaces the topology packet tap and any local
-/// sink on the terminating routers it touches; intended for use while no
-/// other traffic is running.
+/// packet. Registers its observers through the removable hook lists
+/// (packet taps / delivery taps) and unhooks on return, so it coexists
+/// with measurement sinks, OAM monitors and other taps.
 [[nodiscard]] TraceResult trace_route(net::Topology& topo, Router& ingress,
                                       ip::Ipv4Address src,
                                       ip::Ipv4Address dst,

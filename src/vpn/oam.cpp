@@ -10,12 +10,20 @@ void LspOam::ensure_tail_hooked(Router& tail) {
   if (hooked_tails_[tail.id()]) return;
   hooked_tails_[tail.id()] = true;
   // OAM probes target 127/8 (RFC 4379 convention): deliver locally at the
-  // LSP tail and hand them to us.
+  // LSP tail and hand them to us. Registered as a hook-list tap, so other
+  // LspOam instances (or diagnostics) sharing this tail keep their hooks.
   tail.add_local_prefix(ip::Prefix::must_parse("127.0.0.0/8"));
   const ip::NodeId tail_id = tail.id();
-  tail.set_oam_sink([this, tail_id](const net::Packet& p) {
+  tail.add_oam_tap([this, tail_id](const net::Packet& p) {
     on_probe_arrival(p, tail_id);
   });
+}
+
+void LspOam::trace(obs::EventType type, mpls::LspId lsp, ip::NodeId at,
+                   std::uint32_t probe_id) {
+  obs::FlightRecorder& rec = topo_.recorder();
+  if (!rec.enabled(obs::Category::kOam)) return;
+  rec.record({.node = at, .a = lsp, .b = probe_id, .type = type});
 }
 
 void LspOam::ping(mpls::LspId lsp_id, PingCallback cb, sim::SimTime timeout) {
@@ -34,8 +42,11 @@ void LspOam::ping(mpls::LspId lsp_id, PingCallback cb, sim::SimTime timeout) {
         auto it = pending_.find(probe_id);
         if (it == pending_.end()) return;
         PingCallback cb = std::move(it->second.cb);
+        const mpls::LspId lsp = it->second.lsp;
         pending_.erase(it);
         ++failures_;
+        trace(obs::EventType::kOamTimeout, lsp,
+              rsvp_.lsp(lsp).config.head, probe_id);
         cb(false, 0);
       });
   pending_[probe_id] = std::move(pending);
@@ -57,6 +68,7 @@ void LspOam::ping(mpls::LspId lsp_id, PingCallback cb, sim::SimTime timeout) {
     probe->push_label(net::MplsShim{lsp.head_label, 6, 64});
   }
   ++probes_sent_;
+  trace(obs::EventType::kOamProbe, lsp_id, lsp.config.head, probe_id);
   head.send(std::move(probe), lsp.head_iface);
 }
 
@@ -77,8 +89,10 @@ void LspOam::on_reply(std::uint32_t probe_id) {
   topo_.scheduler().cancel(it->second.timeout);
   PingCallback cb = std::move(it->second.cb);
   const sim::SimTime rtt = topo_.scheduler().now() - it->second.sent_at;
+  const mpls::LspId lsp = it->second.lsp;
   pending_.erase(it);
   ++replies_;
+  trace(obs::EventType::kOamReply, lsp, rsvp_.lsp(lsp).config.head, probe_id);
   cb(true, rtt);
 }
 

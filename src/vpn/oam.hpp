@@ -60,6 +60,8 @@ class LspOam {
   };
 
   void ensure_tail_hooked(Router& tail);
+  void trace(obs::EventType type, mpls::LspId lsp, ip::NodeId at,
+             std::uint32_t probe_id);
   void on_probe_arrival(const net::Packet& p, ip::NodeId tail);
   void on_reply(std::uint32_t probe_id);
   void monitor_tick(mpls::LspId lsp);

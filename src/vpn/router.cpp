@@ -17,6 +17,17 @@ const char* to_string(Role r) noexcept {
 Router::Router(net::Topology& topo, ip::NodeId id, std::string name, Role role)
     : net::Node(topo, id, std::move(name)), role_(role) {}
 
+void Router::trace_drop(const net::Packet& p, obs::DropReason reason) noexcept {
+  obs::FlightRecorder& r = rec();
+  if (!r.enabled(obs::Category::kVpn)) return;
+  r.record({.packet_id = p.id,
+            .node = id(),
+            .bytes = static_cast<std::uint32_t>(p.wire_size()),
+            .type = obs::EventType::kDrop,
+            .reason = reason,
+            .cls = p.trace_class()});
+}
+
 Vrf& Router::add_vrf(VrfConfig config) {
   if (role_ != Role::kPe) {
     throw std::logic_error("Router::add_vrf: VRFs exist on PE routers only");
@@ -127,6 +138,7 @@ void Router::inject(net::PacketPtr p) {
           topology().scheduler().now(), p->wire_size());
       if (color == qos::Color::kRed) {
         counters_.policed.add();
+        trace_drop(*p, obs::DropReason::kPoliced);
         return;  // drop out-of-contract traffic at the edge
       }
       if (color == qos::Color::kYellow) {
@@ -169,6 +181,7 @@ void Router::forward_pvc(net::PacketPtr p) {
   auto it = pvc_table_.find(p->pvc->vc_id);
   if (it == pvc_table_.end()) {
     counters_.label_miss.add();
+    trace_drop(*p, obs::DropReason::kLabelMiss);
     return;
   }
   if (it->second.terminate) {
@@ -203,6 +216,7 @@ void Router::receive(net::PacketPtr p, ip::IfIndex in_if) {
     auto it = inbound_sas_.find(p->esp->spi);
     if (it == inbound_sas_.end() || !it->second->decapsulate(*p)) {
       counters_.esp_rejected.add();
+      trace_drop(*p, obs::DropReason::kEspRejected);
       return;
     }
     const std::size_t bytes = p->wire_size();
@@ -246,6 +260,7 @@ void Router::forward_ip(net::PacketPtr p, Vrf* vrf) {
   const ip::RouteEntry* route = table.lookup(dst);
   if (route == nullptr) {
     counters_.no_route.add();
+    trace_drop(*p, obs::DropReason::kNoRoute);
     return;
   }
 
@@ -260,6 +275,7 @@ void Router::forward_ip(net::PacketPtr p, Vrf* vrf) {
   std::uint8_t& ttl = p->esp ? p->esp->outer.ttl : p->ip.ttl;
   if (ttl <= 1) {
     counters_.ttl_expired.add();
+    trace_drop(*p, obs::DropReason::kTtlExpired);
     return;
   }
   --ttl;
@@ -290,11 +306,21 @@ void Router::impose_and_tunnel(net::PacketPtr p, const ip::RouteEntry& route,
   const TunnelBinding tb = tunnel_to(route.egress_pe, vpn);
   if (!tb.found) {
     counters_.no_tunnel.add();
+    trace_drop(*p, obs::DropReason::kNoTunnel);
     return;
   }
   p->push_label(net::MplsShim{route.vpn_label, exp, 64});
   if (tb.push_label) {
     p->push_label(net::MplsShim{tb.label, exp, 64});
+  }
+  if (rec().enabled(obs::Category::kMpls)) {
+    rec().record({.packet_id = p->id,
+                  .node = id(),
+                  .a = route.vpn_label,
+                  .b = tb.push_label ? tb.label : 0,
+                  .bytes = static_cast<std::uint32_t>(p->wire_size()),
+                  .type = obs::EventType::kLabelPush,
+                  .cls = exp});
   }
   counters_.forwarded.add();
   send(std::move(p), tb.out_iface);
@@ -336,25 +362,48 @@ Router::TunnelBinding Router::tunnel_to(ip::NodeId egress_pe,
 void Router::forward_labeled(net::PacketPtr p) {
   if (lsr_ == nullptr) {
     counters_.label_miss.add();
+    trace_drop(*p, obs::DropReason::kLabelMiss);
     return;
   }
-  const mpls::LfibEntry* entry = lsr_->lfib.lookup(p->top_label().label);
+  const std::uint32_t in_label = p->top_label().label;
+  const mpls::LfibEntry* entry = lsr_->lfib.lookup(in_label);
   if (entry == nullptr) {
     counters_.label_miss.add();
+    trace_drop(*p, obs::DropReason::kLabelMiss);
     return;
   }
+  const bool trace_mpls = rec().enabled(obs::Category::kMpls);
   switch (entry->op) {
     case mpls::LabelOp::kSwap:
       p->swap_label(entry->out_label);
       if (p->top_label().ttl == 0) {
         counters_.ttl_expired.add();
+        trace_drop(*p, obs::DropReason::kTtlExpired);
         return;
+      }
+      if (trace_mpls) {
+        rec().record({.packet_id = p->id,
+                      .node = id(),
+                      .a = in_label,
+                      .b = entry->out_label,
+                      .bytes = static_cast<std::uint32_t>(p->wire_size()),
+                      .type = obs::EventType::kLabelSwap,
+                      .cls = p->trace_class()});
       }
       counters_.forwarded.add();
       send(std::move(p), entry->out_iface);
       return;
     case mpls::LabelOp::kPop:
       p->pop_label();
+      if (trace_mpls) {
+        // Penultimate-hop pop: the label is stripped one hop early.
+        rec().record({.packet_id = p->id,
+                      .node = id(),
+                      .a = in_label,
+                      .bytes = static_cast<std::uint32_t>(p->wire_size()),
+                      .type = obs::EventType::kLabelPop,
+                      .cls = p->trace_class()});
+      }
       counters_.forwarded.add();
       send(std::move(p), entry->out_iface);
       return;
@@ -363,7 +412,17 @@ void Router::forward_labeled(net::PacketPtr p) {
       Vrf* vrf = vrf_by_vpn(entry->vrf_id);
       if (vrf == nullptr) {
         counters_.label_miss.add();
+        trace_drop(*p, obs::DropReason::kLabelMiss);
         return;
+      }
+      if (rec().enabled(obs::Category::kVpn)) {
+        rec().record({.packet_id = p->id,
+                      .node = id(),
+                      .a = in_label,
+                      .b = vrf->vpn_id(),
+                      .bytes = static_cast<std::uint32_t>(p->wire_size()),
+                      .type = obs::EventType::kVrfDeliver,
+                      .cls = p->trace_class()});
       }
       forward_ip(std::move(p), vrf);
       return;
@@ -373,11 +432,20 @@ void Router::forward_labeled(net::PacketPtr p) {
 
 void Router::deliver_local(net::PacketPtr p, VpnId vpn) {
   counters_.delivered.add();
-  // OAM probes (127/8 destinations) go to the OAM hook, not the sink.
-  if (oam_sink_ && (p->ip.dst.value() >> 24) == 127) {
-    oam_sink_(*p);
+  // OAM probes (127/8 destinations) go to the OAM hooks, not the sink.
+  if (!oam_taps_.empty() && (p->ip.dst.value() >> 24) == 127) {
+    oam_taps_.invoke(*p);
     return;
   }
+  if (rec().enabled(obs::Category::kVpn)) {
+    rec().record({.packet_id = p->id,
+                  .node = id(),
+                  .a = vpn,
+                  .bytes = static_cast<std::uint32_t>(p->wire_size()),
+                  .type = obs::EventType::kLocalDeliver,
+                  .cls = p->trace_class()});
+  }
+  if (!delivery_taps_.empty()) delivery_taps_.invoke(*p, vpn);
   if (sink_) sink_(*p, vpn);
 }
 

@@ -123,16 +123,34 @@ class Router : public net::Node {
 
   /// --- local delivery ------------------------------------------------------
   /// Sink for packets that terminate here. `vpn` is the VRF context the
-  /// packet was delivered through (kGlobalVpn when none).
+  /// packet was delivered through (kGlobalVpn when none). The sink is the
+  /// terminal consumer (one per router — the measurement sink); passive
+  /// observers belong on the delivery-tap hook list below.
   using LocalSink =
       std::function<void(const net::Packet& p, VpnId vpn)>;
   void set_local_sink(LocalSink sink) { sink_ = std::move(sink); }
 
-  /// Separate delivery hook for OAM probes (destinations in 127.0.0.0/8,
-  /// as MPLS LSP ping uses): keeps operational traffic out of the
-  /// measurement sinks. The OAM module installs this.
-  using OamSink = std::function<void(const net::Packet& p)>;
-  void set_oam_sink(OamSink sink) { oam_sink_ = std::move(sink); }
+  /// Passive observers of local delivery, invoked before the sink. Each
+  /// registration gets its own removal handle, so diagnostics (trace_route)
+  /// and user taps coexist without stealing the sink from each other.
+  using DeliveryTap = std::function<void(const net::Packet& p, VpnId vpn)>;
+  using DeliveryTapId = obs::HookList<const net::Packet&, VpnId>::Id;
+  DeliveryTapId add_delivery_tap(DeliveryTap tap) {
+    return delivery_taps_.add(std::move(tap));
+  }
+  bool remove_delivery_tap(DeliveryTapId id) {
+    return delivery_taps_.remove(id);
+  }
+
+  /// Delivery hooks for OAM probes (destinations in 127.0.0.0/8, as MPLS
+  /// LSP ping uses): keeps operational traffic out of the measurement
+  /// sinks. Hook-list based so several LspOam monitors can share one tail
+  /// router. When no OAM tap is registered, 127/8 traffic falls through to
+  /// the local sink (legacy behaviour).
+  using OamTap = std::function<void(const net::Packet& p)>;
+  using OamTapId = obs::HookList<const net::Packet&>::Id;
+  OamTapId add_oam_tap(OamTap tap) { return oam_taps_.add(std::move(tap)); }
+  bool remove_oam_tap(OamTapId id) { return oam_taps_.remove(id); }
 
   /// Declare a locally attached site prefix (delivered to the sink).
   void add_local_prefix(const ip::Prefix& prefix, VpnId vpn = kGlobalVpn);
@@ -198,8 +216,15 @@ class Router : public net::Node {
   std::optional<ipsec::CryptoCostModel> crypto_cost_;
   sim::SimTime crypto_busy_until_ = 0;
 
+  /// Trace shorthand: the topology's flight recorder.
+  [[nodiscard]] obs::FlightRecorder& rec() noexcept {
+    return topology().recorder();
+  }
+  void trace_drop(const net::Packet& p, obs::DropReason reason) noexcept;
+
   LocalSink sink_;
-  OamSink oam_sink_;
+  obs::HookList<const net::Packet&, VpnId> delivery_taps_;
+  obs::HookList<const net::Packet&> oam_taps_;
   ip::PrefixTrie<VpnId> local_vpn_;
   std::map<std::uint32_t, PvcSwitchEntry> pvc_table_;
   ip::PrefixTrie<std::uint32_t> pvc_routes_;

@@ -157,7 +157,7 @@ TEST(Integration, IpsecVpnEndToEnd) {
   // Tap the core: every packet crossing it must be ESP with hidden DSCP.
   std::uint64_t esp_seen = 0;
   std::uint64_t clear_seen = 0;
-  bb.topo.set_packet_tap([&](ip::NodeId at, const net::Packet& p) {
+  bb.topo.add_packet_tap([&](ip::NodeId at, const net::Packet& p) {
     if (at == gw1.id() || at == gw2.id()) return;
     if (p.esp) {
       ++esp_seen;

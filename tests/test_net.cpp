@@ -245,7 +245,7 @@ TEST(Topology, PacketTapSeesDeliveries) {
   auto& b = topo.add_node<SinkNode>("b");
   topo.connect(a.id(), b.id());
   int taps = 0;
-  topo.set_packet_tap([&](ip::NodeId at, const Packet&) {
+  topo.add_packet_tap([&](ip::NodeId at, const Packet&) {
     EXPECT_EQ(at, b.id());
     ++taps;
   });

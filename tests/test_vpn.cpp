@@ -231,7 +231,7 @@ TEST(Figure4, LabeledInCoreUnlabeledAtEdgesWithPhp) {
   // Trace the label stack hop by hop (Fig. 4: labeled path inside the
   // backbone, unlabeled outside).
   std::map<ip::NodeId, std::size_t> labels_seen;
-  s.backbone->topo.set_packet_tap(
+  s.backbone->topo.add_packet_tap(
       [&](ip::NodeId at, const net::Packet& p) {
         if (p.flow_id == 42) labels_seen[at] = p.labels.size();
       });
@@ -270,7 +270,7 @@ TEST(Router, CustomExpMapShowsInImposedLabels) {
   s.backbone->pe(0).set_dscp_exp_map(custom);
 
   std::uint8_t seen_exp = 0xFF;
-  s.backbone->topo.set_packet_tap(
+  s.backbone->topo.add_packet_tap(
       [&](ip::NodeId at, const net::Packet& p) {
         if (at == s.backbone->p(0).id() && p.has_labels()) {
           seen_exp = p.top_label().exp;

@@ -169,16 +169,8 @@ ThroughputResult run_throughput(std::size_t flows, double sim_seconds,
   return r;
 }
 
-/// Best-of-`reps` wall time (the deterministic counters are identical
-/// across repetitions, so keep the least-noisy timing).
-ThroughputResult best_throughput(std::size_t flows, double sim_seconds,
-                                 int reps, bool tracing) {
-  ThroughputResult best;
-  for (int i = 0; i < reps; ++i) {
-    ThroughputResult r = run_throughput(flows, sim_seconds, tracing);
-    if (best.wall_s == 0 || r.wall_s < best.wall_s) best = r;
-  }
-  return best;
+void keep_best(ThroughputResult& best, const ThroughputResult& r) {
+  if (best.wall_s == 0 || r.wall_s < best.wall_s) best = r;
 }
 
 void print_throughput(const ThroughputResult& r, const char* variant) {
@@ -258,10 +250,17 @@ void write_throughput_json(const char* path, const ThroughputResult& off,
 /// Run the off/on phases, print them, optionally enforce the baseline
 /// guard. Returns the process exit code.
 int run_throughput_phases(const char* json_path, const char* baseline_path) {
-  const ThroughputResult off = best_throughput(64, 5.0, 3, false);
+  // Interleave off/on repetitions and keep each side's best wall time:
+  // the deterministic counters are identical across reps, and pairing the
+  // phases keeps machine-load drift from landing on only one side of the
+  // tracing-overhead ratio.
+  ThroughputResult off, on;
+  for (int i = 0; i < 5; ++i) {
+    keep_best(off, run_throughput(64, 5.0, false));
+    keep_best(on, run_throughput(64, 5.0, true));
+  }
   print_throughput(off, "tracing off");
   std::printf("\n");
-  const ThroughputResult on = best_throughput(64, 5.0, 3, true);
   print_throughput(on, "tracing on");
   if (off.packets_per_sec() > 0) {
     std::printf("  tracing overhead  : %.1f%%\n",

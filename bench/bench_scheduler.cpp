@@ -16,7 +16,10 @@
 #include <cstdint>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
+#include "stats/histogram.hpp"
+#include "stats/log_histogram.hpp"
 
 namespace {
 
@@ -131,6 +134,42 @@ void BM_PacketHeapAllocate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PacketHeapAllocate);
+
+/// Registry snapshot with a SampleSet percentile source. Percentiles read
+/// the set's LogHistogram mirror, so the cost must stay flat as the sample
+/// count grows (the old path re-sorted the full vector every snapshot —
+/// O(n log n) per tick). The `samples` counter makes the flatness visible
+/// across the Arg sweep: ns/iter should not follow it.
+void BM_MetricsSnapshot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::SampleSet latency;
+  for (std::size_t i = 0; i < n; ++i) {
+    latency.add(1e-3 + 1e-6 * static_cast<double>(i % 977));
+  }
+  obs::MetricsRegistry registry;
+  registry.add_sample_set("sla/latency", &latency);
+  for (auto _ : state) {
+    auto snap = registry.snapshot();
+    benchmark::DoNotOptimize(snap.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["samples"] = static_cast<double>(n);
+  state.counters["sorts"] = static_cast<double>(latency.sort_count());
+}
+BENCHMARK(BM_MetricsSnapshot)->Arg(1'000)->Arg(100'000)->Arg(1'000'000);
+
+/// The sketch's ingest path: one frexp + two array increments per sample.
+void BM_LogHistogramAdd(benchmark::State& state) {
+  stats::LogHistogram h;
+  double x = 1e-6;
+  for (auto _ : state) {
+    h.add(x);
+    x = x < 1.0 ? x * 1.0001 : 1e-6;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(h.count()));
+  state.counters["memory_bytes"] = static_cast<double>(h.memory_bytes());
+}
+BENCHMARK(BM_LogHistogramAdd);
 
 }  // namespace
 

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the hot-path performance suites and collects one JSON report at the
-# repo root (BENCH_PR2.json). Usage:
+# repo root (BENCH_PR3.json). Usage:
 #
 #   bench/run_benchmarks.sh [--build DIR] [--seed-bin PATH] [--out FILE]
 #                           [--baseline FILE]
@@ -9,21 +9,23 @@
 #   --seed-bin PATH  a bench_scalability binary compiled from the baseline
 #                    tree; when given, the report includes the baseline
 #                    throughput and the speedup ratio
-#   --out FILE       output report (default: <repo>/BENCH_PR2.json)
-#   --baseline FILE  earlier report (default: <repo>/BENCH_PR1.json when it
+#   --out FILE       output report (default: <repo>/BENCH_PR3.json)
+#   --baseline FILE  earlier report (default: <repo>/BENCH_PR2.json when it
 #                    exists); enforces the tracing-off overhead guard
 #
 # The google-benchmark suites are captured with --benchmark_out (their
 # stdout also carries human-readable tables); the end-to-end throughput
 # phase of bench_scalability writes its own small JSON with tracing-off
 # and tracing-on figures. A scenario run with metrics enabled contributes
-# the per-DSCP-class latency/drop breakdown.
+# the per-DSCP-class latency/drop breakdown plus the per-hop/per-class
+# delay decomposition, and bench_convergence contributes the causal-span
+# summary (LDP mapping, LSP setup, reroute convergence).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build"
 SEED_BIN=""
-OUT="$ROOT/BENCH_PR2.json"
+OUT="$ROOT/BENCH_PR3.json"
 BASELINE=""
 
 while [[ $# -gt 0 ]]; do
@@ -36,16 +38,29 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-if [[ -z "$BASELINE" && -f "$ROOT/BENCH_PR1.json" ]]; then
-  BASELINE="$ROOT/BENCH_PR1.json"
+if [[ -z "$BASELINE" && -f "$ROOT/BENCH_PR2.json" ]]; then
+  BASELINE="$ROOT/BENCH_PR2.json"
 fi
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-echo "== scheduler / packet-pool microbenchmarks =="
+echo "== scheduler / packet-pool / snapshot microbenchmarks =="
 "$BUILD/bench/bench_scheduler" --benchmark_min_time=0.2 \
   --benchmark_out="$TMP/scheduler.json" --benchmark_out_format=json
+
+# Flat-snapshot guard: registry snapshot cost must not follow the sample
+# count (the sketch mirror reads are O(1); the old path re-sorted).
+# Allow 3x for noise — the broken path is >100x at this sweep.
+jq -e '
+  [.benchmarks[] | select(.name | startswith("BM_MetricsSnapshot"))
+   | {n: (.name | capture("/(?<n>[0-9]+)$").n | tonumber), t: .real_time}]
+  | sort_by(.n)
+  | if length < 2 then error("BM_MetricsSnapshot sweep missing")
+    elif (.[-1].t / .[0].t) < 3
+    then "snapshot flatness ok: \(.[0].t | floor)ns @\(.[0].n) samples vs \(.[-1].t | floor)ns @\(.[-1].n)"
+    else error("snapshot cost grows with sample count: \(.)")
+    end' "$TMP/scheduler.json"
 
 echo
 echo "== forwarding-path lookup microbenchmarks (E2) =="
@@ -71,9 +86,15 @@ else
 fi
 
 echo
-echo "== scenario observability pass (per-class SLA breakdown) =="
+echo "== control-plane causal spans (bench_convergence) =="
+"$BUILD/bench/bench_convergence" --json "$TMP/convergence_spans.json" \
+  > /dev/null
+
+echo
+echo "== scenario observability pass (per-class SLA + latency anatomy) =="
 "$BUILD/examples/run_scenario" --metrics "$TMP/scenario_metrics.json" \
   --trace "$TMP/scenario_trace.json" \
+  --latency-json "$TMP/scenario_latency.json" \
   "$ROOT/examples/scenarios/branch_office.scn" > /dev/null
 # Keep the last snapshot's sla/* and queue drop gauges: the steady-state
 # per-DSCP-class latency / loss picture of the congested demo core.
@@ -89,6 +110,8 @@ jq -n \
   --slurpfile sched "$TMP/scheduler.json" \
   --slurpfile fwd "$TMP/forwarding.json" \
   --slurpfile classes "$TMP/scenario_classes.json" \
+  --slurpfile latency "$TMP/scenario_latency.json" \
+  --slurpfile spans "$TMP/convergence_spans.json" \
   '{
     throughput: $thr[0],
     seed_baseline: (if ($seed[0] | length) > 0 then $seed[0] else null end),
@@ -97,13 +120,28 @@ jq -n \
        then ($thr[0].packets_per_sec / $seed[0].packets_per_sec)
        else null end),
     scenario_class_breakdown: $classes[0],
+    latency_decomposition: $latency[0],
+    convergence_spans: $spans[0],
     scheduler_microbench: $sched[0],
     forwarding_microbench: $fwd[0]
   }' > "$OUT"
 
+if [[ -n "$BASELINE" ]]; then
+  # Tracing-on overhead guard: with every category recording, throughput
+  # must stay within 8% of the baseline report's tracing-off figure.
+  jq -e --slurpfile base "$BASELINE" '
+    ($base[0].throughput.packets_per_sec // $base[0].packets_per_sec) as $b
+    | if $b == null then "no baseline throughput; guard skipped"
+      elif (.throughput.tracing_on_packets_per_sec / $b) >= 0.92
+      then "tracing-on vs baseline ok: \(.throughput.tracing_on_packets_per_sec | floor) vs \($b | floor) pkts/s"
+      else error("tracing-on throughput \(.throughput.tracing_on_packets_per_sec) fell below 92% of baseline \($b)")
+      end' "$OUT"
+fi
+
 echo
 echo "report written to $OUT"
 jq -r '"packets/sec: \(.throughput.packets_per_sec)  tracing-on: \(.throughput.tracing_on_packets_per_sec)  (overhead ratio \(.throughput.tracing_overhead_ratio))"' "$OUT"
+jq -r '"reroute convergence: \(.convergence_spans.reroute_convergence.mean_ms) ms mean over \(.convergence_spans.reroutes) reroutes"' "$OUT"
 if [[ -n "$BASELINE" ]]; then
   jq -r '"vs baseline: ratio \(.throughput.vs_baseline_ratio // "n/a")"' "$OUT"
 fi

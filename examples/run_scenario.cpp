@@ -11,7 +11,14 @@
 //   --metrics FILE      periodic metrics-snapshot series (JSON array)
 //   --snapshot-period S metrics capture period in seconds (default 0.5)
 //   --obs DIR           shorthand: DIR/trace.json + DIR/events.jsonl +
-//                       DIR/metrics.json (DIR is created if missing)
+//                       DIR/metrics.json + DIR/spans.json + DIR/latency.json
+//                       (DIR is created if missing)
+//
+// Latency-anatomy options (arm the per-hop delay decomposition):
+//   --latency-report    print per-hop / per-class delay decomposition tables
+//   --latency-json FILE write the full decomposition as JSON
+//   --spans FILE        Chrome trace with per-hop duration spans (needs the
+//                       flight recorder, i.e. counts as an obs option)
 
 #include <cstdio>
 #include <cstring>
@@ -41,7 +48,9 @@ run for=5
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--trace FILE] [--events FILE] [--metrics FILE]\n"
-               "          [--snapshot-period S] [--obs DIR] [scenario.scn]\n",
+               "          [--snapshot-period S] [--obs DIR] [--spans FILE]\n"
+               "          [--latency-report] [--latency-json FILE]\n"
+               "          [scenario.scn]\n",
                prog);
   return 2;
 }
@@ -72,6 +81,16 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage(argv[0]);
       obs.snapshot_period_s = std::atof(v);
       if (obs.snapshot_period_s <= 0) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--spans") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      obs.spans_trace_path = v;
+    } else if (std::strcmp(argv[i], "--latency-report") == 0) {
+      obs.latency_report = true;
+    } else if (std::strcmp(argv[i], "--latency-json") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      obs.latency_json_path = v;
     } else if (std::strcmp(argv[i], "--obs") == 0) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
@@ -81,6 +100,8 @@ int main(int argc, char** argv) {
       obs.chrome_trace_path = dir + "/trace.json";
       obs.events_jsonl_path = dir + "/events.jsonl";
       obs.metrics_json_path = dir + "/metrics.json";
+      obs.spans_trace_path = dir + "/spans.json";
+      obs.latency_json_path = dir + "/latency.json";
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else if (scenario_path.empty()) {

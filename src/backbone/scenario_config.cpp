@@ -8,8 +8,10 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
+#include "obs/spans.hpp"
 #include "obs/topology_metrics.hpp"
 #include "qos/queues.hpp"
 #include "qos/sla.hpp"
@@ -159,7 +161,16 @@ void register_sla_metrics(obs::MetricsRegistry& registry,
         [](const Report& r) { return r.latency_s.percentile(99.0) * 1e3; });
     add("jitter_ms_mean",
         [](const Report& r) { return r.jitter_s.mean() * 1e3; });
+    registry.add_gauge(base + "/jitter_rfc3550_ms", [&probe, phb] {
+      return probe.has_class(phb) ? probe.rfc3550_jitter_s(phb) * 1e3 : 0.0;
+    });
   }
+}
+
+/// Delivered packets carry inner class-selector bits (labels popped, ESP
+/// stripped), so decomposition classes read as cs0..cs7.
+obs::ClassNamer cs_class_namer() {
+  return [](std::uint8_t c) { return "cs" + std::to_string(c); };
 }
 
 }  // namespace
@@ -443,11 +454,26 @@ bool Scenario::run(std::ostream& out) const {
   qos::SlaProbe probe("scenario");
   traffic::MeasurementSink sink(probe, bb.topo.scheduler());
 
+  // Per-hop delay decomposition: links/routers stamp DelayAnatomy always;
+  // the collector aggregates only when one of the latency outputs is on.
+  obs::LatencyCollector latency;
+  if (obs_.latency_enabled()) {
+    bb.topo.set_latency_collector(&latency);
+    for (const auto& site : built) {
+      site.ce->add_delivery_tap(
+          [&latency](const net::Packet& p, vpn::VpnId) {
+            latency.record_delivery(p.trace_class(), p.delay.queue,
+                                    p.delay.tx, p.delay.prop, p.delay.proc);
+          });
+    }
+  }
+
   obs::MetricsRegistry registry;
   std::optional<obs::PeriodicSnapshots> snapshots;
   if (obs_.enabled() && !obs_.metrics_json_path.empty()) {
     obs::register_topology_metrics(bb.topo, registry);
     register_sla_metrics(registry, probe);
+    obs::register_latency_metrics(latency, registry, cs_class_namer());
     snapshots.emplace(registry, bb.topo.scheduler());
     snapshots->start(sim::from_seconds(obs_.snapshot_period_s));
   }
@@ -555,6 +581,19 @@ bool Scenario::run(std::ostream& out) const {
         << stats::Table::num(tcp_flows[i]->goodput_bps(run_for_s_) / 1e6, 2)
         << " Mb/s, retransmits " << tcp_flows[i]->retransmits() << "\n";
   }
+  if (obs_.latency_enabled()) {
+    const obs::NodeNamer lnamer = obs::topology_node_namer(bb.topo);
+    if (obs_.latency_report) {
+      out << "\nlatency anatomy: per-hop decomposition\n"
+          << latency.hop_table(lnamer, cs_class_namer()).render()
+          << "\nlatency anatomy: per-class delay budget\n"
+          << latency.class_table(cs_class_namer()).render();
+    }
+    if (!obs_.latency_json_path.empty()) {
+      std::ofstream lf(obs_.latency_json_path);
+      latency.write_json(lf, lnamer, cs_class_namer());
+    }
+  }
   if (obs_.enabled()) {
     const obs::FlightRecorder& rec = bb.topo.recorder();
     const obs::NodeNamer namer = obs::topology_node_namer(bb.topo);
@@ -571,6 +610,11 @@ bool Scenario::run(std::ostream& out) const {
     if (!obs_.chrome_trace_path.empty()) {
       std::ofstream cf(obs_.chrome_trace_path);
       obs::write_chrome_trace(rec, cf, namer);
+    }
+    if (!obs_.spans_trace_path.empty()) {
+      const obs::SpanAnalysis spans = obs::analyze_spans(rec);
+      std::ofstream sf(obs_.spans_trace_path);
+      obs::write_span_chrome_trace(spans, sf, namer);
     }
     out << "\nobs: " << rec.size() << " trace events held ("
         << rec.recorded() << " recorded, " << rec.overwritten()

@@ -23,10 +23,21 @@ struct ObsOptions {
   std::string chrome_trace_path;      ///< Chrome trace_event JSON
   std::string events_jsonl_path;      ///< one JSON object per trace event
   std::string metrics_json_path;      ///< periodic metrics snapshot series
+  std::string spans_trace_path;       ///< Chrome duration spans (obs/spans)
   double snapshot_period_s = 0.5;
 
+  /// Latency-anatomy outputs. These arm the per-hop delay decomposition
+  /// (LatencyCollector), which is independent of the flight recorder.
+  bool latency_report = false;        ///< print decomposition tables
+  std::string latency_json_path;      ///< decomposition JSON
+
+  /// Anything here requires the flight recorder.
   [[nodiscard]] bool enabled() const noexcept {
     return !chrome_trace_path.empty() || !events_jsonl_path.empty() ||
+           !metrics_json_path.empty() || !spans_trace_path.empty();
+  }
+  [[nodiscard]] bool latency_enabled() const noexcept {
+    return latency_report || !latency_json_path.empty() ||
            !metrics_json_path.empty();
   }
 };

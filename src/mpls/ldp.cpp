@@ -22,6 +22,15 @@ void Ldp::announce_egress(ip::NodeId egress, const ip::Prefix& fec) {
   owners_[fec] = egress;
   FecState& st = state_[egress][fec];
   st.owner = egress;
+  obs::FlightRecorder& rec = cp_.topology().recorder();
+  if (rec.enabled(obs::Category::kSignaling)) {
+    // Anchors the span analysis: mapping latency is measured from this
+    // announcement to each router's kLdpMapping acceptance for the owner.
+    rec.record({.node = egress,
+                .a = net::kImplicitNullLabel,
+                .b = egress,
+                .type = obs::EventType::kLdpAnnounce});
+  }
   // Egress requests PHP: advertise implicit-null.
   advertise(egress, fec, egress, net::kImplicitNullLabel);
 }

@@ -21,6 +21,8 @@ LspId RsvpTe::signal(const TeLspConfig& config) {
   LspInternal& lsp = lsps_[id];
   lsp.pub.id = id;
   lsp.pub.config = config;
+  // Setup-latency anchor for the span analysis (kLspSignal -> kLspUp).
+  signal_event(obs::EventType::kLspSignal, id, config.head, 0);
   start_signaling(id);
   return id;
 }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "net/topology.hpp"
+#include "obs/latency.hpp"
 
 namespace mvpn::net {
 
@@ -15,11 +16,27 @@ Link::Link(Topology& topo, LinkId id, Endpoint a, Endpoint b,
     return std::make_unique<DropTailQueue>(100);
   };
   from_a_.to = b_;
+  from_a_.from = a_.node;
+  from_a_.dir_bit = 0;
   from_a_.queue = make_queue();
   from_a_.queue->set_trace_context(&topo_.recorder(), a_.node, id_);
   from_b_.to = a_;
+  from_b_.from = b_.node;
+  from_b_.dir_bit = 1;
   from_b_.queue = make_queue();
   from_b_.queue->set_trace_context(&topo_.recorder(), b_.node, id_);
+}
+
+void Link::stamp_arrival(Direction& dir, Packet& p) {
+  const sim::SimTime now = topo_.scheduler().now();
+  const sim::SimTime dt = now - p.delay.anchor(p.created_at);
+  if (dt > 0) {
+    p.delay.proc += dt;
+    if (obs::LatencyCollector* lc = topo_.latency_collector()) {
+      lc->record_processing(dir.from, dt);
+    }
+  }
+  p.delay.last = now;
 }
 
 void Link::record_drop(const Direction& dir, const Packet& p,
@@ -55,6 +72,9 @@ const Link::Endpoint& Link::peer_of(ip::NodeId node) const {
 
 void Link::transmit(ip::NodeId from, PacketPtr p) {
   Direction& dir = direction_from(from);
+  // Everything between the previous stamp (or birth) and reaching this
+  // transmitter — shaping, crypto charges, forwarding — is processing time.
+  stamp_arrival(dir, *p);
   if (!up_) {
     dir.down_drops.record(p->wire_size());
     record_drop(dir, *p, obs::DropReason::kLinkDown);
@@ -78,6 +98,16 @@ void Link::start_transmission(Direction& dir, PacketPtr p) {
   dir.tx.record(p->wire_size());
   const sim::SimTime serialize_end = topo_.scheduler().now() + tx_time;
   dir.busy_until = serialize_end;
+
+  // Serialization and propagation are both fixed once transmission starts,
+  // so the whole hop can be attributed now; `last` lands on the delivery
+  // instant, where the next stamp (or final delivery accounting) picks up.
+  p->delay.tx += tx_time;
+  p->delay.prop += config_.prop_delay;
+  p->delay.last = serialize_end + config_.prop_delay;
+  if (obs::LatencyCollector* lc = topo_.latency_collector()) {
+    lc->record_tx(dir.from, id_, dir.dir_bit, tx_time, config_.prop_delay);
+  }
 
   obs::FlightRecorder& rec = topo_.recorder();
   if (rec.enabled(obs::Category::kLink)) {
@@ -111,6 +141,18 @@ void Link::ensure_service(Direction& dir) {
   topo_.scheduler().schedule_at(dir.busy_until, [this, &dir] {
     dir.service_scheduled = false;
     if (PacketPtr next = dir.queue->dequeue()) {
+      // Time since the arrival stamp is queueing delay on this hop.
+      const sim::SimTime now = topo_.scheduler().now();
+      const sim::SimTime waited =
+          now - next->delay.anchor(next->created_at);
+      if (waited > 0) {
+        next->delay.queue += waited;
+        if (obs::LatencyCollector* lc = topo_.latency_collector()) {
+          lc->record_queue(dir.from, id_, dir.dir_bit, next->queue_band,
+                           next->trace_class(), waited);
+        }
+      }
+      next->delay.last = now;
       obs::FlightRecorder& rec = topo_.recorder();
       if (rec.enabled(obs::Category::kQueue)) {
         rec.record({.packet_id = next->id,

@@ -84,6 +84,8 @@ class Link {
   // down is lost, even though its delivery event still fires.
   struct Direction {
     Endpoint to;
+    ip::NodeId from = ip::kInvalidNode;  ///< transmitting node
+    std::uint8_t dir_bit = 0;            ///< 0: from A, 1: from B
     std::unique_ptr<QueueDisc> queue;
     /// Serialization frontier: the wire is busy until this instant.
     sim::SimTime busy_until = 0;
@@ -109,6 +111,9 @@ class Link {
                    obs::DropReason reason);
   void start_transmission(Direction& dir, PacketPtr p);
   void ensure_service(Direction& dir);
+  /// Fold the interval since the packet's last stamp into its processing
+  /// component (time spent in the node before reaching this transmitter).
+  void stamp_arrival(Direction& dir, Packet& p);
   [[nodiscard]] bool was_up_at(sim::SimTime t) const noexcept;
 
   Topology& topo_;

@@ -43,6 +43,8 @@ void Packet::reset_for_reuse() noexcept {
   seg.reset();
   payload_bytes = 0;
   hop_count = 0;
+  delay = DelayAnatomy{};
+  queue_band = 0;
 }
 
 std::string Packet::describe() const {

@@ -94,6 +94,28 @@ struct PvcEncap {
 };
 inline constexpr std::size_t kPvcEncapBytes = 8;
 
+/// Where a packet's life has gone so far, as an exact integer partition of
+/// `now - created_at`. Links and routers stamp the components as the packet
+/// moves (see INTERNALS.md §8); `last` is the anchor of the most recent
+/// stamp, so whoever stamps next knows which interval is still unattributed.
+/// The invariant checked by the latency tests: at delivery,
+/// queue + tx + prop + proc == delivery_time - created_at, exactly.
+struct DelayAnatomy {
+  sim::SimTime queue = 0;  ///< waiting in egress queues
+  sim::SimTime tx = 0;     ///< serialization onto the wire
+  sim::SimTime prop = 0;   ///< wire propagation
+  sim::SimTime proc = 0;   ///< everything else: shaping, crypto, forwarding
+  sim::SimTime last = 0;   ///< end of the last attributed interval (0: none)
+
+  [[nodiscard]] sim::SimTime total() const noexcept {
+    return queue + tx + prop + proc;
+  }
+  /// Start of the not-yet-attributed interval.
+  [[nodiscard]] sim::SimTime anchor(sim::SimTime created_at) const noexcept {
+    return last != 0 ? last : created_at;
+  }
+};
+
 /// A simulated packet: byte-accurate layered headers plus simulation
 /// metadata. Headers nest as  [MPLS stack] [PVC] [ESP outer] inner-IP L4.
 ///
@@ -121,6 +143,9 @@ class Packet {
   std::size_t payload_bytes = 0;
 
   std::uint32_t hop_count = 0;  // incremented per router traversal
+
+  DelayAnatomy delay;           ///< per-component delay attribution
+  std::uint8_t queue_band = 0;  ///< band the last egress queue chose
 
   /// Total bytes on the wire, including every active encapsulation.
   [[nodiscard]] std::size_t wire_size() const noexcept;

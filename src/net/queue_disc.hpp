@@ -60,7 +60,10 @@ class QueueDisc {
       trace_event(obs::EventType::kDrop, p, reason, band);
     }
   }
-  void count_enqueue(const Packet& p, std::uint8_t band = 0) noexcept {
+  /// Also remembers the chosen band on the packet so the dequeue-side delay
+  /// attribution (Link/LatencyCollector) can break queue wait down per band.
+  void count_enqueue(Packet& p, std::uint8_t band = 0) noexcept {
+    p.queue_band = band;
     enqueued_.record(p.wire_size());
     if (recorder_->enabled(obs::Category::kQueue)) {
       trace_event(obs::EventType::kEnqueue, p, obs::DropReason::kNone, band);

@@ -13,6 +13,10 @@
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 
+namespace mvpn::obs {
+class LatencyCollector;
+}  // namespace mvpn::obs
+
 namespace mvpn::net {
 
 /// Adjacency record used by control-plane code (flooding, SPF).
@@ -71,6 +75,17 @@ class Topology {
     return taps_.size();
   }
 
+  /// Optional per-hop delay-decomposition sink. Null (the default) keeps
+  /// the data plane's stamping cost at one pointer test per stamp; when
+  /// set, links and routers feed queue/tx/prop/processing intervals to it.
+  /// The collector must outlive the traffic that feeds it.
+  void set_latency_collector(obs::LatencyCollector* collector) noexcept {
+    latency_collector_ = collector;
+  }
+  [[nodiscard]] obs::LatencyCollector* latency_collector() const noexcept {
+    return latency_collector_;
+  }
+
   /// Simulator-wide flight recorder (disabled until enable()d).
   [[nodiscard]] obs::FlightRecorder& recorder() noexcept { return recorder_; }
   [[nodiscard]] const obs::FlightRecorder& recorder() const noexcept {
@@ -98,6 +113,7 @@ class Topology {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   obs::HookList<ip::NodeId, const Packet&> taps_;
+  obs::LatencyCollector* latency_collector_ = nullptr;
   std::uint32_t next_transfer_net_ = 0;  // allocator for /30 link subnets
 };
 

@@ -1,0 +1,288 @@
+#include "obs/latency.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace mvpn::obs {
+
+namespace {
+
+std::string default_node_name(std::uint32_t node) {
+  return "node" + std::to_string(node);
+}
+
+std::string default_class_name(std::uint8_t cls) {
+  return "cls" + std::to_string(cls);
+}
+
+std::string name_node(const NodeNamer& namer, std::uint32_t node) {
+  return namer ? namer(node) : default_node_name(node);
+}
+
+std::string name_class(const ClassNamer& namer, std::uint8_t cls) {
+  return namer ? namer(cls) : default_class_name(cls);
+}
+
+double ms(sim::SimTime t) { return sim::to_seconds(t) * 1e3; }
+
+double share(sim::SimTime part, sim::SimTime total) {
+  return total > 0 ? static_cast<double>(part) / static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace
+
+LatencyCollector::Hop& LatencyCollector::hop_slot(std::uint32_t node,
+                                                  std::uint32_t link,
+                                                  std::uint8_t dir) {
+  const std::size_t idx = static_cast<std::size_t>(link) * 2 + (dir & 1);
+  if (idx >= hops_.size()) hops_.resize(idx + 1);
+  Hop& h = hops_[idx];
+  if (!h.seen) {
+    h.node = node;
+    h.link = link;
+    h.dir = dir & 1;
+    h.seen = true;
+  }
+  return h;
+}
+
+LatencyCollector::NodeProcessing& LatencyCollector::node_slot(
+    std::uint32_t node) {
+  if (node >= proc_.size()) proc_.resize(node + 1);
+  NodeProcessing& n = proc_[node];
+  if (!n.seen) {
+    n.node = node;
+    n.seen = true;
+  }
+  return n;
+}
+
+LatencyCollector::ClassDelivery& LatencyCollector::class_slot(
+    std::uint8_t cls) {
+  auto& slot = classes_[cls & (kClassCount - 1)];
+  if (!slot) slot = std::make_unique<ClassDelivery>();
+  return *slot;
+}
+
+void LatencyCollector::record_queue(std::uint32_t node, std::uint32_t link,
+                                    std::uint8_t dir, std::uint8_t band,
+                                    std::uint8_t cls, sim::SimTime wait) {
+  Hop& h = hop_slot(node, link, dir);
+  ++h.queued;
+  h.queue += wait;
+  BandWait& b = h.bands[band & (kBandCount - 1)];
+  ++b.packets;
+  b.wait += wait;
+  h.queue_by_class[cls & (kClassCount - 1)] += wait;
+}
+
+void LatencyCollector::record_tx(std::uint32_t node, std::uint32_t link,
+                                 std::uint8_t dir, sim::SimTime tx,
+                                 sim::SimTime prop) {
+  Hop& h = hop_slot(node, link, dir);
+  ++h.packets;
+  h.tx += tx;
+  h.prop += prop;
+}
+
+void LatencyCollector::record_processing(std::uint32_t node, sim::SimTime dt) {
+  NodeProcessing& n = node_slot(node);
+  ++n.intervals;
+  n.proc += dt;
+}
+
+void LatencyCollector::record_delivery(std::uint8_t cls, sim::SimTime queue,
+                                       sim::SimTime tx, sim::SimTime prop,
+                                       sim::SimTime proc) {
+  ++delivered_;
+  ClassDelivery& c = class_slot(cls);
+  ++c.packets;
+  c.queue += queue;
+  c.tx += tx;
+  c.prop += prop;
+  c.proc += proc;
+  const sim::SimTime total = queue + tx + prop + proc;
+  c.total += total;
+  c.e2e_s.add(sim::to_seconds(total));
+  c.queue_s.add(sim::to_seconds(queue));
+}
+
+std::vector<const LatencyCollector::Hop*> LatencyCollector::active_hops()
+    const {
+  std::vector<const Hop*> out;
+  for (const Hop& h : hops_) {
+    if (h.seen && (h.packets > 0 || h.queued > 0)) out.push_back(&h);
+  }
+  return out;
+}
+
+std::vector<const LatencyCollector::NodeProcessing*>
+LatencyCollector::active_nodes() const {
+  std::vector<const NodeProcessing*> out;
+  for (const NodeProcessing& n : proc_) {
+    if (n.seen && n.intervals > 0) out.push_back(&n);
+  }
+  return out;
+}
+
+stats::Table LatencyCollector::hop_table(const NodeNamer& node_namer,
+                                         const ClassNamer& cls_namer) const {
+  stats::Table t{"hop",        "pkts",      "queued %", "queue ms/pkt",
+                 "tx ms/pkt",  "prop ms/pkt", "hop share %"};
+  sim::SimTime grand_total = 0;
+  for (const Hop* h : active_hops()) grand_total += h->total();
+  for (const Hop* h : active_hops()) {
+    const double pkts = h->packets > 0 ? static_cast<double>(h->packets) : 1.0;
+    t.add_row({name_node(node_namer, h->node) + "->link" +
+                   std::to_string(h->link) + (h->dir == 0 ? "a" : "b"),
+               stats::Table::num(h->packets),
+               stats::Table::num(100.0 * static_cast<double>(h->queued) / pkts,
+                                 1),
+               stats::Table::num(ms(h->queue) / pkts, 4),
+               stats::Table::num(ms(h->tx) / pkts, 4),
+               stats::Table::num(ms(h->prop) / pkts, 4),
+               stats::Table::num(100.0 * share(h->total(), grand_total), 1)});
+    // Per-band queue-wait sub-rows, only where a band actually queued.
+    std::size_t active_bands = 0;
+    for (const BandWait& b : h->bands) {
+      if (b.packets > 0) ++active_bands;
+    }
+    if (active_bands > 1 || (active_bands == 1 && h->bands[0].packets == 0)) {
+      for (std::size_t band = 0; band < h->bands.size(); ++band) {
+        const BandWait& b = h->bands[band];
+        if (b.packets == 0) continue;
+        t.add_row({"  band" + std::to_string(band),
+                   stats::Table::num(b.packets), "",
+                   stats::Table::num(ms(b.wait) /
+                                         static_cast<double>(b.packets),
+                                     4),
+                   "", "", ""});
+      }
+    }
+  }
+  (void)cls_namer;  // classes appear in class_table / JSON, not per hop
+  return t;
+}
+
+stats::Table LatencyCollector::class_table(const ClassNamer& cls_namer) const {
+  stats::Table t{"class",     "pkts",     "e2e p50 ms", "e2e p99 ms",
+                 "queue %",   "tx %",     "prop %",     "proc %",
+                 "queue p99 ms"};
+  for (std::size_t cls = 0; cls < classes_.size(); ++cls) {
+    const ClassDelivery* c = classes_[cls].get();
+    if (c == nullptr || c->packets == 0) continue;
+    t.add_row({name_class(cls_namer, static_cast<std::uint8_t>(cls)),
+               stats::Table::num(c->packets),
+               stats::Table::num(c->e2e_s.percentile(50) * 1e3, 3),
+               stats::Table::num(c->e2e_s.percentile(99) * 1e3, 3),
+               stats::Table::num(100.0 * share(c->queue, c->total), 1),
+               stats::Table::num(100.0 * share(c->tx, c->total), 1),
+               stats::Table::num(100.0 * share(c->prop, c->total), 1),
+               stats::Table::num(100.0 * share(c->proc, c->total), 1),
+               stats::Table::num(c->queue_s.percentile(99) * 1e3, 3)});
+  }
+  return t;
+}
+
+void LatencyCollector::write_json(std::ostream& out,
+                                  const NodeNamer& node_namer,
+                                  const ClassNamer& cls_namer) const {
+  out << "{\"delivered\":" << delivered_ << ",\"hops\":[";
+  bool first = true;
+  for (const Hop* h : active_hops()) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"node\":\"" << name_node(node_namer, h->node) << "\",\"link\":"
+        << h->link << ",\"dir\":" << int(h->dir)
+        << ",\"packets\":" << h->packets << ",\"queued\":" << h->queued
+        << ",\"queue_ms\":" << ms(h->queue) << ",\"tx_ms\":" << ms(h->tx)
+        << ",\"prop_ms\":" << ms(h->prop) << ",\"bands\":[";
+    bool bfirst = true;
+    for (std::size_t band = 0; band < h->bands.size(); ++band) {
+      const BandWait& b = h->bands[band];
+      if (b.packets == 0) continue;
+      if (!bfirst) out << ',';
+      bfirst = false;
+      out << "{\"band\":" << band << ",\"packets\":" << b.packets
+          << ",\"wait_ms\":" << ms(b.wait) << '}';
+    }
+    out << "],\"queue_ms_by_class\":{";
+    bool cfirst = true;
+    for (std::size_t cls = 0; cls < h->queue_by_class.size(); ++cls) {
+      if (h->queue_by_class[cls] == 0) continue;
+      if (!cfirst) out << ',';
+      cfirst = false;
+      out << '"' << name_class(cls_namer, static_cast<std::uint8_t>(cls))
+          << "\":" << ms(h->queue_by_class[cls]);
+    }
+    out << "}}";
+  }
+  out << "],\"node_processing\":[";
+  first = true;
+  for (const NodeProcessing* n : active_nodes()) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"node\":\"" << name_node(node_namer, n->node)
+        << "\",\"intervals\":" << n->intervals
+        << ",\"proc_ms\":" << ms(n->proc) << '}';
+  }
+  out << "],\"classes\":[";
+  first = true;
+  for (std::size_t cls = 0; cls < classes_.size(); ++cls) {
+    const ClassDelivery* c = classes_[cls].get();
+    if (c == nullptr || c->packets == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << "{\"class\":\""
+        << name_class(cls_namer, static_cast<std::uint8_t>(cls))
+        << "\",\"packets\":" << c->packets << ",\"e2e_ms\":{\"mean\":"
+        << c->e2e_s.mean() * 1e3 << ",\"p50\":" << c->e2e_s.percentile(50) * 1e3
+        << ",\"p99\":" << c->e2e_s.percentile(99) * 1e3
+        << ",\"max\":" << c->e2e_s.max() * 1e3 << "},\"queue_ms\":{\"p50\":"
+        << c->queue_s.percentile(50) * 1e3
+        << ",\"p99\":" << c->queue_s.percentile(99) * 1e3
+        << "},\"share\":{\"queue\":" << share(c->queue, c->total)
+        << ",\"tx\":" << share(c->tx, c->total)
+        << ",\"prop\":" << share(c->prop, c->total)
+        << ",\"proc\":" << share(c->proc, c->total) << "}}";
+  }
+  out << "]}\n";
+}
+
+void register_latency_metrics(const LatencyCollector& collector,
+                              MetricsRegistry& registry,
+                              const ClassNamer& cls_namer) {
+  const LatencyCollector* c = &collector;
+  registry.add_gauge("latency/total/delivered",
+                     [c] { return static_cast<double>(c->delivered()); });
+  for (std::uint8_t cls = 0; cls < LatencyCollector::kClassCount; ++cls) {
+    const std::string prefix =
+        "latency/class/" + name_class(cls_namer, cls) + '/';
+    auto get = [c, cls]() { return c->class_delivery(cls); };
+    registry.add_gauge(prefix + "packets", [get] {
+      const auto* d = get();
+      return d != nullptr ? static_cast<double>(d->packets) : 0.0;
+    });
+    registry.add_gauge(prefix + "e2e_ms_p50", [get] {
+      const auto* d = get();
+      return d != nullptr ? d->e2e_s.percentile(50) * 1e3 : 0.0;
+    });
+    registry.add_gauge(prefix + "e2e_ms_p99", [get] {
+      const auto* d = get();
+      return d != nullptr ? d->e2e_s.percentile(99) * 1e3 : 0.0;
+    });
+    registry.add_gauge(prefix + "queue_share", [get] {
+      const auto* d = get();
+      return d != nullptr ? share(d->queue, d->total) : 0.0;
+    });
+    registry.add_gauge(prefix + "proc_share", [get] {
+      const auto* d = get();
+      return d != nullptr ? share(d->proc, d->total) : 0.0;
+    });
+  }
+}
+
+}  // namespace mvpn::obs

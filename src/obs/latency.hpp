@@ -1,0 +1,134 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "obs/sinks.hpp"
+#include "sim/time.hpp"
+#include "stats/log_histogram.hpp"
+#include "stats/table.hpp"
+
+namespace mvpn::obs {
+
+class MetricsRegistry;
+
+/// Names a 3-bit traffic class (EXP / class-selector bits) for reports.
+using ClassNamer = std::function<std::string(std::uint8_t)>;
+
+/// Aggregates the per-packet delay anatomy the data plane stamps
+/// (net::DelayAnatomy) into per-hop, per-band and per-class accounting:
+/// where, along the path, does each class's end-to-end delay come from?
+///
+/// Lives in the obs layer, so it speaks raw ids (node / link / direction /
+/// band / class) and never includes net headers; net::Link and vpn::Router
+/// feed it through the pointer installed with
+/// net::Topology::set_latency_collector(). All distributions are
+/// bounded-memory LogHistograms — attaching the collector never makes
+/// memory grow with packet count.
+///
+/// A "hop" is one link direction (link id + 0/1 for the A->B / B->A side),
+/// i.e. one egress queue + transmitter, attributed to the sending node.
+class LatencyCollector {
+ public:
+  static constexpr std::size_t kClassCount = 8;  // 3-bit EXP / CS space
+  static constexpr std::size_t kBandCount = 8;
+
+  struct BandWait {
+    std::uint64_t packets = 0;      ///< dequeues that had waited
+    sim::SimTime wait = 0;          ///< total queueing time in the band
+  };
+
+  /// One link direction, attributed to the transmitting node.
+  struct Hop {
+    std::uint32_t node = 0;         ///< sender
+    std::uint32_t link = 0;
+    std::uint8_t dir = 0;           ///< 0: A->B, 1: B->A
+    bool seen = false;
+    std::uint64_t packets = 0;      ///< transmissions started here
+    std::uint64_t queued = 0;       ///< of which waited in the egress queue
+    sim::SimTime queue = 0;         ///< total queueing time
+    sim::SimTime tx = 0;            ///< total serialization time
+    sim::SimTime prop = 0;          ///< total propagation time
+    std::array<BandWait, kBandCount> bands{};         ///< queue wait by band
+    std::array<sim::SimTime, kClassCount> queue_by_class{};
+
+    [[nodiscard]] sim::SimTime total() const noexcept {
+      return queue + tx + prop;
+    }
+  };
+
+  /// Time a node spent holding packets outside link queues (shapers,
+  /// crypto, lookup charges), attributed per sojourn interval.
+  struct NodeProcessing {
+    std::uint32_t node = 0;
+    bool seen = false;
+    std::uint64_t intervals = 0;
+    sim::SimTime proc = 0;
+  };
+
+  /// End-to-end decomposition for one delivered traffic class.
+  struct ClassDelivery {
+    std::uint64_t packets = 0;
+    sim::SimTime queue = 0;
+    sim::SimTime tx = 0;
+    sim::SimTime prop = 0;
+    sim::SimTime proc = 0;
+    sim::SimTime total = 0;
+    stats::LogHistogram e2e_s;      ///< end-to-end delay (seconds)
+    stats::LogHistogram queue_s;    ///< per-packet total queueing (seconds)
+  };
+
+  /// --- feeding (called from the data plane) ------------------------------
+  void record_queue(std::uint32_t node, std::uint32_t link, std::uint8_t dir,
+                    std::uint8_t band, std::uint8_t cls, sim::SimTime wait);
+  void record_tx(std::uint32_t node, std::uint32_t link, std::uint8_t dir,
+                 sim::SimTime tx, sim::SimTime prop);
+  void record_processing(std::uint32_t node, sim::SimTime dt);
+  void record_delivery(std::uint8_t cls, sim::SimTime queue, sim::SimTime tx,
+                       sim::SimTime prop, sim::SimTime proc);
+
+  /// --- reading -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  /// Hops that carried at least one packet, ordered by (link, dir).
+  [[nodiscard]] std::vector<const Hop*> active_hops() const;
+  [[nodiscard]] std::vector<const NodeProcessing*> active_nodes() const;
+  /// Per-class decomposition; null until the class delivers a packet.
+  [[nodiscard]] const ClassDelivery* class_delivery(std::uint8_t cls) const {
+    return cls < kClassCount ? classes_[cls].get() : nullptr;
+  }
+
+  /// Per-hop table: where queueing/serialization/propagation time is spent,
+  /// with per-band queue-wait sub-rows for multi-band hops.
+  [[nodiscard]] stats::Table hop_table(const NodeNamer& node_namer = {},
+                                       const ClassNamer& cls_namer = {}) const;
+  /// Per-class delay-budget table: component shares of end-to-end delay.
+  [[nodiscard]] stats::Table class_table(
+      const ClassNamer& cls_namer = {}) const;
+
+  /// Machine-readable dump of everything above (one JSON object).
+  void write_json(std::ostream& out, const NodeNamer& node_namer = {},
+                  const ClassNamer& cls_namer = {}) const;
+
+ private:
+  Hop& hop_slot(std::uint32_t node, std::uint32_t link, std::uint8_t dir);
+  NodeProcessing& node_slot(std::uint32_t node);
+  ClassDelivery& class_slot(std::uint8_t cls);
+
+  std::vector<Hop> hops_;             // indexed link*2 + dir, grown lazily
+  std::vector<NodeProcessing> proc_;  // indexed by node id, grown lazily
+  std::array<std::unique_ptr<ClassDelivery>, kClassCount> classes_{};
+  std::uint64_t delivered_ = 0;
+};
+
+/// Register the collector's per-class figures as registry gauges under
+/// "latency/class/<name>/..." plus aggregate component shares under
+/// "latency/total/...". Safe to call before traffic runs: gauges read live.
+void register_latency_metrics(const LatencyCollector& collector,
+                              MetricsRegistry& registry,
+                              const ClassNamer& cls_namer = {});
+
+}  // namespace mvpn::obs

@@ -62,9 +62,21 @@ void MetricsRegistry::add_sample_set(std::string name,
                                      const stats::SampleSet* s) {
   sources_[name + "/count"] = [s] { return static_cast<double>(s->count()); };
   sources_[name + "/mean"] = [s] { return s->mean(); };
-  sources_[name + "/p50"] = [s] { return s->percentile(50.0); };
-  sources_[name + "/p99"] = [s] { return s->percentile(99.0); };
+  // Percentiles read the bounded-memory sketch mirror: an exact read would
+  // re-sort the whole sample vector on every PeriodicSnapshots tick, making
+  // snapshot cost grow with sample count.
+  sources_[name + "/p50"] = [s] { return s->approx().percentile(50.0); };
+  sources_[name + "/p99"] = [s] { return s->approx().percentile(99.0); };
   sources_[std::move(name) + "/max"] = [s] { return s->max(); };
+}
+
+void MetricsRegistry::add_log_histogram(std::string name,
+                                        const stats::LogHistogram* h) {
+  sources_[name + "/count"] = [h] { return static_cast<double>(h->count()); };
+  sources_[name + "/mean"] = [h] { return h->mean(); };
+  sources_[name + "/p50"] = [h] { return h->percentile(50.0); };
+  sources_[name + "/p99"] = [h] { return h->percentile(99.0); };
+  sources_[std::move(name) + "/max"] = [h] { return h->max(); };
 }
 
 void MetricsRegistry::add_histogram(std::string name,

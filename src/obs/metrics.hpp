@@ -39,8 +39,12 @@ class MetricsRegistry : public stats::CounterHook {
   void add_gauge(std::string name, std::function<double()> fn);
   /// Expands to <name>/packets and <name>/bytes.
   void add_packet_byte(std::string name, const stats::PacketByteCounter* c);
-  /// Expands to count/mean/p50/p99/max at snapshot time.
+  /// Expands to count/mean/p50/p99/max at snapshot time. p50/p99 read the
+  /// set's LogHistogram mirror so a snapshot never re-sorts the samples —
+  /// snapshot cost stays flat no matter how many samples accumulate.
   void add_sample_set(std::string name, const stats::SampleSet* s);
+  /// Expands to count/mean/p50/p99/max; all reads are flat-cost.
+  void add_log_histogram(std::string name, const stats::LogHistogram* h);
   /// Expands to total/underflow/overflow/p50/p99.
   void add_histogram(std::string name, const stats::Histogram* h);
 

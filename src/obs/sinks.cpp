@@ -38,6 +38,8 @@ Category category_of(EventType t) noexcept {
     case EventType::kLspDown:
     case EventType::kLspReroute:
     case EventType::kLdpMapping:
+    case EventType::kLdpAnnounce:
+    case EventType::kLspSignal:
       return Category::kSignaling;
     case EventType::kOamProbe:
     case EventType::kOamReply:

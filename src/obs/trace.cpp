@@ -30,6 +30,8 @@ const char* to_string(EventType t) noexcept {
     case EventType::kLspDown: return "lsp_down";
     case EventType::kLspReroute: return "lsp_reroute";
     case EventType::kLdpMapping: return "ldp_mapping";
+    case EventType::kLdpAnnounce: return "ldp_announce";
+    case EventType::kLspSignal: return "lsp_signal";
     case EventType::kOamProbe: return "oam_probe";
     case EventType::kOamReply: return "oam_reply";
     case EventType::kOamTimeout: return "oam_timeout";

@@ -48,6 +48,8 @@ enum class EventType : std::uint8_t {
   kLspDown,       ///< RSVP-TE LSP failed / torn down (a = LSP id)
   kLspReroute,    ///< head-end reroute triggered (a = LSP id, b = link id)
   kLdpMapping,    ///< LDP label mapping accepted (a = label, b = FEC owner)
+  kLdpAnnounce,   ///< egress FEC announced into LDP (a = label, b = owner)
+  kLspSignal,     ///< RSVP-TE Path signaling started (a = LSP id)
   kOamProbe,      ///< LSP ping probe sent (a = LSP id)
   kOamReply,      ///< LSP ping reply received at the head (a = LSP id)
   kOamTimeout,    ///< LSP ping timed out (a = LSP id)

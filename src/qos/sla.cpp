@@ -20,13 +20,31 @@ void SlaProbe::record_delivered(Phb cls, std::uint32_t flow_id,
   r.delivered_bytes += bytes;
   r.latency_s.add(sim::to_seconds(latency));
 
-  auto [it, inserted] = last_latency_by_flow_.try_emplace(flow_id, latency);
+  auto [it, inserted] = jitter_by_flow_.try_emplace(flow_id);
+  FlowJitter& f = it->second;
   if (!inserted) {
-    const sim::SimTime delta =
-        latency > it->second ? latency - it->second : it->second - latency;
-    r.jitter_s.add(sim::to_seconds(delta));
-    it->second = latency;
+    const sim::SimTime delta = latency > f.last_latency
+                                   ? latency - f.last_latency
+                                   : f.last_latency - latency;
+    const double d_s = sim::to_seconds(delta);
+    r.jitter_s.add(d_s);
+    f.j_s += (d_s - f.j_s) / 16.0;  // RFC 3550 §6.4.1
+    f.has_delta = true;
   }
+  f.last_latency = latency;
+  f.cls = cls;
+}
+
+double SlaProbe::rfc3550_jitter_s(Phb cls) const {
+  double sum = 0.0;
+  std::uint64_t flows = 0;
+  for (const auto& [id, f] : jitter_by_flow_) {
+    if (f.cls == cls && f.has_delta) {
+      sum += f.j_s;
+      ++flows;
+    }
+  }
+  return flows > 0 ? sum / static_cast<double>(flows) : 0.0;
 }
 
 const SlaProbe::ClassReport& SlaProbe::report(Phb cls) const {
@@ -42,9 +60,9 @@ bool SlaProbe::has_class(Phb cls) const {
 }
 
 stats::Table SlaProbe::to_table(double interval_s) const {
-  stats::Table t{"class",      "sent",        "delivered",  "loss %",
-                 "mean ms",    "p50 ms",      "p99 ms",     "jitter ms",
-                 "goodput Mb/s"};
+  stats::Table t{"class",      "sent",      "delivered", "loss %",
+                 "mean ms",    "p50 ms",    "p99 ms",    "jitter ms",
+                 "j3550 ms",   "goodput Mb/s"};
   for (const auto& [cls, r] : by_class_) {
     t.add_row({to_string(cls), stats::Table::num(r.sent_packets),
                stats::Table::num(r.delivered_packets),
@@ -53,6 +71,7 @@ stats::Table SlaProbe::to_table(double interval_s) const {
                stats::Table::num(r.latency_s.percentile(50) * 1e3, 3),
                stats::Table::num(r.latency_s.percentile(99) * 1e3, 3),
                stats::Table::num(r.jitter_s.mean() * 1e3, 3),
+               stats::Table::num(rfc3550_jitter_s(cls) * 1e3, 3),
                stats::Table::num(r.goodput_bps(interval_s) / 1e6, 3)});
   }
   return t;
@@ -61,7 +80,7 @@ stats::Table SlaProbe::to_table(double interval_s) const {
 std::string SlaProbe::to_csv(double interval_s) const {
   std::string out =
       "class,sent,delivered,loss_pct,mean_ms,p50_ms,p99_ms,jitter_ms,"
-      "goodput_mbps\n";
+      "jitter_rfc3550_ms,goodput_mbps\n";
   for (const auto& [cls, r] : by_class_) {
     out += to_string(cls) + ',' + std::to_string(r.sent_packets) + ',' +
            std::to_string(r.delivered_packets) + ',' +
@@ -70,6 +89,7 @@ std::string SlaProbe::to_csv(double interval_s) const {
            stats::Table::num(r.latency_s.percentile(50) * 1e3, 4) + ',' +
            stats::Table::num(r.latency_s.percentile(99) * 1e3, 4) + ',' +
            stats::Table::num(r.jitter_s.mean() * 1e3, 4) + ',' +
+           stats::Table::num(rfc3550_jitter_s(cls) * 1e3, 4) + ',' +
            stats::Table::num(r.goodput_bps(interval_s) / 1e6, 4) + '\n';
   }
   return out;

@@ -7,7 +7,7 @@
 #include "net/packet.hpp"
 #include "qos/dscp.hpp"
 #include "sim/time.hpp"
-#include "stats/histogram.hpp"
+#include "stats/log_histogram.hpp"
 #include "stats/running_stats.hpp"
 #include "stats/table.hpp"
 
@@ -17,8 +17,14 @@ namespace mvpn::qos {
 /// feed it departures, and it produces the delay/jitter/loss/goodput rows
 /// the paper's SLA discussion is about (§3.1, §5).
 ///
-/// Jitter is RFC 3550-style: mean absolute difference of consecutive
-/// one-way delays within each flow, aggregated per class.
+/// Two jitter figures are kept per class: the mean absolute difference of
+/// consecutive one-way delays within each flow (the historical column), and
+/// true RFC 3550 §6.4.1 inter-arrival jitter — the per-flow EWMA
+/// J += (|D| - J)/16 — averaged across the class's flows, so the
+/// packet-delay-variation comparison is apples-to-apples with the DiffServ
+/// PDV literature. Latency percentiles come from a bounded-memory
+/// LogHistogram sketch (exact mean/min/max, ~0.8% relative error on
+/// percentiles), so the probe survives million-packet runs in O(1) memory.
 class SlaProbe {
  public:
   explicit SlaProbe(std::string name = "sla");
@@ -32,7 +38,7 @@ class SlaProbe {
     std::uint64_t sent_bytes = 0;
     std::uint64_t delivered_packets = 0;
     std::uint64_t delivered_bytes = 0;
-    stats::SampleSet latency_s;       ///< one-way delay samples (seconds)
+    stats::LogHistogram latency_s;    ///< one-way delay sketch (seconds)
     stats::RunningStats jitter_s;     ///< |delta delay| samples (seconds)
 
     [[nodiscard]] double loss_fraction() const noexcept {
@@ -51,6 +57,12 @@ class SlaProbe {
 
   [[nodiscard]] const ClassReport& report(Phb cls) const;
   [[nodiscard]] bool has_class(Phb cls) const;
+
+  /// RFC 3550 §6.4.1 inter-arrival jitter for `cls` in seconds: each flow
+  /// runs J += (|D| - J)/16 over consecutive one-way delay deltas; the
+  /// class figure is the mean of its flows' current J. 0 until some flow
+  /// of the class has delivered at least two packets.
+  [[nodiscard]] double rfc3550_jitter_s(Phb cls) const;
   [[nodiscard]] const std::map<Phb, ClassReport>& all() const noexcept {
     return by_class_;
   }
@@ -64,9 +76,16 @@ class SlaProbe {
   [[nodiscard]] std::string to_csv(double interval_s) const;
 
  private:
+  struct FlowJitter {
+    sim::SimTime last_latency = 0;
+    double j_s = 0.0;          ///< RFC 3550 running jitter estimate
+    bool has_delta = false;
+    Phb cls{};
+  };
+
   std::string name_;
   std::map<Phb, ClassReport> by_class_;
-  std::unordered_map<std::uint32_t, sim::SimTime> last_latency_by_flow_;
+  std::unordered_map<std::uint32_t, FlowJitter> jitter_by_flow_;
 };
 
 }  // namespace mvpn::qos

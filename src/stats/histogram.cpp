@@ -10,6 +10,7 @@ void SampleSet::add(double x) {
   samples_.push_back(x);
   sorted_ = false;
   stats_.add(x);
+  sketch_.add(x);
 }
 
 double SampleSet::percentile(double p) const {
@@ -17,6 +18,7 @@ double SampleSet::percentile(double p) const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
+    ++sort_count_;
   }
   p = std::clamp(p, 0.0, 100.0);
   // Nearest-rank: ceil(p/100 * N), 1-indexed.

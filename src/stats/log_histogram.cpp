@@ -1,0 +1,113 @@
+#include "stats/log_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mvpn::stats {
+
+LogHistogram::LogHistogram(double min_value, double max_value,
+                           unsigned sub_bucket_bits)
+    : min_value_(min_value),
+      max_value_(max_value),
+      sub_bucket_bits_(sub_bucket_bits),
+      sub_buckets_(1u << sub_bucket_bits) {
+  if (!(min_value > 0.0) || !(max_value > min_value) || sub_bucket_bits > 16) {
+    throw std::invalid_argument(
+        "LogHistogram: require 0 < min < max and sub_bucket_bits <= 16");
+  }
+  octaves_ = static_cast<std::uint32_t>(
+      std::ceil(std::log2(max_value / min_value)));
+  if (octaves_ == 0) octaves_ = 1;
+  counts_.assign(static_cast<std::size_t>(octaves_) * sub_buckets_, 0);
+}
+
+std::size_t LogHistogram::index_of(double x) const noexcept {
+  // x = min_value * mant * 2^exp with mant in [0.5, 1), so the value sits in
+  // octave exp-1 (covering [min*2^(exp-1), min*2^exp)) at linear sub-bucket
+  // floor((2*mant - 1) * sub_buckets).
+  const double r = x / min_value_;
+  int exp = 0;
+  const double mant = std::frexp(r, &exp);
+  const int octave = exp - 1;
+  if (octave < 0 || static_cast<std::uint32_t>(octave) >= octaves_) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  auto sub = static_cast<std::uint32_t>(
+      (mant * 2.0 - 1.0) * static_cast<double>(sub_buckets_));
+  if (sub >= sub_buckets_) sub = sub_buckets_ - 1;  // fp edge at mant -> 1
+  return static_cast<std::size_t>(octave) * sub_buckets_ + sub;
+}
+
+double LogHistogram::bucket_lo(std::size_t idx) const noexcept {
+  const auto octave = static_cast<std::uint32_t>(idx / sub_buckets_);
+  const auto sub = static_cast<std::uint32_t>(idx % sub_buckets_);
+  const double base = min_value_ * std::ldexp(1.0, static_cast<int>(octave));
+  return base * (1.0 + static_cast<double>(sub) /
+                           static_cast<double>(sub_buckets_));
+}
+
+double LogHistogram::bucket_hi(std::size_t idx) const noexcept {
+  const auto octave = static_cast<std::uint32_t>(idx / sub_buckets_);
+  const auto sub = static_cast<std::uint32_t>(idx % sub_buckets_);
+  const double base = min_value_ * std::ldexp(1.0, static_cast<int>(octave));
+  return base * (1.0 + static_cast<double>(sub + 1) /
+                           static_cast<double>(sub_buckets_));
+}
+
+void LogHistogram::add(double x) {
+  stats_.add(x);
+  if (!(x >= min_value_)) {  // also catches NaN
+    ++underflow_;
+    return;
+  }
+  const std::size_t idx = index_of(x);
+  if (idx == std::numeric_limits<std::size_t>::max()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (!same_geometry(other)) {
+    throw std::invalid_argument("LogHistogram::merge: geometry mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  stats_.merge(other.stats_);
+}
+
+void LogHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  underflow_ = 0;
+  overflow_ = 0;
+  stats_.reset();
+}
+
+double LogHistogram::percentile(double p) const {
+  const std::uint64_t n = stats_.count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: ceil(p/100 * N), 1-indexed — same convention as SampleSet.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  std::uint64_t cum = underflow_;
+  if (rank <= cum) return stats_.min();  // below-range samples: best bound
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (rank <= cum) {
+      const double mid = 0.5 * (bucket_lo(i) + bucket_hi(i));
+      return std::clamp(mid, stats_.min(), stats_.max());
+    }
+  }
+  return stats_.max();  // rank lands in the overflow bin
+}
+
+}  // namespace mvpn::stats

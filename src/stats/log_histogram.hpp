@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/running_stats.hpp"
+
+namespace mvpn::stats {
+
+/// HDR-style log-linear quantile sketch with bounded memory.
+///
+/// Values are bucketed into exponential octaves, each split into
+/// `sub_buckets` linear sub-buckets, so the relative width of every bucket
+/// is at most 1/sub_buckets and a percentile read off the bucket midpoint is
+/// within 1/(2*sub_buckets) relative error of the exact nearest-rank sample
+/// (0.78% at the default 64 sub-buckets). Memory is O(octaves * sub_buckets),
+/// independent of how many samples are folded in — unlike SampleSet, which
+/// keeps every sample and is untenable at millions of packets.
+///
+/// The read API mirrors SampleSet (count/empty/mean/stddev/min/max/
+/// percentile/median/summary) so the two are drop-in interchangeable in
+/// report plumbing. mean/stddev/min/max are exact (kept in an embedded
+/// RunningStats); only percentile() is approximate. Sketches with identical
+/// geometry merge losslessly, which makes per-shard accounting reducible.
+class LogHistogram {
+ public:
+  /// Default range covers 1 ns .. 10,000 s expressed in seconds — wide
+  /// enough for every latency-like quantity in the simulator.
+  static constexpr double kDefaultMin = 1e-9;
+  static constexpr double kDefaultMax = 1e4;
+  static constexpr unsigned kDefaultSubBucketBits = 6;  // 64 sub-buckets
+
+  explicit LogHistogram(double min_value = kDefaultMin,
+                        double max_value = kDefaultMax,
+                        unsigned sub_bucket_bits = kDefaultSubBucketBits);
+
+  /// Fold one sample. Values below min_value land in the underflow bin,
+  /// values at/above max_value in the overflow bin; both still contribute
+  /// their exact value to mean/min/max via the summary accumulator.
+  void add(double x);
+
+  /// Fold another sketch into this one. Throws std::invalid_argument when
+  /// the bucket geometries differ (merging would silently misbin).
+  void merge(const LogHistogram& other);
+
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return stats_.count(); }
+  [[nodiscard]] bool empty() const noexcept { return stats_.count() == 0; }
+  [[nodiscard]] double mean() const noexcept { return stats_.mean(); }
+  [[nodiscard]] double stddev() const noexcept { return stats_.stddev(); }
+  [[nodiscard]] double min() const noexcept { return stats_.min(); }
+  [[nodiscard]] double max() const noexcept { return stats_.max(); }
+  [[nodiscard]] double sum() const noexcept { return stats_.sum(); }
+
+  /// Nearest-rank percentile, p in [0, 100]. Returns the midpoint of the
+  /// bucket holding the rank-th sample, clamped to the observed [min, max]
+  /// so p=0 and p=100 are exact. Returns 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] const RunningStats& summary() const noexcept { return stats_; }
+
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+  /// Footprint of the bucket array — constant in the number of samples.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return counts_.size() * sizeof(std::uint64_t);
+  }
+  /// Guaranteed relative-error bound for in-range percentile queries.
+  [[nodiscard]] double relative_error_bound() const noexcept {
+    return 0.5 / static_cast<double>(sub_buckets_);
+  }
+
+  [[nodiscard]] bool same_geometry(const LogHistogram& other) const noexcept {
+    return min_value_ == other.min_value_ &&
+           octaves_ == other.octaves_ && sub_buckets_ == other.sub_buckets_;
+  }
+
+ private:
+  /// Bucket index for an in-range value, or SIZE_MAX for out-of-range.
+  [[nodiscard]] std::size_t index_of(double x) const noexcept;
+  [[nodiscard]] double bucket_lo(std::size_t idx) const noexcept;
+  [[nodiscard]] double bucket_hi(std::size_t idx) const noexcept;
+
+  double min_value_;
+  double max_value_;
+  unsigned sub_bucket_bits_;
+  std::uint32_t sub_buckets_;
+  std::uint32_t octaves_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  RunningStats stats_;
+};
+
+}  // namespace mvpn::stats

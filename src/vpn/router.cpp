@@ -3,6 +3,8 @@
 #include <functional>
 #include <stdexcept>
 
+#include "obs/latency.hpp"
+
 namespace mvpn::vpn {
 
 const char* to_string(Role r) noexcept {
@@ -432,6 +434,18 @@ void Router::forward_labeled(net::PacketPtr p) {
 
 void Router::deliver_local(net::PacketPtr p, VpnId vpn) {
   counters_.delivered.add();
+  // Close the delay anatomy: everything since the last link stamp (ESP
+  // decrypt charge, VRF lookup time) is egress processing. After this,
+  // queue + tx + prop + proc == now - created_at, exactly.
+  const sim::SimTime deliver_now = topology().scheduler().now();
+  const sim::SimTime tail = deliver_now - p->delay.anchor(p->created_at);
+  if (tail > 0) {
+    p->delay.proc += tail;
+    if (obs::LatencyCollector* lc = topology().latency_collector()) {
+      lc->record_processing(id(), tail);
+    }
+  }
+  p->delay.last = deliver_now;
   // OAM probes (127/8 destinations) go to the OAM hooks, not the sink.
   if (!oam_taps_.empty() && (p->ip.dst.value() >> 24) == 127) {
     oam_taps_.invoke(*p);

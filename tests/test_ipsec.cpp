@@ -257,22 +257,25 @@ TEST(EspSa, ProtectBufferRunsRealCrypto) {
 }
 
 TEST(CryptoCostModel, CalibratesPositiveCosts) {
-  // Wall-clock measurement is noisy under load; take the best of several
-  // calibrations per suite (min filters out descheduling spikes).
-  auto best_of = [](CipherSuite suite) {
-    double best = 1e18;
-    for (int i = 0; i < 3; ++i) {
-      best = std::min(
-          best, CryptoCostModel::calibrate(suite, 1 << 12).ns_per_byte);
-    }
-    return best;
-  };
-  const double des = best_of(CipherSuite::kDesCbc);
+  // Wall-clock measurement is noisy under load; interleave the two suites
+  // and take each one's best of several calibrations, so a descheduling
+  // spike (e.g. parallel ctest) cannot inflate only one side of the
+  // comparison.
+  double des = 1e18, tdes = 1e18;
+  for (int i = 0; i < 7; ++i) {
+    des = std::min(des, CryptoCostModel::calibrate(CipherSuite::kDesCbc,
+                                                   1 << 12)
+                            .ns_per_byte);
+    tdes = std::min(tdes,
+                    CryptoCostModel::calibrate(CipherSuite::kTripleDesCbc,
+                                               1 << 12)
+                        .ns_per_byte);
+  }
   EXPECT_GT(des, 0.0);
   const CryptoCostModel m{des, des * 64};
   EXPECT_GT(m.packet_cost_ns(500), m.packet_cost_ns(64));
   // 3DES costs roughly 3x DES; at least it must cost more.
-  EXPECT_GT(best_of(CipherSuite::kTripleDesCbc), des);
+  EXPECT_GT(tdes, des);
 }
 
 TEST(EspSa, NullCipherSkipsIvAndPadStillAligns) {

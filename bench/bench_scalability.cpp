@@ -19,9 +19,12 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "backbone/fixtures.hpp"
+#include "backbone/partition.hpp"
+#include "net/shard_runtime.hpp"
 #include "obs/trace.hpp"
 #include "qos/sla.hpp"
 #include "stats/table.hpp"
@@ -173,16 +176,186 @@ void keep_best(ThroughputResult& best, const ThroughputResult& r) {
   if (best.wall_s == 0 || r.wall_s < best.wall_s) best = r;
 }
 
-void print_throughput(const ThroughputResult& r, const char* variant) {
+void print_throughput(const ThroughputResult& r, const char* variant,
+                      const char* topo);
+
+// --- Sharded parallel engine ---------------------------------------------
+//
+// Same end-to-end forwarding benchmark, on a larger 8P/16PE backbone,
+// driven serially (shards = 1) or by the conservative parallel engine.
+// Every variant simulates the identical event history (the engine's
+// determinism guarantee), so delivered-packet counts must match exactly
+// across shard counts — the phase fails loudly if they do not — and only
+// the wall clock may move.
+
+ThroughputResult run_sharded(std::uint32_t shards, std::size_t flows,
+                             double sim_seconds) {
+  backbone::BackboneConfig cfg;
+  cfg.p_count = 8;
+  cfg.pe_count = 16;
+  cfg.seed = 7;
+  backbone::MplsBackbone bb(cfg);
+
+  const vpn::VpnId v = bb.service.create_vpn("T");
+  std::vector<backbone::MplsBackbone::Site> sites;
+  for (std::size_t i = 0; i < cfg.pe_count; ++i) {
+    sites.push_back(bb.add_site(
+        v, i,
+        ip::Prefix(ip::Ipv4Address(10, std::uint8_t(1 + i), 0, 0), 16)));
+  }
+  bb.start_and_converge();
+
+  std::unique_ptr<net::ShardRuntime> runtime;
+  if (shards > 1) {
+    backbone::ShardPlan plan = backbone::compute_shard_plan(bb.topo, shards);
+    if (plan.parallel() && plan.lookahead > 0) {
+      runtime = std::make_unique<net::ShardRuntime>(
+          bb.topo, std::move(plan.node_shard), plan.shard_count,
+          plan.lookahead);
+    }
+  }
+
+  // One probe/sink lane per shard: sent-side counters accumulate on the
+  // source CE's shard, deliveries on the destination's, with each sink
+  // reading its own shard's clock. Serial runs use a single lane.
+  const std::uint32_t lanes = runtime ? runtime->shard_count() : 1;
+  std::vector<std::unique_ptr<qos::SlaProbe>> probes;
+  std::vector<std::unique_ptr<traffic::MeasurementSink>> sinks;
+  for (std::uint32_t s = 0; s < lanes; ++s) {
+    probes.push_back(
+        std::make_unique<qos::SlaProbe>("lane" + std::to_string(s)));
+    sinks.push_back(std::make_unique<traffic::MeasurementSink>(
+        *probes[s],
+        runtime ? runtime->shard_scheduler(s) : bb.topo.scheduler()));
+  }
+  auto lane_of = [&](const backbone::MplsBackbone::Site& site) {
+    return runtime ? bb.topo.shard_of(site.ce->id()) : 0U;
+  };
+  for (auto& site : sites) sinks[lane_of(site)]->bind(*site.ce);
+
+  std::vector<std::unique_ptr<traffic::CbrSource>> sources;
+  for (std::size_t i = 0; i < flows; ++i) {
+    const std::size_t a = i % sites.size();
+    const std::size_t b = (i + 1) % sites.size();
+    traffic::FlowSpec f;
+    f.src = ip::Ipv4Address(10, std::uint8_t(1 + a), std::uint8_t(i / 200),
+                            std::uint8_t(1 + i % 200));
+    f.dst = ip::Ipv4Address(10, std::uint8_t(1 + b), std::uint8_t(i / 200),
+                            std::uint8_t(1 + i % 200));
+    f.dst_port = static_cast<std::uint16_t>(20000 + i);
+    f.vpn = v;
+    const auto id = static_cast<std::uint32_t>(1000 + i);
+    sinks[lane_of(sites[b])]->expect_flow(id, qos::Phb::kBe, v);
+    sources.push_back(std::make_unique<traffic::CbrSource>(
+        *sites[a].ce, f, id, probes[lane_of(sites[a])].get(), 1e6));
+  }
+
+  const sim::SimTime t0 = bb.topo.base_scheduler().now();
+  const std::uint64_t ev0 = bb.topo.base_scheduler().executed_count();
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (auto& s : sources) s->run(t0, t0 + sim::from_seconds(sim_seconds));
+  const sim::SimTime t_end = t0 + sim::from_seconds(sim_seconds + 0.5);
+  if (runtime) {
+    runtime->run_until(t_end);
+  } else {
+    bb.topo.run_until(t_end);
+  }
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  ThroughputResult r;
+  r.flows = flows;
+  r.sim_seconds = sim_seconds;
+  for (auto& s : sinks) r.delivered += s->delivered();
+  r.events = bb.topo.base_scheduler().executed_count() - ev0;
+  if (runtime) {
+    for (std::uint32_t s = 0; s < runtime->shard_count(); ++s) {
+      r.events += runtime->shard_scheduler(s).executed_count();
+    }
+    runtime->finish();
+  }
+  r.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  return r;
+}
+
+int run_sharded_phases(const char* json_path) {
+  constexpr std::size_t kFlows = 256;
+  constexpr double kSimSeconds = 5.0;
+  ThroughputResult serial, two, four;
+  for (int i = 0; i < 3; ++i) {
+    keep_best(serial, run_sharded(1, kFlows, kSimSeconds));
+    keep_best(two, run_sharded(2, kFlows, kSimSeconds));
+    keep_best(four, run_sharded(4, kFlows, kSimSeconds));
+  }
+  print_throughput(serial, "shards=1", "8P/16PE");
+  std::printf("\n");
+  print_throughput(two, "shards=2", "8P/16PE");
+  std::printf("\n");
+  print_throughput(four, "shards=4", "8P/16PE");
+  const double s2 = serial.wall_s > 0 ? two.packets_per_sec() /
+                                            serial.packets_per_sec()
+                                      : 0.0;
+  const double s4 = serial.wall_s > 0 ? four.packets_per_sec() /
+                                            serial.packets_per_sec()
+                                      : 0.0;
+  const unsigned hw = std::thread::hardware_concurrency();
   std::printf(
-      "Hot-path throughput (%s): %zu CBR flows, %.1f sim-s on a 6P/8PE "
+      "  speedup           : %.2fx @2 shards, %.2fx @4 shards (%u hardware "
+      "threads)\n",
+      s2, s4, hw);
+
+  const bool deterministic = serial.delivered == two.delivered &&
+                             serial.delivered == four.delivered;
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "DETERMINISM FAILED: delivered %llu (serial) vs %llu "
+                 "(shards=2) vs %llu (shards=4)\n",
+                 static_cast<unsigned long long>(serial.delivered),
+                 static_cast<unsigned long long>(two.delivered),
+                 static_cast<unsigned long long>(four.delivered));
+  }
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"benchmark\": \"bench_scalability_sharded\",\n"
+        "  \"topology\": \"8P/16PE\",\n"
+        "  \"flows\": %zu,\n"
+        "  \"sim_seconds\": %.1f,\n"
+        "  \"delivered_packets\": %llu,\n"
+        "  \"deterministic\": %s,\n"
+        "  \"hardware_threads\": %u,\n"
+        "  \"serial_packets_per_sec\": %.1f,\n"
+        "  \"shards2_packets_per_sec\": %.1f,\n"
+        "  \"shards4_packets_per_sec\": %.1f,\n"
+        "  \"speedup_shards2\": %.4f,\n"
+        "  \"speedup_shards4\": %.4f\n"
+        "}\n",
+        serial.flows, serial.sim_seconds,
+        static_cast<unsigned long long>(serial.delivered),
+        deterministic ? "true" : "false", hw, serial.packets_per_sec(),
+        two.packets_per_sec(), four.packets_per_sec(), s2, s4);
+    std::fclose(f);
+  }
+  return deterministic ? 0 : 1;
+}
+
+void print_throughput(const ThroughputResult& r, const char* variant,
+                      const char* topo = "6P/8PE") {
+  std::printf(
+      "Hot-path throughput (%s): %zu CBR flows, %.1f sim-s on a %s "
       "core\n"
       "  delivered packets : %llu\n"
       "  scheduler events  : %llu\n"
       "  wall time         : %.3f s\n"
       "  packets/sec       : %.0f\n"
       "  events/sec        : %.0f\n",
-      variant, r.flows, r.sim_seconds,
+      variant, r.flows, r.sim_seconds, topo,
       static_cast<unsigned long long>(r.delivered),
       static_cast<unsigned long long>(r.events), r.wall_s,
       r.packets_per_sec(), r.events_per_sec());
@@ -298,22 +471,31 @@ int main(int argc, char** argv) {
   bool throughput_only = false;
   const char* json_path = nullptr;
   const char* baseline_path = nullptr;
+  const char* sharded_path = nullptr;
+  bool sharded_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--throughput-only") == 0) {
       throughput_only = true;
+    } else if (std::strcmp(argv[i], "--sharded-only") == 0) {
+      sharded_only = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sharded-json") == 0 && i + 1 < argc) {
+      sharded_path = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
     } else {
-      std::fprintf(
-          stderr,
-          "usage: %s [--throughput-only] [--json FILE] [--baseline FILE]\n",
-          argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--throughput-only] [--sharded-only] "
+                   "[--json FILE] [--sharded-json FILE] [--baseline FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
 
+  if (sharded_only) {
+    return run_sharded_phases(sharded_path);
+  }
   if (throughput_only) {
     return run_throughput_phases(json_path, baseline_path);
   }

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the hot-path performance suites and collects one JSON report at the
-# repo root (BENCH_PR3.json). Usage:
+# repo root (BENCH_PR4.json). Usage:
 #
 #   bench/run_benchmarks.sh [--build DIR] [--seed-bin PATH] [--out FILE]
 #                           [--baseline FILE]
@@ -9,9 +9,10 @@
 #   --seed-bin PATH  a bench_scalability binary compiled from the baseline
 #                    tree; when given, the report includes the baseline
 #                    throughput and the speedup ratio
-#   --out FILE       output report (default: <repo>/BENCH_PR3.json)
-#   --baseline FILE  earlier report (default: <repo>/BENCH_PR2.json when it
-#                    exists); enforces the tracing-off overhead guard
+#   --out FILE       output report (default: <repo>/BENCH_PR4.json)
+#   --baseline FILE  earlier report (default: <repo>/BENCH_PR3.json when it
+#                    exists); enforces the tracing-on overhead guard and the
+#                    serial-regression guard for the sharded engine
 #
 # The google-benchmark suites are captured with --benchmark_out (their
 # stdout also carries human-readable tables); the end-to-end throughput
@@ -25,7 +26,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build"
 SEED_BIN=""
-OUT="$ROOT/BENCH_PR3.json"
+OUT="$ROOT/BENCH_PR4.json"
 BASELINE=""
 
 while [[ $# -gt 0 ]]; do
@@ -38,8 +39,8 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-if [[ -z "$BASELINE" && -f "$ROOT/BENCH_PR2.json" ]]; then
-  BASELINE="$ROOT/BENCH_PR2.json"
+if [[ -z "$BASELINE" && -f "$ROOT/BENCH_PR3.json" ]]; then
+  BASELINE="$ROOT/BENCH_PR3.json"
 fi
 
 TMP="$(mktemp -d)"
@@ -77,6 +78,32 @@ fi
 "$BUILD/bench/bench_scalability" --throughput-only \
   --json "$TMP/throughput.json" "${BASELINE_ARGS[@]}"
 
+echo
+echo "== sharded parallel engine, 1/2/4 shards (bench_scalability) =="
+"$BUILD/bench/bench_scalability" --sharded-only \
+  --sharded-json "$TMP/sharded.json"
+
+# Sharded-engine guards. Determinism (identical delivered counts across
+# shard counts) is unconditional. The speedup target only means something
+# when the machine can actually run the shards in parallel: with >= 4
+# hardware threads we require >= 2.5x at 4 shards; on smaller hosts the
+# threads time-slice one core, so we instead bound the coordination
+# overhead (4-shard wall clock within 30% of serial).
+jq -e '
+  if .deterministic != true then
+    error("sharded engine nondeterministic: delivered counts diverged")
+  elif .hardware_threads >= 4 then
+    if .speedup_shards4 >= 2.5
+    then "sharded speedup ok: \(.speedup_shards4)x @4 shards on \(.hardware_threads) hw threads"
+    else error("sharded speedup \(.speedup_shards4)x below 2.5x target on \(.hardware_threads) hw threads")
+    end
+  else
+    if .speedup_shards4 >= 0.70
+    then "sharded overhead ok on \(.hardware_threads) hw thread(s): \(.speedup_shards4)x @4 shards (speedup target needs >=4 cores)"
+    else error("sharded overhead too high: \(.speedup_shards4)x @4 shards on \(.hardware_threads) hw thread(s)")
+    end
+  end' "$TMP/sharded.json"
+
 if [[ -n "$SEED_BIN" ]]; then
   echo
   echo "== end-to-end throughput, baseline tree =="
@@ -106,6 +133,7 @@ jq '[ .[-1].metrics | to_entries[]
 
 jq -n \
   --slurpfile thr "$TMP/throughput.json" \
+  --slurpfile shard "$TMP/sharded.json" \
   --slurpfile seed "$TMP/throughput_seed.json" \
   --slurpfile sched "$TMP/scheduler.json" \
   --slurpfile fwd "$TMP/forwarding.json" \
@@ -114,6 +142,7 @@ jq -n \
   --slurpfile spans "$TMP/convergence_spans.json" \
   '{
     throughput: $thr[0],
+    sharded: $shard[0],
     seed_baseline: (if ($seed[0] | length) > 0 then $seed[0] else null end),
     speedup_packets_per_sec:
       (if ($seed[0].packets_per_sec? // 0) > 0
@@ -136,11 +165,23 @@ if [[ -n "$BASELINE" ]]; then
       then "tracing-on vs baseline ok: \(.throughput.tracing_on_packets_per_sec | floor) vs \($b | floor) pkts/s"
       else error("tracing-on throughput \(.throughput.tracing_on_packets_per_sec) fell below 92% of baseline \($b)")
       end' "$OUT"
+
+  # Serial-regression guard: the sharded engine must not tax the default
+  # single-threaded path. Tracing-off throughput stays within 2% of the
+  # baseline report.
+  jq -e --slurpfile base "$BASELINE" '
+    ($base[0].throughput.packets_per_sec // $base[0].packets_per_sec) as $b
+    | if $b == null then "no baseline throughput; serial guard skipped"
+      elif (.throughput.packets_per_sec / $b) >= 0.98
+      then "serial regression ok: \(.throughput.packets_per_sec | floor) vs baseline \($b | floor) pkts/s"
+      else error("serial throughput \(.throughput.packets_per_sec) fell below 98% of baseline \($b)")
+      end' "$OUT"
 fi
 
 echo
 echo "report written to $OUT"
 jq -r '"packets/sec: \(.throughput.packets_per_sec)  tracing-on: \(.throughput.tracing_on_packets_per_sec)  (overhead ratio \(.throughput.tracing_overhead_ratio))"' "$OUT"
+jq -r '"sharded: \(.sharded.speedup_shards4)x @4 shards (\(.sharded.hardware_threads) hw threads, deterministic: \(.sharded.deterministic))"' "$OUT"
 jq -r '"reroute convergence: \(.convergence_spans.reroute_convergence.mean_ms) ms mean over \(.convergence_spans.reroutes) reroutes"' "$OUT"
 if [[ -n "$BASELINE" ]]; then
   jq -r '"vs baseline: ratio \(.throughput.vs_baseline_ratio // "n/a")"' "$OUT"

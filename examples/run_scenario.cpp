@@ -19,7 +19,13 @@
 //   --latency-json FILE write the full decomposition as JSON
 //   --spans FILE        Chrome trace with per-hop duration spans (needs the
 //                       flight recorder, i.e. counts as an obs option)
+//
+// Engine options:
+//   --shards N          partition the topology into N shards and run the
+//                       traffic phase on the parallel engine (default 1 =
+//                       serial; overrides the scenario's `run shards=`)
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -50,7 +56,7 @@ int usage(const char* prog) {
                "usage: %s [--trace FILE] [--events FILE] [--metrics FILE]\n"
                "          [--snapshot-period S] [--obs DIR] [--spans FILE]\n"
                "          [--latency-report] [--latency-json FILE]\n"
-               "          [scenario.scn]\n",
+               "          [--shards N] [scenario.scn]\n",
                prog);
   return 2;
 }
@@ -60,6 +66,7 @@ int usage(const char* prog) {
 int main(int argc, char** argv) {
   mvpn::backbone::ObsOptions obs;
   std::string scenario_path;
+  unsigned long shards = 0;  // 0: use the scenario file's setting
   for (int i = 1; i < argc; ++i) {
     auto value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -91,6 +98,11 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       obs.latency_json_path = v;
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      shards = std::strtoul(v, nullptr, 10);
+      if (shards == 0 || shards > 64) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--obs") == 0) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
@@ -112,7 +124,8 @@ int main(int argc, char** argv) {
   }
 
   if (!scenario_path.empty()) {
-    return mvpn::backbone::run_scenario_file(scenario_path, std::cout, obs);
+    return mvpn::backbone::run_scenario_file(
+        scenario_path, std::cout, obs, static_cast<std::uint32_t>(shards));
   }
   std::printf("no scenario file given; running the built-in demo\n\n");
   mvpn::backbone::ScenarioError error;
@@ -123,5 +136,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   scenario->set_obs(obs);
+  if (shards != 0) {
+    scenario->set_shards(static_cast<std::uint32_t>(shards));
+  }
   return scenario->run(std::cout) ? 0 : 1;
 }

@@ -1,0 +1,204 @@
+#include "backbone/partition.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <set>
+
+namespace mvpn::backbone {
+
+namespace {
+
+constexpr std::uint32_t kUnassigned = std::numeric_limits<std::uint32_t>::max();
+
+/// Small union-find with component sizes (path halving, union by size).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::uint32_t{0});
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  [[nodiscard]] std::uint32_t size_of(std::uint32_t x) {
+    return size_[find(x)];
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+}  // namespace
+
+ShardPlan compute_shard_plan(const net::Topology& topo, std::uint32_t shards) {
+  const auto n = static_cast<std::uint32_t>(topo.node_count());
+  ShardPlan plan;
+  if (shards < 1) shards = 1;
+  if (n == 0) {
+    plan.shard_count = 1;
+    return plan;
+  }
+  if (shards > n) shards = n;
+  plan.node_shard.assign(n, 0);
+  if (shards == 1) {
+    plan.shard_count = 1;
+    return plan;
+  }
+
+  // Balance target: the engine's wall clock follows the busiest shard, so
+  // no shard should exceed its fair share by more than the rounding node.
+  const std::uint32_t cap = (n + shards - 1) / shards;
+
+  // Step 1 — pick the cut-delay threshold D. Only links with delay >= D may
+  // cross shards (lookahead = min cut delay >= D), so every component of
+  // the sub-D "fast" graph must live inside one shard. Try thresholds from
+  // the slowest distinct delay down and keep the largest one whose fast
+  // clusters all fit under the cap; the smallest distinct delay always
+  // works (its fast graph is empty — every cluster is a single node).
+  std::vector<sim::SimTime> thresholds;
+  thresholds.reserve(topo.link_count());
+  for (net::LinkId id = 0; id < topo.link_count(); ++id) {
+    thresholds.push_back(topo.link(id).config().prop_delay);
+  }
+  std::sort(thresholds.begin(), thresholds.end(), std::greater<>());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  std::vector<std::uint32_t> cluster_of(n);
+  std::uint32_t clusters = n;
+  {
+    bool found = false;
+    for (sim::SimTime d : thresholds) {
+      UnionFind uf(n);
+      for (net::LinkId id = 0; id < topo.link_count(); ++id) {
+        const net::Link& l = topo.link(id);
+        if (l.config().prop_delay < d) {
+          uf.unite(l.end_a().node, l.end_b().node);
+        }
+      }
+      std::uint32_t largest = 0;
+      for (std::uint32_t v = 0; v < n; ++v) {
+        largest = std::max(largest, uf.size_of(v));
+      }
+      if (largest > cap) continue;
+      // Number clusters by first appearance (node-id order): deterministic.
+      std::vector<std::uint32_t> root_cluster(n, kUnassigned);
+      std::uint32_t next = 0;
+      for (std::uint32_t v = 0; v < n; ++v) {
+        const std::uint32_t r = uf.find(v);
+        if (root_cluster[r] == kUnassigned) root_cluster[r] = next++;
+        cluster_of[v] = root_cluster[r];
+      }
+      clusters = next;
+      found = true;
+      break;
+    }
+    if (!found) {
+      // No links at all: every node is its own cluster.
+      std::iota(cluster_of.begin(), cluster_of.end(), std::uint32_t{0});
+      clusters = n;
+    }
+  }
+
+  std::vector<std::uint32_t> weight(clusters, 0);
+  for (std::uint32_t v = 0; v < n; ++v) ++weight[cluster_of[v]];
+  std::vector<std::set<std::uint32_t>> adj(clusters);
+  for (net::LinkId id = 0; id < topo.link_count(); ++id) {
+    const net::Link& l = topo.link(id);
+    const std::uint32_t a = cluster_of[l.end_a().node];
+    const std::uint32_t b = cluster_of[l.end_b().node];
+    if (a != b) {
+      adj[a].insert(b);
+      adj[b].insert(a);
+    }
+  }
+
+  // Step 2 — grow up to `shards` capacity-bounded regions over the cluster
+  // graph. Each region seeds at the lowest-numbered unassigned cluster and
+  // repeatedly absorbs the lowest-numbered frontier cluster that still fits
+  // under the cap; when nothing adjacent fits, the next region starts.
+  // Frontier-based growth keeps regions contiguous where the cap allows,
+  // which keeps cross-shard traffic (not correctness) low.
+  std::vector<std::uint32_t> region_of(clusters, kUnassigned);
+  std::vector<std::uint32_t> region_weight;
+  std::uint32_t seed_scan = 0;
+  while (region_weight.size() < shards) {
+    while (seed_scan < clusters && region_of[seed_scan] != kUnassigned) {
+      ++seed_scan;
+    }
+    if (seed_scan == clusters) break;  // every cluster already placed
+    const auto r = static_cast<std::uint32_t>(region_weight.size());
+    region_weight.push_back(0);
+    std::set<std::uint32_t> frontier{seed_scan};
+    while (!frontier.empty()) {
+      std::uint32_t pick = kUnassigned;
+      for (std::uint32_t c : frontier) {
+        if (region_weight[r] + weight[c] <= cap) {
+          pick = c;
+          break;
+        }
+      }
+      if (pick == kUnassigned) break;  // region full (nothing fits)
+      frontier.erase(pick);
+      region_of[pick] = r;
+      region_weight[r] += weight[pick];
+      for (std::uint32_t nbr : adj[pick]) {
+        if (region_of[nbr] == kUnassigned) frontier.insert(nbr);
+      }
+    }
+  }
+
+  // Step 3 — clusters stranded by full neighbourhoods (or disconnected
+  // from every seed) pool onto the lightest region, lightest-first: the
+  // overflow lands where it hurts the critical path least. These clusters
+  // may sit away from the rest of their region; that only adds cut links
+  // (all still >= D), never unsafe ones.
+  for (std::uint32_t c = 0; c < clusters; ++c) {
+    if (region_of[c] != kUnassigned) continue;
+    std::uint32_t best = 0;
+    for (std::uint32_t r = 1; r < region_weight.size(); ++r) {
+      if (region_weight[r] < region_weight[best]) best = r;
+    }
+    region_of[c] = best;
+    region_weight[best] += weight[c];
+  }
+
+  // Number shards by each one's smallest node id (deterministic).
+  std::vector<std::uint32_t> remap(region_weight.size(), kUnassigned);
+  std::uint32_t next = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint32_t r = region_of[cluster_of[v]];
+    if (remap[r] == kUnassigned) remap[r] = next++;
+    plan.node_shard[v] = remap[r];
+  }
+  plan.shard_count = next;
+
+  for (net::LinkId id = 0; id < topo.link_count(); ++id) {
+    const net::Link& l = topo.link(id);
+    if (plan.node_shard[l.end_a().node] != plan.node_shard[l.end_b().node]) {
+      plan.cut_links.push_back(id);
+      const sim::SimTime d = l.config().prop_delay;
+      if (plan.lookahead == 0 || d < plan.lookahead) plan.lookahead = d;
+    }
+  }
+  return plan;
+}
+
+}  // namespace mvpn::backbone

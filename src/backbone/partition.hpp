@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/topology.hpp"
+#include "sim/time.hpp"
+
+namespace mvpn::backbone {
+
+/// Output of the topology partitioner: which shard owns each node, which
+/// links form the cut, and the conservative lookahead the cut admits.
+struct ShardPlan {
+  std::uint32_t shard_count = 1;
+  std::vector<std::uint32_t> node_shard;  ///< NodeId -> shard id
+  std::vector<net::LinkId> cut_links;     ///< links spanning two shards
+  sim::SimTime lookahead = 0;             ///< min prop delay over the cut
+
+  [[nodiscard]] bool parallel() const noexcept { return shard_count > 1; }
+};
+
+/// Partition the topology into (at most) `shards` balanced components,
+/// maximising the minimum propagation delay across the cut.
+///
+/// Two-level scheme. First pick the cut-delay threshold D: only links with
+/// delay >= D are allowed to cross shards (the engine's lookahead is the
+/// minimum cut delay, so it ends up >= D), which forces every component of
+/// the faster-than-D subgraph — a "fast cluster" — into a single shard.
+/// D is the slowest distinct delay whose fast clusters all fit under the
+/// balance cap of ceil(N / shards) nodes; the smallest delay always
+/// qualifies, since its fast subgraph is empty. Second, grow up to
+/// `shards` capacity-bounded regions over the cluster graph: each region
+/// seeds at the lowest-numbered unassigned cluster and absorbs the
+/// lowest-numbered adjacent cluster that still fits, and clusters stranded
+/// by full neighbourhoods pool onto the lightest region. Every choice
+/// breaks ties on cluster/node numbering, so the plan is a pure function
+/// of the topology.
+///
+/// In the paper's backbone shape this lands where you'd want it: the 1 ms
+/// CE/PE access links are the fast subgraph, so each CE clusters with its
+/// PE; the regions then carve the 2 ms core into balanced node groups and
+/// the cut is made of core links only — lookahead 2 ms, millions of
+/// nanoseconds of conservative window per barrier.
+///
+/// Degenerate inputs degrade safely: `shards <= 1`, a single node, or a
+/// topology with fewer links than needed simply yields fewer (possibly 1)
+/// shards; `plan.parallel()` tells the caller whether running parallel is
+/// worthwhile.
+[[nodiscard]] ShardPlan compute_shard_plan(const net::Topology& topo,
+                                           std::uint32_t shards);
+
+}  // namespace mvpn::backbone

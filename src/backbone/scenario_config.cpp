@@ -8,6 +8,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "backbone/partition.hpp"
+#include "net/shard_runtime.hpp"
 #include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
@@ -15,6 +17,7 @@
 #include "obs/topology_metrics.hpp"
 #include "qos/queues.hpp"
 #include "qos/sla.hpp"
+#include "sim/rng.hpp"
 #include "traffic/dispatcher.hpp"
 #include "traffic/tcp_lite.hpp"
 
@@ -90,7 +93,33 @@ bool parse_port_range(const std::string& s, std::uint16_t& lo,
   return true;
 }
 
+/// RED profile for "red" / "red:min,max,maxp" core specs; nullopt for any
+/// other discipline. RED queues are not built through the QueueDiscFactory
+/// (it carries no arguments): they need a clock and a per-node RNG, so the
+/// scenario swaps them onto the core links after construction.
+std::optional<qos::RedParams> red_params_for(const std::string& spec,
+                                             double core_bw_bps) {
+  if (spec != "red" && spec.rfind("red:", 0) != 0) return std::nullopt;
+  qos::RedParams rp;
+  rp.bandwidth_bps = core_bw_bps;
+  const auto colon = spec.find(':');
+  if (colon != std::string::npos) {
+    std::istringstream ws(spec.substr(colon + 1));
+    std::string w;
+    std::vector<double> v;
+    double d = 0;
+    while (std::getline(ws, w, ',')) {
+      if (to_double(w, d)) v.push_back(d);
+    }
+    if (!v.empty()) rp.min_th = v[0];
+    if (v.size() > 1) rp.max_th = v[1];
+    if (v.size() > 2) rp.max_p = v[2];
+  }
+  return rp;
+}
+
 /// Build a core queue factory from "fifo", "prio", "wfq:8,3,1", "drr:8,3,1".
+/// ("red" specs return the default factory; see red_params_for.)
 net::QueueDiscFactory queue_factory_for(const std::string& spec) {
   if (spec == "fifo" || spec.empty()) return {};
   if (spec == "prio") {
@@ -366,6 +395,13 @@ std::optional<Scenario> Scenario::parse(const std::string& text,
           return fail(line_no, "bad for=");
         }
       }
+      if (auto v = kv("shards")) {
+        std::size_t n = 0;
+        if (!to_size(*v, n) || n == 0 || n > 64) {
+          return fail(line_no, "bad shards= (want 1..64)");
+        }
+        sc.shards_ = static_cast<std::uint32_t>(n);
+      }
     } else {
       return fail(line_no, "unknown directive " + line.directive);
     }
@@ -405,6 +441,34 @@ bool Scenario::run(std::ostream& out) const {
   BackboneConfig cfg = backbone_;
   cfg.core_queue = queue_factory_for(core_queue_spec_);
   MplsBackbone bb(cfg);
+  net::Topology& topo = bb.topo;
+
+  // "red" core spec: swap RED onto the core directions while the links are
+  // still idle. The clock reads through the topology's ambient scheduler
+  // accessor (a sharded run answers with the shard clock of whichever
+  // worker services the queue), and each direction's RNG is seeded from
+  // (topology seed, transmitting node, link) so drop decisions never
+  // depend on draw order across queues.
+  if (auto rp = red_params_for(core_queue_spec_, cfg.core_bw_bps)) {
+    std::vector<bool> core_node(topo.node_count(), false);
+    for (const auto* p : bb.ps()) core_node[p->id()] = true;
+    for (const auto* pe : bb.pes()) core_node[pe->id()] = true;
+    for (std::size_t l = 0; l < topo.link_count(); ++l) {
+      net::Link& link = topo.link(static_cast<net::LinkId>(l));
+      if (!core_node[link.end_a().node] || !core_node[link.end_b().node]) {
+        continue;
+      }
+      for (const ip::NodeId from : {link.end_a().node, link.end_b().node}) {
+        link.set_queue_from(
+            from,
+            std::make_unique<qos::RedQueueDisc>(
+                *rp, [&topo] { return topo.scheduler().now(); },
+                sim::Rng::stream(
+                    topo.seed(),
+                    0x52ED0000ULL + (std::uint64_t{from} << 20) + l)));
+      }
+    }
+  }
 
   // Arm the flight recorder before convergence so control-plane events
   // (LDP mappings, LSP signaling) land in the trace alongside the data
@@ -451,38 +515,107 @@ bool Scenario::run(std::ostream& out) const {
     built[s.site].ce->add_shaper(s.phb, s.rate, s.burst);
   }
 
+  // TCP flows need a dispatcher on each endpoint; the measurement sink
+  // handles everything the dispatchers do not claim. They also pin the run
+  // to the serial engine: TCP-lite shares congestion state across its two
+  // endpoint CEs, which may land on different shards.
+  const bool any_tcp =
+      std::any_of(flows_.begin(), flows_.end(),
+                  [](const FlowDecl& f) { return f.kind == "tcp"; });
+
   qos::SlaProbe probe("scenario");
-  traffic::MeasurementSink sink(probe, bb.topo.scheduler());
+  traffic::MeasurementSink sink(probe, topo.scheduler());
 
   // Per-hop delay decomposition: links/routers stamp DelayAnatomy always;
   // the collector aggregates only when one of the latency outputs is on.
+  // The tap reads through the ambient accessor so a sharded run records
+  // into the delivering shard's collector (merged into `latency` between
+  // windows), and a serial run into `latency` directly.
   obs::LatencyCollector latency;
   if (obs_.latency_enabled()) {
-    bb.topo.set_latency_collector(&latency);
+    topo.set_latency_collector(&latency);
     for (const auto& site : built) {
-      site.ce->add_delivery_tap(
-          [&latency](const net::Packet& p, vpn::VpnId) {
-            latency.record_delivery(p.trace_class(), p.delay.queue,
-                                    p.delay.tx, p.delay.prop, p.delay.proc);
-          });
+      site.ce->add_delivery_tap([&topo](const net::Packet& p, vpn::VpnId) {
+        if (obs::LatencyCollector* lc = topo.latency_collector()) {
+          lc->record_delivery(p.trace_class(), p.delay.queue, p.delay.tx,
+                              p.delay.prop, p.delay.proc);
+        }
+      });
     }
   }
+
+  // Parallel engine: partition the converged topology and bring up the
+  // shard runtime. Everything before this point ran serially; everything
+  // after it that touches the topology from the coordinator thread still
+  // resolves to the serial objects (sim::current_shard() is kNoShard).
+  std::unique_ptr<net::ShardRuntime> runtime;
+  if (shards_ > 1 && !any_tcp) {
+    ShardPlan plan = compute_shard_plan(topo, shards_);
+    if (plan.parallel() && plan.lookahead > 0) {
+      runtime = std::make_unique<net::ShardRuntime>(
+          topo, std::move(plan.node_shard), plan.shard_count, plan.lookahead);
+    }
+  } else if (shards_ > 1 && any_tcp) {
+    out << "shards=" << shards_
+        << " requested; tcp flows pin the run to the serial engine\n";
+  }
+
+  // Per-shard SLA observers: each flow's sent-side counters accumulate in
+  // the source CE's shard, delivery-side in the destination CE's shard;
+  // merge_shard_observers folds them into `probe`/`latency` (whose
+  // addresses the metric gauges captured) at every snapshot and at the end.
+  std::vector<std::unique_ptr<qos::SlaProbe>> shard_probes;
+  std::vector<std::unique_ptr<traffic::MeasurementSink>> shard_sinks;
+  if (runtime) {
+    for (std::uint32_t s = 0; s < runtime->shard_count(); ++s) {
+      shard_probes.push_back(
+          std::make_unique<qos::SlaProbe>("shard" + std::to_string(s)));
+      shard_sinks.push_back(std::make_unique<traffic::MeasurementSink>(
+          *shard_probes.back(), runtime->shard_scheduler(s)));
+    }
+  }
+  auto sink_at = [&](std::size_t site) -> traffic::MeasurementSink& {
+    if (!runtime) return sink;
+    return *shard_sinks[topo.shard_of(built[site].ce->id())];
+  };
+  auto probe_at = [&](std::size_t site) -> qos::SlaProbe& {
+    if (!runtime) return probe;
+    return *shard_probes[topo.shard_of(built[site].ce->id())];
+  };
+  auto merge_shard_observers = [&] {
+    probe = qos::SlaProbe("scenario");
+    for (const auto& sp : shard_probes) probe.merge_from(*sp);
+    if (obs_.latency_enabled()) {
+      latency.reset();
+      for (std::uint32_t s = 0; s < runtime->shard_count(); ++s) {
+        latency.merge_from(runtime->shard_latency(s));
+      }
+    }
+  };
 
   obs::MetricsRegistry registry;
   std::optional<obs::PeriodicSnapshots> snapshots;
   if (obs_.enabled() && !obs_.metrics_json_path.empty()) {
-    obs::register_topology_metrics(bb.topo, registry);
+    obs::register_topology_metrics(topo, registry);
     register_sla_metrics(registry, probe);
     obs::register_latency_metrics(latency, registry, cs_class_namer());
-    snapshots.emplace(registry, bb.topo.scheduler());
-    snapshots->start(sim::from_seconds(obs_.snapshot_period_s));
+    snapshots.emplace(registry, topo.base_scheduler());
+    const sim::SimTime period = sim::from_seconds(obs_.snapshot_period_s);
+    if (runtime) {
+      // Same capture instants as PeriodicSnapshots::start() (first one a
+      // full period in), but as a between-window global action: all shards
+      // rest at the capture time, and the fold below makes the serial
+      // observers the gauges read consistent before each sample.
+      runtime->add_periodic_action(topo.base_scheduler().now() + period,
+                                   period, [&] {
+                                     merge_shard_observers();
+                                     snapshots->capture();
+                                   });
+    } else {
+      snapshots->start(period);
+    }
   }
 
-  // TCP flows need a dispatcher on each endpoint; the measurement sink
-  // handles everything the dispatchers do not claim.
-  const bool any_tcp =
-      std::any_of(flows_.begin(), flows_.end(),
-                  [](const FlowDecl& f) { return f.kind == "tcp"; });
   std::map<std::size_t, std::unique_ptr<traffic::FlowDispatcher>> dispatch;
   auto dispatcher_for = [&](std::size_t site) -> traffic::FlowDispatcher& {
     auto& d = dispatch[site];
@@ -503,7 +636,9 @@ bool Scenario::run(std::ostream& out) const {
           });
     }
   } else {
-    for (const auto& site : built) sink.bind(*site.ce);
+    for (std::size_t s = 0; s < built.size(); ++s) {
+      sink_at(s).bind(*built[s].ce);
+    }
   }
 
   std::vector<std::unique_ptr<traffic::Source>> sources;
@@ -535,15 +670,16 @@ bool Scenario::run(std::ostream& out) const {
     spec.vpn = vpn_ids.at(f.vpn);
     spec.phb = f.phb;
     spec.premark = f.premark;
+    qos::SlaProbe* flow_probe = &probe_at(f.from);
     if (f.kind == "cbr") {
       sources.push_back(std::make_unique<traffic::CbrSource>(
-          ce, spec, flow_id, &probe, f.rate));
+          ce, spec, flow_id, flow_probe, f.rate));
     } else if (f.kind == "poisson") {
       sources.push_back(std::make_unique<traffic::PoissonSource>(
-          ce, spec, flow_id, &probe, f.rate));
+          ce, spec, flow_id, flow_probe, f.rate));
     } else {
       sources.push_back(std::make_unique<traffic::OnOffSource>(
-          ce, spec, flow_id, &probe, f.rate, f.on_s, f.off_s));
+          ce, spec, flow_id, flow_probe, f.rate, f.on_s, f.off_s));
     }
     // When dispatchers own the sinks, route measured flows through them.
     if (any_tcp) {
@@ -557,7 +693,7 @@ bool Scenario::run(std::ostream& out) const {
                                        p.payload_bytes);
           });
     } else {
-      sink.expect_flow(flow_id, f.phb, spec.vpn);
+      sink_at(f.to).expect_flow(flow_id, f.phb, spec.vpn);
     }
     ++flow_id;
   }
@@ -570,11 +706,40 @@ bool Scenario::run(std::ostream& out) const {
     bb.topo.scheduler().schedule_at(t0 + sim::from_seconds(run_for_s_),
                                     [flow = t.get()] { flow->stop(); });
   }
-  bb.topo.run_until(t0 + sim::from_seconds(run_for_s_ + 2.0));
+  const sim::SimTime t_end = t0 + sim::from_seconds(run_for_s_ + 2.0);
+  if (runtime) {
+    runtime->run_until(t_end);
+  } else {
+    topo.run_until(t_end);
+  }
+
+  // Tear the shard runtime down before any report below reads the
+  // topology: fold the per-shard observers a final time, then finish()
+  // merges shard trace rings into the master recorder and restores the
+  // serial view.
+  std::uint64_t parallel_windows = 0;
+  std::uint64_t parallel_handoffs = 0;
+  std::uint32_t parallel_shards = 0;
+  sim::SimTime parallel_lookahead = 0;
+  if (runtime) {
+    merge_shard_observers();
+    parallel_shards = runtime->shard_count();
+    parallel_lookahead = runtime->lookahead();
+    parallel_windows = runtime->windows();
+    parallel_handoffs = runtime->handoffs();
+    runtime->finish();
+  }
 
   out << "converged in "
       << sim::to_seconds(bb.service.last_route_change_at()) * 1e3
-      << " ms; ran " << run_for_s_ << " s of traffic\n\n";
+      << " ms; ran " << run_for_s_ << " s of traffic";
+  if (parallel_shards != 0) {
+    out << " on " << parallel_shards << " shards (lookahead "
+        << sim::to_seconds(parallel_lookahead) * 1e6 << " us, "
+        << parallel_windows << " windows, " << parallel_handoffs
+        << " cross-shard handoffs)";
+  }
+  out << "\n\n";
   out << probe.to_table(run_for_s_).render();
   for (std::size_t i = 0; i < tcp_flows.size(); ++i) {
     out << "tcp flow " << tcp_flows[i]->flow_id() << ": goodput "
@@ -627,9 +792,17 @@ bool Scenario::run(std::ostream& out) const {
   }
 
   if (!any_tcp) {
-    out << "\ndelivered=" << sink.delivered() << " leaks=" << sink.leaks()
-        << " unknown=" << sink.unknown_flows() << "\n";
-    return sink.leaks() == 0 && sink.unknown_flows() == 0;
+    std::uint64_t delivered = sink.delivered();
+    std::uint64_t leaks = sink.leaks();
+    std::uint64_t unknown = sink.unknown_flows();
+    for (const auto& ss : shard_sinks) {
+      delivered += ss->delivered();
+      leaks += ss->leaks();
+      unknown += ss->unknown_flows();
+    }
+    out << "\ndelivered=" << delivered << " leaks=" << leaks
+        << " unknown=" << unknown << "\n";
+    return leaks == 0 && unknown == 0;
   }
   return true;
 }
@@ -639,7 +812,7 @@ int run_scenario_file(const std::string& path, std::ostream& out) {
 }
 
 int run_scenario_file(const std::string& path, std::ostream& out,
-                      const ObsOptions& obs) {
+                      const ObsOptions& obs, std::uint32_t shards) {
   std::ifstream in(path);
   if (!in) {
     out << "cannot open " << path << "\n";
@@ -654,6 +827,7 @@ int run_scenario_file(const std::string& path, std::ostream& out,
     return 2;
   }
   scenario->set_obs(obs);
+  if (shards != 0) scenario->set_shards(shards);
   return scenario->run(out) ? 0 : 1;
 }
 

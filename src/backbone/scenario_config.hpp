@@ -58,7 +58,8 @@ struct ObsOptions {
 ///   flow poisson vpn=corp from=0 to=1 rate=1e6 size=1472
 ///   flow onoff   vpn=corp from=0 to=1 rate=2e6 on=0.3 off=0.2 class=AF21 port=5004
 ///   flow tcp     vpn=corp from=0 to=1 class=BE port=80 size=1432   # greedy elastic
-///   run for=5                              # seconds of traffic (+2 s drain)
+///   run for=5 shards=4                     # seconds of traffic (+2 s drain);
+///                                          # shards>1 = parallel engine
 ///
 /// Flows start together when the control plane has converged; source and
 /// destination hosts are derived from the sites' prefixes.
@@ -83,6 +84,13 @@ class Scenario {
   /// traces, metrics snapshots).
   void set_obs(ObsOptions obs) { obs_ = std::move(obs); }
   [[nodiscard]] const ObsOptions& obs() const noexcept { return obs_; }
+
+  /// Partition the topology into `n` shards and run the traffic phase on
+  /// the parallel engine (1 = serial, the default; also settable from the
+  /// scenario file via `run shards=N`). Scenarios with tcp flows fall back
+  /// to serial — TCP-lite endpoints share congestion state across sites.
+  void set_shards(std::uint32_t n) { shards_ = n == 0 ? 1 : n; }
+  [[nodiscard]] std::uint32_t shards() const noexcept { return shards_; }
 
   /// --- introspection (mostly for tests) ---------------------------------
   [[nodiscard]] std::size_t vpn_count() const noexcept {
@@ -141,13 +149,15 @@ class Scenario {
   std::vector<ShapeDecl> shapes_;
   std::vector<FlowDecl> flows_;
   double run_for_s_ = 2.0;
+  std::uint32_t shards_ = 1;
   ObsOptions obs_;
 };
 
 /// Convenience: parse + run from a file path. Returns process-style exit
 /// code (0 ok, 1 isolation violation, 2 parse/usage error).
+/// `shards` != 0 overrides the scenario file's `run shards=` setting.
 int run_scenario_file(const std::string& path, std::ostream& out);
 int run_scenario_file(const std::string& path, std::ostream& out,
-                      const ObsOptions& obs);
+                      const ObsOptions& obs, std::uint32_t shards = 0);
 
 }  // namespace mvpn::backbone

@@ -3,8 +3,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "net/shard_runtime.hpp"
 #include "net/topology.hpp"
 #include "obs/latency.hpp"
+#include "sim/shard.hpp"
 
 namespace mvpn::net {
 
@@ -118,6 +120,25 @@ void Link::start_transmission(Direction& dir, PacketPtr p) {
                 .bytes = static_cast<std::uint32_t>(p->wire_size()),
                 .type = obs::EventType::kLinkTx,
                 .cls = p->trace_class()});
+  }
+
+  // Cross-shard hop: the receiver's events belong to another scheduler, so
+  // instead of a local delivery event the packet's field image is handed
+  // to the runtime (released back into this shard's pool right here). The
+  // cut's propagation delay >= the engine lookahead is what makes the
+  // barrier exchange arrive before the delivery time.
+  //
+  // Note the link-down check moves to handoff time: serialization has
+  // started and the link is up now, and failing a *cut* link during a
+  // parallel phase is rejected by the scenario layer (control-plane
+  // reconvergence is a serial affair), so the serial-equivalence is exact.
+  if (ShardRuntime* rt = topo_.shard_runtime()) {
+    const std::uint32_t dst = topo_.shard_of(dir.to.node);
+    if (dst != sim::current_shard()) {
+      rt->handoff(dst, serialize_end + config_.prop_delay, dir.to.node,
+                  dir.to.iface, *p);
+      return;
+    }
   }
 
   // Single event per packet: delivery at serialization end + propagation.

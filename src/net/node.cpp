@@ -5,7 +5,10 @@
 namespace mvpn::net {
 
 Node::Node(Topology& topo, ip::NodeId id, std::string name)
-    : topo_(topo), id_(id), name_(std::move(name)) {
+    : topo_(topo),
+      id_(id),
+      name_(std::move(name)),
+      rng_(sim::Rng::stream(topo.seed(), 0x4E0DE5ULL + id)) {
   // Default loopback: 10.255.x.y derived from the node id; scenario code
   // may override. Kept out of site address space (10.0-127.*).
   loopback_ = ip::Ipv4Address(10, 255, static_cast<std::uint8_t>(id >> 8),

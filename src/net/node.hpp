@@ -8,6 +8,7 @@
 #include "ip/route_table.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "sim/rng.hpp"
 #include "stats/counter.hpp"
 
 namespace mvpn::net {
@@ -69,11 +70,19 @@ class Node {
   /// Count a received packet on `in_if` (called by topology delivery).
   void count_rx(const Packet& p, ip::IfIndex in_if);
 
+  /// Per-node random stream, seeded from (topology seed, node id) — never
+  /// from draw order. Two properties hang off that: results don't shift
+  /// when unrelated nodes consume randomness in a different order, and
+  /// under a sharded run each node's stream is touched only by its own
+  /// shard's thread. RED/WRED queue factories are the main consumer.
+  [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
+
  private:
   Topology& topo_;
   ip::NodeId id_;
   std::string name_;
   ip::Ipv4Address loopback_;
+  sim::Rng rng_;
   std::vector<Interface> interfaces_;
 };
 

@@ -49,7 +49,10 @@ void Packet::reset_for_reuse() noexcept {
 
 std::string Packet::describe() const {
   std::ostringstream os;
-  os << "pkt#" << id << " flow=" << flow_id;
+  // Traffic packets carry flow-derived ids ((flow << 32) | seq); show the
+  // per-flow sequence number, which is what a human wants to follow.
+  // Control-plane packets keep small factory ids below 2^32.
+  os << "pkt#" << (id >> 32 ? id & 0xffffffffULL : id) << " flow=" << flow_id;
   if (!labels.empty()) {
     os << " mpls[";
     for (auto it = labels.rbegin(); it != labels.rend(); ++it) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -8,6 +9,7 @@
 
 #include "ip/address.hpp"
 #include "net/inline_vec.hpp"
+#include "sim/shard.hpp"
 #include "sim/time.hpp"
 
 namespace mvpn::net {
@@ -181,6 +183,28 @@ class Packet {
   /// spilled capacity (if any) and the pool linkage.
   void reset_for_reuse() noexcept;
 
+  /// Copy every wire and metadata field from `src`, leaving the intrusive
+  /// refcount and pool linkage of *this* untouched. Cross-shard handoff
+  /// clones a packet's state into an envelope (and later into a packet
+  /// acquired from the destination shard's pool) instead of moving the
+  /// PacketPtr, so no pointer ever spans two pools or two threads.
+  void copy_fields_from(const Packet& src) {
+    id = src.id;
+    flow_id = src.flow_id;
+    created_at = src.created_at;
+    true_vpn_id = src.true_vpn_id;
+    l4 = src.l4;
+    ip = src.ip;
+    labels = src.labels;
+    esp = src.esp;
+    pvc = src.pvc;
+    seg = src.seg;
+    payload_bytes = src.payload_bytes;
+    hop_count = src.hop_count;
+    delay = src.delay;
+    queue_band = src.queue_band;
+  }
+
  private:
   friend class PacketPtr;
   friend class PacketPool;
@@ -268,13 +292,40 @@ class PacketPtr {
 ///
 /// Ownership rule: the pool must outlive every packet it issued. Inside a
 /// Topology that holds by construction (the factory is destroyed after the
-/// scheduler, queues and nodes that can hold PacketPtrs).
+/// scheduler, queues and nodes that can hold PacketPtrs); per-shard pools
+/// (net::ShardRuntime) flush queues and tear down their schedulers before
+/// the pools go, and debug builds assert both halves of the contract —
+/// recycling from a foreign shard's thread, or destroying a pool while a
+/// PacketPtr it issued is still live, aborts instead of corrupting.
 class PacketPool {
  public:
   PacketPool() = default;
-  ~PacketPool() = default;
+  ~PacketPool() {
+    assert(outstanding() == 0 &&
+           "PacketPool destroyed while issued packets are still live — a "
+           "surviving PacketPtr would recycle through a dangling pool");
+  }
   PacketPool(const PacketPool&) = delete;
   PacketPool& operator=(const PacketPool&) = delete;
+
+  /// Debug-mode ownership: once set, only the thread running as shard
+  /// `shard` (sim::current_shard()) may release packets back into this
+  /// pool. A PacketPtr that leaked across the shard boundary trips the
+  /// assert at its release site instead of racing the freelist. No-op
+  /// in release builds.
+  void set_owner_shard(std::uint32_t shard) noexcept {
+#ifndef NDEBUG
+    owner_shard_ = shard;
+    owner_checked_ = true;
+#else
+    (void)shard;
+#endif
+  }
+  void clear_owner_shard() noexcept {
+#ifndef NDEBUG
+    owner_checked_ = false;
+#endif
+  }
 
   [[nodiscard]] PacketPtr acquire() {
     Packet* p;
@@ -308,6 +359,10 @@ class PacketPool {
   friend class PacketPtr;
 
   void recycle(Packet* p) noexcept {
+#ifndef NDEBUG
+    assert((!owner_checked_ || sim::current_shard() == owner_shard_) &&
+           "PacketPtr released into a pool owned by another shard");
+#endif
     p->reset_for_reuse();
     free_.push_back(p);
   }
@@ -316,6 +371,10 @@ class PacketPool {
   std::vector<Packet*> free_;
   std::uint64_t allocated_ = 0;
   std::uint64_t reused_ = 0;
+#ifndef NDEBUG
+  std::uint32_t owner_shard_ = sim::kNoShard;
+  bool owner_checked_ = false;
+#endif
 };
 
 inline void PacketPtr::release() noexcept {
@@ -339,14 +398,28 @@ class PacketFactory {
  public:
   [[nodiscard]] PacketPtr make() {
     PacketPtr p = pool_.acquire();
-    p->id = ++last_id_;
+    p->id = next_id_;
+    next_id_ += stride_;
+    ++issued_;
     return p;
   }
-  [[nodiscard]] std::uint64_t issued() const noexcept { return last_id_; }
+  [[nodiscard]] std::uint64_t issued() const noexcept { return issued_; }
+
+  /// Strided id space: shard s of K configures (first = base + s + 1,
+  /// stride = K), so per-shard factories stamp globally unique ids without
+  /// sharing a counter across threads.
+  void configure_ids(std::uint64_t first, std::uint64_t stride) noexcept {
+    next_id_ = first;
+    stride_ = stride;
+  }
+
+  [[nodiscard]] PacketPool& pool() noexcept { return pool_; }
   [[nodiscard]] const PacketPool& pool() const noexcept { return pool_; }
 
  private:
-  std::uint64_t last_id_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t stride_ = 1;
+  std::uint64_t issued_ = 0;
   PacketPool pool_;
 };
 

@@ -1,0 +1,195 @@
+#include "net/shard_runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "net/link.hpp"
+#include "sim/shard.hpp"
+
+namespace mvpn::net {
+
+ShardRuntime::ShardRuntime(Topology& topo,
+                           std::vector<std::uint32_t> node_shard,
+                           std::uint32_t shard_count, sim::SimTime lookahead)
+    : topo_(topo), lookahead_(lookahead) {
+  if (shard_count < 2) {
+    throw std::invalid_argument(
+        "ShardRuntime: need at least 2 shards (run serially otherwise)");
+  }
+  if (node_shard.size() < topo.node_count()) {
+    throw std::invalid_argument("ShardRuntime: node_shard map is incomplete");
+  }
+
+  const sim::SimTime now = topo_.base_scheduler().now();
+  obs::FlightRecorder& master_rec = topo_.base_recorder();
+  const std::uint64_t issued = topo_.packet_factory().issued();
+
+  ctxs_.reserve(shard_count);
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    auto ctx = std::make_unique<ShardCtx>();
+    // Shard clocks pick up where the serial prologue (convergence, setup)
+    // left the topology clock — stamps and trace times stay on one axis.
+    ctx->sched.run_until(now);
+    // Strided id space: shard s stamps issued+1+s, issued+1+s+K, ... so
+    // ids stay globally unique without a shared counter.
+    ctx->factory.configure_ids(issued + 1 + s, shard_count);
+    ctx->factory.pool().set_owner_shard(s);
+    ctx->recorder.set_capacity(master_rec.capacity());
+    if (master_rec.mask() != 0) ctx->recorder.enable(master_rec.mask());
+    ctxs_.push_back(std::move(ctx));
+  }
+  // The master pool becomes coordinator-owned for the parallel phase: a
+  // shard thread releasing a pre-existing packet is a partitioning bug.
+  topo_.packet_factory().pool().set_owner_shard(sim::kNoShard);
+
+  binding_.node_shard = std::move(node_shard);
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    binding_.schedulers.push_back(&ctxs_[s]->sched);
+    binding_.factories.push_back(&ctxs_[s]->factory);
+    binding_.recorders.push_back(&ctxs_[s]->recorder);
+    if (topo_.latency_collector() != nullptr) {
+      binding_.collectors.push_back(&ctxs_[s]->latency);
+    }
+  }
+
+  channels_.reserve(static_cast<std::size_t>(shard_count) * shard_count);
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(shard_count) * shard_count; ++i) {
+    channels_.push_back(std::make_unique<sim::SpscChannel<Handoff>>());
+  }
+  seqs_.assign(channels_.size(), 0);
+
+  // Link-queue tracing was wired to the master recorder at link creation;
+  // repoint each direction at its transmitting node's shard recorder so
+  // enqueue/drop records never cross threads.
+  for (LinkId id = 0; id < topo_.link_count(); ++id) {
+    Link& l = topo_.link(id);
+    for (const ip::NodeId n : {l.end_a().node, l.end_b().node}) {
+      const std::uint32_t s = binding_.node_shard[n];
+      l.queue_from(n).set_trace_context(&ctxs_[s]->recorder, n, id);
+    }
+  }
+
+  std::vector<sim::ParallelEngine::ShardRef> refs;
+  refs.reserve(shard_count);
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    refs.push_back({s, &ctxs_[s]->sched});
+  }
+  engine_ = std::make_unique<sim::ParallelEngine>(std::move(refs), lookahead_,
+                                                  &topo_.base_scheduler());
+  engine_->set_exchange([this](sim::SimTime we) { exchange(we); });
+
+  topo_.install_sharding(&binding_, this);
+}
+
+ShardRuntime::~ShardRuntime() { finish(); }
+
+void ShardRuntime::handoff(std::uint32_t dst_shard, sim::SimTime deliver_at,
+                           ip::NodeId to, ip::IfIndex iface, const Packet& p) {
+  Handoff env;
+  env.deliver_at = deliver_at;
+  env.to = to;
+  env.iface = iface;
+  env.pkt.copy_fields_from(p);
+  const std::uint32_t src = sim::current_shard();
+  if (src == sim::kNoShard) {
+    // Coordinator context (between windows, workers parked): schedule the
+    // delivery directly, keeping the SPSC channels strictly worker-owned.
+    ++handoffs_;
+    schedule_delivery(std::move(env));
+    return;
+  }
+  const std::size_t ch = src * ctxs_.size() + dst_shard;
+  env.src = src;
+  env.seq = seqs_[ch]++;
+  channels_[ch]->push(std::move(env));
+}
+
+void ShardRuntime::exchange(sim::SimTime /*window_end*/) {
+  scratch_.clear();
+  const std::uint32_t k = shard_count();
+  for (std::uint32_t src = 0; src < k; ++src) {
+    for (std::uint32_t dst = 0; dst < k; ++dst) {
+      if (src == dst) continue;
+      channel(src, dst).drain(
+          [this](Handoff&& env) { scratch_.push_back(std::move(env)); });
+    }
+  }
+  if (scratch_.empty()) return;
+  // Global merge order: (delivery time, producing shard, channel seq) is a
+  // unique key, so the destination schedulers see cross-shard events in
+  // the same insertion order on every run — the determinism guarantee.
+  std::sort(scratch_.begin(), scratch_.end(),
+            [](const Handoff& a, const Handoff& b) {
+              if (a.deliver_at != b.deliver_at) {
+                return a.deliver_at < b.deliver_at;
+              }
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  handoffs_ += scratch_.size();
+  for (Handoff& env : scratch_) schedule_delivery(std::move(env));
+  scratch_.clear();
+}
+
+void ShardRuntime::schedule_delivery(Handoff&& env) {
+  const std::uint32_t dst = binding_.node_shard[env.to];
+  ShardCtx& ctx = *ctxs_[dst];
+  ctx.sched.schedule_at(
+      env.deliver_at, [this, &ctx, env = std::move(env)]() mutable {
+        // Runs on the destination shard's worker: materialize from *its*
+        // pool (pool().acquire(), not make() — the packet keeps the id the
+        // source stamped) and hand to the normal delivery path.
+        PacketPtr p = ctx.factory.pool().acquire();
+        p->copy_fields_from(env.pkt);
+        topo_.deliver(env.to, env.iface, std::move(p));
+      });
+}
+
+void ShardRuntime::finish() {
+  if (finished_) return;
+  finished_ = true;
+  topo_.uninstall_sharding();
+
+  // Fold shard trace rings into the master recorder in global (time,
+  // shard) order, preserving each event's shard-clock stamp.
+  obs::FlightRecorder& master_rec = topo_.base_recorder();
+  if (master_rec.mask() != 0) {
+    struct Tagged {
+      obs::TraceEvent ev;
+      std::uint32_t shard;
+    };
+    std::vector<Tagged> all;
+    for (std::uint32_t s = 0; s < shard_count(); ++s) {
+      for (const obs::TraceEvent& ev : ctxs_[s]->recorder.snapshot()) {
+        all.push_back({ev, s});
+      }
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Tagged& a, const Tagged& b) {
+                       if (a.ev.at != b.ev.at) return a.ev.at < b.ev.at;
+                       return a.shard < b.shard;
+                     });
+    for (const Tagged& t : all) master_rec.append_stamped(t.ev);
+  }
+
+  // Teardown order matters: clear owner tags first (the flush below and
+  // later scheduler destruction release packets from the coordinator
+  // thread), then flush every link queue — the queues belong to the
+  // topology and outlive the shard pools whose packets they may hold.
+  for (std::uint32_t s = 0; s < shard_count(); ++s) {
+    ctxs_[s]->factory.pool().clear_owner_shard();
+  }
+  topo_.packet_factory().pool().clear_owner_shard();
+  for (LinkId id = 0; id < topo_.link_count(); ++id) {
+    Link& l = topo_.link(id);
+    for (const ip::NodeId n : {l.end_a().node, l.end_b().node}) {
+      while (PacketPtr p = l.queue_from(n).dequeue()) {
+      }
+      l.queue_from(n).set_trace_context(&master_rec, n, id);
+    }
+  }
+}
+
+}  // namespace mvpn::net

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ip/address.hpp"
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "obs/latency.hpp"
+#include "obs/trace.hpp"
+#include "sim/parallel_engine.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/spsc_channel.hpp"
+#include "sim/time.hpp"
+
+namespace mvpn::net {
+
+/// Everything a parallel run layers on top of a Topology: per-shard
+/// schedulers / packet pools / recorders / latency collectors, the SPSC
+/// handoff channels between shards, and the conservative engine driving
+/// them. Constructing a ShardRuntime installs the sharded view on the
+/// topology (Topology's ambient accessors start dispatching on the calling
+/// thread's shard); finish() — or destruction — tears it back down and
+/// folds per-shard trace rings into the master recorder, leaving the
+/// topology exactly as a serial run would.
+///
+/// Lifetime contract: the Topology outlives the runtime; the runtime must
+/// be finished/destroyed before the topology is used serially again.
+/// finish() clears pool owner tags and flushes every link queue so no
+/// PacketPtr issued by a shard pool survives the shard's destruction (the
+/// debug asserts in PacketPool enforce both halves).
+class ShardRuntime {
+ public:
+  /// One cross-shard packet in flight, by value: the full field image of
+  /// the packet plus its delivery coordinates. No PacketPtr ever crosses a
+  /// shard boundary — the source shard's packet is released before the
+  /// envelope is pushed, and the destination shard materializes a packet
+  /// from its *own* pool at delivery time.
+  struct Handoff {
+    sim::SimTime deliver_at = 0;
+    std::uint64_t seq = 0;      ///< per-(src,dst)-channel FIFO sequence
+    std::uint32_t src = 0;      ///< producing shard (merge tie-break)
+    ip::NodeId to = ip::kInvalidNode;
+    ip::IfIndex iface = ip::kInvalidIf;
+    Packet pkt;
+  };
+
+  /// `node_shard` maps every NodeId to [0, shard_count); `lookahead` is
+  /// the minimum propagation delay over cut links (backbone::ShardPlan
+  /// computes both). Installs the sharded view, aligns every shard clock
+  /// to the topology's current instant, and repoints link-queue tracing at
+  /// the owning shard's recorder.
+  ShardRuntime(Topology& topo, std::vector<std::uint32_t> node_shard,
+               std::uint32_t shard_count, sim::SimTime lookahead);
+  ~ShardRuntime();
+
+  ShardRuntime(const ShardRuntime&) = delete;
+  ShardRuntime& operator=(const ShardRuntime&) = delete;
+
+  /// Called from net::Link on the *source* shard's worker thread when a
+  /// transmission's destination lives on another shard. From coordinator
+  /// context (sim::current_shard() == kNoShard, only between windows) the
+  /// delivery is scheduled directly — the channels are worker-only.
+  void handoff(std::uint32_t dst_shard, sim::SimTime deliver_at,
+               ip::NodeId to, ip::IfIndex iface, const Packet& p);
+
+  /// Drive the sharded simulation to exactly `t_end`.
+  void run_until(sim::SimTime t_end) { engine_->run_until(t_end); }
+
+  /// Global action between windows (metrics snapshots): see
+  /// sim::ParallelEngine::add_periodic_action.
+  void add_periodic_action(sim::SimTime first, sim::SimTime period,
+                           std::function<void()> fn) {
+    engine_->add_periodic_action(first, period, std::move(fn));
+  }
+
+  /// Tear down the sharded view: uninstall, merge shard trace rings into
+  /// the master recorder in global (time, shard) order, restore queue
+  /// trace contexts, clear pool owner tags and flush link queues.
+  /// Idempotent; the destructor calls it.
+  void finish();
+
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(ctxs_.size());
+  }
+  [[nodiscard]] sim::SimTime lookahead() const noexcept { return lookahead_; }
+  [[nodiscard]] std::uint64_t windows() const noexcept {
+    return engine_->windows();
+  }
+  /// Envelopes merged across all barriers so far.
+  [[nodiscard]] std::uint64_t handoffs() const noexcept { return handoffs_; }
+
+  [[nodiscard]] sim::Scheduler& shard_scheduler(std::uint32_t s) {
+    return ctxs_[s]->sched;
+  }
+  [[nodiscard]] obs::LatencyCollector& shard_latency(std::uint32_t s) {
+    return ctxs_[s]->latency;
+  }
+  [[nodiscard]] obs::FlightRecorder& shard_recorder(std::uint32_t s) {
+    return ctxs_[s]->recorder;
+  }
+
+ private:
+  /// Per-shard simulation state. Declaration order is the same lifetime
+  /// contract as Topology's: the factory (pool) outlives the scheduler,
+  /// whose pending closures release PacketPtrs on destruction.
+  struct ShardCtx {
+    PacketFactory factory;
+    sim::Scheduler sched;
+    obs::FlightRecorder recorder;
+    obs::LatencyCollector latency;
+
+    ShardCtx() : recorder(&sched) {}
+  };
+
+  [[nodiscard]] sim::SpscChannel<Handoff>& channel(std::uint32_t src,
+                                                  std::uint32_t dst) {
+    return *channels_[src * ctxs_.size() + dst];
+  }
+  void exchange(sim::SimTime window_end);
+  void schedule_delivery(Handoff&& env);
+
+  Topology& topo_;
+  sim::SimTime lookahead_;
+  ShardBinding binding_;
+  std::vector<std::unique_ptr<ShardCtx>> ctxs_;
+  std::vector<std::unique_ptr<sim::SpscChannel<Handoff>>> channels_;
+  std::vector<std::uint64_t> seqs_;  ///< per-channel, touched by src only
+  std::vector<Handoff> scratch_;     ///< coordinator merge buffer
+  std::uint64_t handoffs_ = 0;
+  bool finished_ = false;
+  // Engine last: its destructor joins the worker threads that reference
+  // the shard schedulers above.
+  std::unique_ptr<sim::ParallelEngine> engine_;
+};
+
+}  // namespace mvpn::net

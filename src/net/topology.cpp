@@ -44,13 +44,16 @@ std::vector<Adjacency> Topology::adjacencies(ip::NodeId node_id) const {
 void Topology::deliver(ip::NodeId to, ip::IfIndex in_if, PacketPtr p) {
   Node& n = node(to);
   if (!taps_.empty()) taps_.invoke(to, *p);
-  if (recorder_.enabled(obs::Category::kLink)) {
-    recorder_.record({.packet_id = p->id,
-                      .node = to,
-                      .a = in_if,
-                      .bytes = static_cast<std::uint32_t>(p->wire_size()),
-                      .type = obs::EventType::kDeliver,
-                      .cls = p->trace_class()});
+  // recorder() (not recorder_): under a sharded run this resolves to the
+  // delivering shard's recorder, whose clock is that shard's scheduler.
+  obs::FlightRecorder& rec = recorder();
+  if (rec.enabled(obs::Category::kLink)) {
+    rec.record({.packet_id = p->id,
+                .node = to,
+                .a = in_if,
+                .bytes = static_cast<std::uint32_t>(p->wire_size()),
+                .type = obs::EventType::kDeliver,
+                .cls = p->trace_class()});
   }
   n.count_rx(*p, in_if);
   n.receive(std::move(p), in_if);

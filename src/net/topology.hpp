@@ -12,12 +12,27 @@
 #include "obs/trace.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/shard.hpp"
 
 namespace mvpn::obs {
 class LatencyCollector;
 }  // namespace mvpn::obs
 
 namespace mvpn::net {
+
+class ShardRuntime;
+
+/// Non-owning view of a sharded runtime, installed on the Topology while a
+/// parallel run is active. Vectors indexed by shard id; `node_shard` maps
+/// every NodeId to its owning shard. Installed/uninstalled only while the
+/// simulation is quiescent (no worker threads running).
+struct ShardBinding {
+  std::vector<std::uint32_t> node_shard;
+  std::vector<sim::Scheduler*> schedulers;
+  std::vector<PacketFactory*> factories;
+  std::vector<obs::FlightRecorder*> recorders;
+  std::vector<obs::LatencyCollector*> collectors;
+};
 
 /// Adjacency record used by control-plane code (flooding, SPF).
 struct Adjacency {
@@ -83,21 +98,93 @@ class Topology {
     latency_collector_ = collector;
   }
   [[nodiscard]] obs::LatencyCollector* latency_collector() const noexcept {
+    if (shards_ != nullptr) [[unlikely]] {
+      const std::uint32_t s = sim::current_shard();
+      if (s != sim::kNoShard && !shards_->collectors.empty()) {
+        return shards_->collectors[s];
+      }
+    }
     return latency_collector_;
   }
 
-  /// Simulator-wide flight recorder (disabled until enable()d).
-  [[nodiscard]] obs::FlightRecorder& recorder() noexcept { return recorder_; }
+  /// Simulator-wide flight recorder (disabled until enable()d). Under a
+  /// sharded run, code executing on a shard worker (sim::current_shard())
+  /// resolves to that shard's recorder; everything else — and every serial
+  /// run — resolves to the base recorder. Same contract for scheduler(),
+  /// packet_factory() and latency_collector(): the ambient accessors
+  /// answer for "the shard I am running on", which is what data-plane code
+  /// means, while the serial path pays one null test.
+  [[nodiscard]] obs::FlightRecorder& recorder() noexcept {
+    if (shards_ != nullptr) [[unlikely]] {
+      const std::uint32_t s = sim::current_shard();
+      if (s != sim::kNoShard) return *shards_->recorders[s];
+    }
+    return recorder_;
+  }
   [[nodiscard]] const obs::FlightRecorder& recorder() const noexcept {
+    if (shards_ != nullptr) [[unlikely]] {
+      const std::uint32_t s = sim::current_shard();
+      if (s != sim::kNoShard) return *shards_->recorders[s];
+    }
     return recorder_;
   }
 
-  [[nodiscard]] sim::Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept {
+    if (shards_ != nullptr) [[unlikely]] {
+      const std::uint32_t s = sim::current_shard();
+      if (s != sim::kNoShard) return *shards_->schedulers[s];
+    }
+    return scheduler_;
+  }
   [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
-  [[nodiscard]] PacketFactory& packet_factory() noexcept { return factory_; }
+  [[nodiscard]] PacketFactory& packet_factory() noexcept {
+    if (shards_ != nullptr) [[unlikely]] {
+      const std::uint32_t s = sim::current_shard();
+      if (s != sim::kNoShard) return *shards_->factories[s];
+    }
+    return factory_;
+  }
 
-  /// Run the simulation until `t_end`.
+  /// Shard-blind accessors for coordinator-side code that must address the
+  /// serial objects regardless of the calling thread.
+  [[nodiscard]] sim::Scheduler& base_scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] obs::FlightRecorder& base_recorder() noexcept {
+    return recorder_;
+  }
+
+  /// Owning shard of `n`, or sim::kNoShard when no sharding is installed.
+  [[nodiscard]] std::uint32_t shard_of(ip::NodeId n) const noexcept {
+    if (shards_ == nullptr || n >= shards_->node_shard.size()) {
+      return sim::kNoShard;
+    }
+    return shards_->node_shard[n];
+  }
+
+  /// The scheduler that executes events for node `n` — its shard's under a
+  /// parallel run, the serial scheduler otherwise. Use when scheduling onto
+  /// a specific node from coordinator context (e.g. traffic source start).
+  [[nodiscard]] sim::Scheduler& scheduler_for(ip::NodeId n) noexcept {
+    const std::uint32_t s = shard_of(n);
+    return s == sim::kNoShard ? scheduler_ : *shards_->schedulers[s];
+  }
+
+  /// Install/remove the sharded runtime view. Only while quiescent.
+  void install_sharding(const ShardBinding* binding,
+                        ShardRuntime* runtime) noexcept {
+    shards_ = binding;
+    shard_runtime_ = runtime;
+  }
+  void uninstall_sharding() noexcept {
+    shards_ = nullptr;
+    shard_runtime_ = nullptr;
+  }
+  [[nodiscard]] ShardRuntime* shard_runtime() const noexcept {
+    return shard_runtime_;
+  }
+  [[nodiscard]] bool sharded() const noexcept { return shards_ != nullptr; }
+
+  /// Run the simulation until `t_end` (serial driver).
   void run_until(sim::SimTime t_end) { scheduler_.run_until(t_end); }
 
  private:
@@ -114,6 +201,8 @@ class Topology {
   std::vector<std::unique_ptr<Link>> links_;
   obs::HookList<ip::NodeId, const Packet&> taps_;
   obs::LatencyCollector* latency_collector_ = nullptr;
+  const ShardBinding* shards_ = nullptr;
+  ShardRuntime* shard_runtime_ = nullptr;
   std::uint32_t next_transfer_net_ = 0;  // allocator for /30 link subnets
 };
 

@@ -67,6 +67,52 @@ LatencyCollector::ClassDelivery& LatencyCollector::class_slot(
   return *slot;
 }
 
+void LatencyCollector::merge_from(const LatencyCollector& other) {
+  for (const Hop& oh : other.hops_) {
+    if (!oh.seen) continue;
+    Hop& h = hop_slot(oh.node, oh.link, oh.dir);
+    h.packets += oh.packets;
+    h.queued += oh.queued;
+    h.queue += oh.queue;
+    h.tx += oh.tx;
+    h.prop += oh.prop;
+    for (std::size_t b = 0; b < kBandCount; ++b) {
+      h.bands[b].packets += oh.bands[b].packets;
+      h.bands[b].wait += oh.bands[b].wait;
+    }
+    for (std::size_t c = 0; c < kClassCount; ++c) {
+      h.queue_by_class[c] += oh.queue_by_class[c];
+    }
+  }
+  for (const NodeProcessing& on : other.proc_) {
+    if (!on.seen) continue;
+    NodeProcessing& n = node_slot(on.node);
+    n.intervals += on.intervals;
+    n.proc += on.proc;
+  }
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    const auto& slot = other.classes_[c];
+    if (!slot) continue;
+    ClassDelivery& d = class_slot(static_cast<std::uint8_t>(c));
+    d.packets += slot->packets;
+    d.queue += slot->queue;
+    d.tx += slot->tx;
+    d.prop += slot->prop;
+    d.proc += slot->proc;
+    d.total += slot->total;
+    d.e2e_s.merge(slot->e2e_s);
+    d.queue_s.merge(slot->queue_s);
+  }
+  delivered_ += other.delivered_;
+}
+
+void LatencyCollector::reset() {
+  hops_.clear();
+  proc_.clear();
+  for (auto& slot : classes_) slot.reset();
+  delivered_ = 0;
+}
+
 void LatencyCollector::record_queue(std::uint32_t node, std::uint32_t link,
                                     std::uint8_t dir, std::uint8_t band,
                                     std::uint8_t cls, sim::SimTime wait) {

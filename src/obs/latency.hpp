@@ -91,6 +91,18 @@ class LatencyCollector {
   void record_delivery(std::uint8_t cls, sim::SimTime queue, sim::SimTime tx,
                        sim::SimTime prop, sim::SimTime proc);
 
+  /// --- sharded runs -------------------------------------------------------
+  /// Fold another collector's accounting into this one. All sums and
+  /// counters are integers (SimTime / packet counts), so merging K
+  /// per-shard collectors in shard order reproduces the serial totals
+  /// exactly; only the embedded LogHistogram float moment sums can differ
+  /// in final ulps (never in bucket counts). Histogram geometries must
+  /// match (both default-constructed here).
+  void merge_from(const LatencyCollector& other);
+  /// Drop all accounting (the master collector rebuilds from per-shard
+  /// collectors before every snapshot).
+  void reset();
+
   /// --- reading -----------------------------------------------------------
   [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
   /// Hops that carried at least one packet, ordered by (link, dir).

@@ -134,6 +134,16 @@ class FlightRecorder {
     ++head_;
   }
 
+  /// Append a pre-stamped event, keeping `ev.at` as-is. This is the merge
+  /// path: per-shard recorders stamp with their own shard clocks, and the
+  /// coordinator folds their snapshots into the master recorder in global
+  /// (at, shard) order — re-stamping with the master clock would collapse
+  /// every merged event onto the merge instant.
+  void append_stamped(const TraceEvent& ev) noexcept {
+    ring_[static_cast<std::size_t>(head_) & index_mask_] = ev;
+    ++head_;
+  }
+
   /// Events ever recorded (monotonic, includes overwritten ones).
   [[nodiscard]] std::uint64_t recorded() const noexcept { return head_; }
   /// Events lost to ring wraparound.

@@ -276,9 +276,13 @@ net::QueueDiscFactory LlqQueueDisc::factory(std::vector<double> weights,
   };
 }
 
+RedQueueDisc::RedQueueDisc(const RedParams& params, ClockFn clock,
+                           sim::Rng rng)
+    : params_(params), clock_(std::move(clock)), rng_(rng) {}
+
 RedQueueDisc::RedQueueDisc(const RedParams& params,
                            const sim::Scheduler& clock, sim::Rng rng)
-    : params_(params), clock_(clock), rng_(rng) {}
+    : RedQueueDisc(params, [&clock] { return clock.now(); }, rng) {}
 
 const RedParams& RedQueueDisc::profile_for(const net::Packet&) const {
   return params_;
@@ -288,7 +292,7 @@ void RedQueueDisc::update_average() {
   if (idle_) {
     // Estimate how many small packets could have been sent while idle and
     // decay the average accordingly (Floyd/Jacobson idle handling).
-    const double idle_s = sim::to_seconds(clock_.now() - idle_since_);
+    const double idle_s = sim::to_seconds(clock_() - idle_since_);
     const double pkt_time =
         params_.mean_pkt_bytes * 8.0 / params_.bandwidth_bps;
     const double m = pkt_time > 0 ? idle_s / pkt_time : 0.0;
@@ -354,16 +358,25 @@ net::PacketPtr RedQueueDisc::dequeue() {
   bytes_ -= p->wire_size();
   if (fifo_.empty()) {
     idle_ = true;
-    idle_since_ = clock_.now();
+    idle_since_ = clock_();
   }
   return p;
 }
 
 WredQueueDisc::WredQueueDisc(const RedParams& low_prec,
                              const RedParams& mid_prec,
+                             const RedParams& high_prec, ClockFn clock,
+                             sim::Rng rng)
+    : RedQueueDisc(low_prec, std::move(clock), rng),
+      mid_(mid_prec),
+      high_(high_prec) {}
+
+WredQueueDisc::WredQueueDisc(const RedParams& low_prec,
+                             const RedParams& mid_prec,
                              const RedParams& high_prec,
                              const sim::Scheduler& clock, sim::Rng rng)
-    : RedQueueDisc(low_prec, clock, rng), mid_(mid_prec), high_(high_prec) {}
+    : WredQueueDisc(low_prec, mid_prec, high_prec,
+                    [&clock] { return clock.now(); }, rng) {}
 
 const RedParams& WredQueueDisc::profile_for(const net::Packet& p) const {
   const Phb phb = phb_of_dscp(p.visible_dscp());

@@ -187,8 +187,17 @@ struct RedParams {
   double bandwidth_bps = 10e6;   ///< for idle-time averaging
 };
 
+/// Time source for queue disciplines that need a clock but must not bind
+/// to one particular Scheduler object. Under a sharded run "the" scheduler
+/// depends on which shard's thread is asking — a topology-aware factory
+/// passes `[&topo] { return topo.scheduler().now(); }` and the queue reads
+/// the right clock from whichever thread services it.
+using ClockFn = std::function<sim::SimTime()>;
+
 class RedQueueDisc : public net::QueueDisc {
  public:
+  RedQueueDisc(const RedParams& params, ClockFn clock, sim::Rng rng);
+  /// Convenience: bind to a specific scheduler (serial code and tests).
   RedQueueDisc(const RedParams& params, const sim::Scheduler& clock,
                sim::Rng rng);
 
@@ -222,7 +231,7 @@ class RedQueueDisc : public net::QueueDisc {
  private:
   void update_average();
 
-  const sim::Scheduler& clock_;
+  ClockFn clock_;
   sim::Rng rng_;
   std::deque<net::PacketPtr> fifo_;
   std::size_t bytes_ = 0;
@@ -240,6 +249,8 @@ class RedQueueDisc : public net::QueueDisc {
 /// kills out-of-profile traffic.
 class WredQueueDisc final : public RedQueueDisc {
  public:
+  WredQueueDisc(const RedParams& low_prec, const RedParams& mid_prec,
+                const RedParams& high_prec, ClockFn clock, sim::Rng rng);
   WredQueueDisc(const RedParams& low_prec, const RedParams& mid_prec,
                 const RedParams& high_prec, const sim::Scheduler& clock,
                 sim::Rng rng);

@@ -1,5 +1,6 @@
 #include "qos/sla.hpp"
 
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -33,6 +34,25 @@ void SlaProbe::record_delivered(Phb cls, std::uint32_t flow_id,
   }
   f.last_latency = latency;
   f.cls = cls;
+}
+
+void SlaProbe::merge_from(const SlaProbe& other) {
+  for (const auto& [cls, or_] : other.by_class_) {
+    ClassReport& r = by_class_[cls];
+    r.sent_packets += or_.sent_packets;
+    r.sent_bytes += or_.sent_bytes;
+    r.delivered_packets += or_.delivered_packets;
+    r.delivered_bytes += or_.delivered_bytes;
+    r.latency_s.merge(or_.latency_s);
+    r.jitter_s.merge(or_.jitter_s);
+  }
+  for (const auto& [flow_id, f] : other.jitter_by_flow_) {
+    [[maybe_unused]] const auto [it, inserted] =
+        jitter_by_flow_.insert({flow_id, f});
+    assert(inserted &&
+           "SlaProbe::merge_from: flow delivered through two probes — the "
+           "partition split one flow's sink across shards");
+  }
 }
 
 double SlaProbe::rfc3550_jitter_s(Phb cls) const {

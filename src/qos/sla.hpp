@@ -58,6 +58,14 @@ class SlaProbe {
   [[nodiscard]] const ClassReport& report(Phb cls) const;
   [[nodiscard]] bool has_class(Phb cls) const;
 
+  /// Fold another probe's accounting into this one (sharded runs: the
+  /// master probe is rebuilt from per-shard probes before each snapshot).
+  /// Counters are integers and merge exactly. Each flow delivers through
+  /// exactly one sink/shard, so per-flow jitter state never needs to be
+  /// combined — flow entries are copied over wholesale; a flow id present
+  /// in both probes is a partitioning bug and asserts in debug builds.
+  void merge_from(const SlaProbe& other);
+
   /// RFC 3550 §6.4.1 inter-arrival jitter for `cls` in seconds: each flow
   /// runs J += (|D| - J)/16 over consecutive one-way delay deltas; the
   /// class figure is the mean of its flows' current J. 0 until some flow

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "sim/time.hpp"
+
+namespace mvpn::sim {
+
+/// Coordinator/worker rendezvous for conservative time windows.
+///
+/// The coordinator publishes an epoch — "run your shard up to time T" —
+/// and blocks until every worker reports back; workers block between
+/// epochs. One mutex + two condition variables, generation-counted so a
+/// worker that oversleeps a notify still sees the epoch it missed. This is
+/// deliberately the simplest correct thing: the barrier costs microseconds
+/// per window while a window executes milliseconds of simulated traffic,
+/// so lock-free cleverness here would be tuning the wrong term.
+class EpochBarrier {
+ public:
+  explicit EpochBarrier(std::uint32_t workers) : workers_(workers) {}
+
+  EpochBarrier(const EpochBarrier&) = delete;
+  EpochBarrier& operator=(const EpochBarrier&) = delete;
+
+  /// Coordinator: publish the next window [.., target] and wake workers.
+  void open(SimTime target) {
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      target_ = target;
+      arrived_ = 0;
+      ++epoch_;
+    }
+    cv_open_.notify_all();
+  }
+
+  /// Coordinator: block until every worker has arrive()d for this epoch.
+  void wait_all_arrived() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [this] { return arrived_ == workers_; });
+  }
+
+  /// Coordinator: wake all workers with the quit flag; next() returns false.
+  void shutdown() {
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      quit_ = true;
+    }
+    cv_open_.notify_all();
+  }
+
+  /// Worker: block for an epoch newer than `seen_epoch` (updated on
+  /// return), yielding its target time. Returns false on shutdown.
+  bool next(std::uint64_t& seen_epoch, SimTime& target) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_open_.wait(lock,
+                  [&, this] { return quit_ || epoch_ != seen_epoch; });
+    if (quit_) return false;
+    seen_epoch = epoch_;
+    target = target_;
+    return true;
+  }
+
+  /// Worker: report this epoch's window complete.
+  void arrive() {
+    bool all = false;
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      all = ++arrived_ == workers_;
+    }
+    if (all) cv_done_.notify_one();
+  }
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_open_;   ///< workers wait here between epochs
+  std::condition_variable cv_done_;   ///< coordinator waits here per epoch
+  std::uint32_t workers_;
+  std::uint32_t arrived_ = 0;
+  std::uint64_t epoch_ = 0;
+  SimTime target_ = 0;
+  bool quit_ = false;
+};
+
+}  // namespace mvpn::sim

@@ -1,0 +1,135 @@
+#include "sim/parallel_engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/shard.hpp"
+
+namespace mvpn::sim {
+
+ParallelEngine::ParallelEngine(std::vector<ShardRef> shards,
+                               SimTime lookahead, Scheduler* global)
+    : shards_(std::move(shards)),
+      lookahead_(lookahead),
+      global_(global),
+      barrier_(static_cast<std::uint32_t>(shards_.size())) {
+  if (shards_.empty()) {
+    throw std::invalid_argument("ParallelEngine: no shards");
+  }
+  if (lookahead_ < 1) {
+    throw std::invalid_argument(
+        "ParallelEngine: lookahead must be at least 1 ns of cross-shard "
+        "latency — a zero-delay cut admits same-instant interactions that "
+        "conservative windows cannot order");
+  }
+  frontier_ = shards_.front().scheduler->now();
+  for (const ShardRef& s : shards_) {
+    if (s.scheduler->now() > frontier_) frontier_ = s.scheduler->now();
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  if (workers_running_) {
+    barrier_.shutdown();
+    for (std::thread& t : threads_) t.join();
+  }
+}
+
+void ParallelEngine::add_periodic_action(SimTime first, SimTime period,
+                                         std::function<void()> fn) {
+  if (period < 1) {
+    throw std::invalid_argument("ParallelEngine: action period must be >= 1");
+  }
+  actions_.push_back(Action{first, period, std::move(fn)});
+}
+
+void ParallelEngine::start_workers() {
+  if (workers_running_) return;
+  workers_running_ = true;
+  threads_.reserve(shards_.size());
+  for (const ShardRef& s : shards_) {
+    // Align stragglers so every shard enters the first window at the same
+    // instant (run_until on an empty queue just advances the clock).
+    if (s.scheduler->now() < frontier_) s.scheduler->run_until(frontier_);
+    threads_.emplace_back([this, s] { worker(s); });
+  }
+}
+
+void ParallelEngine::worker(ShardRef shard) {
+  const ShardGuard guard(shard.id);
+  std::uint64_t seen_epoch = 0;
+  SimTime target = 0;
+  while (barrier_.next(seen_epoch, target)) {
+    try {
+      shard.scheduler->run_until(target);
+    } catch (...) {
+      const std::lock_guard<std::mutex> g(error_mutex_);
+      if (!worker_error_) worker_error_ = std::current_exception();
+    }
+    barrier_.arrive();
+  }
+}
+
+void ParallelEngine::rethrow_worker_error() {
+  std::exception_ptr err;
+  {
+    const std::lock_guard<std::mutex> g(error_mutex_);
+    err = worker_error_;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+SimTime ParallelEngine::next_global_time() const {
+  SimTime t = Scheduler::kNoEventTime;
+  for (const Action& a : actions_) {
+    if (a.fn && a.at < t) t = a.at;
+  }
+  if (global_ != nullptr) {
+    const SimTime s = global_->next_event_time();
+    if (s < t) t = s;
+  }
+  return t;
+}
+
+void ParallelEngine::fire_global(SimTime at) {
+  if (global_ != nullptr) global_->run_until(at);
+  for (Action& a : actions_) {
+    while (a.fn && a.at <= at) {
+      a.fn();
+      a.at += a.period;
+    }
+  }
+}
+
+void ParallelEngine::run_until(SimTime t_end) {
+  start_workers();
+  while (frontier_ < t_end) {
+    rethrow_worker_error();
+    const SimTime global_at = next_global_time();
+    // Global work at time G must see every event before G and none at or
+    // after it, so windows stop at G-1; with integer time that boundary is
+    // exact, not an epsilon.
+    SimTime target = t_end;
+    if (global_at != Scheduler::kNoEventTime && global_at - 1 < target) {
+      target = global_at - 1;
+    }
+    if (target > frontier_) {
+      SimTime window_end = frontier_ + lookahead_;
+      if (window_end > target) window_end = target;
+      barrier_.open(window_end);
+      barrier_.wait_all_arrived();
+      ++windows_;
+      rethrow_worker_error();
+      if (exchange_) exchange_(window_end);
+      frontier_ = window_end;
+    } else {
+      fire_global(global_at);
+    }
+  }
+  rethrow_worker_error();
+  // Leave the global clock at t_end (running any residual events exactly at
+  // t_end), so post-run reads see the same instant a serial run_until ends.
+  if (global_ != nullptr && global_->now() <= t_end) global_->run_until(t_end);
+}
+
+}  // namespace mvpn::sim

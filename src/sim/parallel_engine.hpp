@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/epoch_barrier.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace mvpn::sim {
+
+/// Conservative parallel discrete-event driver.
+///
+/// Each shard is one Scheduler advanced by a dedicated worker thread in
+/// lock-step windows of at most `lookahead` simulated time. The safety
+/// argument (INTERNALS.md §9): with every cross-shard interaction delayed
+/// by at least `lookahead`, an event executed in the window (t, t+L] can
+/// only create remote work at times strictly greater than t+L, so
+/// exchanging that work at the barrier — before any shard enters the next
+/// window — always delivers it ahead of its execution time. No shard ever
+/// receives an event in its past, which is exactly the serial causality
+/// guarantee; combined with each Scheduler's (time, insertion-seq) order
+/// and a deterministic exchange order, the parallel run replays the serial
+/// event history.
+///
+/// The engine itself is topology-agnostic: cross-shard traffic moves
+/// through the `exchange` hook (net::ShardRuntime drains its channels and
+/// schedules deliveries there), and anything that must observe a globally
+/// consistent instant — metrics snapshots, leftover events on the serial
+/// "global" scheduler — registers as a global action executed between
+/// windows, when all shards rest at the same time.
+class ParallelEngine {
+ public:
+  struct ShardRef {
+    std::uint32_t id = 0;
+    Scheduler* scheduler = nullptr;
+  };
+
+  /// `lookahead` must be >= 1 ns (the minimum cross-shard latency).
+  /// `global` (optional) is the serial scheduler whose residual events —
+  /// anything not owned by a shard — run between windows at exact times.
+  ParallelEngine(std::vector<ShardRef> shards, SimTime lookahead,
+                 Scheduler* global);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  /// Coordinator-side hook run inside every barrier, after all shards
+  /// reached the window end passed in: move cross-shard work now.
+  void set_exchange(std::function<void(SimTime window_end)> fn) {
+    exchange_ = std::move(fn);
+  }
+
+  /// Run `fn` between windows at `first`, `first + period`, ... — each
+  /// invocation sees every shard past all events before that instant and
+  /// none at or after it (the serial tick-before-data convention).
+  void add_periodic_action(SimTime first, SimTime period,
+                           std::function<void()> fn);
+
+  /// Drive all shards (and global actions) to exactly `t_end`. May be
+  /// called repeatedly with increasing times; workers persist in between.
+  void run_until(SimTime t_end);
+
+  [[nodiscard]] std::uint64_t windows() const noexcept { return windows_; }
+  [[nodiscard]] SimTime lookahead() const noexcept { return lookahead_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+ private:
+  struct Action {
+    SimTime at = 0;
+    SimTime period = 0;  ///< 0: one-shot
+    std::function<void()> fn;
+  };
+
+  void worker(ShardRef shard);
+  void start_workers();
+  [[nodiscard]] SimTime next_global_time() const;
+  void fire_global(SimTime at);
+  void rethrow_worker_error();
+
+  std::vector<ShardRef> shards_;
+  SimTime lookahead_;
+  Scheduler* global_;
+  std::function<void(SimTime)> exchange_;
+  std::vector<Action> actions_;  ///< small; scanned linearly
+
+  EpochBarrier barrier_;
+  std::vector<std::thread> threads_;
+  bool workers_running_ = false;
+  std::uint64_t windows_ = 0;
+  SimTime frontier_ = 0;  ///< all shards have completed events <= frontier_
+
+  std::mutex error_mutex_;
+  std::exception_ptr worker_error_;
+};
+
+}  // namespace mvpn::sim

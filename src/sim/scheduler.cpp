@@ -125,6 +125,11 @@ bool Scheduler::pop_and_execute() {
   return true;
 }
 
+SimTime Scheduler::next_event_time() {
+  if (!drop_cancelled_head()) return kNoEventTime;
+  return heap_.front().time;
+}
+
 void Scheduler::run() {
   stopped_ = false;
   while (!stopped_ && pop_and_execute()) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/inline_callable.hpp"
@@ -50,6 +51,13 @@ class Scheduler {
   void stop() noexcept { stopped_ = true; }
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Sentinel returned by next_event_time() for an empty queue.
+  static constexpr SimTime kNoEventTime = std::numeric_limits<SimTime>::max();
+  /// Time of the earliest pending event, or kNoEventTime when none. Not
+  /// const: cancelled heads are compacted away so the answer is exact.
+  [[nodiscard]] SimTime next_event_time();
+
   [[nodiscard]] std::size_t pending() const noexcept {
     return heap_.size() - cancelled_live_;
   }

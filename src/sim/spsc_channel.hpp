@@ -1,0 +1,121 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace mvpn::sim {
+
+/// Bounded single-producer / single-consumer FIFO with an unbounded
+/// mutex-protected spill list behind it.
+///
+/// Cross-shard packet handoff pushes from exactly one worker thread per
+/// channel and drains from the coordinator at epoch barriers, so the fast
+/// path is a classic lock-free ring (acquire/release on head/tail, no CAS).
+/// The consumer only drains between windows; a bursty window can therefore
+/// produce more than `capacity` items with nobody consuming. Rather than
+/// block the worker (deadlock: the consumer is waiting for the barrier the
+/// worker would never reach) or drop (determinism), push() spills to a
+/// locked vector once the ring fills and keeps spilling until the next
+/// drain — spilling only after filling preserves FIFO order, because the
+/// consumer empties the ring before the spill and the producer never
+/// returns to the ring mid-window.
+template <typename T>
+class SpscChannel {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscChannel(std::size_t capacity = 1024) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    ring_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  /// Producer: enqueue unconditionally (ring, else spill). Never blocks.
+  void push(T v) {
+    if (!spilling_.load(std::memory_order_relaxed)) {
+      const std::uint64_t h = head_.load(std::memory_order_relaxed);
+      const std::uint64_t t = tail_.load(std::memory_order_acquire);
+      if (h - t <= mask_) {
+        ring_[static_cast<std::size_t>(h) & mask_] = std::move(v);
+        head_.store(h + 1, std::memory_order_release);
+        return;
+      }
+      spilling_.store(true, std::memory_order_release);
+    }
+    const std::lock_guard<std::mutex> guard(spill_mutex_);
+    spill_.push_back(std::move(v));
+    spilled_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Producer: ring-only push; false when full (unit tests / probes).
+  bool try_push(T v) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    if (h - t > mask_) return false;
+    ring_[static_cast<std::size_t>(h) & mask_] = std::move(v);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: pop one item from the ring (ignores the spill list).
+  [[nodiscard]] std::optional<T> try_pop() {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    if (t == h) return std::nullopt;
+    std::optional<T> out(std::move(ring_[static_cast<std::size_t>(t) & mask_]));
+    tail_.store(t + 1, std::memory_order_release);
+    return out;
+  }
+
+  /// Consumer: feed every queued item to `f` in FIFO order (ring first,
+  /// then the spill). Must only run while the producer is quiescent (the
+  /// engine calls it inside an epoch barrier); a producer racing with
+  /// drain() could re-enter the ring ahead of unspilled items.
+  template <typename F>
+  void drain(F&& f) {
+    std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    while (t != h) {
+      f(std::move(ring_[static_cast<std::size_t>(t) & mask_]));
+      ++t;
+    }
+    tail_.store(t, std::memory_order_release);
+    if (spilling_.load(std::memory_order_acquire)) {
+      const std::lock_guard<std::mutex> guard(spill_mutex_);
+      for (T& v : spill_) f(std::move(v));
+      spill_.clear();
+      spilling_.store(false, std::memory_order_release);
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+  /// Items that overflowed into the spill list (cumulative).
+  [[nodiscard]] std::uint64_t spilled() const noexcept {
+    return spilled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire) &&
+           !spilling_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> ring_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< producer-owned
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< consumer-owned
+  std::atomic<bool> spilling_{false};
+  std::mutex spill_mutex_;
+  std::vector<T> spill_;
+  std::atomic<std::uint64_t> spilled_{0};  ///< readable while producing
+};
+
+}  // namespace mvpn::sim

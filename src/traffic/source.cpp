@@ -13,11 +13,14 @@ Source::Source(vpn::Router& attach, FlowSpec spec, std::uint32_t flow_id,
 
 void Source::run(sim::SimTime start, sim::SimTime stop) {
   stop_at_ = stop;
-  sim::Scheduler& sched = attach_.topology().scheduler();
+  // run() executes on the coordinator, so the ambient scheduler() would be
+  // the serial one; address the scheduler that owns the attachment node's
+  // events explicitly (its shard's under a parallel run). emit() then runs
+  // on that shard's thread, where the ambient accessors resolve correctly.
+  sim::Scheduler& sched = attach_.topology().scheduler_for(attach_.id());
   // Clamp: scenarios often say "start at 0" after convergence already
   // consumed some simulated time.
-  attach_.topology().scheduler().schedule_at(std::max(start, sched.now()),
-                                             [this] { emit(); });
+  sched.schedule_at(std::max(start, sched.now()), [this] { emit(); });
 }
 
 void Source::emit() {
@@ -25,6 +28,11 @@ void Source::emit() {
   if (sched.now() >= stop_at_) return;
 
   net::PacketPtr p = attach_.topology().packet_factory().make();
+  // Re-stamp the factory id with (flow, sequence): a pure function of the
+  // flow, so traces carry the same packet identities no matter how many
+  // other sources allocate concurrently — or which shard's pool the packet
+  // came from. Control-plane packets keep factory ids (all < 2^32).
+  p->id = (std::uint64_t{flow_id_} << 32) | (sent_ + 1);
   p->flow_id = flow_id_;
   p->created_at = sched.now();
   p->true_vpn_id = spec_.vpn;

@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backbone/fixtures.hpp"
+#include "backbone/partition.hpp"
+#include "backbone/scenario_config.hpp"
+#include "ip/address.hpp"
+#include "sim/epoch_barrier.hpp"
+#include "sim/parallel_engine.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/spsc_channel.hpp"
+#include "sim/time.hpp"
+
+namespace mvpn {
+namespace {
+
+// --- SPSC channel ---------------------------------------------------------
+
+TEST(SpscChannel, FifoOrderSingleThread) {
+  sim::SpscChannel<int> ch(8);
+  for (int i = 0; i < 5; ++i) ch.push(i);
+  std::vector<int> got;
+  ch.drain([&](int v) { got.push_back(v); });
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(SpscChannel, TryPushRefusesWhenFull) {
+  sim::SpscChannel<int> ch(4);  // capacity rounds to 4
+  ASSERT_EQ(ch.capacity(), 4U);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ch.try_push(i));
+  EXPECT_FALSE(ch.try_push(99));
+  EXPECT_EQ(ch.try_pop().value_or(-1), 0);
+  EXPECT_TRUE(ch.try_push(4));  // slot freed by the pop
+}
+
+TEST(SpscChannel, SpillPreservesFifoAcrossOverflow) {
+  sim::SpscChannel<int> ch(4);
+  // 10 pushes into a 4-slot ring with no consumer: 4 in the ring, 6 spilt.
+  for (int i = 0; i < 10; ++i) ch.push(i);
+  EXPECT_EQ(ch.spilled(), 6U);
+  std::vector<int> got;
+  ch.drain([&](int v) { got.push_back(v); });
+  ASSERT_EQ(got.size(), 10U);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(SpscChannel, ThreadedProducerConsumerKeepsOrder) {
+  sim::SpscChannel<std::uint32_t> ch(64);
+  constexpr std::uint32_t kCount = 100000;
+  std::thread producer([&] {
+    for (std::uint32_t i = 0; i < kCount; ++i) ch.push(i);
+  });
+  // Consume with try_pop (ring only) while the producer runs; anything
+  // that spilt gets drained after join. Order must still be 0..N-1.
+  std::vector<std::uint32_t> got;
+  got.reserve(kCount);
+  while (got.size() < kCount) {
+    if (auto v = ch.try_pop()) {
+      got.push_back(*v);
+    } else if (!producer.joinable()) {
+      break;
+    } else if (ch.spilled() > 0) {
+      break;  // producer overflowed; finish after join
+    }
+  }
+  producer.join();
+  ch.drain([&](std::uint32_t v) { got.push_back(v); });
+  ASSERT_EQ(got.size(), kCount);
+  for (std::uint32_t i = 0; i < kCount; ++i) EXPECT_EQ(got[i], i);
+}
+
+// --- Epoch barrier --------------------------------------------------------
+
+TEST(EpochBarrier, CoordinatorAndWorkersAgreeOnTargets) {
+  constexpr std::uint32_t kWorkers = 3;
+  sim::EpochBarrier barrier(kWorkers);
+  std::vector<std::vector<sim::SimTime>> seen(kWorkers);
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers);
+  for (std::uint32_t w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      std::uint64_t epoch = 0;
+      sim::SimTime target = 0;
+      while (barrier.next(epoch, target)) {
+        seen[w].push_back(target);
+        barrier.arrive();
+      }
+    });
+  }
+  const std::vector<sim::SimTime> targets{10, 20, 35, 36};
+  for (sim::SimTime t : targets) {
+    barrier.open(t);
+    barrier.wait_all_arrived();
+  }
+  barrier.shutdown();
+  for (auto& th : threads) th.join();
+  for (std::uint32_t w = 0; w < kWorkers; ++w) EXPECT_EQ(seen[w], targets);
+}
+
+// --- Scheduler window semantics ------------------------------------------
+
+TEST(Scheduler, NextEventTimeAndInclusiveRunUntil) {
+  sim::Scheduler sched;
+  EXPECT_EQ(sched.next_event_time(), sim::Scheduler::kNoEventTime);
+
+  int fired = 0;
+  sched.schedule_at(100, [&] { ++fired; });
+  sched.schedule_at(250, [&] { ++fired; });
+  EXPECT_EQ(sched.next_event_time(), 100);
+
+  sched.run_until(100);  // inclusive: the event AT the bound runs
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), 100);
+  EXPECT_EQ(sched.next_event_time(), 250);
+
+  sched.run_until(200);  // empty window still advances the clock
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now(), 200);
+
+  sched.run_until(300);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sched.now(), 300);
+}
+
+// --- Parallel engine ------------------------------------------------------
+
+TEST(ParallelEngine, RunsShardsInWindowsAndExchanges) {
+  sim::Scheduler a;
+  sim::Scheduler b;
+  constexpr sim::SimTime kLookahead = 2 * sim::kMillisecond;
+  constexpr sim::SimTime kEnd = 50 * sim::kMillisecond;
+
+  // Each shard ticks every ms; the exchange hook cross-posts one event per
+  // barrier at window_end + lookahead (the only safe time).
+  std::atomic<int> ticks_a{0};
+  std::atomic<int> ticks_b{0};
+  std::atomic<int> crossed{0};
+  std::function<void(sim::Scheduler&, std::atomic<int>&)> tick =
+      [&](sim::Scheduler& s, std::atomic<int>& n) {
+        ++n;
+        if (s.now() + sim::kMillisecond <= kEnd) {
+          s.schedule_in(sim::kMillisecond, [&] { tick(s, n); });
+        }
+      };
+  a.schedule_at(sim::kMillisecond, [&] { tick(a, ticks_a); });
+  b.schedule_at(sim::kMillisecond, [&] { tick(b, ticks_b); });
+
+  sim::ParallelEngine engine({{0, &a}, {1, &b}}, kLookahead, nullptr);
+  engine.set_exchange([&](sim::SimTime window_end) {
+    if (window_end + kLookahead <= kEnd) {
+      b.schedule_at(window_end + kLookahead, [&] { ++crossed; });
+    }
+  });
+  engine.run_until(kEnd);
+
+  EXPECT_EQ(a.now(), kEnd);
+  EXPECT_EQ(b.now(), kEnd);
+  EXPECT_EQ(ticks_a.load(), 50);
+  EXPECT_EQ(ticks_b.load(), 50);
+  EXPECT_GT(crossed.load(), 0);
+  EXPECT_GE(engine.windows(),
+            static_cast<std::uint64_t>(kEnd / kLookahead));
+}
+
+TEST(ParallelEngine, GlobalActionsFireBetweenWindows) {
+  sim::Scheduler shard;
+  sim::Scheduler global;
+  std::vector<sim::SimTime> stamps;
+  sim::ParallelEngine engine({{0, &shard}}, sim::kMillisecond, &global);
+  engine.add_periodic_action(5 * sim::kMillisecond, 5 * sim::kMillisecond,
+                             [&] { stamps.push_back(global.now()); });
+  engine.run_until(20 * sim::kMillisecond);
+  ASSERT_EQ(stamps.size(), 4U);
+  for (std::size_t i = 0; i < stamps.size(); ++i) {
+    EXPECT_EQ(stamps[i], static_cast<sim::SimTime>(i + 1) * 5 *
+                             sim::kMillisecond);
+  }
+  EXPECT_EQ(global.now(), 20 * sim::kMillisecond);
+}
+
+// --- Topology partitioner -------------------------------------------------
+
+backbone::BackboneConfig bench_config() {
+  backbone::BackboneConfig cfg;
+  cfg.p_count = 8;
+  cfg.pe_count = 16;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Partitioner, BalancedShardsWithCoreDelayCut) {
+  backbone::MplsBackbone bb(bench_config());
+  const vpn::VpnId v = bb.service.create_vpn("T");
+  for (std::size_t i = 0; i < 16; ++i) {
+    bb.add_site(v, i,
+                ip::Prefix(ip::Ipv4Address(10, std::uint8_t(1 + i), 0, 0), 16));
+  }
+
+  const backbone::ShardPlan plan = backbone::compute_shard_plan(bb.topo, 4);
+  ASSERT_TRUE(plan.parallel());
+  EXPECT_EQ(plan.shard_count, 4U);
+  ASSERT_EQ(plan.node_shard.size(), bb.topo.node_count());
+
+  // Strict cap: no shard exceeds ceil(N / 4) nodes.
+  std::vector<std::size_t> sizes(plan.shard_count, 0);
+  for (std::uint32_t s : plan.node_shard) ++sizes[s];
+  const std::size_t cap = (bb.topo.node_count() + 3) / 4;
+  for (std::size_t sz : sizes) {
+    EXPECT_GT(sz, 0U);
+    EXPECT_LE(sz, cap);
+  }
+
+  // The greedy absorbs the fast 1 ms edge links; the cut is made of 2 ms
+  // core links only, so the lookahead is the full core delay.
+  EXPECT_EQ(plan.lookahead, 2 * sim::kMillisecond);
+  EXPECT_FALSE(plan.cut_links.empty());
+  for (net::LinkId id : plan.cut_links) {
+    EXPECT_EQ(bb.topo.link(id).config().prop_delay, 2 * sim::kMillisecond);
+    const auto sa = plan.node_shard[bb.topo.link(id).end_a().node];
+    const auto sb = plan.node_shard[bb.topo.link(id).end_b().node];
+    EXPECT_NE(sa, sb);
+  }
+}
+
+TEST(Partitioner, DegenerateInputsStaySerial) {
+  backbone::MplsBackbone bb(bench_config());
+  const backbone::ShardPlan one = backbone::compute_shard_plan(bb.topo, 1);
+  EXPECT_FALSE(one.parallel());
+  EXPECT_TRUE(one.cut_links.empty());
+
+  // Requesting more shards than nodes clamps instead of failing.
+  const backbone::ShardPlan many =
+      backbone::compute_shard_plan(bb.topo, 10000);
+  EXPECT_LE(many.shard_count, bb.topo.node_count());
+}
+
+TEST(Partitioner, PlanIsDeterministic) {
+  backbone::MplsBackbone bb1(bench_config());
+  backbone::MplsBackbone bb2(bench_config());
+  const backbone::ShardPlan p1 = backbone::compute_shard_plan(bb1.topo, 4);
+  const backbone::ShardPlan p2 = backbone::compute_shard_plan(bb2.topo, 4);
+  EXPECT_EQ(p1.node_shard, p2.node_shard);
+  EXPECT_EQ(p1.cut_links, p2.cut_links);
+  EXPECT_EQ(p1.lookahead, p2.lookahead);
+}
+
+// --- End-to-end determinism: serial vs sharded scenario runs --------------
+
+constexpr const char* kDeterminismScenario = R"(
+backbone p=4 pe=8 seed=11 core_queue=prio:3
+vpn corp
+vpn partner
+site corp pe=0 prefix=10.1.0.0/16
+site corp pe=2 prefix=10.2.0.0/16
+site corp pe=5 prefix=10.3.0.0/16
+site partner pe=1 prefix=192.168.0.0/16
+site partner pe=6 prefix=192.169.0.0/16
+classify site=0 dstport=16384-16484 class=EF
+police site=0 class=EF cir=62500 cbs=4000 ebs=4000
+flow cbr vpn=corp from=0 to=1 rate=200e3 class=EF port=16400 size=172
+flow cbr vpn=corp from=1 to=2 rate=400e3
+flow poisson vpn=corp from=2 to=0 rate=300e3
+flow onoff vpn=partner from=3 to=4 rate=500e3 on=0.2 off=0.1
+flow poisson vpn=partner from=4 to=3 rate=250e3
+run for=2
+)";
+
+struct ScenarioOutputs {
+  std::string report;        ///< run() output minus the converged banner
+  std::string metrics_json;
+  std::string latency_json;
+  bool ok = false;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// The converged banner names the engine ("on N shards ..."), which is the
+/// one intended textual difference between serial and parallel runs; drop
+/// it before comparing.
+std::string strip_converged_line(const std::string& text) {
+  std::stringstream in(text);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("converged") == std::string::npos) {
+      out += line;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+ScenarioOutputs run_scenario_with_shards(std::uint32_t shards) {
+  backbone::ScenarioError err;
+  auto sc = backbone::Scenario::parse(kDeterminismScenario, &err);
+  EXPECT_TRUE(sc.has_value()) << "line " << err.line << ": " << err.message;
+  ScenarioOutputs out;
+  if (!sc) return out;
+
+  const std::string dir = ::testing::TempDir();
+  const std::string tag = std::to_string(shards);
+  backbone::ObsOptions obs;
+  obs.metrics_json_path = dir + "/par_metrics_" + tag + ".json";
+  obs.latency_json_path = dir + "/par_latency_" + tag + ".json";
+  sc->set_obs(obs);
+  sc->set_shards(shards);
+
+  std::ostringstream report;
+  out.ok = sc->run(report);
+  out.report = strip_converged_line(report.str());
+  out.metrics_json = slurp(obs.metrics_json_path);
+  out.latency_json = slurp(obs.latency_json_path);
+  EXPECT_FALSE(out.metrics_json.empty());
+  EXPECT_FALSE(out.latency_json.empty());
+  return out;
+}
+
+TEST(ShardedDeterminism, TwoAndFourShardsMatchSerialByteForByte) {
+  const ScenarioOutputs serial = run_scenario_with_shards(1);
+  ASSERT_TRUE(serial.ok);
+  for (std::uint32_t shards : {2U, 4U}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const ScenarioOutputs par = run_scenario_with_shards(shards);
+    ASSERT_TRUE(par.ok);
+    // SLA tables, isolation accounting, per-class latency decomposition and
+    // every metrics snapshot must be bit-identical to the serial engine.
+    EXPECT_EQ(par.report, serial.report);
+    EXPECT_EQ(par.metrics_json, serial.metrics_json);
+    EXPECT_EQ(par.latency_json, serial.latency_json);
+  }
+}
+
+TEST(ShardedDeterminism, ParallelRunsAreRepeatable) {
+  const ScenarioOutputs a = run_scenario_with_shards(4);
+  const ScenarioOutputs b = run_scenario_with_shards(4);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.report, b.report);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.latency_json, b.latency_json);
+}
+
+}  // namespace
+}  // namespace mvpn

@@ -26,6 +26,7 @@
 #include "backbone/partition.hpp"
 #include "net/shard_runtime.hpp"
 #include "obs/trace.hpp"
+#include "qos/classifier.hpp"
 #include "qos/sla.hpp"
 #include "stats/table.hpp"
 #include "traffic/sink.hpp"
@@ -112,8 +113,17 @@ struct ThroughputResult {
   }
 };
 
+void set_all_flowcache(backbone::MplsBackbone& bb, bool on) {
+  for (std::size_t i = 0; i < bb.topo.node_count(); ++i) {
+    if (auto* r = dynamic_cast<vpn::Router*>(
+            &bb.topo.node(static_cast<ip::NodeId>(i)))) {
+      r->set_flowcache_enabled(on);
+    }
+  }
+}
+
 ThroughputResult run_throughput(std::size_t flows, double sim_seconds,
-                                bool tracing) {
+                                bool tracing, bool flowcache = true) {
   backbone::BackboneConfig cfg;
   cfg.p_count = 6;
   cfg.pe_count = 8;
@@ -133,6 +143,8 @@ ThroughputResult run_throughput(std::size_t flows, double sim_seconds,
         ip::Prefix(ip::Ipv4Address(10, std::uint8_t(1 + i), 0, 0), 16)));
   }
   bb.start_and_converge();
+  // After add_site: the CE routers must see the disable too.
+  if (!flowcache) set_all_flowcache(bb, false);
 
   qos::SlaProbe probe("throughput");
   traffic::MeasurementSink sink(probe, bb.topo.scheduler());
@@ -345,6 +357,185 @@ int run_sharded_phases(const char* json_path) {
   return deterministic ? 0 : 1;
 }
 
+// --- Flow fastpath cache -------------------------------------------------
+//
+// Forwarding-heavy A/B of the per-router flow caches: an 8P/8PE backbone
+// where every CE carries a 256-rule port-range classifier (range rules
+// cannot use the compiled exact-port index, so the uncached path scans the
+// whole fallback list per packet — the large-ACL worst case the flow cache
+// exists for) and traffic crosses the ring between opposite PEs.
+// The cache-off and cache-on variants simulate the identical event history
+// — delivered counts and the per-class SLA table must match byte for byte
+// — so the only thing allowed to move is the wall clock.
+
+struct FlowcacheResult {
+  ThroughputResult thr;
+  std::string sla_csv;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+FlowcacheResult run_flowcache(bool cache_on, std::size_t flows,
+                              double sim_seconds) {
+  backbone::BackboneConfig cfg;
+  cfg.p_count = 8;
+  cfg.pe_count = 8;
+  cfg.seed = 7;
+  backbone::MplsBackbone bb(cfg);
+
+  const vpn::VpnId v = bb.service.create_vpn("F");
+  std::vector<backbone::MplsBackbone::Site> sites;
+  for (std::size_t i = 0; i < cfg.pe_count; ++i) {
+    sites.push_back(bb.add_site(
+        v, i,
+        ip::Prefix(ip::Ipv4Address(10, std::uint8_t(1 + i), 0, 0), 16)));
+  }
+  for (auto& site : sites) {
+    auto classifier = std::make_unique<qos::CbqClassifier>();
+    // 255 decoy ranges the traffic never hits, then the one it always
+    // does: the slow path walks the whole list for every packet.
+    for (int k = 0; k < 255; ++k) {
+      qos::MatchRule decoy;
+      decoy.dst_port =
+          qos::PortRange{static_cast<std::uint16_t>(1000 + 10 * (k % 64)),
+                         static_cast<std::uint16_t>(1005 + 10 * (k % 64))};
+      decoy.mark = qos::Phb::kAf11;
+      classifier->add_rule(decoy);
+    }
+    qos::MatchRule data;
+    data.dst_port = qos::PortRange{20000, 29999};
+    data.mark = qos::Phb::kAf21;
+    classifier->add_rule(data);
+    site.ce->set_classifier(std::move(classifier));
+  }
+  bb.start_and_converge();
+  // After add_site: the CE routers must see the disable too.
+  if (!cache_on) set_all_flowcache(bb, false);
+
+  qos::SlaProbe probe("flowcache");
+  traffic::MeasurementSink sink(probe, bb.topo.scheduler());
+  for (auto& site : sites) sink.bind(*site.ce);
+
+  std::vector<std::unique_ptr<traffic::CbrSource>> sources;
+  for (std::size_t i = 0; i < flows; ++i) {
+    const std::size_t a = i % sites.size();
+    const std::size_t b = (a + sites.size() / 2) % sites.size();
+    traffic::FlowSpec f;
+    f.src = ip::Ipv4Address(10, std::uint8_t(1 + a), std::uint8_t(i / 200),
+                            std::uint8_t(1 + i % 200));
+    f.dst = ip::Ipv4Address(10, std::uint8_t(1 + b), std::uint8_t(i / 200),
+                            std::uint8_t(1 + i % 200));
+    f.dst_port = static_cast<std::uint16_t>(20000 + i);
+    f.vpn = v;
+    f.phb = qos::Phb::kAf21;  // what the CE classifier will mark
+    const auto id = static_cast<std::uint32_t>(1000 + i);
+    sink.expect_flow(id, qos::Phb::kAf21, v);
+    sources.push_back(
+        std::make_unique<traffic::CbrSource>(*sites[a].ce, f, id, &probe,
+                                             1e6));
+  }
+
+  const sim::SimTime t0 = bb.topo.scheduler().now();
+  const std::uint64_t ev0 = bb.topo.scheduler().executed_count();
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (auto& s : sources) s->run(t0, t0 + sim::from_seconds(sim_seconds));
+  bb.topo.run_until(t0 + sim::from_seconds(sim_seconds + 0.5));
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  FlowcacheResult r;
+  r.thr.flows = flows;
+  r.thr.sim_seconds = sim_seconds;
+  r.thr.delivered = sink.delivered();
+  r.thr.events = bb.topo.scheduler().executed_count() - ev0;
+  r.thr.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  r.sla_csv = probe.to_csv(sim_seconds);
+  for (std::size_t i = 0; i < bb.topo.node_count(); ++i) {
+    if (auto* router = dynamic_cast<vpn::Router*>(
+            &bb.topo.node(static_cast<ip::NodeId>(i)))) {
+      r.hits += router->flowcache_stats().hits;
+      r.misses += router->flowcache_stats().misses;
+    }
+  }
+  return r;
+}
+
+int run_flowcache_phases(const char* json_path) {
+  constexpr std::size_t kFlows = 64;
+  constexpr double kSimSeconds = 5.0;
+  // Interleave the variants and keep each side's best wall time, so
+  // machine-load drift cannot land on only one side of the ratio.
+  FlowcacheResult off, on;
+  for (int i = 0; i < 3; ++i) {
+    FlowcacheResult o = run_flowcache(false, kFlows, kSimSeconds);
+    FlowcacheResult n = run_flowcache(true, kFlows, kSimSeconds);
+    if (off.thr.wall_s == 0 || o.thr.wall_s < off.thr.wall_s) off = std::move(o);
+    if (on.thr.wall_s == 0 || n.thr.wall_s < on.thr.wall_s) on = std::move(n);
+  }
+  print_throughput(off.thr, "flowcache off", "8P/8PE, 256-rule CEs");
+  std::printf("\n");
+  print_throughput(on.thr, "flowcache on", "8P/8PE, 256-rule CEs");
+
+  const bool identical = off.thr.delivered == on.thr.delivered &&
+                         off.sla_csv == on.sla_csv;
+  const double speedup =
+      off.thr.wall_s > 0
+          ? on.thr.packets_per_sec() / off.thr.packets_per_sec()
+          : 0.0;
+  const double hit_rate =
+      on.hits + on.misses > 0
+          ? static_cast<double>(on.hits) /
+                static_cast<double>(on.hits + on.misses)
+          : 0.0;
+  std::printf("  fastpath speedup  : %.2fx (hit rate %.4f)\n", speedup,
+              hit_rate);
+  if (!identical) {
+    std::fprintf(stderr,
+                 "IDENTITY FAILED: flowcache on/off diverged — delivered "
+                 "%llu vs %llu, SLA tables %s\n",
+                 static_cast<unsigned long long>(off.thr.delivered),
+                 static_cast<unsigned long long>(on.thr.delivered),
+                 off.sla_csv == on.sla_csv ? "equal" : "differ");
+  }
+  if (off.hits + off.misses != 0) {
+    std::fprintf(stderr,
+                 "flowcache-off run still touched the cache (%llu lookups)\n",
+                 static_cast<unsigned long long>(off.hits + off.misses));
+    return 1;
+  }
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"benchmark\": \"bench_scalability_flowcache\",\n"
+        "  \"topology\": \"8P/8PE, 48-rule CEs\",\n"
+        "  \"flows\": %zu,\n"
+        "  \"sim_seconds\": %.1f,\n"
+        "  \"delivered_packets\": %llu,\n"
+        "  \"identical\": %s,\n"
+        "  \"flowcache_off_packets_per_sec\": %.1f,\n"
+        "  \"flowcache_on_packets_per_sec\": %.1f,\n"
+        "  \"fastpath_speedup\": %.4f,\n"
+        "  \"cache_hits\": %llu,\n"
+        "  \"cache_misses\": %llu,\n"
+        "  \"hit_rate\": %.6f\n"
+        "}\n",
+        off.thr.flows, off.thr.sim_seconds,
+        static_cast<unsigned long long>(off.thr.delivered),
+        identical ? "true" : "false", off.thr.packets_per_sec(),
+        on.thr.packets_per_sec(), speedup,
+        static_cast<unsigned long long>(on.hits),
+        static_cast<unsigned long long>(on.misses), hit_rate);
+    std::fclose(f);
+  }
+  return identical ? 0 : 1;
+}
+
 void print_throughput(const ThroughputResult& r, const char* variant,
                       const char* topo = "6P/8PE") {
   std::printf(
@@ -421,16 +612,19 @@ void write_throughput_json(const char* path, const ThroughputResult& off,
 }
 
 /// Run the off/on phases, print them, optionally enforce the baseline
-/// guard. Returns the process exit code.
-int run_throughput_phases(const char* json_path, const char* baseline_path) {
+/// guard. Returns the process exit code. `flowcache` false measures the
+/// pure slow path (for the cache-off regression guard against a seed
+/// binary).
+int run_throughput_phases(const char* json_path, const char* baseline_path,
+                          bool flowcache) {
   // Interleave off/on repetitions and keep each side's best wall time:
   // the deterministic counters are identical across reps, and pairing the
   // phases keeps machine-load drift from landing on only one side of the
   // tracing-overhead ratio.
   ThroughputResult off, on;
   for (int i = 0; i < 5; ++i) {
-    keep_best(off, run_throughput(64, 5.0, false));
-    keep_best(on, run_throughput(64, 5.0, true));
+    keep_best(off, run_throughput(64, 5.0, false, flowcache));
+    keep_best(on, run_throughput(64, 5.0, true, flowcache));
   }
   print_throughput(off, "tracing off");
   std::printf("\n");
@@ -472,22 +666,34 @@ int main(int argc, char** argv) {
   const char* json_path = nullptr;
   const char* baseline_path = nullptr;
   const char* sharded_path = nullptr;
+  const char* flowcache_path = nullptr;
   bool sharded_only = false;
+  bool flowcache_only = false;
+  bool flowcache = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--throughput-only") == 0) {
       throughput_only = true;
     } else if (std::strcmp(argv[i], "--sharded-only") == 0) {
       sharded_only = true;
+    } else if (std::strcmp(argv[i], "--flowcache-only") == 0) {
+      flowcache_only = true;
+    } else if (std::strcmp(argv[i], "--no-flowcache") == 0) {
+      flowcache = false;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--sharded-json") == 0 && i + 1 < argc) {
       sharded_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--flowcache-json") == 0 &&
+               i + 1 < argc) {
+      flowcache_path = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--throughput-only] [--sharded-only] "
-                   "[--json FILE] [--sharded-json FILE] [--baseline FILE]\n",
+                   "[--flowcache-only] [--no-flowcache] [--json FILE] "
+                   "[--sharded-json FILE] [--flowcache-json FILE] "
+                   "[--baseline FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -496,8 +702,11 @@ int main(int argc, char** argv) {
   if (sharded_only) {
     return run_sharded_phases(sharded_path);
   }
+  if (flowcache_only) {
+    return run_flowcache_phases(flowcache_path);
+  }
   if (throughput_only) {
-    return run_throughput_phases(json_path, baseline_path);
+    return run_throughput_phases(json_path, baseline_path, flowcache);
   }
 
   std::printf(
@@ -532,5 +741,5 @@ int main(int argc, char** argv) {
       "remaining quadratic (session) term — who wins and why matches the\n"
       "paper's argument.\n\n");
 
-  return run_throughput_phases(json_path, baseline_path);
+  return run_throughput_phases(json_path, baseline_path, flowcache);
 }

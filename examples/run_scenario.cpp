@@ -24,6 +24,10 @@
 //   --shards N          partition the topology into N shards and run the
 //                       traffic phase on the parallel engine (default 1 =
 //                       serial; overrides the scenario's `run shards=`)
+//   --no-flowcache      disable the per-router flow fastpath caches (slow
+//                       path only; overrides the scenario's `run
+//                       flowcache=`). Results are identical either way —
+//                       use for A/B verification and benchmarking.
 
 #include <cstdint>
 #include <cstdio>
@@ -56,7 +60,7 @@ int usage(const char* prog) {
                "usage: %s [--trace FILE] [--events FILE] [--metrics FILE]\n"
                "          [--snapshot-period S] [--obs DIR] [--spans FILE]\n"
                "          [--latency-report] [--latency-json FILE]\n"
-               "          [--shards N] [scenario.scn]\n",
+               "          [--shards N] [--no-flowcache] [scenario.scn]\n",
                prog);
   return 2;
 }
@@ -67,6 +71,7 @@ int main(int argc, char** argv) {
   mvpn::backbone::ObsOptions obs;
   std::string scenario_path;
   unsigned long shards = 0;  // 0: use the scenario file's setting
+  int flowcache = -1;        // -1: use the scenario file's setting
   for (int i = 1; i < argc; ++i) {
     auto value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -103,6 +108,8 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage(argv[0]);
       shards = std::strtoul(v, nullptr, 10);
       if (shards == 0 || shards > 64) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--no-flowcache") == 0) {
+      flowcache = 0;
     } else if (std::strcmp(argv[i], "--obs") == 0) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
@@ -125,7 +132,8 @@ int main(int argc, char** argv) {
 
   if (!scenario_path.empty()) {
     return mvpn::backbone::run_scenario_file(
-        scenario_path, std::cout, obs, static_cast<std::uint32_t>(shards));
+        scenario_path, std::cout, obs, static_cast<std::uint32_t>(shards),
+        flowcache);
   }
   std::printf("no scenario file given; running the built-in demo\n\n");
   mvpn::backbone::ScenarioError error;
@@ -139,5 +147,6 @@ int main(int argc, char** argv) {
   if (shards != 0) {
     scenario->set_shards(static_cast<std::uint32_t>(shards));
   }
+  if (flowcache >= 0) scenario->set_flowcache(flowcache != 0);
   return scenario->run(std::cout) ? 0 : 1;
 }

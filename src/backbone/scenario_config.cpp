@@ -402,6 +402,15 @@ std::optional<Scenario> Scenario::parse(const std::string& text,
         }
         sc.shards_ = static_cast<std::uint32_t>(n);
       }
+      if (auto v = kv("flowcache")) {
+        if (*v == "on") {
+          sc.flowcache_ = true;
+        } else if (*v == "off") {
+          sc.flowcache_ = false;
+        } else {
+          return fail(line_no, "bad flowcache= (want on|off)");
+        }
+      }
     } else {
       return fail(line_no, "unknown directive " + line.directive);
     }
@@ -496,6 +505,18 @@ bool Scenario::run(std::ostream& out) const {
     built.push_back(site);
     (void)s.pref;  // single-homed declarations: pref is a tie-break no-op
   }
+
+  // flowcache=off: force every router (P, PE, CE) onto the slow path so
+  // A/B runs can verify the fastpath changes nothing but speed.
+  if (!flowcache_) {
+    for (std::size_t i = 0; i < topo.node_count(); ++i) {
+      if (auto* r = dynamic_cast<vpn::Router*>(
+              &topo.node(static_cast<ip::NodeId>(i)))) {
+        r->set_flowcache_enabled(false);
+      }
+    }
+  }
+
   bb.start_and_converge();
 
   for (const auto& c : classifies_) {
@@ -812,7 +833,8 @@ int run_scenario_file(const std::string& path, std::ostream& out) {
 }
 
 int run_scenario_file(const std::string& path, std::ostream& out,
-                      const ObsOptions& obs, std::uint32_t shards) {
+                      const ObsOptions& obs, std::uint32_t shards,
+                      int flowcache) {
   std::ifstream in(path);
   if (!in) {
     out << "cannot open " << path << "\n";
@@ -828,6 +850,7 @@ int run_scenario_file(const std::string& path, std::ostream& out,
   }
   scenario->set_obs(obs);
   if (shards != 0) scenario->set_shards(shards);
+  if (flowcache >= 0) scenario->set_flowcache(flowcache != 0);
   return scenario->run(out) ? 0 : 1;
 }
 

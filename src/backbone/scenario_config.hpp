@@ -58,8 +58,9 @@ struct ObsOptions {
 ///   flow poisson vpn=corp from=0 to=1 rate=1e6 size=1472
 ///   flow onoff   vpn=corp from=0 to=1 rate=2e6 on=0.3 off=0.2 class=AF21 port=5004
 ///   flow tcp     vpn=corp from=0 to=1 class=BE port=80 size=1432   # greedy elastic
-///   run for=5 shards=4                     # seconds of traffic (+2 s drain);
-///                                          # shards>1 = parallel engine
+///   run for=5 shards=4 flowcache=off       # seconds of traffic (+2 s drain);
+///                                          # shards>1 = parallel engine;
+///                                          # flowcache=off: slow path only
 ///
 /// Flows start together when the control plane has converged; source and
 /// destination hosts are derived from the sites' prefixes.
@@ -91,6 +92,13 @@ class Scenario {
   /// to serial — TCP-lite endpoints share congestion state across sites.
   void set_shards(std::uint32_t n) { shards_ = n == 0 ? 1 : n; }
   [[nodiscard]] std::uint32_t shards() const noexcept { return shards_; }
+
+  /// Enable/disable the per-router flow fastpath caches for the run (also
+  /// settable from the scenario file via `run flowcache=off`). Results are
+  /// identical either way — the toggle exists for A/B verification and
+  /// benchmarking of the fastpath.
+  void set_flowcache(bool on) { flowcache_ = on; }
+  [[nodiscard]] bool flowcache() const noexcept { return flowcache_; }
 
   /// --- introspection (mostly for tests) ---------------------------------
   [[nodiscard]] std::size_t vpn_count() const noexcept {
@@ -150,14 +158,17 @@ class Scenario {
   std::vector<FlowDecl> flows_;
   double run_for_s_ = 2.0;
   std::uint32_t shards_ = 1;
+  bool flowcache_ = true;
   ObsOptions obs_;
 };
 
 /// Convenience: parse + run from a file path. Returns process-style exit
 /// code (0 ok, 1 isolation violation, 2 parse/usage error).
-/// `shards` != 0 overrides the scenario file's `run shards=` setting.
+/// `shards` != 0 overrides the scenario file's `run shards=` setting;
+/// `flowcache` 0/1 overrides `run flowcache=` (-1 leaves the file's choice).
 int run_scenario_file(const std::string& path, std::ostream& out);
 int run_scenario_file(const std::string& path, std::ostream& out,
-                      const ObsOptions& obs, std::uint32_t shards = 0);
+                      const ObsOptions& obs, std::uint32_t shards = 0,
+                      int flowcache = -1);
 
 }  // namespace mvpn::backbone

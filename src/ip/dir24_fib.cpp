@@ -9,6 +9,15 @@ Dir24Fib::Dir24Fib() : tbl24_(1u << 24, kMiss) {}
 
 void Dir24Fib::build(
     const std::vector<std::pair<Prefix, std::uint16_t>>& routes) {
+  // Validate the whole dump before touching the tables: a throw must not
+  // leave a half-painted FIB behind (rebuilds reuse this object, and the
+  // old contents are discarded below).
+  for (const auto& [prefix, nh_index] : routes) {
+    if (nh_index > kMaxNextHopIndex) {
+      throw std::invalid_argument("Dir24Fib: next-hop index too large");
+    }
+  }
+
   std::fill(tbl24_.begin(), tbl24_.end(), kMiss);
   tbl_long_.clear();
 
@@ -21,9 +30,6 @@ void Dir24Fib::build(
             });
 
   for (const auto& [prefix, nh_index] : sorted) {
-    if (nh_index > kMaxNextHopIndex) {
-      throw std::invalid_argument("Dir24Fib: next-hop index too large");
-    }
     const std::uint16_t payload = static_cast<std::uint16_t>(nh_index + 1);
     const std::uint32_t base = prefix.address().value();
 

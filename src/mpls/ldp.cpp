@@ -19,6 +19,7 @@ std::vector<ip::NodeId> Ldp::ldp_neighbors(ip::NodeId router) const {
 }
 
 void Ldp::announce_egress(ip::NodeId egress, const ip::Prefix& fec) {
+  ++generation_;
   owners_[fec] = egress;
   FecState& st = state_[egress][fec];
   st.owner = egress;
@@ -64,6 +65,7 @@ void Ldp::receive_mapping(ip::NodeId at, ip::NodeId from,
   learn_fec(at, fec, owner);
   FecState& st = state_[at][fec];
   st.remote_labels[from] = label;  // liberal retention
+  ++generation_;
   obs::FlightRecorder& rec = cp_.topology().recorder();
   if (rec.enabled(obs::Category::kSignaling)) {
     rec.record({.node = at,
@@ -108,9 +110,25 @@ void Ldp::refresh_lfib(ip::NodeId router, const ip::Prefix& fec) {
 }
 
 void Ldp::on_spf(ip::NodeId router) {
+  // The IGP next hop feeds both the LFIB entries refreshed here and every
+  // ftn() answer, so any SPF invalidates cached FTN resolutions.
+  ++generation_;
   auto it = state_.find(router);
   if (it == state_.end()) return;
   for (auto& [fec, st] : it->second) refresh_lfib(router, fec);
+}
+
+void Ldp::withdraw_fec(const ip::Prefix& fec) {
+  ++generation_;
+  for (auto& [router, fecs] : state_) {
+    auto fit = fecs.find(fec);
+    if (fit == fecs.end()) continue;
+    if (fit->second.local_label) {
+      domain_.state_of(router).lfib.remove(*fit->second.local_label);
+    }
+    fecs.erase(fit);
+  }
+  owners_.erase(fec);
 }
 
 std::optional<Ldp::Ftn> Ldp::ftn(ip::NodeId router,

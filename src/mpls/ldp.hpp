@@ -45,10 +45,22 @@ class Ldp {
   [[nodiscard]] std::optional<Ftn> ftn(ip::NodeId router,
                                        const ip::Prefix& fec) const;
 
+  /// Withdraw every binding for `fec` domain-wide: the owner retracts the
+  /// mapping, each LSR tears the matching LFIB entry and forgets the FEC.
+  /// Modeled as an instantaneous control action (the per-hop withdraw
+  /// messages are not simulated); ingress FTN lookups miss immediately.
+  void withdraw_fec(const ip::Prefix& fec);
+
   /// Label bindings (LIB size) held at `router` — a state metric for E1.
   [[nodiscard]] std::size_t bindings_at(ip::NodeId router) const;
   [[nodiscard]] std::size_t fec_count() const noexcept {
     return owners_.size();
+  }
+
+  /// Bumped on every mapping / withdraw / SPF re-point; flow caches
+  /// validate cached FTN resolutions against it.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
   }
 
  private:
@@ -74,6 +86,7 @@ class Ldp {
   std::map<ip::NodeId, bool> enabled_;
   std::map<ip::NodeId, std::map<ip::Prefix, FecState>> state_;
   std::map<ip::Prefix, ip::NodeId> owners_;
+  std::uint64_t generation_ = 1;
 };
 
 }  // namespace mvpn::mpls

@@ -22,6 +22,7 @@ void Lfib::install(const LfibEntry& entry) {
   if (idx >= slots_.size()) slots_.resize(idx + 1);
   if (!slots_[idx].has_value()) ++size_;
   slots_[idx] = entry;
+  ++generation_;
 }
 
 bool Lfib::remove(std::uint32_t in_label) {
@@ -30,6 +31,7 @@ bool Lfib::remove(std::uint32_t in_label) {
   if (idx >= slots_.size() || !slots_[idx].has_value()) return false;
   slots_[idx].reset();
   --size_;
+  ++generation_;
   return true;
 }
 

@@ -62,9 +62,16 @@ class Lfib {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::vector<LfibEntry> entries() const;
 
+  /// Bumped on every install / remove; transit flow caches validate
+  /// cached label decisions against it.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+
  private:
   std::vector<std::optional<LfibEntry>> slots_;
   std::size_t size_ = 0;
+  std::uint64_t generation_ = 1;
 };
 
 }  // namespace mvpn::mpls

@@ -31,6 +31,7 @@ void RsvpTe::start_signaling(LspId id) {
   LspInternal& lsp = lsps_.at(id);
   ++lsp.pub.signal_attempts;
   lsp.pub.state = LspState::kSignaling;
+  ++generation_;
 
   if (!lsp.pub.config.explicit_route.empty()) {
     lsp.pub.path = lsp.pub.config.explicit_route;
@@ -122,6 +123,7 @@ void RsvpTe::arrive_resv(LspId id, std::size_t hop_index,
     lsp.pub.head_iface =
         cp_.topology().node(here).interface_to(next);
     lsp.pub.state = LspState::kUp;
+    ++generation_;
     signal_event(obs::EventType::kLspUp, id, here, 0);
     for (const auto& cb : up_callbacks_) cb(id);
     return;
@@ -162,6 +164,7 @@ void RsvpTe::fail_lsp(LspId id) {
   LspInternal& lsp = lsps_.at(id);
   release_all(lsp);
   lsp.pub.state = LspState::kFailed;
+  ++generation_;
   signal_event(obs::EventType::kLspDown, id, lsp.pub.config.head, 0);
   for (const auto& cb : failed_callbacks_) cb(id);
 }
@@ -170,6 +173,7 @@ void RsvpTe::tear_down(LspId id) {
   LspInternal& lsp = lsps_.at(id);
   release_all(lsp);
   lsp.pub.state = LspState::kTornDown;
+  ++generation_;
   signal_event(obs::EventType::kLspDown, id, lsp.pub.config.head, 0);
   cp_.send_session(lsp.pub.config.head, lsp.pub.config.tail, "rsvp.teardown",
                    36, [] {});
@@ -199,6 +203,7 @@ void RsvpTe::notify_link_failure(net::LinkId link) {
 
     release_all(lsp);
     lsp.excluded_links.push_back(link);
+    ++generation_;
     ++lsp.pub.reroutes;
     lsp.pub.signal_attempts = 0;
     signal_event(obs::EventType::kLspReroute, id, lsp.pub.config.head, link);

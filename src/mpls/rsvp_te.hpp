@@ -64,6 +64,12 @@ class RsvpTe {
   [[nodiscard]] const Lsp& lsp(LspId id) const;
   [[nodiscard]] std::size_t lsp_count() const noexcept { return lsps_.size(); }
 
+  /// Bumped on every LSP state or head-binding change; flow caches
+  /// validate cached tunnel resolutions against it.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+
   void on_lsp_up(std::function<void(LspId)> cb) {
     up_callbacks_.push_back(std::move(cb));
   }
@@ -99,6 +105,7 @@ class RsvpTe {
   MplsDomain& domain_;
   std::map<LspId, LspInternal> lsps_;
   LspId next_id_ = 1;
+  std::uint64_t generation_ = 1;
   std::vector<std::function<void(LspId)>> up_callbacks_;
   std::vector<std::function<void(LspId)>> failed_callbacks_;
 };

@@ -141,19 +141,81 @@ void Link::start_transmission(Direction& dir, PacketPtr p) {
     }
   }
 
-  // Single event per packet: delivery at serialization end + propagation.
-  topo_.scheduler().schedule_in(
-      tx_time + config_.prop_delay,
-      [this, &dir, serialize_end, p = std::move(p)]() mutable {
-        if (was_up_at(serialize_end)) {
-          topo_.deliver(dir.to.node, dir.to.iface, std::move(p));
-        } else {
-          // Store-and-forward failure rule: serialization completed while
-          // the link was down, so the packet never made it onto the wire.
-          dir.down_drops.record(p->wire_size());
-          record_drop(dir, *p, obs::DropReason::kLinkDown);
-        }
-      });
+  // Local hop. deliver_at is monotone per direction (busy_until never
+  // moves backwards, prop_delay is constant), so one pending event
+  // suffices for the whole train. When the direction is idle — the
+  // uncongested steady state — the packet rides inside the delivery event
+  // itself (fits InlineCallable's buffer), skipping the FIFO and the
+  // burst scratch entirely; the FIFO + pump only engage while a delivery
+  // is already pending. pump_scheduled == false implies in_flight is
+  // empty (pump/pump_one rechain before clearing the flag), so the two
+  // modes never race.
+  const sim::SimTime deliver_at = serialize_end + config_.prop_delay;
+  if (!dir.pump_scheduled) {
+    dir.pump_scheduled = true;
+    topo_.scheduler().schedule_at(
+        deliver_at, [this, &dir, serialize_end, p = std::move(p)]() mutable {
+          pump_one(dir, serialize_end, std::move(p));
+        });
+    return;
+  }
+  dir.in_flight.push_back(InFlight{deliver_at, serialize_end, std::move(p)});
+}
+
+void Link::pump_one(Direction& dir, sim::SimTime serialize_end, PacketPtr p) {
+  if (was_up_at(serialize_end)) {
+    topo_.deliver(dir.to.node, dir.to.iface, std::move(p));
+  } else {
+    dir.down_drops.record(p->wire_size());
+    record_drop(dir, *p, obs::DropReason::kLinkDown);
+  }
+  // A receiver that turned the packet around onto this same direction
+  // appended to in_flight (the flag was still set); chain the pump for it.
+  rechain(dir);
+}
+
+void Link::rechain(Direction& dir) {
+  if (!dir.in_flight.empty()) {
+    topo_.scheduler().schedule_at(dir.in_flight.front().deliver_at,
+                                  [this, &dir] { pump(dir); });
+  } else {
+    dir.pump_scheduled = false;
+  }
+}
+
+void Link::pump(Direction& dir) {
+  const sim::SimTime now = topo_.scheduler().now();
+  // Common case: exactly one packet due at this instant (deliver_at is
+  // strictly increasing while the wire stays busy, so same-tick trains
+  // only form when serialization rounds to zero) — skip the burst scratch.
+  if (!dir.in_flight.empty() && dir.in_flight.front().deliver_at <= now &&
+      (dir.in_flight.size() == 1 || dir.in_flight[1].deliver_at > now)) {
+    InFlight f = dir.in_flight.pop_front();
+    pump_one(dir, f.serialize_end, std::move(f.p));  // delivers + rechains
+    return;
+  }
+  // Coalesce everything due at this instant into one burst. The up-check
+  // happens here, per packet, against the packet's own serialization end.
+  DeliveryBurst& burst = dir.burst;
+  while (!dir.in_flight.empty() && dir.in_flight.front().deliver_at <= now) {
+    InFlight f = dir.in_flight.pop_front();
+    if (was_up_at(f.serialize_end)) {
+      burst.push_back(std::move(f.p));
+    } else {
+      // Store-and-forward failure rule: serialization completed while the
+      // link was down, so the packet never made it onto the wire.
+      dir.down_drops.record(f.p->wire_size());
+      record_drop(dir, *f.p, obs::DropReason::kLinkDown);
+    }
+  }
+  // pump_scheduled stays true while the burst is being delivered: a
+  // receiver that turns a packet around onto this same direction appends
+  // to in_flight (strictly later deliver_at) and the rechain below covers
+  // it — scheduling a second pump here would double-deliver.
+  if (!burst.empty()) {
+    topo_.deliver_burst(dir.to.node, dir.to.iface, burst);
+  }
+  rechain(dir);
 }
 
 void Link::ensure_service(Direction& dir) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ip/route_table.hpp"
+#include "net/inline_vec.hpp"
 #include "net/packet.hpp"
 #include "net/queue_disc.hpp"
 #include "sim/scheduler.hpp"
@@ -17,6 +18,11 @@ class Topology;
 
 using LinkId = std::uint32_t;
 inline constexpr LinkId kInvalidLink = std::numeric_limits<LinkId>::max();
+
+/// Same-tick deliveries to one link endpoint, coalesced by the burst pump.
+/// Eight inline slots cover typical back-to-back trains; larger bursts
+/// spill once and the buffer is reused for the life of the direction.
+using DeliveryBurst = InlineVec<PacketPtr, 8>;
 
 /// Configuration for one point-to-point link (both directions symmetric).
 struct LinkConfig {
@@ -74,14 +80,71 @@ class Link {
                                         sim::SimTime elapsed) const;
 
  private:
-  // Each forwarded packet costs ONE scheduler event: serialization end and
-  // propagation delay are both known when transmission starts, so delivery
-  // is scheduled directly at start + tx + prop. A separate queue-service
-  // event exists only while packets are actually waiting (congestion), so
-  // the uncontended fast path never pays for it. The delivery handler
-  // re-checks `was_up_at(serialize_end)` to preserve the store-and-forward
-  // failure rule: a packet whose serialization finished while the link was
-  // down is lost, even though its delivery event still fires.
+  // Deliveries cost one *pump* event per busy period, not one event per
+  // packet: serialization end and propagation delay are both fixed when
+  // transmission starts, so each packet is appended to the direction's
+  // in-flight FIFO (deliver_at is monotone: busy_until never goes
+  // backwards and prop_delay is constant) and a single chained pump event
+  // walks the FIFO, coalescing everything due at the same instant into a
+  // DeliveryBurst handed to Topology::deliver_burst(). When the direction
+  // is *idle* (no pump pending — the uncongested steady state) the packet
+  // instead rides inside its own delivery event (pump_one), skipping the
+  // FIFO and burst scratch; pump_scheduled == false implies the FIFO is
+  // empty, so the two modes never interleave wrongly. A separate
+  // queue-service event exists only while packets are actually waiting
+  // (congestion), so the uncontended fast path never pays for it. Both
+  // pump paths re-check `was_up_at(serialize_end)` per packet to preserve
+  // the store-and-forward failure rule: a packet whose serialization
+  // finished while the link was down is lost, even though its pump event
+  // still fires.
+  struct InFlight {
+    sim::SimTime deliver_at = 0;
+    sim::SimTime serialize_end = 0;
+    PacketPtr p;
+  };
+
+  /// Flat power-of-two ring of in-flight deliveries. push_back/pop_front
+  /// are an index bump + a move — no deque block bookkeeping on the
+  /// per-packet path. Capacity doubles on demand and is retained.
+  class InFlightFifo {
+   public:
+    [[nodiscard]] bool empty() const noexcept { return head_ == tail_; }
+    [[nodiscard]] std::size_t size() const noexcept { return tail_ - head_; }
+    [[nodiscard]] InFlight& front() noexcept {
+      return buf_[head_ & (buf_.size() - 1)];
+    }
+    [[nodiscard]] const InFlight& operator[](std::size_t i) const noexcept {
+      return buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+    void push_back(InFlight f) {
+      if (size() == buf_.size()) grow();
+      buf_[tail_ & (buf_.size() - 1)] = std::move(f);
+      ++tail_;
+    }
+    InFlight pop_front() noexcept {
+      InFlight f = std::move(front());
+      ++head_;
+      return f;
+    }
+
+   private:
+    void grow() {
+      const std::size_t cap = buf_.empty() ? 4 : buf_.size() * 2;
+      std::vector<InFlight> next(cap);
+      const std::size_t n = size();
+      for (std::size_t i = 0; i < n; ++i) {
+        next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+      }
+      buf_ = std::move(next);
+      head_ = 0;
+      tail_ = n;
+    }
+
+    std::vector<InFlight> buf_;
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
+  };
+
   struct Direction {
     Endpoint to;
     ip::NodeId from = ip::kInvalidNode;  ///< transmitting node
@@ -91,6 +154,13 @@ class Link {
     sim::SimTime busy_until = 0;
     /// True while a queue-service event is pending at `busy_until`.
     bool service_scheduled = false;
+    /// Packets on the wire, ordered by deliver_at (monotone push order).
+    InFlightFifo in_flight;
+    /// True while a pump event is pending (or running — the pump keeps it
+    /// set while delivering so nested transmits cannot double-schedule).
+    bool pump_scheduled = false;
+    /// Burst scratch reused across pump runs (spill buffer is retained).
+    DeliveryBurst burst;
     stats::PacketByteCounter tx;
     stats::PacketByteCounter down_drops;
     sim::SimTime busy_accum = 0;
@@ -110,6 +180,15 @@ class Link {
   void record_drop(const Direction& dir, const Packet& p,
                    obs::DropReason reason);
   void start_transmission(Direction& dir, PacketPtr p);
+  /// Deliver every in-flight packet due now as one burst, then chain the
+  /// next pump event at the new FIFO front (if any).
+  void pump(Direction& dir);
+  /// Idle-direction fast path: deliver the single packet carried by the
+  /// delivery event itself, then chain a pump for anything that queued
+  /// behind it meanwhile.
+  void pump_one(Direction& dir, sim::SimTime serialize_end, PacketPtr p);
+  /// Chain the next pump at the FIFO front, or mark the direction idle.
+  void rechain(Direction& dir);
   void ensure_service(Direction& dir);
   /// Fold the interval since the packet's last stamp into its processing
   /// component (time spent in the node before reaching this transmitter).

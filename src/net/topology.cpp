@@ -59,4 +59,27 @@ void Topology::deliver(ip::NodeId to, ip::IfIndex in_if, PacketPtr p) {
   n.receive(std::move(p), in_if);
 }
 
+void Topology::deliver_burst(ip::NodeId to, ip::IfIndex in_if,
+                             DeliveryBurst& burst) {
+  Node& n = node(to);
+  const bool tapped = !taps_.empty();
+  obs::FlightRecorder& rec = recorder();
+  const bool traced = rec.enabled(obs::Category::kLink);
+  for (PacketPtr& slot : burst) {
+    PacketPtr p = std::move(slot);
+    if (tapped) taps_.invoke(to, *p);
+    if (traced) {
+      rec.record({.packet_id = p->id,
+                  .node = to,
+                  .a = in_if,
+                  .bytes = static_cast<std::uint32_t>(p->wire_size()),
+                  .type = obs::EventType::kDeliver,
+                  .cls = p->trace_class()});
+    }
+    n.count_rx(*p, in_if);
+    n.receive(std::move(p), in_if);
+  }
+  burst.clear();
+}
+
 }  // namespace mvpn::net

@@ -77,6 +77,13 @@ class Topology {
   /// Deliver `p` to `to`'s receive() — called by links after propagation.
   void deliver(ip::NodeId to, ip::IfIndex in_if, PacketPtr p);
 
+  /// Burst variant: deliver every packet in `burst` (same destination and
+  /// ingress interface — they arrived on the same link direction at the
+  /// same instant) preserving per-packet order and semantics, but hoisting
+  /// the node lookup, tap-list test and trace-enabled test out of the
+  /// loop. Consumes and clears `burst` so callers can reuse the buffer.
+  void deliver_burst(ip::NodeId to, ip::IfIndex in_if, DeliveryBurst& burst);
+
   /// Observation hooks invoked on every delivery (before receive()): let
   /// tests and tracing tools watch a packet's header stack hop by hop.
   /// Multiple observers coexist — each add returns a handle that removes

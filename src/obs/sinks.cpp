@@ -45,6 +45,9 @@ Category category_of(EventType t) noexcept {
     case EventType::kOamReply:
     case EventType::kOamTimeout:
       return Category::kOam;
+    case EventType::kFastpathResolve:
+    case EventType::kFastpathInvalidate:
+      return Category::kFastpath;
   }
   return Category::kQueue;
 }

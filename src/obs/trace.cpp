@@ -10,6 +10,7 @@ const char* to_string(Category c) noexcept {
     case Category::kVpn: return "vpn";
     case Category::kSignaling: return "signaling";
     case Category::kOam: return "oam";
+    case Category::kFastpath: return "fastpath";
   }
   return "?";
 }
@@ -35,6 +36,8 @@ const char* to_string(EventType t) noexcept {
     case EventType::kOamProbe: return "oam_probe";
     case EventType::kOamReply: return "oam_reply";
     case EventType::kOamTimeout: return "oam_timeout";
+    case EventType::kFastpathResolve: return "fastpath_resolve";
+    case EventType::kFastpathInvalidate: return "fastpath_invalidate";
   }
   return "?";
 }

@@ -18,9 +18,10 @@ enum class Category : std::uint32_t {
   kVpn = 1u << 3,        ///< VRF and local delivery, data-plane drops
   kSignaling = 1u << 4,  ///< LDP mappings, RSVP-TE LSP state
   kOam = 1u << 5,        ///< LSP ping probes / replies / timeouts
+  kFastpath = 1u << 6,   ///< flow-cache resolve / stale-entry invalidation
 };
 
-inline constexpr std::uint32_t kAllCategories = 0x3Fu;
+inline constexpr std::uint32_t kAllCategories = 0x7Fu;
 
 /// Compile-time category mask: categories absent from it fold every
 /// `enabled()` check to constant false, letting the optimizer delete the
@@ -53,6 +54,8 @@ enum class EventType : std::uint8_t {
   kOamProbe,      ///< LSP ping probe sent (a = LSP id)
   kOamReply,      ///< LSP ping reply received at the head (a = LSP id)
   kOamTimeout,    ///< LSP ping timed out (a = LSP id)
+  kFastpathResolve,     ///< slow-path decision cached (a = flow/label, aux = action)
+  kFastpathInvalidate,  ///< stale entry hit, re-resolving (a = flow/label)
 };
 
 [[nodiscard]] const char* to_string(EventType t) noexcept;

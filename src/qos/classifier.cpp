@@ -37,19 +37,67 @@ bool MatchRule::matches(const VisibleFields& f) const noexcept {
 std::size_t CbqClassifier::add_rule(MatchRule rule) {
   rules_.push_back(std::move(rule));
   hit_counts_.emplace_back();
+  ++generation_;
+  rebuild_index();
   return rules_.size() - 1;
 }
 
-Phb CbqClassifier::classify(const net::Packet& p) const {
-  const VisibleFields f = visible_fields(p);
+void CbqClassifier::rebuild_index() {
+  by_dst_port_.clear();
+  fallback_.clear();
   for (std::size_t i = 0; i < rules_.size(); ++i) {
-    if (rules_[i].matches(f)) {
-      hit_counts_[i].add();
-      return rules_[i].mark;
+    const MatchRule& r = rules_[i];
+    if (!r.dst_port.is_any() && r.dst_port.is_exact()) {
+      by_dst_port_[r.dst_port.lo].push_back(static_cast<std::uint32_t>(i));
+    } else {
+      fallback_.push_back(static_cast<std::uint32_t>(i));
     }
   }
-  unmatched_.add();
-  return default_phb_;
+}
+
+std::int32_t CbqClassifier::match_index(const VisibleFields& f) const {
+  // Merge the packet's exact-port bucket with the fallback list on
+  // ascending rule index: the first rule that matches wins, exactly as the
+  // historical linear scan decided. Encrypted packets carry no ports, so
+  // exact-port rules cannot match them and only the fallback list runs.
+  const std::vector<std::uint32_t>* bucket = nullptr;
+  if (f.dst_port) {
+    auto it = by_dst_port_.find(*f.dst_port);
+    if (it != by_dst_port_.end()) bucket = &it->second;
+  }
+  std::size_t bi = 0;
+  std::size_t fi = 0;
+  const std::size_t bn = bucket != nullptr ? bucket->size() : 0;
+  while (bi < bn || fi < fallback_.size()) {
+    std::uint32_t next;
+    if (bi < bn &&
+        (fi >= fallback_.size() || (*bucket)[bi] < fallback_[fi])) {
+      next = (*bucket)[bi++];
+    } else {
+      next = fallback_[fi++];
+    }
+    if (rules_[next].matches(f)) return static_cast<std::int32_t>(next);
+  }
+  return kUnmatched;
+}
+
+CbqClassifier::Decision CbqClassifier::decide(const VisibleFields& f) const {
+  const std::int32_t idx = match_index(f);
+  count_hit(idx);
+  if (idx == kUnmatched) return Decision{default_phb_, kUnmatched};
+  return Decision{rules_[static_cast<std::size_t>(idx)].mark, idx};
+}
+
+void CbqClassifier::count_hit(std::int32_t rule) const {
+  if (rule == kUnmatched) {
+    unmatched_.add();
+  } else {
+    hit_counts_[static_cast<std::size_t>(rule)].add();
+  }
+}
+
+Phb CbqClassifier::classify(const net::Packet& p) const {
+  return decide(visible_fields(p)).phb;
 }
 
 Phb CbqClassifier::mark(net::Packet& p) {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ip/address.hpp"
@@ -36,6 +37,7 @@ struct PortRange {
     return port >= lo && port <= hi;
   }
   [[nodiscard]] bool is_any() const noexcept { return lo == 0 && hi == 65535; }
+  [[nodiscard]] bool is_exact() const noexcept { return lo == hi; }
   static PortRange exactly(std::uint16_t p) { return PortRange{p, p}; }
 };
 
@@ -57,10 +59,29 @@ struct MatchRule {
 /// could use technologies such as CBQ to classify traffic and
 /// DiffServ/ToS to mark it"). First-match semantics; unmatched packets get
 /// the default PHB.
+///
+/// Rule lists are compiled into a match index on mutation: rules pinned to
+/// an exact destination port hash into per-port buckets, everything else
+/// (ranges, any-port, port-blind rules) stays on a short fallback list.
+/// Lookup walks the packet's port bucket and the fallback list as a merge
+/// on ascending rule index, so first-match semantics are preserved exactly
+/// while the common "one service = one well-known port" rule shape skips
+/// the linear scan entirely.
 class CbqClassifier {
  public:
   explicit CbqClassifier(Phb default_phb = Phb::kBe)
       : default_phb_(default_phb) {}
+
+  /// Rule index used for "no rule matched" in Decision / count_hit().
+  static constexpr std::int32_t kUnmatched = -1;
+
+  /// A classification outcome plus which rule produced it, so callers
+  /// (the router flow cache) can replay the accounting via count_hit()
+  /// without re-matching.
+  struct Decision {
+    Phb phb = Phb::kBe;
+    std::int32_t rule = kUnmatched;
+  };
 
   /// Append a rule (evaluated in insertion order). Returns its index.
   std::size_t add_rule(MatchRule rule);
@@ -68,9 +89,20 @@ class CbqClassifier {
   /// PHB for `p` without modifying it.
   [[nodiscard]] Phb classify(const net::Packet& p) const;
 
+  /// Classify already-extracted fields, counting the hit.
+  [[nodiscard]] Decision decide(const VisibleFields& f) const;
+
   /// Classify and write the resulting DSCP into the packet's (outermost
   /// writable) IP header. Returns the PHB applied.
   Phb mark(net::Packet& p);
+
+  /// Replay the per-rule hit accounting for a cached decision.
+  void count_hit(std::int32_t rule) const;
+
+  /// Bumped on every mutation; flow caches validate against it.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
 
   [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
   [[nodiscard]] const MatchRule& rule(std::size_t i) const {
@@ -82,12 +114,28 @@ class CbqClassifier {
   [[nodiscard]] const stats::Counter& unmatched() const noexcept {
     return unmatched_;
   }
+  [[nodiscard]] Phb default_phb() const noexcept { return default_phb_; }
+
+  /// Introspection for tests: rules evaluated by the scan fallback (ranges,
+  /// any-port and port-blind rules) vs. total.
+  [[nodiscard]] std::size_t fallback_rule_count() const noexcept {
+    return fallback_.size();
+  }
 
  private:
+  void rebuild_index();
+  [[nodiscard]] std::int32_t match_index(const VisibleFields& f) const;
+
   Phb default_phb_;
   std::vector<MatchRule> rules_;
   mutable std::vector<stats::Counter> hit_counts_;
   mutable stats::Counter unmatched_;
+  std::uint64_t generation_ = 1;
+
+  /// Compiled index: exact-dst-port rules bucketed by port, the rest on a
+  /// fallback list; both hold ascending rule indices.
+  std::unordered_map<std::uint16_t, std::vector<std::uint32_t>> by_dst_port_;
+  std::vector<std::uint32_t> fallback_;
 };
 
 }  // namespace mvpn::qos

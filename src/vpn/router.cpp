@@ -35,6 +35,7 @@ Vrf& Router::add_vrf(VrfConfig config) {
     throw std::logic_error("Router::add_vrf: VRFs exist on PE routers only");
   }
   vrfs_.push_back(std::make_unique<Vrf>(std::move(config)));
+  bump_config_gen();
   return *vrfs_.back();
 }
 
@@ -65,6 +66,7 @@ void Router::bind_interface_to_vrf(ip::IfIndex iface, VpnId id) {
   }
   iface_vrf_[iface] = id;
   vrf->attach_interface(iface);
+  bump_config_gen();
 }
 
 std::vector<Vrf*> Router::vrfs() {
@@ -77,20 +79,24 @@ std::vector<Vrf*> Router::vrfs() {
 void Router::add_policer(qos::Phb phb, double cir_bytes_s, double cbs,
                          double ebs) {
   policers_[phb] = std::make_unique<qos::Policer>(cir_bytes_s, cbs, ebs);
+  bump_config_gen();
 }
 
 void Router::add_shaper(qos::Phb phb, double rate_bytes_s,
                         double burst_bytes) {
   shapers_[phb] = std::make_unique<qos::Shaper>(rate_bytes_s, burst_bytes);
+  bump_config_gen();
 }
 
 void Router::add_outbound_sa(const ip::Prefix& dst_prefix,
                              std::shared_ptr<ipsec::EspSa> sa) {
   outbound_sas_.emplace_back(dst_prefix, std::move(sa));
+  bump_config_gen();
 }
 
 void Router::add_inbound_sa(std::shared_ptr<ipsec::EspSa> sa) {
   inbound_sas_[sa->config().spi] = std::move(sa);
+  bump_config_gen();
 }
 
 void Router::add_local_prefix(const ip::Prefix& prefix, VpnId vpn) {
@@ -101,6 +107,9 @@ void Router::add_local_prefix(const ip::Prefix& prefix, VpnId vpn) {
   entry.source = ip::RouteSource::kConnected;
   entry.admin_distance = 0;
   fib_.install(entry);
+  // local_vpn_ feeds the delivery-context override, which cached kLocal
+  // decisions bake in.
+  bump_config_gen();
 }
 
 void Router::after_crypto(std::size_t bytes, sim::Scheduler::Handler then) {
@@ -131,35 +140,96 @@ bool Router::maybe_esp_encap(net::Packet& p) {
 }
 
 void Router::inject(net::PacketPtr p) {
-  qos::Phb phb = qos::phb_of_dscp(p->visible_dscp());
-  if (classifier_) {
-    phb = classifier_->mark(*p);
-    auto pol = policers_.find(phb);
-    if (pol != policers_.end()) {
-      const qos::Color color = pol->second->check(
-          topology().scheduler().now(), p->wire_size());
-      if (color == qos::Color::kRed) {
-        counters_.policed.add();
-        trace_drop(*p, obs::DropReason::kPoliced);
-        return;  // drop out-of-contract traffic at the edge
+  qos::Phb phb = qos::Phb::kBe;
+  qos::Policer* policer = nullptr;
+  qos::Shaper* shaper = nullptr;
+
+  // Flow fastpath: replay the flow's cached classification + meter binding
+  // instead of re-running the rule match. The meters themselves stay in
+  // the per-packet path — they are stateful token buckets.
+  IngressEntry* e = nullptr;
+  FlowKey key;
+  if (flowcache_enabled_ && p->flow_id != 0 && !p->esp) {
+    if (ingress_cache_.empty()) ingress_cache_.resize(kFlowSlots);
+    e = &ingress_cache_[flow_slot_of(p->flow_id)];
+    key = flow_key_of(*p);
+  }
+  bool replayed = false;
+  if (e != nullptr && e->gen_sum != 0 && e->key == key) {
+    if (e->gen_sum == ingress_gen_sum()) {
+      ++fc_stats_.hits;
+      phb = e->phb;
+      if (e->marked) {
+        classifier_->count_hit(e->rule);
+        p->ip.dscp = e->dscp;
       }
-      if (color == qos::Color::kYellow) {
-        // Remark to the next drop precedence within the AF class.
-        const unsigned cls = qos::af_class(phb);
-        if (cls >= 1 && cls <= 4 && qos::drop_precedence(phb) == 1) {
-          static constexpr qos::Phb kAf2[] = {qos::Phb::kAf12, qos::Phb::kAf22,
-                                              qos::Phb::kAf32,
-                                              qos::Phb::kAf42};
-          p->ip.dscp = qos::dscp_of(kAf2[cls - 1]);
-        }
+      policer = e->policer;
+      shaper = e->shaper;
+      replayed = true;
+    } else {
+      ++fc_stats_.invalidated;
+      trace_fastpath(obs::EventType::kFastpathInvalidate, *p, p->flow_id, 0);
+      e->gen_sum = 0;
+    }
+  }
+
+  if (!replayed) {
+    phb = qos::phb_of_dscp(p->visible_dscp());
+    bool marked = false;
+    std::int32_t rule = qos::CbqClassifier::kUnmatched;
+    if (classifier_) {
+      const qos::CbqClassifier::Decision d =
+          classifier_->decide(qos::visible_fields(*p));
+      phb = d.phb;
+      rule = d.rule;
+      marked = true;
+      const std::uint8_t dscp = qos::dscp_of(phb);
+      if (p->esp) {
+        p->esp->outer.dscp = dscp;
+      } else {
+        p->ip.dscp = dscp;
+      }
+      auto pol = policers_.find(phb);
+      if (pol != policers_.end()) policer = pol->second.get();
+    }
+    auto sh = shapers_.find(phb);
+    if (sh != shapers_.end()) shaper = sh->second.get();
+    if (e != nullptr) {
+      ++fc_stats_.misses;
+      e->key = key;
+      e->phb = phb;
+      e->rule = rule;
+      e->marked = marked;
+      e->dscp = p->ip.dscp;
+      e->policer = policer;
+      e->shaper = shaper;
+      e->gen_sum = ingress_gen_sum();
+      trace_fastpath(obs::EventType::kFastpathResolve, *p, p->flow_id, 0);
+    }
+  }
+
+  if (policer != nullptr) {
+    const qos::Color color =
+        policer->check(topology().scheduler().now(), p->wire_size());
+    if (color == qos::Color::kRed) {
+      counters_.policed.add();
+      trace_drop(*p, obs::DropReason::kPoliced);
+      return;  // drop out-of-contract traffic at the edge
+    }
+    if (color == qos::Color::kYellow) {
+      // Remark to the next drop precedence within the AF class.
+      const unsigned cls = qos::af_class(phb);
+      if (cls >= 1 && cls <= 4 && qos::drop_precedence(phb) == 1) {
+        static constexpr qos::Phb kAf2[] = {qos::Phb::kAf12, qos::Phb::kAf22,
+                                            qos::Phb::kAf32, qos::Phb::kAf42};
+        p->ip.dscp = qos::dscp_of(kAf2[cls - 1]);
       }
     }
   }
   // Edge shaping: hold out-of-contract packets until they conform.
-  auto shaper = shapers_.find(phb);
-  if (shaper != shapers_.end()) {
-    const sim::SimTime delay = shaper->second->reserve(
-        topology().scheduler().now(), p->wire_size());
+  if (shaper != nullptr) {
+    const sim::SimTime delay =
+        shaper->reserve(topology().scheduler().now(), p->wire_size());
     if (delay > 0) {
       topology().scheduler().schedule_in(
           delay, [self = this, pkt = std::move(p)]() mutable {
@@ -173,10 +243,13 @@ void Router::inject(net::PacketPtr p) {
 
 void Router::install_pvc(std::uint32_t vc_id, PvcSwitchEntry entry) {
   pvc_table_[vc_id] = entry;
+  bump_config_gen();
 }
 
 void Router::add_pvc_route(const ip::Prefix& prefix, std::uint32_t vc_id) {
   pvc_routes_.insert(prefix, vc_id);
+  has_pvc_ingress_ = true;
+  bump_config_gen();
 }
 
 void Router::forward_pvc(net::PacketPtr p) {
@@ -256,6 +329,33 @@ void Router::forward_ip(net::PacketPtr p, Vrf* vrf) {
     }
   }
 
+  // Flow fastpath: a valid entry replays the flow's terminal forwarding
+  // decision without the LPM lookup or tunnel resolution. Security
+  // gateways (outbound SAs) and overlay ingress (PVC routes) route
+  // per-packet through stateful detours above, so they opt out wholesale.
+  ForwardEntry* slot = nullptr;
+  if (flowcache_enabled_ && p->flow_id != 0 && !p->esp && !p->pvc &&
+      outbound_sas_.empty() && !has_pvc_ingress_) {
+    if (forward_cache_.empty()) forward_cache_.resize(kFlowSlots);
+    slot = &forward_cache_[flow_slot_of(p->flow_id)];
+    const FlowKey key = flow_key_of(*p);
+    const VpnId ctx = vrf != nullptr ? vrf->vpn_id() : kGlobalVpn;
+    if (slot->gen_sum != 0 && slot->key == key && slot->ctx == ctx) {
+      if (slot->gen_sum == forward_gen_sum(vrf)) {
+        ++fc_stats_.hits;
+        replay_forward(*slot, std::move(p));
+        return;
+      }
+      ++fc_stats_.invalidated;
+      trace_fastpath(obs::EventType::kFastpathInvalidate, *p, p->flow_id,
+                     static_cast<std::uint8_t>(slot->act));
+      slot->gen_sum = 0;
+    }
+    slot->key = key;
+    slot->ctx = ctx;
+    slot->gen_sum = 0;  // armed for recording; valid only once resolved
+  }
+
   // Core routers see only the outer header of encrypted traffic.
   const ip::Ipv4Address dst = p->esp ? p->esp->outer.dst : p->ip.dst;
   const ip::RouteTable& table = vrf != nullptr ? vrf->table() : fib_;
@@ -269,6 +369,8 @@ void Router::forward_ip(net::PacketPtr p, Vrf* vrf) {
   if (route->next_hop.local) {
     VpnId vpn = vrf != nullptr ? vrf->vpn_id() : kGlobalVpn;
     if (const VpnId* reg = local_vpn_.longest_match(dst)) vpn = *reg;
+    record_forward(slot, *p, FlowAction::kLocal, vpn, 0, 0, false,
+                   ip::kInvalidIf, vrf);
     deliver_local(std::move(p), vpn);
     return;
   }
@@ -285,7 +387,7 @@ void Router::forward_ip(net::PacketPtr p, Vrf* vrf) {
   if (route->vpn_label != ip::kNoLabel &&
       route->egress_pe != ip::kInvalidNode) {
     impose_and_tunnel(std::move(p), *route,
-                      vrf != nullptr ? vrf->vpn_id() : kGlobalVpn);
+                      vrf != nullptr ? vrf->vpn_id() : kGlobalVpn, slot, vrf);
     return;
   }
 
@@ -299,11 +401,89 @@ void Router::forward_ip(net::PacketPtr p, Vrf* vrf) {
       std::hash<std::uint32_t>{}((std::uint32_t{vf.src_port.value_or(0)}
                                   << 16) |
                                  vf.dst_port.value_or(0));
-  send(std::move(p), route->next_hop_for(flow_hash).iface);
+  const ip::IfIndex out = route->next_hop_for(flow_hash).iface;
+  record_forward(slot, *p, FlowAction::kForward, kGlobalVpn, 0, 0, false,
+                 out, vrf);
+  send(std::move(p), out);
+}
+
+void Router::replay_forward(const ForwardEntry& e, net::PacketPtr p) {
+  switch (e.act) {
+    case FlowAction::kLocal:
+      deliver_local(std::move(p), e.deliver_vpn);
+      return;
+    case FlowAction::kForward:
+    case FlowAction::kImpose: {
+      // Fastpath packets are never ESP, so the visible header is p->ip.
+      std::uint8_t& ttl = p->ip.ttl;
+      if (ttl <= 1) {
+        counters_.ttl_expired.add();
+        trace_drop(*p, obs::DropReason::kTtlExpired);
+        return;
+      }
+      --ttl;
+      if (e.act == FlowAction::kForward) {
+        counters_.forwarded.add();
+        send(std::move(p), e.out_iface);
+        return;
+      }
+      // kImpose. EXP is re-derived per packet: the edge meter may have
+      // remarked this packet's DSCP to a higher drop precedence.
+      const std::uint8_t exp = exp_map_.exp_for_dscp(p->ip.dscp);
+      p->push_label(net::MplsShim{e.vpn_label, exp, 64});
+      if (e.push_tunnel) {
+        p->push_label(net::MplsShim{e.tunnel_label, exp, 64});
+      }
+      if (rec().enabled(obs::Category::kMpls)) {
+        rec().record({.packet_id = p->id,
+                      .node = id(),
+                      .a = e.vpn_label,
+                      .b = e.push_tunnel ? e.tunnel_label : 0,
+                      .bytes = static_cast<std::uint32_t>(p->wire_size()),
+                      .type = obs::EventType::kLabelPush,
+                      .cls = exp});
+      }
+      counters_.forwarded.add();
+      send(std::move(p), e.out_iface);
+      return;
+    }
+  }
+}
+
+void Router::record_forward(ForwardEntry* slot, const net::Packet& p,
+                            FlowAction act, VpnId deliver_vpn,
+                            std::uint32_t vpn_label,
+                            std::uint32_t tunnel_label, bool push_tunnel,
+                            ip::IfIndex out_iface, const Vrf* vrf) {
+  if (slot == nullptr) return;
+  ++fc_stats_.misses;
+  slot->act = act;
+  slot->deliver_vpn = deliver_vpn;
+  slot->vpn_label = vpn_label;
+  slot->tunnel_label = tunnel_label;
+  slot->push_tunnel = push_tunnel;
+  slot->out_iface = out_iface;
+  slot->gen_sum = forward_gen_sum(vrf);
+  trace_fastpath(obs::EventType::kFastpathResolve, p, p.flow_id,
+                 static_cast<std::uint8_t>(act));
+}
+
+void Router::trace_fastpath(obs::EventType type, const net::Packet& p,
+                            std::uint32_t a, std::uint8_t action) noexcept {
+  obs::FlightRecorder& r = rec();
+  if (!r.enabled(obs::Category::kFastpath)) return;
+  r.record({.packet_id = p.id,
+            .node = id(),
+            .a = a,
+            .bytes = static_cast<std::uint32_t>(p.wire_size()),
+            .type = type,
+            .cls = p.trace_class(),
+            .aux = action});
 }
 
 void Router::impose_and_tunnel(net::PacketPtr p, const ip::RouteEntry& route,
-                               VpnId vpn) {
+                               VpnId vpn, ForwardEntry* cache_slot,
+                               const Vrf* vrf) {
   const std::uint8_t exp = exp_map_.exp_for_dscp(p->visible_dscp());
   const TunnelBinding tb = tunnel_to(route.egress_pe, vpn);
   if (!tb.found) {
@@ -311,6 +491,8 @@ void Router::impose_and_tunnel(net::PacketPtr p, const ip::RouteEntry& route,
     trace_drop(*p, obs::DropReason::kNoTunnel);
     return;
   }
+  record_forward(cache_slot, *p, FlowAction::kImpose, kGlobalVpn,
+                 route.vpn_label, tb.label, tb.push_label, tb.out_iface, vrf);
   p->push_label(net::MplsShim{route.vpn_label, exp, 64});
   if (tb.push_label) {
     p->push_label(net::MplsShim{tb.label, exp, 64});
@@ -368,16 +550,67 @@ void Router::forward_labeled(net::PacketPtr p) {
     return;
   }
   const std::uint32_t in_label = p->top_label().label;
+
+  // Transit fastpath: keyed by incoming label, validated against the LFIB
+  // generation. Mostly saves the egress vrf_by_vpn scan — the LFIB itself
+  // is already a flat array — but keeps the invalidation story uniform
+  // across ingress and transit.
+  TransitEntry* t = nullptr;
+  if (flowcache_enabled_) {
+    if (transit_cache_.empty()) transit_cache_.resize(kTransitSlots);
+    t = &transit_cache_[(in_label * 0x9E3779B1u) >> 24];
+    if (t->gen_sum != 0 && t->in_label == in_label) {
+      if (t->gen_sum == transit_gen_sum()) {
+        ++fc_stats_.hits;
+        execute_transit(std::move(p), in_label, t->op, t->out_label,
+                        t->out_iface, t->vrf);
+        return;
+      }
+      ++fc_stats_.invalidated;
+      trace_fastpath(obs::EventType::kFastpathInvalidate, *p, in_label,
+                     static_cast<std::uint8_t>(t->op));
+      t->gen_sum = 0;
+    }
+  }
+
   const mpls::LfibEntry* entry = lsr_->lfib.lookup(in_label);
   if (entry == nullptr) {
     counters_.label_miss.add();
     trace_drop(*p, obs::DropReason::kLabelMiss);
     return;
   }
+  Vrf* vrf = nullptr;
+  if (entry->op == mpls::LabelOp::kPopDeliver) {
+    vrf = vrf_by_vpn(entry->vrf_id);
+    if (vrf == nullptr) {
+      p->pop_label();
+      counters_.label_miss.add();
+      trace_drop(*p, obs::DropReason::kLabelMiss);
+      return;
+    }
+  }
+  if (t != nullptr) {
+    ++fc_stats_.misses;
+    t->in_label = in_label;
+    t->op = entry->op;
+    t->out_label = entry->out_label;
+    t->out_iface = entry->out_iface;
+    t->vrf = vrf;
+    t->gen_sum = transit_gen_sum();
+    trace_fastpath(obs::EventType::kFastpathResolve, *p, in_label,
+                   static_cast<std::uint8_t>(entry->op));
+  }
+  execute_transit(std::move(p), in_label, entry->op, entry->out_label,
+                  entry->out_iface, vrf);
+}
+
+void Router::execute_transit(net::PacketPtr p, std::uint32_t in_label,
+                             mpls::LabelOp op, std::uint32_t out_label,
+                             ip::IfIndex out_iface, Vrf* vrf) {
   const bool trace_mpls = rec().enabled(obs::Category::kMpls);
-  switch (entry->op) {
+  switch (op) {
     case mpls::LabelOp::kSwap:
-      p->swap_label(entry->out_label);
+      p->swap_label(out_label);
       if (p->top_label().ttl == 0) {
         counters_.ttl_expired.add();
         trace_drop(*p, obs::DropReason::kTtlExpired);
@@ -387,13 +620,13 @@ void Router::forward_labeled(net::PacketPtr p) {
         rec().record({.packet_id = p->id,
                       .node = id(),
                       .a = in_label,
-                      .b = entry->out_label,
+                      .b = out_label,
                       .bytes = static_cast<std::uint32_t>(p->wire_size()),
                       .type = obs::EventType::kLabelSwap,
                       .cls = p->trace_class()});
       }
       counters_.forwarded.add();
-      send(std::move(p), entry->out_iface);
+      send(std::move(p), out_iface);
       return;
     case mpls::LabelOp::kPop:
       p->pop_label();
@@ -407,16 +640,10 @@ void Router::forward_labeled(net::PacketPtr p) {
                       .cls = p->trace_class()});
       }
       counters_.forwarded.add();
-      send(std::move(p), entry->out_iface);
+      send(std::move(p), out_iface);
       return;
     case mpls::LabelOp::kPopDeliver: {
       p->pop_label();
-      Vrf* vrf = vrf_by_vpn(entry->vrf_id);
-      if (vrf == nullptr) {
-        counters_.label_miss.add();
-        trace_drop(*p, obs::DropReason::kLabelMiss);
-        return;
-      }
       if (rec().enabled(obs::Category::kVpn)) {
         rec().record({.packet_id = p->id,
                       .node = id(),

@@ -52,21 +52,32 @@ class Router : public net::Node {
   [[nodiscard]] const ip::RouteTable& fib() const noexcept { return fib_; }
 
   /// Attach the router's MPLS state (PE/P only; owned by the MplsDomain).
-  void set_lsr_state(mpls::LsrState* lsr) noexcept { lsr_ = lsr; }
+  void set_lsr_state(mpls::LsrState* lsr) noexcept {
+    lsr_ = lsr;
+    bump_config_gen();
+  }
   [[nodiscard]] mpls::LsrState* lsr_state() noexcept { return lsr_; }
 
   /// Wire the label-distribution views used for tunnel imposition.
-  void set_ldp(const mpls::Ldp* ldp) noexcept { ldp_ = ldp; }
-  void set_rsvp(const mpls::RsvpTe* rsvp) noexcept { rsvp_ = rsvp; }
+  void set_ldp(const mpls::Ldp* ldp) noexcept {
+    ldp_ = ldp;
+    bump_config_gen();
+  }
+  void set_rsvp(const mpls::RsvpTe* rsvp) noexcept {
+    rsvp_ = rsvp;
+    bump_config_gen();
+  }
   /// Prefer this TE LSP for traffic tunneled toward `egress_pe`. With
   /// `scope` = kGlobalVpn the binding applies to every VRF; otherwise only
   /// that VPN's traffic rides the LSP (per-VRF TE pinning).
   void bind_lsp(ip::NodeId egress_pe, mpls::LspId lsp,
                 VpnId scope = kGlobalVpn) {
     te_bindings_[{egress_pe, scope}] = lsp;
+    bump_config_gen();
   }
   void unbind_lsp(ip::NodeId egress_pe, VpnId scope = kGlobalVpn) {
     te_bindings_.erase({egress_pe, scope});
+    bump_config_gen();
   }
 
   /// --- VRFs (PE only) -----------------------------------------------------
@@ -81,6 +92,7 @@ class Router : public net::Node {
   /// --- edge QoS (CE/CPE role, paper §5) ----------------------------------
   void set_classifier(std::unique_ptr<qos::CbqClassifier> c) {
     classifier_ = std::move(c);
+    bump_config_gen();
   }
   [[nodiscard]] qos::CbqClassifier* classifier() noexcept {
     return classifier_.get();
@@ -91,7 +103,10 @@ class Router : public net::Node {
   /// Shape a PHB to `rate_bytes_s`: out-of-contract packets are *held*
   /// at the edge until they conform instead of being dropped.
   void add_shaper(qos::Phb phb, double rate_bytes_s, double burst_bytes);
-  void set_dscp_exp_map(qos::DscpExpMap map) { exp_map_ = map; }
+  void set_dscp_exp_map(qos::DscpExpMap map) {
+    exp_map_ = map;
+    bump_config_gen();
+  }
   [[nodiscard]] const qos::DscpExpMap& dscp_exp_map() const noexcept {
     return exp_map_;
   }
@@ -162,6 +177,28 @@ class Router : public net::Node {
   /// net::Node data plane.
   void receive(net::PacketPtr p, ip::IfIndex in_if) override;
 
+  /// --- flow fastpath cache (VPP-style, generation-stamped) ----------------
+  /// The first packet of a flow runs the full resolution (classifier scan,
+  /// meter binding, VRF LPM, tunnel selection / LFIB switch) and records
+  /// the outcome; later packets of the flow replay it from a direct-mapped
+  /// slot. Validity is a sum of monotonic generation counters (router
+  /// config + the tables the decision read), so any control-plane mutation
+  /// makes stale entries self-invalidate on next touch — the same protocol
+  /// as the PR-1 LPM cache. Forwarding behaviour is byte-identical with
+  /// the cache on or off; only kFastpath trace events differ.
+  void set_flowcache_enabled(bool on) noexcept { flowcache_enabled_ = on; }
+  [[nodiscard]] bool flowcache_enabled() const noexcept {
+    return flowcache_enabled_;
+  }
+  struct FlowCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;       ///< resolutions recorded into a slot
+    std::uint64_t invalidated = 0;  ///< stale-generation entries re-resolved
+  };
+  [[nodiscard]] const FlowCacheStats& flowcache_stats() const noexcept {
+    return fc_stats_;
+  }
+
   /// --- counters ------------------------------------------------------------
   struct Counters {
     stats::Counter forwarded{"forwarded"};
@@ -176,11 +213,105 @@ class Router : public net::Node {
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
 
  private:
+  /// --- flow fastpath cache internals --------------------------------------
+  /// Full 5-tuple key. The slot is picked by flow id, but the stored key is
+  /// the visible 5-tuple: bidirectional flows (TCP data vs. ACKs) share a
+  /// flow id with swapped addresses/ports, and must never replay each
+  /// other's decision. meta's low bit marks the key as populated so an
+  /// empty slot can never match.
+  struct FlowKey {
+    std::uint64_t addrs = 0;  ///< src << 32 | dst
+    std::uint64_t meta = 0;   ///< sport<<48 | dport<<32 | proto<<8 | 1
+    [[nodiscard]] bool operator==(const FlowKey& o) const noexcept {
+      return addrs == o.addrs && meta == o.meta;
+    }
+  };
+  [[nodiscard]] static FlowKey flow_key_of(const net::Packet& p) noexcept {
+    return FlowKey{
+        (std::uint64_t{p.ip.src.value()} << 32) | p.ip.dst.value(),
+        (std::uint64_t{p.l4.src_port} << 48) |
+            (std::uint64_t{p.l4.dst_port} << 32) |
+            (std::uint64_t{p.ip.protocol} << 8) | 1u};
+  }
+  static constexpr std::size_t kFlowSlots = 1024;     // power of two
+  static constexpr std::size_t kTransitSlots = 256;   // power of two
+  [[nodiscard]] static std::size_t flow_slot_of(std::uint32_t flow_id) noexcept {
+    return (flow_id * 0x9E3779B1u) >> 22;  // Fibonacci hash, top 10 bits
+  }
+
+  /// Ingress-edge decision (inject): classification outcome + meter binding.
+  struct IngressEntry {
+    FlowKey key;
+    std::uint64_t gen_sum = 0;  ///< 0 = empty
+    qos::Phb phb = qos::Phb::kBe;
+    std::int32_t rule = qos::CbqClassifier::kUnmatched;
+    bool marked = false;  ///< a classifier ran: replay the DSCP write
+    std::uint8_t dscp = 0;
+    qos::Policer* policer = nullptr;  ///< still exercised per packet
+    qos::Shaper* shaper = nullptr;    ///< still exercised per packet
+  };
+
+  enum class FlowAction : std::uint8_t { kLocal, kForward, kImpose };
+
+  /// Forwarding decision (forward_ip): terminal action for the flow.
+  struct ForwardEntry {
+    FlowKey key;
+    VpnId ctx = kGlobalVpn;  ///< VRF context the lookup ran in
+    std::uint64_t gen_sum = 0;
+    FlowAction act = FlowAction::kForward;
+    VpnId deliver_vpn = kGlobalVpn;  ///< kLocal
+    std::uint32_t vpn_label = 0;     ///< kImpose
+    std::uint32_t tunnel_label = 0;  ///< kImpose
+    bool push_tunnel = false;        ///< kImpose
+    ip::IfIndex out_iface = ip::kInvalidIf;
+  };
+
+  /// LSR transit decision, keyed by incoming label. The LFIB op is
+  /// EXP-invariant (EXP rides the shim untouched through swap/pop), so the
+  /// (in-label, exp) key of the design degenerates to the label alone.
+  struct TransitEntry {
+    std::uint32_t in_label = 0;
+    std::uint64_t gen_sum = 0;  ///< 0 = empty
+    mpls::LabelOp op = mpls::LabelOp::kSwap;
+    std::uint32_t out_label = 0;
+    ip::IfIndex out_iface = ip::kInvalidIf;
+    Vrf* vrf = nullptr;  ///< kPopDeliver target (stable: VRFs never die)
+  };
+
+  /// Generation sums: every table a decision read, plus the router-local
+  /// config generation. All addends are monotonic, so a sum can never
+  /// repeat a past value (no ABA).
+  [[nodiscard]] std::uint64_t ingress_gen_sum() const noexcept {
+    return local_gen_ + (classifier_ ? classifier_->generation() : 0);
+  }
+  [[nodiscard]] std::uint64_t forward_gen_sum(const Vrf* vrf) const noexcept {
+    return local_gen_ +
+           (vrf != nullptr ? vrf->table().generation() : fib_.generation()) +
+           (ldp_ != nullptr ? ldp_->generation() : 0) +
+           (rsvp_ != nullptr ? rsvp_->generation() : 0);
+  }
+  [[nodiscard]] std::uint64_t transit_gen_sum() const noexcept {
+    return local_gen_ + lsr_->lfib.generation();
+  }
+  void bump_config_gen() noexcept { ++local_gen_; }
+
+  void replay_forward(const ForwardEntry& e, net::PacketPtr p);
+  void record_forward(ForwardEntry* slot, const net::Packet& p,
+                      FlowAction act, VpnId deliver_vpn,
+                      std::uint32_t vpn_label, std::uint32_t tunnel_label,
+                      bool push_tunnel, ip::IfIndex out_iface,
+                      const Vrf* vrf);
+  void execute_transit(net::PacketPtr p, std::uint32_t in_label,
+                       mpls::LabelOp op, std::uint32_t out_label,
+                       ip::IfIndex out_iface, Vrf* vrf);
+  void trace_fastpath(obs::EventType type, const net::Packet& p,
+                      std::uint32_t a, std::uint8_t action) noexcept;
+
   void forward_ip(net::PacketPtr p, Vrf* vrf);
   void forward_labeled(net::PacketPtr p);
   void forward_pvc(net::PacketPtr p);
   void impose_and_tunnel(net::PacketPtr p, const ip::RouteEntry& route,
-                         VpnId vpn);
+                         VpnId vpn, ForwardEntry* cache_slot, const Vrf* vrf);
   /// Resolve the tunnel toward an egress PE: scoped TE binding first, then
   /// the global TE binding, then LDP.
   struct TunnelBinding {
@@ -229,6 +360,16 @@ class Router : public net::Node {
   std::map<std::uint32_t, PvcSwitchEntry> pvc_table_;
   ip::PrefixTrie<std::uint32_t> pvc_routes_;
   Counters counters_;
+
+  bool flowcache_enabled_ = true;
+  bool has_pvc_ingress_ = false;  ///< PVC ingress routes disable the cache
+  std::uint64_t local_gen_ = 1;   ///< bumped by every config mutator
+  FlowCacheStats fc_stats_;
+  /// Direct-mapped caches, sized lazily on first eligible packet so idle
+  /// routers (and cache-off runs) pay nothing.
+  std::vector<IngressEntry> ingress_cache_;
+  std::vector<ForwardEntry> forward_cache_;
+  std::vector<TransitEntry> transit_cache_;
 };
 
 }  // namespace mvpn::vpn

@@ -1,0 +1,425 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "backbone/fixtures.hpp"
+#include "backbone/scenario_config.hpp"
+#include "obs/trace.hpp"
+#include "qos/sla.hpp"
+#include "traffic/sink.hpp"
+#include "traffic/source.hpp"
+
+namespace mvpn {
+namespace {
+
+using backbone::BackboneConfig;
+using backbone::MplsBackbone;
+
+/// Count fastpath trace events of `type` at `node` stamped at or after
+/// `after`.
+std::size_t count_events(const std::vector<obs::TraceEvent>& evs,
+                         obs::EventType type, ip::NodeId node,
+                         sim::SimTime after = 0) {
+  std::size_t n = 0;
+  for (const auto& e : evs) {
+    if (e.type == type && e.node == node && e.at >= after) ++n;
+  }
+  return n;
+}
+
+/// Small backbone + one CBR flow site0 → site1, flight recorder armed for
+/// the fastpath category. The shared setup of the invalidation tests.
+struct FlowFixture {
+  explicit FlowFixture(const BackboneConfig& cfg, double rate_bps = 400e3)
+      : bb(cfg) {
+    v = bb.service.create_vpn("V");
+    site_a = bb.add_site(v, 0, ip::Prefix::must_parse("10.1.0.0/16"));
+    site_b = bb.add_site(v, 1, ip::Prefix::must_parse("10.2.0.0/16"));
+    bb.start_and_converge();
+    bb.topo.recorder().enable(
+        static_cast<std::uint32_t>(obs::Category::kFastpath));
+    sink.emplace(probe, bb.topo.scheduler());
+    sink->bind(*site_b.ce);
+    traffic::FlowSpec f;
+    f.src = ip::Ipv4Address::must_parse("10.1.0.1");
+    f.dst = ip::Ipv4Address::must_parse("10.2.0.1");
+    f.vpn = v;
+    src.emplace(*site_a.ce, f, 1, &probe, rate_bps);
+    sink->expect_flow(1, qos::Phb::kBe, v);
+  }
+
+  MplsBackbone bb;
+  vpn::VpnId v = 0;
+  MplsBackbone::Site site_a, site_b;
+  qos::SlaProbe probe;
+  std::optional<traffic::MeasurementSink> sink;
+  std::optional<traffic::CbrSource> src;
+};
+
+BackboneConfig small_backbone(std::uint64_t seed) {
+  BackboneConfig cfg;
+  cfg.p_count = 1;
+  cfg.pe_count = 2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Steady flow: the first packet populates the caches (kFastpathResolve),
+/// every later packet is a hit; nothing invalidates.
+TEST(Fastpath, SteadyFlowHitsCacheAfterFirstPacket) {
+  FlowFixture fx(small_backbone(11));
+  const sim::SimTime t0 = fx.bb.topo.scheduler().now();
+  fx.src->run(t0, t0 + sim::kSecond);
+  fx.bb.topo.run_until(t0 + 2 * sim::kSecond);
+
+  EXPECT_EQ(fx.sink->delivered(), fx.src->packets_sent());
+  EXPECT_GT(fx.src->packets_sent(), 10u);
+
+  // CE ingress, PE imposition and P transit caches all served the flow
+  // from the second packet onwards.
+  const auto& ce = fx.site_a.ce->flowcache_stats();
+  EXPECT_GT(ce.hits, ce.misses);
+  EXPECT_GE(ce.misses, 1u);
+  EXPECT_GT(fx.bb.pe(0).flowcache_stats().hits, 0u);
+  EXPECT_GT(fx.bb.p(0).flowcache_stats().hits, 0u);
+
+  const auto evs = fx.bb.topo.recorder().snapshot();
+  EXPECT_GT(count_events(evs, obs::EventType::kFastpathResolve,
+                         fx.site_a.ce->id()),
+            0u);
+  EXPECT_GT(
+      count_events(evs, obs::EventType::kFastpathResolve, fx.bb.p(0).id()),
+      0u);
+  for (const auto& e : evs) {
+    EXPECT_NE(e.type, obs::EventType::kFastpathInvalidate);
+  }
+}
+
+/// Disabled cache: identical delivery, zero cache traffic.
+TEST(Fastpath, DisabledCacheStillDeliversWithZeroStats) {
+  FlowFixture fx(small_backbone(11));
+  for (std::size_t i = 0; i < fx.bb.topo.node_count(); ++i) {
+    if (auto* r = dynamic_cast<vpn::Router*>(
+            &fx.bb.topo.node(static_cast<ip::NodeId>(i)))) {
+      r->set_flowcache_enabled(false);
+    }
+  }
+  const sim::SimTime t0 = fx.bb.topo.scheduler().now();
+  fx.src->run(t0, t0 + sim::kSecond);
+  fx.bb.topo.run_until(t0 + 2 * sim::kSecond);
+
+  EXPECT_EQ(fx.sink->delivered(), fx.src->packets_sent());
+  const auto& ce = fx.site_a.ce->flowcache_stats();
+  EXPECT_EQ(ce.hits + ce.misses, 0u);
+  EXPECT_EQ(fx.bb.p(0).flowcache_stats().hits +
+                fx.bb.p(0).flowcache_stats().misses,
+            0u);
+}
+
+/// An LDP withdrawal — even of a FEC the flow does not ride — bumps the
+/// LDP generation; the cached decisions go stale, the next packet traces
+/// kFastpathInvalidate and re-resolves successfully with no loss.
+TEST(Fastpath, LdpWithdrawInvalidatesAndReResolves) {
+  BackboneConfig cfg = small_backbone(13);
+  cfg.pe_count = 3;  // PE2 exists only to have an unrelated FEC to withdraw
+  FlowFixture fx(cfg);
+  const sim::SimTime t0 = fx.bb.topo.scheduler().now();
+  fx.src->run(t0, t0 + sim::kSecond);
+
+  const sim::SimTime t_mut = t0 + sim::kSecond / 2;
+  std::uint64_t gen_before = 0;
+  fx.bb.topo.scheduler().schedule_at(t_mut, [&] {
+    gen_before = fx.bb.ldp.generation();
+    fx.bb.ldp.withdraw_fec(ip::Prefix::host(fx.bb.pe(2).loopback()));
+  });
+  fx.bb.topo.run_until(t0 + 2 * sim::kSecond);
+
+  EXPECT_GT(fx.bb.ldp.generation(), gen_before);
+  // Unrelated FEC: the flow's own path is intact, nothing was lost.
+  EXPECT_EQ(fx.sink->delivered(), fx.src->packets_sent());
+  EXPECT_GT(fx.bb.pe(0).flowcache_stats().invalidated, 0u);
+
+  const auto evs = fx.bb.topo.recorder().snapshot();
+  const ip::NodeId pe0 = fx.bb.pe(0).id();
+  EXPECT_GT(
+      count_events(evs, obs::EventType::kFastpathInvalidate, pe0, t_mut),
+      0u);
+  EXPECT_GT(
+      count_events(evs, obs::EventType::kFastpathResolve, pe0, t_mut), 0u);
+}
+
+/// Withdrawing the FEC the flow actually rides kills imposition: the PE
+/// invalidates, re-resolves, finds no tunnel, and traffic stops — no
+/// packet keeps riding a stale cached label into a dead label table.
+TEST(Fastpath, LdpWithdrawOfUsedFecStopsTraffic) {
+  FlowFixture fx(small_backbone(17));
+  const sim::SimTime t0 = fx.bb.topo.scheduler().now();
+  fx.src->run(t0, t0 + sim::kSecond);
+
+  const sim::SimTime t_mut = t0 + sim::kSecond / 2;
+  std::uint64_t delivered_at_mut = 0;
+  fx.bb.topo.scheduler().schedule_at(t_mut, [&] {
+    delivered_at_mut = fx.sink->delivered();
+    fx.bb.ldp.withdraw_fec(ip::Prefix::host(fx.bb.pe(1).loopback()));
+  });
+  fx.bb.topo.run_until(t0 + 2 * sim::kSecond);
+
+  EXPECT_GT(delivered_at_mut, 0u);
+  EXPECT_LT(fx.sink->delivered(), fx.src->packets_sent());
+  // Only packets already in flight at the withdrawal instant may still
+  // arrive.
+  EXPECT_LE(fx.sink->delivered(), delivered_at_mut + 5);
+  const auto evs = fx.bb.topo.recorder().snapshot();
+  EXPECT_GT(count_events(evs, obs::EventType::kFastpathInvalidate,
+                         fx.bb.pe(0).id(), t_mut),
+            0u);
+}
+
+/// RSVP-TE reroute: failing the link under a bound LSP bumps the RSVP
+/// generation; the head end invalidates its cached tunnel resolution and
+/// re-resolves onto the detour.
+TEST(Fastpath, RsvpRerouteInvalidatesTunnelResolution) {
+  backbone::DiamondScenario d = backbone::make_diamond_scenario(10e6, 19);
+  MplsBackbone& bb = *d.backbone;
+  const vpn::VpnId v = bb.service.create_vpn("V");
+  auto site_a = bb.add_site(v, 0, ip::Prefix::must_parse("10.1.0.0/16"));
+  auto site_b = bb.add_site(v, 1, ip::Prefix::must_parse("10.2.0.0/16"));
+  bb.start_and_converge();
+  bb.topo.recorder().enable(
+      static_cast<std::uint32_t>(obs::Category::kFastpath));
+
+  mpls::TeLspConfig lsp_cfg;
+  lsp_cfg.head = bb.pe(0).id();
+  lsp_cfg.tail = bb.pe(1).id();
+  lsp_cfg.bandwidth_bps = 2e6;
+  const mpls::LspId lsp = bb.rsvp.signal(lsp_cfg);
+  bb.topo.scheduler().run();
+  ASSERT_EQ(bb.rsvp.lsp(lsp).state, mpls::RsvpTe::LspState::kUp);
+  bb.pe(0).bind_lsp(bb.pe(1).id(), lsp);
+
+  qos::SlaProbe probe;
+  traffic::MeasurementSink sink(probe, bb.topo.scheduler());
+  sink.bind(*site_b.ce);
+  traffic::FlowSpec f;
+  f.src = ip::Ipv4Address::must_parse("10.1.0.1");
+  f.dst = ip::Ipv4Address::must_parse("10.2.0.1");
+  f.vpn = v;
+  traffic::CbrSource src(*site_a.ce, f, 1, &probe, 500e3);
+  sink.expect_flow(1, qos::Phb::kBe, v);
+
+  const sim::SimTime t0 = bb.topo.scheduler().now();
+  src.run(t0, t0 + 4 * sim::kSecond);
+  const sim::SimTime t_fail = t0 + sim::kSecond;
+  std::uint64_t gen_before = 0;
+  bb.topo.scheduler().schedule_at(t_fail, [&] {
+    gen_before = bb.rsvp.generation();
+    bb.topo.link(d.hot_link).set_up(false);
+    bb.igp.notify_link_change(d.hot_link);
+    bb.rsvp.notify_link_failure(d.hot_link);
+  });
+  bb.topo.run_until(t0 + 6 * sim::kSecond);
+
+  EXPECT_GT(bb.rsvp.generation(), gen_before);
+  EXPECT_EQ(bb.rsvp.lsp(lsp).state, mpls::RsvpTe::LspState::kUp);
+  EXPECT_EQ(bb.rsvp.lsp(lsp).reroutes, 1u);
+  EXPECT_LT(probe.report(qos::Phb::kBe).loss_fraction(), 0.05);
+
+  const auto evs = bb.topo.recorder().snapshot();
+  const ip::NodeId pe0 = bb.pe(0).id();
+  EXPECT_GT(
+      count_events(evs, obs::EventType::kFastpathInvalidate, pe0, t_fail),
+      0u);
+  EXPECT_GT(
+      count_events(evs, obs::EventType::kFastpathResolve, pe0, t_fail),
+      0u);
+}
+
+/// Replacing a VRF route (same prefix, re-install) bumps the table
+/// generation; the next packet re-resolves instead of replaying the old
+/// cached decision.
+TEST(Fastpath, VrfRouteReplaceInvalidates) {
+  FlowFixture fx(small_backbone(23));
+  const sim::SimTime t0 = fx.bb.topo.scheduler().now();
+  fx.src->run(t0, t0 + sim::kSecond);
+
+  const sim::SimTime t_mut = t0 + sim::kSecond / 2;
+  std::uint64_t gen_before = 0;
+  std::uint64_t gen_after = 0;
+  fx.bb.topo.scheduler().schedule_at(t_mut, [&] {
+    vpn::Vrf* vrf = fx.bb.pe(0).vrf_by_vpn(fx.v);
+    ASSERT_NE(vrf, nullptr);
+    const ip::RouteEntry* r =
+        vrf->table().lookup(ip::Ipv4Address::must_parse("10.2.0.1"));
+    ASSERT_NE(r, nullptr);
+    const ip::RouteEntry replacement = *r;  // `r` dies on install
+    gen_before = vrf->table().generation();
+    vrf->table().install(replacement);
+    gen_after = vrf->table().generation();
+  });
+  fx.bb.topo.run_until(t0 + 2 * sim::kSecond);
+
+  EXPECT_GT(gen_after, gen_before);
+  EXPECT_EQ(fx.sink->delivered(), fx.src->packets_sent());
+  const auto evs = fx.bb.topo.recorder().snapshot();
+  const ip::NodeId pe0 = fx.bb.pe(0).id();
+  EXPECT_GT(
+      count_events(evs, obs::EventType::kFastpathInvalidate, pe0, t_mut),
+      0u);
+  EXPECT_GT(
+      count_events(evs, obs::EventType::kFastpathResolve, pe0, t_mut), 0u);
+}
+
+/// A core link failure reconverges the IGP; the SPF bumps the LDP
+/// generation (next hops changed), stale entries self-invalidate and the
+/// flow re-resolves onto the surviving ring path.
+TEST(Fastpath, LinkFailureReconvergenceInvalidates) {
+  BackboneConfig cfg;
+  cfg.p_count = 3;  // ring: an alternate path exists
+  cfg.pe_count = 2;
+  cfg.seed = 29;
+  FlowFixture fx(cfg, 200e3);
+  const sim::SimTime t0 = fx.bb.topo.scheduler().now();
+  fx.src->run(t0, t0 + 4 * sim::kSecond);
+
+  const sim::SimTime t_fail = t0 + sim::kSecond;
+  std::uint64_t gen_before = 0;
+  fx.bb.topo.scheduler().schedule_at(t_fail, [&] {
+    const auto* nh =
+        fx.bb.igp.next_hop(fx.bb.pe(0).id(), fx.bb.pe(1).id());
+    ASSERT_NE(nh, nullptr);
+    const net::LinkId used = fx.bb.pe(0).interface(nh->iface).link;
+    gen_before = fx.bb.ldp.generation();
+    fx.bb.topo.link(used).set_up(false);
+    fx.bb.igp.notify_link_change(used);
+  });
+  fx.bb.topo.run_until(t0 + 6 * sim::kSecond);
+
+  EXPECT_GT(fx.bb.ldp.generation(), gen_before);
+  // Self-healing: only the reconvergence window is lost.
+  EXPECT_LT(fx.probe.report(qos::Phb::kBe).loss_fraction(), 0.10);
+  EXPECT_GT(fx.sink->delivered(), 0u);
+  const auto evs = fx.bb.topo.recorder().snapshot();
+  EXPECT_GT(count_events(evs, obs::EventType::kFastpathInvalidate,
+                         fx.bb.pe(0).id(), t_fail),
+            0u);
+}
+
+/// A classifier mutation invalidates the CE ingress cache: adding a rule
+/// mid-run changes how the very next packet of an established flow is
+/// marked — the cache must not replay the stale DSCP.
+TEST(Fastpath, ClassifierMutationReclassifiesNextPacket) {
+  FlowFixture fx(small_backbone(31));
+  auto classifier = std::make_unique<qos::CbqClassifier>();
+  qos::MatchRule narrow;  // matches nothing this flow sends
+  narrow.dst_port = qos::PortRange::exactly(9);
+  narrow.mark = qos::Phb::kAf11;
+  classifier->add_rule(narrow);
+  fx.site_a.ce->set_classifier(std::move(classifier));
+
+  // Observe the marking as packets arrive at the ingress PE.
+  const sim::SimTime t0 = fx.bb.topo.scheduler().now();
+  const sim::SimTime t_mut = t0 + sim::kSecond / 2;
+  const ip::NodeId pe0 = fx.bb.pe(0).id();
+  std::uint64_t unmarked_before = 0, marked_before = 0;
+  std::uint64_t unmarked_after = 0, marked_after = 0;
+  fx.bb.topo.add_packet_tap([&](ip::NodeId at, const net::Packet& p) {
+    if (at != pe0) return;
+    const bool before = fx.bb.topo.scheduler().now() < t_mut;
+    if (p.visible_dscp() == 0) {
+      ++(before ? unmarked_before : unmarked_after);
+    } else {
+      ++(before ? marked_before : marked_after);
+    }
+  });
+
+  fx.src->run(t0, t0 + sim::kSecond);
+  fx.bb.topo.scheduler().schedule_at(t_mut, [&] {
+    qos::MatchRule all;  // port-blind: matches the flow from now on
+    all.mark = qos::Phb::kAf21;
+    fx.site_a.ce->classifier()->add_rule(all);
+  });
+  fx.bb.topo.run_until(t0 + 2 * sim::kSecond);
+
+  // Before the mutation every packet crossed the PE unmarked (BE); after
+  // it, marked. A stale cached decision would keep producing DSCP 0.
+  EXPECT_GT(unmarked_before, 0u);
+  EXPECT_EQ(marked_before, 0u);
+  EXPECT_GT(marked_after, 0u);
+  EXPECT_LE(unmarked_after, 1u);  // at most one packet already in flight
+  const auto evs = fx.bb.topo.recorder().snapshot();
+  EXPECT_GT(count_events(evs, obs::EventType::kFastpathInvalidate,
+                         fx.site_a.ce->id(), t_mut),
+            0u);
+}
+
+/// End-to-end A/B: the full scenario report (SLA table, isolation
+/// accounting) is byte-identical with the flow caches on and off, serial
+/// and sharded.
+TEST(Fastpath, ScenarioOutputByteIdenticalOnOff) {
+  const std::string text = R"(
+backbone p=2 pe=2 core_bw=4e6 edge_bw=20e6 seed=7 core_queue=wfq:8,3,1
+vpn corp
+site corp pe=0 prefix=10.1.0.0/16
+site corp pe=1 prefix=10.2.0.0/16
+classify site=0 dstport=16384-16484 class=EF
+classify site=0 dstport=5004 class=AF21
+police  site=0 class=EF cir=62500 cbs=4000 ebs=4000
+flow cbr     vpn=corp from=0 to=1 rate=400e3 class=EF   port=16400 size=172
+flow onoff   vpn=corp from=0 to=1 rate=2e6   class=AF21 port=5004  size=1172 on=0.3 off=0.2
+flow poisson vpn=corp from=0 to=1 rate=4e6   class=BE   port=80    size=1472
+run for=1
+)";
+  backbone::ScenarioError err;
+  const auto scenario = backbone::Scenario::parse(text, &err);
+  ASSERT_TRUE(scenario.has_value()) << err.message;
+
+  const auto render = [&](bool flowcache, std::uint32_t shards) {
+    backbone::Scenario s = *scenario;
+    s.set_flowcache(flowcache);
+    s.set_shards(shards);
+    std::ostringstream out;
+    EXPECT_TRUE(s.run(out));
+    return out.str();
+  };
+
+  const std::string serial_on = render(true, 1);
+  EXPECT_EQ(serial_on, render(false, 1));
+  EXPECT_EQ(render(true, 2), render(false, 2));
+  EXPECT_EQ(render(true, 4), render(false, 4));
+  // And across shard counts: everything below the engine-description
+  // header (SLA table, delivery accounting) must not depend on the
+  // partition.
+  const auto body = [](const std::string& report) {
+    return report.substr(report.find("\n\n"));
+  };
+  EXPECT_EQ(body(serial_on), body(render(true, 4)));
+}
+
+/// The scenario language's `run flowcache=` directive parses (and rejects
+/// junk).
+TEST(Fastpath, ScenarioFlowcacheDirectiveParses) {
+  const std::string good = R"(
+backbone p=1 pe=2 seed=3
+vpn v
+site v pe=0 prefix=10.1.0.0/16
+site v pe=1 prefix=10.2.0.0/16
+flow cbr vpn=v from=0 to=1 rate=100e3
+run for=1 flowcache=off
+)";
+  backbone::ScenarioError err;
+  const auto scenario = backbone::Scenario::parse(good, &err);
+  ASSERT_TRUE(scenario.has_value()) << err.message;
+  EXPECT_FALSE(scenario->flowcache());
+
+  std::string bad = good;
+  bad.replace(bad.find("flowcache=off"), std::string("flowcache=off").size(),
+              "flowcache=maybe");
+  backbone::ScenarioError err2;
+  EXPECT_FALSE(backbone::Scenario::parse(bad, &err2).has_value());
+}
+
+}  // namespace
+}  // namespace mvpn

@@ -291,6 +291,41 @@ TEST(Dir24Fib, RejectsHugeNextHopIndex) {
                std::invalid_argument);
 }
 
+TEST(Dir24Fib, RebuildWithFewerRoutesDropsOldState) {
+  Dir24Fib fib;
+  fib.build({{Prefix::must_parse("10.0.0.0/8"), 1},
+             {Prefix::must_parse("20.1.2.0/24"), 2},
+             {Prefix::must_parse("30.1.2.128/25"), 3}});
+  EXPECT_GE(fib.long_block_count(), 1u);
+
+  // Rebuild with a strict subset: every route from the first build that is
+  // not in the second must miss, including the >/24 extension-table one.
+  fib.build({{Prefix::must_parse("10.0.0.0/8"), 4}});
+  EXPECT_EQ(fib.lookup(Ipv4Address::must_parse("10.9.9.9")).value(), 4);
+  EXPECT_FALSE(fib.lookup(Ipv4Address::must_parse("20.1.2.3")).has_value());
+  EXPECT_FALSE(fib.lookup(Ipv4Address::must_parse("30.1.2.200")).has_value());
+  EXPECT_EQ(fib.long_block_count(), 0u);
+
+  // Rebuild to empty: everything misses.
+  fib.build({});
+  EXPECT_FALSE(fib.lookup(Ipv4Address::must_parse("10.9.9.9")).has_value());
+}
+
+TEST(Dir24Fib, FailedBuildLeavesPreviousTableIntact) {
+  Dir24Fib fib;
+  fib.build({{Prefix::must_parse("10.0.0.0/8"), 1},
+             {Prefix::must_parse("10.1.2.4/32"), 2}});
+  // Validation happens before any painting, so a bad dump must not clobber
+  // the table built above — even when the bad entry sorts after paintable
+  // ones.
+  EXPECT_THROW(fib.build({{Prefix::must_parse("40.0.0.0/8"), 5},
+                          {Prefix::must_parse("50.0.0.0/8"), 0x7FFF}}),
+               std::invalid_argument);
+  EXPECT_EQ(fib.lookup(Ipv4Address::must_parse("10.1.2.4")).value(), 2);
+  EXPECT_EQ(fib.lookup(Ipv4Address::must_parse("10.200.0.1")).value(), 1);
+  EXPECT_FALSE(fib.lookup(Ipv4Address::must_parse("40.0.0.1")).has_value());
+}
+
 TEST(PrefixTrie, ForEachMutableEdits) {
   PrefixTrie<int> trie;
   trie.insert(Prefix::must_parse("10.0.0.0/8"), 1);

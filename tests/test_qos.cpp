@@ -123,6 +123,71 @@ TEST(Classifier, MatchesOnPortsAndPrefix) {
   EXPECT_EQ(c.unmatched().value(), 1u);
 }
 
+TEST(Classifier, CompiledIndexKeepsFirstMatchTieBreak) {
+  // The compiled index splits rules into exact-dst-port buckets and a
+  // fallback list (ranges / any-port / port-blind). This test pins the
+  // tie-break: when a bucketed rule and a fallback rule both match, the
+  // LOWER rule index must win regardless of which list it lives on.
+  CbqClassifier c;
+  MatchRule range;  // index 0: fallback list (port range)
+  range.name = "range";
+  range.dst_port = PortRange{4000, 4999};
+  range.mark = Phb::kAf21;
+  c.add_rule(range);
+  MatchRule exact;  // index 1: port bucket 4000
+  exact.name = "exact";
+  exact.dst_port = PortRange::exactly(4000);
+  exact.mark = Phb::kEf;
+  c.add_rule(exact);
+  EXPECT_EQ(c.fallback_rule_count(), 1u);
+
+  auto p = make_packet();  // dst_port 4000: both rules match
+  EXPECT_EQ(c.classify(*p), Phb::kAf21);  // index 0 wins, not the bucket
+  EXPECT_EQ(c.hits(0), 1u);
+  EXPECT_EQ(c.hits(1), 0u);
+
+  // Mirror image: exact-port rule first, overlapping range second.
+  CbqClassifier c2;
+  c2.add_rule(exact);  // index 0: bucket
+  c2.add_rule(range);  // index 1: fallback
+  EXPECT_EQ(c2.classify(*p), Phb::kEf);
+  p->l4.dst_port = 4500;  // bucket misses, fallback still matches
+  EXPECT_EQ(c2.classify(*p), Phb::kAf21);
+
+  // Mutation bumps the generation (flow caches key off this).
+  const std::uint64_t gen = c2.generation();
+  MatchRule blind;  // port-blind: fallback
+  blind.src = ip::Prefix::must_parse("10.1.0.0/16");
+  blind.mark = Phb::kAf11;
+  c2.add_rule(blind);
+  EXPECT_GT(c2.generation(), gen);
+  EXPECT_EQ(c2.fallback_rule_count(), 2u);
+}
+
+TEST(Classifier, DecideReportsRuleAndCountsHit) {
+  CbqClassifier c;
+  MatchRule voice;
+  voice.dst_port = PortRange::exactly(4000);
+  voice.mark = Phb::kEf;
+  c.add_rule(voice);
+
+  auto p = make_packet();
+  const CbqClassifier::Decision d = c.decide(visible_fields(*p));
+  EXPECT_EQ(d.phb, Phb::kEf);
+  EXPECT_EQ(d.rule, 0);
+  EXPECT_EQ(c.hits(0), 1u);
+  c.count_hit(d.rule);  // cached-decision replay path
+  EXPECT_EQ(c.hits(0), 2u);
+
+  p->l4.dst_port = 80;
+  const CbqClassifier::Decision miss = c.decide(visible_fields(*p));
+  EXPECT_EQ(miss.phb, Phb::kBe);
+  EXPECT_EQ(miss.rule, CbqClassifier::kUnmatched);
+  EXPECT_EQ(c.unmatched().value(), 1u);
+  c.count_hit(CbqClassifier::kUnmatched);
+  EXPECT_EQ(c.unmatched().value(), 2u);
+}
+
 TEST(Classifier, MarkWritesDscp) {
   CbqClassifier c;
   MatchRule r;

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the hot-path performance suites and collects one JSON report at the
-# repo root (BENCH_PR5.json). Usage:
+# repo root (BENCH_PR6.json). Usage:
 #
 #   bench/run_benchmarks.sh [--build DIR] [--seed-bin PATH] [--out FILE]
 #                           [--baseline FILE]
@@ -11,8 +11,8 @@
 #                    throughput and the speedup ratio, and the same-machine
 #                    regression guards (cache-off within 3% of the baseline
 #                    path, serial and tracing-on throughput) are enforced
-#   --out FILE       output report (default: <repo>/BENCH_PR5.json)
-#   --baseline FILE  earlier report (default: <repo>/BENCH_PR4.json when it
+#   --out FILE       output report (default: <repo>/BENCH_PR6.json)
+#   --baseline FILE  earlier report (default: <repo>/BENCH_PR5.json when it
 #                    exists); its figures are folded into the report as
 #                    informational ratios — stored reports come from other
 #                    machines, so hard guards only use numbers measured in
@@ -34,7 +34,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build"
 SEED_BIN=""
-OUT="$ROOT/BENCH_PR5.json"
+OUT="$ROOT/BENCH_PR6.json"
 BASELINE=""
 
 while [[ $# -gt 0 ]]; do
@@ -47,8 +47,8 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-if [[ -z "$BASELINE" && -f "$ROOT/BENCH_PR4.json" ]]; then
-  BASELINE="$ROOT/BENCH_PR4.json"
+if [[ -z "$BASELINE" && -f "$ROOT/BENCH_PR5.json" ]]; then
+  BASELINE="$ROOT/BENCH_PR5.json"
 fi
 
 TMP="$(mktemp -d)"
@@ -116,6 +116,32 @@ jq -e '
     else error("sharded overhead too high: \(.speedup_shards4)x @4 shards on \(.hardware_threads) hw thread(s)")
     end
   end' "$TMP/sharded.json"
+
+echo
+echo "== generated ISP-scale topology, 1/2/4 shards (bench_scalability) =="
+"$BUILD/bench/bench_scalability" --topogen-only \
+  --topogen-json "$TMP/topogen.json"
+
+# The PR6 headline guard, on the workload big enough to amortize sync
+# cost: determinism (delivered counts AND the merged per-class SLA table
+# byte-identical across shard counts) is unconditional; with >= 4 hardware
+# threads 4 shards must beat the same-run interleaved serial pass >= 2x;
+# on smaller hosts the shards time-slice one core, so we instead bound the
+# coordination overhead (4-shard wall clock within 30% of serial).
+jq -e '
+  if .deterministic != true then
+    error("topogen sharded engine nondeterministic: outputs diverged across shard counts")
+  elif .hardware_threads >= 4 then
+    if .speedup_shards4 >= 2.0
+    then "topogen sharded speedup ok: \(.speedup_shards4)x @4 shards on \(.hardware_threads) hw threads"
+    else error("topogen sharded speedup \(.speedup_shards4)x below 2x target on \(.hardware_threads) hw threads")
+    end
+  else
+    if .speedup_shards4 >= 0.70
+    then "topogen sharded overhead ok on \(.hardware_threads) hw thread(s): \(.speedup_shards4)x @4 shards (speedup target needs >=4 cores)"
+    else error("topogen sharded overhead too high: \(.speedup_shards4)x @4 shards on \(.hardware_threads) hw thread(s)")
+    end
+  end' "$TMP/topogen.json"
 
 echo
 echo "== flow fastpath cache off vs on (bench_scalability) =="
@@ -213,6 +239,7 @@ fi
 jq -n \
   --slurpfile thr "$TMP/throughput.json" \
   --slurpfile shard "$TMP/sharded.json" \
+  --slurpfile topo "$TMP/topogen.json" \
   --slurpfile fc "$TMP/flowcache.json" \
   --slurpfile nocache "$TMP/throughput_nocache.json" \
   --slurpfile seed "$TMP/throughput_seed.json" \
@@ -225,6 +252,7 @@ jq -n \
   '{
     throughput: $thr[0],
     sharded: $shard[0],
+    topogen_sharded: $topo[0],
     flowcache: $fc[0],
     throughput_cache_off:
       (if ($nocache[0] | length) > 0 then $nocache[0] else null end),
@@ -254,5 +282,6 @@ echo "report written to $OUT"
 jq -r '"packets/sec: \(.throughput.packets_per_sec)  tracing-on: \(.throughput.tracing_on_packets_per_sec)  (overhead ratio \(.throughput.tracing_overhead_ratio))"' "$OUT"
 jq -r '"fastpath: \(.flowcache.fastpath_speedup)x over the uncached path (hit rate \(.flowcache.hit_rate), identical: \(.flowcache.identical))"' "$OUT"
 jq -r '"sharded: \(.sharded.speedup_shards4)x @4 shards (\(.sharded.hardware_threads) hw threads, deterministic: \(.sharded.deterministic))"' "$OUT"
+jq -r '"topogen sharded: \(.topogen_sharded.speedup_shards4)x @4 shards on \(.topogen_sharded.topology) (\(.topogen_sharded.delivered_packets) pkts, deterministic: \(.topogen_sharded.deterministic))"' "$OUT"
 jq -r '"reroute convergence: \(.convergence_spans.reroute_convergence.mean_ms) ms mean over \(.convergence_spans.reroutes) reroutes"' "$OUT"
 jq -r '"vs prior report: ratio \(.vs_prior_report_ratio // "n/a")  cache-off vs seed: \(.cache_off_vs_seed // "n/a")"' "$OUT"

@@ -28,12 +28,23 @@
 //                       path only; overrides the scenario's `run
 //                       flowcache=`). Results are identical either way —
 //                       use for A/B verification and benchmarking.
+//   --verbose           print partition diagnostics (cut size, per-shard
+//                       node/CE/flow balance, lookahead) to stderr
+//
+// Generated topologies (instead of a scenario file):
+//   --topogen "SPEC"    run an ISP-scale generated topology; SPEC is the
+//                       key=value list of the `topology generated` scenario
+//                       directive (p= pe= ce= pod= flows= core_bw= edge_bw=
+//                       rate= size= seed=), plus an optional for=SECONDS
+//                       here (default 1). Example:
+//                         --topogen "p=16 pe=64 ce=2 flows=20000" --shards 4
 
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "backbone/scenario_config.hpp"
@@ -60,7 +71,9 @@ int usage(const char* prog) {
                "usage: %s [--trace FILE] [--events FILE] [--metrics FILE]\n"
                "          [--snapshot-period S] [--obs DIR] [--spans FILE]\n"
                "          [--latency-report] [--latency-json FILE]\n"
-               "          [--shards N] [--no-flowcache] [scenario.scn]\n",
+               "          [--shards N] [--no-flowcache] [--verbose]\n"
+               "          [--topogen \"p=.. pe=.. ce=.. flows=..\"]\n"
+               "          [scenario.scn]\n",
                prog);
   return 2;
 }
@@ -70,8 +83,10 @@ int usage(const char* prog) {
 int main(int argc, char** argv) {
   mvpn::backbone::ObsOptions obs;
   std::string scenario_path;
+  std::string topogen_spec;
   unsigned long shards = 0;  // 0: use the scenario file's setting
   int flowcache = -1;        // -1: use the scenario file's setting
+  bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     auto value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -110,6 +125,12 @@ int main(int argc, char** argv) {
       if (shards == 0 || shards > 64) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--no-flowcache") == 0) {
       flowcache = 0;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else if (std::strcmp(argv[i], "--topogen") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      topogen_spec = v;
     } else if (std::strcmp(argv[i], "--obs") == 0) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
@@ -130,16 +151,35 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!scenario_path.empty() && !topogen_spec.empty()) {
+    std::fprintf(stderr, "--topogen and a scenario file are exclusive\n");
+    return usage(argv[0]);
+  }
   if (!scenario_path.empty()) {
     return mvpn::backbone::run_scenario_file(
         scenario_path, std::cout, obs, static_cast<std::uint32_t>(shards),
-        flowcache);
+        flowcache, verbose);
   }
-  std::printf("no scenario file given; running the built-in demo\n\n");
+
+  std::string text;
+  if (!topogen_spec.empty()) {
+    // Synthesize a two-line scenario from the spec; for= belongs on the
+    // run line, everything else on the topology line.
+    std::istringstream in(topogen_spec);
+    std::string token, topo_keys, run_keys;
+    while (in >> token) {
+      (token.rfind("for=", 0) == 0 ? run_keys : topo_keys) += " " + token;
+    }
+    if (run_keys.empty()) run_keys = " for=1";
+    text = "topology generated" + topo_keys + "\nrun" + run_keys + "\n";
+  } else {
+    std::printf("no scenario file given; running the built-in demo\n\n");
+    text = kDemo;
+  }
   mvpn::backbone::ScenarioError error;
-  auto scenario = mvpn::backbone::Scenario::parse(kDemo, &error);
+  auto scenario = mvpn::backbone::Scenario::parse(text, &error);
   if (!scenario) {
-    std::printf("demo parse error at line %zu: %s\n", error.line,
+    std::printf("parse error at line %zu: %s\n", error.line,
                 error.message.c_str());
     return 2;
   }
@@ -148,5 +188,6 @@ int main(int argc, char** argv) {
     scenario->set_shards(static_cast<std::uint32_t>(shards));
   }
   if (flowcache >= 0) scenario->set_flowcache(flowcache != 0);
+  scenario->set_verbose(verbose);
   return scenario->run(std::cout) ? 0 : 1;
 }

@@ -30,6 +30,16 @@ MplsBackbone::MplsBackbone(const BackboneConfig& config)
       topo.connect(ps_[i]->id(), ps_[j]->id(), core_link);
     }
   }
+  // Chords: each pair wired once (i < j), and strides that would duplicate
+  // a ring edge (1 or p-1) are out of range by the `+ 2` bound.
+  if (config_.core_chord_stride >= 2 &&
+      config_.core_chord_stride + 2 <= config_.p_count) {
+    for (std::size_t i = 0; i < config_.p_count; ++i) {
+      const std::size_t j =
+          (i + config_.core_chord_stride) % config_.p_count;
+      if (i < j) topo.connect(ps_[i]->id(), ps_[j]->id(), core_link);
+    }
+  }
 
   for (std::size_t i = 0; i < config_.pe_count; ++i) {
     auto& r = topo.add_node<vpn::Router>("PE" + std::to_string(i),

@@ -17,6 +17,10 @@ namespace mvpn::backbone {
 struct BackboneConfig {
   std::size_t p_count = 4;
   std::size_t pe_count = 4;
+  /// Extra core chords: link P[i] to P[(i+stride) % p_count] for every i
+  /// (each chord wired once). 0 disables; the topology generator sets
+  /// p_count/2 to turn the ring into a ladder mesh with ~half the diameter.
+  std::size_t core_chord_stride = 0;
   double core_bw_bps = 45e6;  ///< DS3-class trunks (paper era)
   double edge_bw_bps = 10e6;  ///< PE–CE access circuits
   sim::SimTime core_delay = 2 * sim::kMillisecond;

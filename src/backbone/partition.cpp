@@ -4,7 +4,10 @@
 #include <functional>
 #include <limits>
 #include <numeric>
+#include <ostream>
 #include <set>
+
+#include "vpn/router.hpp"
 
 namespace mvpn::backbone {
 
@@ -199,6 +202,27 @@ ShardPlan compute_shard_plan(const net::Topology& topo, std::uint32_t shards) {
     }
   }
   return plan;
+}
+
+void report_shard_plan(const ShardPlan& plan, const net::Topology& topo,
+                       std::ostream& out) {
+  out << "partition: " << plan.shard_count << " shards, cut "
+      << plan.cut_links.size() << "/" << topo.link_count()
+      << " links, lookahead " << sim::to_seconds(plan.lookahead) * 1e6
+      << " us\n";
+  if (!plan.parallel()) return;
+  std::vector<std::size_t> nodes(plan.shard_count, 0);
+  std::vector<std::size_t> ces(plan.shard_count, 0);
+  for (ip::NodeId v = 0; v < topo.node_count(); ++v) {
+    const std::uint32_t s = plan.node_shard[v];
+    ++nodes[s];
+    const auto* r = dynamic_cast<const vpn::Router*>(&topo.node(v));
+    if (r != nullptr && r->role() == vpn::Role::kCe) ++ces[s];
+  }
+  for (std::uint32_t s = 0; s < plan.shard_count; ++s) {
+    out << "partition: shard " << s << ": " << nodes[s] << " nodes, "
+        << ces[s] << " CE sites\n";
+  }
 }
 
 }  // namespace mvpn::backbone

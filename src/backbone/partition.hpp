@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "net/link.hpp"
@@ -49,5 +50,12 @@ struct ShardPlan {
 /// worthwhile.
 [[nodiscard]] ShardPlan compute_shard_plan(const net::Topology& topo,
                                            std::uint32_t shards);
+
+/// Human-readable partition diagnostics: cut size, the lookahead the cut
+/// admits, and per-shard node / CE-site balance (CEs are where traffic
+/// sources and sinks live, so their spread predicts flow balance). One
+/// line per shard, meant for stderr under a verbose flag.
+void report_shard_plan(const ShardPlan& plan, const net::Topology& topo,
+                       std::ostream& out);
 
 }  // namespace mvpn::backbone

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <optional>
 #include <ostream>
@@ -188,8 +189,10 @@ void register_sla_metrics(obs::MetricsRegistry& registry,
         [](const Report& r) { return r.latency_s.percentile(50.0) * 1e3; });
     add("latency_ms_p99",
         [](const Report& r) { return r.latency_s.percentile(99.0) * 1e3; });
-    add("jitter_ms_mean",
-        [](const Report& r) { return r.jitter_s.mean() * 1e3; });
+    registry.add_gauge(base + "/jitter_ms_mean", [&probe, phb] {
+      return probe.has_class(phb) ? probe.jitter_stats(phb).mean() * 1e3
+                                  : 0.0;
+    });
     registry.add_gauge(base + "/jitter_rfc3550_ms", [&probe, phb] {
       return probe.has_class(phb) ? probe.rfc3550_jitter_s(phb) * 1e3 : 0.0;
     });
@@ -226,7 +229,18 @@ std::optional<Scenario> Scenario::parse(const std::string& text,
       return it->second;
     };
 
-    if (line.directive == "backbone") {
+    if (line.directive == "topology") {
+      if (line.positional.size() != 1 || line.positional[0] != "generated") {
+        return fail(line_no, "topology needs the form: topology generated ...");
+      }
+      TopogenParams params;
+      for (const auto& [key, value] : line.kv) {
+        if (!apply_topogen_param(params, key, value)) {
+          return fail(line_no, "bad topogen " + key + "=" + value);
+        }
+      }
+      sc.topogen_ = params;
+    } else if (line.directive == "backbone") {
       have_backbone = true;
       if (auto v = kv("p")) {
         if (!to_size(*v, sc.backbone_.p_count)) {
@@ -387,6 +401,11 @@ std::optional<Scenario> Scenario::parse(const std::string& text,
       if (auto x = kv("size")) {
         if (!to_size(*x, f.size)) return fail(line_no, "bad size=");
       }
+      if (auto x = kv("start")) {
+        if (!to_double(*x, f.start_s) || f.start_s < 0) {
+          return fail(line_no, "bad start=");
+        }
+      }
       if (line.kv.count("premark") != 0) f.premark = true;
       sc.flows_.push_back(f);
     } else if (line.directive == "run") {
@@ -414,6 +433,54 @@ std::optional<Scenario> Scenario::parse(const std::string& text,
     } else {
       return fail(line_no, "unknown directive " + line.directive);
     }
+  }
+  // A generated topology expands here, before cross-reference validation:
+  // the plan's backbone/vpn/site/flow lists take the exact shape of the
+  // hand-written declarations, so everything downstream (validation,
+  // build, QoS, sharding, observability) is shared with .scn scenarios.
+  if (sc.topogen_) {
+    if (have_backbone) {
+      return fail(0, "topology generated replaces the backbone line");
+    }
+    if (!sc.vpns_.empty() || !sc.sites_.empty() || !sc.flows_.empty()) {
+      return fail(0,
+                  "topology generated cannot be mixed with vpn/site/flow "
+                  "declarations");
+    }
+    GeneratedPlan plan;
+    try {
+      plan = generate_plan(*sc.topogen_);
+    } catch (const std::exception& e) {
+      return fail(0, e.what());
+    }
+    sc.backbone_ = plan.backbone;
+    sc.vpns_ = plan.vpns;
+    sc.sites_.reserve(plan.sites.size());
+    for (const PlanSite& s : plan.sites) {
+      SiteDecl d;
+      d.vpn = plan.vpns[s.vpn];
+      d.pe = s.pe;
+      d.prefix = s.prefix;
+      sc.sites_.push_back(d);
+    }
+    sc.flows_.reserve(plan.flows.size());
+    for (const PlanFlow& f : plan.flows) {
+      FlowDecl d;
+      d.kind = f.kind;
+      d.vpn = plan.vpns[plan.sites[f.from].vpn];
+      d.from = f.from;
+      d.to = f.to;
+      d.rate = f.rate_bps;
+      d.phb = f.phb;
+      // Generated sites carry no CPE classifiers; non-BE flows mark DSCP
+      // at the source so the core's PHB scheduling still differentiates.
+      d.premark = f.phb != qos::Phb::kBe;
+      d.port = f.port;
+      d.size = f.size;
+      d.start_s = f.start_s;
+      sc.flows_.push_back(d);
+    }
+    have_backbone = true;
   }
   if (!have_backbone) return fail(0, "scenario needs a backbone line");
   if (sc.sites_.empty()) return fail(0, "scenario needs at least one site");
@@ -572,6 +639,21 @@ bool Scenario::run(std::ostream& out) const {
   std::unique_ptr<net::ShardRuntime> runtime;
   if (shards_ > 1 && !any_tcp) {
     ShardPlan plan = compute_shard_plan(topo, shards_);
+    if (verbose_) {
+      report_shard_plan(plan, topo, std::cerr);
+      if (plan.parallel()) {
+        // Flow balance: the partitioner only sees topology, so report how
+        // the declared traffic sources actually land on the shards.
+        std::vector<std::size_t> srcs(plan.shard_count, 0);
+        for (const auto& f : flows_) {
+          ++srcs[plan.node_shard[built[f.from].ce->id()]];
+        }
+        for (std::uint32_t s = 0; s < plan.shard_count; ++s) {
+          std::cerr << "partition: shard " << s << ": " << srcs[s]
+                    << " flow sources\n";
+        }
+      }
+    }
     if (plan.parallel() && plan.lookahead > 0) {
       runtime = std::make_unique<net::ShardRuntime>(
           topo, std::move(plan.node_shard), plan.shard_count, plan.lookahead);
@@ -663,6 +745,7 @@ bool Scenario::run(std::ostream& out) const {
   }
 
   std::vector<std::unique_ptr<traffic::Source>> sources;
+  std::vector<double> source_start_s;  // parallel to `sources`
   std::vector<std::unique_ptr<traffic::TcpLiteFlow>> tcp_flows;
   std::uint32_t flow_id = 1;
   const sim::SimTime t0 = bb.topo.scheduler().now();
@@ -702,6 +785,7 @@ bool Scenario::run(std::ostream& out) const {
       sources.push_back(std::make_unique<traffic::OnOffSource>(
           ce, spec, flow_id, flow_probe, f.rate, f.on_s, f.off_s));
     }
+    source_start_s.push_back(f.start_s);
     // When dispatchers own the sinks, route measured flows through them.
     if (any_tcp) {
       dispatcher_for(f.to).register_flow(
@@ -719,8 +803,9 @@ bool Scenario::run(std::ostream& out) const {
     ++flow_id;
   }
 
-  for (auto& s : sources) {
-    s->run(t0, t0 + sim::from_seconds(run_for_s_));
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    sources[i]->run(t0 + sim::from_seconds(source_start_s[i]),
+                    t0 + sim::from_seconds(run_for_s_));
   }
   for (auto& t : tcp_flows) {
     t->start(t0);
@@ -739,7 +824,9 @@ bool Scenario::run(std::ostream& out) const {
   // merges shard trace rings into the master recorder and restores the
   // serial view.
   std::uint64_t parallel_windows = 0;
+  std::uint64_t parallel_widened = 0;
   std::uint64_t parallel_handoffs = 0;
+  std::uint64_t parallel_batches = 0;
   std::uint32_t parallel_shards = 0;
   sim::SimTime parallel_lookahead = 0;
   if (runtime) {
@@ -747,7 +834,9 @@ bool Scenario::run(std::ostream& out) const {
     parallel_shards = runtime->shard_count();
     parallel_lookahead = runtime->lookahead();
     parallel_windows = runtime->windows();
+    parallel_widened = runtime->widened_windows();
     parallel_handoffs = runtime->handoffs();
+    parallel_batches = runtime->delivery_batches();
     runtime->finish();
   }
 
@@ -757,8 +846,9 @@ bool Scenario::run(std::ostream& out) const {
   if (parallel_shards != 0) {
     out << " on " << parallel_shards << " shards (lookahead "
         << sim::to_seconds(parallel_lookahead) * 1e6 << " us, "
-        << parallel_windows << " windows, " << parallel_handoffs
-        << " cross-shard handoffs)";
+        << parallel_windows << " windows, " << parallel_widened
+        << " widened, " << parallel_handoffs << " cross-shard handoffs, "
+        << parallel_batches << " batched deliveries)";
   }
   out << "\n\n";
   out << probe.to_table(run_for_s_).render();
@@ -834,7 +924,7 @@ int run_scenario_file(const std::string& path, std::ostream& out) {
 
 int run_scenario_file(const std::string& path, std::ostream& out,
                       const ObsOptions& obs, std::uint32_t shards,
-                      int flowcache) {
+                      int flowcache, bool verbose) {
   std::ifstream in(path);
   if (!in) {
     out << "cannot open " << path << "\n";
@@ -851,6 +941,7 @@ int run_scenario_file(const std::string& path, std::ostream& out,
   scenario->set_obs(obs);
   if (shards != 0) scenario->set_shards(shards);
   if (flowcache >= 0) scenario->set_flowcache(flowcache != 0);
+  scenario->set_verbose(verbose);
   return scenario->run(out) ? 0 : 1;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "backbone/fixtures.hpp"
+#include "backbone/topogen.hpp"
 #include "obs/trace.hpp"
 #include "traffic/sink.hpp"
 #include "traffic/source.hpp"
@@ -47,6 +48,11 @@ struct ObsOptions {
 ///
 ///   backbone p=2 pe=2 core_bw=4e6 edge_bw=20e6 seed=7 bgp=mesh
 ///            core_queue=wfq:8,3,1          # fifo | prio | wfq:w,... | drr:w,...
+///
+/// Or, instead of hand-written backbone/vpn/site/flow lines, a generated
+/// ISP-scale topology (see backbone/topogen.hpp for the parameters):
+///
+///   topology generated p=64 pe=256 ce=4 flows=200000 seed=3
 ///   vpn corp
 ///   extranet corp partner                  # corp imports partner's routes
 ///   site corp pe=0 prefix=10.1.0.0/16      # site index = declaration order
@@ -62,8 +68,11 @@ struct ObsOptions {
 ///                                          # shards>1 = parallel engine;
 ///                                          # flowcache=off: slow path only
 ///
-/// Flows start together when the control plane has converged; source and
-/// destination hosts are derived from the sites' prefixes.
+/// Flows start when the control plane has converged — together by default,
+/// or offset by `start=SECONDS` on a flow line (generated topologies set
+/// per-flow offsets to keep same-class sources out of nanosecond lockstep;
+/// see PlanFlow in backbone/topogen.hpp). Source and destination hosts are
+/// derived from the sites' prefixes.
 struct ScenarioError {
   std::size_t line = 0;
   std::string message;
@@ -99,6 +108,19 @@ class Scenario {
   /// benchmarking of the fastpath.
   void set_flowcache(bool on) { flowcache_ = on; }
   [[nodiscard]] bool flowcache() const noexcept { return flowcache_; }
+
+  /// Print partition diagnostics (cut size, per-shard node / CE / flow
+  /// balance, lookahead) to stderr when the run goes parallel.
+  void set_verbose(bool on) { verbose_ = on; }
+  [[nodiscard]] bool verbose() const noexcept { return verbose_; }
+
+  /// True when the scenario came from a `topology generated` directive.
+  [[nodiscard]] bool generated() const noexcept {
+    return topogen_.has_value();
+  }
+  [[nodiscard]] const std::optional<TopogenParams>& topogen() const noexcept {
+    return topogen_;
+  }
 
   /// --- introspection (mostly for tests) ---------------------------------
   [[nodiscard]] std::size_t vpn_count() const noexcept {
@@ -145,6 +167,7 @@ class Scenario {
     bool premark = false;
     std::uint16_t port = 20000;
     std::size_t size = 472;
+    double start_s = 0;  ///< start= : emission begins this long after t0
   };
 
   BackboneConfig backbone_;
@@ -159,16 +182,19 @@ class Scenario {
   double run_for_s_ = 2.0;
   std::uint32_t shards_ = 1;
   bool flowcache_ = true;
+  bool verbose_ = false;
+  std::optional<TopogenParams> topogen_;
   ObsOptions obs_;
 };
 
 /// Convenience: parse + run from a file path. Returns process-style exit
 /// code (0 ok, 1 isolation violation, 2 parse/usage error).
 /// `shards` != 0 overrides the scenario file's `run shards=` setting;
-/// `flowcache` 0/1 overrides `run flowcache=` (-1 leaves the file's choice).
+/// `flowcache` 0/1 overrides `run flowcache=` (-1 leaves the file's choice);
+/// `verbose` prints partition diagnostics to stderr.
 int run_scenario_file(const std::string& path, std::ostream& out);
 int run_scenario_file(const std::string& path, std::ostream& out,
                       const ObsOptions& obs, std::uint32_t shards = 0,
-                      int flowcache = -1);
+                      int flowcache = -1, bool verbose = false);
 
 }  // namespace mvpn::backbone

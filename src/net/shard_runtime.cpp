@@ -1,6 +1,7 @@
 #include "net/shard_runtime.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
@@ -53,12 +54,8 @@ ShardRuntime::ShardRuntime(Topology& topo,
     }
   }
 
-  channels_.reserve(static_cast<std::size_t>(shard_count) * shard_count);
-  for (std::size_t i = 0;
-       i < static_cast<std::size_t>(shard_count) * shard_count; ++i) {
-    channels_.push_back(std::make_unique<sim::SpscChannel<Handoff>>());
-  }
-  seqs_.assign(channels_.size(), 0);
+  staging_.resize(static_cast<std::size_t>(shard_count) * shard_count);
+  seqs_.assign(staging_.size(), 0);
 
   // Link-queue tracing was wired to the master recorder at link creation;
   // repoint each direction at its transmitting node's shard recorder so
@@ -95,25 +92,41 @@ void ShardRuntime::handoff(std::uint32_t dst_shard, sim::SimTime deliver_at,
   const std::uint32_t src = sim::current_shard();
   if (src == sim::kNoShard) {
     // Coordinator context (between windows, workers parked): schedule the
-    // delivery directly, keeping the SPSC channels strictly worker-owned.
+    // delivery directly, keeping the staging vectors strictly
+    // worker-written during windows.
     ++handoffs_;
     schedule_delivery(std::move(env));
     return;
   }
+  // Plain append: this vector is written only by shard `src`'s worker
+  // during a window and read only by the coordinator between windows; the
+  // epoch barrier's release/acquire pair is the synchronization.
   const std::size_t ch = src * ctxs_.size() + dst_shard;
   env.src = src;
   env.seq = seqs_[ch]++;
-  channels_[ch]->push(std::move(env));
+  staging_[ch].push_back(std::move(env));
 }
 
 void ShardRuntime::exchange(sim::SimTime /*window_end*/) {
+  // Harvest batches the workers finished delivering this window; cleared
+  // batches go back to the free list with their capacity intact.
+  for (auto& ctx : ctxs_) {
+    for (Batch* b : ctx->returned) {
+      b->clear();
+      batch_free_.push_back(b);
+    }
+    ctx->returned.clear();
+  }
+
   scratch_.clear();
   const std::uint32_t k = shard_count();
   for (std::uint32_t src = 0; src < k; ++src) {
     for (std::uint32_t dst = 0; dst < k; ++dst) {
       if (src == dst) continue;
-      channel(src, dst).drain(
-          [this](Handoff&& env) { scratch_.push_back(std::move(env)); });
+      Batch& st = staging(src, dst);
+      if (st.empty()) continue;
+      std::move(st.begin(), st.end(), std::back_inserter(scratch_));
+      st.clear();
     }
   }
   if (scratch_.empty()) return;
@@ -129,8 +142,62 @@ void ShardRuntime::exchange(sim::SimTime /*window_end*/) {
               return a.seq < b.seq;
             });
   handoffs_ += scratch_.size();
-  for (Handoff& env : scratch_) schedule_delivery(std::move(env));
+
+  // Batched scheduling: consecutive envelopes bound for the same shard at
+  // the same instant fuse into one delivery event that replays them in
+  // merge order. Semantically identical to one event per envelope: the
+  // fused envelopes' events would have held consecutive insertion
+  // sequences (nothing else schedules between them — the workers are
+  // parked), pre-existing same-instant events carry smaller sequences and
+  // still run first, and anything a delivery handler schedules gets a
+  // later sequence and still runs after the whole run of envelopes.
+  std::size_t i = 0;
+  while (i < scratch_.size()) {
+    const sim::SimTime at = scratch_[i].deliver_at;
+    const std::uint32_t dst = binding_.node_shard[scratch_[i].to];
+    std::size_t j = i + 1;
+    while (j < scratch_.size() && scratch_[j].deliver_at == at &&
+           binding_.node_shard[scratch_[j].to] == dst) {
+      ++j;
+    }
+    if (j == i + 1) {
+      schedule_delivery(std::move(scratch_[i]));
+    } else {
+      schedule_batch(dst, at, i, j);
+    }
+    i = j;
+  }
   scratch_.clear();
+}
+
+ShardRuntime::Batch* ShardRuntime::acquire_batch() {
+  if (batch_free_.empty()) {
+    batch_store_.push_back(std::make_unique<Batch>());
+    return batch_store_.back().get();
+  }
+  Batch* b = batch_free_.back();
+  batch_free_.pop_back();
+  return b;
+}
+
+void ShardRuntime::schedule_batch(std::uint32_t dst, sim::SimTime at,
+                                  std::size_t first, std::size_t last) {
+  Batch* batch = acquire_batch();
+  batch->insert(batch->end(),
+                std::make_move_iterator(scratch_.begin() +
+                                        static_cast<std::ptrdiff_t>(first)),
+                std::make_move_iterator(scratch_.begin() +
+                                        static_cast<std::ptrdiff_t>(last)));
+  ++batches_;
+  ShardCtx& ctx = *ctxs_[dst];
+  ctx.sched.schedule_at(at, [this, &ctx, batch] {
+    for (Handoff& env : *batch) {
+      PacketPtr p = ctx.factory.pool().acquire();
+      p->copy_fields_from(env.pkt);
+      topo_.deliver(env.to, env.iface, std::move(p));
+    }
+    ctx.returned.push_back(batch);
+  });
 }
 
 void ShardRuntime::schedule_delivery(Handoff&& env) {

@@ -11,19 +11,26 @@
 #include "obs/trace.hpp"
 #include "sim/parallel_engine.hpp"
 #include "sim/scheduler.hpp"
-#include "sim/spsc_channel.hpp"
 #include "sim/time.hpp"
 
 namespace mvpn::net {
 
 /// Everything a parallel run layers on top of a Topology: per-shard
-/// schedulers / packet pools / recorders / latency collectors, the SPSC
-/// handoff channels between shards, and the conservative engine driving
-/// them. Constructing a ShardRuntime installs the sharded view on the
-/// topology (Topology's ambient accessors start dispatching on the calling
-/// thread's shard); finish() — or destruction — tears it back down and
-/// folds per-shard trace rings into the master recorder, leaving the
-/// topology exactly as a serial run would.
+/// schedulers / packet pools / recorders / latency collectors, the
+/// cross-shard handoff staging between shards, and the conservative
+/// engine driving them. Constructing a ShardRuntime installs the sharded
+/// view on the topology (Topology's ambient accessors start dispatching on
+/// the calling thread's shard); finish() — or destruction — tears it back
+/// down and folds per-shard trace rings into the master recorder, leaving
+/// the topology exactly as a serial run would.
+///
+/// Handoff transport: each (src, dst) shard pair owns a plain staging
+/// vector. The producing worker appends during its window; the
+/// coordinator drains all staging between windows. No atomics or locks
+/// per envelope — the epoch barrier's release/acquire edges (worker
+/// arrive -> coordinator wait_all_arrived, coordinator open -> worker
+/// next) are the entire synchronization, and clear() keeps each vector's
+/// capacity so the steady state allocates nothing.
 ///
 /// Lifetime contract: the Topology outlives the runtime; the runtime must
 /// be finished/destroyed before the topology is used serially again.
@@ -35,7 +42,7 @@ class ShardRuntime {
   /// One cross-shard packet in flight, by value: the full field image of
   /// the packet plus its delivery coordinates. No PacketPtr ever crosses a
   /// shard boundary — the source shard's packet is released before the
-  /// envelope is pushed, and the destination shard materializes a packet
+  /// envelope is staged, and the destination shard materializes a packet
   /// from its *own* pool at delivery time.
   struct Handoff {
     sim::SimTime deliver_at = 0;
@@ -61,7 +68,8 @@ class ShardRuntime {
   /// Called from net::Link on the *source* shard's worker thread when a
   /// transmission's destination lives on another shard. From coordinator
   /// context (sim::current_shard() == kNoShard, only between windows) the
-  /// delivery is scheduled directly — the channels are worker-only.
+  /// delivery is scheduled directly — the staging vectors are worker-owned
+  /// during windows.
   void handoff(std::uint32_t dst_shard, sim::SimTime deliver_at,
                ip::NodeId to, ip::IfIndex iface, const Packet& p);
 
@@ -88,8 +96,16 @@ class ShardRuntime {
   [[nodiscard]] std::uint64_t windows() const noexcept {
     return engine_->windows();
   }
+  [[nodiscard]] std::uint64_t widened_windows() const noexcept {
+    return engine_->widened_windows();
+  }
   /// Envelopes merged across all barriers so far.
   [[nodiscard]] std::uint64_t handoffs() const noexcept { return handoffs_; }
+  /// Multi-envelope delivery events scheduled (same destination shard and
+  /// instant fused into one heap node); singletons are not counted.
+  [[nodiscard]] std::uint64_t delivery_batches() const noexcept {
+    return batches_;
+  }
 
   [[nodiscard]] sim::Scheduler& shard_scheduler(std::uint32_t s) {
     return ctxs_[s]->sched;
@@ -102,6 +118,8 @@ class ShardRuntime {
   }
 
  private:
+  using Batch = std::vector<Handoff>;
+
   /// Per-shard simulation state. Declaration order is the same lifetime
   /// contract as Topology's: the factory (pool) outlives the scheduler,
   /// whose pending closures release PacketPtrs on destruction.
@@ -110,25 +128,36 @@ class ShardRuntime {
     sim::Scheduler sched;
     obs::FlightRecorder recorder;
     obs::LatencyCollector latency;
+    /// Batches this shard's worker finished delivering; the coordinator
+    /// harvests them back into the free list between windows.
+    std::vector<Batch*> returned;
 
     ShardCtx() : recorder(&sched) {}
   };
 
-  [[nodiscard]] sim::SpscChannel<Handoff>& channel(std::uint32_t src,
-                                                  std::uint32_t dst) {
-    return *channels_[src * ctxs_.size() + dst];
+  [[nodiscard]] Batch& staging(std::uint32_t src, std::uint32_t dst) {
+    return staging_[src * ctxs_.size() + dst];
   }
+  [[nodiscard]] Batch* acquire_batch();
   void exchange(sim::SimTime window_end);
   void schedule_delivery(Handoff&& env);
+  void schedule_batch(std::uint32_t dst, sim::SimTime at, std::size_t first,
+                      std::size_t last);
 
   Topology& topo_;
   sim::SimTime lookahead_;
   ShardBinding binding_;
   std::vector<std::unique_ptr<ShardCtx>> ctxs_;
-  std::vector<std::unique_ptr<sim::SpscChannel<Handoff>>> channels_;
+  std::vector<Batch> staging_;       ///< k*k per-(src,dst) handoff staging
   std::vector<std::uint64_t> seqs_;  ///< per-channel, touched by src only
   std::vector<Handoff> scratch_;     ///< coordinator merge buffer
+  /// Batch storage: owning store (stable addresses for in-flight delivery
+  /// events), coordinator-side free list. Recycled batches keep their
+  /// capacity, so steady state schedules batches without allocating.
+  std::vector<std::unique_ptr<Batch>> batch_store_;
+  std::vector<Batch*> batch_free_;
   std::uint64_t handoffs_ = 0;
+  std::uint64_t batches_ = 0;
   bool finished_ = false;
   // Engine last: its destructor joins the worker threads that reference
   // the shard schedulers above.

@@ -1,8 +1,11 @@
 #include "qos/sla.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace mvpn::qos {
 
@@ -28,7 +31,7 @@ void SlaProbe::record_delivered(Phb cls, std::uint32_t flow_id,
                                    ? latency - f.last_latency
                                    : f.last_latency - latency;
     const double d_s = sim::to_seconds(delta);
-    r.jitter_s.add(d_s);
+    f.jitter.add(d_s);
     f.j_s += (d_s - f.j_s) / 16.0;  // RFC 3550 §6.4.1
     f.has_delta = true;
   }
@@ -44,7 +47,6 @@ void SlaProbe::merge_from(const SlaProbe& other) {
     r.delivered_packets += or_.delivered_packets;
     r.delivered_bytes += or_.delivered_bytes;
     r.latency_s.merge(or_.latency_s);
-    r.jitter_s.merge(or_.jitter_s);
   }
   for (const auto& [flow_id, f] : other.jitter_by_flow_) {
     [[maybe_unused]] const auto [it, inserted] =
@@ -55,16 +57,32 @@ void SlaProbe::merge_from(const SlaProbe& other) {
   }
 }
 
+// Both jitter aggregates fold floating-point per-flow state, so the fold
+// happens in ascending flow-id order — never hash-map iteration order,
+// which differs between a serially filled probe and one merged from
+// per-shard probes.
+
 double SlaProbe::rfc3550_jitter_s(Phb cls) const {
-  double sum = 0.0;
-  std::uint64_t flows = 0;
+  std::vector<std::pair<std::uint32_t, double>> flows;
   for (const auto& [id, f] : jitter_by_flow_) {
-    if (f.cls == cls && f.has_delta) {
-      sum += f.j_s;
-      ++flows;
-    }
+    if (f.cls == cls && f.has_delta) flows.emplace_back(id, f.j_s);
   }
-  return flows > 0 ? sum / static_cast<double>(flows) : 0.0;
+  std::sort(flows.begin(), flows.end());
+  double sum = 0.0;
+  for (const auto& [id, j] : flows) sum += j;
+  return flows.empty() ? 0.0 : sum / static_cast<double>(flows.size());
+}
+
+stats::RunningStats SlaProbe::jitter_stats(Phb cls) const {
+  std::vector<std::pair<std::uint32_t, const FlowJitter*>> flows;
+  for (const auto& [id, f] : jitter_by_flow_) {
+    if (f.cls == cls && f.has_delta) flows.emplace_back(id, &f);
+  }
+  std::sort(flows.begin(), flows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  stats::RunningStats out;
+  for (const auto& [id, f] : flows) out.merge(f->jitter);
+  return out;
 }
 
 const SlaProbe::ClassReport& SlaProbe::report(Phb cls) const {
@@ -90,7 +108,7 @@ stats::Table SlaProbe::to_table(double interval_s) const {
                stats::Table::num(r.latency_s.mean() * 1e3, 3),
                stats::Table::num(r.latency_s.percentile(50) * 1e3, 3),
                stats::Table::num(r.latency_s.percentile(99) * 1e3, 3),
-               stats::Table::num(r.jitter_s.mean() * 1e3, 3),
+               stats::Table::num(jitter_stats(cls).mean() * 1e3, 3),
                stats::Table::num(rfc3550_jitter_s(cls) * 1e3, 3),
                stats::Table::num(r.goodput_bps(interval_s) / 1e6, 3)});
   }
@@ -108,7 +126,7 @@ std::string SlaProbe::to_csv(double interval_s) const {
            stats::Table::num(r.latency_s.mean() * 1e3, 4) + ',' +
            stats::Table::num(r.latency_s.percentile(50) * 1e3, 4) + ',' +
            stats::Table::num(r.latency_s.percentile(99) * 1e3, 4) + ',' +
-           stats::Table::num(r.jitter_s.mean() * 1e3, 4) + ',' +
+           stats::Table::num(jitter_stats(cls).mean() * 1e3, 4) + ',' +
            stats::Table::num(rfc3550_jitter_s(cls) * 1e3, 4) + ',' +
            stats::Table::num(r.goodput_bps(interval_s) / 1e6, 4) + '\n';
   }

@@ -22,9 +22,15 @@ namespace mvpn::qos {
 /// true RFC 3550 §6.4.1 inter-arrival jitter — the per-flow EWMA
 /// J += (|D| - J)/16 — averaged across the class's flows, so the
 /// packet-delay-variation comparison is apples-to-apples with the DiffServ
-/// PDV literature. Latency percentiles come from a bounded-memory
-/// LogHistogram sketch (exact mean/min/max, ~0.8% relative error on
-/// percentiles), so the probe survives million-packet runs in O(1) memory.
+/// PDV literature. Both accumulate *per flow* and aggregate per class only
+/// at query time, folding flows in ascending flow-id order: a flow's
+/// deliveries all pass through one sink (one shard), so the figures are
+/// bit-identical whether the run was serial or sharded — class-level
+/// online accumulation would instead depend on how flows interleave,
+/// which the partition changes. Latency percentiles come from a
+/// bounded-memory LogHistogram sketch (exact mean/min/max, ~0.8% relative
+/// error on percentiles), so the probe survives million-packet runs in
+/// O(1) memory.
 class SlaProbe {
  public:
   explicit SlaProbe(std::string name = "sla");
@@ -39,7 +45,6 @@ class SlaProbe {
     std::uint64_t delivered_packets = 0;
     std::uint64_t delivered_bytes = 0;
     stats::LogHistogram latency_s;    ///< one-way delay sketch (seconds)
-    stats::RunningStats jitter_s;     ///< |delta delay| samples (seconds)
 
     [[nodiscard]] double loss_fraction() const noexcept {
       if (sent_packets == 0) return 0.0;
@@ -71,6 +76,12 @@ class SlaProbe {
   /// class figure is the mean of its flows' current J. 0 until some flow
   /// of the class has delivered at least two packets.
   [[nodiscard]] double rfc3550_jitter_s(Phb cls) const;
+
+  /// |delta one-way delay| statistics for `cls`: per-flow accumulators
+  /// merged in ascending flow-id order (see the class comment for why that
+  /// order makes the figure partition-independent).
+  [[nodiscard]] stats::RunningStats jitter_stats(Phb cls) const;
+
   [[nodiscard]] const std::map<Phb, ClassReport>& all() const noexcept {
     return by_class_;
   }
@@ -86,7 +97,8 @@ class SlaProbe {
  private:
   struct FlowJitter {
     sim::SimTime last_latency = 0;
-    double j_s = 0.0;          ///< RFC 3550 running jitter estimate
+    double j_s = 0.0;            ///< RFC 3550 running jitter estimate
+    stats::RunningStats jitter;  ///< |delta delay| samples (seconds)
     bool has_delta = false;
     Phb cls{};
   };

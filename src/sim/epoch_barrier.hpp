@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <thread>
 
 #include "sim/time.hpp"
 
@@ -12,77 +14,118 @@ namespace mvpn::sim {
 ///
 /// The coordinator publishes an epoch — "run your shard up to time T" —
 /// and blocks until every worker reports back; workers block between
-/// epochs. One mutex + two condition variables, generation-counted so a
-/// worker that oversleeps a notify still sees the epoch it missed. This is
-/// deliberately the simplest correct thing: the barrier costs microseconds
-/// per window while a window executes milliseconds of simulated traffic,
-/// so lock-free cleverness here would be tuning the wrong term.
+/// epochs. The wait fast paths are lock-free: the epoch counter and the
+/// arrival count are atomics, and a party expecting its peers within
+/// microseconds spins a bounded number of iterations before parking on a
+/// mutex/condvar. On a machine with fewer hardware threads than barrier
+/// parties the spin phase is disabled outright — burning the core the
+/// awaited thread needs would turn every window into a scheduling
+/// quantum — which preserves the old always-park behaviour there.
+///
+/// Wakeups still go through the mutex: the notifier takes (and drops) the
+/// lock before notifying, so a parked waiter either re-checks its
+/// predicate after the notifier's unlock (mutex order makes the new epoch
+/// or arrival visible) or was never parked and sees the atomic in its
+/// spin. That empty critical section is once per *epoch*, not once per
+/// worker — the per-worker lock round-trips of the previous barrier are
+/// what this replaces.
+///
+/// Memory-order contract (what ShardRuntime's plain staging vectors lean
+/// on): a worker's writes before arrive() happen-before the coordinator's
+/// reads after wait_all_arrived() (release fetch_add / acquire load on
+/// `arrived_`), and the coordinator's writes before open() happen-before
+/// a worker's reads after next() (release store / acquire load on
+/// `epoch_`). Epoch-counted waits mean a party that oversleeps a notify
+/// still sees the epoch it missed.
 class EpochBarrier {
  public:
-  explicit EpochBarrier(std::uint32_t workers) : workers_(workers) {}
+  explicit EpochBarrier(std::uint32_t workers)
+      : workers_(workers),
+        // Coordinator + N workers each want a core during the rendezvous;
+        // with fewer hardware threads, spinning steals cycles from the
+        // very thread being waited on.
+        spin_limit_(std::thread::hardware_concurrency() > workers ? 2048
+                                                                  : 0) {}
 
   EpochBarrier(const EpochBarrier&) = delete;
   EpochBarrier& operator=(const EpochBarrier&) = delete;
 
   /// Coordinator: publish the next window [.., target] and wake workers.
   void open(SimTime target) {
-    {
-      const std::lock_guard<std::mutex> guard(mutex_);
-      target_ = target;
-      arrived_ = 0;
-      ++epoch_;
-    }
+    target_.store(target, std::memory_order_relaxed);
+    arrived_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    // Order the notify after any worker that checked the epoch under the
+    // lock and decided to park (a worker holds the mutex from predicate
+    // check through blocking, so this cannot interleave between the two).
+    { const std::lock_guard<std::mutex> guard(mutex_); }
     cv_open_.notify_all();
   }
 
   /// Coordinator: block until every worker has arrive()d for this epoch.
   void wait_all_arrived() {
+    for (std::uint32_t i = 0; i < spin_limit_; ++i) {
+      if (arrived_.load(std::memory_order_acquire) == workers_) return;
+    }
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [this] { return arrived_ == workers_; });
+    cv_done_.wait(lock, [this] {
+      return arrived_.load(std::memory_order_acquire) == workers_;
+    });
   }
 
   /// Coordinator: wake all workers with the quit flag; next() returns false.
   void shutdown() {
-    {
-      const std::lock_guard<std::mutex> guard(mutex_);
-      quit_ = true;
-    }
+    quit_.store(true, std::memory_order_release);
+    { const std::lock_guard<std::mutex> guard(mutex_); }
     cv_open_.notify_all();
   }
 
   /// Worker: block for an epoch newer than `seen_epoch` (updated on
   /// return), yielding its target time. Returns false on shutdown.
   bool next(std::uint64_t& seen_epoch, SimTime& target) {
+    for (std::uint32_t i = 0; i < spin_limit_; ++i) {
+      if (quit_.load(std::memory_order_acquire)) return false;
+      const std::uint64_t e = epoch_.load(std::memory_order_acquire);
+      if (e != seen_epoch) {
+        seen_epoch = e;
+        target = target_.load(std::memory_order_relaxed);
+        return true;
+      }
+    }
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_open_.wait(lock,
-                  [&, this] { return quit_ || epoch_ != seen_epoch; });
-    if (quit_) return false;
-    seen_epoch = epoch_;
-    target = target_;
+    cv_open_.wait(lock, [&, this] {
+      return quit_.load(std::memory_order_acquire) ||
+             epoch_.load(std::memory_order_acquire) != seen_epoch;
+    });
+    if (quit_.load(std::memory_order_acquire)) return false;
+    seen_epoch = epoch_.load(std::memory_order_acquire);
+    target = target_.load(std::memory_order_relaxed);
     return true;
   }
 
-  /// Worker: report this epoch's window complete.
+  /// Worker: report this epoch's window complete. The last arriver wakes
+  /// the coordinator (one lock round-trip per epoch).
   void arrive() {
-    bool all = false;
-    {
-      const std::lock_guard<std::mutex> guard(mutex_);
-      all = ++arrived_ == workers_;
+    if (arrived_.fetch_add(1, std::memory_order_release) + 1 == workers_) {
+      { const std::lock_guard<std::mutex> guard(mutex_); }
+      cv_done_.notify_one();
     }
-    if (all) cv_done_.notify_one();
   }
 
-  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
 
  private:
   std::mutex mutex_;
-  std::condition_variable cv_open_;   ///< workers wait here between epochs
-  std::condition_variable cv_done_;   ///< coordinator waits here per epoch
-  std::uint32_t workers_;
-  std::uint32_t arrived_ = 0;
-  std::uint64_t epoch_ = 0;
-  SimTime target_ = 0;
-  bool quit_ = false;
+  std::condition_variable cv_open_;  ///< workers park here between epochs
+  std::condition_variable cv_done_;  ///< coordinator parks here per epoch
+  const std::uint32_t workers_;
+  const std::uint32_t spin_limit_;
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<SimTime> target_{0};
+  std::atomic<bool> quit_{false};
 };
 
 }  // namespace mvpn::sim

@@ -114,8 +114,28 @@ void ParallelEngine::run_until(SimTime t_end) {
       target = global_at - 1;
     }
     if (target > frontier_) {
-      SimTime window_end = frontier_ + lookahead_;
-      if (window_end > target) window_end = target;
+      // Adaptive window sizing. Workers are parked between epochs, so the
+      // shard queues are stable and reading them here is race-free. Every
+      // pending event sits at u >= next_min, so remote work lands at
+      // >= next_min + lookahead and a window ending at next_min +
+      // lookahead - 1 is still conservative. next_min >= frontier_ + 1
+      // (all shards have finished events <= frontier_), so the adaptive
+      // window is never narrower than the static frontier_ + lookahead
+      // one; when every shard is idle past the target the window jumps
+      // straight to it.
+      SimTime next_min = Scheduler::kNoEventTime;
+      for (const ShardRef& s : shards_) {
+        const SimTime t = s.scheduler->next_event_time();
+        if (t < next_min) next_min = t;
+      }
+      SimTime window_end;
+      if (next_min == Scheduler::kNoEventTime || next_min >= target) {
+        window_end = target;
+      } else {
+        window_end = next_min + (lookahead_ - 1);
+        if (window_end > target) window_end = target;
+      }
+      if (window_end > frontier_ + lookahead_) ++widened_windows_;
       barrier_.open(window_end);
       barrier_.wait_all_arrived();
       ++windows_;

@@ -16,16 +16,24 @@ namespace mvpn::sim {
 /// Conservative parallel discrete-event driver.
 ///
 /// Each shard is one Scheduler advanced by a dedicated worker thread in
-/// lock-step windows of at most `lookahead` simulated time. The safety
-/// argument (INTERNALS.md §9): with every cross-shard interaction delayed
-/// by at least `lookahead`, an event executed in the window (t, t+L] can
-/// only create remote work at times strictly greater than t+L, so
-/// exchanging that work at the barrier — before any shard enters the next
-/// window — always delivers it ahead of its execution time. No shard ever
+/// lock-step windows. The safety argument (INTERNALS.md §9, §11): with
+/// every cross-shard interaction delayed by at least `lookahead`, an
+/// event executed at time u can only create remote work at times >=
+/// u + lookahead, so any window ending before min(u) + lookahead can be
+/// exchanged at the barrier — before any shard enters the next window —
+/// and the work always lands ahead of its execution time. No shard ever
 /// receives an event in its past, which is exactly the serial causality
 /// guarantee; combined with each Scheduler's (time, insertion-seq) order
 /// and a deterministic exchange order, the parallel run replays the serial
 /// event history.
+///
+/// Window sizing is adaptive: at every barrier the coordinator (workers
+/// parked, queues stable) reads each shard's next pending event time and
+/// extends the window to next_min + lookahead - 1 — never narrower than
+/// the static frontier + lookahead bound, and when every shard is idle
+/// past the target the window jumps straight to it. Quiet stretches
+/// (converged control plane, sparse flows) therefore cost barriers
+/// proportional to *events*, not to elapsed simulated time.
 ///
 /// The engine itself is topology-agnostic: cross-shard traffic moves
 /// through the `exchange` hook (net::ShardRuntime drains its channels and
@@ -67,6 +75,11 @@ class ParallelEngine {
   void run_until(SimTime t_end);
 
   [[nodiscard]] std::uint64_t windows() const noexcept { return windows_; }
+  /// Windows the adaptive sizing stretched past the static frontier +
+  /// lookahead bound (quiet shards let the window jump to the next event).
+  [[nodiscard]] std::uint64_t widened_windows() const noexcept {
+    return widened_windows_;
+  }
   [[nodiscard]] SimTime lookahead() const noexcept { return lookahead_; }
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return shards_.size();
@@ -95,6 +108,7 @@ class ParallelEngine {
   std::vector<std::thread> threads_;
   bool workers_running_ = false;
   std::uint64_t windows_ = 0;
+  std::uint64_t widened_windows_ = 0;
   SimTime frontier_ = 0;  ///< all shards have completed events <= frontier_
 
   std::mutex error_mutex_;

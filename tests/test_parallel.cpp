@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -14,11 +15,16 @@
 #include "backbone/partition.hpp"
 #include "backbone/scenario_config.hpp"
 #include "ip/address.hpp"
+#include "net/shard_runtime.hpp"
+#include "qos/sla.hpp"
 #include "sim/epoch_barrier.hpp"
 #include "sim/parallel_engine.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/spsc_channel.hpp"
 #include "sim/time.hpp"
+#include "traffic/sink.hpp"
+#include "traffic/source.hpp"
+#include "vpn/router.hpp"
 
 namespace mvpn {
 namespace {
@@ -189,6 +195,54 @@ TEST(ParallelEngine, GlobalActionsFireBetweenWindows) {
   EXPECT_EQ(global.now(), 20 * sim::kMillisecond);
 }
 
+// --- Adaptive window sizing -----------------------------------------------
+
+/// Drive a two-shard engine where shard A ticks every `spacing` and shard B
+/// is idle; returns the tick count and reports window statistics.
+int drive_with_spacing(sim::SimTime spacing, std::uint64_t& windows,
+                       std::uint64_t& widened) {
+  constexpr sim::SimTime kLookahead = sim::kMillisecond;
+  constexpr sim::SimTime kEnd = 100 * sim::kMillisecond;
+  sim::Scheduler a;
+  sim::Scheduler b;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (a.now() + spacing <= kEnd) a.schedule_in(spacing, tick);
+  };
+  a.schedule_at(spacing, tick);
+  sim::ParallelEngine engine({{0, &a}, {1, &b}}, kLookahead, nullptr);
+  engine.run_until(kEnd);
+  windows = engine.windows();
+  widened = engine.widened_windows();
+  EXPECT_EQ(a.now(), kEnd);
+  EXPECT_EQ(b.now(), kEnd);
+  return ticks;
+}
+
+TEST(ParallelEngine, AdaptiveWindowsJumpQuietStretches) {
+  // Quiet traffic (events every 10 ms, lookahead 1 ms): the static sizing
+  // would take ~100 windows over 100 ms; the adaptive window jumps to the
+  // next pending event, so barriers scale with events, not elapsed time.
+  std::uint64_t quiet_windows = 0;
+  std::uint64_t quiet_widened = 0;
+  const int quiet_ticks =
+      drive_with_spacing(10 * sim::kMillisecond, quiet_windows, quiet_widened);
+  EXPECT_EQ(quiet_ticks, 10);
+  EXPECT_LT(quiet_windows, 25U);
+  EXPECT_GT(quiet_widened, 0U);
+
+  // Bursty traffic (events every 0.2 ms): the next event is always near
+  // the frontier, so windows shrink back toward the static bound — the
+  // sizing adapts in both directions, and no event is ever lost either way.
+  std::uint64_t bursty_windows = 0;
+  std::uint64_t bursty_widened = 0;
+  const int bursty_ticks = drive_with_spacing(sim::kMillisecond / 5,
+                                              bursty_windows, bursty_widened);
+  EXPECT_EQ(bursty_ticks, 500);
+  EXPECT_GT(bursty_windows, 3 * quiet_windows);
+}
+
 // --- Topology partitioner -------------------------------------------------
 
 backbone::BackboneConfig bench_config() {
@@ -354,6 +408,94 @@ TEST(ShardedDeterminism, ParallelRunsAreRepeatable) {
   EXPECT_EQ(a.report, b.report);
   EXPECT_EQ(a.metrics_json, b.metrics_json);
   EXPECT_EQ(a.latency_json, b.latency_json);
+}
+
+// --- Flow caches across epoch boundaries ----------------------------------
+
+TEST(ShardedFlowcache, HitRatePersistsAcrossEpochBoundaries) {
+  backbone::MplsBackbone bb(bench_config());
+  const vpn::VpnId v = bb.service.create_vpn("T");
+  std::vector<backbone::MplsBackbone::Site> sites;
+  for (std::size_t i = 0; i < 16; ++i) {
+    sites.push_back(bb.add_site(
+        v, i,
+        ip::Prefix(ip::Ipv4Address(10, std::uint8_t(1 + i), 0, 0), 16)));
+  }
+  bb.start_and_converge();
+
+  backbone::ShardPlan plan = backbone::compute_shard_plan(bb.topo, 4);
+  ASSERT_TRUE(plan.parallel());
+  auto runtime = std::make_unique<net::ShardRuntime>(
+      bb.topo, std::move(plan.node_shard), plan.shard_count, plan.lookahead);
+
+  std::vector<std::unique_ptr<qos::SlaProbe>> probes;
+  std::vector<std::unique_ptr<traffic::MeasurementSink>> sinks;
+  for (std::uint32_t s = 0; s < runtime->shard_count(); ++s) {
+    probes.push_back(
+        std::make_unique<qos::SlaProbe>("lane" + std::to_string(s)));
+    sinks.push_back(std::make_unique<traffic::MeasurementSink>(
+        *probes[s], runtime->shard_scheduler(s)));
+  }
+  auto lane_of = [&](const backbone::MplsBackbone::Site& site) {
+    return bb.topo.shard_of(site.ce->id());
+  };
+  for (auto& site : sites) sinks[lane_of(site)]->bind(*site.ce);
+
+  constexpr std::size_t kFlows = 64;
+  std::vector<std::unique_ptr<traffic::CbrSource>> sources;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    const std::size_t a = i % sites.size();
+    const std::size_t b = (i + 1) % sites.size();
+    traffic::FlowSpec f;
+    f.src = ip::Ipv4Address(10, std::uint8_t(1 + a), 0,
+                            std::uint8_t(1 + i % 200));
+    f.dst = ip::Ipv4Address(10, std::uint8_t(1 + b), 0,
+                            std::uint8_t(1 + i % 200));
+    f.dst_port = static_cast<std::uint16_t>(20000 + i);
+    f.vpn = v;
+    const auto id = static_cast<std::uint32_t>(1000 + i);
+    sinks[lane_of(sites[b])]->expect_flow(id, qos::Phb::kBe, v);
+    sources.push_back(std::make_unique<traffic::CbrSource>(
+        *sites[a].ce, f, id, probes[lane_of(sites[a])].get(), 1e6));
+  }
+
+  const sim::SimTime t0 = bb.topo.base_scheduler().now();
+  for (auto& s : sources) s->run(t0, t0 + sim::from_seconds(1.0));
+  runtime->run_until(t0 + sim::from_seconds(1.5));
+
+  const std::uint64_t windows = runtime->windows();
+  const std::uint64_t batches = runtime->delivery_batches();
+  runtime->finish();
+
+  std::uint64_t delivered = 0;
+  for (auto& s : sinks) delivered += s->delivered();
+  EXPECT_GT(delivered, 0U);
+
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (std::size_t i = 0; i < bb.topo.node_count(); ++i) {
+    if (auto* r = dynamic_cast<vpn::Router*>(
+            &bb.topo.node(static_cast<ip::NodeId>(i)))) {
+      hits += r->flowcache_stats().hits;
+      misses += r->flowcache_stats().misses;
+    }
+  }
+  ASSERT_GT(hits + misses, 0U);
+
+  // The run crosses hundreds of epoch boundaries, and these synchronized
+  // same-rate flows hand off in same-instant groups, so the batched
+  // delivery path is genuinely exercised.
+  EXPECT_GT(windows, 300U);
+  EXPECT_GT(batches, 0U);
+
+  // Persistent caches miss once per (flow, router) on the path and then
+  // hit for the rest of the run. A per-window reset would instead pay the
+  // cold lookups again in every window — with >300 windows the miss count
+  // would exceed this bound by orders of magnitude.
+  EXPECT_LE(misses, kFlows * 16);
+  const double hit_rate =
+      static_cast<double>(hits) / static_cast<double>(hits + misses);
+  EXPECT_GE(hit_rate, 0.98);
 }
 
 }  // namespace

@@ -532,9 +532,9 @@ TEST(SlaProbe, JitterFromConsecutiveDeltas) {
   probe.record_delivered(Phb::kEf, 1, 10 * sim::kMillisecond, 100);
   probe.record_delivered(Phb::kEf, 1, 14 * sim::kMillisecond, 100);
   probe.record_delivered(Phb::kEf, 1, 12 * sim::kMillisecond, 100);
-  const auto& r = probe.report(Phb::kEf);
-  EXPECT_EQ(r.jitter_s.count(), 2u);
-  EXPECT_NEAR(r.jitter_s.mean(), 0.003, 1e-9);  // (4ms + 2ms) / 2
+  const stats::RunningStats j = probe.jitter_stats(Phb::kEf);
+  EXPECT_EQ(j.count(), 2u);
+  EXPECT_NEAR(j.mean(), 0.003, 1e-9);  // (4ms + 2ms) / 2
 }
 
 TEST(SlaProbe, CsvExportMatchesData) {

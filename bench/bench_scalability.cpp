@@ -26,6 +26,7 @@
 #include "backbone/partition.hpp"
 #include "backbone/topogen.hpp"
 #include "net/shard_runtime.hpp"
+#include "obs/sync_profiler.hpp"
 #include "obs/trace.hpp"
 #include "qos/classifier.hpp"
 #include "qos/sla.hpp"
@@ -210,6 +211,8 @@ struct ShardedResult {
   std::uint64_t widened = 0;
   std::uint64_t handoffs = 0;
   std::uint64_t batches = 0;
+  std::string sync_table;  ///< rendered SyncProfiler report (profiled runs)
+  std::string sync_json;   ///< same report as one JSON object
 };
 
 void keep_best(ShardedResult& best, ShardedResult r) {
@@ -314,12 +317,24 @@ ShardedResult run_sharded(std::uint32_t shards, std::size_t flows,
   return r;
 }
 
+/// Profiler-on companions to the three unprofiled passes, when the phase
+/// ran them (topogen does; the paper-sized sharded phase does not).
+struct ProfiledSet {
+  const ShardedResult* serial = nullptr;
+  const ShardedResult* two = nullptr;
+  const ShardedResult* four = nullptr;
+};
+
 /// Shared tail of the sharded phases: print the three interleaved best-of
 /// variants, the speedups against the same-run serial pass, check SLA-table
-/// byte identity across shard counts, and emit the JSON report.
+/// byte identity across shard counts, and emit the JSON report. With a
+/// ProfiledSet, also print the sync profiles, the profiler-on overhead
+/// ratios, and the profiled-identity verdict, and embed the sync reports
+/// in the JSON.
 int report_sharded_phases(const char* benchmark, const char* topo,
                           const ShardedResult& serial, const ShardedResult& two,
-                          const ShardedResult& four, const char* json_path) {
+                          const ShardedResult& four, const char* json_path,
+                          const ProfiledSet* prof = nullptr) {
   print_throughput(serial.thr, "shards=1", topo);
   std::printf("\n");
   print_throughput(two.thr, "shards=2", topo);
@@ -344,6 +359,50 @@ int report_sharded_phases(const char* benchmark, const char* topo,
         static_cast<unsigned long long>(four.widened),
         static_cast<unsigned long long>(four.handoffs),
         static_cast<unsigned long long>(four.batches));
+  }
+
+  double po1 = 0.0, po2 = 0.0, po4 = 0.0;
+  bool profiled_identical = true;
+  if (prof != nullptr) {
+    // The profiled passes replay the identical event history: delivered
+    // counts and the merged SLA table must match the unprofiled serial
+    // pass byte for byte — profiling must observe, never perturb.
+    profiled_identical =
+        prof->serial->thr.delivered == serial.thr.delivered &&
+        prof->two->thr.delivered == serial.thr.delivered &&
+        prof->four->thr.delivered == serial.thr.delivered &&
+        prof->serial->sla_csv == serial.sla_csv &&
+        prof->two->sla_csv == serial.sla_csv &&
+        prof->four->sla_csv == serial.sla_csv;
+    po1 = serial.thr.wall_s > 0 ? prof->serial->thr.packets_per_sec() /
+                                      serial.thr.packets_per_sec()
+                                : 0.0;
+    po2 = two.thr.wall_s > 0
+              ? prof->two->thr.packets_per_sec() / two.thr.packets_per_sec()
+              : 0.0;
+    po4 = four.thr.wall_s > 0
+              ? prof->four->thr.packets_per_sec() / four.thr.packets_per_sec()
+              : 0.0;
+    std::printf(
+        "  profiler on       : %.3fx serial, %.3fx @2 shards, %.3fx @4 "
+        "shards (SLA identity %s)\n",
+        po1, po2, po4, profiled_identical ? "holds" : "BROKEN");
+    std::printf("\n%s\n%s\n%s", prof->serial->sync_table.c_str(),
+                prof->two->sync_table.c_str(), prof->four->sync_table.c_str());
+    if (!profiled_identical) {
+      std::fprintf(stderr,
+                   "PROFILED IDENTITY FAILED: delivered %llu/%llu/%llu "
+                   "profiled vs %llu unprofiled, SLA tables %s\n",
+                   static_cast<unsigned long long>(prof->serial->thr.delivered),
+                   static_cast<unsigned long long>(prof->two->thr.delivered),
+                   static_cast<unsigned long long>(prof->four->thr.delivered),
+                   static_cast<unsigned long long>(serial.thr.delivered),
+                   prof->serial->sla_csv == serial.sla_csv &&
+                           prof->two->sla_csv == serial.sla_csv &&
+                           prof->four->sla_csv == serial.sla_csv
+                       ? "equal"
+                       : "differ");
+    }
   }
 
   const bool deterministic = serial.thr.delivered == two.thr.delivered &&
@@ -386,8 +445,7 @@ int report_sharded_phases(const char* benchmark, const char* topo,
         "  \"windows\": %llu,\n"
         "  \"widened_windows\": %llu,\n"
         "  \"handoffs\": %llu,\n"
-        "  \"delivery_batches\": %llu\n"
-        "}\n",
+        "  \"delivery_batches\": %llu",
         benchmark, topo, serial.thr.flows, serial.thr.sim_seconds,
         static_cast<unsigned long long>(serial.thr.delivered),
         deterministic ? "true" : "false", hw, serial.thr.packets_per_sec(),
@@ -396,9 +454,32 @@ int report_sharded_phases(const char* benchmark, const char* topo,
         static_cast<unsigned long long>(four.widened),
         static_cast<unsigned long long>(four.handoffs),
         static_cast<unsigned long long>(four.batches));
+    if (prof != nullptr) {
+      std::fprintf(
+          f,
+          ",\n"
+          "  \"serial_profiled_packets_per_sec\": %.1f,\n"
+          "  \"shards2_profiled_packets_per_sec\": %.1f,\n"
+          "  \"shards4_profiled_packets_per_sec\": %.1f,\n"
+          "  \"profiler_on_serial_ratio\": %.4f,\n"
+          "  \"profiler_on_shards2_ratio\": %.4f,\n"
+          "  \"profiler_on_shards4_ratio\": %.4f,\n"
+          "  \"profiled_identical\": %s,\n"
+          "  \"sync_profile\": {\n"
+          "    \"shards1\": %s,\n"
+          "    \"shards2\": %s,\n"
+          "    \"shards4\": %s\n"
+          "  }",
+          prof->serial->thr.packets_per_sec(),
+          prof->two->thr.packets_per_sec(), prof->four->thr.packets_per_sec(),
+          po1, po2, po4, profiled_identical ? "true" : "false",
+          prof->serial->sync_json.c_str(), prof->two->sync_json.c_str(),
+          prof->four->sync_json.c_str());
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
   }
-  return deterministic ? 0 : 1;
+  return deterministic && profiled_identical ? 0 : 1;
 }
 
 int run_sharded_phases(const char* json_path) {
@@ -429,7 +510,8 @@ int run_sharded_phases(const char* json_path) {
 // per-class SLA table, byte for byte.
 
 ShardedResult run_topogen(const backbone::GeneratedPlan& plan,
-                          std::uint32_t shards, double sim_seconds) {
+                          std::uint32_t shards, double sim_seconds,
+                          bool profile) {
   backbone::MplsBackbone bb(plan.backbone);
 
   std::vector<vpn::VpnId> vpns;
@@ -451,6 +533,38 @@ ShardedResult run_topogen(const backbone::GeneratedPlan& plan,
       runtime = std::make_unique<net::ShardRuntime>(
           bb.topo, std::move(plan_s.node_shard), plan_s.shard_count,
           plan_s.lookahead);
+    }
+  }
+
+  // Profiled variants attach the epoch-level sync profiler; sharded runs
+  // also get a cache sampler summing the per-router flow-cache counters by
+  // shard, so the report carries per-shard hit rates. The profiler lives
+  // until after report() below — past the runtime's last run_until.
+  std::unique_ptr<obs::SyncProfiler> prof;
+  if (profile) {
+    prof = std::make_unique<obs::SyncProfiler>(
+        runtime ? runtime->shard_count() : 1);
+    if (runtime) {
+      auto by_shard =
+          std::make_shared<std::vector<std::vector<const vpn::Router*>>>(
+              runtime->shard_count());
+      for (std::size_t i = 0; i < bb.topo.node_count(); ++i) {
+        const auto id = static_cast<ip::NodeId>(i);
+        if (const auto* r = dynamic_cast<vpn::Router*>(&bb.topo.node(id))) {
+          (*by_shard)[bb.topo.shard_of(id)].push_back(r);
+        }
+      }
+      prof->set_cache_sampler([by_shard](std::uint32_t shard,
+                                         std::uint64_t& hits,
+                                         std::uint64_t& misses) {
+        hits = 0;
+        misses = 0;
+        for (const vpn::Router* r : (*by_shard)[shard]) {
+          hits += r->flowcache_stats().hits;
+          misses += r->flowcache_stats().misses;
+        }
+      });
+      runtime->set_profiler(prof.get());
     }
   }
 
@@ -510,6 +624,17 @@ ShardedResult run_topogen(const backbone::GeneratedPlan& plan,
   const sim::SimTime t_end = t0 + sim::from_seconds(sim_seconds + 0.5);
   if (runtime) {
     runtime->run_until(t_end);
+  } else if (prof) {
+    // Serial profiled pass: the whole run is one execution phase.
+    const std::uint64_t e0 = bb.topo.scheduler().executed_count();
+    const auto p0 = std::chrono::steady_clock::now();
+    bb.topo.run_until(t_end);
+    prof->record_serial(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - p0)
+                .count()),
+        bb.topo.scheduler().executed_count() - e0);
   } else {
     bb.topo.run_until(t_end);
   }
@@ -534,6 +659,13 @@ ShardedResult run_topogen(const backbone::GeneratedPlan& plan,
   qos::SlaProbe master("master");
   for (auto& p : probes) master.merge_from(*p);
   r.sla_csv = master.to_csv(sim_seconds);
+  if (prof) {
+    const obs::SyncProfiler::Report srep = prof->report();
+    r.sync_table = srep.to_table();
+    std::ostringstream js;
+    srep.write_json(js);
+    r.sync_json = js.str();
+  }
   return r;
 }
 
@@ -551,15 +683,22 @@ int run_topogen_phases(const char* json_path) {
               "(plan hash %016llx)\n\n",
               params.p, params.pe, plan.sites.size(), plan.flows.size(),
               static_cast<unsigned long long>(plan.hash()));
-  ShardedResult serial, two, four;
+  // Six-way interleave, rep by rep: each unprofiled pass next to its
+  // profiled twin, so the profiler-overhead ratios come from the same run
+  // under the same machine load — the ratios run_benchmarks.sh guards.
+  ShardedResult serial, two, four, serial_p, two_p, four_p;
   for (int i = 0; i < 3; ++i) {
-    keep_best(serial, run_topogen(plan, 1, kSimSeconds));
-    keep_best(two, run_topogen(plan, 2, kSimSeconds));
-    keep_best(four, run_topogen(plan, 4, kSimSeconds));
+    keep_best(serial, run_topogen(plan, 1, kSimSeconds, false));
+    keep_best(serial_p, run_topogen(plan, 1, kSimSeconds, true));
+    keep_best(two, run_topogen(plan, 2, kSimSeconds, false));
+    keep_best(two_p, run_topogen(plan, 2, kSimSeconds, true));
+    keep_best(four, run_topogen(plan, 4, kSimSeconds, false));
+    keep_best(four_p, run_topogen(plan, 4, kSimSeconds, true));
   }
+  ProfiledSet prof{&serial_p, &two_p, &four_p};
   return report_sharded_phases("bench_scalability_topogen",
                                "generated 16P/64PE/128CE", serial, two, four,
-                               json_path);
+                               json_path, &prof);
 }
 
 // --- Flow fastpath cache -------------------------------------------------

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the hot-path performance suites and collects one JSON report at the
-# repo root (BENCH_PR6.json). Usage:
+# repo root (BENCH_PR7.json). Usage:
 #
 #   bench/run_benchmarks.sh [--build DIR] [--seed-bin PATH] [--out FILE]
 #                           [--baseline FILE]
@@ -10,9 +10,11 @@
 #                    tree; when given, the report includes the baseline
 #                    throughput and the speedup ratio, and the same-machine
 #                    regression guards (cache-off within 3% of the baseline
-#                    path, serial and tracing-on throughput) are enforced
-#   --out FILE       output report (default: <repo>/BENCH_PR6.json)
-#   --baseline FILE  earlier report (default: <repo>/BENCH_PR5.json when it
+#                    path, serial and tracing-on throughput — the latter two
+#                    also bound the profiler-off cost, which is one untaken
+#                    branch per epoch) are enforced
+#   --out FILE       output report (default: <repo>/BENCH_PR7.json)
+#   --baseline FILE  earlier report (default: <repo>/BENCH_PR6.json when it
 #                    exists); its figures are folded into the report as
 #                    informational ratios — stored reports come from other
 #                    machines, so hard guards only use numbers measured in
@@ -34,7 +36,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build"
 SEED_BIN=""
-OUT="$ROOT/BENCH_PR6.json"
+OUT="$ROOT/BENCH_PR7.json"
 BASELINE=""
 
 while [[ $# -gt 0 ]]; do
@@ -47,16 +49,29 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-if [[ -z "$BASELINE" && -f "$ROOT/BENCH_PR5.json" ]]; then
-  BASELINE="$ROOT/BENCH_PR5.json"
+if [[ -z "$BASELINE" && -f "$ROOT/BENCH_PR6.json" ]]; then
+  BASELINE="$ROOT/BENCH_PR6.json"
 fi
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
+# Per-phase wall clock, folded into the report's metadata block so stored
+# reports say where a run's time went on the machine that produced it.
+PHASES="$TMP/phases.json"
+echo '{}' > "$PHASES"
+mark() { date +%s.%N; }
+record_phase() { # name start_epoch end_epoch
+  jq --arg k "$1" --argjson s "$2" --argjson e "$3" \
+    '.[$k] = (($e - $s) * 1000 | round / 1000)' \
+    "$PHASES" > "$PHASES.tmp" && mv "$PHASES.tmp" "$PHASES"
+}
+
 echo "== scheduler / packet-pool / snapshot microbenchmarks =="
+t0=$(mark)
 "$BUILD/bench/bench_scheduler" --benchmark_min_time=0.2 \
   --benchmark_out="$TMP/scheduler.json" --benchmark_out_format=json
+record_phase scheduler_microbench "$t0" "$(mark)"
 
 # Flat-snapshot guard: registry snapshot cost must not follow the sample
 # count (the sketch mirror reads are O(1); the old path re-sorted).
@@ -73,14 +88,18 @@ jq -e '
 
 echo
 echo "== forwarding-path lookup microbenchmarks (E2) =="
+t0=$(mark)
 "$BUILD/bench/bench_forwarding" --benchmark_min_time=0.1 \
   --benchmark_out="$TMP/forwarding.json" --benchmark_out_format=json \
   > /dev/null
+record_phase forwarding_microbench "$t0" "$(mark)"
 
 echo
 echo "== end-to-end throughput, tracing off vs on (bench_scalability) =="
+t0=$(mark)
 "$BUILD/bench/bench_scalability" --throughput-only \
   --json "$TMP/throughput.json"
+record_phase throughput "$t0" "$(mark)"
 
 # Tracing-overhead guard, self-relative: both phases run interleaved in
 # this process, so the ratio is immune to machine drift. With every trace
@@ -93,8 +112,10 @@ jq -e '
 
 echo
 echo "== sharded parallel engine, 1/2/4 shards (bench_scalability) =="
+t0=$(mark)
 "$BUILD/bench/bench_scalability" --sharded-only \
   --sharded-json "$TMP/sharded.json"
+record_phase sharded "$t0" "$(mark)"
 
 # Sharded-engine guards. Determinism (identical delivered counts across
 # shard counts) is unconditional. The speedup target only means something
@@ -118,9 +139,11 @@ jq -e '
   end' "$TMP/sharded.json"
 
 echo
-echo "== generated ISP-scale topology, 1/2/4 shards (bench_scalability) =="
+echo "== generated ISP-scale topology, 1/2/4 shards, profiler off/on =="
+t0=$(mark)
 "$BUILD/bench/bench_scalability" --topogen-only \
   --topogen-json "$TMP/topogen.json"
+record_phase topogen "$t0" "$(mark)"
 
 # The PR6 headline guard, on the workload big enough to amortize sync
 # cost: determinism (delivered counts AND the merged per-class SLA table
@@ -143,10 +166,32 @@ jq -e '
     end
   end' "$TMP/topogen.json"
 
+# PR7 sync-profiler guards, in-process and same-run (each profiled pass is
+# interleaved with its unprofiled twin). Identity is unconditional: the
+# profiled passes must replay byte-identical SLA tables. The overhead
+# guard is the serial pass — profiler on must keep >= 97% of the
+# unprofiled serial rate (the <= 3% bar). The sharded profiled ratios add
+# a real per-epoch clock read per worker, so they are reported but only
+# loosely bounded on time-sliced single-core hosts.
+jq -e '
+  if .profiled_identical != true then
+    error("sync profiler perturbed results: profiled SLA/delivered diverged")
+  elif .profiler_on_serial_ratio >= 0.97
+  then "profiler-on serial overhead ok: ratio \(.profiler_on_serial_ratio)"
+  else error("profiler-on serial throughput \(.profiler_on_serial_ratio) fell below 97% of the unprofiled pass")
+  end' "$TMP/topogen.json"
+jq -e '
+  if .profiler_on_shards4_ratio >= 0.85
+  then "profiler-on @4 shards ok: ratio \(.profiler_on_shards4_ratio) (@2: \(.profiler_on_shards2_ratio))"
+  else error("profiler-on 4-shard throughput \(.profiler_on_shards4_ratio) fell below 85% of the unprofiled pass")
+  end' "$TMP/topogen.json"
+
 echo
 echo "== flow fastpath cache off vs on (bench_scalability) =="
+t0=$(mark)
 "$BUILD/bench/bench_scalability" --flowcache-only \
   --flowcache-json "$TMP/flowcache.json"
+record_phase flowcache "$t0" "$(mark)"
 
 # Fastpath guards, both in-process and therefore machine-drift-immune.
 # Identity is unconditional: delivered counts and the per-class SLA table
@@ -165,6 +210,7 @@ jq -e '
 if [[ -n "$SEED_BIN" ]]; then
   echo
   echo "== seed-baseline comparison (interleaved best-of-3 per side) =="
+  t0=$(mark)
   # Interleave the three binaries rep by rep and keep each side's best:
   # sequential phases run minutes apart on a shared host, so load drift
   # otherwise lands entirely on whichever side ran during the spike.
@@ -206,6 +252,7 @@ if [[ -n "$SEED_BIN" ]]; then
       then "tracing-on vs baseline ok: \(.tracing_on_packets_per_sec | floor) vs \($b | floor) pkts/s"
       else error("tracing-on throughput \(.tracing_on_packets_per_sec) fell below 92% of baseline \($b)")
       end' "$TMP/throughput_best.json"
+  record_phase seed_baseline "$t0" "$(mark)"
 else
   echo '{}' > "$TMP/throughput_seed.json"
   echo '{}' > "$TMP/throughput_nocache.json"
@@ -213,15 +260,19 @@ fi
 
 echo
 echo "== control-plane causal spans (bench_convergence) =="
+t0=$(mark)
 "$BUILD/bench/bench_convergence" --json "$TMP/convergence_spans.json" \
   > /dev/null
+record_phase convergence "$t0" "$(mark)"
 
 echo
 echo "== scenario observability pass (per-class SLA + latency anatomy) =="
+t0=$(mark)
 "$BUILD/examples/run_scenario" --metrics "$TMP/scenario_metrics.json" \
   --trace "$TMP/scenario_trace.json" \
   --latency-json "$TMP/scenario_latency.json" \
   "$ROOT/examples/scenarios/branch_office.scn" > /dev/null
+record_phase scenario_obs "$t0" "$(mark)"
 # Keep the last snapshot's sla/* and queue drop gauges: the steady-state
 # per-DSCP-class latency / loss picture of the congested demo core.
 jq '[ .[-1].metrics | to_entries[]
@@ -237,6 +288,8 @@ else
 fi
 
 jq -n \
+  --arg nproc "$(nproc)" \
+  --slurpfile phases "$PHASES" \
   --slurpfile thr "$TMP/throughput.json" \
   --slurpfile shard "$TMP/sharded.json" \
   --slurpfile topo "$TMP/topogen.json" \
@@ -250,6 +303,12 @@ jq -n \
   --slurpfile latency "$TMP/scenario_latency.json" \
   --slurpfile spans "$TMP/convergence_spans.json" \
   '{
+    metadata: {
+      hardware_threads: $topo[0].hardware_threads,
+      nproc: ($nproc | tonumber),
+      shards_tested: [1, 2, 4],
+      phase_wall_seconds: $phases[0]
+    },
     throughput: $thr[0],
     sharded: $shard[0],
     topogen_sharded: $topo[0],
@@ -283,5 +342,6 @@ jq -r '"packets/sec: \(.throughput.packets_per_sec)  tracing-on: \(.throughput.t
 jq -r '"fastpath: \(.flowcache.fastpath_speedup)x over the uncached path (hit rate \(.flowcache.hit_rate), identical: \(.flowcache.identical))"' "$OUT"
 jq -r '"sharded: \(.sharded.speedup_shards4)x @4 shards (\(.sharded.hardware_threads) hw threads, deterministic: \(.sharded.deterministic))"' "$OUT"
 jq -r '"topogen sharded: \(.topogen_sharded.speedup_shards4)x @4 shards on \(.topogen_sharded.topology) (\(.topogen_sharded.delivered_packets) pkts, deterministic: \(.topogen_sharded.deterministic))"' "$OUT"
+jq -r '"sync profiler: serial ratio \(.topogen_sharded.profiler_on_serial_ratio), @4 shards \(.topogen_sharded.profiler_on_shards4_ratio) (identical: \(.topogen_sharded.profiled_identical)); 4-shard busy \([.topogen_sharded.sync_profile.shards4.lanes[].busy_fraction])"' "$OUT"
 jq -r '"reroute convergence: \(.convergence_spans.reroute_convergence.mean_ms) ms mean over \(.convergence_spans.reroutes) reroutes"' "$OUT"
 jq -r '"vs prior report: ratio \(.vs_prior_report_ratio // "n/a")  cache-off vs seed: \(.cache_off_vs_seed // "n/a")"' "$OUT"

@@ -12,7 +12,14 @@
 //   --snapshot-period S metrics capture period in seconds (default 0.5)
 //   --obs DIR           shorthand: DIR/trace.json + DIR/events.jsonl +
 //                       DIR/metrics.json + DIR/spans.json + DIR/latency.json
-//                       (DIR is created if missing)
+//                       + DIR/sync.json (DIR is created if missing)
+//
+// Engine sync telemetry (independent of the flight recorder):
+//   --sync-report       print the epoch-level sync profile (per-shard busy
+//                       fraction, barrier-wait percentiles, critical-shard
+//                       attribution); serial runs print a one-lane summary
+//   --sync-json FILE    write the sync report as JSON; with --trace, the
+//                       Chrome trace grows per-worker epoch lanes
 //
 // Latency-anatomy options (arm the per-hop delay decomposition):
 //   --latency-report    print per-hop / per-class delay decomposition tables
@@ -71,6 +78,7 @@ int usage(const char* prog) {
                "usage: %s [--trace FILE] [--events FILE] [--metrics FILE]\n"
                "          [--snapshot-period S] [--obs DIR] [--spans FILE]\n"
                "          [--latency-report] [--latency-json FILE]\n"
+               "          [--sync-report] [--sync-json FILE]\n"
                "          [--shards N] [--no-flowcache] [--verbose]\n"
                "          [--topogen \"p=.. pe=.. ce=.. flows=..\"]\n"
                "          [scenario.scn]\n",
@@ -103,6 +111,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       obs.metrics_json_path = v;
+      // CLI metrics runs want the whole picture; sharded runs add the
+      // engine/* gauges (naturally engine-configuration-dependent, which
+      // is why programmatic byte-identity comparisons leave this off).
+      obs.engine_metrics = true;
     } else if (std::strcmp(argv[i], "--snapshot-period") == 0) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
@@ -118,6 +130,12 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       obs.latency_json_path = v;
+    } else if (std::strcmp(argv[i], "--sync-report") == 0) {
+      obs.sync_report = true;
+    } else if (std::strcmp(argv[i], "--sync-json") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      obs.sync_json_path = v;
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
@@ -140,8 +158,10 @@ int main(int argc, char** argv) {
       obs.chrome_trace_path = dir + "/trace.json";
       obs.events_jsonl_path = dir + "/events.jsonl";
       obs.metrics_json_path = dir + "/metrics.json";
+      obs.engine_metrics = true;
       obs.spans_trace_path = dir + "/spans.json";
       obs.latency_json_path = dir + "/latency.json";
+      obs.sync_json_path = dir + "/sync.json";
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else if (scenario_path.empty()) {

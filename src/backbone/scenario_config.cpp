@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -15,6 +17,7 @@
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
 #include "obs/spans.hpp"
+#include "obs/sync_profiler.hpp"
 #include "obs/topology_metrics.hpp"
 #include "qos/queues.hpp"
 #include "qos/sla.hpp"
@@ -663,6 +666,38 @@ bool Scenario::run(std::ostream& out) const {
         << " requested; tcp flows pin the run to the serial engine\n";
   }
 
+  // Engine sync telemetry: per-epoch phase timings + load-imbalance
+  // attribution. Serial runs get a one-lane serial report so profiled
+  // bench passes always emit the same JSON shape.
+  std::unique_ptr<obs::SyncProfiler> sync_prof;
+  if (obs_.sync_enabled()) {
+    sync_prof = std::make_unique<obs::SyncProfiler>(
+        runtime ? runtime->shard_count() : 1);
+    if (runtime) {
+      // The profiler layer cannot see routers; sample the per-shard flow
+      // caches here, where both the topology and the shard map are known.
+      auto by_shard = std::make_shared<
+          std::vector<std::vector<const vpn::Router*>>>(
+          runtime->shard_count());
+      for (std::size_t i = 0; i < topo.node_count(); ++i) {
+        const auto id = static_cast<ip::NodeId>(i);
+        if (const auto* r = dynamic_cast<const vpn::Router*>(&topo.node(id))) {
+          (*by_shard)[topo.shard_of(id)].push_back(r);
+        }
+      }
+      sync_prof->set_cache_sampler(
+          [by_shard](std::uint32_t shard, std::uint64_t& hits,
+                     std::uint64_t& misses) {
+            for (const vpn::Router* r : (*by_shard)[shard]) {
+              const vpn::Router::FlowCacheStats fc = r->flowcache_stats();
+              hits += fc.hits;
+              misses += fc.misses;
+            }
+          });
+      runtime->set_profiler(sync_prof.get());
+    }
+  }
+
   // Per-shard SLA observers: each flow's sent-side counters accumulate in
   // the source CE's shard, delivery-side in the destination CE's shard;
   // merge_shard_observers folds them into `probe`/`latency` (whose
@@ -702,6 +737,10 @@ bool Scenario::run(std::ostream& out) const {
     obs::register_topology_metrics(topo, registry);
     register_sla_metrics(registry, probe);
     obs::register_latency_metrics(latency, registry, cs_class_namer());
+    if (obs_.engine_metrics && runtime) {
+      obs::register_engine_metrics(*runtime, registry);
+      if (sync_prof) obs::register_sync_metrics(*sync_prof, registry);
+    }
     snapshots.emplace(registry, topo.base_scheduler());
     const sim::SimTime period = sim::from_seconds(obs_.snapshot_period_s);
     if (runtime) {
@@ -815,6 +854,16 @@ bool Scenario::run(std::ostream& out) const {
   const sim::SimTime t_end = t0 + sim::from_seconds(run_for_s_ + 2.0);
   if (runtime) {
     runtime->run_until(t_end);
+  } else if (sync_prof) {
+    const std::uint64_t ev0 = topo.base_scheduler().executed_count();
+    const auto w0 = std::chrono::steady_clock::now();
+    topo.run_until(t_end);
+    sync_prof->record_serial(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - w0)
+                .count()),
+        topo.base_scheduler().executed_count() - ev0);
   } else {
     topo.run_until(t_end);
   }
@@ -885,7 +934,7 @@ bool Scenario::run(std::ostream& out) const {
     }
     if (!obs_.chrome_trace_path.empty()) {
       std::ofstream cf(obs_.chrome_trace_path);
-      obs::write_chrome_trace(rec, cf, namer);
+      obs::write_chrome_trace(rec, cf, namer, sync_prof.get());
     }
     if (!obs_.spans_trace_path.empty()) {
       const obs::SpanAnalysis spans = obs::analyze_spans(rec);
@@ -900,6 +949,15 @@ bool Scenario::run(std::ostream& out) const {
           << registry.metric_count() << " metrics)";
     }
     out << "\n";
+  }
+  if (sync_prof) {
+    const obs::SyncProfiler::Report srep = sync_prof->report();
+    if (obs_.sync_report) out << '\n' << srep.to_table();
+    if (!obs_.sync_json_path.empty()) {
+      std::ofstream sf(obs_.sync_json_path);
+      srep.write_json(sf);
+      sf << '\n';
+    }
   }
 
   if (!any_tcp) {

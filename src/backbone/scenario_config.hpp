@@ -32,6 +32,18 @@ struct ObsOptions {
   bool latency_report = false;        ///< print decomposition tables
   std::string latency_json_path;      ///< decomposition JSON
 
+  /// Engine sync telemetry (obs::SyncProfiler): per-epoch phase timings
+  /// and load-imbalance attribution for sharded runs. Independent of the
+  /// flight recorder; serial runs print/emit a one-lane serial report.
+  bool sync_report = false;           ///< print the sync profile table
+  std::string sync_json_path;         ///< machine-readable sync report
+
+  /// Register engine counters (windows, widened, handoffs, ...) with the
+  /// metrics registry on sharded runs. Off by default because the values
+  /// are engine-configuration-dependent — the cross-shard byte-identity
+  /// checks compare metrics snapshots across shard counts.
+  bool engine_metrics = false;
+
   /// Anything here requires the flight recorder.
   [[nodiscard]] bool enabled() const noexcept {
     return !chrome_trace_path.empty() || !events_jsonl_path.empty() ||
@@ -40,6 +52,9 @@ struct ObsOptions {
   [[nodiscard]] bool latency_enabled() const noexcept {
     return latency_report || !latency_json_path.empty() ||
            !metrics_json_path.empty();
+  }
+  [[nodiscard]] bool sync_enabled() const noexcept {
+    return sync_report || !sync_json_path.empty();
   }
 };
 

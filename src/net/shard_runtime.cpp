@@ -1,6 +1,7 @@
 #include "net/shard_runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <iterator>
 #include <stdexcept>
 #include <utility>
@@ -9,6 +10,17 @@
 #include "sim/shard.hpp"
 
 namespace mvpn::net {
+
+namespace {
+
+inline std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 ShardRuntime::ShardRuntime(Topology& topo,
                            std::vector<std::uint32_t> node_shard,
@@ -82,6 +94,12 @@ ShardRuntime::ShardRuntime(Topology& topo,
 
 ShardRuntime::~ShardRuntime() { finish(); }
 
+void ShardRuntime::set_profiler(obs::SyncProfiler* profiler) {
+  profiler_ = profiler;
+  per_src_handoffs_.assign(shard_count(), 0);
+  engine_->set_observer(profiler);
+}
+
 void ShardRuntime::handoff(std::uint32_t dst_shard, sim::SimTime deliver_at,
                            ip::NodeId to, ip::IfIndex iface, const Packet& p) {
   Handoff env;
@@ -108,6 +126,10 @@ void ShardRuntime::handoff(std::uint32_t dst_shard, sim::SimTime deliver_at,
 }
 
 void ShardRuntime::exchange(sim::SimTime /*window_end*/) {
+  // One clock read brackets each end of the drain when profiling; the
+  // profiler-off path keeps its zero-read shape.
+  const std::uint64_t t0 = profiler_ != nullptr ? steady_ns() : 0;
+
   // Harvest batches the workers finished delivering this window; cleared
   // batches go back to the free list with their capacity intact.
   for (auto& ctx : ctxs_) {
@@ -125,49 +147,60 @@ void ShardRuntime::exchange(sim::SimTime /*window_end*/) {
       if (src == dst) continue;
       Batch& st = staging(src, dst);
       if (st.empty()) continue;
+      if (profiler_ != nullptr) per_src_handoffs_[src] += st.size();
       std::move(st.begin(), st.end(), std::back_inserter(scratch_));
       st.clear();
     }
   }
-  if (scratch_.empty()) return;
-  // Global merge order: (delivery time, producing shard, channel seq) is a
-  // unique key, so the destination schedulers see cross-shard events in
-  // the same insertion order on every run — the determinism guarantee.
-  std::sort(scratch_.begin(), scratch_.end(),
-            [](const Handoff& a, const Handoff& b) {
-              if (a.deliver_at != b.deliver_at) {
-                return a.deliver_at < b.deliver_at;
-              }
-              if (a.src != b.src) return a.src < b.src;
-              return a.seq < b.seq;
-            });
-  handoffs_ += scratch_.size();
+  const std::uint64_t drained = scratch_.size();
+  if (!scratch_.empty()) {
+    // Global merge order: (delivery time, producing shard, channel seq) is
+    // a unique key, so the destination schedulers see cross-shard events
+    // in the same insertion order on every run — the determinism
+    // guarantee.
+    std::sort(scratch_.begin(), scratch_.end(),
+              [](const Handoff& a, const Handoff& b) {
+                if (a.deliver_at != b.deliver_at) {
+                  return a.deliver_at < b.deliver_at;
+                }
+                if (a.src != b.src) return a.src < b.src;
+                return a.seq < b.seq;
+              });
+    handoffs_ += scratch_.size();
 
-  // Batched scheduling: consecutive envelopes bound for the same shard at
-  // the same instant fuse into one delivery event that replays them in
-  // merge order. Semantically identical to one event per envelope: the
-  // fused envelopes' events would have held consecutive insertion
-  // sequences (nothing else schedules between them — the workers are
-  // parked), pre-existing same-instant events carry smaller sequences and
-  // still run first, and anything a delivery handler schedules gets a
-  // later sequence and still runs after the whole run of envelopes.
-  std::size_t i = 0;
-  while (i < scratch_.size()) {
-    const sim::SimTime at = scratch_[i].deliver_at;
-    const std::uint32_t dst = binding_.node_shard[scratch_[i].to];
-    std::size_t j = i + 1;
-    while (j < scratch_.size() && scratch_[j].deliver_at == at &&
-           binding_.node_shard[scratch_[j].to] == dst) {
-      ++j;
+    // Batched scheduling: consecutive envelopes bound for the same shard
+    // at the same instant fuse into one delivery event that replays them
+    // in merge order. Semantically identical to one event per envelope:
+    // the fused envelopes' events would have held consecutive insertion
+    // sequences (nothing else schedules between them — the workers are
+    // parked), pre-existing same-instant events carry smaller sequences
+    // and still run first, and anything a delivery handler schedules gets
+    // a later sequence and still runs after the whole run of envelopes.
+    std::size_t i = 0;
+    while (i < scratch_.size()) {
+      const sim::SimTime at = scratch_[i].deliver_at;
+      const std::uint32_t dst = binding_.node_shard[scratch_[i].to];
+      std::size_t j = i + 1;
+      while (j < scratch_.size() && scratch_[j].deliver_at == at &&
+             binding_.node_shard[scratch_[j].to] == dst) {
+        ++j;
+      }
+      if (profiler_ != nullptr) profiler_->record_batch(j - i);
+      if (j == i + 1) {
+        schedule_delivery(std::move(scratch_[i]));
+      } else {
+        schedule_batch(dst, at, i, j);
+      }
+      i = j;
     }
-    if (j == i + 1) {
-      schedule_delivery(std::move(scratch_[i]));
-    } else {
-      schedule_batch(dst, at, i, j);
-    }
-    i = j;
+    scratch_.clear();
   }
-  scratch_.clear();
+
+  if (profiler_ != nullptr) {
+    profiler_->record_exchange(steady_ns() - t0, drained,
+                               per_src_handoffs_.data(), k);
+    std::fill(per_src_handoffs_.begin(), per_src_handoffs_.end(), 0);
+  }
 }
 
 ShardRuntime::Batch* ShardRuntime::acquire_batch() {

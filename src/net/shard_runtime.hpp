@@ -8,6 +8,7 @@
 #include "net/packet.hpp"
 #include "net/topology.hpp"
 #include "obs/latency.hpp"
+#include "obs/sync_profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/parallel_engine.hpp"
 #include "sim/scheduler.hpp"
@@ -83,6 +84,14 @@ class ShardRuntime {
     engine_->add_periodic_action(first, period, std::move(fn));
   }
 
+  /// Attach an epoch-level sync profiler: the engine feeds it worker and
+  /// coordinator epoch records, and the exchange reports drain timing,
+  /// per-source staged-envelope counts and delivery-run sizes. Must be
+  /// attached before the first run_until() (workers latch the observer at
+  /// thread start); null detaches nothing — pass once or never. The
+  /// profiler must outlive the runtime's last run_until().
+  void set_profiler(obs::SyncProfiler* profiler);
+
   /// Tear down the sharded view: uninstall, merge shard trace rings into
   /// the master recorder in global (time, shard) order, restore queue
   /// trace contexts, clear pool owner tags and flush link queues.
@@ -98,6 +107,9 @@ class ShardRuntime {
   }
   [[nodiscard]] std::uint64_t widened_windows() const noexcept {
     return engine_->widened_windows();
+  }
+  [[nodiscard]] std::uint64_t idle_jumps() const noexcept {
+    return engine_->idle_jumps();
   }
   /// Envelopes merged across all barriers so far.
   [[nodiscard]] std::uint64_t handoffs() const noexcept { return handoffs_; }
@@ -158,6 +170,10 @@ class ShardRuntime {
   std::vector<Batch*> batch_free_;
   std::uint64_t handoffs_ = 0;
   std::uint64_t batches_ = 0;
+  obs::SyncProfiler* profiler_ = nullptr;
+  /// Per-source staged-envelope counts for the epoch being drained;
+  /// reused each exchange, reported to the profiler.
+  std::vector<std::uint64_t> per_src_handoffs_;
   bool finished_ = false;
   // Engine last: its destructor joins the worker threads that reference
   // the shard schedulers above.

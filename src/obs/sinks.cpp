@@ -2,7 +2,9 @@
 
 #include <ostream>
 #include <set>
+#include <string>
 
+#include "obs/sync_profiler.hpp"
 #include "sim/time.hpp"
 
 namespace mvpn::obs {
@@ -79,6 +81,11 @@ void write_jsonl(const FlightRecorder& rec, std::ostream& out,
 
 void write_chrome_trace(const FlightRecorder& rec, std::ostream& out,
                         const NodeNamer& namer) {
+  write_chrome_trace(rec, out, namer, nullptr);
+}
+
+void write_chrome_trace(const FlightRecorder& rec, std::ostream& out,
+                        const NodeNamer& namer, const SyncProfiler* sync) {
   const auto events = rec.snapshot();
   out << "{\"traceEvents\":[\n";
 
@@ -119,6 +126,54 @@ void write_chrome_trace(const FlightRecorder& rec, std::ostream& out,
     arg("cls", static_cast<unsigned>(ev.cls));
     if (ev.aux != 0) arg("band", static_cast<unsigned>(ev.aux));
     out << "}}";
+  }
+
+  // Engine lanes (pid 2): per-worker epoch durations + coordinator
+  // instants, on the same sim-time axis as the packet events above.
+  if (sync != nullptr) {
+    const std::uint32_t shards = sync->shard_count();
+    auto emit = [&](const std::string& json) {
+      if (!first) out << ",\n";
+      first = false;
+      out << json;
+    };
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+         "\"args\":{\"name\":\"engine\"}}");
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":" +
+           std::to_string(s) + ",\"args\":{\"name\":\"shard" +
+           std::to_string(s) + " worker\"}}");
+    }
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":" +
+         std::to_string(shards) + ",\"args\":{\"name\":\"coordinator\"}}");
+
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      for (const SyncProfiler::WorkerSlot& w : sync->worker_snapshot(s)) {
+        if (!first) out << ",\n";
+        first = false;
+        out << "{\"name\":\"epoch\",\"ph\":\"X\",\"pid\":2,\"tid\":" << s
+            << ",\"ts\":" << static_cast<double>(w.window_start) / 1e3
+            << ",\"dur\":"
+            << static_cast<double>(w.window_end - w.window_start) / 1e3
+            << ",\"cat\":\"engine\",\"args\":{\"epoch\":" << w.epoch
+            << ",\"events\":" << w.events << ",\"wait_ns\":" << w.wait_ns
+            << ",\"exec_ns\":" << w.exec_ns
+            << ",\"parked\":" << static_cast<unsigned>(w.parked) << "}}";
+      }
+    }
+    for (const SyncProfiler::CoordSlot& c : sync->coordinator_snapshot()) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "{\"name\":\"barrier\",\"ph\":\"i\",\"s\":\"t\",\"pid\":2,"
+             "\"tid\":"
+          << shards << ",\"ts\":" << static_cast<double>(c.window_end) / 1e3
+          << ",\"cat\":\"engine\",\"args\":{\"epoch\":" << c.epoch
+          << ",\"wait_ns\":" << c.wait_ns << ",\"drain_ns\":" << c.drain_ns
+          << ",\"handoffs\":" << c.handoffs
+          << ",\"parked\":" << static_cast<unsigned>(c.parked)
+          << ",\"widened\":" << static_cast<unsigned>(c.widened)
+          << ",\"idle_jump\":" << static_cast<unsigned>(c.idle_jump) << "}}";
+    }
   }
   out << "\n]}\n";
 }

@@ -1,0 +1,349 @@
+#include "obs/sync_profiler.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace mvpn::obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t c = 1;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+}  // namespace
+
+SyncProfiler::SyncProfiler(std::uint32_t shards, std::size_t capacity)
+    : mask_(round_up_pow2(capacity == 0 ? 1 : capacity) - 1),
+      lanes_(shards == 0 ? 1 : shards),
+      coord_shards_(lanes_.size()),
+      // Delivery runs span 1..a few thousand envelopes; a unit-anchored
+      // geometry keeps small sizes out of the underflow bin.
+      batch_sizes_(1.0, 1e6) {
+  for (Lane& lane : lanes_) lane.ring.resize(mask_ + 1);
+  for (CoordShard& cs : coord_shards_) cs.ring.resize(mask_ + 1);
+  coord_ring_.resize(mask_ + 1);
+  pending_per_src_.assign(lanes_.size(), 0);
+}
+
+void SyncProfiler::on_worker_epoch(const WorkerEpoch& e) noexcept {
+  Lane& lane = lanes_[e.shard];
+  WorkerSlot& slot = lane.ring[lane.recorded & mask_];
+  slot.epoch = e.epoch;
+  slot.window_start = e.window_start;
+  slot.window_end = e.window_end;
+  slot.begin_ns = e.begin_ns;
+  slot.wait_ns = e.wait_ns;
+  slot.exec_ns = e.exec_ns;
+  slot.events = e.events;
+  slot.parked = e.parked ? 1 : 0;
+  if (lane.recorded == 0) lane.first_ns = e.begin_ns;
+  lane.last_ns = e.begin_ns + e.wait_ns + e.exec_ns;
+  ++lane.recorded;
+  lane.wait_ns += e.wait_ns;
+  lane.exec_ns += e.exec_ns;
+  lane.events += e.events;
+  if (e.parked) ++lane.parks;
+  lane.wait_s.add(static_cast<double>(e.wait_ns) * 1e-9);
+}
+
+void SyncProfiler::on_coordinator_epoch(const CoordinatorEpoch& e) noexcept {
+  CoordSlot& slot = coord_ring_[coord_count_ & mask_];
+  slot.epoch = e.epoch;
+  slot.window_start = e.window_start;
+  slot.window_end = e.window_end;
+  slot.wait_ns = e.wait_ns;
+  slot.drain_ns = pending_drain_ns_;
+  slot.handoffs = pending_handoffs_;
+  slot.parked = e.parked ? 1 : 0;
+  slot.widened = e.widened ? 1 : 0;
+  slot.idle_jump = e.idle_jump ? 1 : 0;
+  ++coord_count_;
+  coord_wait_ns_ += e.wait_ns;
+  if (e.parked) ++coord_parks_;
+  drain_ns_ += pending_drain_ns_;
+  handoffs_ += pending_handoffs_;
+  if (e.widened) ++widened_;
+  if (e.idle_jump) ++idle_jumps_;
+  coord_wait_s_.add(static_cast<double>(e.wait_ns) * 1e-9);
+
+  // Critical-shard attribution: every worker appended its slot for this
+  // epoch before arrive(), so the freshest slot of each lane is readable
+  // here (release/acquire via the barrier) and identifies the shard the
+  // rendezvous was effectively waiting on.
+  std::uint32_t critical = 0;
+  std::uint64_t critical_exec = 0;
+  bool have_epoch = false;
+  for (std::uint32_t s = 0; s < shard_count(); ++s) {
+    const Lane& lane = lanes_[s];
+    if (lane.recorded == 0) continue;
+    const WorkerSlot& w = lane.ring[(lane.recorded - 1) & mask_];
+    if (w.epoch != e.epoch) continue;
+    if (!have_epoch || w.exec_ns > critical_exec) {
+      critical = s;
+      critical_exec = w.exec_ns;
+      have_epoch = true;
+    }
+  }
+  if (have_epoch) ++coord_shards_[critical].critical_epochs;
+
+  for (std::uint32_t s = 0; s < shard_count(); ++s) {
+    CoordShard& cs = coord_shards_[s];
+    cs.handoffs_out += pending_per_src_[s];
+    if (cache_sampler_) {
+      std::uint64_t hits = 0;
+      std::uint64_t misses = 0;
+      cache_sampler_(s, hits, misses);
+      cs.cache_hits = hits;
+      cs.cache_misses = misses;
+    }
+    ShardEpochSlot& ss = cs.ring[cs.recorded & mask_];
+    ss.epoch = e.epoch;
+    ss.handoffs_out = cs.handoffs_out;
+    ss.cache_hits = cs.cache_hits;
+    ss.cache_misses = cs.cache_misses;
+    ++cs.recorded;
+    pending_per_src_[s] = 0;
+  }
+  pending_drain_ns_ = 0;
+  pending_handoffs_ = 0;
+}
+
+void SyncProfiler::record_exchange(std::uint64_t drain_ns,
+                                   std::uint64_t handoffs,
+                                   const std::uint64_t* per_src,
+                                   std::uint32_t n) noexcept {
+  pending_drain_ns_ = drain_ns;
+  pending_handoffs_ = handoffs;
+  const std::uint32_t k =
+      std::min(n, static_cast<std::uint32_t>(pending_per_src_.size()));
+  for (std::uint32_t s = 0; s < k; ++s) pending_per_src_[s] = per_src[s];
+}
+
+void SyncProfiler::record_batch(std::size_t envelopes) noexcept {
+  ++batches_;
+  batch_sizes_.add(static_cast<double>(envelopes));
+}
+
+void SyncProfiler::record_serial(std::uint64_t exec_ns,
+                                 std::uint64_t events) noexcept {
+  serial_exec_ns_ += exec_ns;
+  serial_events_ += events;
+}
+
+std::vector<SyncProfiler::WorkerSlot> SyncProfiler::worker_snapshot(
+    std::uint32_t shard) const {
+  const Lane& lane = lanes_[shard];
+  std::vector<WorkerSlot> out;
+  const std::uint64_t cap = mask_ + 1;
+  const std::uint64_t start = lane.recorded > cap ? lane.recorded - cap : 0;
+  out.reserve(static_cast<std::size_t>(lane.recorded - start));
+  for (std::uint64_t i = start; i < lane.recorded; ++i) {
+    out.push_back(lane.ring[i & mask_]);
+  }
+  return out;
+}
+
+std::vector<SyncProfiler::CoordSlot> SyncProfiler::coordinator_snapshot()
+    const {
+  std::vector<CoordSlot> out;
+  const std::uint64_t cap = mask_ + 1;
+  const std::uint64_t start = coord_count_ > cap ? coord_count_ - cap : 0;
+  out.reserve(static_cast<std::size_t>(coord_count_ - start));
+  for (std::uint64_t i = start; i < coord_count_; ++i) {
+    out.push_back(coord_ring_[i & mask_]);
+  }
+  return out;
+}
+
+std::vector<SyncProfiler::ShardEpochSlot> SyncProfiler::shard_epoch_snapshot(
+    std::uint32_t shard) const {
+  const CoordShard& cs = coord_shards_[shard];
+  std::vector<ShardEpochSlot> out;
+  const std::uint64_t cap = mask_ + 1;
+  const std::uint64_t start = cs.recorded > cap ? cs.recorded - cap : 0;
+  out.reserve(static_cast<std::size_t>(cs.recorded - start));
+  for (std::uint64_t i = start; i < cs.recorded; ++i) {
+    out.push_back(cs.ring[i & mask_]);
+  }
+  return out;
+}
+
+SyncProfiler::Report SyncProfiler::report() const {
+  Report rep;
+  rep.shards = shard_count();
+  if (coord_count_ == 0 && (serial_exec_ns_ > 0 || serial_events_ > 0)) {
+    // Serial lane: one shard, one execution phase, busy by construction.
+    rep.serial = true;
+    rep.shards = 1;
+    rep.epochs = 0;
+    rep.wall_s = static_cast<double>(serial_exec_ns_) * 1e-9;
+    Report::Lane lane;
+    lane.shard = 0;
+    lane.events = serial_events_;
+    lane.exec_ns = serial_exec_ns_;
+    lane.busy_fraction = 1.0;
+    rep.lanes.push_back(lane);
+    return rep;
+  }
+  rep.epochs = coord_count_;
+  rep.widened = widened_;
+  rep.idle_jumps = idle_jumps_;
+  rep.handoffs = handoffs_;
+  rep.delivery_batches = batches_;
+  rep.coord_wait_ns = coord_wait_ns_;
+  rep.coord_parks = coord_parks_;
+  rep.drain_ns = drain_ns_;
+  rep.coord_wait_p50_us = coord_wait_s_.percentile(50.0) * 1e6;
+  rep.coord_wait_p99_us = coord_wait_s_.percentile(99.0) * 1e6;
+  if (!batch_sizes_.empty()) {
+    rep.batch_p50 = batch_sizes_.percentile(50.0);
+    rep.batch_max = batch_sizes_.max();
+  }
+  std::uint64_t first_ns = 0;
+  std::uint64_t last_ns = 0;
+  for (std::uint32_t s = 0; s < shard_count(); ++s) {
+    const Lane& lane = lanes_[s];
+    const CoordShard& cs = coord_shards_[s];
+    Report::Lane out;
+    out.shard = s;
+    out.epochs = lane.recorded;
+    out.events = lane.events;
+    out.exec_ns = lane.exec_ns;
+    out.wait_ns = lane.wait_ns;
+    out.parks = lane.parks;
+    out.critical_epochs = cs.critical_epochs;
+    out.handoffs_out = cs.handoffs_out;
+    out.cache_hits = cs.cache_hits;
+    out.cache_misses = cs.cache_misses;
+    const std::uint64_t span = lane.last_ns - lane.first_ns;
+    out.busy_fraction = span > 0 ? static_cast<double>(lane.exec_ns) /
+                                       static_cast<double>(span)
+                                 : 0.0;
+    out.wait_p50_us = lane.wait_s.percentile(50.0) * 1e6;
+    out.wait_p99_us = lane.wait_s.percentile(99.0) * 1e6;
+    rep.lanes.push_back(out);
+    if (lane.recorded > 0) {
+      if (first_ns == 0 || lane.first_ns < first_ns) first_ns = lane.first_ns;
+      if (lane.last_ns > last_ns) last_ns = lane.last_ns;
+    }
+  }
+  if (last_ns > first_ns) {
+    rep.wall_s = static_cast<double>(last_ns - first_ns) * 1e-9;
+  }
+  return rep;
+}
+
+std::string SyncProfiler::Report::to_table() const {
+  std::ostringstream out;
+  out << std::fixed;
+  if (serial) {
+    const Lane& lane = lanes.front();
+    out << "sync profile: serial engine, " << lane.events << " events in "
+        << std::setprecision(3) << wall_s << " s (no epochs, busy 1.000)\n";
+    return out.str();
+  }
+  out << "sync profile: " << shards << " shards, " << epochs << " epochs in "
+      << std::setprecision(3) << wall_s << " s wall — " << widened
+      << " widened, " << idle_jumps << " idle jumps, " << handoffs
+      << " handoffs in " << delivery_batches << " delivery runs (p50 "
+      << std::setprecision(1) << batch_p50 << ", max " << std::setprecision(0)
+      << batch_max << ")\n";
+  out << "  coordinator: wait " << std::setprecision(3)
+      << static_cast<double>(coord_wait_ns) * 1e-9 << " s (p50/p99 "
+      << std::setprecision(1) << coord_wait_p50_us << "/" << coord_wait_p99_us
+      << " us, " << coord_parks << " parks), drain " << std::setprecision(3)
+      << static_cast<double>(drain_ns) * 1e-9 << " s\n";
+  out << "  shard   busy    events      exec_s    wait_s  wait_p99_us   "
+         "parks  critical  handoffs  cache_hit\n";
+  for (const Lane& lane : lanes) {
+    out << "  " << std::setw(5) << lane.shard << std::setw(7)
+        << std::setprecision(3) << lane.busy_fraction << std::setw(10)
+        << lane.events << std::setw(12) << std::setprecision(3)
+        << static_cast<double>(lane.exec_ns) * 1e-9 << std::setw(10)
+        << static_cast<double>(lane.wait_ns) * 1e-9 << std::setw(13)
+        << std::setprecision(1) << lane.wait_p99_us << std::setw(8)
+        << lane.parks << std::setw(10) << lane.critical_epochs << std::setw(10)
+        << lane.handoffs_out << std::setw(11) << std::setprecision(4)
+        << lane.cache_hit_rate() << "\n";
+  }
+  return out.str();
+}
+
+void SyncProfiler::Report::write_json(std::ostream& out) const {
+  out << "{\"serial\":" << (serial ? "true" : "false")
+      << ",\"shards\":" << shards << ",\"epochs\":" << epochs
+      << ",\"widened\":" << widened << ",\"idle_jumps\":" << idle_jumps
+      << ",\"handoffs\":" << handoffs
+      << ",\"delivery_batches\":" << delivery_batches
+      << ",\"wall_s\":" << wall_s << ",\"coordinator\":{\"wait_ns\":"
+      << coord_wait_ns << ",\"parks\":" << coord_parks
+      << ",\"drain_ns\":" << drain_ns
+      << ",\"wait_p50_us\":" << coord_wait_p50_us
+      << ",\"wait_p99_us\":" << coord_wait_p99_us
+      << "},\"batch_size\":{\"p50\":" << batch_p50 << ",\"max\":" << batch_max
+      << "},\"lanes\":[";
+  bool first = true;
+  for (const Lane& lane : lanes) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"shard\":" << lane.shard << ",\"epochs\":" << lane.epochs
+        << ",\"events\":" << lane.events << ",\"exec_ns\":" << lane.exec_ns
+        << ",\"wait_ns\":" << lane.wait_ns << ",\"parks\":" << lane.parks
+        << ",\"critical_epochs\":" << lane.critical_epochs
+        << ",\"handoffs_out\":" << lane.handoffs_out
+        << ",\"cache_hits\":" << lane.cache_hits
+        << ",\"cache_misses\":" << lane.cache_misses
+        << ",\"cache_hit_rate\":" << lane.cache_hit_rate()
+        << ",\"busy_fraction\":" << lane.busy_fraction
+        << ",\"wait_p50_us\":" << lane.wait_p50_us
+        << ",\"wait_p99_us\":" << lane.wait_p99_us << "}";
+  }
+  out << "]}";
+}
+
+void register_sync_metrics(const SyncProfiler& profiler,
+                           MetricsRegistry& registry) {
+  auto gauge = [&registry, &profiler](const std::string& name,
+                                      auto getter) {
+    registry.add_gauge("engine/sync/" + name, [&profiler, getter] {
+      return static_cast<double>(getter(profiler.report()));
+    });
+  };
+  // The report is rebuilt per read — snapshot cadence, not packet cadence.
+  gauge("epochs", [](const SyncProfiler::Report& r) { return r.epochs; });
+  gauge("widened", [](const SyncProfiler::Report& r) { return r.widened; });
+  gauge("idle_jumps",
+        [](const SyncProfiler::Report& r) { return r.idle_jumps; });
+  gauge("handoffs", [](const SyncProfiler::Report& r) { return r.handoffs; });
+  gauge("delivery_batches",
+        [](const SyncProfiler::Report& r) { return r.delivery_batches; });
+  for (std::uint32_t s = 0; s < profiler.shard_count(); ++s) {
+    const std::string prefix =
+        "engine/sync/shard" + std::to_string(s) + "/";
+    registry.add_gauge(prefix + "busy_fraction", [&profiler, s] {
+      const auto rep = profiler.report();
+      return s < rep.lanes.size() ? rep.lanes[s].busy_fraction : 0.0;
+    });
+    registry.add_gauge(prefix + "events", [&profiler, s] {
+      const auto rep = profiler.report();
+      return s < rep.lanes.size()
+                 ? static_cast<double>(rep.lanes[s].events)
+                 : 0.0;
+    });
+    registry.add_gauge(prefix + "wait_ns", [&profiler, s] {
+      const auto rep = profiler.report();
+      return s < rep.lanes.size()
+                 ? static_cast<double>(rep.lanes[s].wait_ns)
+                 : 0.0;
+    });
+  }
+}
+
+}  // namespace mvpn::obs

@@ -98,6 +98,28 @@ void register_topology_metrics(net::Topology& topo, MetricsRegistry& reg) {
   }
 }
 
+void register_engine_metrics(const net::ShardRuntime& runtime,
+                             MetricsRegistry& reg) {
+  const net::ShardRuntime* rt = &runtime;
+  reg.add_gauge("engine/shards",
+                [rt] { return static_cast<double>(rt->shard_count()); });
+  reg.add_gauge("engine/lookahead_us", [rt] {
+    return static_cast<double>(rt->lookahead()) / 1e3;
+  });
+  reg.add_gauge("engine/windows",
+                [rt] { return static_cast<double>(rt->windows()); });
+  reg.add_gauge("engine/widened_windows", [rt] {
+    return static_cast<double>(rt->widened_windows());
+  });
+  reg.add_gauge("engine/idle_jumps",
+                [rt] { return static_cast<double>(rt->idle_jumps()); });
+  reg.add_gauge("engine/handoffs",
+                [rt] { return static_cast<double>(rt->handoffs()); });
+  reg.add_gauge("engine/delivery_batches", [rt] {
+    return static_cast<double>(rt->delivery_batches());
+  });
+}
+
 NodeNamer topology_node_namer(const net::Topology& topo) {
   const net::Topology* t = &topo;
   return [t](std::uint32_t id) -> std::string {

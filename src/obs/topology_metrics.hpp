@@ -1,5 +1,6 @@
 #pragma once
 
+#include "net/shard_runtime.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
@@ -26,5 +27,18 @@ void register_topology_metrics(net::Topology& topo, MetricsRegistry& registry);
 
 /// NodeNamer (for the trace sinks) backed by the topology's node names.
 [[nodiscard]] NodeNamer topology_node_namer(const net::Topology& topo);
+
+/// Register the parallel engine's counters so --metrics snapshots carry
+/// engine state next to topology state:
+///
+///   engine/shards, engine/lookahead_us
+///   engine/windows, engine/widened_windows, engine/idle_jumps
+///   engine/handoffs, engine/delivery_batches
+///
+/// Gauges read the runtime live; snapshots taken as engine global actions
+/// (PeriodicSnapshots via add_periodic_action) run between windows, which
+/// is the safe instant. The runtime must outlive every later snapshot.
+void register_engine_metrics(const net::ShardRuntime& runtime,
+                             MetricsRegistry& registry);
 
 }  // namespace mvpn::obs

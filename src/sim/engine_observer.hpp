@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mvpn::sim {
+
+/// Instrumentation tap for ParallelEngine. The sim layer cannot see the
+/// obs stack (layering: obs links sim, not the reverse), so the engine
+/// publishes per-epoch phase records through this interface and
+/// obs::SyncProfiler implements it one layer up.
+///
+/// Threading contract — the half the implementation must honour:
+///  - on_worker_epoch() runs on the *worker's* thread, once per epoch,
+///    after the shard's window executed but *before* arrive(). Everything
+///    the implementation writes there is therefore ordered before the
+///    coordinator's reads after wait_all_arrived() by the barrier's
+///    release/acquire edge, with no extra synchronization. Per-shard
+///    state written here must be owned by that shard (worker-owned rings).
+///  - on_coordinator_epoch() runs on the coordinator thread between
+///    windows (workers parked), after the exchange hook for the same
+///    epoch. Reading shard-owned state there is race-free for the same
+///    reason the engine's own adaptive-window reads are.
+///
+/// All timing fields are raw std::chrono::steady_clock nanoseconds; the
+/// consumer normalizes. Hooks must not throw and must not touch the
+/// engine or schedulers.
+class EngineObserver {
+ public:
+  /// One worker's view of one epoch.
+  struct WorkerEpoch {
+    std::uint32_t shard = 0;
+    std::uint64_t epoch = 0;       ///< barrier epoch number
+    SimTime window_start = 0;      ///< previous frontier (shard clock before)
+    SimTime window_end = 0;        ///< target the coordinator published
+    std::uint64_t begin_ns = 0;    ///< steady-clock stamp entering next()
+    std::uint64_t wait_ns = 0;     ///< blocked in EpochBarrier::next()
+    std::uint64_t exec_ns = 0;     ///< inside Scheduler::run_until()
+    std::uint64_t events = 0;      ///< events executed this epoch
+    bool parked = false;           ///< the wait outlived the spin and parked
+  };
+
+  /// The coordinator's view of the same epoch.
+  struct CoordinatorEpoch {
+    std::uint64_t epoch = 0;
+    SimTime window_start = 0;
+    SimTime window_end = 0;
+    std::uint64_t begin_ns = 0;  ///< steady-clock stamp entering the wait
+    std::uint64_t wait_ns = 0;   ///< blocked in wait_all_arrived()
+    bool parked = false;
+    bool widened = false;    ///< adaptive sizing stretched past the static bound
+    bool idle_jump = false;  ///< every shard idle past target; window jumped
+  };
+
+  virtual ~EngineObserver() = default;
+
+  virtual void on_worker_epoch(const WorkerEpoch& e) noexcept = 0;
+  virtual void on_coordinator_epoch(const CoordinatorEpoch& e) noexcept = 0;
+};
+
+}  // namespace mvpn::sim

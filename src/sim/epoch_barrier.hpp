@@ -47,6 +47,12 @@ class EpochBarrier {
         spin_limit_(std::thread::hardware_concurrency() > workers ? 2048
                                                                   : 0) {}
 
+  /// Explicit spin budget, overriding the hardware-concurrency heuristic.
+  /// Tests use this to force the spin fast path on hosts where the
+  /// heuristic would disable it (and vice versa).
+  EpochBarrier(std::uint32_t workers, std::uint32_t spin_limit)
+      : workers_(workers), spin_limit_(spin_limit) {}
+
   EpochBarrier(const EpochBarrier&) = delete;
   EpochBarrier& operator=(const EpochBarrier&) = delete;
 
@@ -63,10 +69,14 @@ class EpochBarrier {
   }
 
   /// Coordinator: block until every worker has arrive()d for this epoch.
-  void wait_all_arrived() {
+  /// `parked` (optional) reports whether the wait outlived the spin budget
+  /// and fell through to the condvar.
+  void wait_all_arrived(bool* parked = nullptr) {
+    if (parked != nullptr) *parked = false;
     for (std::uint32_t i = 0; i < spin_limit_; ++i) {
       if (arrived_.load(std::memory_order_acquire) == workers_) return;
     }
+    if (parked != nullptr) *parked = true;
     std::unique_lock<std::mutex> lock(mutex_);
     cv_done_.wait(lock, [this] {
       return arrived_.load(std::memory_order_acquire) == workers_;
@@ -82,7 +92,10 @@ class EpochBarrier {
 
   /// Worker: block for an epoch newer than `seen_epoch` (updated on
   /// return), yielding its target time. Returns false on shutdown.
-  bool next(std::uint64_t& seen_epoch, SimTime& target) {
+  /// `parked` (optional) reports a fall-through to the condvar path.
+  bool next(std::uint64_t& seen_epoch, SimTime& target,
+            bool* parked = nullptr) {
+    if (parked != nullptr) *parked = false;
     for (std::uint32_t i = 0; i < spin_limit_; ++i) {
       if (quit_.load(std::memory_order_acquire)) return false;
       const std::uint64_t e = epoch_.load(std::memory_order_acquire);
@@ -92,6 +105,7 @@ class EpochBarrier {
         return true;
       }
     }
+    if (parked != nullptr) *parked = true;
     std::unique_lock<std::mutex> lock(mutex_);
     cv_open_.wait(lock, [&, this] {
       return quit_.load(std::memory_order_acquire) ||
@@ -114,6 +128,10 @@ class EpochBarrier {
 
   [[nodiscard]] std::uint64_t epoch() const noexcept {
     return epoch_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint32_t spin_limit() const noexcept {
+    return spin_limit_;
   }
 
  private:

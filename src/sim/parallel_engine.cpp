@@ -1,11 +1,23 @@
 #include "sim/parallel_engine.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 #include "sim/shard.hpp"
 
 namespace mvpn::sim {
+
+namespace {
+
+inline std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 ParallelEngine::ParallelEngine(std::vector<ShardRef> shards,
                                SimTime lookahead, Scheduler* global)
@@ -59,13 +71,44 @@ void ParallelEngine::worker(ShardRef shard) {
   const ShardGuard guard(shard.id);
   std::uint64_t seen_epoch = 0;
   SimTime target = 0;
-  while (barrier_.next(seen_epoch, target)) {
+  if (observer_ == nullptr) {
+    while (barrier_.next(seen_epoch, target)) {
+      try {
+        shard.scheduler->run_until(target);
+      } catch (...) {
+        const std::lock_guard<std::mutex> g(error_mutex_);
+        if (!worker_error_) worker_error_ = std::current_exception();
+      }
+      barrier_.arrive();
+    }
+    return;
+  }
+  // Instrumented loop: two clock reads bracket the wait, one more closes
+  // the execution phase. The observer hook runs *before* arrive() so its
+  // ring writes are ordered ahead of the coordinator's post-barrier reads
+  // by the arrive/wait_all_arrived release/acquire edge.
+  SimTime window_start = shard.scheduler->now();
+  for (;;) {
+    EngineObserver::WorkerEpoch we;
+    we.shard = shard.id;
+    we.begin_ns = steady_ns();
+    if (!barrier_.next(seen_epoch, target, &we.parked)) break;
+    const std::uint64_t t_run = steady_ns();
+    const std::uint64_t ev0 = shard.scheduler->executed_count();
     try {
       shard.scheduler->run_until(target);
     } catch (...) {
       const std::lock_guard<std::mutex> g(error_mutex_);
       if (!worker_error_) worker_error_ = std::current_exception();
     }
+    we.epoch = seen_epoch;
+    we.window_start = window_start;
+    we.window_end = target;
+    we.wait_ns = t_run - we.begin_ns;
+    we.exec_ns = steady_ns() - t_run;
+    we.events = shard.scheduler->executed_count() - ev0;
+    observer_->on_worker_epoch(we);
+    window_start = target;
     barrier_.arrive();
   }
 }
@@ -129,18 +172,42 @@ void ParallelEngine::run_until(SimTime t_end) {
         if (t < next_min) next_min = t;
       }
       SimTime window_end;
+      bool idle_jump = false;
       if (next_min == Scheduler::kNoEventTime || next_min >= target) {
         window_end = target;
+        idle_jump = true;
       } else {
         window_end = next_min + (lookahead_ - 1);
         if (window_end > target) window_end = target;
       }
-      if (window_end > frontier_ + lookahead_) ++widened_windows_;
-      barrier_.open(window_end);
-      barrier_.wait_all_arrived();
-      ++windows_;
-      rethrow_worker_error();
-      if (exchange_) exchange_(window_end);
+      const bool widened = window_end > frontier_ + lookahead_;
+      if (widened) ++widened_windows_;
+      if (idle_jump) ++idle_jumps_;
+      if (observer_ == nullptr) {
+        barrier_.open(window_end);
+        barrier_.wait_all_arrived();
+        ++windows_;
+        rethrow_worker_error();
+        if (exchange_) exchange_(window_end);
+      } else {
+        EngineObserver::CoordinatorEpoch ce;
+        ce.window_start = frontier_;
+        ce.window_end = window_end;
+        ce.widened = widened;
+        ce.idle_jump = idle_jump;
+        barrier_.open(window_end);
+        ce.epoch = barrier_.epoch();
+        ce.begin_ns = steady_ns();
+        barrier_.wait_all_arrived(&ce.parked);
+        ce.wait_ns = steady_ns() - ce.begin_ns;
+        ++windows_;
+        rethrow_worker_error();
+        if (exchange_) exchange_(window_end);
+        // After the exchange (drain stats for this epoch are pending in
+        // the profiler) and while workers are still parked — per-shard
+        // state is stable for the observer to sample.
+        observer_->on_coordinator_epoch(ce);
+      }
       frontier_ = window_end;
     } else {
       fire_global(global_at);

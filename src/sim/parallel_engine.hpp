@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "sim/engine_observer.hpp"
 #include "sim/epoch_barrier.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
@@ -64,6 +65,15 @@ class ParallelEngine {
     exchange_ = std::move(fn);
   }
 
+  /// Epoch-level instrumentation tap (obs::SyncProfiler). Must be set
+  /// before the first run_until() — workers latch it at thread start.
+  /// Null (the default) keeps the hot loop free of clock reads: the only
+  /// residual cost is one untaken branch per epoch.
+  void set_observer(EngineObserver* obs) { observer_ = obs; }
+  [[nodiscard]] EngineObserver* observer() const noexcept {
+    return observer_;
+  }
+
   /// Run `fn` between windows at `first`, `first + period`, ... — each
   /// invocation sees every shard past all events before that instant and
   /// none at or after it (the serial tick-before-data convention).
@@ -79,6 +89,11 @@ class ParallelEngine {
   /// lookahead bound (quiet shards let the window jump to the next event).
   [[nodiscard]] std::uint64_t widened_windows() const noexcept {
     return widened_windows_;
+  }
+  /// Windows where every shard was idle past the target and the window
+  /// jumped straight to it (the degenerate best case of widening).
+  [[nodiscard]] std::uint64_t idle_jumps() const noexcept {
+    return idle_jumps_;
   }
   [[nodiscard]] SimTime lookahead() const noexcept { return lookahead_; }
   [[nodiscard]] std::size_t shard_count() const noexcept {
@@ -101,6 +116,7 @@ class ParallelEngine {
   std::vector<ShardRef> shards_;
   SimTime lookahead_;
   Scheduler* global_;
+  EngineObserver* observer_ = nullptr;
   std::function<void(SimTime)> exchange_;
   std::vector<Action> actions_;  ///< small; scanned linearly
 
@@ -109,6 +125,7 @@ class ParallelEngine {
   bool workers_running_ = false;
   std::uint64_t windows_ = 0;
   std::uint64_t widened_windows_ = 0;
+  std::uint64_t idle_jumps_ = 0;
   SimTime frontier_ = 0;  ///< all shards have completed events <= frontier_
 
   std::mutex error_mutex_;

@@ -12,7 +12,9 @@
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
+#include "obs/sync_profiler.hpp"
 #include "obs/trace.hpp"
+#include "sim/engine_observer.hpp"
 #include "qos/queues.hpp"
 #include "routing/control_plane.hpp"
 #include "routing/igp.hpp"
@@ -407,6 +409,171 @@ TEST(Coexistence, TraceRouteDoesNotDisturbOamMonitorUnderTracing) {
   EXPECT_GT(count_type(events, EventType::kOamReply), 0u);
   // The doomed trace probe shows up as a routed drop, with its reason.
   EXPECT_GT(count_reason(events, DropReason::kNoRoute), 0u);
+}
+
+// --- epoch sync profiler --------------------------------------------------
+
+sim::EngineObserver::WorkerEpoch worker_epoch(std::uint32_t shard,
+                                              std::uint64_t epoch,
+                                              std::uint64_t exec_ns,
+                                              std::uint64_t events) {
+  sim::EngineObserver::WorkerEpoch we;
+  we.shard = shard;
+  we.epoch = epoch;
+  we.window_start = static_cast<sim::SimTime>((epoch - 1) * 100);
+  we.window_end = static_cast<sim::SimTime>(epoch * 100);
+  we.begin_ns = epoch * 10000 + shard;
+  we.wait_ns = 5;
+  we.exec_ns = exec_ns;
+  we.events = events;
+  return we;
+}
+
+TEST(SyncProfiler, LaneRingWrapsKeepingNewestOldestFirst) {
+  obs::SyncProfiler prof(1, /*capacity=*/4);
+  for (std::uint64_t e = 1; e <= 10; ++e) {
+    prof.on_worker_epoch(worker_epoch(0, e, 50, e));
+  }
+  const auto slots = prof.worker_snapshot(0);
+  ASSERT_EQ(slots.size(), 4u);
+  EXPECT_EQ(slots.front().epoch, 7u);
+  EXPECT_EQ(slots.back().epoch, 10u);
+  for (std::size_t i = 1; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i].epoch, slots[i - 1].epoch + 1);
+  }
+  // Aggregates cover all ten epochs, not just the retained tail.
+  const auto rep = prof.report();
+  ASSERT_EQ(rep.lanes.size(), 1u);
+  EXPECT_EQ(rep.lanes[0].epochs, 10u);
+  EXPECT_EQ(rep.lanes[0].events, 55u);  // 1 + 2 + ... + 10
+  EXPECT_EQ(rep.lanes[0].exec_ns, 500u);
+}
+
+TEST(SyncProfiler, SerialModeReportsOneBusyLane) {
+  obs::SyncProfiler prof(1);
+  prof.record_serial(/*exec_ns=*/2'000'000'000, /*events=*/12345);
+  const auto rep = prof.report();
+  EXPECT_TRUE(rep.serial);
+  EXPECT_EQ(rep.shards, 1u);
+  EXPECT_EQ(rep.epochs, 0u);
+  ASSERT_EQ(rep.lanes.size(), 1u);
+  EXPECT_DOUBLE_EQ(rep.lanes[0].busy_fraction, 1.0);
+  EXPECT_EQ(rep.lanes[0].events, 12345u);
+  EXPECT_NEAR(rep.wall_s, 2.0, 1e-9);
+  EXPECT_NE(rep.to_table().find("serial engine"), std::string::npos);
+  std::ostringstream js;
+  rep.write_json(js);
+  EXPECT_NE(js.str().find("\"serial\":true"), std::string::npos);
+  EXPECT_NE(js.str().find("\"busy_fraction\":1"), std::string::npos);
+}
+
+TEST(SyncProfiler, CoordinatorAttributesCriticalShardAndFoldsDrain) {
+  obs::SyncProfiler prof(2, 8);
+  prof.set_cache_sampler(
+      [](std::uint32_t shard, std::uint64_t& h, std::uint64_t& m) {
+        h = 100 + shard;
+        m = shard;
+      });
+  auto feed = [&](std::uint64_t epoch, std::uint64_t exec0,
+                  std::uint64_t exec1) {
+    prof.on_worker_epoch(worker_epoch(0, epoch, exec0, 3));
+    prof.on_worker_epoch(worker_epoch(1, epoch, exec1, 3));
+    const std::uint64_t per_src[2] = {4, 6};
+    prof.record_exchange(/*drain_ns=*/77, /*handoffs=*/10, per_src, 2);
+    prof.record_batch(2);
+    prof.record_batch(8);
+    sim::EngineObserver::CoordinatorEpoch ce;
+    ce.epoch = epoch;
+    ce.window_start = static_cast<sim::SimTime>((epoch - 1) * 100);
+    ce.window_end = static_cast<sim::SimTime>(epoch * 100);
+    ce.begin_ns = epoch * 10000;
+    ce.wait_ns = 9;
+    ce.parked = true;
+    prof.on_coordinator_epoch(ce);
+  };
+  feed(1, 100, 200);  // shard 1 slowest
+  feed(2, 300, 50);   // shard 0 slowest
+  feed(3, 10, 20);    // shard 1 slowest
+  EXPECT_EQ(prof.epochs(), 3u);
+
+  const auto rep = prof.report();
+  ASSERT_EQ(rep.lanes.size(), 2u);
+  EXPECT_EQ(rep.lanes[0].critical_epochs, 1u);
+  EXPECT_EQ(rep.lanes[1].critical_epochs, 2u);
+  EXPECT_EQ(rep.handoffs, 30u);
+  EXPECT_EQ(rep.delivery_batches, 6u);
+  EXPECT_EQ(rep.lanes[0].handoffs_out, 12u);  // 3 epochs x per_src[0]
+  EXPECT_EQ(rep.lanes[1].handoffs_out, 18u);
+  EXPECT_EQ(rep.drain_ns, 231u);
+  EXPECT_EQ(rep.coord_wait_ns, 27u);
+  EXPECT_EQ(rep.coord_parks, 3u);
+  EXPECT_GE(rep.batch_max, 8.0);
+  // Cache sampler results land on the coordinator's per-shard state.
+  EXPECT_EQ(rep.lanes[1].cache_hits, 101u);
+  EXPECT_EQ(rep.lanes[1].cache_misses, 1u);
+
+  const auto coords = prof.coordinator_snapshot();
+  ASSERT_EQ(coords.size(), 3u);
+  EXPECT_EQ(coords[0].drain_ns, 77u);  // folded from record_exchange
+  EXPECT_EQ(coords[0].handoffs, 10u);
+  EXPECT_NE(coords[0].parked, 0);
+
+  const auto se = prof.shard_epoch_snapshot(1);
+  ASSERT_EQ(se.size(), 3u);
+  EXPECT_EQ(se.back().handoffs_out, 18u);  // cumulative
+}
+
+TEST(SyncProfiler, RegistersEngineSyncGauges) {
+  obs::SyncProfiler prof(2, 8);
+  prof.on_worker_epoch(worker_epoch(0, 1, 40, 7));
+  prof.on_worker_epoch(worker_epoch(1, 1, 60, 9));
+  sim::EngineObserver::CoordinatorEpoch ce;
+  ce.epoch = 1;
+  prof.on_coordinator_epoch(ce);
+
+  obs::MetricsRegistry registry;
+  obs::register_sync_metrics(prof, registry);
+  const auto snap = registry.snapshot();
+  const auto value = [&](const std::string& name) -> double {
+    for (const auto& s : snap) {
+      if (s.name == name) return s.value;
+    }
+    ADD_FAILURE() << "gauge missing: " << name;
+    return -1.0;
+  };
+  EXPECT_EQ(value("engine/sync/epochs"), 1.0);
+  EXPECT_EQ(value("engine/sync/shard0/events"), 7.0);
+  EXPECT_EQ(value("engine/sync/shard1/events"), 9.0);
+}
+
+TEST(Sinks, ChromeTraceGrowsEngineLanesWithProfiler) {
+  sim::Scheduler sched;
+  FlightRecorder rec(&sched, 16);
+  rec.record({.node = 0, .a = 5, .type = EventType::kLspUp});
+
+  obs::SyncProfiler prof(2, 8);
+  prof.on_worker_epoch(worker_epoch(0, 1, 40, 7));
+  prof.on_worker_epoch(worker_epoch(1, 1, 60, 9));
+  sim::EngineObserver::CoordinatorEpoch ce;
+  ce.epoch = 1;
+  ce.window_end = 100;
+  ce.wait_ns = 11;
+  prof.on_coordinator_epoch(ce);
+
+  std::ostringstream ct;
+  obs::write_chrome_trace(rec, ct, {}, &prof);
+  const std::string chrome = ct.str();
+  // Engine process (pid 2) with one lane per worker plus the coordinator.
+  EXPECT_NE(chrome.find("\"engine\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"shard0 worker\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"shard1 worker\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"cat\":\"engine\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"epoch\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"barrier\""), std::string::npos);
+  // Null profiler keeps the old shape: no engine lanes.
+  std::ostringstream plain;
+  obs::write_chrome_trace(rec, plain, {}, nullptr);
+  EXPECT_EQ(plain.str().find("\"cat\":\"engine\""), std::string::npos);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <functional>
@@ -16,6 +17,7 @@
 #include "backbone/scenario_config.hpp"
 #include "ip/address.hpp"
 #include "net/shard_runtime.hpp"
+#include "obs/sync_profiler.hpp"
 #include "qos/sla.hpp"
 #include "sim/epoch_barrier.hpp"
 #include "sim/parallel_engine.hpp"
@@ -112,6 +114,69 @@ TEST(EpochBarrier, CoordinatorAndWorkersAgreeOnTargets) {
   barrier.shutdown();
   for (auto& th : threads) th.join();
   for (std::uint32_t w = 0; w < kWorkers; ++w) EXPECT_EQ(seen[w], targets);
+}
+
+TEST(EpochBarrier, SpinPathStaysUnparkedWhenPeerIsAlreadyThere) {
+  // Explicit spin budget overrides the hardware-concurrency heuristic (on
+  // a small host the default would disable spinning entirely). The epoch
+  // is published before the worker looks and the worker has arrived
+  // before the coordinator waits, so both waits must resolve inside the
+  // spin phase and report parked=false.
+  sim::EpochBarrier barrier(1, /*spin_limit=*/1u << 20);
+  ASSERT_EQ(barrier.spin_limit(), 1u << 20);
+  barrier.open(10);
+  bool got = false;
+  bool worker_parked = true;
+  sim::SimTime target = 0;
+  std::thread worker([&] {
+    std::uint64_t epoch = 0;
+    got = barrier.next(epoch, target, &worker_parked);
+    if (got) barrier.arrive();
+  });
+  worker.join();
+  ASSERT_TRUE(got);
+  EXPECT_FALSE(worker_parked);
+  EXPECT_EQ(target, 10);
+  bool coord_parked = true;
+  barrier.wait_all_arrived(&coord_parked);
+  EXPECT_FALSE(coord_parked);
+  barrier.shutdown();
+}
+
+TEST(EpochBarrier, ParkPathReportsParkedUnderRealContention) {
+  // Spin budget zero forces the condvar path on both sides, and the
+  // sleeps make each waiter genuinely park before its wakeup arrives: the
+  // worker waits while the coordinator dawdles before open(), and the
+  // coordinator waits while the worker dawdles before arrive().
+  constexpr int kEpochs = 5;
+  sim::EpochBarrier barrier(1, /*spin_limit=*/0);
+  std::vector<bool> worker_parked;
+  std::vector<sim::SimTime> seen;
+  std::thread worker([&] {
+    std::uint64_t epoch = 0;
+    sim::SimTime target = 0;
+    bool parked = false;
+    while (barrier.next(epoch, target, &parked)) {
+      worker_parked.push_back(parked);
+      seen.push_back(target);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      barrier.arrive();
+    }
+  });
+  for (int e = 1; e <= kEpochs; ++e) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    barrier.open(e * 10);
+    bool coord_parked = false;
+    barrier.wait_all_arrived(&coord_parked);
+    EXPECT_TRUE(coord_parked) << "epoch " << e;
+  }
+  barrier.shutdown();
+  worker.join();
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kEpochs));
+  for (int e = 0; e < kEpochs; ++e) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(e)], (e + 1) * 10);
+    EXPECT_TRUE(worker_parked[static_cast<std::size_t>(e)]) << "epoch " << e;
+  }
 }
 
 // --- Scheduler window semantics ------------------------------------------
@@ -334,6 +399,7 @@ struct ScenarioOutputs {
   std::string report;        ///< run() output minus the converged banner
   std::string metrics_json;
   std::string latency_json;
+  std::string sync_json;     ///< only when the run profiled
   bool ok = false;
 };
 
@@ -360,7 +426,8 @@ std::string strip_converged_line(const std::string& text) {
   return out;
 }
 
-ScenarioOutputs run_scenario_with_shards(std::uint32_t shards) {
+ScenarioOutputs run_scenario_with_shards(std::uint32_t shards,
+                                         bool sync_profile = false) {
   backbone::ScenarioError err;
   auto sc = backbone::Scenario::parse(kDeterminismScenario, &err);
   EXPECT_TRUE(sc.has_value()) << "line " << err.line << ": " << err.message;
@@ -368,10 +435,14 @@ ScenarioOutputs run_scenario_with_shards(std::uint32_t shards) {
   if (!sc) return out;
 
   const std::string dir = ::testing::TempDir();
-  const std::string tag = std::to_string(shards);
+  const std::string tag =
+      std::to_string(shards) + (sync_profile ? "_sync" : "");
   backbone::ObsOptions obs;
   obs.metrics_json_path = dir + "/par_metrics_" + tag + ".json";
   obs.latency_json_path = dir + "/par_latency_" + tag + ".json";
+  if (sync_profile) {
+    obs.sync_json_path = dir + "/par_sync_" + tag + ".json";
+  }
   sc->set_obs(obs);
   sc->set_shards(shards);
 
@@ -382,6 +453,10 @@ ScenarioOutputs run_scenario_with_shards(std::uint32_t shards) {
   out.latency_json = slurp(obs.latency_json_path);
   EXPECT_FALSE(out.metrics_json.empty());
   EXPECT_FALSE(out.latency_json.empty());
+  if (sync_profile) {
+    out.sync_json = slurp(obs.sync_json_path);
+    EXPECT_FALSE(out.sync_json.empty());
+  }
   return out;
 }
 
@@ -496,6 +571,146 @@ TEST(ShardedFlowcache, HitRatePersistsAcrossEpochBoundaries) {
   const double hit_rate =
       static_cast<double>(hits) / static_cast<double>(hits + misses);
   EXPECT_GE(hit_rate, 0.98);
+}
+
+// --- Epoch profiler against the real engine -------------------------------
+
+TEST(ShardedDeterminism, ProfilerOnRunIsByteIdenticalAndEmitsReport) {
+  const ScenarioOutputs plain = run_scenario_with_shards(4);
+  const ScenarioOutputs profiled =
+      run_scenario_with_shards(4, /*sync_profile=*/true);
+  ASSERT_TRUE(plain.ok);
+  ASSERT_TRUE(profiled.ok);
+  // Observing the engine must not perturb it: every simulation artefact is
+  // bit-identical with the profiler attached.
+  EXPECT_EQ(profiled.report, plain.report);
+  EXPECT_EQ(profiled.metrics_json, plain.metrics_json);
+  EXPECT_EQ(profiled.latency_json, plain.latency_json);
+  // ...and the profiled run actually produced a sharded sync report.
+  EXPECT_NE(profiled.sync_json.find("\"serial\":false"), std::string::npos)
+      << profiled.sync_json;
+  EXPECT_NE(profiled.sync_json.find("\"shards\":4"), std::string::npos)
+      << profiled.sync_json;
+  EXPECT_TRUE(plain.sync_json.empty());
+}
+
+TEST(SyncProfiler, WorkerTimestampsMonotoneAndReportCoherent) {
+  backbone::MplsBackbone bb(bench_config());
+  const vpn::VpnId v = bb.service.create_vpn("T");
+  std::vector<backbone::MplsBackbone::Site> sites;
+  for (std::size_t i = 0; i < 16; ++i) {
+    sites.push_back(bb.add_site(
+        v, i,
+        ip::Prefix(ip::Ipv4Address(10, std::uint8_t(1 + i), 0, 0), 16)));
+  }
+  bb.start_and_converge();
+
+  backbone::ShardPlan plan = backbone::compute_shard_plan(bb.topo, 4);
+  ASSERT_TRUE(plan.parallel());
+  auto runtime = std::make_unique<net::ShardRuntime>(
+      bb.topo, std::move(plan.node_shard), plan.shard_count, plan.lookahead);
+
+  obs::SyncProfiler prof(runtime->shard_count());
+  std::vector<std::vector<const vpn::Router*>> by_shard(
+      runtime->shard_count());
+  for (std::size_t i = 0; i < bb.topo.node_count(); ++i) {
+    const auto id = static_cast<ip::NodeId>(i);
+    if (auto* r = dynamic_cast<vpn::Router*>(&bb.topo.node(id))) {
+      by_shard[bb.topo.shard_of(id)].push_back(r);
+    }
+  }
+  prof.set_cache_sampler([&by_shard](std::uint32_t shard,
+                                     std::uint64_t& cache_hits,
+                                     std::uint64_t& cache_misses) {
+    for (const auto* r : by_shard[shard]) {
+      cache_hits += r->flowcache_stats().hits;
+      cache_misses += r->flowcache_stats().misses;
+    }
+  });
+  runtime->set_profiler(&prof);
+
+  std::vector<std::unique_ptr<qos::SlaProbe>> probes;
+  std::vector<std::unique_ptr<traffic::MeasurementSink>> sinks;
+  for (std::uint32_t s = 0; s < runtime->shard_count(); ++s) {
+    probes.push_back(
+        std::make_unique<qos::SlaProbe>("lane" + std::to_string(s)));
+    sinks.push_back(std::make_unique<traffic::MeasurementSink>(
+        *probes[s], runtime->shard_scheduler(s)));
+  }
+  auto lane_of = [&](const backbone::MplsBackbone::Site& site) {
+    return bb.topo.shard_of(site.ce->id());
+  };
+  for (auto& site : sites) sinks[lane_of(site)]->bind(*site.ce);
+
+  constexpr std::size_t kFlows = 64;
+  std::vector<std::unique_ptr<traffic::CbrSource>> sources;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    const std::size_t a = i % sites.size();
+    const std::size_t b = (i + 1) % sites.size();
+    traffic::FlowSpec f;
+    f.src = ip::Ipv4Address(10, std::uint8_t(1 + a), 0,
+                            std::uint8_t(1 + i % 200));
+    f.dst = ip::Ipv4Address(10, std::uint8_t(1 + b), 0,
+                            std::uint8_t(1 + i % 200));
+    f.dst_port = static_cast<std::uint16_t>(20000 + i);
+    f.vpn = v;
+    const auto id = static_cast<std::uint32_t>(1000 + i);
+    sinks[lane_of(sites[b])]->expect_flow(id, qos::Phb::kBe, v);
+    sources.push_back(std::make_unique<traffic::CbrSource>(
+        *sites[a].ce, f, id, probes[lane_of(sites[a])].get(), 1e6));
+  }
+
+  const sim::SimTime t0 = bb.topo.base_scheduler().now();
+  for (auto& s : sources) s->run(t0, t0 + sim::from_seconds(1.0));
+  // Run past the source window so every in-flight packet drains back to its
+  // pool before the runtime (which owns the per-shard pools) tears down.
+  runtime->run_until(t0 + sim::from_seconds(1.5));
+
+  const std::uint64_t windows = runtime->windows();
+  const std::uint64_t handoffs = runtime->handoffs();
+  runtime->finish();
+  ASSERT_GT(windows, 0U);
+
+  // The coordinator closed every window through the profiler.
+  EXPECT_EQ(prof.epochs(), windows);
+
+  for (std::uint32_t s = 0; s < prof.shard_count(); ++s) {
+    SCOPED_TRACE("shard=" + std::to_string(s));
+    const auto slots = prof.worker_snapshot(s);
+    ASSERT_FALSE(slots.empty());
+    for (std::size_t i = 1; i < slots.size(); ++i) {
+      // Epochs arrive in order and windows tile the sim-time axis.
+      EXPECT_EQ(slots[i].epoch, slots[i - 1].epoch + 1);
+      EXPECT_EQ(slots[i].window_start, slots[i - 1].window_end);
+      // Phase stamps are monotone per worker: an epoch's wait + exec
+      // phases complete before the next epoch's wait begins.
+      EXPECT_LE(slots[i - 1].begin_ns + slots[i - 1].wait_ns +
+                    slots[i - 1].exec_ns,
+                slots[i].begin_ns);
+    }
+  }
+
+  const obs::SyncProfiler::Report rep = prof.report();
+  EXPECT_FALSE(rep.serial);
+  EXPECT_EQ(rep.shards, 4U);
+  EXPECT_EQ(rep.epochs, windows);
+  ASSERT_EQ(rep.lanes.size(), 4U);
+  std::uint64_t critical = 0;
+  std::uint64_t cache_total = 0;
+  for (const auto& lane : rep.lanes) {
+    EXPECT_EQ(lane.epochs, windows);
+    EXPECT_GE(lane.busy_fraction, 0.0);
+    EXPECT_LE(lane.busy_fraction, 1.0);
+    critical += lane.critical_epochs;
+    cache_total += lane.cache_hits + lane.cache_misses;
+  }
+  // Every epoch is attributed to exactly one slowest shard.
+  EXPECT_EQ(critical, windows);
+  // The sampler saw the flow caches and the exchange hook saw traffic.
+  EXPECT_GT(cache_total, 0U);
+  EXPECT_GT(rep.handoffs, 0U);
+  EXPECT_EQ(rep.handoffs, handoffs);
+  EXPECT_GT(rep.wall_s, 0.0);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 // the BGP/MPLS VPN (counting VRF routes, BGP Loc-RIB entries, LFIB
 // entries and LDP bindings), then print both against the closed form.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +27,7 @@
 #include "backbone/partition.hpp"
 #include "backbone/topogen.hpp"
 #include "net/shard_runtime.hpp"
+#include "obs/flow_stats.hpp"
 #include "obs/sync_profiler.hpp"
 #include "obs/trace.hpp"
 #include "qos/classifier.hpp"
@@ -213,6 +215,14 @@ struct ShardedResult {
   std::uint64_t batches = 0;
   std::string sync_table;  ///< rendered SyncProfiler report (profiled runs)
   std::string sync_json;   ///< same report as one JSON object
+  std::uint64_t flow_records = 0;  ///< IPFIX records cut (flow-on runs)
+  /// Load-concentration figures from the profiled sharded report: the
+  /// busiest lane's share of critical epochs (wall-clock attribution) and
+  /// the busiest lane's event count over the mean (deterministic given the
+  /// plan, so usable as a cross-machine guard).
+  double critical_share = 0.0;
+  double event_spread = 0.0;
+  std::vector<std::uint64_t> node_weight;  ///< measured flow profile
 };
 
 void keep_best(ShardedResult& best, ShardedResult r) {
@@ -509,9 +519,21 @@ int run_sharded_phases(const char* json_path) {
 // multi-core hosts. Identity across shard counts is checked on the merged
 // per-class SLA table, byte for byte.
 
+/// Knobs for run_topogen beyond the shard count: sync profiler, flow
+/// accounting (tables + exporter + periodic scans, mirroring the scenario
+/// layer's wiring), measured-profile capture, and flow-weighted partition
+/// weights. Defaults reproduce the plain pass.
+struct TopogenOpts {
+  bool profile = false;
+  bool flow = false;
+  bool measure_profile = false;
+  const std::vector<std::uint64_t>* weights = nullptr;
+};
+
 ShardedResult run_topogen(const backbone::GeneratedPlan& plan,
                           std::uint32_t shards, double sim_seconds,
-                          bool profile) {
+                          const TopogenOpts& opt = {}) {
+  const bool profile = opt.profile;
   backbone::MplsBackbone bb(plan.backbone);
 
   std::vector<vpn::VpnId> vpns;
@@ -528,7 +550,9 @@ ShardedResult run_topogen(const backbone::GeneratedPlan& plan,
 
   std::unique_ptr<net::ShardRuntime> runtime;
   if (shards > 1) {
-    backbone::ShardPlan plan_s = backbone::compute_shard_plan(bb.topo, shards);
+    backbone::ShardPlan plan_s = backbone::compute_shard_plan(
+        bb.topo, shards,
+        opt.weights != nullptr ? *opt.weights : std::vector<std::uint64_t>{});
     if (plan_s.parallel() && plan_s.lookahead > 0) {
       runtime = std::make_unique<net::ShardRuntime>(
           bb.topo, std::move(plan_s.node_shard), plan_s.shard_count,
@@ -614,21 +638,75 @@ ShardedResult run_topogen(const backbone::GeneratedPlan& plan,
     }
   }
 
+  // Flow-accounting variants mirror the scenario layer's wiring (§13): one
+  // table per lane, scanned at 0.25 s instants — a periodic engine action
+  // when sharded, a chunked run to the same edges when serial — so the
+  // flow-on pass prices the full telemetry pipeline.
+  std::unique_ptr<obs::FlowExporter> fexp;
+  std::vector<std::unique_ptr<obs::FlowStatsTable>> ftables;
+  const sim::SimTime scan_period = sim::from_seconds(0.25);
+  if (opt.flow) {
+    fexp = std::make_unique<obs::FlowExporter>();
+    // <= 50% table load keeps the probe window from ever filling, so the
+    // eviction/spill path stays off the hot path.
+    const std::size_t flow_slots = std::max(
+        obs::FlowStatsTable::kDefaultSlots, 2 * plan.flows.size());
+    if (runtime) {
+      std::vector<obs::FlowStatsTable*> ptrs;
+      for (std::uint32_t s = 0; s < runtime->shard_count(); ++s) {
+        ftables.push_back(std::make_unique<obs::FlowStatsTable>(
+            &runtime->shard_scheduler(s), flow_slots));
+        ptrs.push_back(ftables.back().get());
+      }
+      runtime->set_flow_stats(std::move(ptrs));
+    } else {
+      ftables.push_back(std::make_unique<obs::FlowStatsTable>(
+          &bb.topo.scheduler(), flow_slots));
+      bb.topo.set_flow_stats(ftables.front().get());
+    }
+  }
+  auto flow_scan = [&](sim::SimTime at) {
+    // Single-lane runs take the exporter's table-resident fastpath.
+    if (ftables.size() == 1) {
+      fexp->scan_table(*ftables.front(), at);
+      return;
+    }
+    for (auto& t : ftables) fexp->merge_table(*t);
+    fexp->scan(at);
+  };
+
   const sim::SimTime t0 = bb.topo.base_scheduler().now();
   const std::uint64_t ev0 = bb.topo.base_scheduler().executed_count();
+  if (fexp && runtime) {
+    auto next = std::make_shared<sim::SimTime>(t0 + scan_period);
+    runtime->add_periodic_action(*next, scan_period, [&, next] {
+      flow_scan(*next);
+      *next += scan_period;
+    });
+  }
   const auto wall0 = std::chrono::steady_clock::now();
   const sim::SimTime t_stop = t0 + sim::from_seconds(sim_seconds);
   for (std::size_t i = 0; i < sources.size(); ++i) {
     sources[i]->run(t0 + sim::from_seconds(plan.flows[i].start_s), t_stop);
   }
   const sim::SimTime t_end = t0 + sim::from_seconds(sim_seconds + 0.5);
+  auto serial_run = [&](sim::SimTime until) {
+    if (fexp) {
+      for (sim::SimTime at = t0 + scan_period; at <= until;
+           at += scan_period) {
+        bb.topo.run_until(at - 1);
+        flow_scan(at);
+      }
+    }
+    bb.topo.run_until(until);
+  };
   if (runtime) {
     runtime->run_until(t_end);
   } else if (prof) {
     // Serial profiled pass: the whole run is one execution phase.
     const std::uint64_t e0 = bb.topo.scheduler().executed_count();
     const auto p0 = std::chrono::steady_clock::now();
-    bb.topo.run_until(t_end);
+    serial_run(t_end);
     prof->record_serial(
         static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -636,7 +714,7 @@ ShardedResult run_topogen(const backbone::GeneratedPlan& plan,
                 .count()),
         bb.topo.scheduler().executed_count() - e0);
   } else {
-    bb.topo.run_until(t_end);
+    serial_run(t_end);
   }
   const auto wall1 = std::chrono::steady_clock::now();
 
@@ -656,6 +734,19 @@ ShardedResult run_topogen(const backbone::GeneratedPlan& plan,
     runtime->finish();
   }
   r.thr.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  if (fexp) {
+    if (ftables.size() == 1) {
+      fexp->flush_table(*ftables.front());
+    } else {
+      for (auto& t : ftables) fexp->merge_table(*t);
+      fexp->flush();
+    }
+    r.flow_records = fexp->records().size();
+    if (!runtime) bb.topo.set_flow_stats(nullptr);
+  }
+  if (opt.measure_profile) {
+    r.node_weight = backbone::measure_flow_profile(bb.topo).node_weight;
+  }
   qos::SlaProbe master("master");
   for (auto& p : probes) master.merge_from(*p);
   r.sla_csv = master.to_csv(sim_seconds);
@@ -665,6 +756,20 @@ ShardedResult run_topogen(const backbone::GeneratedPlan& plan,
     std::ostringstream js;
     srep.write_json(js);
     r.sync_json = js.str();
+    if (!srep.lanes.empty() && srep.epochs > 0) {
+      std::uint64_t max_crit = 0, max_ev = 0, sum_ev = 0;
+      for (const auto& l : srep.lanes) {
+        max_crit = std::max(max_crit, l.critical_epochs);
+        max_ev = std::max(max_ev, l.events);
+        sum_ev += l.events;
+      }
+      r.critical_share =
+          static_cast<double>(max_crit) / static_cast<double>(srep.epochs);
+      const double mean_ev =
+          static_cast<double>(sum_ev) / static_cast<double>(srep.lanes.size());
+      r.event_spread =
+          mean_ev > 0 ? static_cast<double>(max_ev) / mean_ev : 0.0;
+    }
   }
   return r;
 }
@@ -688,17 +793,180 @@ int run_topogen_phases(const char* json_path) {
   // under the same machine load — the ratios run_benchmarks.sh guards.
   ShardedResult serial, two, four, serial_p, two_p, four_p;
   for (int i = 0; i < 3; ++i) {
-    keep_best(serial, run_topogen(plan, 1, kSimSeconds, false));
-    keep_best(serial_p, run_topogen(plan, 1, kSimSeconds, true));
-    keep_best(two, run_topogen(plan, 2, kSimSeconds, false));
-    keep_best(two_p, run_topogen(plan, 2, kSimSeconds, true));
-    keep_best(four, run_topogen(plan, 4, kSimSeconds, false));
-    keep_best(four_p, run_topogen(plan, 4, kSimSeconds, true));
+    keep_best(serial, run_topogen(plan, 1, kSimSeconds));
+    keep_best(serial_p, run_topogen(plan, 1, kSimSeconds, {.profile = true}));
+    keep_best(two, run_topogen(plan, 2, kSimSeconds));
+    keep_best(two_p, run_topogen(plan, 2, kSimSeconds, {.profile = true}));
+    keep_best(four, run_topogen(plan, 4, kSimSeconds));
+    keep_best(four_p, run_topogen(plan, 4, kSimSeconds, {.profile = true}));
   }
   ProfiledSet prof{&serial_p, &two_p, &four_p};
   return report_sharded_phases("bench_scalability_topogen",
                                "generated 16P/64PE/128CE", serial, two, four,
                                json_path, &prof);
+}
+
+// --- Per-flow telemetry plane (E10) --------------------------------------
+//
+// A/B of the flow-accounting plane on the same generated workload as the
+// topogen phase: flow-off vs flow-on, interleaved rep by rep, serial and
+// at 4 shards. Flow-on runs the full pipeline — per-lane tables, periodic
+// exporter scans, record cuts — so the serial ratio run_benchmarks.sh
+// guards (>= 0.97x) prices the whole plane, not just the table writes.
+// The merged SLA table must stay byte-identical flow-on vs flow-off and
+// across engine configurations: accounting must observe, never perturb.
+//
+// The phase then closes the telemetry -> partition loop: the serial
+// flow-on pass's measured per-node profile feeds the flow-weighted
+// partitioner, and profiled 4-shard passes compare load concentration
+// under the node-count plan vs the flow-weighted plan. Critical-epoch
+// share is wall-clock attribution; busy-event spread (busiest lane's
+// events over the mean) is deterministic given the plan, so the script
+// can guard on it across machines.
+
+int run_flow_phases(const char* json_path) {
+  backbone::TopogenParams params;
+  params.p = 16;
+  params.pe = 64;
+  params.ce = 2;
+  params.pod = 8;
+  params.flows = 8192;
+  params.seed = 7;
+  constexpr double kSimSeconds = 1.0;
+  const backbone::GeneratedPlan plan = backbone::generate_plan(params);
+  const char* topo = "generated 16P/64PE/128CE";
+  std::printf("generated topology: %zu P / %zu PE / %zu sites, %zu flows "
+              "(plan hash %016llx)\n\n",
+              params.p, params.pe, plan.sites.size(), plan.flows.size(),
+              static_cast<unsigned long long>(plan.hash()));
+
+  // Five interleaved reps, best wall each: the flow-on/off ratio compares
+  // numbers a few percent apart, so it needs tighter minima than the
+  // coarse-grained phases get away with.
+  ShardedResult s_off, s_on, f_off, f_on;
+  for (int i = 0; i < 5; ++i) {
+    keep_best(s_off, run_topogen(plan, 1, kSimSeconds));
+    keep_best(s_on, run_topogen(plan, 1, kSimSeconds,
+                                {.flow = true, .measure_profile = true}));
+    keep_best(f_off, run_topogen(plan, 4, kSimSeconds));
+    keep_best(f_on, run_topogen(plan, 4, kSimSeconds, {.flow = true}));
+  }
+
+  print_throughput(s_off.thr, "flow off, serial", topo);
+  std::printf("\n");
+  print_throughput(s_on.thr, "flow on, serial", topo);
+  std::printf("\n");
+  print_throughput(f_on.thr, "flow on, 4 shards", topo);
+
+  const double fo1 = s_off.thr.wall_s > 0 ? s_on.thr.packets_per_sec() /
+                                                s_off.thr.packets_per_sec()
+                                          : 0.0;
+  const double fo4 = f_off.thr.wall_s > 0 ? f_on.thr.packets_per_sec() /
+                                                f_off.thr.packets_per_sec()
+                                          : 0.0;
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  // The partition comparison: profiled 4-shard passes under the default
+  // node-count plan vs the plan weighted by the profile the flow-on serial
+  // pass just measured.
+  const std::vector<std::uint64_t>& weights = s_on.node_weight;
+  ShardedResult part_node, part_flow;
+  for (int i = 0; i < 3; ++i) {
+    keep_best(part_node, run_topogen(plan, 4, kSimSeconds, {.profile = true}));
+    keep_best(part_flow, run_topogen(plan, 4, kSimSeconds,
+                                     {.profile = true, .weights = &weights}));
+  }
+
+  const bool identical = s_on.thr.delivered == s_off.thr.delivered &&
+                         f_off.thr.delivered == s_off.thr.delivered &&
+                         f_on.thr.delivered == s_off.thr.delivered &&
+                         part_node.thr.delivered == s_off.thr.delivered &&
+                         part_flow.thr.delivered == s_off.thr.delivered &&
+                         s_on.sla_csv == s_off.sla_csv &&
+                         f_off.sla_csv == s_off.sla_csv &&
+                         f_on.sla_csv == s_off.sla_csv &&
+                         part_node.sla_csv == s_off.sla_csv &&
+                         part_flow.sla_csv == s_off.sla_csv;
+  std::printf(
+      "  flow accounting   : %.3fx serial, %.3fx @4 shards "
+      "(%llu records; identity %s; %u hardware threads)\n",
+      fo1, fo4, static_cast<unsigned long long>(s_on.flow_records),
+      identical ? "holds" : "BROKEN", hw);
+  std::printf(
+      "  partition (node)  : critical share %.3f, event spread %.3fx, "
+      "%.0f pkts/s\n",
+      part_node.critical_share, part_node.event_spread,
+      part_node.thr.packets_per_sec());
+  std::printf(
+      "  partition (flow)  : critical share %.3f, event spread %.3fx, "
+      "%.0f pkts/s\n",
+      part_flow.critical_share, part_flow.event_spread,
+      part_flow.thr.packets_per_sec());
+  std::printf("\n%s\n%s", part_node.sync_table.c_str(),
+              part_flow.sync_table.c_str());
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FLOW IDENTITY FAILED: delivered %llu/%llu/%llu/%llu vs "
+                 "%llu baseline, SLA tables %s\n",
+                 static_cast<unsigned long long>(s_on.thr.delivered),
+                 static_cast<unsigned long long>(f_off.thr.delivered),
+                 static_cast<unsigned long long>(f_on.thr.delivered),
+                 static_cast<unsigned long long>(part_flow.thr.delivered),
+                 static_cast<unsigned long long>(s_off.thr.delivered),
+                 s_on.sla_csv == s_off.sla_csv ? "equal" : "differ");
+  }
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"benchmark\": \"bench_scalability_flow\",\n"
+        "  \"topology\": \"%s\",\n"
+        "  \"flows\": %zu,\n"
+        "  \"sim_seconds\": %.1f,\n"
+        "  \"hardware_threads\": %u,\n"
+        "  \"identical\": %s,\n"
+        "  \"flow_records\": %llu,\n"
+        "  \"serial_packets_per_sec\": %.1f,\n"
+        "  \"serial_flow_packets_per_sec\": %.1f,\n"
+        "  \"shards4_packets_per_sec\": %.1f,\n"
+        "  \"shards4_flow_packets_per_sec\": %.1f,\n"
+        "  \"flow_on_serial_ratio\": %.4f,\n"
+        "  \"flow_on_shards4_ratio\": %.4f,\n"
+        "  \"partition_node\": {\n"
+        "    \"critical_share\": %.4f,\n"
+        "    \"event_spread\": %.4f,\n"
+        "    \"packets_per_sec\": %.1f,\n"
+        "    \"sync_profile\": %s\n"
+        "  },\n"
+        "  \"partition_flow\": {\n"
+        "    \"critical_share\": %.4f,\n"
+        "    \"event_spread\": %.4f,\n"
+        "    \"packets_per_sec\": %.1f,\n"
+        "    \"sync_profile\": %s\n"
+        "  },\n"
+        "  \"critical_share_reduction\": %.4f,\n"
+        "  \"event_spread_reduction\": %.4f\n"
+        "}\n",
+        topo, plan.flows.size(), kSimSeconds, hw,
+        identical ? "true" : "false",
+        static_cast<unsigned long long>(s_on.flow_records),
+        s_off.thr.packets_per_sec(), s_on.thr.packets_per_sec(),
+        f_off.thr.packets_per_sec(), f_on.thr.packets_per_sec(), fo1, fo4,
+        part_node.critical_share, part_node.event_spread,
+        part_node.thr.packets_per_sec(), part_node.sync_json.c_str(),
+        part_flow.critical_share, part_flow.event_spread,
+        part_flow.thr.packets_per_sec(), part_flow.sync_json.c_str(),
+        part_node.critical_share - part_flow.critical_share,
+        part_node.event_spread - part_flow.event_spread);
+    std::fclose(f);
+  }
+  return identical ? 0 : 1;
 }
 
 // --- Flow fastpath cache -------------------------------------------------
@@ -1012,9 +1280,11 @@ int main(int argc, char** argv) {
   const char* sharded_path = nullptr;
   const char* flowcache_path = nullptr;
   const char* topogen_path = nullptr;
+  const char* flow_path = nullptr;
   bool sharded_only = false;
   bool flowcache_only = false;
   bool topogen_only = false;
+  bool flow_only = false;
   bool flowcache = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--throughput-only") == 0) {
@@ -1025,6 +1295,8 @@ int main(int argc, char** argv) {
       topogen_only = true;
     } else if (std::strcmp(argv[i], "--flowcache-only") == 0) {
       flowcache_only = true;
+    } else if (std::strcmp(argv[i], "--flow-only") == 0) {
+      flow_only = true;
     } else if (std::strcmp(argv[i], "--no-flowcache") == 0) {
       flowcache = false;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -1033,6 +1305,8 @@ int main(int argc, char** argv) {
       sharded_path = argv[++i];
     } else if (std::strcmp(argv[i], "--topogen-json") == 0 && i + 1 < argc) {
       topogen_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--flow-json") == 0 && i + 1 < argc) {
+      flow_path = argv[++i];
     } else if (std::strcmp(argv[i], "--flowcache-json") == 0 &&
                i + 1 < argc) {
       flowcache_path = argv[++i];
@@ -1041,8 +1315,9 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--throughput-only] [--sharded-only] "
-                   "[--topogen-only] [--flowcache-only] [--no-flowcache] "
-                   "[--json FILE] [--sharded-json FILE] [--topogen-json FILE] "
+                   "[--topogen-only] [--flow-only] [--flowcache-only] "
+                   "[--no-flowcache] [--json FILE] [--sharded-json FILE] "
+                   "[--topogen-json FILE] [--flow-json FILE] "
                    "[--flowcache-json FILE] [--baseline FILE]\n",
                    argv[0]);
       return 2;
@@ -1054,6 +1329,9 @@ int main(int argc, char** argv) {
   }
   if (topogen_only) {
     return run_topogen_phases(topogen_path);
+  }
+  if (flow_only) {
+    return run_flow_phases(flow_path);
   }
   if (flowcache_only) {
     return run_flowcache_phases(flowcache_path);

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the hot-path performance suites and collects one JSON report at the
-# repo root (BENCH_PR7.json). Usage:
+# repo root (BENCH_PR8.json). Usage:
 #
 #   bench/run_benchmarks.sh [--build DIR] [--seed-bin PATH] [--out FILE]
 #                           [--baseline FILE]
@@ -13,8 +13,8 @@
 #                    path, serial and tracing-on throughput — the latter two
 #                    also bound the profiler-off cost, which is one untaken
 #                    branch per epoch) are enforced
-#   --out FILE       output report (default: <repo>/BENCH_PR7.json)
-#   --baseline FILE  earlier report (default: <repo>/BENCH_PR6.json when it
+#   --out FILE       output report (default: <repo>/BENCH_PR8.json)
+#   --baseline FILE  earlier report (default: <repo>/BENCH_PR7.json when it
 #                    exists); its figures are folded into the report as
 #                    informational ratios — stored reports come from other
 #                    machines, so hard guards only use numbers measured in
@@ -26,7 +26,11 @@
 # and tracing-on figures, the sharded phase checks engine determinism, and
 # the flowcache phase A/Bs the flow fastpath cache on the forwarding-heavy
 # scenario (delivered counts and SLA tables must be byte-identical, and
-# the cached path must beat the PR4-equivalent slow path by >= 1.4x). A
+# the cached path must beat the PR4-equivalent slow path by >= 1.4x). The
+# flow phase A/Bs the per-flow accounting plane on the generated topology
+# (flow-on must replay byte-identical delivered/SLA outputs; the serial
+# accounting overhead is bounded; flow-weighted partitioning must spread
+# the topology-generator hot spot across shards). A
 # scenario run with metrics enabled contributes the per-DSCP-class
 # latency/drop breakdown plus the per-hop/per-class delay decomposition,
 # and bench_convergence contributes the causal-span summary (LDP mapping,
@@ -36,7 +40,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build"
 SEED_BIN=""
-OUT="$ROOT/BENCH_PR7.json"
+OUT="$ROOT/BENCH_PR8.json"
 BASELINE=""
 
 while [[ $# -gt 0 ]]; do
@@ -49,8 +53,8 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-if [[ -z "$BASELINE" && -f "$ROOT/BENCH_PR6.json" ]]; then
-  BASELINE="$ROOT/BENCH_PR6.json"
+if [[ -z "$BASELINE" && -f "$ROOT/BENCH_PR7.json" ]]; then
+  BASELINE="$ROOT/BENCH_PR7.json"
 fi
 
 TMP="$(mktemp -d)"
@@ -207,6 +211,48 @@ jq -e '
   else error("fastpath speedup \(.fastpath_speedup)x below the 1.4x target")
   end' "$TMP/flowcache.json"
 
+echo
+echo "== per-flow accounting off vs on + partition profiles (bench_scalability) =="
+t0=$(mark)
+"$BUILD/bench/bench_scalability" --flow-only \
+  --flow-json "$TMP/flow.json"
+record_phase flow "$t0" "$(mark)"
+
+# PR8 flow-accounting guards, in-process and same-run (every flow-on pass
+# is interleaved with its flow-off twin). Identity is unconditional: with
+# accounting on, delivered counts and the per-class SLA table must replay
+# byte-identical, serial and at 4 shards. The overhead guard is the serial
+# pass — flow-on must keep >= 97% of the flow-off rate (the <= 3% bar).
+# That bar only resolves on hosts with real parallel headroom: on a
+# time-sliced single core the run-to-run noise is wider than 3%, so there
+# we bound the overhead coarsely instead (>= 80% of flow-off).
+jq -e '
+  if .identical != true then
+    error("flow accounting changed results: delivered/SLA diverged between on and off")
+  elif .hardware_threads >= 4 then
+    if .flow_on_serial_ratio >= 0.97
+    then "flow-on serial overhead ok: ratio \(.flow_on_serial_ratio) (\(.flow_records) records)"
+    else error("flow-on serial throughput \(.flow_on_serial_ratio) fell below 97% of the flow-off pass")
+    end
+  else
+    if .flow_on_serial_ratio >= 0.80
+    then "flow-on serial overhead ok on \(.hardware_threads) hw thread(s): ratio \(.flow_on_serial_ratio) (3% bar needs >=4 cores; \(.flow_records) records)"
+    else error("flow-on serial throughput \(.flow_on_serial_ratio) fell below the single-core 80% floor")
+    end
+  end' "$TMP/flow.json"
+
+# Flow-weighted partitioning guard, fully deterministic (shard assignment
+# and event counts don't depend on wall clock): against the same measured
+# profile, balancing shards by flow weight instead of node count must pull
+# the busiest shard's event share toward the 4-shard ideal — the max/mean
+# event spread must drop by a clear margin (node-count partitioning sits
+# near 1.95x on this topology, flow-weighted near 1.15x).
+jq -e '
+  if (.partition_node.event_spread - .partition_flow.event_spread) >= 0.3
+  then "flow-weighted partition ok: event spread \(.partition_node.event_spread)x -> \(.partition_flow.event_spread)x (critical share \(.partition_node.critical_share) -> \(.partition_flow.critical_share))"
+  else error("flow-weighted partition failed to spread load: event spread \(.partition_node.event_spread)x -> \(.partition_flow.event_spread)x")
+  end' "$TMP/flow.json"
+
 if [[ -n "$SEED_BIN" ]]; then
   echo
   echo "== seed-baseline comparison (interleaved best-of-3 per side) =="
@@ -266,12 +312,20 @@ t0=$(mark)
 record_phase convergence "$t0" "$(mark)"
 
 echo
-echo "== scenario observability pass (per-class SLA + latency anatomy) =="
+echo "== scenario observability pass (per-class SLA + latency anatomy + flows) =="
 t0=$(mark)
+# The flow artefacts land next to $OUT (not in $TMP) so CI can upload the
+# record stream and conformance rollup alongside the report itself.
+OUTDIR="$(dirname "$OUT")"
 "$BUILD/examples/run_scenario" --metrics "$TMP/scenario_metrics.json" \
   --trace "$TMP/scenario_trace.json" \
   --latency-json "$TMP/scenario_latency.json" \
-  "$ROOT/examples/scenarios/branch_office.scn" > /dev/null
+  --flow-records "$OUTDIR/scenario_flows.jsonl" \
+  --flow-report \
+  "$ROOT/examples/scenarios/branch_office.scn" \
+  > "$OUTDIR/scenario_flow_report.txt"
+test -s "$OUTDIR/scenario_flows.jsonl"
+grep -q "flow conformance" "$OUTDIR/scenario_flow_report.txt"
 record_phase scenario_obs "$t0" "$(mark)"
 # Keep the last snapshot's sla/* and queue drop gauges: the steady-state
 # per-DSCP-class latency / loss picture of the congested demo core.
@@ -294,6 +348,7 @@ jq -n \
   --slurpfile shard "$TMP/sharded.json" \
   --slurpfile topo "$TMP/topogen.json" \
   --slurpfile fc "$TMP/flowcache.json" \
+  --slurpfile flow "$TMP/flow.json" \
   --slurpfile nocache "$TMP/throughput_nocache.json" \
   --slurpfile seed "$TMP/throughput_seed.json" \
   --slurpfile base "$TMP/baseline.json" \
@@ -313,6 +368,7 @@ jq -n \
     sharded: $shard[0],
     topogen_sharded: $topo[0],
     flowcache: $fc[0],
+    flow_accounting: $flow[0],
     throughput_cache_off:
       (if ($nocache[0] | length) > 0 then $nocache[0] else null end),
     seed_baseline: (if ($seed[0] | length) > 0 then $seed[0] else null end),
@@ -340,6 +396,8 @@ echo
 echo "report written to $OUT"
 jq -r '"packets/sec: \(.throughput.packets_per_sec)  tracing-on: \(.throughput.tracing_on_packets_per_sec)  (overhead ratio \(.throughput.tracing_overhead_ratio))"' "$OUT"
 jq -r '"fastpath: \(.flowcache.fastpath_speedup)x over the uncached path (hit rate \(.flowcache.hit_rate), identical: \(.flowcache.identical))"' "$OUT"
+jq -r '"flow accounting: serial ratio \(.flow_accounting.flow_on_serial_ratio), @4 shards \(.flow_accounting.flow_on_shards4_ratio) (\(.flow_accounting.flow_records) records, identical: \(.flow_accounting.identical))"' "$OUT"
+jq -r '"flow partition: event spread \(.flow_accounting.partition_node.event_spread)x -> \(.flow_accounting.partition_flow.event_spread)x, critical share \(.flow_accounting.partition_node.critical_share) -> \(.flow_accounting.partition_flow.critical_share)"' "$OUT"
 jq -r '"sharded: \(.sharded.speedup_shards4)x @4 shards (\(.sharded.hardware_threads) hw threads, deterministic: \(.sharded.deterministic))"' "$OUT"
 jq -r '"topogen sharded: \(.topogen_sharded.speedup_shards4)x @4 shards on \(.topogen_sharded.topology) (\(.topogen_sharded.delivered_packets) pkts, deterministic: \(.topogen_sharded.deterministic))"' "$OUT"
 jq -r '"sync profiler: serial ratio \(.topogen_sharded.profiler_on_serial_ratio), @4 shards \(.topogen_sharded.profiler_on_shards4_ratio) (identical: \(.topogen_sharded.profiled_identical)); 4-shard busy \([.topogen_sharded.sync_profile.shards4.lanes[].busy_fraction])"' "$OUT"

@@ -12,7 +12,8 @@
 //   --snapshot-period S metrics capture period in seconds (default 0.5)
 //   --obs DIR           shorthand: DIR/trace.json + DIR/events.jsonl +
 //                       DIR/metrics.json + DIR/spans.json + DIR/latency.json
-//                       + DIR/sync.json (DIR is created if missing)
+//                       + DIR/sync.json + DIR/flow.jsonl (DIR is created
+//                       if missing)
 //
 // Engine sync telemetry (independent of the flight recorder):
 //   --sync-report       print the epoch-level sync profile (per-shard busy
@@ -27,10 +28,21 @@
 //   --spans FILE        Chrome trace with per-hop duration spans (needs the
 //                       flight recorder, i.e. counts as an obs option)
 //
+// Per-flow telemetry (independent of the flight recorder):
+//   --flow-records FILE     IPFIX-style flow records, one JSON per line
+//   --flow-records-bin FILE same records, compact binary ("MVFR" framing)
+//   --flow-report           print the per-VPN x per-class conformance
+//                           rollup (offered vs delivered vs delay)
+//   --flow-profile FILE     write measured per-node/per-link flow weights
+//                           (input for --partition-profile on a later run)
+//
 // Engine options:
 //   --shards N          partition the topology into N shards and run the
 //                       traffic phase on the parallel engine (default 1 =
 //                       serial; overrides the scenario's `run shards=`)
+//   --partition-profile FILE  flow-weighted partitioning: balance shards
+//                       by the measured per-node flow weights in FILE (a
+//                       --flow-profile output) instead of node counts
 //   --no-flowcache      disable the per-router flow fastpath caches (slow
 //                       path only; overrides the scenario's `run
 //                       flowcache=`). Results are identical either way —
@@ -50,10 +62,13 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "backbone/partition.hpp"
 #include "backbone/scenario_config.hpp"
 
 namespace {
@@ -79,6 +94,9 @@ int usage(const char* prog) {
                "          [--snapshot-period S] [--obs DIR] [--spans FILE]\n"
                "          [--latency-report] [--latency-json FILE]\n"
                "          [--sync-report] [--sync-json FILE]\n"
+               "          [--flow-records FILE] [--flow-records-bin FILE]\n"
+               "          [--flow-report] [--flow-profile FILE]\n"
+               "          [--partition-profile FILE]\n"
                "          [--shards N] [--no-flowcache] [--verbose]\n"
                "          [--topogen \"p=.. pe=.. ce=.. flows=..\"]\n"
                "          [scenario.scn]\n",
@@ -92,6 +110,7 @@ int main(int argc, char** argv) {
   mvpn::backbone::ObsOptions obs;
   std::string scenario_path;
   std::string topogen_spec;
+  std::string partition_profile_path;
   unsigned long shards = 0;  // 0: use the scenario file's setting
   int flowcache = -1;        // -1: use the scenario file's setting
   bool verbose = false;
@@ -136,6 +155,24 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       obs.sync_json_path = v;
+    } else if (std::strcmp(argv[i], "--flow-records") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      obs.flow_records_path = v;
+    } else if (std::strcmp(argv[i], "--flow-records-bin") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      obs.flow_records_bin_path = v;
+    } else if (std::strcmp(argv[i], "--flow-report") == 0) {
+      obs.flow_report = true;
+    } else if (std::strcmp(argv[i], "--flow-profile") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      obs.flow_profile_path = v;
+    } else if (std::strcmp(argv[i], "--partition-profile") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      partition_profile_path = v;
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
@@ -162,6 +199,7 @@ int main(int argc, char** argv) {
       obs.spans_trace_path = dir + "/spans.json";
       obs.latency_json_path = dir + "/latency.json";
       obs.sync_json_path = dir + "/sync.json";
+      obs.flow_records_path = dir + "/flow.jsonl";
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else if (scenario_path.empty()) {
@@ -175,10 +213,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--topogen and a scenario file are exclusive\n");
     return usage(argv[0]);
   }
+  std::vector<std::uint64_t> partition_weights;
+  if (!partition_profile_path.empty()) {
+    std::ifstream pf(partition_profile_path);
+    if (!pf) {
+      std::fprintf(stderr, "cannot open %s\n",
+                   partition_profile_path.c_str());
+      return 2;
+    }
+    mvpn::backbone::FlowProfile profile;
+    std::string err;
+    if (!mvpn::backbone::load_flow_profile(pf, &profile, &err)) {
+      std::fprintf(stderr, "%s: %s\n", partition_profile_path.c_str(),
+                   err.c_str());
+      return 2;
+    }
+    partition_weights = std::move(profile.node_weight);
+  }
   if (!scenario_path.empty()) {
     return mvpn::backbone::run_scenario_file(
         scenario_path, std::cout, obs, static_cast<std::uint32_t>(shards),
-        flowcache, verbose);
+        flowcache, verbose, std::move(partition_weights));
   }
 
   std::string text;
@@ -209,5 +264,6 @@ int main(int argc, char** argv) {
   }
   if (flowcache >= 0) scenario->set_flowcache(flowcache != 0);
   scenario->set_verbose(verbose);
+  scenario->set_partition_weights(std::move(partition_weights));
   return scenario->run(std::cout) ? 0 : 1;
 }

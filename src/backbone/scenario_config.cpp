@@ -13,12 +13,14 @@
 
 #include "backbone/partition.hpp"
 #include "net/shard_runtime.hpp"
+#include "obs/flow_stats.hpp"
 #include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
 #include "obs/spans.hpp"
 #include "obs/sync_profiler.hpp"
 #include "obs/topology_metrics.hpp"
+#include "qos/dscp.hpp"
 #include "qos/queues.hpp"
 #include "qos/sla.hpp"
 #include "sim/rng.hpp"
@@ -641,9 +643,9 @@ bool Scenario::run(std::ostream& out) const {
   // resolves to the serial objects (sim::current_shard() is kNoShard).
   std::unique_ptr<net::ShardRuntime> runtime;
   if (shards_ > 1 && !any_tcp) {
-    ShardPlan plan = compute_shard_plan(topo, shards_);
+    ShardPlan plan = compute_shard_plan(topo, shards_, partition_weights_);
     if (verbose_) {
-      report_shard_plan(plan, topo, std::cerr);
+      report_shard_plan(plan, topo, std::cerr, partition_weights_);
       if (plan.parallel()) {
         // Flow balance: the partitioner only sees topology, so report how
         // the declared traffic sources actually land on the shards.
@@ -731,6 +733,65 @@ bool Scenario::run(std::ostream& out) const {
     }
   };
 
+  // Per-flow telemetry plane: one accounting table per engine lane (the
+  // serial scheduler, or each shard's), drained into the exporter at exact
+  // scan instants. The sharded driver is a between-window periodic action
+  // (every shard rests past all events before the instant, none at or
+  // after); the serial driver reproduces that same edge by chunking the
+  // run, so the record stream is byte-identical across shard counts. It
+  // must register before the metrics action below so coincident instants
+  // scan first in both modes.
+  std::unique_ptr<obs::FlowExporter> flow_exporter;
+  std::vector<std::unique_ptr<obs::FlowStatsTable>> flow_tables;
+  sim::SimTime flow_scan_period = 0;
+  auto flow_scan = [&](sim::SimTime at) {
+    // Single-lane runs cut records straight out of the table (the
+    // accumulations never leave their slots); sharded runs must fold the
+    // per-shard halves of each flow together first.
+    if (flow_tables.size() == 1) {
+      flow_exporter->scan_table(*flow_tables.front(), at);
+      return;
+    }
+    for (auto& ft : flow_tables) flow_exporter->merge_table(*ft);
+    flow_exporter->scan(at);
+  };
+  if (obs_.flow_enabled()) {
+    obs::FlowExporter::Options fopt;
+    fopt.active_timeout = sim::from_seconds(obs_.flow_active_timeout_s);
+    fopt.idle_timeout = sim::from_seconds(obs_.flow_idle_timeout_s);
+    flow_exporter = std::make_unique<obs::FlowExporter>(fopt);
+    if (obs_.flow_scan_period_s > 0) {
+      flow_scan_period = sim::from_seconds(obs_.flow_scan_period_s);
+    }
+    // Size the tables for the declared flow population: at <= 50% load the
+    // probe window practically never fills, so the spill path stays off
+    // the hot path (and a serial run keeps the table-resident fastpath).
+    const std::size_t flow_slots =
+        std::max(obs::FlowStatsTable::kDefaultSlots, 2 * flows_.size());
+    if (runtime) {
+      std::vector<obs::FlowStatsTable*> ptrs;
+      for (std::uint32_t s = 0; s < runtime->shard_count(); ++s) {
+        flow_tables.push_back(std::make_unique<obs::FlowStatsTable>(
+            &runtime->shard_scheduler(s), flow_slots));
+        ptrs.push_back(flow_tables.back().get());
+      }
+      runtime->set_flow_stats(std::move(ptrs));
+      if (flow_scan_period > 0) {
+        // The action has no instant parameter; track it alongside.
+        auto next = std::make_shared<sim::SimTime>(
+            topo.base_scheduler().now() + flow_scan_period);
+        runtime->add_periodic_action(*next, flow_scan_period, [&, next] {
+          flow_scan(*next);
+          *next += flow_scan_period;
+        });
+      }
+    } else {
+      flow_tables.push_back(std::make_unique<obs::FlowStatsTable>(
+          &topo.base_scheduler(), flow_slots));
+      topo.set_flow_stats(flow_tables.front().get());
+    }
+  }
+
   obs::MetricsRegistry registry;
   std::optional<obs::PeriodicSnapshots> snapshots;
   if (obs_.enabled() && !obs_.metrics_json_path.empty()) {
@@ -740,6 +801,12 @@ bool Scenario::run(std::ostream& out) const {
     if (obs_.engine_metrics && runtime) {
       obs::register_engine_metrics(*runtime, registry);
       if (sync_prof) obs::register_sync_metrics(*sync_prof, registry);
+    }
+    if (obs_.engine_metrics && flow_exporter) {
+      std::vector<obs::FlowStatsTable*> tptrs;
+      tptrs.reserve(flow_tables.size());
+      for (const auto& ft : flow_tables) tptrs.push_back(ft.get());
+      obs::register_flow_metrics(*flow_exporter, tptrs, registry);
     }
     snapshots.emplace(registry, topo.base_scheduler());
     const sim::SimTime period = sim::from_seconds(obs_.snapshot_period_s);
@@ -852,12 +919,26 @@ bool Scenario::run(std::ostream& out) const {
                                     [flow = t.get()] { flow->stop(); });
   }
   const sim::SimTime t_end = t0 + sim::from_seconds(run_for_s_ + 2.0);
+  // Serial runs with the flow exporter armed advance in scan-sized chunks:
+  // run every event strictly before the scan instant, scan, continue. This
+  // reproduces the edge the sharded periodic action rides, so the two
+  // engines cut identical record streams.
+  auto serial_run = [&](sim::SimTime until) {
+    if (flow_exporter && flow_scan_period > 0) {
+      for (sim::SimTime at = t0 + flow_scan_period; at <= until;
+           at += flow_scan_period) {
+        topo.run_until(at - 1);
+        flow_scan(at);
+      }
+    }
+    topo.run_until(until);
+  };
   if (runtime) {
     runtime->run_until(t_end);
   } else if (sync_prof) {
     const std::uint64_t ev0 = topo.base_scheduler().executed_count();
     const auto w0 = std::chrono::steady_clock::now();
-    topo.run_until(t_end);
+    serial_run(t_end);
     sync_prof->record_serial(
         static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -865,7 +946,19 @@ bool Scenario::run(std::ostream& out) const {
                 .count()),
         topo.base_scheduler().executed_count() - ev0);
   } else {
-    topo.run_until(t_end);
+    serial_run(t_end);
+  }
+
+  if (flow_exporter) {
+    // Whatever is still accumulating after the drain window exports with
+    // cause=final; detach the serial table before teardown.
+    if (flow_tables.size() == 1) {
+      flow_exporter->flush_table(*flow_tables.front());
+    } else {
+      for (auto& ft : flow_tables) flow_exporter->merge_table(*ft);
+      flow_exporter->flush();
+    }
+    if (!runtime) topo.set_flow_stats(nullptr);
   }
 
   // Tear the shard runtime down before any report below reads the
@@ -959,6 +1052,38 @@ bool Scenario::run(std::ostream& out) const {
       sf << '\n';
     }
   }
+  if (flow_exporter) {
+    std::map<std::uint32_t, std::string> vpn_names;
+    for (const auto& [name, id] : vpn_ids) vpn_names[id] = name;
+    obs::VpnNamer vnamer = [vpn_names = std::move(vpn_names)](
+                               std::uint32_t id) -> std::string {
+      const auto it = vpn_names.find(id);
+      return it == vpn_names.end() ? "vpn" + std::to_string(id) : it->second;
+    };
+    obs::PhbNamer pnamer = [](std::uint8_t phb) {
+      return qos::to_string(static_cast<qos::Phb>(phb));
+    };
+    if (obs_.flow_report) {
+      out << "\nflow conformance: offered vs delivered per VPN x class ("
+          << flow_exporter->records().size() << " flow records)\n"
+          << flow_exporter->rollup_table(vnamer, pnamer).render();
+    }
+    if (!obs_.flow_records_path.empty()) {
+      std::ofstream ff(obs_.flow_records_path);
+      flow_exporter->write_jsonl(ff, obs::topology_node_namer(bb.topo),
+                                 vnamer, pnamer);
+    }
+    if (!obs_.flow_records_bin_path.empty()) {
+      std::ofstream fb(obs_.flow_records_bin_path, std::ios::binary);
+      flow_exporter->write_binary(fb);
+    }
+  }
+  if (!obs_.flow_profile_path.empty()) {
+    // Measured off link transmit counters, which the run maintains whether
+    // or not flow accounting was armed.
+    std::ofstream pf(obs_.flow_profile_path);
+    write_flow_profile(measure_flow_profile(topo), topo, pf);
+  }
 
   if (!any_tcp) {
     std::uint64_t delivered = sink.delivered();
@@ -982,7 +1107,8 @@ int run_scenario_file(const std::string& path, std::ostream& out) {
 
 int run_scenario_file(const std::string& path, std::ostream& out,
                       const ObsOptions& obs, std::uint32_t shards,
-                      int flowcache, bool verbose) {
+                      int flowcache, bool verbose,
+                      std::vector<std::uint64_t> partition_weights) {
   std::ifstream in(path);
   if (!in) {
     out << "cannot open " << path << "\n";
@@ -1000,6 +1126,7 @@ int run_scenario_file(const std::string& path, std::ostream& out,
   if (shards != 0) scenario->set_shards(shards);
   if (flowcache >= 0) scenario->set_flowcache(flowcache != 0);
   scenario->set_verbose(verbose);
+  scenario->set_partition_weights(std::move(partition_weights));
   return scenario->run(out) ? 0 : 1;
 }
 

@@ -44,6 +44,22 @@ struct ObsOptions {
   /// checks compare metrics snapshots across shard counts.
   bool engine_metrics = false;
 
+  /// Per-flow telemetry plane (obs::FlowStatsTable + FlowExporter): one
+  /// accounting table per engine lane, drained into IPFIX-style flow
+  /// records at exact scan instants so the record stream is byte-identical
+  /// across shard counts. Independent of the flight recorder. The
+  /// `engine/flow/...` gauges ride the engine_metrics opt-in above.
+  std::string flow_records_path;      ///< flow records, one JSON per line
+  std::string flow_records_bin_path;  ///< compact binary records ("MVFR")
+  bool flow_report = false;           ///< print per-VPN x class rollup
+  std::string flow_profile_path;      ///< measured node/link flow weights
+  double flow_active_timeout_s = 0.5;
+  double flow_idle_timeout_s = 0.25;
+  /// Exporter scan cadence. Defaults to the idle timeout: scanning faster
+  /// than the smallest timeout only quantizes cut instants more finely at
+  /// the cost of an extra table drain per instant.
+  double flow_scan_period_s = 0.25;
+
   /// Anything here requires the flight recorder.
   [[nodiscard]] bool enabled() const noexcept {
     return !chrome_trace_path.empty() || !events_jsonl_path.empty() ||
@@ -55,6 +71,12 @@ struct ObsOptions {
   }
   [[nodiscard]] bool sync_enabled() const noexcept {
     return sync_report || !sync_json_path.empty();
+  }
+  /// Flow-record outputs arm the accounting tables. The profile does not:
+  /// it reads link transmit counters the run maintains anyway.
+  [[nodiscard]] bool flow_enabled() const noexcept {
+    return !flow_records_path.empty() || !flow_records_bin_path.empty() ||
+           flow_report;
   }
 };
 
@@ -129,6 +151,19 @@ class Scenario {
   void set_verbose(bool on) { verbose_ = on; }
   [[nodiscard]] bool verbose() const noexcept { return verbose_; }
 
+  /// Per-node flow weights for the partitioner (a measured FlowProfile's
+  /// node_weight vector, typically from a prior run's --flow-profile).
+  /// Empty (the default) keeps the node-count plan. Sharding is
+  /// result-transparent, so a different plan changes wall-clock balance
+  /// but never the reports.
+  void set_partition_weights(std::vector<std::uint64_t> w) {
+    partition_weights_ = std::move(w);
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& partition_weights()
+      const noexcept {
+    return partition_weights_;
+  }
+
   /// True when the scenario came from a `topology generated` directive.
   [[nodiscard]] bool generated() const noexcept {
     return topogen_.has_value();
@@ -198,6 +233,7 @@ class Scenario {
   std::uint32_t shards_ = 1;
   bool flowcache_ = true;
   bool verbose_ = false;
+  std::vector<std::uint64_t> partition_weights_;
   std::optional<TopogenParams> topogen_;
   ObsOptions obs_;
 };
@@ -207,9 +243,12 @@ class Scenario {
 /// `shards` != 0 overrides the scenario file's `run shards=` setting;
 /// `flowcache` 0/1 overrides `run flowcache=` (-1 leaves the file's choice);
 /// `verbose` prints partition diagnostics to stderr.
+/// `partition_weights` feeds the flow-weighted partitioner (see
+/// Scenario::set_partition_weights).
 int run_scenario_file(const std::string& path, std::ostream& out);
 int run_scenario_file(const std::string& path, std::ostream& out,
                       const ObsOptions& obs, std::uint32_t shards = 0,
-                      int flowcache = -1, bool verbose = false);
+                      int flowcache = -1, bool verbose = false,
+                      std::vector<std::uint64_t> partition_weights = {});
 
 }  // namespace mvpn::backbone

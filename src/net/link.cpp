@@ -43,6 +43,20 @@ void Link::stamp_arrival(Direction& dir, Packet& p) {
 
 void Link::record_drop(const Direction& dir, const Packet& p,
                        obs::DropReason reason) {
+#if MVPN_FLOWSTATS_COMPILED
+  // Link-level drops (down link at transmit or at delivery) bypass the
+  // queue disc's funnel, so they charge the flow table here. Runs on the
+  // owning shard's worker thread: transmit-side on the sender, pump-side
+  // only for local (same-shard) hops.
+  if (obs::FlowStatsTable* fs = topo_.flow_stats()) [[unlikely]] {
+    fs->record_drop(
+        obs::FlowStatsTable::make_key(p.ip.src.value(), p.ip.dst.value(),
+                                      p.l4.src_port, p.l4.dst_port,
+                                      p.ip.protocol),
+        p.flow_id, static_cast<std::uint32_t>(p.wire_size()),
+        static_cast<std::uint8_t>(reason));
+  }
+#endif
   obs::FlightRecorder& rec = topo_.recorder();
   if (!rec.enabled(obs::Category::kLink)) return;
   rec.record({.packet_id = p.id,
@@ -297,8 +311,10 @@ void Link::set_queue_from(ip::NodeId from, std::unique_ptr<QueueDisc> q) {
   if (!dir.queue->empty() || topo_.scheduler().now() < dir.busy_until) {
     throw std::logic_error("Link::set_queue_from: direction not idle");
   }
+  obs::FlowStatsTable* fs = dir.queue->flow_stats();
   dir.queue = std::move(q);
   dir.queue->set_trace_context(&topo_.recorder(), from, id_);
+  dir.queue->set_flow_stats(fs);  // replacement inherits the installed tap
 }
 
 const stats::PacketByteCounter& Link::tx_from(ip::NodeId from) const {

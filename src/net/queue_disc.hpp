@@ -7,6 +7,7 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "obs/flow_stats.hpp"
 #include "obs/trace.hpp"
 #include "stats/counter.hpp"
 
@@ -51,11 +52,33 @@ class QueueDisc {
     trace_link_ = link;
   }
 
+  /// Attach (or detach, with nullptr) the flow accounting table every drop
+  /// is charged to. count_drop() is the single funnel every queue
+  /// discipline's drops pass through — tail, RED early/forced, LLQ police —
+  /// so this one tap covers them all. The owning Link (and, per shard, the
+  /// ShardRuntime) repoints this exactly like the trace context.
+  void set_flow_stats(obs::FlowStatsTable* table) noexcept {
+    flow_stats_ = table;
+  }
+  [[nodiscard]] obs::FlowStatsTable* flow_stats() const noexcept {
+    return flow_stats_;
+  }
+
  protected:
   void count_drop(const Packet& p,
                   obs::DropReason reason = obs::DropReason::kTailDrop,
                   std::uint8_t band = 0) noexcept {
     dropped_.record(p.wire_size());
+#if MVPN_FLOWSTATS_COMPILED
+    if (flow_stats_ != nullptr) [[unlikely]] {
+      flow_stats_->record_drop(
+          obs::FlowStatsTable::make_key(p.ip.src.value(), p.ip.dst.value(),
+                                        p.l4.src_port, p.l4.dst_port,
+                                        p.ip.protocol),
+          p.flow_id, static_cast<std::uint32_t>(p.wire_size()),
+          static_cast<std::uint8_t>(reason));
+    }
+#endif
     if (recorder_->enabled(obs::Category::kQueue)) {
       trace_event(obs::EventType::kDrop, p, reason, band);
     }
@@ -77,6 +100,7 @@ class QueueDisc {
 
   stats::PacketByteCounter dropped_;
   stats::PacketByteCounter enqueued_;
+  obs::FlowStatsTable* flow_stats_ = nullptr;
   obs::FlightRecorder* recorder_ = &obs::disabled_recorder();
   std::uint32_t trace_node_ = 0;
   std::uint32_t trace_link_ = 0;

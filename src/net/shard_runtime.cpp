@@ -100,6 +100,20 @@ void ShardRuntime::set_profiler(obs::SyncProfiler* profiler) {
   engine_->set_observer(profiler);
 }
 
+void ShardRuntime::set_flow_stats(std::vector<obs::FlowStatsTable*> tables) {
+  if (tables.size() != shard_count()) {
+    throw std::invalid_argument("ShardRuntime::set_flow_stats: need one table per shard");
+  }
+  binding_.flow_stats = std::move(tables);
+  for (LinkId id = 0; id < topo_.link_count(); ++id) {
+    Link& l = topo_.link(id);
+    for (const ip::NodeId n : {l.end_a().node, l.end_b().node}) {
+      const std::uint32_t s = binding_.node_shard[n];
+      l.queue_from(n).set_flow_stats(binding_.flow_stats[s]);
+    }
+  }
+}
+
 void ShardRuntime::handoff(std::uint32_t dst_shard, sim::SimTime deliver_at,
                            ip::NodeId to, ip::IfIndex iface, const Packet& p) {
   Handoff env;
@@ -288,6 +302,11 @@ void ShardRuntime::finish() {
       while (PacketPtr p = l.queue_from(n).dequeue()) {
       }
       l.queue_from(n).set_trace_context(&master_rec, n, id);
+      if (!binding_.flow_stats.empty()) {
+        // Sharding is uninstalled above, so the ambient accessor answers
+        // with the topology's serial table (possibly null).
+        l.queue_from(n).set_flow_stats(topo_.flow_stats());
+      }
     }
   }
 }

@@ -92,6 +92,14 @@ class ShardRuntime {
   /// profiler must outlive the runtime's last run_until().
   void set_profiler(obs::SyncProfiler* profiler);
 
+  /// Install per-shard flow accounting tables (one per shard, outliving
+  /// the runtime): fills ShardBinding::flow_stats so the ambient
+  /// Topology::flow_stats() answers per worker, and repoints every link
+  /// queue's drop funnel at the transmitting node's shard table — exactly
+  /// the treatment queue trace contexts get. finish() restores the
+  /// topology's serial table. Install while quiescent, before run_until().
+  void set_flow_stats(std::vector<obs::FlowStatsTable*> tables);
+
   /// Tear down the sharded view: uninstall, merge shard trace rings into
   /// the master recorder in global (time, shard) order, restore queue
   /// trace contexts, clear pool owner tags and flush link queues.

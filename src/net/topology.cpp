@@ -30,6 +30,14 @@ LinkId Topology::connect(ip::NodeId a, ip::NodeId b, LinkConfig config) {
   return link_id;
 }
 
+void Topology::set_flow_stats(obs::FlowStatsTable* table) noexcept {
+  flow_stats_ = table;
+  for (const auto& l : links_) {
+    l->queue_from(l->end_a().node).set_flow_stats(table);
+    l->queue_from(l->end_b().node).set_flow_stats(table);
+  }
+}
+
 std::vector<Adjacency> Topology::adjacencies(ip::NodeId node_id) const {
   std::vector<Adjacency> out;
   const Node& n = node(node_id);

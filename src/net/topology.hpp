@@ -15,6 +15,7 @@
 #include "sim/shard.hpp"
 
 namespace mvpn::obs {
+class FlowStatsTable;
 class LatencyCollector;
 }  // namespace mvpn::obs
 
@@ -32,6 +33,7 @@ struct ShardBinding {
   std::vector<PacketFactory*> factories;
   std::vector<obs::FlightRecorder*> recorders;
   std::vector<obs::LatencyCollector*> collectors;
+  std::vector<obs::FlowStatsTable*> flow_stats;
 };
 
 /// Adjacency record used by control-plane code (flooding, SPF).
@@ -112,6 +114,22 @@ class Topology {
       }
     }
     return latency_collector_;
+  }
+
+  /// Optional per-flow accounting table (INTERNALS.md §13). Null (the
+  /// default) keeps the data plane at one pointer test per hook. Setting it
+  /// also repoints every link queue's drop funnel at the table; a sharded
+  /// run overrides per worker via ShardBinding::flow_stats, exactly like
+  /// the latency collector.
+  void set_flow_stats(obs::FlowStatsTable* table) noexcept;
+  [[nodiscard]] obs::FlowStatsTable* flow_stats() const noexcept {
+    if (shards_ != nullptr) [[unlikely]] {
+      const std::uint32_t s = sim::current_shard();
+      if (s != sim::kNoShard && !shards_->flow_stats.empty()) {
+        return shards_->flow_stats[s];
+      }
+    }
+    return flow_stats_;
   }
 
   /// Simulator-wide flight recorder (disabled until enable()d). Under a
@@ -208,6 +226,7 @@ class Topology {
   std::vector<std::unique_ptr<Link>> links_;
   obs::HookList<ip::NodeId, const Packet&> taps_;
   obs::LatencyCollector* latency_collector_ = nullptr;
+  obs::FlowStatsTable* flow_stats_ = nullptr;
   const ShardBinding* shards_ = nullptr;
   ShardRuntime* shard_runtime_ = nullptr;
   std::uint32_t next_transfer_net_ = 0;  // allocator for /30 link subnets

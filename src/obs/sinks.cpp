@@ -130,8 +130,21 @@ void write_chrome_trace(const FlightRecorder& rec, std::ostream& out,
 
   // Engine lanes (pid 2): per-worker epoch durations + coordinator
   // instants, on the same sim-time axis as the packet events above.
+  // A profiled run that completed in zero windows (or a serial run's
+  // shape-compatible profile) has no epoch slots at all — emitting the
+  // pid-2 process/thread metadata anyway would paint an empty "engine"
+  // process with orphaned lane names, so the whole block is skipped
+  // unless at least one worker or coordinator slot was retained.
   if (sync != nullptr) {
     const std::uint32_t shards = sync->shard_count();
+    bool any_slots = !sync->coordinator_snapshot().empty();
+    for (std::uint32_t s = 0; !any_slots && s < shards; ++s) {
+      any_slots = !sync->worker_snapshot(s).empty();
+    }
+    if (!any_slots) {
+      out << "\n]}\n";
+      return;
+    }
     auto emit = [&](const std::string& json) {
       if (!first) out << ",\n";
       first = false;

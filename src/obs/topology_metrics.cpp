@@ -17,6 +17,24 @@ void register_router(const vpn::Router& r, const std::string& prefix,
         &c.label_miss, &c.no_tunnel, &c.policed, &c.esp_rejected}) {
     reg.add_counter(prefix + "/router/" + counter->name(), counter);
   }
+  // Flow fastpath cache health, straight from the router — previously only
+  // visible through the sync profiler's injected CacheSampler, which left
+  // serial runs (and sharded runs without a profiler) blind to it.
+  const vpn::Router* rp = &r;
+  reg.add_gauge(prefix + "/router/fastpath/hits", [rp] {
+    return static_cast<double>(rp->flowcache_stats().hits);
+  });
+  reg.add_gauge(prefix + "/router/fastpath/misses", [rp] {
+    return static_cast<double>(rp->flowcache_stats().misses);
+  });
+  reg.add_gauge(prefix + "/router/fastpath/invalidated", [rp] {
+    return static_cast<double>(rp->flowcache_stats().invalidated);
+  });
+  reg.add_gauge(prefix + "/router/fastpath/hit_rate", [rp] {
+    const auto& fc = rp->flowcache_stats();
+    const double probes = static_cast<double>(fc.hits + fc.misses);
+    return probes == 0.0 ? 0.0 : static_cast<double>(fc.hits) / probes;
+  });
   for (const vpn::Vrf* vrf : const_cast<vpn::Router&>(r).vrfs()) {
     reg.add_gauge(prefix + "/vrf/" + vrf->config().name + "/routes",
                   [vrf] { return static_cast<double>(vrf->table().size()); });

@@ -3,9 +3,21 @@
 #include <functional>
 #include <stdexcept>
 
+#include "obs/flow_stats.hpp"
 #include "obs/latency.hpp"
 
 namespace mvpn::vpn {
+
+namespace {
+/// Flow-accounting key: bit-identical to the fastpath FlowKey packing, so
+/// the telemetry plane and the flow caches agree on flow identity.
+[[nodiscard]] obs::FlowStatsTable::Key flow_acct_key(
+    const net::Packet& p) noexcept {
+  return obs::FlowStatsTable::make_key(p.ip.src.value(), p.ip.dst.value(),
+                                       p.l4.src_port, p.l4.dst_port,
+                                       p.ip.protocol);
+}
+}  // namespace
 
 const char* to_string(Role r) noexcept {
   switch (r) {
@@ -20,6 +32,16 @@ Router::Router(net::Topology& topo, ip::NodeId id, std::string name, Role role)
     : net::Node(topo, id, std::move(name)), role_(role) {}
 
 void Router::trace_drop(const net::Packet& p, obs::DropReason reason) noexcept {
+#if MVPN_FLOWSTATS_COMPILED
+  // Every router-level drop (TTL, no-route, label miss, police, ESP
+  // reject) funnels through here before the trace gate, so the flow table
+  // sees drops even when tracing is off.
+  if (obs::FlowStatsTable* fs = topology().flow_stats()) [[unlikely]] {
+    fs->record_drop(flow_acct_key(p), p.flow_id,
+                    static_cast<std::uint32_t>(p.wire_size()),
+                    static_cast<std::uint8_t>(reason));
+  }
+#endif
   obs::FlightRecorder& r = rec();
   if (!r.enabled(obs::Category::kVpn)) return;
   r.record({.packet_id = p.id,
@@ -211,6 +233,12 @@ void Router::inject(net::PacketPtr p) {
   if (policer != nullptr) {
     const qos::Color color =
         policer->check(topology().scheduler().now(), p->wire_size());
+#if MVPN_FLOWSTATS_COMPILED
+    if (obs::FlowStatsTable* fs = topology().flow_stats()) [[unlikely]] {
+      fs->record_color(flow_acct_key(*p), p->flow_id,
+                       static_cast<std::uint8_t>(color));
+    }
+#endif
     if (color == qos::Color::kRed) {
       counters_.policed.add();
       trace_drop(*p, obs::DropReason::kPoliced);
@@ -300,7 +328,22 @@ void Router::receive(net::PacketPtr p, ip::IfIndex in_if) {
     });
     return;
   }
-  forward_ip(std::move(p), vrf_of_interface(in_if));
+  Vrf* vrf = vrf_of_interface(in_if);
+#if MVPN_FLOWSTATS_COMPILED
+  // A packet arriving on a VRF-bound (customer-facing) interface is the
+  // VPN's offered load: exactly once per packet, at the ingress PE, with
+  // full attribution. (The egress PE's pop-and-deliver path reaches
+  // forward_ip via the transit path, never through here.)
+  if (vrf != nullptr) {
+    if (obs::FlowStatsTable* fs = topology().flow_stats()) [[unlikely]] {
+      fs->record_offered(
+          flow_acct_key(*p), p->flow_id,
+          static_cast<std::uint32_t>(p->wire_size()), id(), vrf->vpn_id(),
+          static_cast<std::uint8_t>(qos::phb_of_dscp(p->visible_dscp())));
+    }
+  }
+#endif
+  forward_ip(std::move(p), vrf);
 }
 
 void Router::forward_ip(net::PacketPtr p, Vrf* vrf) {
@@ -678,6 +721,13 @@ void Router::deliver_local(net::PacketPtr p, VpnId vpn) {
     oam_taps_.invoke(*p);
     return;
   }
+#if MVPN_FLOWSTATS_COMPILED
+  if (obs::FlowStatsTable* fs = topology().flow_stats()) [[unlikely]] {
+    fs->record_delivered(flow_acct_key(*p), p->flow_id,
+                         static_cast<std::uint32_t>(p->wire_size()),
+                         deliver_now - p->created_at);
+  }
+#endif
   if (rec().enabled(obs::Category::kVpn)) {
     rec().record({.packet_id = p->id,
                   .node = id(),

@@ -33,6 +33,7 @@
 #include "qos/classifier.hpp"
 #include "qos/sla.hpp"
 #include "stats/table.hpp"
+#include "traffic/flowset.hpp"
 #include "traffic/sink.hpp"
 #include "traffic/source.hpp"
 
@@ -223,7 +224,28 @@ struct ShardedResult {
   double critical_share = 0.0;
   double event_spread = 0.0;
   std::vector<std::uint64_t> node_weight;  ///< measured flow profile
+  /// Megaflow instrumentation: wall time spent building + arming the
+  /// traffic engine, and the FlowSet engine's own memory accounting
+  /// (zero on legacy-source runs).
+  double setup_s = 0.0;
+  std::size_t src_state_bytes = 0;
+  std::size_t src_calendar_bytes = 0;
 };
+
+/// Peak resident set size of this process in kB (VmHWM from
+/// /proc/self/status); 0 where the file is unavailable. Monotone across a
+/// process's life, so sweep stages must run in ascending size order for
+/// per-stage readings to mean anything.
+std::uint64_t vmhwm_kb() {
+  std::ifstream f("/proc/self/status");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtoull(line.c_str() + 6, nullptr, 10);
+    }
+  }
+  return 0;
+}
 
 void keep_best(ShardedResult& best, ShardedResult r) {
   if (best.thr.wall_s == 0 || r.thr.wall_s < best.thr.wall_s) {
@@ -527,6 +549,7 @@ struct TopogenOpts {
   bool profile = false;
   bool flow = false;
   bool measure_profile = false;
+  bool flowset = false;  ///< SoA FlowSet engine instead of Source objects
   const std::vector<std::uint64_t>* weights = nullptr;
 };
 
@@ -610,19 +633,55 @@ ShardedResult run_topogen(const backbone::GeneratedPlan& plan,
   }
 
   std::vector<std::unique_ptr<traffic::Source>> sources;
-  sources.reserve(plan.flows.size());
+  std::vector<std::unique_ptr<traffic::FlowSet>> fsets;
+  const sim::SimTime tb = bb.topo.base_scheduler().now();
+  const auto setup0 = std::chrono::steady_clock::now();
+  if (opt.flowset) {
+    // Megaflow engine: one SoA FlowSet per lane, same flow ids/streams.
+    for (std::uint32_t s = 0; s < lanes; ++s) {
+      fsets.push_back(std::make_unique<traffic::FlowSet>(
+          runtime ? runtime->shard_scheduler(s) : bb.topo.scheduler(),
+          probes[s].get(), plan.backbone.seed));
+      for (std::size_t i = 0; i < sites.size(); ++i) {
+        fsets[s]->add_site(
+            *sites[i].ce,
+            ip::Ipv4Address(plan.sites[i].prefix.address().value() + 1));
+      }
+    }
+  } else {
+    sources.reserve(plan.flows.size());
+  }
   for (std::size_t i = 0; i < plan.flows.size(); ++i) {
     const backbone::PlanFlow& f = plan.flows[i];
+    const auto id = static_cast<std::uint32_t>(1 + i);
+    const vpn::VpnId flow_vpn = vpns[plan.sites[f.from].vpn];
+    sinks[lane_of(f.to)]->expect_flow(id, f.phb, flow_vpn);
+    if (opt.flowset) {
+      traffic::FlowSet::FlowDef d;
+      d.flow_id = id;
+      d.from_site = static_cast<std::uint32_t>(f.from);
+      d.to_site = static_cast<std::uint32_t>(f.to);
+      d.kind = f.kind == "cbr"       ? traffic::FlowSet::Kind::kCbr
+               : f.kind == "poisson" ? traffic::FlowSet::Kind::kPoisson
+                                     : traffic::FlowSet::Kind::kOnOff;
+      d.rate_bps = f.rate_bps;
+      d.vpn = flow_vpn;
+      d.phb = f.phb;
+      d.premark = f.phb != qos::Phb::kBe;  // generated CEs carry no ACLs
+      d.dst_port = f.port;
+      d.payload_bytes = static_cast<std::uint32_t>(f.size);
+      d.start = tb + sim::from_seconds(f.start_s);
+      fsets[lane_of(f.from)]->add_flow(d);
+      continue;
+    }
     traffic::FlowSpec spec;
     spec.src = ip::Ipv4Address(plan.sites[f.from].prefix.address().value() + 1);
     spec.dst = ip::Ipv4Address(plan.sites[f.to].prefix.address().value() + 1);
     spec.dst_port = f.port;
     spec.payload_bytes = f.size;
-    spec.vpn = vpns[plan.sites[f.from].vpn];
+    spec.vpn = flow_vpn;
     spec.phb = f.phb;
-    spec.premark = f.phb != qos::Phb::kBe;  // generated CEs carry no ACLs
-    const auto id = static_cast<std::uint32_t>(1 + i);
-    sinks[lane_of(f.to)]->expect_flow(id, f.phb, spec.vpn);
+    spec.premark = f.phb != qos::Phb::kBe;
     vpn::Router& ce = *sites[f.from].ce;
     qos::SlaProbe* probe = probes[lane_of(f.from)].get();
     if (f.kind == "cbr") {
@@ -637,6 +696,9 @@ ShardedResult run_topogen(const backbone::GeneratedPlan& plan,
           ce, spec, id, probe, f.rate_bps, 0.2, 0.2));
     }
   }
+  double setup_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - setup0)
+          .count();
 
   // Flow-accounting variants mirror the scenario layer's wiring (§13): one
   // table per lane, scanned at 0.25 s instants — a periodic engine action
@@ -689,6 +751,11 @@ ShardedResult run_topogen(const backbone::GeneratedPlan& plan,
   for (std::size_t i = 0; i < sources.size(); ++i) {
     sources[i]->run(t0 + sim::from_seconds(plan.flows[i].start_s), t_stop);
   }
+  for (auto& fs : fsets) fs->run(t_stop);
+  // Arming the calendars (or the legacy first events) is part of setup.
+  setup_s += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           wall0)
+                 .count();
   const sim::SimTime t_end = t0 + sim::from_seconds(sim_seconds + 0.5);
   auto serial_run = [&](sim::SimTime until) {
     if (fexp) {
@@ -721,6 +788,11 @@ ShardedResult run_topogen(const backbone::GeneratedPlan& plan,
   ShardedResult r;
   r.thr.flows = plan.flows.size();
   r.thr.sim_seconds = sim_seconds;
+  r.setup_s = setup_s;
+  for (const auto& fs : fsets) {
+    r.src_state_bytes += fs->state_bytes();
+    r.src_calendar_bytes += fs->calendar_bytes();
+  }
   for (auto& s : sinks) r.thr.delivered += s->delivered();
   r.thr.events = bb.topo.base_scheduler().executed_count() - ev0;
   if (runtime) {
@@ -967,6 +1039,169 @@ int run_flow_phases(const char* json_path) {
     std::fclose(f);
   }
   return identical ? 0 : 1;
+}
+
+// --- Megaflow traffic engine (E11) ---------------------------------------
+//
+// Two questions about the SoA FlowSet engine:
+// 1) A/B at the established 8k-flow workload: byte identity against the
+//    per-flow Source objects (delivered counts + merged SLA CSV, the same
+//    "md5-equal" idiom the shard phases use) and the pps ratio, interleaved
+//    rep by rep like every other A/B here.
+// 2) The 10^4/10^5/10^6 flow sweep the Source engine was never asked to
+//    reach: engine setup time, FlowSet state bytes/flow (the <= 64 B/flow
+//    budget run_benchmarks.sh guards), calendar bytes/flow, process VmHWM,
+//    and — at 10^5 — serial vs 4-shard byte identity.
+// Sim windows shrink as flow counts grow so packet counts stay comparable;
+// stages run in ascending size order because VmHWM is monotone — each
+// reading bounds its own stage from above.
+
+int run_megaflow_phases(const char* json_path) {
+  backbone::TopogenParams params;
+  params.p = 16;
+  params.pe = 64;
+  params.ce = 2;
+  params.pod = 8;
+  params.flows = 8192;
+  params.seed = 7;
+  constexpr double kSimSeconds = 1.0;
+  const backbone::GeneratedPlan plan8k = backbone::generate_plan(params);
+  const char* topo = "generated 16P/64PE/128CE";
+  std::printf("generated topology: %zu P / %zu PE / %zu sites, %zu flows "
+              "(plan hash %016llx)\n\n",
+              params.p, params.pe, plan8k.sites.size(), plan8k.flows.size(),
+              static_cast<unsigned long long>(plan8k.hash()));
+
+  ShardedResult legacy, fset;
+  for (int i = 0; i < 3; ++i) {
+    keep_best(legacy, run_topogen(plan8k, 1, kSimSeconds));
+    keep_best(fset, run_topogen(plan8k, 1, kSimSeconds, {.flowset = true}));
+  }
+  print_throughput(legacy.thr, "legacy sources, serial", topo);
+  std::printf("\n");
+  print_throughput(fset.thr, "flowset engine, serial", topo);
+  const bool identical_8k = legacy.thr.delivered == fset.thr.delivered &&
+                            legacy.sla_csv == fset.sla_csv;
+  const double ratio = legacy.thr.wall_s > 0
+                           ? fset.thr.packets_per_sec() /
+                                 legacy.thr.packets_per_sec()
+                           : 0.0;
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf(
+      "  megaflow 8k A/B   : %.3fx pps vs legacy, setup %.1f ms vs %.1f ms, "
+      "state %.1f B/flow, identity %s\n",
+      ratio, fset.setup_s * 1e3, legacy.setup_s * 1e3,
+      fset.thr.flows > 0 ? static_cast<double>(fset.src_state_bytes) /
+                               static_cast<double>(fset.thr.flows)
+                         : 0.0,
+      identical_8k ? "holds" : "BROKEN");
+  if (!identical_8k) {
+    std::fprintf(stderr,
+                 "MEGAFLOW IDENTITY FAILED at 8k: delivered %llu vs %llu, "
+                 "SLA tables %s\n",
+                 static_cast<unsigned long long>(fset.thr.delivered),
+                 static_cast<unsigned long long>(legacy.thr.delivered),
+                 fset.sla_csv == legacy.sla_csv ? "equal" : "differ");
+  }
+
+  struct Stage {
+    std::size_t flows = 0;
+    double sim_s = 0;
+    ShardedResult r;
+    ShardedResult r4;
+    bool ran4 = false;
+    bool identical4 = false;
+    std::uint64_t hwm_kb = 0;
+  };
+  const std::size_t kStageFlows[] = {10'000, 100'000, 1'000'000};
+  const double kStageSimS[] = {0.5, 0.2, 0.02};
+  std::vector<Stage> stages(3);
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    stages[i].flows = kStageFlows[i];
+    stages[i].sim_s = kStageSimS[i];
+  }
+  bool identical_1e5 = true;
+  for (Stage& st : stages) {
+    backbone::TopogenParams sp = params;
+    sp.flows = st.flows;
+    const backbone::GeneratedPlan plan = backbone::generate_plan(sp);
+    st.r = run_topogen(plan, 1, st.sim_s, {.flowset = true});
+    if (st.flows == 100'000) {
+      // The acceptance point: a 10^5-flow generated plan, serial vs
+      // 4-shard, byte-identical merged SLA table.
+      st.ran4 = true;
+      st.r4 = run_topogen(plan, 4, st.sim_s, {.flowset = true});
+      st.identical4 = st.r4.thr.delivered == st.r.thr.delivered &&
+                      st.r4.sla_csv == st.r.sla_csv;
+      identical_1e5 = st.identical4;
+    }
+    st.hwm_kb = vmhwm_kb();
+    std::printf(
+        "  %8zu flows     : setup %7.1f ms, %9.0f pkts/s, state %.1f B/flow, "
+        "calendar %.1f B/flow, VmHWM %llu MB%s\n",
+        st.flows, st.r.setup_s * 1e3, st.r.thr.packets_per_sec(),
+        static_cast<double>(st.r.src_state_bytes) /
+            static_cast<double>(st.flows),
+        static_cast<double>(st.r.src_calendar_bytes) /
+            static_cast<double>(st.flows),
+        static_cast<unsigned long long>(st.hwm_kb / 1024),
+        st.ran4 ? (st.identical4 ? ", serial==4-shard" : ", 4-SHARD DIFFERS")
+                : "");
+  }
+  const Stage& big = stages[1];  // the 10^5 stage run_benchmarks.sh guards
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"benchmark\": \"bench_scalability_megaflow\",\n"
+        "  \"topology\": \"%s\",\n"
+        "  \"hardware_threads\": %u,\n"
+        "  \"identical_8k\": %s,\n"
+        "  \"legacy_packets_per_sec\": %.1f,\n"
+        "  \"flowset_packets_per_sec\": %.1f,\n"
+        "  \"flowset_vs_legacy_ratio\": %.4f,\n"
+        "  \"legacy_setup_s_8k\": %.4f,\n"
+        "  \"flowset_setup_s_8k\": %.4f,\n"
+        "  \"identical_1e5_shards\": %s,\n"
+        "  \"setup_s_1e5\": %.4f,\n"
+        "  \"state_bytes_per_flow_1e5\": %.2f,\n"
+        "  \"calendar_bytes_per_flow_1e5\": %.2f,\n"
+        "  \"sweep\": [\n",
+        topo, hw, identical_8k ? "true" : "false",
+        legacy.thr.packets_per_sec(), fset.thr.packets_per_sec(), ratio,
+        legacy.setup_s, fset.setup_s, identical_1e5 ? "true" : "false",
+        big.r.setup_s,
+        static_cast<double>(big.r.src_state_bytes) /
+            static_cast<double>(big.flows),
+        static_cast<double>(big.r.src_calendar_bytes) /
+            static_cast<double>(big.flows));
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      const Stage& st = stages[i];
+      std::fprintf(
+          f,
+          "    {\"flows\": %zu, \"sim_seconds\": %.3f, \"setup_s\": %.4f, "
+          "\"packets_per_sec\": %.1f, \"delivered\": %llu, "
+          "\"state_bytes_per_flow\": %.2f, \"calendar_bytes_per_flow\": %.2f, "
+          "\"vmhwm_mb\": %llu}%s\n",
+          st.flows, st.sim_s, st.r.setup_s, st.r.thr.packets_per_sec(),
+          static_cast<unsigned long long>(st.r.thr.delivered),
+          static_cast<double>(st.r.src_state_bytes) /
+              static_cast<double>(st.flows),
+          static_cast<double>(st.r.src_calendar_bytes) /
+              static_cast<double>(st.flows),
+          static_cast<unsigned long long>(st.hwm_kb / 1024),
+          i + 1 < stages.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+  return identical_8k && identical_1e5 ? 0 : 1;
 }
 
 // --- Flow fastpath cache -------------------------------------------------
@@ -1281,10 +1516,12 @@ int main(int argc, char** argv) {
   const char* flowcache_path = nullptr;
   const char* topogen_path = nullptr;
   const char* flow_path = nullptr;
+  const char* megaflow_path = nullptr;
   bool sharded_only = false;
   bool flowcache_only = false;
   bool topogen_only = false;
   bool flow_only = false;
+  bool megaflow_only = false;
   bool flowcache = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--throughput-only") == 0) {
@@ -1297,6 +1534,8 @@ int main(int argc, char** argv) {
       flowcache_only = true;
     } else if (std::strcmp(argv[i], "--flow-only") == 0) {
       flow_only = true;
+    } else if (std::strcmp(argv[i], "--megaflow-only") == 0) {
+      megaflow_only = true;
     } else if (std::strcmp(argv[i], "--no-flowcache") == 0) {
       flowcache = false;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -1307,6 +1546,8 @@ int main(int argc, char** argv) {
       topogen_path = argv[++i];
     } else if (std::strcmp(argv[i], "--flow-json") == 0 && i + 1 < argc) {
       flow_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--megaflow-json") == 0 && i + 1 < argc) {
+      megaflow_path = argv[++i];
     } else if (std::strcmp(argv[i], "--flowcache-json") == 0 &&
                i + 1 < argc) {
       flowcache_path = argv[++i];
@@ -1315,9 +1556,11 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--throughput-only] [--sharded-only] "
-                   "[--topogen-only] [--flow-only] [--flowcache-only] "
+                   "[--topogen-only] [--flow-only] [--megaflow-only] "
+                   "[--flowcache-only] "
                    "[--no-flowcache] [--json FILE] [--sharded-json FILE] "
                    "[--topogen-json FILE] [--flow-json FILE] "
+                   "[--megaflow-json FILE] "
                    "[--flowcache-json FILE] [--baseline FILE]\n",
                    argv[0]);
       return 2;
@@ -1332,6 +1575,9 @@ int main(int argc, char** argv) {
   }
   if (flow_only) {
     return run_flow_phases(flow_path);
+  }
+  if (megaflow_only) {
+    return run_megaflow_phases(megaflow_path);
   }
   if (flowcache_only) {
     return run_flowcache_phases(flowcache_path);

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the hot-path performance suites and collects one JSON report at the
-# repo root (BENCH_PR8.json). Usage:
+# repo root (BENCH_PR9.json). Usage:
 #
 #   bench/run_benchmarks.sh [--build DIR] [--seed-bin PATH] [--out FILE]
 #                           [--baseline FILE]
@@ -13,8 +13,8 @@
 #                    path, serial and tracing-on throughput — the latter two
 #                    also bound the profiler-off cost, which is one untaken
 #                    branch per epoch) are enforced
-#   --out FILE       output report (default: <repo>/BENCH_PR8.json)
-#   --baseline FILE  earlier report (default: <repo>/BENCH_PR7.json when it
+#   --out FILE       output report (default: <repo>/BENCH_PR9.json)
+#   --baseline FILE  earlier report (default: <repo>/BENCH_PR8.json when it
 #                    exists); its figures are folded into the report as
 #                    informational ratios — stored reports come from other
 #                    machines, so hard guards only use numbers measured in
@@ -30,7 +30,12 @@
 # flow phase A/Bs the per-flow accounting plane on the generated topology
 # (flow-on must replay byte-identical delivered/SLA outputs; the serial
 # accounting overhead is bounded; flow-weighted partitioning must spread
-# the topology-generator hot spot across shards). A
+# the topology-generator hot spot across shards). The megaflow phase A/Bs
+# the SoA FlowSet source engine against the legacy per-flow Source objects
+# (byte-identical delivered/SLA outputs at 8k flows, serial == 4-shard at
+# 10^5 flows, <= 64 B of source state per flow, 10^5-flow setup under 1 s)
+# and sweeps 10^4/10^5/10^6 flows for setup time, throughput and peak
+# memory. A
 # scenario run with metrics enabled contributes the per-DSCP-class
 # latency/drop breakdown plus the per-hop/per-class delay decomposition,
 # and bench_convergence contributes the causal-span summary (LDP mapping,
@@ -40,7 +45,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build"
 SEED_BIN=""
-OUT="$ROOT/BENCH_PR8.json"
+OUT="$ROOT/BENCH_PR9.json"
 BASELINE=""
 
 while [[ $# -gt 0 ]]; do
@@ -53,8 +58,8 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-if [[ -z "$BASELINE" && -f "$ROOT/BENCH_PR7.json" ]]; then
-  BASELINE="$ROOT/BENCH_PR7.json"
+if [[ -z "$BASELINE" && -f "$ROOT/BENCH_PR8.json" ]]; then
+  BASELINE="$ROOT/BENCH_PR8.json"
 fi
 
 TMP="$(mktemp -d)"
@@ -253,6 +258,44 @@ jq -e '
   else error("flow-weighted partition failed to spread load: event spread \(.partition_node.event_spread)x -> \(.partition_flow.event_spread)x")
   end' "$TMP/flow.json"
 
+echo
+echo "== megaflow FlowSet engine vs legacy sources + 10^4..10^6 sweep =="
+t0=$(mark)
+"$BUILD/bench/bench_scalability" --megaflow-only \
+  --megaflow-json "$TMP/megaflow.json"
+record_phase megaflow "$t0" "$(mark)"
+
+# PR9 megaflow guards. Identity is unconditional and in-process: at 8k
+# flows the FlowSet engine must replay the legacy Source path's delivered
+# counts and per-class SLA table byte for byte, and at 10^5 flows the
+# serial and 4-shard FlowSet runs must agree the same way. The footprint
+# guards are deterministic: <= 64 B of SoA source state per flow at 10^5
+# flows, and the 10^5-flow build+arm must finish inside 1 s. The
+# throughput guard is the interleaved best-of-3 A/B at 8k flows — the
+# FlowSet path must keep >= 97% of the legacy rate on hosts with real
+# parallel headroom; on a time-sliced single core the run-to-run noise is
+# wider, so there we only require the 80% floor.
+jq -e '
+  if .identical_8k != true then
+    error("megaflow engine diverged from legacy sources at 8k flows")
+  elif .identical_1e5_shards != true then
+    error("megaflow serial and 4-shard outputs diverged at 1e5 flows")
+  elif .state_bytes_per_flow_1e5 > 64 then
+    error("megaflow state \(.state_bytes_per_flow_1e5) B/flow exceeds the 64 B budget")
+  elif .setup_s_1e5 >= 1.0 then
+    error("megaflow 1e5-flow setup took \(.setup_s_1e5) s (budget 1 s)")
+  elif .hardware_threads >= 4 then
+    if .flowset_vs_legacy_ratio >= 0.97
+    then "megaflow ok: \(.flowset_vs_legacy_ratio)x vs legacy @8k, \(.state_bytes_per_flow_1e5) B/flow, 1e5 setup \(.setup_s_1e5) s"
+    else error("megaflow throughput \(.flowset_vs_legacy_ratio)x fell below 97% of the legacy path")
+    end
+  else
+    if .flowset_vs_legacy_ratio >= 0.80
+    then "megaflow ok on \(.hardware_threads) hw thread(s): \(.flowset_vs_legacy_ratio)x vs legacy @8k (3% bar needs >=4 cores), \(.state_bytes_per_flow_1e5) B/flow"
+    else error("megaflow throughput \(.flowset_vs_legacy_ratio)x fell below the single-core 80% floor")
+    end
+  end' "$TMP/megaflow.json"
+
 if [[ -n "$SEED_BIN" ]]; then
   echo
   echo "== seed-baseline comparison (interleaved best-of-3 per side) =="
@@ -349,6 +392,7 @@ jq -n \
   --slurpfile topo "$TMP/topogen.json" \
   --slurpfile fc "$TMP/flowcache.json" \
   --slurpfile flow "$TMP/flow.json" \
+  --slurpfile mega "$TMP/megaflow.json" \
   --slurpfile nocache "$TMP/throughput_nocache.json" \
   --slurpfile seed "$TMP/throughput_seed.json" \
   --slurpfile base "$TMP/baseline.json" \
@@ -369,6 +413,7 @@ jq -n \
     topogen_sharded: $topo[0],
     flowcache: $fc[0],
     flow_accounting: $flow[0],
+    megaflow: $mega[0],
     throughput_cache_off:
       (if ($nocache[0] | length) > 0 then $nocache[0] else null end),
     seed_baseline: (if ($seed[0] | length) > 0 then $seed[0] else null end),
@@ -398,6 +443,8 @@ jq -r '"packets/sec: \(.throughput.packets_per_sec)  tracing-on: \(.throughput.t
 jq -r '"fastpath: \(.flowcache.fastpath_speedup)x over the uncached path (hit rate \(.flowcache.hit_rate), identical: \(.flowcache.identical))"' "$OUT"
 jq -r '"flow accounting: serial ratio \(.flow_accounting.flow_on_serial_ratio), @4 shards \(.flow_accounting.flow_on_shards4_ratio) (\(.flow_accounting.flow_records) records, identical: \(.flow_accounting.identical))"' "$OUT"
 jq -r '"flow partition: event spread \(.flow_accounting.partition_node.event_spread)x -> \(.flow_accounting.partition_flow.event_spread)x, critical share \(.flow_accounting.partition_node.critical_share) -> \(.flow_accounting.partition_flow.critical_share)"' "$OUT"
+jq -r '"megaflow: \(.megaflow.flowset_vs_legacy_ratio)x vs legacy @8k (identical: \(.megaflow.identical_8k)), \(.megaflow.state_bytes_per_flow_1e5) B/flow, 1e5 setup \(.megaflow.setup_s_1e5) s (serial==4-shard: \(.megaflow.identical_1e5_shards))"' "$OUT"
+jq -r '".. megaflow sweep: \([.megaflow.sweep[] | "\(.flows)f \(.setup_s)s setup \(.vmhwm_mb)MB"] | join(", "))"' "$OUT"
 jq -r '"sharded: \(.sharded.speedup_shards4)x @4 shards (\(.sharded.hardware_threads) hw threads, deterministic: \(.sharded.deterministic))"' "$OUT"
 jq -r '"topogen sharded: \(.topogen_sharded.speedup_shards4)x @4 shards on \(.topogen_sharded.topology) (\(.topogen_sharded.delivered_packets) pkts, deterministic: \(.topogen_sharded.deterministic))"' "$OUT"
 jq -r '"sync profiler: serial ratio \(.topogen_sharded.profiler_on_serial_ratio), @4 shards \(.topogen_sharded.profiler_on_shards4_ratio) (identical: \(.topogen_sharded.profiled_identical)); 4-shard busy \([.topogen_sharded.sync_profile.shards4.lanes[].busy_fraction])"' "$OUT"

@@ -25,6 +25,7 @@
 #include "qos/sla.hpp"
 #include "sim/rng.hpp"
 #include "traffic/dispatcher.hpp"
+#include "traffic/flowset.hpp"
 #include "traffic/tcp_lite.hpp"
 
 namespace mvpn::backbone {
@@ -435,6 +436,15 @@ std::optional<Scenario> Scenario::parse(const std::string& text,
           return fail(line_no, "bad flowcache= (want on|off)");
         }
       }
+      if (auto v = kv("sources")) {
+        if (*v == "legacy") {
+          sc.legacy_sources_ = true;
+        } else if (*v == "flowset") {
+          sc.legacy_sources_ = false;
+        } else {
+          return fail(line_no, "bad sources= (want flowset|legacy)");
+        }
+      }
     } else {
       return fail(line_no, "unknown directive " + line.directive);
     }
@@ -838,10 +848,11 @@ bool Scenario::run(std::ostream& out) const {
     for (std::size_t s = 0; s < built.size(); ++s) {
       dispatcher_for(s).set_default(
           [&sink](const net::Packet& p, vpn::VpnId vpn) {
-            // Forward non-TCP deliveries into the measurement sink's path
-            // by reusing its router hook contract.
-            (void)p;
-            (void)vpn;
+            // A delivery neither a TCP endpoint nor a measured-flow handler
+            // claimed. Account it in the sink — it surfaces in the final
+            // delivered/leaks/unknown line (and fails the run when nonzero)
+            // instead of vanishing from the SLA accounting.
+            sink.on_delivery(p, vpn);
           });
     }
   } else {
@@ -853,6 +864,29 @@ bool Scenario::run(std::ostream& out) const {
   std::vector<std::unique_ptr<traffic::Source>> sources;
   std::vector<double> source_start_s;  // parallel to `sources`
   std::vector<std::unique_ptr<traffic::TcpLiteFlow>> tcp_flows;
+  // Default engine: one SoA FlowSet per engine lane (the serial scheduler,
+  // or each shard's) holding every cbr/poisson/onoff flow whose source CE
+  // lives on that lane — byte-identical to the legacy per-flow Source
+  // objects, which `run sources=legacy` brings back for A/B runs.
+  std::vector<std::unique_ptr<traffic::FlowSet>> flowsets(
+      runtime ? runtime->shard_count() : 1);
+  auto flowset_at = [&](std::size_t site) -> traffic::FlowSet& {
+    const std::uint32_t lane =
+        runtime ? topo.shard_of(built[site].ce->id()) : 0;
+    auto& fs = flowsets[lane];
+    if (!fs) {
+      fs = std::make_unique<traffic::FlowSet>(
+          runtime ? runtime->shard_scheduler(lane) : topo.scheduler(),
+          runtime ? shard_probes[lane].get() : &probe, topo.seed());
+      // Register every site up front so FlowSet site indices coincide with
+      // scenario site indices on all lanes (destinations may live on other
+      // shards; only their host address is read).
+      for (const auto& sb : built) {
+        fs->add_site(*sb.ce, ip::Ipv4Address(sb.prefix.address().value() + 1));
+      }
+    }
+    return *fs;
+  };
   std::uint32_t flow_id = 1;
   const sim::SimTime t0 = bb.topo.scheduler().now();
   for (const auto& f : flows_) {
@@ -872,26 +906,47 @@ bool Scenario::run(std::ostream& out) const {
       ++flow_id;
       continue;
     }
-    traffic::FlowSpec spec;
-    spec.src = ip::Ipv4Address(built[f.from].prefix.address().value() + 1);
-    spec.dst = ip::Ipv4Address(built[f.to].prefix.address().value() + 1);
-    spec.dst_port = f.port;
-    spec.payload_bytes = f.size;
-    spec.vpn = vpn_ids.at(f.vpn);
-    spec.phb = f.phb;
-    spec.premark = f.premark;
-    qos::SlaProbe* flow_probe = &probe_at(f.from);
-    if (f.kind == "cbr") {
-      sources.push_back(std::make_unique<traffic::CbrSource>(
-          ce, spec, flow_id, flow_probe, f.rate));
-    } else if (f.kind == "poisson") {
-      sources.push_back(std::make_unique<traffic::PoissonSource>(
-          ce, spec, flow_id, flow_probe, f.rate));
+    const vpn::VpnId flow_vpn = vpn_ids.at(f.vpn);
+    if (legacy_sources_) {
+      traffic::FlowSpec spec;
+      spec.src = ip::Ipv4Address(built[f.from].prefix.address().value() + 1);
+      spec.dst = ip::Ipv4Address(built[f.to].prefix.address().value() + 1);
+      spec.dst_port = f.port;
+      spec.payload_bytes = f.size;
+      spec.vpn = flow_vpn;
+      spec.phb = f.phb;
+      spec.premark = f.premark;
+      qos::SlaProbe* flow_probe = &probe_at(f.from);
+      if (f.kind == "cbr") {
+        sources.push_back(std::make_unique<traffic::CbrSource>(
+            ce, spec, flow_id, flow_probe, f.rate));
+      } else if (f.kind == "poisson") {
+        sources.push_back(std::make_unique<traffic::PoissonSource>(
+            ce, spec, flow_id, flow_probe, f.rate));
+      } else {
+        sources.push_back(std::make_unique<traffic::OnOffSource>(
+            ce, spec, flow_id, flow_probe, f.rate, f.on_s, f.off_s));
+      }
+      source_start_s.push_back(f.start_s);
     } else {
-      sources.push_back(std::make_unique<traffic::OnOffSource>(
-          ce, spec, flow_id, flow_probe, f.rate, f.on_s, f.off_s));
+      traffic::FlowSet::FlowDef d;
+      d.flow_id = flow_id;
+      d.from_site = static_cast<std::uint32_t>(f.from);
+      d.to_site = static_cast<std::uint32_t>(f.to);
+      d.kind = f.kind == "cbr"       ? traffic::FlowSet::Kind::kCbr
+               : f.kind == "poisson" ? traffic::FlowSet::Kind::kPoisson
+                                     : traffic::FlowSet::Kind::kOnOff;
+      d.rate_bps = f.rate;
+      d.on_s = f.on_s;
+      d.off_s = f.off_s;
+      d.vpn = flow_vpn;
+      d.phb = f.phb;
+      d.premark = f.premark;
+      d.dst_port = f.port;
+      d.payload_bytes = static_cast<std::uint32_t>(f.size);
+      d.start = t0 + sim::from_seconds(f.start_s);
+      flowset_at(f.from).add_flow(d);
     }
-    source_start_s.push_back(f.start_s);
     // When dispatchers own the sinks, route measured flows through them.
     if (any_tcp) {
       dispatcher_for(f.to).register_flow(
@@ -904,7 +959,7 @@ bool Scenario::run(std::ostream& out) const {
                                        p.payload_bytes);
           });
     } else {
-      sink_at(f.to).expect_flow(flow_id, f.phb, spec.vpn);
+      sink_at(f.to).expect_flow(flow_id, f.phb, flow_vpn);
     }
     ++flow_id;
   }
@@ -912,6 +967,9 @@ bool Scenario::run(std::ostream& out) const {
   for (std::size_t i = 0; i < sources.size(); ++i) {
     sources[i]->run(t0 + sim::from_seconds(source_start_s[i]),
                     t0 + sim::from_seconds(run_for_s_));
+  }
+  for (auto& fs : flowsets) {
+    if (fs) fs->run(t0 + sim::from_seconds(run_for_s_));
   }
   for (auto& t : tcp_flows) {
     t->start(t0);
@@ -1085,20 +1143,21 @@ bool Scenario::run(std::ostream& out) const {
     write_flow_profile(measure_flow_profile(topo), topo, pf);
   }
 
-  if (!any_tcp) {
-    std::uint64_t delivered = sink.delivered();
-    std::uint64_t leaks = sink.leaks();
-    std::uint64_t unknown = sink.unknown_flows();
-    for (const auto& ss : shard_sinks) {
-      delivered += ss->delivered();
-      leaks += ss->leaks();
-      unknown += ss->unknown_flows();
-    }
-    out << "\ndelivered=" << delivered << " leaks=" << leaks
-        << " unknown=" << unknown << "\n";
-    return leaks == 0 && unknown == 0;
+  // Isolation / accounting verdict. In dispatcher mode (tcp present) the
+  // sink only sees what no handler claimed, so `delivered` there counts
+  // strays — and `unknown` nonzero means packets escaped SLA accounting,
+  // which used to be silently dropped by the no-op default handler.
+  std::uint64_t delivered = sink.delivered();
+  std::uint64_t leaks = sink.leaks();
+  std::uint64_t unknown = sink.unknown_flows();
+  for (const auto& ss : shard_sinks) {
+    delivered += ss->delivered();
+    leaks += ss->leaks();
+    unknown += ss->unknown_flows();
   }
-  return true;
+  out << "\ndelivered=" << delivered << " leaks=" << leaks
+      << " unknown=" << unknown << "\n";
+  return leaks == 0 && unknown == 0;
 }
 
 int run_scenario_file(const std::string& path, std::ostream& out) {
@@ -1108,7 +1167,8 @@ int run_scenario_file(const std::string& path, std::ostream& out) {
 int run_scenario_file(const std::string& path, std::ostream& out,
                       const ObsOptions& obs, std::uint32_t shards,
                       int flowcache, bool verbose,
-                      std::vector<std::uint64_t> partition_weights) {
+                      std::vector<std::uint64_t> partition_weights,
+                      int legacy_sources) {
   std::ifstream in(path);
   if (!in) {
     out << "cannot open " << path << "\n";
@@ -1125,6 +1185,7 @@ int run_scenario_file(const std::string& path, std::ostream& out,
   scenario->set_obs(obs);
   if (shards != 0) scenario->set_shards(shards);
   if (flowcache >= 0) scenario->set_flowcache(flowcache != 0);
+  if (legacy_sources >= 0) scenario->set_legacy_sources(legacy_sources != 0);
   scenario->set_verbose(verbose);
   scenario->set_partition_weights(std::move(partition_weights));
   return scenario->run(out) ? 0 : 1;

@@ -103,7 +103,10 @@ struct ObsOptions {
 ///   flow tcp     vpn=corp from=0 to=1 class=BE port=80 size=1432   # greedy elastic
 ///   run for=5 shards=4 flowcache=off       # seconds of traffic (+2 s drain);
 ///                                          # shards>1 = parallel engine;
-///                                          # flowcache=off: slow path only
+///                                          # flowcache=off: slow path only;
+///                                          # sources=legacy: per-flow Source
+///                                          # objects instead of the FlowSet
+///                                          # engine (A/B, byte-identical)
 ///
 /// Flows start when the control plane has converged — together by default,
 /// or offset by `start=SECONDS` on a flow line (generated topologies set
@@ -150,6 +153,15 @@ class Scenario {
   /// balance, lookahead) to stderr when the run goes parallel.
   void set_verbose(bool on) { verbose_ = on; }
   [[nodiscard]] bool verbose() const noexcept { return verbose_; }
+
+  /// Build cbr/poisson/onoff flows as per-flow Source objects instead of
+  /// the SoA FlowSet engine (also settable via `run sources=legacy`).
+  /// Results are byte-identical either way — the toggle exists for A/B
+  /// verification and benchmarking of the megaflow engine.
+  void set_legacy_sources(bool on) { legacy_sources_ = on; }
+  [[nodiscard]] bool legacy_sources() const noexcept {
+    return legacy_sources_;
+  }
 
   /// Per-node flow weights for the partitioner (a measured FlowProfile's
   /// node_weight vector, typically from a prior run's --flow-profile).
@@ -233,6 +245,7 @@ class Scenario {
   std::uint32_t shards_ = 1;
   bool flowcache_ = true;
   bool verbose_ = false;
+  bool legacy_sources_ = false;
   std::vector<std::uint64_t> partition_weights_;
   std::optional<TopogenParams> topogen_;
   ObsOptions obs_;
@@ -245,10 +258,13 @@ class Scenario {
 /// `verbose` prints partition diagnostics to stderr.
 /// `partition_weights` feeds the flow-weighted partitioner (see
 /// Scenario::set_partition_weights).
+/// `legacy_sources` 0/1 overrides `run sources=` (-1 leaves the file's
+/// choice).
 int run_scenario_file(const std::string& path, std::ostream& out);
 int run_scenario_file(const std::string& path, std::ostream& out,
                       const ObsOptions& obs, std::uint32_t shards = 0,
                       int flowcache = -1, bool verbose = false,
-                      std::vector<std::uint64_t> partition_weights = {});
+                      std::vector<std::uint64_t> partition_weights = {},
+                      int legacy_sources = -1);
 
 }  // namespace mvpn::backbone

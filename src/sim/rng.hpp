@@ -39,6 +39,20 @@ class Rng {
   /// Standard normal via Box–Muller.
   double normal(double mean, double stddev) noexcept;
 
+  /// Raw xoshiro256** state, for consumers that keep many streams in
+  /// compact storage (e.g. traffic::FlowSet holds one 32-byte state per
+  /// flow instead of a full Rng object). A generator rebuilt via
+  /// set_state() draws the exact sequence the saved one would have —
+  /// the cached Box–Muller half is deliberately dropped, so round-trips
+  /// are only bit-exact for consumers that never call normal(), which
+  /// holds for every traffic source.
+  using State = std::array<std::uint64_t, 4>;
+  [[nodiscard]] const State& state() const noexcept { return s_; }
+  void set_state(const State& s) noexcept {
+    s_ = s;
+    have_cached_normal_ = false;
+  }
+
  private:
   std::array<std::uint64_t, 4> s_{};
   bool have_cached_normal_ = false;

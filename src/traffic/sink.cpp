@@ -4,7 +4,8 @@ namespace mvpn::traffic {
 
 void MeasurementSink::expect_flow(std::uint32_t flow_id, qos::Phb cls,
                                   vpn::VpnId expected_vpn) {
-  flows_[flow_id] = Expected{cls, expected_vpn};
+  if (flow_id >= flows_.size()) flows_.resize(flow_id + 1);
+  flows_[flow_id] = Expected{cls, expected_vpn, true};
 }
 
 void MeasurementSink::bind(vpn::Router& ce) {
@@ -21,15 +22,14 @@ void MeasurementSink::on_delivery(const net::Packet& p, vpn::VpnId vpn) {
     leaks_.add();
     return;
   }
-  auto it = flows_.find(p.flow_id);
-  if (it == flows_.end()) {
+  if (p.flow_id >= flows_.size() || !flows_[p.flow_id].known) {
     unknown_.add();
     return;
   }
   const sim::SimTime latency = clock_.now() - p.created_at;
   const std::size_t bytes =
       net::kIpv4HeaderBytes + net::kL4HeaderBytes + p.payload_bytes;
-  probe_.record_delivered(it->second.cls, p.flow_id, latency, bytes);
+  probe_.record_delivered(flows_[p.flow_id].cls, p.flow_id, latency, bytes);
 }
 
 }  // namespace mvpn::traffic

@@ -58,18 +58,6 @@ void Source::emit() {
   }
 }
 
-namespace {
-
-sim::SimTime interval_for_rate(double rate_bps, std::size_t payload_bytes) {
-  const double pkt_bits = static_cast<double>(net::kIpv4HeaderBytes +
-                                              net::kL4HeaderBytes +
-                                              payload_bytes) *
-                          8.0;
-  return sim::from_seconds(pkt_bits / rate_bps);
-}
-
-}  // namespace
-
 CbrSource::CbrSource(vpn::Router& attach, FlowSpec spec, std::uint32_t flow_id,
                      qos::SlaProbe* probe, double rate_bps)
     : Source(attach, spec, flow_id, probe),

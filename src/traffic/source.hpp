@@ -11,6 +11,19 @@
 
 namespace mvpn::traffic {
 
+/// Emission interval for an IP-level rate: one header+payload packet every
+/// `pkt_bits / rate_bps` seconds. Shared by the legacy Source subclasses and
+/// the FlowSet engine so both compute byte-identical gaps (same doubles,
+/// same from_seconds truncation).
+[[nodiscard]] inline sim::SimTime interval_for_rate(
+    double rate_bps, std::size_t payload_bytes) noexcept {
+  const double pkt_bits = static_cast<double>(net::kIpv4HeaderBytes +
+                                              net::kL4HeaderBytes +
+                                              payload_bytes) *
+                          8.0;
+  return sim::from_seconds(pkt_bits / rate_bps);
+}
+
 /// Static description of one generated flow.
 struct FlowSpec {
   ip::Ipv4Address src;
@@ -107,15 +120,6 @@ class OnOffSource final : public Source {
   double mean_on_s_;
   double mean_off_s_;
   sim::SimTime burst_remaining_ = 0;
-};
-
-/// Allocates unique flow ids across a scenario.
-class FlowIdAllocator {
- public:
-  std::uint32_t next() { return next_++; }
-
- private:
-  std::uint32_t next_ = 1;
 };
 
 }  // namespace mvpn::traffic

@@ -129,6 +129,23 @@ TEST(ScenarioParse, ErrorCarriesLineNumber) {
   EXPECT_EQ(err.line, 3u);
 }
 
+TEST(ScenarioParse, RunSourcesDirective) {
+  const std::string legacy =
+      std::string(kMinimal) + "run for=1 sources=legacy\n";
+  const std::string flowset =
+      std::string(kMinimal) + "run for=1 sources=flowset\n";
+  ScenarioError err;
+  auto sl = Scenario::parse(legacy, &err);
+  ASSERT_TRUE(sl.has_value()) << err.message;
+  EXPECT_TRUE(sl->legacy_sources());
+  auto sf = Scenario::parse(flowset, &err);
+  ASSERT_TRUE(sf.has_value()) << err.message;
+  EXPECT_FALSE(sf->legacy_sources());
+  const std::string bad = std::string(kMinimal) + "run for=1 sources=magic\n";
+  EXPECT_FALSE(Scenario::parse(bad, &err).has_value());
+  EXPECT_NE(err.message.find("sources="), std::string::npos) << err.message;
+}
+
 TEST(ScenarioRun, EndToEndDeliversWithoutLeaks) {
   ScenarioError err;
   auto sc = Scenario::parse(kMinimal, &err);
@@ -185,6 +202,59 @@ run for=3
   const auto pos = report.find("tcp flow 2: goodput ");
   ASSERT_NE(pos, std::string::npos) << report;
   EXPECT_EQ(report.find("goodput 0.00", pos), std::string::npos) << report;
+}
+
+TEST(ScenarioRun, LegacyAndFlowSetSourcesProduceIdenticalReports) {
+  // The megaflow A/B contract at scenario level: the full run() output —
+  // SLA tables, per-class rows, delivery accounting — must be byte-equal
+  // between per-flow Source objects and the FlowSet engine.
+  const char* text = R"(
+backbone p=2 pe=2 core_bw=4e6 edge_bw=20e6 seed=21 core_queue=prio
+vpn corp
+site corp pe=0 prefix=10.1.0.0/16
+site corp pe=1 prefix=10.2.0.0/16
+classify site=0 dstport=16400 class=EF
+flow cbr vpn=corp from=0 to=1 rate=200e3 class=EF port=16400 size=172
+flow poisson vpn=corp from=0 to=1 rate=1e6 size=1472
+flow onoff vpn=corp from=0 to=1 rate=2e6 on=0.3 off=0.2 class=AF21 port=5004 start=0.01
+run for=2
+)";
+  ScenarioError err;
+  auto sc = Scenario::parse(text, &err);
+  ASSERT_TRUE(sc.has_value()) << err.message;
+  std::ostringstream with_flowset;
+  EXPECT_TRUE(sc->run(with_flowset));
+  sc->set_legacy_sources(true);
+  std::ostringstream with_legacy;
+  EXPECT_TRUE(sc->run(with_legacy));
+  EXPECT_EQ(with_flowset.str(), with_legacy.str());
+  EXPECT_NE(with_flowset.str().find("delivered="), std::string::npos);
+}
+
+TEST(ScenarioRun, MixedTcpRunAccountsPlainFlows) {
+  // Regression: cbr+tcp runs used to leave the sink unbound as the default
+  // dispatcher handler, silently discarding all accounting for the plain
+  // flows. The accounting line must appear and report zero leaks/unknowns.
+  const char* text = R"(
+backbone p=1 pe=2 core_bw=4e6 edge_bw=20e6 seed=13 core_queue=prio
+vpn corp
+site corp pe=0 prefix=10.1.0.0/16
+site corp pe=1 prefix=10.2.0.0/16
+classify site=0 dstport=16400 class=EF
+flow cbr vpn=corp from=0 to=1 rate=200e3 class=EF port=16400 size=172
+flow tcp vpn=corp from=0 to=1 class=BE port=80
+run for=3
+)";
+  ScenarioError err;
+  auto sc = Scenario::parse(text, &err);
+  ASSERT_TRUE(sc.has_value()) << err.message;
+  std::ostringstream out;
+  EXPECT_TRUE(sc->run(out));
+  const std::string report = out.str();
+  const auto pos = report.find("delivered=");
+  ASSERT_NE(pos, std::string::npos) << report;
+  EXPECT_NE(report.find("leaks=0", pos), std::string::npos) << report;
+  EXPECT_NE(report.find("unknown=0", pos), std::string::npos) << report;
 }
 
 TEST(ScenarioFile, MissingFileIsUsageError) {

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "backbone/fixtures.hpp"
 #include "qos/queues.hpp"
 #include "traffic/dispatcher.hpp"
+#include "traffic/flowset.hpp"
 #include "traffic/sink.hpp"
 #include "traffic/source.hpp"
 #include "traffic/tcp_lite.hpp"
@@ -96,6 +101,218 @@ TEST(FlowDispatcher, RoutesByFlowIdWithDefault) {
   p->ip.dst = ip::Ipv4Address::must_parse("10.0.0.1");
   r.inject(std::move(p));
   EXPECT_EQ(fallback, 2);
+}
+
+/// (packet id, emission instant) pairs observed at the destination CE, plus
+/// per-flow sent counts — everything a byte-identity comparison between the
+/// legacy Source path and the FlowSet engine needs. The packet id encodes
+/// (flow_id << 32) | seq, so equal logs mean equal flows, sequence numbers,
+/// emission instants and delivery order.
+struct MixResult {
+  std::vector<std::pair<std::uint64_t, sim::SimTime>> log;
+  std::vector<std::uint64_t> sent;
+};
+
+/// Run `defs` (with `start` interpreted relative to convergence) on a fresh
+/// Figure-2 fixture for `run_s` seconds, via per-flow legacy sources or one
+/// FlowSet. All flows go site1 → site2 of VPN 1.
+MixResult run_mix(std::uint64_t seed,
+                  const std::vector<FlowSet::FlowDef>& defs, double run_s,
+                  bool legacy) {
+  Figure2Scenario s = make_figure2_scenario(seed);
+  s.backbone->start_and_converge();
+  qos::SlaProbe probe;
+  MixResult r;
+  s.v1_site2.ce->add_delivery_tap([&](const net::Packet& p, vpn::VpnId) {
+    r.log.emplace_back(p.id, p.created_at);
+  });
+  sim::Scheduler& sched = s.backbone->topo.scheduler();
+  const sim::SimTime t0 = sched.now();
+  const sim::SimTime stop = t0 + sim::from_seconds(run_s);
+  const auto src_host = ip::Ipv4Address::must_parse("10.1.0.1");
+  const auto dst_host = ip::Ipv4Address::must_parse("10.2.0.1");
+  if (legacy) {
+    std::vector<std::unique_ptr<Source>> srcs;
+    for (const FlowSet::FlowDef& d : defs) {
+      FlowSpec f;
+      f.src = src_host;
+      f.dst = dst_host;
+      f.src_port = d.src_port;
+      f.dst_port = d.dst_port;
+      f.protocol = d.protocol;
+      f.payload_bytes = d.payload_bytes;
+      f.vpn = s.vpn1;
+      f.phb = d.phb;
+      f.premark = d.premark;
+      switch (d.kind) {
+        case FlowSet::Kind::kCbr:
+          srcs.push_back(std::make_unique<CbrSource>(
+              *s.v1_site1.ce, f, d.flow_id, &probe, d.rate_bps));
+          break;
+        case FlowSet::Kind::kPoisson:
+          srcs.push_back(std::make_unique<PoissonSource>(
+              *s.v1_site1.ce, f, d.flow_id, &probe, d.rate_bps));
+          break;
+        case FlowSet::Kind::kOnOff:
+          srcs.push_back(std::make_unique<OnOffSource>(
+              *s.v1_site1.ce, f, d.flow_id, &probe, d.rate_bps, d.on_s,
+              d.off_s));
+          break;
+      }
+      srcs.back()->run(t0 + d.start, stop);
+    }
+    s.backbone->topo.run_until(stop + sim::kSecond);
+    for (const auto& src : srcs) r.sent.push_back(src->packets_sent());
+  } else {
+    FlowSet fs(sched, &probe, s.backbone->topo.seed());
+    const std::uint32_t from = fs.add_site(*s.v1_site1.ce, src_host);
+    const std::uint32_t to = fs.add_site(*s.v1_site2.ce, dst_host);
+    for (FlowSet::FlowDef d : defs) {
+      d.from_site = from;
+      d.to_site = to;
+      d.vpn = s.vpn1;
+      d.start = t0 + d.start;
+      fs.add_flow(d);
+    }
+    fs.run(stop);
+    s.backbone->topo.run_until(stop + sim::kSecond);
+    for (std::uint32_t row = 0; row < defs.size(); ++row) {
+      r.sent.push_back(fs.packets_sent(row));
+    }
+  }
+  return r;
+}
+
+TEST(FlowSet, ByteIdenticalToLegacySourcesAcrossKinds) {
+  std::vector<FlowSet::FlowDef> defs(3);
+  defs[0].flow_id = 1;
+  defs[0].kind = FlowSet::Kind::kCbr;
+  defs[0].rate_bps = 200e3;
+  defs[0].phb = qos::Phb::kEf;
+  defs[0].premark = true;
+  defs[0].dst_port = 16400;
+  defs[0].payload_bytes = 172;
+  defs[1].flow_id = 2;
+  defs[1].kind = FlowSet::Kind::kPoisson;
+  defs[1].rate_bps = 1e6;
+  defs[1].start = sim::from_seconds(0.01);
+  defs[2].flow_id = 3;
+  defs[2].kind = FlowSet::Kind::kOnOff;
+  defs[2].rate_bps = 2e6;
+  defs[2].on_s = 0.05;
+  defs[2].off_s = 0.02;
+  defs[2].phb = qos::Phb::kAf21;
+  defs[2].dst_port = 5004;
+  defs[2].start = sim::from_seconds(0.02);
+
+  const MixResult legacy = run_mix(7101, defs, 2.0, true);
+  const MixResult flowset = run_mix(7101, defs, 2.0, false);
+  EXPECT_EQ(legacy.sent, flowset.sent);
+  ASSERT_EQ(legacy.log.size(), flowset.log.size());
+  EXPECT_TRUE(legacy.log == flowset.log);
+  // Sanity: the comparison covered real traffic from every source kind.
+  EXPECT_GT(legacy.log.size(), 500u);
+  for (std::uint64_t sent : legacy.sent) EXPECT_GT(sent, 50u);
+}
+
+TEST(FlowSet, OnOffResidueMatchesLegacyBurstBookkeeping) {
+  // One on/off flow over enough sim time for hundreds of burst cycles: the
+  // SoA packets-remaining residue must reproduce the legacy
+  // `burst_remaining_` time-residue arithmetic draw for draw — same RNG
+  // consumption, same emission instants, same per-burst packet counts.
+  std::vector<FlowSet::FlowDef> defs(1);
+  defs[0].flow_id = 11;
+  defs[0].kind = FlowSet::Kind::kOnOff;
+  defs[0].rate_bps = 2e6;
+  defs[0].on_s = 0.03;
+  defs[0].off_s = 0.01;
+
+  const MixResult legacy = run_mix(7102, defs, 30.0, true);
+  const MixResult flowset = run_mix(7102, defs, 30.0, false);
+  EXPECT_EQ(legacy.sent, flowset.sent);
+  EXPECT_GT(legacy.sent.at(0), 5000u);  // many bursts, many residue cycles
+  ASSERT_EQ(legacy.log.size(), flowset.log.size());
+  EXPECT_TRUE(legacy.log == flowset.log);
+}
+
+TEST(FlowSet, StateStaysUnder64BytesPerFlow) {
+  Figure2Scenario s = make_figure2_scenario(7103);
+  s.backbone->start_and_converge();
+  qos::SlaProbe probe;
+  sim::Scheduler& sched = s.backbone->topo.scheduler();
+  FlowSet fs(sched, &probe, s.backbone->topo.seed());
+  const std::uint32_t a =
+      fs.add_site(*s.v1_site1.ce, ip::Ipv4Address::must_parse("10.1.0.1"));
+  const std::uint32_t b =
+      fs.add_site(*s.v1_site2.ce, ip::Ipv4Address::must_parse("10.2.0.1"));
+  constexpr std::uint32_t kFlows = 10'000;
+  for (std::uint32_t i = 0; i < kFlows; ++i) {
+    FlowSet::FlowDef d;
+    d.flow_id = i + 1;
+    d.from_site = a;
+    d.to_site = b;
+    d.kind = i % 3 == 0   ? FlowSet::Kind::kCbr
+             : i % 3 == 1 ? FlowSet::Kind::kPoisson
+                          : FlowSet::Kind::kOnOff;
+    d.rate_bps = 1e4 + i;  // distinct intervals, shared template
+    d.vpn = s.vpn1;
+    fs.add_flow(d);
+  }
+  fs.run(sched.now() + sim::kSecond);
+  EXPECT_EQ(fs.flow_count(), kFlows);
+  // The tentpole budget: ≤64 B of SoA state per flow, 16 B per calendar
+  // entry, regardless of how the build-time vectors grew.
+  EXPECT_LE(fs.state_bytes_per_flow(), 64.0);
+  EXPECT_EQ(fs.calendar_bytes(), kFlows * 16u);
+}
+
+TEST(MeasurementSink, DenseTableHandlesSparseAndUnknownFlowIds) {
+  net::Topology topo;
+  qos::SlaProbe probe;
+  MeasurementSink sink(probe, topo.scheduler());
+  sink.expect_flow(5, qos::Phb::kEf, 3);
+  auto deliver = [&](std::uint32_t fid, vpn::VpnId truth, vpn::VpnId ctx) {
+    auto p = topo.packet_factory().make();
+    p->flow_id = fid;
+    p->true_vpn_id = truth;
+    sink.on_delivery(*p, ctx);
+  };
+  deliver(5, 3, 3);     // expected flow, right VPN
+  deliver(3, 3, 3);     // gap inside the table → unknown
+  deliver(9999, 3, 3);  // far past the table → unknown, no resize, no crash
+  deliver(5, 3, 4);     // wrong VPN context → leak, counted before flows
+  EXPECT_EQ(sink.delivered(), 4u);
+  EXPECT_EQ(sink.unknown_flows(), 2u);
+  EXPECT_EQ(sink.leaks(), 1u);
+}
+
+TEST(FlowDispatcher, DefaultRoutesUnclaimedDeliveriesToSink) {
+  // Regression for the mixed cbr+tcp accounting hole: packets whose flow has
+  // no dispatcher registration must still reach the MeasurementSink via the
+  // default handler instead of being silently dropped.
+  net::Topology topo;
+  auto& r = topo.add_node<vpn::Router>("r", vpn::Role::kCe);
+  r.add_local_prefix(ip::Prefix::must_parse("10.0.0.0/8"));
+  qos::SlaProbe probe;
+  MeasurementSink sink(probe, topo.scheduler());
+  sink.expect_flow(8, qos::Phb::kBe, vpn::kGlobalVpn);
+  FlowDispatcher dispatch;
+  dispatch.attach(r);
+  int claimed = 0;
+  dispatch.register_flow(7, [&](const net::Packet&, vpn::VpnId) { ++claimed; });
+  dispatch.set_default([&sink](const net::Packet& p, vpn::VpnId vpn) {
+    sink.on_delivery(p, vpn);
+  });
+  for (std::uint32_t id : {7u, 8u, 9u}) {
+    auto p = topo.packet_factory().make();
+    p->flow_id = id;
+    p->ip.dst = ip::Ipv4Address::must_parse("10.0.0.1");
+    r.inject(std::move(p));
+  }
+  EXPECT_EQ(claimed, 1);
+  EXPECT_EQ(sink.delivered(), 2u);      // flows 8 and 9 fell through
+  EXPECT_EQ(sink.unknown_flows(), 1u);  // 9 had no expectation
+  EXPECT_EQ(sink.leaks(), 0u);
 }
 
 struct TcpFixture {

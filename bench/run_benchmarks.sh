@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the hot-path performance suites and collects one JSON report at the
-# repo root (BENCH_PR9.json). Usage:
+# repo root (BENCH_PR10.json). Usage:
 #
 #   bench/run_benchmarks.sh [--build DIR] [--seed-bin PATH] [--out FILE]
 #                           [--baseline FILE]
@@ -13,8 +13,8 @@
 #                    path, serial and tracing-on throughput — the latter two
 #                    also bound the profiler-off cost, which is one untaken
 #                    branch per epoch) are enforced
-#   --out FILE       output report (default: <repo>/BENCH_PR9.json)
-#   --baseline FILE  earlier report (default: <repo>/BENCH_PR8.json when it
+#   --out FILE       output report (default: <repo>/BENCH_PR10.json)
+#   --baseline FILE  earlier report (default: <repo>/BENCH_PR9.json when it
 #                    exists); its figures are folded into the report as
 #                    informational ratios — stored reports come from other
 #                    machines, so hard guards only use numbers measured in
@@ -39,13 +39,20 @@
 # scenario run with metrics enabled contributes the per-DSCP-class
 # latency/drop breakdown plus the per-hop/per-class delay decomposition,
 # and bench_convergence contributes the causal-span summary (LDP mapping,
-# LSP setup, reroute convergence).
+# LSP setup, reroute convergence). The churn phase (bench_churn) A/Bs the
+# packed MP-BGP update groups and incremental SPF against their legacy
+# paths: Loc-RIB / next-hop identity is unconditional, the 64-PE cold boot
+# must use >= 10x fewer session messages, a single-link cost flap must
+# trigger zero full SPF rebuilds at routing-unaffected routers, same-tick
+# flaps must be damped in the flush window, and the compact Adj-RIB-In must
+# hold a 10^5-route cold boot at <= 96 B/route; a scenario-level A/B then
+# replays branch_office.scn with both engines and diffs the reports.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build"
 SEED_BIN=""
-OUT="$ROOT/BENCH_PR9.json"
+OUT="$ROOT/BENCH_PR10.json"
 BASELINE=""
 
 while [[ $# -gt 0 ]]; do
@@ -58,8 +65,8 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-if [[ -z "$BASELINE" && -f "$ROOT/BENCH_PR8.json" ]]; then
-  BASELINE="$ROOT/BENCH_PR8.json"
+if [[ -z "$BASELINE" && -f "$ROOT/BENCH_PR9.json" ]]; then
+  BASELINE="$ROOT/BENCH_PR9.json"
 fi
 
 TMP="$(mktemp -d)"
@@ -296,6 +303,57 @@ jq -e '
     end
   end' "$TMP/megaflow.json"
 
+echo
+echo "== control-plane churn: packed updates + incremental SPF (bench_churn) =="
+t0=$(mark)
+"$BUILD/bench/bench_churn" --json "$TMP/churn.json"
+record_phase churn "$t0" "$(mark)"
+
+# PR10 churn guards, all deterministic (message counts, fingerprints and
+# RIB byte accounting are functions of the event sequence, not the wall
+# clock). Identity — packed vs legacy Loc-RIBs, incremental vs full next
+# hops, RR-failover final state — is unconditional, as are the >= 10x
+# cold-boot message reduction, the flush-window flap damping, the zero
+# full-rebuild bar at routing-unaffected routers, and the 96 B/route
+# Adj-RIB-In budget at 10^5 routes.
+jq -e '
+  if .cold_boot.identical != true then
+    error("packed update groups diverged from legacy per-route path")
+  elif .flap_storm.identical != true then
+    error("flap storm left packed and legacy RIBs different")
+  elif .rr_failover.identical != true then
+    error("RR failover final state differs between packed and legacy")
+  elif .spf_flap.identical != true then
+    error("incremental SPF next hops diverged from full rebuilds")
+  elif .cold_boot.message_ratio < 10 then
+    error("cold-boot message reduction \(.cold_boot.message_ratio)x below the 10x target")
+  elif .spf_flap.unaffected_full_runs != 0 then
+    error("\(.spf_flap.unaffected_full_runs) full SPF rebuilds at routing-unaffected routers")
+  elif .flap_storm.superseded <= 0 then
+    error("no flaps were damped inside the flush window")
+  elif .cold_boot_1e5.converged != true then
+    error("1e5-route cold boot failed to converge")
+  elif .cold_boot_1e5.rib_bytes_per_route > 96 then
+    error("adj-rib footprint \(.cold_boot_1e5.rib_bytes_per_route) B/route exceeds the 96 B budget")
+  else
+    "churn ok: \(.cold_boot.message_ratio)x fewer cold-boot msgs, \(.flap_storm.superseded) flaps damped, \(.cold_boot_1e5.rib_bytes_per_route) B/route @1e5, spf work \(.spf_flap.edges_relaxed_incremental) vs \(.spf_flap.edges_relaxed_full) edges"
+  end' "$TMP/churn.json"
+
+# Scenario-level A/B: the full backbone scenario replayed with the legacy
+# control plane must print the exact same report as the packed/incremental
+# default — route selection, forwarding and QoS outcomes are pinned end to
+# end, not just at the RIB level.
+"$BUILD/examples/run_scenario" \
+  "$ROOT/examples/scenarios/branch_office.scn" > "$TMP/scn_default.txt"
+"$BUILD/examples/run_scenario" --legacy-updates --full-spf \
+  "$ROOT/examples/scenarios/branch_office.scn" > "$TMP/scn_legacy.txt"
+if ! diff -q "$TMP/scn_default.txt" "$TMP/scn_legacy.txt" > /dev/null; then
+  echo "scenario output diverged between packed/incremental and legacy:" >&2
+  diff "$TMP/scn_default.txt" "$TMP/scn_legacy.txt" >&2 || true
+  exit 1
+fi
+echo "scenario A/B ok: packed/incremental output byte-identical to legacy"
+
 if [[ -n "$SEED_BIN" ]]; then
   echo
   echo "== seed-baseline comparison (interleaved best-of-3 per side) =="
@@ -393,6 +451,7 @@ jq -n \
   --slurpfile fc "$TMP/flowcache.json" \
   --slurpfile flow "$TMP/flow.json" \
   --slurpfile mega "$TMP/megaflow.json" \
+  --slurpfile churn "$TMP/churn.json" \
   --slurpfile nocache "$TMP/throughput_nocache.json" \
   --slurpfile seed "$TMP/throughput_seed.json" \
   --slurpfile base "$TMP/baseline.json" \
@@ -414,6 +473,7 @@ jq -n \
     flowcache: $fc[0],
     flow_accounting: $flow[0],
     megaflow: $mega[0],
+    churn: $churn[0],
     throughput_cache_off:
       (if ($nocache[0] | length) > 0 then $nocache[0] else null end),
     seed_baseline: (if ($seed[0] | length) > 0 then $seed[0] else null end),
@@ -445,6 +505,8 @@ jq -r '"flow accounting: serial ratio \(.flow_accounting.flow_on_serial_ratio), 
 jq -r '"flow partition: event spread \(.flow_accounting.partition_node.event_spread)x -> \(.flow_accounting.partition_flow.event_spread)x, critical share \(.flow_accounting.partition_node.critical_share) -> \(.flow_accounting.partition_flow.critical_share)"' "$OUT"
 jq -r '"megaflow: \(.megaflow.flowset_vs_legacy_ratio)x vs legacy @8k (identical: \(.megaflow.identical_8k)), \(.megaflow.state_bytes_per_flow_1e5) B/flow, 1e5 setup \(.megaflow.setup_s_1e5) s (serial==4-shard: \(.megaflow.identical_1e5_shards))"' "$OUT"
 jq -r '".. megaflow sweep: \([.megaflow.sweep[] | "\(.flows)f \(.setup_s)s setup \(.vmhwm_mb)MB"] | join(", "))"' "$OUT"
+jq -r '"churn: \(.churn.cold_boot.message_ratio)x fewer cold-boot msgs (identical: \(.churn.cold_boot.identical)), \(.churn.flap_storm.superseded) flaps damped, \(.churn.cold_boot_1e5.rib_bytes_per_route) B/route @1e5 routes"' "$OUT"
+jq -r '"spf: incremental \(.churn.spf_flap.edges_relaxed_incremental) vs full \(.churn.spf_flap.edges_relaxed_full) edges relaxed, \(.churn.spf_flap.skipped) no-op skips, unaffected full rebuilds \(.churn.spf_flap.unaffected_full_runs) (identical: \(.churn.spf_flap.identical))"' "$OUT"
 jq -r '"sharded: \(.sharded.speedup_shards4)x @4 shards (\(.sharded.hardware_threads) hw threads, deterministic: \(.sharded.deterministic))"' "$OUT"
 jq -r '"topogen sharded: \(.topogen_sharded.speedup_shards4)x @4 shards on \(.topogen_sharded.topology) (\(.topogen_sharded.delivered_packets) pkts, deterministic: \(.topogen_sharded.deterministic))"' "$OUT"
 jq -r '"sync profiler: serial ratio \(.topogen_sharded.profiler_on_serial_ratio), @4 shards \(.topogen_sharded.profiler_on_shards4_ratio) (identical: \(.topogen_sharded.profiled_identical)); 4-shard busy \([.topogen_sharded.sync_profile.shards4.lanes[].busy_fraction])"' "$OUT"

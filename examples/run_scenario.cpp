@@ -101,6 +101,7 @@ int usage(const char* prog) {
                "          [--flow-report] [--flow-profile FILE]\n"
                "          [--partition-profile FILE]\n"
                "          [--shards N] [--no-flowcache] [--legacy-sources]\n"
+               "          [--legacy-updates] [--full-spf] [--control-metrics]\n"
                "          [--verbose]\n"
                "          [--topogen \"p=.. pe=.. ce=.. flows=..\"]\n"
                "          [scenario.scn]\n",
@@ -118,6 +119,8 @@ int main(int argc, char** argv) {
   unsigned long shards = 0;  // 0: use the scenario file's setting
   int flowcache = -1;        // -1: use the scenario file's setting
   int legacy_sources = -1;   // -1: use the scenario file's setting
+  int legacy_updates = -1;   // -1: use the scenario file's setting
+  int full_spf = -1;         // -1: use the scenario file's setting
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     auto value = [&]() -> const char* {
@@ -187,6 +190,12 @@ int main(int argc, char** argv) {
       flowcache = 0;
     } else if (std::strcmp(argv[i], "--legacy-sources") == 0) {
       legacy_sources = 1;
+    } else if (std::strcmp(argv[i], "--legacy-updates") == 0) {
+      legacy_updates = 1;
+    } else if (std::strcmp(argv[i], "--full-spf") == 0) {
+      full_spf = 1;
+    } else if (std::strcmp(argv[i], "--control-metrics") == 0) {
+      obs.control_metrics = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
     } else if (std::strcmp(argv[i], "--topogen") == 0) {
@@ -240,7 +249,8 @@ int main(int argc, char** argv) {
   if (!scenario_path.empty()) {
     return mvpn::backbone::run_scenario_file(
         scenario_path, std::cout, obs, static_cast<std::uint32_t>(shards),
-        flowcache, verbose, std::move(partition_weights), legacy_sources);
+        flowcache, verbose, std::move(partition_weights), legacy_sources,
+        legacy_updates, full_spf);
   }
 
   std::string text;
@@ -271,6 +281,8 @@ int main(int argc, char** argv) {
   }
   if (flowcache >= 0) scenario->set_flowcache(flowcache != 0);
   if (legacy_sources >= 0) scenario->set_legacy_sources(legacy_sources != 0);
+  if (legacy_updates >= 0) scenario->set_legacy_updates(legacy_updates != 0);
+  if (full_spf >= 0) scenario->set_full_spf(full_spf != 0);
   scenario->set_verbose(verbose);
   scenario->set_partition_weights(std::move(partition_weights));
   return scenario->run(std::cout) ? 0 : 1;

@@ -445,6 +445,24 @@ std::optional<Scenario> Scenario::parse(const std::string& text,
           return fail(line_no, "bad sources= (want flowset|legacy)");
         }
       }
+      if (auto v = kv("updates")) {
+        if (*v == "legacy") {
+          sc.legacy_updates_ = true;
+        } else if (*v == "packed") {
+          sc.legacy_updates_ = false;
+        } else {
+          return fail(line_no, "bad updates= (want packed|legacy)");
+        }
+      }
+      if (auto v = kv("spf")) {
+        if (*v == "full") {
+          sc.full_spf_ = true;
+        } else if (*v == "incremental") {
+          sc.full_spf_ = false;
+        } else {
+          return fail(line_no, "bad spf= (want incremental|full)");
+        }
+      }
     } else {
       return fail(line_no, "unknown directive " + line.directive);
     }
@@ -533,6 +551,11 @@ bool Scenario::run(std::ostream& out) const {
   cfg.core_queue = queue_factory_for(core_queue_spec_);
   MplsBackbone bb(cfg);
   net::Topology& topo = bb.topo;
+
+  // Control-plane A/B switches, applied before any protocol starts so the
+  // whole convergence runs in the selected mode.
+  bb.bgp.set_packing(!legacy_updates_);
+  bb.igp.set_full_spf(full_spf_);
 
   // "red" core spec: swap RED onto the core directions while the links are
   // still idle. The clock reads through the topology's ambient scheduler
@@ -811,6 +834,9 @@ bool Scenario::run(std::ostream& out) const {
     if (obs_.engine_metrics && runtime) {
       obs::register_engine_metrics(*runtime, registry);
       if (sync_prof) obs::register_sync_metrics(*sync_prof, registry);
+    }
+    if (obs_.control_metrics) {
+      obs::register_control_metrics(bb.cp, bb.bgp, bb.igp, registry);
     }
     if (obs_.engine_metrics && flow_exporter) {
       std::vector<obs::FlowStatsTable*> tptrs;
@@ -1168,7 +1194,7 @@ int run_scenario_file(const std::string& path, std::ostream& out,
                       const ObsOptions& obs, std::uint32_t shards,
                       int flowcache, bool verbose,
                       std::vector<std::uint64_t> partition_weights,
-                      int legacy_sources) {
+                      int legacy_sources, int legacy_updates, int full_spf) {
   std::ifstream in(path);
   if (!in) {
     out << "cannot open " << path << "\n";
@@ -1186,6 +1212,8 @@ int run_scenario_file(const std::string& path, std::ostream& out,
   if (shards != 0) scenario->set_shards(shards);
   if (flowcache >= 0) scenario->set_flowcache(flowcache != 0);
   if (legacy_sources >= 0) scenario->set_legacy_sources(legacy_sources != 0);
+  if (legacy_updates >= 0) scenario->set_legacy_updates(legacy_updates != 0);
+  if (full_spf >= 0) scenario->set_full_spf(full_spf != 0);
   scenario->set_verbose(verbose);
   scenario->set_partition_weights(std::move(partition_weights));
   return scenario->run(out) ? 0 : 1;

@@ -44,6 +44,13 @@ struct ObsOptions {
   /// checks compare metrics snapshots across shard counts.
   bool engine_metrics = false;
 
+  /// Register control-plane counters (SPF full/incremental/skipped runs,
+  /// BGP updates sent/packed, wire bytes, Adj-RIB occupancy) under
+  /// `control/...`. Off by default for the same reason as engine_metrics:
+  /// the values depend on the updates=/spf= mode, and scenario
+  /// byte-identity compares metrics snapshots across modes.
+  bool control_metrics = false;
+
   /// Per-flow telemetry plane (obs::FlowStatsTable + FlowExporter): one
   /// accounting table per engine lane, drained into IPFIX-style flow
   /// records at exact scan instants so the record stream is byte-identical
@@ -107,6 +114,12 @@ struct ObsOptions {
 ///                                          # sources=legacy: per-flow Source
 ///                                          # objects instead of the FlowSet
 ///                                          # engine (A/B, byte-identical)
+///                                          # updates=legacy: per-route BGP
+///                                          # messages instead of packed
+///                                          # update groups (A/B)
+///                                          # spf=full: full Dijkstra per
+///                                          # LSA install instead of
+///                                          # incremental SPF (A/B)
 ///
 /// Flows start when the control plane has converged — together by default,
 /// or offset by `start=SECONDS` on a flow line (generated topologies set
@@ -162,6 +175,21 @@ class Scenario {
   [[nodiscard]] bool legacy_sources() const noexcept {
     return legacy_sources_;
   }
+
+  /// Send one BGP message per (route, peer) instead of packed per-peer
+  /// update groups (also settable via `run updates=legacy`). Final RIBs
+  /// and traffic results are byte-identical either way — the toggle is
+  /// the control-plane fastpath's A/B guard.
+  void set_legacy_updates(bool on) { legacy_updates_ = on; }
+  [[nodiscard]] bool legacy_updates() const noexcept {
+    return legacy_updates_;
+  }
+
+  /// Run a full Dijkstra on every LSA install instead of incremental SPF
+  /// (also settable via `run spf=full`). Identical next-hop tables either
+  /// way; the toggle exists for A/B verification and SPF-work accounting.
+  void set_full_spf(bool on) { full_spf_ = on; }
+  [[nodiscard]] bool full_spf() const noexcept { return full_spf_; }
 
   /// Per-node flow weights for the partitioner (a measured FlowProfile's
   /// node_weight vector, typically from a prior run's --flow-profile).
@@ -246,6 +274,8 @@ class Scenario {
   bool flowcache_ = true;
   bool verbose_ = false;
   bool legacy_sources_ = false;
+  bool legacy_updates_ = false;
+  bool full_spf_ = false;
   std::vector<std::uint64_t> partition_weights_;
   std::optional<TopogenParams> topogen_;
   ObsOptions obs_;
@@ -259,12 +289,14 @@ class Scenario {
 /// `partition_weights` feeds the flow-weighted partitioner (see
 /// Scenario::set_partition_weights).
 /// `legacy_sources` 0/1 overrides `run sources=` (-1 leaves the file's
-/// choice).
+/// choice); `legacy_updates` and `full_spf` likewise override
+/// `run updates=` / `run spf=`.
 int run_scenario_file(const std::string& path, std::ostream& out);
 int run_scenario_file(const std::string& path, std::ostream& out,
                       const ObsOptions& obs, std::uint32_t shards = 0,
                       int flowcache = -1, bool verbose = false,
                       std::vector<std::uint64_t> partition_weights = {},
-                      int legacy_sources = -1);
+                      int legacy_sources = -1, int legacy_updates = -1,
+                      int full_spf = -1);
 
 }  // namespace mvpn::backbone

@@ -60,6 +60,10 @@ class Link {
   [[nodiscard]] const Endpoint& end_a() const noexcept { return a_; }
   [[nodiscard]] const Endpoint& end_b() const noexcept { return b_; }
   [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+  /// Retune the IGP metric of an existing link (cost-flap experiments).
+  /// Takes effect on the next LSA origination; callers that want routers
+  /// to react must re-flood (e.g. ControlPlane::notify_link_change).
+  void set_igp_cost(std::uint32_t cost) noexcept { config_.igp_cost = cost; }
   /// The endpoint opposite to `node`.
   [[nodiscard]] const Endpoint& peer_of(ip::NodeId node) const;
 

@@ -138,6 +138,70 @@ void register_engine_metrics(const net::ShardRuntime& runtime,
   });
 }
 
+void register_control_metrics(const routing::ControlPlane& cp,
+                              const routing::Bgp& bgp,
+                              const routing::Igp& igp,
+                              MetricsRegistry& reg) {
+  const routing::ControlPlane* c = &cp;
+  const routing::Bgp* b = &bgp;
+  const routing::Igp* g = &igp;
+  reg.add_gauge("control/messages",
+                [c] { return static_cast<double>(c->total_messages()); });
+  reg.add_gauge("control/bytes",
+                [c] { return static_cast<double>(c->total_bytes()); });
+  reg.add_gauge("control/bgp/sessions",
+                [b] { return static_cast<double>(b->session_count()); });
+  reg.add_gauge("control/bgp/updates", [c] {
+    return static_cast<double>(c->message_count("bgp.update"));
+  });
+  reg.add_gauge("control/bgp/withdraws", [c] {
+    return static_cast<double>(c->message_count("bgp.withdraw"));
+  });
+  reg.add_gauge("control/bgp/nlri_enqueued", [b] {
+    return static_cast<double>(b->rib_out().nlri_enqueued());
+  });
+  reg.add_gauge("control/bgp/nlri_packed", [b] {
+    return static_cast<double>(b->rib_out().nlri_packed());
+  });
+  reg.add_gauge("control/bgp/superseded", [b] {
+    return static_cast<double>(b->rib_out().superseded());
+  });
+  reg.add_gauge("control/bgp/messages_packed", [b] {
+    return static_cast<double>(b->rib_out().messages_packed());
+  });
+  reg.add_gauge("control/bgp/wire_bytes_packed", [b] {
+    return static_cast<double>(b->rib_out().wire_bytes_packed());
+  });
+  reg.add_gauge("control/bgp/flushes", [b] {
+    return static_cast<double>(b->rib_out().flushes());
+  });
+  reg.add_gauge("control/bgp/update_groups", [b] {
+    return static_cast<double>(b->rib_out().group_count());
+  });
+  reg.add_gauge("control/bgp/adj_rib_routes", [b] {
+    return static_cast<double>(b->adj_rib_routes());
+  });
+  reg.add_gauge("control/bgp/adj_rib_bytes", [b] {
+    return static_cast<double>(b->adj_rib_bytes());
+  });
+  reg.add_gauge("control/bgp/rt_pool_sets",
+                [b] { return static_cast<double>(b->rt_pool().size()); });
+  reg.add_gauge("control/spf/runs",
+                [g] { return static_cast<double>(g->spf_runs()); });
+  reg.add_gauge("control/spf/full",
+                [g] { return static_cast<double>(g->spf_full_runs()); });
+  reg.add_gauge("control/spf/incremental", [g] {
+    return static_cast<double>(g->spf_incremental_runs());
+  });
+  reg.add_gauge("control/spf/skipped",
+                [g] { return static_cast<double>(g->spf_skipped()); });
+  reg.add_gauge("control/spf/te_only_installs", [g] {
+    return static_cast<double>(g->te_only_installs());
+  });
+  reg.add_gauge("control/spf/edges_relaxed",
+                [g] { return static_cast<double>(g->edges_relaxed()); });
+}
+
 NodeNamer topology_node_namer(const net::Topology& topo) {
   const net::Topology* t = &topo;
   return [t](std::uint32_t id) -> std::string {

@@ -4,6 +4,8 @@
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
+#include "routing/bgp.hpp"
+#include "routing/igp.hpp"
 
 namespace mvpn::obs {
 
@@ -40,5 +42,26 @@ void register_topology_metrics(net::Topology& topo, MetricsRegistry& registry);
 /// is the safe instant. The runtime must outlive every later snapshot.
 void register_engine_metrics(const net::ShardRuntime& runtime,
                              MetricsRegistry& registry);
+
+/// Register the control-plane fastpath counters (opt-in via
+/// ObsOptions::control_metrics, same contract as engine_metrics):
+///
+///   control/messages, control/bytes         all control-plane traffic
+///   control/bgp/sessions                    live iBGP sessions
+///   control/bgp/{updates,withdraws}         wire messages by type
+///   control/bgp/{nlri_enqueued,nlri_packed,superseded,messages_packed,
+///                wire_bytes_packed,flushes,update_groups}
+///                                           RibOut staging counters
+///   control/bgp/{adj_rib_routes,adj_rib_bytes,rt_pool_sets}
+///                                           compact RIB occupancy
+///   control/spf/{runs,full,incremental,skipped,te_only_installs,
+///                edges_relaxed}             SPF work accounting
+///
+/// Gauges read the protocol objects live; they must outlive every later
+/// snapshot.
+void register_control_metrics(const routing::ControlPlane& cp,
+                              const routing::Bgp& bgp,
+                              const routing::Igp& igp,
+                              MetricsRegistry& registry);
 
 }  // namespace mvpn::obs

@@ -10,7 +10,7 @@ Bgp::Bgp(ControlPlane& cp, Mode mode) : cp_(cp), mode_(mode) {}
 void Bgp::add_speaker(ip::NodeId pe) {
   if (started_) throw std::logic_error("Bgp: add_speaker after start");
   if (state_.count(pe) != 0) return;
-  state_[pe] = SpeakerState{};
+  state_[pe];  // default-construct
   speakers_.push_back(pe);
 }
 
@@ -70,6 +70,12 @@ bool Bgp::better(const VpnRoute& a, const VpnRoute& b) noexcept {
   return a.next_hop.value() < b.next_hop.value();
 }
 
+bool Bgp::better_compact(const CompactRoute& a, const CompactRoute& b) noexcept {
+  if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
+  if (a.originator != b.originator) return a.originator < b.originator;
+  return a.next_hop < b.next_hop;
+}
+
 std::vector<ip::NodeId> Bgp::advertise_targets(ip::NodeId node,
                                                ip::NodeId sender) const {
   const SpeakerState& st = state_.at(node);
@@ -101,15 +107,75 @@ void Bgp::send_update(ip::NodeId from, ip::NodeId to, const VpnRoute& route) {
 
 void Bgp::send_withdraw(ip::NodeId from, ip::NodeId to,
                         const VpnRouteKey& key) {
-  cp_.send_session(from, to, "bgp.withdraw", 27,
+  cp_.send_session(from, to, "bgp.withdraw", withdraw_wire_bytes(key),
                    [this, to, from, key] { receive_withdraw(to, from, key); });
+}
+
+void Bgp::propagate(ip::NodeId node, ip::NodeId sender, const VpnRouteKey& key,
+                    const VpnRoute* route) {
+  std::vector<ip::NodeId> targets = advertise_targets(node, sender);
+  if (targets.empty()) return;
+  if (!packing_) {
+    for (ip::NodeId peer : targets) {
+      if (route != nullptr) {
+        send_update(node, peer, *route);
+      } else {
+        send_withdraw(node, peer, key);
+      }
+    }
+    return;
+  }
+  CompactRoute compact;
+  const CompactRoute* payload = nullptr;
+  if (route != nullptr) {
+    compact = compress(*route, pool_);
+    payload = &compact;
+  }
+  if (ribout_.enqueue(node, std::move(targets), key, payload)) {
+    // Zero-delay flush: the packed message leaves at the same tick the
+    // per-route messages would have, so session-delay arrival instants —
+    // and therefore the whole decision cascade — match the legacy path.
+    cp_.topology().scheduler().schedule_in(0, [this, node] { flush(node); });
+  }
+}
+
+void Bgp::flush(ip::NodeId node) {
+  SpeakerState& st = state_.at(node);
+  for (RibOut::Message& m : ribout_.drain(node, pool_)) {
+    // Withdraw-only messages keep their own wire type so session-teardown
+    // and convergence experiments can still count withdraws.
+    const char* type = m.reach > 0 ? "bgp.update" : "bgp.withdraw";
+    for (ip::NodeId peer : *m.peers) {
+      // A peer that vanished between enqueue and flush (session teardown)
+      // silently loses the queued update — its TCP session is gone.
+      if (std::find(st.peers.begin(), st.peers.end(), peer) ==
+          st.peers.end()) {
+        continue;
+      }
+      cp_.send_session(node, peer, type, m.wire_bytes,
+                       [this, node, peer, entries = m.entries] {
+                         apply_packed(peer, node, *entries);
+                       });
+    }
+  }
+}
+
+void Bgp::apply_packed(ip::NodeId at, ip::NodeId from,
+                       const std::vector<RibOut::Entry>& entries) {
+  for (const RibOut::Entry& e : entries) {
+    if (e.withdraw) {
+      receive_withdraw(at, from, e.key);
+    } else {
+      receive_update(at, from, materialize(e.key, e.route, pool_));
+    }
+  }
 }
 
 void Bgp::originate(ip::NodeId pe, VpnRoute route) {
   route.originator = pe;
   SpeakerState& st = state_.at(pe);
   const VpnRouteKey key{route.rd, route.prefix};
-  st.adj_rib_in[key][ip::kInvalidNode] = std::move(route);
+  st.adj_rib_in.upsert(key, ip::kInvalidNode, compress(route, pool_));
   decide(pe, key);
 }
 
@@ -117,9 +183,7 @@ void Bgp::withdraw(ip::NodeId pe, const RouteDistinguisher& rd,
                    const ip::Prefix& prefix) {
   SpeakerState& st = state_.at(pe);
   const VpnRouteKey key{rd, prefix};
-  auto it = st.adj_rib_in.find(key);
-  if (it == st.adj_rib_in.end()) return;
-  if (it->second.erase(ip::kInvalidNode) == 0) return;
+  if (!st.adj_rib_in.erase(key, ip::kInvalidNode)) return;
   decide(pe, key);
 }
 
@@ -127,31 +191,30 @@ void Bgp::receive_update(ip::NodeId at, ip::NodeId from, VpnRoute route) {
   SpeakerState& st = state_.at(at);
   if (route.originator == at) return;  // originator loop guard
   const VpnRouteKey key{route.rd, route.prefix};
-  st.adj_rib_in[key][from] = std::move(route);
+  st.adj_rib_in.upsert(key, from, compress(route, pool_));
   decide(at, key);
 }
 
 void Bgp::receive_withdraw(ip::NodeId at, ip::NodeId from, VpnRouteKey key) {
   SpeakerState& st = state_.at(at);
-  auto it = st.adj_rib_in.find(key);
-  if (it == st.adj_rib_in.end()) return;
-  if (it->second.erase(from) == 0) return;
+  if (!st.adj_rib_in.erase(key, from)) return;
   decide(at, key);
 }
 
 void Bgp::decide(ip::NodeId node, const VpnRouteKey& key) {
   SpeakerState& st = state_.at(node);
-  const VpnRoute* new_best = nullptr;
+  const CompactRoute* new_best = nullptr;
   ip::NodeId new_sender = ip::kInvalidNode;
-  auto rib_it = st.adj_rib_in.find(key);
-  if (rib_it != st.adj_rib_in.end()) {
-    for (const auto& [sender, route] : rib_it->second) {
-      if (new_best == nullptr || better(route, *new_best)) {
-        new_best = &route;
-        new_sender = sender;
-      }
+  st.adj_rib_in.for_each(key, [&](ip::NodeId sender, const CompactRoute& r) {
+    // Chain order is insertion-dependent, so the tie-break the old
+    // std::map sweep got implicitly — lowest sender wins a full attribute
+    // tie — is explicit here.
+    if (new_best == nullptr || better_compact(r, *new_best) ||
+        (!better_compact(*new_best, r) && sender < new_sender)) {
+      new_best = &r;
+      new_sender = sender;
     }
-  }
+  });
 
   auto loc_it = st.loc_rib.find(key);
   if (new_best == nullptr) {
@@ -164,26 +227,23 @@ void Bgp::decide(ip::NodeId node, const VpnRouteKey& key) {
     gone.rd = key.first;
     gone.prefix = key.second;
     for (const auto& cb : observers_) cb(node, gone, true);
-    for (ip::NodeId peer : advertise_targets(node, old_sender)) {
-      send_withdraw(node, peer, key);
-    }
+    propagate(node, old_sender, key, nullptr);
     return;
   }
 
+  VpnRoute best_route = materialize(key, *new_best, pool_);
   const bool changed =
       loc_it == st.loc_rib.end() ||
-      loc_it->second.next_hop != new_best->next_hop ||
-      loc_it->second.vpn_label != new_best->vpn_label ||
-      loc_it->second.originator != new_best->originator ||
-      loc_it->second.route_targets != new_best->route_targets;
+      loc_it->second.next_hop != best_route.next_hop ||
+      loc_it->second.vpn_label != best_route.vpn_label ||
+      loc_it->second.originator != best_route.originator ||
+      loc_it->second.route_targets != best_route.route_targets;
   if (!changed) return;
 
-  st.loc_rib[key] = *new_best;
+  VpnRoute& stored = st.loc_rib[key] = std::move(best_route);
   st.best_sender[key] = new_sender;
-  for (const auto& cb : observers_) cb(node, *new_best, false);
-  for (ip::NodeId peer : advertise_targets(node, new_sender)) {
-    send_update(node, peer, *new_best);
-  }
+  for (const auto& cb : observers_) cb(node, stored, false);
+  propagate(node, new_sender, key, &stored);
 }
 
 void Bgp::fail_speaker(ip::NodeId pe) {
@@ -195,17 +255,18 @@ void Bgp::fail_speaker(ip::NodeId pe) {
       ++it;
     }
   }
+  // Updates the dead speaker staged but never flushed die with its
+  // sessions.
+  ribout_.drop_node(pe);
   for (auto& [node, st] : state_) {
     if (node == pe) continue;
     auto& peers = st.peers;
     peers.erase(std::remove(peers.begin(), peers.end(), pe), peers.end());
     // Flush Adj-RIB-In entries learned from the dead peer and re-decide
-    // the affected keys.
-    std::vector<VpnRouteKey> affected;
-    for (auto& [key, senders] : st.adj_rib_in) {
-      if (senders.erase(pe) > 0) affected.push_back(key);
+    // the affected keys (sorted, matching the legacy sweep order).
+    for (const VpnRouteKey& key : st.adj_rib_in.erase_sender(pe)) {
+      decide(node, key);
     }
-    for (const VpnRouteKey& key : affected) decide(node, key);
   }
 }
 
@@ -214,10 +275,18 @@ std::size_t Bgp::loc_rib_size(ip::NodeId node) const {
 }
 
 std::size_t Bgp::adj_rib_in_size(ip::NodeId node) const {
+  return state_.at(node).adj_rib_in.route_count();
+}
+
+std::size_t Bgp::adj_rib_bytes() const {
+  std::size_t n = pool_.bytes();
+  for (const auto& [node, st] : state_) n += st.adj_rib_in.bytes();
+  return n;
+}
+
+std::size_t Bgp::adj_rib_routes() const {
   std::size_t n = 0;
-  for (const auto& [key, senders] : state_.at(node).adj_rib_in) {
-    n += senders.size();
-  }
+  for (const auto& [node, st] : state_) n += st.adj_rib_in.route_count();
   return n;
 }
 

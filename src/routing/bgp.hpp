@@ -1,76 +1,33 @@
 #pragma once
 
-#include <compare>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "ip/address.hpp"
 #include "ip/route_table.hpp"
+#include "routing/bgp_types.hpp"
 #include "routing/control_plane.hpp"
+#include "routing/rib.hpp"
+#include "routing/rib_out.hpp"
 
 namespace mvpn::routing {
-
-/// Type-0 route distinguisher "asn:assigned" (RFC 2547 §4.1): prepended to
-/// customer prefixes so overlapping VPN address spaces stay distinct inside
-/// one BGP routing system — the paper's "identifiers allow a single routing
-/// system to support multiple VPNs whose internal address spaces overlap".
-struct RouteDistinguisher {
-  std::uint32_t asn = 0;
-  std::uint32_t assigned = 0;
-
-  friend constexpr auto operator<=>(const RouteDistinguisher&,
-                                    const RouteDistinguisher&) = default;
-  [[nodiscard]] std::string to_string() const {
-    return std::to_string(asn) + ":" + std::to_string(assigned);
-  }
-};
-
-/// Route-target extended community controlling VRF import/export policy.
-struct RouteTarget {
-  std::uint32_t asn = 0;
-  std::uint32_t assigned = 0;
-
-  friend constexpr auto operator<=>(const RouteTarget&,
-                                    const RouteTarget&) = default;
-  [[nodiscard]] std::string to_string() const {
-    return std::to_string(asn) + ":" + std::to_string(assigned);
-  }
-};
-
-/// A VPN-IPv4 NLRI with its attributes: the unit MP-BGP distributes among
-/// PEs ("piggybacking labels in the routing protocol updates", paper §4).
-struct VpnRoute {
-  RouteDistinguisher rd;
-  ip::Prefix prefix;
-  ip::Ipv4Address next_hop;          ///< egress PE loopback
-  ip::NodeId next_hop_node = ip::kInvalidNode;
-  std::uint32_t vpn_label = ip::kNoLabel;
-  std::vector<RouteTarget> route_targets;
-  std::uint32_t local_pref = 100;
-  ip::NodeId originator = ip::kInvalidNode;
-
-  [[nodiscard]] std::size_t wire_bytes() const noexcept {
-    return 48 + 8 * route_targets.size();
-  }
-  [[nodiscard]] bool has_target(const RouteTarget& rt) const noexcept {
-    for (const auto& t : route_targets) {
-      if (t == rt) return true;
-    }
-    return false;
-  }
-};
-
-/// Loc-RIB / Adj-RIB key.
-using VpnRouteKey = std::pair<RouteDistinguisher, ip::Prefix>;
 
 /// MP-BGP mesh distributing VPN-IPv4 routes among PE routers, in either
 /// full-mesh iBGP or route-reflector topology — the control-plane half of
 /// the scalability story (experiments E1/E7 count its sessions, messages
 /// and per-node state).
+///
+/// Two emission paths, byte-identical in final routing state:
+///  * packed (default) — advertisements and withdraws stage through a
+///    per-speaker RibOut (update groups keyed by export-policy peer set),
+///    flushed by one scheduled event per speaker per flush instant into
+///    MTU-bounded multi-NLRI messages (INTERNALS.md §15);
+///  * legacy (`set_packing(false)`) — one session event and one message
+///    per (route, peer), the pre-packing baseline the A/B guards compare
+///    against.
 class Bgp {
  public:
   enum class Mode { kFullMesh, kRouteReflector };
@@ -96,7 +53,8 @@ class Bgp {
   /// Simulate a speaker crash: every peer tears down its session with
   /// `pe`, flushes the routes learned from it and re-runs best-path
   /// selection — the mechanism behind PE-failure failover for multihomed
-  /// sites. (`pe` itself goes silent; its local state is untouched so a
+  /// sites. Updates `pe` had queued but not yet flushed die with its
+  /// sessions. (`pe` itself goes silent; its RIB state is untouched so a
   /// later restart could be modeled on top.)
   void fail_speaker(ip::NodeId pe);
 
@@ -105,6 +63,12 @@ class Bgp {
   using RouteObserver =
       std::function<void(ip::NodeId at, const VpnRoute& route, bool withdrawn)>;
   void on_route(RouteObserver cb) { observers_.push_back(std::move(cb)); }
+
+  /// A/B switch: packed update groups (default) vs one message per
+  /// (route, peer). Same final RIBs either way; only event/message counts
+  /// and wire-byte accounting differ.
+  void set_packing(bool on) noexcept { packing_ = on; }
+  [[nodiscard]] bool packing() const noexcept { return packing_; }
 
   /// --- introspection -----------------------------------------------------
   [[nodiscard]] std::size_t session_count() const noexcept {
@@ -120,14 +84,23 @@ class Bgp {
   [[nodiscard]] const std::vector<ip::NodeId>& speakers() const noexcept {
     return speakers_;
   }
+  /// Update-group staging counters (packed path only).
+  [[nodiscard]] const RibOut& rib_out() const noexcept { return ribout_; }
+  /// Interned route-target set pool shared by every speaker's RIB.
+  [[nodiscard]] const RtSetPool& rt_pool() const noexcept { return pool_; }
+  /// Total Adj-RIB-In footprint across speakers (table + arena capacity,
+  /// plus the shared RT pool) — the B/route the churn bench budgets.
+  [[nodiscard]] std::size_t adj_rib_bytes() const;
+  [[nodiscard]] std::size_t adj_rib_routes() const;
 
  private:
   struct SpeakerState {
     bool reflector = false;
     std::vector<ip::NodeId> peers;
-    /// Adj-RIB-In: per key, the route each sender currently offers.
-    /// Sender kInvalidNode marks locally-originated routes.
-    std::map<VpnRouteKey, std::map<ip::NodeId, VpnRoute>> adj_rib_in;
+    /// Adj-RIB-In: per key, the route each sender currently offers, in a
+    /// compact open-addressed table. Sender kInvalidNode marks
+    /// locally-originated routes.
+    AdjRibIn adj_rib_in;
     std::map<VpnRouteKey, VpnRoute> loc_rib;
     /// Which peer (or local) supplied the current best, for reflection.
     std::map<VpnRouteKey, ip::NodeId> best_sender;
@@ -142,10 +115,20 @@ class Bgp {
   /// `sender` (kInvalidNode = locally originated).
   [[nodiscard]] std::vector<ip::NodeId> advertise_targets(
       ip::NodeId node, ip::NodeId sender) const;
+  /// Route the (re-)advertisement or withdraw (`route` null) of `key`
+  /// through the RibOut (packed) or straight to per-peer messages (legacy).
+  void propagate(ip::NodeId node, ip::NodeId sender, const VpnRouteKey& key,
+                 const VpnRoute* route);
+  /// Drain `node`'s update groups into packed session messages.
+  void flush(ip::NodeId node);
+  void apply_packed(ip::NodeId at, ip::NodeId from,
+                    const std::vector<RibOut::Entry>& entries);
   void send_update(ip::NodeId from, ip::NodeId to, const VpnRoute& route);
   void send_withdraw(ip::NodeId from, ip::NodeId to, const VpnRouteKey& key);
 
   static bool better(const VpnRoute& a, const VpnRoute& b) noexcept;
+  static bool better_compact(const CompactRoute& a,
+                             const CompactRoute& b) noexcept;
 
   ControlPlane& cp_;
   Mode mode_;
@@ -154,6 +137,9 @@ class Bgp {
   std::map<ip::NodeId, SpeakerState> state_;
   std::vector<std::pair<ip::NodeId, ip::NodeId>> sessions_;
   std::vector<RouteObserver> observers_;
+  RtSetPool pool_;
+  RibOut ribout_;
+  bool packing_ = true;
   bool started_ = false;
 };
 

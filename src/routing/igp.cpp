@@ -8,6 +8,22 @@
 
 namespace mvpn::routing {
 
+namespace {
+
+/// Min-heap candidate shared by the full and incremental Dijkstra runs.
+struct Candidate {
+  std::uint32_t cost;
+  ip::NodeId node;
+  bool operator>(const Candidate& o) const noexcept {
+    if (cost != o.cost) return cost > o.cost;
+    return node > o.node;
+  }
+};
+using CandidateQueue =
+    std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>>;
+
+}  // namespace
+
 Igp::Igp(ControlPlane& cp) : cp_(cp) {}
 
 void Igp::add_router(ip::NodeId router) {
@@ -60,11 +76,62 @@ Lsa Igp::build_lsa(ip::NodeId router) {
   return lsa;
 }
 
+bool Igp::install_classified(RouterState& st, const Lsa& lsa,
+                             bool* spf_needed) {
+  const Lsa* prev = st.lsdb.find(lsa.origin);
+  const bool had_prev = prev != nullptr;
+  std::vector<LsaLink> old_links;
+  if (had_prev) old_links = prev->links;
+  if (!st.lsdb.install(lsa)) return false;  // not newer
+
+  if (full_spf_) {
+    // Legacy semantics: every newer install schedules a full rebuild; no
+    // diff bookkeeping needed.
+    *spf_needed = true;
+    return true;
+  }
+  if (!had_prev) {
+    // First copy of this origin: no diff base — next run rebuilds fully.
+    st.dirty_full = true;
+    *spf_needed = true;
+    return true;
+  }
+
+  // Diff adjacency sets keyed by (neighbor, link). Cost changes and
+  // edge add/removals dirty the graph; pure TE attribute refreshes
+  // (reservable/capacity) do not alter shortest paths and skip SPF
+  // scheduling entirely.
+  bool topo_change = false;
+  std::map<std::pair<ip::NodeId, net::LinkId>, std::uint32_t> old_cost;
+  for (const LsaLink& l : old_links) old_cost[{l.neighbor, l.link}] = l.cost;
+  for (const LsaLink& l : lsa.links) {
+    auto it = old_cost.find({l.neighbor, l.link});
+    if (it == old_cost.end()) {
+      st.dirty.push_back({lsa.origin, l.neighbor, kInfCost, l.cost});
+      topo_change = true;
+    } else {
+      if (it->second != l.cost) {
+        st.dirty.push_back({lsa.origin, l.neighbor, it->second, l.cost});
+        topo_change = true;
+      }
+      old_cost.erase(it);
+    }
+  }
+  for (const auto& [nl, cost] : old_cost) {
+    st.dirty.push_back({lsa.origin, nl.first, cost, kInfCost});
+    topo_change = true;
+  }
+  if (!topo_change) ++te_only_installs_;
+  *spf_needed = topo_change;
+  return true;
+}
+
 void Igp::originate_and_flood(ip::NodeId router) {
   const Lsa lsa = build_lsa(router);
   RouterState& st = state(router);
-  st.lsdb.install(lsa);
-  schedule_spf(router);
+  bool spf_needed = false;
+  if (!install_classified(st, lsa, &spf_needed)) return;
+  if (spf_needed) schedule_spf(router);
   flood(router, lsa, ip::kInvalidNode);
 }
 
@@ -82,8 +149,9 @@ void Igp::flood(ip::NodeId at, const Lsa& lsa, ip::NodeId except) {
 
 void Igp::receive_lsa(ip::NodeId at, Lsa lsa, ip::NodeId from) {
   RouterState& st = state(at);
-  if (!st.lsdb.install(lsa)) return;  // not newer: stop the flood
-  schedule_spf(at);
+  bool spf_needed = false;
+  if (!install_classified(st, lsa, &spf_needed)) return;  // stop the flood
+  if (spf_needed) schedule_spf(at);
   flood(at, lsa, from);
 }
 
@@ -95,25 +163,66 @@ void Igp::schedule_spf(ip::NodeId router) {
                                          [this, router] { run_spf(router); });
 }
 
-void Igp::run_spf(ip::NodeId router) {
-  RouterState& st = state(router);
-  st.spf_scheduled = false;
-  st.next_hops.clear();
+void Igp::classify_dirty(const RouterState& st,
+                         const std::vector<DirtyEdge>& dirty,
+                         std::set<ip::NodeId>* seeds,
+                         bool* increase_affected) const {
+  auto dist = [&](ip::NodeId n) {
+    auto it = st.best.find(n);
+    return it == st.best.end() ? kInfCost : it->second;
+  };
+  auto is_parent = [&](ip::NodeId child, ip::NodeId parent) {
+    auto it = st.parents.find(child);
+    return it != st.parents.end() && it->second.count(parent) > 0;
+  };
+  constexpr std::uint64_t kInf64 = ~std::uint64_t{0};
+  for (const DirtyEdge& e : dirty) {
+    const std::uint32_t du = dist(e.u);
+    const std::uint32_t dv = dist(e.v);
+    if (e.new_cost < e.old_cost) {
+      // Decrease (or edge add). The incremental-run safety argument needs
+      // strictly positive costs; a zero-cost edge bails to a full run.
+      if (e.new_cost == 0) {
+        *increase_affected = true;
+        continue;
+      }
+      if (du == kInfCost && dv == kInfCost) continue;  // detached island
+      const std::uint64_t via_u =
+          du == kInfCost ? kInf64 : std::uint64_t{du} + e.new_cost;
+      const std::uint64_t via_v =
+          dv == kInfCost ? kInf64 : std::uint64_t{dv} + e.new_cost;
+      // <= (not <) so a new equal-cost parent still triggers a run — ECMP
+      // sets are part of the solution.
+      if (via_u <= dv || via_v <= du) {
+        if (du != kInfCost) seeds->insert(e.u);
+        if (dv != kInfCost) seeds->insert(e.v);
+      }
+    } else {
+      // Increase or removal: affects paths only when the edge lies on the
+      // current shortest-path DAG. A full-SPF invariant makes the parent
+      // check redundant with the distance equality except for parallel
+      // links, where it correctly disambiguates.
+      bool on_dag = e.old_cost == 0;  // conservative, mirrors the above
+      if (du != kInfCost && dv != kInfCost && e.old_cost != kInfCost) {
+        if (std::uint64_t{du} + e.old_cost == dv && is_parent(e.v, e.u)) {
+          on_dag = true;
+        }
+        if (std::uint64_t{dv} + e.old_cost == du && is_parent(e.u, e.v)) {
+          on_dag = true;
+        }
+      }
+      if (on_dag) *increase_affected = true;
+    }
+  }
+}
 
+void Igp::full_spf_run(ip::NodeId router, RouterState& st) {
   // Single-source Dijkstra over the router's LSDB with multi-parent
   // bookkeeping: every equal-cost predecessor is retained so the ECMP
   // first-hop set can be derived afterwards.
-  struct Candidate {
-    std::uint32_t cost;
-    ip::NodeId node;
-    bool operator>(const Candidate& o) const noexcept {
-      if (cost != o.cost) return cost > o.cost;
-      return node > o.node;
-    }
-  };
   std::map<ip::NodeId, std::uint32_t> best;
   std::map<ip::NodeId, std::set<ip::NodeId>> parents;
-  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> pq;
+  CandidateQueue pq;
   pq.push(Candidate{0, router});
   best[router] = 0;
 
@@ -131,6 +240,7 @@ void Igp::run_spf(ip::NodeId router) {
           std::any_of(back->links.begin(), back->links.end(),
                       [&](const LsaLink& bl) { return bl.link == l.link; });
       if (!two_way) continue;
+      ++edges_relaxed_;
       const std::uint32_t ncost = c.cost + l.cost;
       auto it = best.find(l.neighbor);
       if (it == best.end() || ncost < it->second) {
@@ -142,6 +252,67 @@ void Igp::run_spf(ip::NodeId router) {
       }
     }
   }
+  st.best = std::move(best);
+  st.parents = std::move(parents);
+}
+
+void Igp::incremental_spf_run(RouterState& st,
+                              const std::set<ip::NodeId>& seeds) {
+  // Seeded re-relaxation: every path changed by a decrease-only dirty set
+  // crosses one of the changed edges, so pushing the (still finitely
+  // distanced) endpoints re-explores exactly the affected cone. Distances
+  // only decrease; pops settle in nondecreasing cost order, which is what
+  // makes the reverse-parent completion below sound (INTERNALS.md §15).
+  auto& best = st.best;
+  auto& parents = st.parents;
+  CandidateQueue pq;
+  for (ip::NodeId s : seeds) pq.push(Candidate{best.at(s), s});
+
+  while (!pq.empty()) {
+    const Candidate c = pq.top();
+    pq.pop();
+    const auto cur = best.find(c.node);
+    if (cur == best.end() || c.cost > cur->second) continue;  // stale
+    const Lsa* lsa = st.lsdb.find(c.node);
+    if (lsa == nullptr) continue;
+    for (const LsaLink& l : lsa->links) {
+      const Lsa* back = st.lsdb.find(l.neighbor);
+      if (back == nullptr) continue;
+      const bool two_way =
+          std::any_of(back->links.begin(), back->links.end(),
+                      [&](const LsaLink& bl) { return bl.link == l.link; });
+      if (!two_way) continue;
+      ++edges_relaxed_;
+      const std::uint32_t ncost = c.cost + l.cost;
+      auto it = best.find(l.neighbor);
+      if (it == best.end() || ncost < it->second) {
+        best[l.neighbor] = ncost;
+        parents[l.neighbor] = {c.node};
+        pq.push(Candidate{ncost, l.neighbor});
+      } else {
+        if (ncost == it->second) {
+          parents[l.neighbor].insert(c.node);  // equal-cost alternate
+        }
+        // Reverse-parent completion: when this pop improved c.node, a
+        // settled unchanged neighbor that is now an equal-cost predecessor
+        // would never forward-relax into us — pick it up here. Any such
+        // neighbor's distance (c.cost - l.cost < c.cost) is final by the
+        // nondecreasing-pop invariant, so the equality test is exact.
+        if (l.cost > 0 && it->second + l.cost == c.cost) {
+          parents[c.node].insert(l.neighbor);
+        }
+      }
+    }
+  }
+}
+
+void Igp::rebuild_next_hops(ip::NodeId router, RouterState& st) {
+  st.next_hops.clear();
+  static const std::set<ip::NodeId> kNoParents;
+  auto parents_of = [&](ip::NodeId n) -> const std::set<ip::NodeId>& {
+    auto it = st.parents.find(n);
+    return it == st.parents.end() ? kNoParents : it->second;
+  };
 
   // Memoized first-hop-set computation over the parent DAG.
   std::map<ip::NodeId, std::set<ip::NodeId>> first_hops;
@@ -150,7 +321,7 @@ void Igp::run_spf(ip::NodeId router) {
     auto memo = first_hops.find(dest);
     if (memo != first_hops.end()) return memo->second;
     std::set<ip::NodeId> hops;
-    for (ip::NodeId p : parents[dest]) {
+    for (ip::NodeId p : parents_of(dest)) {
       if (p == router) {
         hops.insert(dest);
       } else {
@@ -161,7 +332,7 @@ void Igp::run_spf(ip::NodeId router) {
     return first_hops.emplace(dest, std::move(hops)).first->second;
   };
 
-  for (const auto& [dest, cost] : best) {
+  for (const auto& [dest, cost] : st.best) {
     if (dest == router) continue;
     std::vector<NextHopEntry> entries;
     for (ip::NodeId hop : fh(dest)) {  // std::set: sorted by id
@@ -173,6 +344,44 @@ void Igp::run_spf(ip::NodeId router) {
     }
     if (!entries.empty()) st.next_hops[dest] = std::move(entries);
   }
+}
+
+void Igp::run_spf(ip::NodeId router) {
+  RouterState& st = state(router);
+  st.spf_scheduled = false;
+  std::vector<DirtyEdge> dirty = std::move(st.dirty);
+  st.dirty.clear();
+  const bool force_full = full_spf_ || !st.spf_valid || st.dirty_full;
+  st.dirty_full = false;
+
+  std::set<ip::NodeId> seeds;
+  bool increase_affected = false;
+  if (!force_full) {
+    classify_dirty(st, dirty, &seeds, &increase_affected);
+    if (seeds.empty() && !increase_affected) {
+      // Provably no path or ECMP-set change: keep the stored solution,
+      // fire nothing. (Unaffected routers across the network land here —
+      // the counter the churn bench asserts on.)
+      ++st.spf.skipped;
+      ++spf_skipped_;
+      return;
+    }
+  }
+
+  if (force_full || increase_affected) {
+    // Increases/removals invalidate an unknown subtree — rebuilding is
+    // both simpler and, for on-DAG changes, close to the work a
+    // tear-down/re-descend incremental variant would do anyway.
+    full_spf_run(router, st);
+    ++st.spf.full;
+    ++spf_full_runs_;
+  } else {
+    incremental_spf_run(st, seeds);
+    ++st.spf.incremental;
+    ++spf_incremental_runs_;
+  }
+  rebuild_next_hops(router, st);
+  st.spf_valid = true;
 
   last_spf_at_ = cp_.now();
   ++spf_runs_;
@@ -224,6 +433,10 @@ std::vector<Igp::NextHopEntry> Igp::next_hops_ecmp(ip::NodeId router,
   auto it = st.next_hops.find(dest);
   return it == st.next_hops.end() ? std::vector<NextHopEntry>{}
                                   : it->second;
+}
+
+Igp::SpfCounters Igp::router_spf_counters(ip::NodeId router) const {
+  return state(router).spf;
 }
 
 ComputedPath Igp::path(ip::NodeId router, ip::NodeId dest) const {

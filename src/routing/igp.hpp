@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -22,12 +23,30 @@ namespace mvpn::routing {
 ///  * the TE database tracks per-link-direction bandwidth reservations
 ///    (fed by RSVP-TE) and re-advertises reservable bandwidth, which CSPF
 ///    constrains on (the paper's §3.1/§5 traffic-engineering machinery).
+///
+/// SPF is incremental by default (INTERNALS.md §15): each LSA install is
+/// diffed against the previous copy of that origin's LSA. TE-only changes
+/// (reservable/capacity) patch the database without scheduling SPF at all;
+/// cost/adjacency changes accumulate in a per-router dirty-edge list that
+/// the next run classifies against the stored shortest-path solution —
+/// provably non-affecting changes skip the run, decrease-only changes
+/// re-run Dijkstra seeded from the affected region, and anything touching
+/// the current shortest-path DAG falls back to a full rebuild.
+/// `set_full_spf(true)` restores the legacy rebuild-on-every-install
+/// behavior for A/B identity checks.
 class Igp {
  public:
   struct NextHopEntry {
     ip::NodeId via = ip::kInvalidNode;
     ip::IfIndex iface = ip::kInvalidIf;
     std::uint32_t cost = 0;
+  };
+
+  /// Per-router SPF work accounting.
+  struct SpfCounters {
+    std::uint64_t full = 0;         ///< full Dijkstra rebuilds
+    std::uint64_t incremental = 0;  ///< seeded partial runs
+    std::uint64_t skipped = 0;      ///< scheduled runs proven no-ops
   };
 
   explicit Igp(ControlPlane& cp);
@@ -77,7 +96,32 @@ class Igp {
   [[nodiscard]] sim::SimTime last_spf_at() const noexcept {
     return last_spf_at_;
   }
+  /// Executed SPF runs (full + incremental; skipped no-ops not included).
   [[nodiscard]] std::uint64_t spf_runs() const noexcept { return spf_runs_; }
+  [[nodiscard]] std::uint64_t spf_full_runs() const noexcept {
+    return spf_full_runs_;
+  }
+  [[nodiscard]] std::uint64_t spf_incremental_runs() const noexcept {
+    return spf_incremental_runs_;
+  }
+  /// Scheduled runs whose dirty set was proven not to change any path.
+  [[nodiscard]] std::uint64_t spf_skipped() const noexcept {
+    return spf_skipped_;
+  }
+  /// LSA installs (TE attribute refreshes) that never scheduled SPF.
+  [[nodiscard]] std::uint64_t te_only_installs() const noexcept {
+    return te_only_installs_;
+  }
+  /// Edge relaxations across all runs — the SPF-work metric the churn
+  /// bench compares between incremental and full modes.
+  [[nodiscard]] std::uint64_t edges_relaxed() const noexcept {
+    return edges_relaxed_;
+  }
+  [[nodiscard]] SpfCounters router_spf_counters(ip::NodeId router) const;
+
+  /// A/B switch: full Dijkstra on every install (legacy) vs incremental.
+  void set_full_spf(bool on) noexcept { full_spf_ = on; }
+  [[nodiscard]] bool full_spf() const noexcept { return full_spf_; }
 
   /// Subscribe to SPF completion at a router (LDP and the routers' FIB
   /// sync hook in from here).
@@ -88,6 +132,17 @@ class Igp {
   void set_spf_delay(sim::SimTime d) noexcept { spf_delay_ = d; }
 
  private:
+  /// Cost marker for an edge absent on one side of a diff.
+  static constexpr std::uint32_t kInfCost = 0xFFFFFFFFu;
+
+  /// One adjacency change between two copies of an origin's LSA.
+  struct DirtyEdge {
+    ip::NodeId u = ip::kInvalidNode;  ///< LSA origin
+    ip::NodeId v = ip::kInvalidNode;  ///< neighbor
+    std::uint32_t old_cost = kInfCost;
+    std::uint32_t new_cost = kInfCost;
+  };
+
   struct RouterState {
     bool active = false;
     LinkStateDb lsdb;
@@ -95,6 +150,16 @@ class Igp {
     std::unordered_map<ip::NodeId, std::vector<NextHopEntry>> next_hops;
     bool spf_scheduled = false;
     std::uint32_t lsa_seq = 0;
+
+    /// --- incremental-SPF state (INTERNALS.md §15) ----------------------
+    /// Shortest-path solution of the last executed run: distance and
+    /// equal-cost predecessor set per reachable node.
+    std::map<ip::NodeId, std::uint32_t> best;
+    std::map<ip::NodeId, std::set<ip::NodeId>> parents;
+    bool spf_valid = false;   ///< best/parents reflect some prior run
+    std::vector<DirtyEdge> dirty;  ///< graph changes since that run
+    bool dirty_full = false;  ///< a brand-new origin appeared: no diff base
+    SpfCounters spf;
   };
 
   RouterState& state(ip::NodeId router);
@@ -103,8 +168,23 @@ class Igp {
   void originate_and_flood(ip::NodeId router);
   void flood(ip::NodeId at, const Lsa& lsa, ip::NodeId except);
   void receive_lsa(ip::NodeId at, Lsa lsa, ip::NodeId from);
+  /// Install `lsa` into `st`, recording adjacency diffs vs the previous
+  /// copy. Returns false when not newer (flood stops); sets `*spf_needed`
+  /// when the change can alter shortest paths.
+  bool install_classified(RouterState& st, const Lsa& lsa, bool* spf_needed);
   void schedule_spf(ip::NodeId router);
   void run_spf(ip::NodeId router);
+  /// Classify the dirty set against the stored solution: fill `seeds` with
+  /// re-relaxation start nodes for affecting decreases and flag whether
+  /// any increase touches the current shortest-path DAG.
+  void classify_dirty(const RouterState& st,
+                      const std::vector<DirtyEdge>& dirty,
+                      std::set<ip::NodeId>* seeds,
+                      bool* increase_affected) const;
+  void full_spf_run(ip::NodeId router, RouterState& st);
+  void incremental_spf_run(RouterState& st,
+                           const std::set<ip::NodeId>& seeds);
+  void rebuild_next_hops(ip::NodeId router, RouterState& st);
 
   ControlPlane& cp_;
   std::vector<ip::NodeId> members_;
@@ -114,6 +194,12 @@ class Igp {
   sim::SimTime spf_delay_ = 30 * sim::kMillisecond;
   sim::SimTime last_spf_at_ = 0;
   std::uint64_t spf_runs_ = 0;
+  std::uint64_t spf_full_runs_ = 0;
+  std::uint64_t spf_incremental_runs_ = 0;
+  std::uint64_t spf_skipped_ = 0;
+  std::uint64_t te_only_installs_ = 0;
+  std::uint64_t edges_relaxed_ = 0;
+  bool full_spf_ = false;
   std::vector<std::function<void(ip::NodeId)>> spf_callbacks_;
 };
 

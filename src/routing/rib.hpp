@@ -1,0 +1,328 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "ip/address.hpp"
+#include "ip/route_table.hpp"
+#include "routing/bgp_types.hpp"
+
+namespace mvpn::routing {
+
+/// Interned route-target sets. VPN routes carry the same handful of export
+/// RT sets over and over (one per VPN, typically), so the Adj-RIB-In stores
+/// a u16 pool index instead of a heap vector per route — the same trick the
+/// FlowSet engine plays with its Template table. Pool ids are assigned in
+/// first-intern order, which is deterministic for a deterministic event
+/// sequence.
+class RtSetPool {
+ public:
+  [[nodiscard]] std::uint16_t intern(const std::vector<RouteTarget>& rts) {
+    auto it = index_.find(rts);
+    if (it != index_.end()) return it->second;
+    if (sets_.size() > 0xFFFF) {
+      throw std::length_error("RtSetPool: more than 65536 distinct RT sets");
+    }
+    const auto id = static_cast<std::uint16_t>(sets_.size());
+    auto [ins, ok] = index_.emplace(rts, id);
+    (void)ok;
+    sets_.push_back(&ins->first);
+    return id;
+  }
+
+  [[nodiscard]] const std::vector<RouteTarget>& get(std::uint16_t id) const {
+    return *sets_.at(id);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return sets_.size(); }
+
+  /// Approximate heap footprint (pool contents, not the index overhead).
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    std::size_t n = sets_.capacity() * sizeof(void*);
+    for (const auto* s : sets_) n += sizeof(*s) + s->capacity() * sizeof(RouteTarget);
+    return n;
+  }
+
+ private:
+  std::map<std::vector<RouteTarget>, std::uint16_t> index_;
+  std::vector<const std::vector<RouteTarget>*> sets_;
+};
+
+/// Fixed-size (24 B) attribute block for one VPN-IPv4 route: everything a
+/// `VpnRoute` carries, with the RT vector replaced by a pool index. The
+/// (RD, prefix) key lives in the table slot, not here.
+struct CompactRoute {
+  std::uint32_t next_hop = 0;  ///< Ipv4Address::value() of the egress PE
+  ip::NodeId next_hop_node = ip::kInvalidNode;
+  std::uint32_t vpn_label = ip::kNoLabel;
+  std::uint32_t local_pref = 100;
+  ip::NodeId originator = ip::kInvalidNode;
+  std::uint16_t rt_set = 0;
+
+  friend bool operator==(const CompactRoute&, const CompactRoute&) = default;
+};
+
+[[nodiscard]] inline CompactRoute compress(const VpnRoute& r, RtSetPool& pool) {
+  CompactRoute c;
+  c.next_hop = r.next_hop.value();
+  c.next_hop_node = r.next_hop_node;
+  c.vpn_label = r.vpn_label;
+  c.local_pref = r.local_pref;
+  c.originator = r.originator;
+  c.rt_set = pool.intern(r.route_targets);
+  return c;
+}
+
+[[nodiscard]] inline VpnRoute materialize(const VpnRouteKey& key,
+                                          const CompactRoute& c,
+                                          const RtSetPool& pool) {
+  VpnRoute r;
+  r.rd = key.first;
+  r.prefix = key.second;
+  r.next_hop = ip::Ipv4Address(c.next_hop);
+  r.next_hop_node = c.next_hop_node;
+  r.vpn_label = c.vpn_label;
+  r.route_targets = pool.get(c.rt_set);
+  r.local_pref = c.local_pref;
+  r.originator = c.originator;
+  return r;
+}
+
+/// Open-addressed Adj-RIB-In: (RD, prefix) keys in a linear-probe slot
+/// array, per-key sender chains in a free-listed arena of 32 B offer nodes.
+/// Replaces the per-speaker `std::map<key, std::map<sender, VpnRoute>>`
+/// whose node + vector overhead dominated control-plane memory at 10⁵–10⁶
+/// routes. Iteration order within a chain is most-recent-first; callers
+/// needing the legacy lowest-sender tie-break make it explicit.
+class AdjRibIn {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  AdjRibIn() { slots_.resize(kInitialSlots); }
+
+  /// Insert or replace the offer from `sender` for `key`.
+  void upsert(const VpnRouteKey& key, ip::NodeId sender,
+              const CompactRoute& route) {
+    maybe_grow();
+    std::size_t idx = find_or_claim(key);
+    Slot& s = slots_[idx];
+    for (std::uint32_t o = s.head; o != kNil; o = arena_[o].next) {
+      if (arena_[o].sender == sender) {
+        arena_[o].route = route;
+        return;
+      }
+    }
+    const std::uint32_t node = alloc_offer();
+    arena_[node].sender = sender;
+    arena_[node].route = route;
+    arena_[node].next = s.head;
+    s.head = node;
+    ++route_count_;
+  }
+
+  /// Remove the offer from `sender`; returns false when absent.
+  bool erase(const VpnRouteKey& key, ip::NodeId sender) {
+    const std::size_t idx = find(key);
+    if (idx == kNotFound) return false;
+    Slot& s = slots_[idx];
+    std::uint32_t* link = &s.head;
+    for (std::uint32_t o = s.head; o != kNil; o = arena_[o].next) {
+      if (arena_[o].sender == sender) {
+        *link = arena_[o].next;
+        free_offer(o);
+        --route_count_;
+        if (s.head == kNil) bury(idx);
+        return true;
+      }
+      link = &arena_[o].next;
+    }
+    return false;
+  }
+
+  /// Visit every (sender, route) offer for `key`.
+  template <typename F>
+  void for_each(const VpnRouteKey& key, F&& fn) const {
+    const std::size_t idx = find(key);
+    if (idx == kNotFound) return;
+    for (std::uint32_t o = slots_[idx].head; o != kNil; o = arena_[o].next) {
+      fn(arena_[o].sender, arena_[o].route);
+    }
+  }
+
+  /// Drop every offer learned from `sender`; returns the affected keys in
+  /// sorted order (matching the legacy std::map sweep, so downstream
+  /// decision order — and therefore message order — stays deterministic).
+  std::vector<VpnRouteKey> erase_sender(ip::NodeId sender) {
+    std::vector<VpnRouteKey> affected;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& s = slots_[i];
+      if (s.state != kUsed) continue;
+      std::uint32_t* link = &s.head;
+      bool hit = false;
+      for (std::uint32_t o = s.head; o != kNil;) {
+        const std::uint32_t nxt = arena_[o].next;
+        if (arena_[o].sender == sender) {
+          *link = nxt;
+          free_offer(o);
+          --route_count_;
+          hit = true;
+        } else {
+          link = &arena_[o].next;
+        }
+        o = nxt;
+      }
+      if (hit) affected.push_back(key_of(s));
+      if (s.head == kNil) bury(i);
+    }
+    std::sort(affected.begin(), affected.end());
+    return affected;
+  }
+
+  [[nodiscard]] std::size_t route_count() const noexcept {
+    return route_count_;
+  }
+  [[nodiscard]] std::size_t key_count() const noexcept { return key_count_; }
+
+  /// Table + arena footprint (capacity, not occupancy — what the process
+  /// actually pays).
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return slots_.capacity() * sizeof(Slot) + arena_.capacity() * sizeof(Offer);
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 64;
+  static constexpr std::size_t kNotFound = ~std::size_t{0};
+  static constexpr std::uint8_t kEmpty = 0, kUsed = 1, kTombstone = 2;
+
+  struct Slot {
+    std::uint32_t rd_asn = 0;
+    std::uint32_t rd_assigned = 0;
+    std::uint32_t addr = 0;
+    std::uint8_t plen = 0;
+    std::uint8_t state = kEmpty;
+    std::uint32_t head = kNil;
+  };
+  struct Offer {
+    ip::NodeId sender = ip::kInvalidNode;
+    std::uint32_t next = kNil;
+    CompactRoute route;
+  };
+
+  static std::uint64_t hash_key(std::uint32_t rd_asn, std::uint32_t rd_assigned,
+                                std::uint32_t addr, std::uint8_t plen) noexcept {
+    std::uint64_t a = (std::uint64_t{rd_asn} << 32) | rd_assigned;
+    std::uint64_t b = (std::uint64_t{addr} << 8) | plen;
+    std::uint64_t x = a * 0x9E3779B97F4A7C15ull ^ (b + 0xD1B54A32D192ED03ull);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  static bool matches(const Slot& s, const VpnRouteKey& key) noexcept {
+    return s.rd_asn == key.first.asn && s.rd_assigned == key.first.assigned &&
+           s.addr == key.second.address().value() &&
+           s.plen == key.second.length();
+  }
+
+  static VpnRouteKey key_of(const Slot& s) {
+    return {RouteDistinguisher{s.rd_asn, s.rd_assigned},
+            ip::Prefix(ip::Ipv4Address(s.addr), s.plen)};
+  }
+
+  [[nodiscard]] std::size_t find(const VpnRouteKey& key) const noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash_key(key.first.asn, key.first.assigned,
+                             key.second.address().value(),
+                             key.second.length()) &
+                    mask;
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.state == kEmpty) return kNotFound;
+      if (s.state == kUsed && matches(s, key)) return i;
+      i = (i + 1) & mask;
+    }
+  }
+
+  std::size_t find_or_claim(const VpnRouteKey& key) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash_key(key.first.asn, key.first.assigned,
+                             key.second.address().value(),
+                             key.second.length()) &
+                    mask;
+    std::size_t grave = kNotFound;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.state == kUsed && matches(s, key)) return i;
+      if (s.state == kTombstone && grave == kNotFound) grave = i;
+      if (s.state == kEmpty) {
+        const std::size_t at = grave != kNotFound ? grave : i;
+        Slot& t = slots_[at];
+        t.rd_asn = key.first.asn;
+        t.rd_assigned = key.first.assigned;
+        t.addr = key.second.address().value();
+        t.plen = key.second.length();
+        t.state = kUsed;
+        t.head = kNil;
+        if (at == i) ++occupied_;  // fresh slot, not a recycled tombstone
+        ++key_count_;
+        return at;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  void bury(std::size_t idx) {
+    slots_[idx].state = kTombstone;
+    --key_count_;
+  }
+
+  void maybe_grow() {
+    // Grow when live keys + tombstones pass 70% — keeps probe chains short
+    // and sweeps tombstones out in the rehash.
+    if (occupied_ * 10 < slots_.size() * 7) return;
+    std::vector<Slot> old;
+    old.swap(slots_);
+    slots_.resize(old.size() * 2);
+    occupied_ = 0;
+    key_count_ = 0;
+    const std::size_t mask = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.state != kUsed) continue;
+      std::size_t i = hash_key(s.rd_asn, s.rd_assigned, s.addr, s.plen) & mask;
+      while (slots_[i].state == kUsed) i = (i + 1) & mask;
+      slots_[i] = s;
+      ++occupied_;
+      ++key_count_;
+    }
+  }
+
+  std::uint32_t alloc_offer() {
+    if (free_head_ != kNil) {
+      const std::uint32_t o = free_head_;
+      free_head_ = arena_[o].next;
+      return o;
+    }
+    arena_.emplace_back();
+    return static_cast<std::uint32_t>(arena_.size() - 1);
+  }
+
+  void free_offer(std::uint32_t o) {
+    arena_[o].next = free_head_;
+    free_head_ = o;
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<Offer> arena_;
+  std::uint32_t free_head_ = kNil;
+  std::size_t occupied_ = 0;    ///< used + never-buried slots (probe load)
+  std::size_t key_count_ = 0;   ///< live keys
+  std::size_t route_count_ = 0; ///< live (key, sender) offers
+};
+
+}  // namespace mvpn::routing

@@ -313,12 +313,13 @@ INSTANTIATE_TEST_SUITE_P(SiteCounts, BgpModeEquivalence,
 // --- Control-plane message growth is linear in sites -------------------------
 
 TEST(ScalingShape, BgpMessagesLinearInSites) {
-  auto messages_for = [](std::size_t sites) {
+  auto messages_for = [](std::size_t sites, bool packed) {
     backbone::BackboneConfig cfg;
     cfg.p_count = 2;
     cfg.pe_count = 4;
     cfg.seed = 5;
     backbone::MplsBackbone bb(cfg);
+    bb.bgp.set_packing(packed);
     const vpn::VpnId v = bb.service.create_vpn("V");
     for (std::size_t i = 0; i < sites; ++i) {
       bb.add_site(v, i % 4,
@@ -329,13 +330,17 @@ TEST(ScalingShape, BgpMessagesLinearInSites) {
     bb.start_and_converge();
     return bb.cp.message_count("bgp.update");
   };
-  const auto m8 = messages_for(8);
-  const auto m16 = messages_for(16);
-  const auto m32 = messages_for(32);
-  // Doubling sites doubles updates (within rounding): linear, not
-  // quadratic.
+  // The per-route baseline is the linearity law: doubling sites doubles
+  // updates (within rounding) — linear, not quadratic.
+  const auto m8 = messages_for(8, false);
+  const auto m16 = messages_for(16, false);
+  const auto m32 = messages_for(32, false);
   EXPECT_NEAR(static_cast<double>(m16) / static_cast<double>(m8), 2.0, 0.2);
   EXPECT_NEAR(static_cast<double>(m32) / static_cast<double>(m16), 2.0, 0.2);
+  // Update packing amortizes same-instant NLRI into shared messages, so it
+  // must beat the per-route baseline by a wide margin at equal scale.
+  const auto p32 = messages_for(32, true);
+  EXPECT_LE(p32 * 2, m32);
 }
 
 // --- Determinism --------------------------------------------------------------

@@ -645,6 +645,369 @@ TEST(Hello, QuietOnHealthyLinks) {
   EXPECT_EQ(hello.links_declared_down(), 0u);
 }
 
+// --- PR10: packed update groups, compact RIB, incremental SPF --------------
+
+TEST(RtSetPool, InternDedupes) {
+  RtSetPool pool;
+  const std::vector<RouteTarget> a{{65000, 1}, {65000, 2}};
+  const std::vector<RouteTarget> b{{65000, 9}};
+  const std::uint16_t ia = pool.intern(a);
+  EXPECT_EQ(pool.intern(a), ia);  // same set, same id
+  const std::uint16_t ib = pool.intern(b);
+  EXPECT_NE(ia, ib);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.get(ia), a);
+  EXPECT_EQ(pool.get(ib), b);
+  EXPECT_GT(pool.bytes(), 0u);
+}
+
+TEST(AdjRibIn, UpsertEraseAndSenderSweep) {
+  AdjRibIn rib;
+  auto key = [](std::uint32_t n) {
+    return VpnRouteKey{RouteDistinguisher{65000, n},
+                       ip::Prefix(ip::Ipv4Address(10, 0, 0, 0), 16)};
+  };
+  CompactRoute r;
+  r.vpn_label = 7;
+  // Enough keys to force at least one table growth past the 64-slot start.
+  for (std::uint32_t n = 0; n < 200; ++n) rib.upsert(key(n), 1, r);
+  EXPECT_EQ(rib.key_count(), 200u);
+  EXPECT_EQ(rib.route_count(), 200u);
+  // Second sender on one key; replacement is in-place.
+  rib.upsert(key(5), 2, r);
+  EXPECT_EQ(rib.route_count(), 201u);
+  CompactRoute r2 = r;
+  r2.vpn_label = 8;
+  rib.upsert(key(5), 2, r2);
+  EXPECT_EQ(rib.route_count(), 201u);
+  int seen = 0;
+  std::uint32_t label_from_2 = 0;
+  rib.for_each(key(5), [&](ip::NodeId sender, const CompactRoute& rr) {
+    ++seen;
+    if (sender == 2) label_from_2 = rr.vpn_label;
+  });
+  EXPECT_EQ(seen, 2);
+  EXPECT_EQ(label_from_2, 8u);
+
+  EXPECT_TRUE(rib.erase(key(7), 1));
+  EXPECT_FALSE(rib.erase(key(7), 1));  // already gone
+  const auto affected = rib.erase_sender(1);
+  EXPECT_EQ(affected.size(), 199u);  // all but the erased key(7)
+  EXPECT_TRUE(std::is_sorted(affected.begin(), affected.end()));
+  EXPECT_EQ(rib.route_count(), 1u);  // only sender 2's offer on key(5)
+  EXPECT_EQ(rib.key_count(), 1u);
+  EXPECT_GT(rib.bytes(), 0u);
+}
+
+TEST(BgpTypes, WithdrawWireBytesDeriveFromPrefix) {
+  const VpnRouteKey k16{RouteDistinguisher{65000, 1},
+                        ip::Prefix::must_parse("10.1.0.0/16")};
+  const VpnRouteKey k24{RouteDistinguisher{65000, 1},
+                        ip::Prefix::must_parse("10.1.1.0/24")};
+  // header (19) + MP_UNREACH overhead (8) + RD/label/len (12) + prefix bytes.
+  EXPECT_EQ(withdraw_wire_bytes(k16), 19u + 8u + 12u + 2u);
+  EXPECT_EQ(withdraw_wire_bytes(k24), 19u + 8u + 12u + 3u);
+  EXPECT_LT(withdraw_wire_bytes(k16), withdraw_wire_bytes(k24));
+}
+
+TEST(Bgp, LegacyWithdrawBytesMatchDerivedSize) {
+  BgpFixture f;
+  Bgp bgp(f.cp, Bgp::Mode::kFullMesh);
+  bgp.set_packing(false);
+  for (ip::NodeId n = 0; n < 3; ++n) {
+    f.topo.add_node<Router>("pe" + std::to_string(n), Role::kPe);
+    bgp.add_speaker(n);
+  }
+  bgp.start();
+  bgp.originate(0, f.route(1, "10.1.0.0/16", 0));
+  f.topo.scheduler().run();
+  bgp.withdraw(0, RouteDistinguisher{65000, 1},
+               ip::Prefix::must_parse("10.1.0.0/16"));
+  f.topo.scheduler().run();
+  const VpnRouteKey key{RouteDistinguisher{65000, 1},
+                        ip::Prefix::must_parse("10.1.0.0/16")};
+  const auto n = f.cp.message_count("bgp.withdraw");
+  ASSERT_GT(n, 0u);
+  EXPECT_EQ(f.cp.byte_count("bgp.withdraw"), n * withdraw_wire_bytes(key));
+}
+
+namespace {
+/// Drive the same announce/withdraw/flap/failover script against a
+/// fresh RR fabric and return every speaker's Loc-RIB for comparison.
+std::vector<std::vector<VpnRoute>> rr_script_ribs(bool packed,
+                                                  std::uint64_t* messages,
+                                                  std::uint64_t* events) {
+  BgpFixture f;
+  Bgp bgp(f.cp, Bgp::Mode::kRouteReflector);
+  constexpr ip::NodeId kClients = 6;
+  for (ip::NodeId n = 0; n < kClients + 2; ++n) {
+    f.topo.add_node<Router>("n" + std::to_string(n), Role::kPe);
+  }
+  for (ip::NodeId n = 0; n < kClients; ++n) bgp.add_speaker(n);
+  bgp.add_route_reflector(kClients);
+  bgp.add_route_reflector(kClients + 1);
+  bgp.set_packing(packed);
+  bgp.start();
+
+  // Multihomed prefixes, flaps, a withdraw, and a mid-stream failure.
+  for (ip::NodeId n = 0; n < kClients; ++n) {
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      bgp.originate(n, f.route(p + 1, ("10." + std::to_string(p + 1) +
+                                       ".0.0/16").c_str(),
+                               n, 100 * n + p));
+    }
+  }
+  f.topo.scheduler().run();
+  // Same-tick withdraw + replace (flush-window supersede on the packed path).
+  bgp.withdraw(0, RouteDistinguisher{65000, 1},
+               ip::Prefix::must_parse("10.1.0.0/16"));
+  bgp.originate(0, f.route(1, "10.1.0.0/16", 0, 999));
+  f.topo.scheduler().run();
+  bgp.fail_speaker(1);
+  f.topo.scheduler().run();
+
+  if (messages != nullptr) {
+    *messages = f.cp.message_count("bgp.update") +
+                f.cp.message_count("bgp.withdraw");
+  }
+  if (events != nullptr) *events = f.cp.total_messages();
+  std::vector<std::vector<VpnRoute>> ribs;
+  for (ip::NodeId n = 0; n < kClients + 2; ++n) {
+    ribs.push_back(bgp.loc_rib(n));
+  }
+  return ribs;
+}
+}  // namespace
+
+TEST(Bgp, PackedAndLegacyConvergeToIdenticalRibs) {
+  std::uint64_t packed_msgs = 0, legacy_msgs = 0;
+  const auto packed = rr_script_ribs(true, &packed_msgs, nullptr);
+  const auto legacy = rr_script_ribs(false, &legacy_msgs, nullptr);
+  ASSERT_EQ(packed.size(), legacy.size());
+  for (std::size_t n = 0; n < packed.size(); ++n) {
+    ASSERT_EQ(packed[n].size(), legacy[n].size()) << "speaker " << n;
+    for (std::size_t i = 0; i < packed[n].size(); ++i) {
+      const VpnRoute& a = packed[n][i];
+      const VpnRoute& b = legacy[n][i];
+      EXPECT_EQ(a.rd, b.rd) << "speaker " << n;
+      EXPECT_EQ(a.prefix.to_string(), b.prefix.to_string()) << "speaker " << n;
+      EXPECT_EQ(a.next_hop_node, b.next_hop_node) << "speaker " << n;
+      EXPECT_EQ(a.vpn_label, b.vpn_label) << "speaker " << n;
+      EXPECT_EQ(a.local_pref, b.local_pref) << "speaker " << n;
+      EXPECT_EQ(a.originator, b.originator) << "speaker " << n;
+    }
+  }
+  // Packing exists to shrink the message count, not just match state.
+  EXPECT_LT(packed_msgs, legacy_msgs);
+}
+
+TEST(Bgp, WithdrawThenReplaceInOneFlushWindowYieldsReplacement) {
+  BgpFixture f;
+  Bgp bgp(f.cp, Bgp::Mode::kFullMesh);
+  for (ip::NodeId n = 0; n < 3; ++n) {
+    f.topo.add_node<Router>("pe" + std::to_string(n), Role::kPe);
+    bgp.add_speaker(n);
+  }
+  bgp.start();
+  bgp.originate(0, f.route(1, "10.1.0.0/16", 0, 100));
+  f.topo.scheduler().run();
+  // Withdraw and replacement land in the same flush window: the queued
+  // withdraw is superseded in place and only the replacement reaches peers.
+  bgp.withdraw(0, RouteDistinguisher{65000, 1},
+               ip::Prefix::must_parse("10.1.0.0/16"));
+  bgp.originate(0, f.route(1, "10.1.0.0/16", 0, 200));
+  f.topo.scheduler().run();
+  const VpnRouteKey key{RouteDistinguisher{65000, 1},
+                        ip::Prefix::must_parse("10.1.0.0/16")};
+  for (ip::NodeId n = 0; n < 3; ++n) {
+    const VpnRoute* best = bgp.best(n, key);
+    ASSERT_NE(best, nullptr) << "speaker " << n;
+    EXPECT_EQ(best->vpn_label, 200u) << "speaker " << n;
+  }
+  EXPECT_GT(bgp.rib_out().superseded(), 0u);
+}
+
+TEST(Bgp, ReflectionTerminatesUnderPacking) {
+  BgpFixture f;
+  Bgp bgp(f.cp, Bgp::Mode::kRouteReflector);
+  for (ip::NodeId n = 0; n < 6; ++n) {
+    f.topo.add_node<Router>("n" + std::to_string(n), Role::kPe);
+  }
+  for (ip::NodeId n = 0; n < 4; ++n) bgp.add_speaker(n);
+  bgp.add_route_reflector(4);
+  bgp.add_route_reflector(5);
+  bgp.start();
+  bgp.originate(0, f.route(1, "10.1.0.0/16", 0));
+  f.topo.scheduler().run();  // returning at all proves no reflection loop
+  const std::uint64_t settled = f.cp.total_messages();
+  // Each client holds the route once per RR, never more (no echo back).
+  const VpnRouteKey key{RouteDistinguisher{65000, 1},
+                        ip::Prefix::must_parse("10.1.0.0/16")};
+  for (ip::NodeId n = 1; n < 4; ++n) {
+    ASSERT_NE(bgp.best(n, key), nullptr);
+    EXPECT_EQ(bgp.adj_rib_in_size(n), 2u);
+  }
+  // Re-announcing the identical route is fully damped: no new messages.
+  bgp.originate(0, f.route(1, "10.1.0.0/16", 0));
+  f.topo.scheduler().run();
+  EXPECT_EQ(f.cp.total_messages(), settled);
+}
+
+TEST(Bgp, FailSpeakerKillsItsQueuedUpdates) {
+  BgpFixture f;
+  Bgp bgp(f.cp, Bgp::Mode::kFullMesh);
+  for (ip::NodeId n = 0; n < 3; ++n) {
+    f.topo.add_node<Router>("pe" + std::to_string(n), Role::kPe);
+    bgp.add_speaker(n);
+  }
+  bgp.start();
+  // Queued at pe0 but the speaker dies before its flush event fires: the
+  // update dies with the sessions, exactly like an un-ACKed TCP send.
+  bgp.originate(0, f.route(1, "10.1.0.0/16", 0));
+  EXPECT_TRUE(bgp.rib_out().armed(0));
+  bgp.fail_speaker(0);
+  EXPECT_FALSE(bgp.rib_out().armed(0));
+  f.topo.scheduler().run();
+  const VpnRouteKey key{RouteDistinguisher{65000, 1},
+                        ip::Prefix::must_parse("10.1.0.0/16")};
+  EXPECT_EQ(bgp.best(1, key), nullptr);
+  EXPECT_EQ(bgp.best(2, key), nullptr);
+  // A live speaker whose flush targets the dead peer skips it cleanly.
+  bgp.originate(1, f.route(2, "10.2.0.0/16", 1));
+  f.topo.scheduler().run();
+  const VpnRouteKey key2{RouteDistinguisher{65000, 2},
+                         ip::Prefix::must_parse("10.2.0.0/16")};
+  ASSERT_NE(bgp.best(2, key2), nullptr);
+  EXPECT_EQ(bgp.best(0, key2), nullptr);  // dead peer never hears of it
+}
+
+TEST(Igp, TeOnlyChangeSkipsSpfEntirely) {
+  IgpFixture f;
+  auto& a = f.add("a");
+  auto& b = f.add("b");
+  auto& c = f.add("c");
+  const net::LinkId ab = f.link(a, b, 1, 10e6);
+  f.link(b, c, 1, 10e6);
+  f.converge();
+  const auto runs_before = f.igp.spf_runs();
+  const auto te_before = f.igp.te_only_installs();
+  // A reservation re-floods TE attributes but cannot move shortest paths:
+  // the installs are classified TE-only and never reach the SPF scheduler.
+  ASSERT_TRUE(f.igp.te_reserve(a.id(), ab, 4e6));
+  f.topo.scheduler().run();
+  EXPECT_EQ(f.igp.spf_runs(), runs_before);
+  EXPECT_GT(f.igp.te_only_installs(), te_before);
+  // The flood itself still happened: CSPF sees the new reservable figure.
+  EXPECT_DOUBLE_EQ(f.igp.te_reservable(a.id(), ab), 6e6);
+}
+
+TEST(Igp, OffPathCostIncreaseSkipsSpfEverywhere) {
+  IgpFixture f;
+  auto& a = f.add("a");
+  auto& b = f.add("b");
+  auto& c = f.add("c");
+  f.link(a, b, 1);
+  f.link(b, c, 1);
+  const net::LinkId ac = f.link(a, c, 5);  // never on a shortest path
+  f.converge();
+  Igp::SpfCounters before[3];
+  for (int i = 0; i < 3; ++i) {
+    before[i] = f.igp.router_spf_counters(f.routers[i]->id());
+  }
+  // 5 → 9: still worse than the 2-hop path, provably affects nothing.
+  f.topo.link(ac).set_igp_cost(9);
+  f.igp.notify_link_change(ac);
+  f.topo.scheduler().run();
+  for (int i = 0; i < 3; ++i) {
+    const auto after = f.igp.router_spf_counters(f.routers[i]->id());
+    EXPECT_EQ(after.full, before[i].full) << "router " << i;
+    EXPECT_EQ(after.incremental, before[i].incremental) << "router " << i;
+    EXPECT_GT(after.skipped, before[i].skipped) << "router " << i;
+  }
+  // Routing is untouched.
+  EXPECT_EQ(f.igp.next_hop(a.id(), c.id())->via, b.id());
+}
+
+TEST(Igp, CostDecreaseRunsIncrementalAndReroutes) {
+  IgpFixture f;
+  auto& a = f.add("a");
+  auto& b = f.add("b");
+  auto& c = f.add("c");
+  f.link(a, b, 1);
+  f.link(b, c, 1);
+  const net::LinkId ac = f.link(a, c, 5);
+  f.converge();
+  ASSERT_EQ(f.igp.next_hop(a.id(), c.id())->via, b.id());
+  const auto full_before = f.igp.spf_full_runs();
+  const auto incr_before = f.igp.spf_incremental_runs();
+  f.topo.link(ac).set_igp_cost(1);
+  f.igp.notify_link_change(ac);
+  f.topo.scheduler().run();
+  // Decrease-only change: seeded partial runs, zero full rebuilds.
+  EXPECT_EQ(f.igp.spf_full_runs(), full_before);
+  EXPECT_GT(f.igp.spf_incremental_runs(), incr_before);
+  const auto* nh = f.igp.next_hop(a.id(), c.id());
+  ASSERT_NE(nh, nullptr);
+  EXPECT_EQ(nh->via, c.id());
+  EXPECT_EQ(nh->cost, 1u);
+}
+
+TEST(Igp, IncrementalMatchesFullAcrossFlapSequence) {
+  // Run the same flap script in both modes and compare every router's
+  // next hop toward every destination — the A/B identity the bench guards
+  // at scale, pinned here on a topology with ECMP and a detour.
+  auto run_mode = [](bool full) {
+    auto f = std::make_unique<IgpFixture>();
+    f->igp.set_full_spf(full);
+    auto& a = f->add("a");
+    auto& b = f->add("b");
+    auto& c = f->add("c");
+    auto& d = f->add("d");
+    auto& e = f->add("e");
+    const net::LinkId ab = f->link(a, b, 1);
+    f->link(a, c, 1);
+    f->link(b, d, 1);
+    f->link(c, d, 1);
+    const net::LinkId de = f->link(d, e, 2);
+    const net::LinkId ae = f->link(a, e, 9);
+    f->converge();
+    // Decrease onto the shortest path, increase off it, then break a tie.
+    f->topo.link(ae).set_igp_cost(2);
+    f->igp.notify_link_change(ae);
+    f->topo.scheduler().run();
+    f->topo.link(de).set_igp_cost(7);
+    f->igp.notify_link_change(de);
+    f->topo.scheduler().run();
+    f->topo.link(ab).set_igp_cost(3);
+    f->igp.notify_link_change(ab);
+    f->topo.scheduler().run();
+    return f;
+  };
+  const auto incremental = run_mode(false);
+  const auto full = run_mode(true);
+  for (const auto* src : incremental->routers) {
+    for (const auto* dst : incremental->routers) {
+      if (src == dst) continue;
+      const auto inc = incremental->igp.next_hops_ecmp(src->id(), dst->id());
+      const auto ref = full->igp.next_hops_ecmp(src->id(), dst->id());
+      ASSERT_EQ(inc.size(), ref.size())
+          << src->name() << "->" << dst->name();
+      for (std::size_t i = 0; i < inc.size(); ++i) {
+        EXPECT_EQ(inc[i].via, ref[i].via)
+            << src->name() << "->" << dst->name();
+        EXPECT_EQ(inc[i].cost, ref[i].cost)
+            << src->name() << "->" << dst->name();
+      }
+    }
+  }
+  // The incremental run actually took the fast paths at least once.
+  EXPECT_GT(incremental->igp.spf_incremental_runs() +
+                incremental->igp.spf_skipped(),
+            0u);
+  EXPECT_EQ(full->igp.spf_incremental_runs(), 0u);
+  EXPECT_EQ(full->igp.spf_skipped(), 0u);
+}
+
 TEST(RdRt, Formatting) {
   EXPECT_EQ((RouteDistinguisher{65000, 7}).to_string(), "65000:7");
   EXPECT_EQ((RouteTarget{65000, 9}).to_string(), "65000:9");

@@ -146,6 +146,29 @@ TEST(ScenarioParse, RunSourcesDirective) {
   EXPECT_NE(err.message.find("sources="), std::string::npos) << err.message;
 }
 
+TEST(ScenarioParse, RunUpdatesAndSpfDirectives) {
+  ScenarioError err;
+  auto packed = Scenario::parse(
+      std::string(kMinimal) + "run for=1 updates=packed spf=incremental\n",
+      &err);
+  ASSERT_TRUE(packed.has_value()) << err.message;
+  EXPECT_FALSE(packed->legacy_updates());
+  EXPECT_FALSE(packed->full_spf());
+  auto legacy = Scenario::parse(
+      std::string(kMinimal) + "run for=1 updates=legacy spf=full\n", &err);
+  ASSERT_TRUE(legacy.has_value()) << err.message;
+  EXPECT_TRUE(legacy->legacy_updates());
+  EXPECT_TRUE(legacy->full_spf());
+  EXPECT_FALSE(Scenario::parse(
+                   std::string(kMinimal) + "run for=1 updates=turbo\n", &err)
+                   .has_value());
+  EXPECT_NE(err.message.find("updates="), std::string::npos) << err.message;
+  EXPECT_FALSE(
+      Scenario::parse(std::string(kMinimal) + "run for=1 spf=psychic\n", &err)
+          .has_value());
+  EXPECT_NE(err.message.find("spf="), std::string::npos) << err.message;
+}
+
 TEST(ScenarioRun, EndToEndDeliversWithoutLeaks) {
   ScenarioError err;
   auto sc = Scenario::parse(kMinimal, &err);
